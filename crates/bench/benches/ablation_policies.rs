@@ -1,0 +1,32 @@
+//! Ablation: cost of the three solution-extraction policies (the paper
+//! uses highest-amplitude and names top-k as the expected improvement).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qq_graph::generators::{self, WeightKind};
+use qq_qaoa::{ObjectiveMode, QaoaConfig, SolutionPolicy};
+
+fn bench_policies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_policies");
+    group.sample_size(10);
+    let g = generators::erdos_renyi(12, 0.3, WeightKind::Uniform, 5);
+    for (name, policy) in [
+        ("highest_amplitude", SolutionPolicy::HighestAmplitude),
+        ("top_k_64", SolutionPolicy::TopK(64)),
+        ("best_shot", SolutionPolicy::BestShot),
+    ] {
+        let cfg = QaoaConfig {
+            layers: 2,
+            max_iters: 20,
+            objective: ObjectiveMode::Exact,
+            policy,
+            ..QaoaConfig::default()
+        };
+        group.bench_with_input(BenchmarkId::from_parameter(name), &cfg, |b, cfg| {
+            b.iter(|| qq_qaoa::solve(&g, cfg).unwrap().best.value);
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_policies);
+criterion_main!(benches);

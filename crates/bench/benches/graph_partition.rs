@@ -1,0 +1,21 @@
+//! CNM greedy-modularity partition cost — the QAOA² divide step on
+//! Fig. 4-sized graphs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qq_graph::generators::{self, WeightKind};
+use qq_graph::partition_with_cap;
+
+fn bench_partition(c: &mut Criterion) {
+    let mut group = c.benchmark_group("graph_partition");
+    group.sample_size(10);
+    for &n in &[200usize, 500, 1000] {
+        let g = generators::erdos_renyi(n, 0.05, WeightKind::Uniform, 3);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &g, |b, g| {
+            b.iter(|| partition_with_cap(g, 16));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_partition);
+criterion_main!(benches);

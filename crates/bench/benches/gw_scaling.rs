@@ -1,0 +1,22 @@
+//! GW cost growth with node count (§3.4: the paper's cvxpy route grows
+//! like O(N^6.5) and aborts beyond 2000 nodes; Burer–Monteiro stays
+//! polynomially mild, which is the point of the substitution).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qq_graph::generators::{self, WeightKind};
+use qq_gw::{goemans_williamson, GwConfig};
+
+fn bench_gw(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gw_scaling");
+    group.sample_size(10);
+    for &n in &[100usize, 200, 400] {
+        let g = generators::erdos_renyi(n, 0.1, WeightKind::Uniform, 11);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &g, |b, g| {
+            b.iter(|| goemans_williamson(g, &GwConfig::default()));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_gw);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! QAOA² merge-step cost: coarse-graph construction plus flip
+//! application, the serial overhead between parallel levels.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qq_core::{apply_flips, build_merge_graph};
+use qq_graph::generators::{self, WeightKind};
+use qq_graph::{partition_with_cap, Cut};
+
+fn bench_merge(c: &mut Criterion) {
+    let mut group = c.benchmark_group("qaoa2_merge");
+    group.sample_size(20);
+    for &n in &[500usize, 1000] {
+        let g = generators::erdos_renyi(n, 0.05, WeightKind::Uniform, 9);
+        let partition = partition_with_cap(&g, 16);
+        let local_cuts: Vec<Cut> = partition
+            .communities()
+            .iter()
+            .enumerate()
+            .map(|(i, members)| Cut::from_fn(members.len(), |v| (v as usize + i) % 2 == 0))
+            .collect();
+        group.bench_with_input(BenchmarkId::new("build", n), &n, |b, _| {
+            b.iter(|| build_merge_graph(&g, &partition, &local_cuts));
+        });
+        let coarse = build_merge_graph(&g, &partition, &local_cuts);
+        let coarse_cut = Cut::from_fn(coarse.num_nodes(), |v| v % 2 == 0);
+        group.bench_with_input(BenchmarkId::new("apply_flips", n), &n, |b, _| {
+            b.iter(|| apply_flips(&g, &partition, &local_cuts, &coarse_cut));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_merge);
+criterion_main!(benches);

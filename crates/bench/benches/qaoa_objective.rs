@@ -1,0 +1,42 @@
+//! QAOA objective-evaluation cost: fused diagonal layer vs synthesized
+//! gate circuit — the optimization that makes the paper's grid searches
+//! tractable.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qq_circuit::{AnsatzParams, CostModel, Preference};
+use qq_graph::generators::{self, WeightKind};
+use qq_qaoa::cost::CostTable;
+use qq_qaoa::executor;
+
+fn bench_objective(c: &mut Criterion) {
+    let mut group = c.benchmark_group("qaoa_objective");
+    group.sample_size(15);
+    for &n in &[12usize, 16] {
+        let g = generators::erdos_renyi(n, 0.3, WeightKind::Uniform, 3);
+        let model = CostModel::from_maxcut(&g);
+        let table = CostTable::new(&model);
+        let params = AnsatzParams::new(vec![0.3, 0.5, 0.2], vec![0.4, 0.1, 0.6]);
+        group.bench_with_input(BenchmarkId::new("fused", n), &n, |b, _| {
+            b.iter(|| {
+                let s = executor::build_state_fused(&table, &params);
+                table.expectation(&s)
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("gate_circuit", n), &n, |b, _| {
+            b.iter(|| {
+                let s = executor::build_state_circuit(&model, &params, Preference::Depth);
+                table.expectation(&s)
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("fused_with_shots", n), &n, |b, _| {
+            b.iter(|| {
+                let s = executor::build_state_fused(&table, &params);
+                table.sampled_expectation(&s, 4096, 7)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_objective);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Workload-manager throughput: scheduling cost per job for batches of
+//! hybrid jobs, monolithic vs heterogeneous.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qq_hpc::scheduler::{Cluster, Job, JobComponent, JobMode, ResourceReq, Scheduler};
+
+fn jobs(k: usize, mode: JobMode) -> Vec<Job> {
+    (0..k)
+        .map(|i| Job {
+            submit: (i as u64) % 7,
+            mode,
+            components: vec![
+                JobComponent { name: "classical".into(), req: ResourceReq::cpu(2), duration: 10 },
+                JobComponent {
+                    name: "quantum".into(),
+                    req: ResourceReq::quantum(1, 1),
+                    duration: 3,
+                },
+            ],
+        })
+        .collect()
+}
+
+fn bench_scheduler(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scheduler");
+    group.sample_size(20);
+    let cluster = Cluster { cpu_nodes: 16, qpus: 2 };
+    for &k in &[100usize, 400] {
+        for (name, mode) in [("mono", JobMode::Monolithic), ("het", JobMode::Heterogeneous)] {
+            let batch = jobs(k, mode);
+            group.bench_with_input(BenchmarkId::new(name, k), &batch, |b, batch| {
+                let sched = Scheduler::new(cluster, true);
+                b.iter(|| sched.run(batch));
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scheduler);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Gate-kernel throughput: flat vs cache-blocked engines.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qq_sim::{BlockedState, StateVector};
+
+fn bench_gates(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim_gates");
+    group.sample_size(20);
+    for &n in &[14usize, 18] {
+        group.bench_with_input(BenchmarkId::new("flat_rx", n), &n, |b, &n| {
+            let mut s = StateVector::plus_state(n);
+            b.iter(|| s.rx(n / 2, 0.3));
+        });
+        group.bench_with_input(BenchmarkId::new("flat_rzz", n), &n, |b, &n| {
+            let mut s = StateVector::plus_state(n);
+            b.iter(|| s.rzz(0, n - 1, 0.3));
+        });
+        group.bench_with_input(BenchmarkId::new("blocked_rx_low", n), &n, |b, &n| {
+            let mut s = BlockedState::plus_state(n, 12).unwrap();
+            b.iter(|| s.rx(1, 0.3).unwrap());
+        });
+        group.bench_with_input(BenchmarkId::new("blocked_rx_high", n), &n, |b, &n| {
+            let mut s = BlockedState::plus_state(n, 12).unwrap();
+            b.iter(|| s.rx(n - 1, 0.3).unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_gates);
+criterion_main!(benches);

@@ -1,0 +1,125 @@
+//! Fig. 3 reproduction: grid search QAOA vs GW over node count × edge
+//! probability × (p, rhobeg), printing the three heatmap panels and
+//! persisting every cell to `results/fig3.csv`.
+
+use qq_bench::{run_grid_experiment, write_csv, CellOutcome, GridSettings, Heatmap, Scale};
+
+fn settings_for(scale: Scale) -> GridSettings {
+    match scale {
+        Scale::Smoke => GridSettings {
+            node_counts: vec![8, 10],
+            edge_probs: vec![0.1, 0.3],
+            ps: vec![3, 4],
+            rhobegs: vec![0.1, 0.5],
+            shots: 1024,
+            seed: 2024,
+        },
+        Scale::Default => GridSettings {
+            node_counts: vec![10, 12, 14],
+            edge_probs: vec![0.1, 0.2, 0.3, 0.4, 0.5],
+            ps: vec![3, 4, 5, 6],
+            rhobegs: vec![0.1, 0.3, 0.5],
+            shots: 4096,
+            seed: 2024,
+        },
+        Scale::Paper => GridSettings::paper_fig3(),
+    }
+}
+
+fn main() {
+    let scale = Scale::from_args();
+    let settings = settings_for(scale);
+    eprintln!(
+        "fig3_grid [{}]: nodes {:?}, probs {:?}, p {:?}, rhobeg {:?}",
+        scale.label(),
+        settings.node_counts,
+        settings.edge_probs,
+        settings.ps,
+        settings.rhobegs
+    );
+    let t0 = std::time::Instant::now();
+    let summary = run_grid_experiment(&settings, true);
+    eprintln!("sweep done in {:.1?} ({} cells)", t0.elapsed(), summary.cells.len());
+
+    let prob_labels: Vec<String> = settings.edge_probs.iter().map(|p| format!("{p:.1}")).collect();
+    let node_labels: Vec<String> = settings.node_counts.iter().map(|n| n.to_string()).collect();
+
+    // Panels (a) and (b): instance heatmaps per weighting.
+    for (pred_name, pred) in [
+        ("QAOA strictly better than GW (Fig 3a)", CellOutcome::qaoa_wins as fn(&CellOutcome) -> bool),
+        ("QAOA in [95,100)% of GW (Fig 3b)", CellOutcome::near_miss as fn(&CellOutcome) -> bool),
+    ] {
+        for weighted in [false, true] {
+            let mut h = Heatmap::new(
+                &format!("{pred_name} — {}", if weighted { "weighted" } else { "unweighted" }),
+                ("nodes", node_labels.clone()),
+                ("p_edge", prob_labels.clone()),
+            );
+            for (r, &n) in settings.node_counts.iter().enumerate() {
+                for (c, &pe) in settings.edge_probs.iter().enumerate() {
+                    h.cells[r][c] = summary.instance_proportion(n, pe, weighted, pred);
+                }
+            }
+            println!("{}", h.render());
+        }
+    }
+
+    // Panel (c): grid-point heatmaps.
+    let p_labels: Vec<String> = settings.ps.iter().map(|p| p.to_string()).collect();
+    let rb_labels: Vec<String> = settings.rhobegs.iter().map(|r| format!("{r:.1}")).collect();
+    for weighted in [false, true] {
+        let mut h = Heatmap::new(
+            &format!(
+                "QAOA wins per (rhobeg, layers) grid point (Fig 3c) — {}",
+                if weighted { "weighted" } else { "unweighted" }
+            ),
+            ("rhobeg", rb_labels.clone()),
+            ("layers", p_labels.clone()),
+        );
+        for (r, &rb) in settings.rhobegs.iter().enumerate() {
+            for (c, &p) in settings.ps.iter().enumerate() {
+                h.cells[r][c] = summary.gridpoint_win_proportion(p, rb, weighted);
+            }
+        }
+        println!("{}", h.render());
+    }
+
+    // Best grid point, as the paper calls out (rhobeg = 0.5, p = 6).
+    let mut best = (0usize, 0.0f64, f64::MIN);
+    for &p in &settings.ps {
+        for &rb in &settings.rhobegs {
+            let w = summary.gridpoint_win_proportion(p, rb, false)
+                + summary.gridpoint_win_proportion(p, rb, true);
+            if w > best.2 {
+                best = (p, rb, w);
+            }
+        }
+    }
+    println!(
+        "most successful parameter combination: (rhobeg = {:.1}, p = {}) — paper found (0.5, 6)",
+        best.1, best.0
+    );
+
+    let rows: Vec<Vec<String>> = summary
+        .cells
+        .iter()
+        .map(|c| {
+            vec![
+                c.nodes.to_string(),
+                format!("{}", c.edge_prob),
+                c.weighted.to_string(),
+                c.p.to_string(),
+                format!("{}", c.rhobeg),
+                format!("{}", c.qaoa_value),
+                format!("{}", c.gw_value),
+            ]
+        })
+        .collect();
+    write_csv(
+        "results/fig3.csv",
+        &["nodes", "edge_prob", "weighted", "p", "rhobeg", "qaoa_value", "gw_value"],
+        &rows,
+    )
+    .expect("write results/fig3.csv");
+    eprintln!("wrote results/fig3.csv");
+}

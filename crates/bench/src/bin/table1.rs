@@ -1,0 +1,100 @@
+//! Table 1 reproduction: the Fig. 3 statistics at larger node counts
+//! (paper: 30–33 qubits, edge probabilities 0.1 and 0.2).
+//!
+//! The paper ran these cells on 512 HPE-Cray EX nodes (~10 minutes per
+//! 33-qubit, p = 8 simulation). On this machine the default scale uses
+//! 16–19 qubits with a reduced grid; `--scale paper` requests the true
+//! sizes and will exhaust memory below ~140 GB (documented in
+//! EXPERIMENTS.md).
+
+use qq_bench::{run_grid_experiment, write_csv, CellOutcome, GridSettings, Scale};
+
+fn settings_for(scale: Scale) -> GridSettings {
+    match scale {
+        Scale::Smoke => GridSettings {
+            node_counts: vec![12, 13],
+            edge_probs: vec![0.1, 0.2],
+            ps: vec![3],
+            rhobegs: vec![0.5],
+            shots: 1024,
+            seed: 2025,
+        },
+        Scale::Default => GridSettings {
+            node_counts: vec![16, 17, 18, 19],
+            edge_probs: vec![0.1, 0.2],
+            ps: vec![3, 6],
+            rhobegs: vec![0.3, 0.5],
+            shots: 4096,
+            seed: 2025,
+        },
+        Scale::Paper => GridSettings::paper_table1(),
+    }
+}
+
+fn main() {
+    let scale = Scale::from_args();
+    let settings = settings_for(scale);
+    eprintln!(
+        "table1 [{}]: nodes {:?}, probs {:?}",
+        scale.label(),
+        settings.node_counts,
+        settings.edge_probs
+    );
+    let t0 = std::time::Instant::now();
+    let summary = run_grid_experiment(&settings, true);
+    eprintln!("sweep done in {:.1?}", t0.elapsed());
+
+    println!("Table 1 — proportions per (nodes, weighting, edge probability)");
+    println!("top block: QAOA strictly better than GW; bottom: QAOA in [95,100)% of GW\n");
+    let probs = &settings.edge_probs;
+    let header: Vec<String> = probs.iter().map(|p| format!("p={p:.1}")).collect();
+    for (name, pred) in [
+        ("strictly better", CellOutcome::qaoa_wins as fn(&CellOutcome) -> bool),
+        ("within [95,100)%", CellOutcome::near_miss as fn(&CellOutcome) -> bool),
+    ] {
+        println!("-- {name} --");
+        println!("{:>6} {:>9} {}", "nodes", "weighted", header.join("  "));
+        for &n in &settings.node_counts {
+            for weighted in [true, false] {
+                let cells: Vec<String> = probs
+                    .iter()
+                    .map(|&pe| {
+                        qq_bench::output::format_prop(
+                            summary.instance_proportion(n, pe, weighted, pred),
+                        )
+                    })
+                    .collect();
+                println!(
+                    "{:>6} {:>9} {}",
+                    n,
+                    if weighted { "yes" } else { "no" },
+                    cells.join("   ")
+                );
+            }
+        }
+        println!();
+    }
+
+    let rows: Vec<Vec<String>> = summary
+        .cells
+        .iter()
+        .map(|c| {
+            vec![
+                c.nodes.to_string(),
+                format!("{}", c.edge_prob),
+                c.weighted.to_string(),
+                c.p.to_string(),
+                format!("{}", c.rhobeg),
+                format!("{}", c.qaoa_value),
+                format!("{}", c.gw_value),
+            ]
+        })
+        .collect();
+    write_csv(
+        "results/table1.csv",
+        &["nodes", "edge_prob", "weighted", "p", "rhobeg", "qaoa_value", "gw_value"],
+        &rows,
+    )
+    .expect("write results/table1.csv");
+    eprintln!("wrote results/table1.csv");
+}

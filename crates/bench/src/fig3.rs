@@ -1,0 +1,238 @@
+//! The Fig. 3 / Table 1 grid-search engine.
+//!
+//! For every `(node count, edge probability, weighting)` instance the paper
+//! generates one graph, solves it classically with GW (30 slicings, the
+//! *average* cut is the comparison value) and then runs QAOA on every
+//! `(p, rhobeg)` grid point, recording
+//!
+//! * the proportion of grid points where QAOA is **strictly better** than
+//!   GW (Fig. 3a / Table 1 top), and
+//! * the proportion where QAOA lands in **[95, 100)%** of GW (Fig. 3b /
+//!   Table 1 bottom),
+//!
+//! plus the per-grid-point win proportions aggregated over instances
+//! (Fig. 3c).
+
+use qq_graph::generators::{self, WeightKind};
+use qq_gw::{goemans_williamson, GwConfig};
+use qq_qaoa::QaoaConfig;
+use rayon::prelude::*;
+
+/// Sweep parameters.
+#[derive(Debug, Clone)]
+pub struct GridSettings {
+    /// Node counts (heatmap rows).
+    pub node_counts: Vec<usize>,
+    /// Edge probabilities (heatmap columns).
+    pub edge_probs: Vec<f64>,
+    /// QAOA layer counts.
+    pub ps: Vec<usize>,
+    /// COBYLA `rhobeg` values.
+    pub rhobegs: Vec<f64>,
+    /// Shots per objective estimate.
+    pub shots: usize,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl GridSettings {
+    /// The paper's Fig. 3 sweep (nodes 15–25, probs 0.1–0.5, p 3–8,
+    /// rhobeg 0.1–0.5, 4096 shots).
+    pub fn paper_fig3() -> Self {
+        GridSettings {
+            node_counts: (15..=25).collect(),
+            edge_probs: vec![0.1, 0.2, 0.3, 0.4, 0.5],
+            ps: (3..=8).collect(),
+            rhobegs: vec![0.1, 0.2, 0.3, 0.4, 0.5],
+            shots: 4096,
+            seed: 2024,
+        }
+    }
+
+    /// The paper's Table 1 sweep (nodes 30–33, probs {0.1, 0.2}).
+    pub fn paper_table1() -> Self {
+        GridSettings { node_counts: (30..=33).collect(), edge_probs: vec![0.1, 0.2], ..Self::paper_fig3() }
+    }
+}
+
+/// One `(instance, grid point)` outcome.
+#[derive(Debug, Clone)]
+pub struct CellOutcome {
+    /// Node count of the instance.
+    pub nodes: usize,
+    /// Edge probability of the instance.
+    pub edge_prob: f64,
+    /// Weighted instance?
+    pub weighted: bool,
+    /// QAOA layers.
+    pub p: usize,
+    /// COBYLA rhobeg.
+    pub rhobeg: f64,
+    /// QAOA cut value (highest-amplitude policy, like the paper).
+    pub qaoa_value: f64,
+    /// GW comparison value (mean over 30 slicings, like the paper).
+    pub gw_value: f64,
+}
+
+impl CellOutcome {
+    /// QAOA strictly better than GW.
+    pub fn qaoa_wins(&self) -> bool {
+        self.qaoa_value > self.gw_value
+    }
+
+    /// QAOA within `[95, 100)%` of GW.
+    pub fn near_miss(&self) -> bool {
+        let r = self.qaoa_value / self.gw_value.max(1e-300);
+        (0.95..1.0).contains(&r)
+    }
+}
+
+/// All outcomes of a sweep.
+#[derive(Debug, Clone)]
+pub struct GridSummary {
+    /// Every `(instance, grid point)` outcome.
+    pub cells: Vec<CellOutcome>,
+    /// Settings that produced them.
+    pub settings: GridSettings,
+}
+
+impl GridSummary {
+    /// Proportion over grid points of `pred` for one `(nodes, prob,
+    /// weighted)` instance — a Fig. 3a/3b heatmap cell.
+    pub fn instance_proportion(
+        &self,
+        nodes: usize,
+        edge_prob: f64,
+        weighted: bool,
+        pred: impl Fn(&CellOutcome) -> bool,
+    ) -> f64 {
+        let sel: Vec<&CellOutcome> = self
+            .cells
+            .iter()
+            .filter(|c| c.nodes == nodes && c.edge_prob == edge_prob && c.weighted == weighted)
+            .collect();
+        if sel.is_empty() {
+            return 0.0;
+        }
+        sel.iter().filter(|c| pred(c)).count() as f64 / sel.len() as f64
+    }
+
+    /// Proportion over instances of QAOA wins for one `(p, rhobeg)` grid
+    /// point — a Fig. 3c heatmap cell.
+    pub fn gridpoint_win_proportion(&self, p: usize, rhobeg: f64, weighted: bool) -> f64 {
+        let sel: Vec<&CellOutcome> = self
+            .cells
+            .iter()
+            .filter(|c| c.p == p && (c.rhobeg - rhobeg).abs() < 1e-12 && c.weighted == weighted)
+            .collect();
+        if sel.is_empty() {
+            return 0.0;
+        }
+        sel.iter().filter(|c| c.qaoa_wins()).count() as f64 / sel.len() as f64
+    }
+}
+
+/// Run the sweep. Instances are processed in parallel; each `(instance,
+/// grid point)` cell derives its own seed, so results are independent of
+/// thread scheduling.
+pub fn run_grid_experiment(settings: &GridSettings, verbose: bool) -> GridSummary {
+    let mut instances: Vec<(usize, f64, bool)> = Vec::new();
+    for &n in &settings.node_counts {
+        for &p in &settings.edge_probs {
+            for weighted in [false, true] {
+                instances.push((n, p, weighted));
+            }
+        }
+    }
+
+    let cells: Vec<CellOutcome> = instances
+        .par_iter()
+        .flat_map(|&(nodes, edge_prob, weighted)| {
+            let kind = if weighted { WeightKind::Random01 } else { WeightKind::Uniform };
+            let gseed = settings
+                .seed
+                .wrapping_add((nodes as u64) << 24)
+                .wrapping_add((edge_prob * 1000.0) as u64)
+                .wrapping_add(weighted as u64);
+            let g = generators::erdos_renyi(nodes, edge_prob, kind, gseed);
+            // paper comparison value: mean of 30 GW slicings
+            let gw = goemans_williamson(&g, &GwConfig { seed: gseed ^ 0xa5a5, ..GwConfig::default() });
+            let mut out = Vec::new();
+            for &p in &settings.ps {
+                for &rhobeg in &settings.rhobegs {
+                    let cfg = QaoaConfig {
+                        shots: settings.shots,
+                        ..QaoaConfig::grid_cell(p, rhobeg, gseed ^ ((p as u64) << 8) ^ rhobeg.to_bits())
+                    };
+                    let qaoa_value = match qq_qaoa::solve(&g, &cfg) {
+                        Ok(r) => r.best.value,
+                        Err(e) => {
+                            eprintln!("qaoa failed on n={nodes}: {e}");
+                            continue;
+                        }
+                    };
+                    out.push(CellOutcome {
+                        nodes,
+                        edge_prob,
+                        weighted,
+                        p,
+                        rhobeg,
+                        qaoa_value,
+                        gw_value: gw.mean_value,
+                    });
+                }
+            }
+            if verbose {
+                let wins = out.iter().filter(|c| c.qaoa_wins()).count();
+                eprintln!(
+                    "  n={nodes:>2} p_edge={edge_prob:.1} weighted={weighted}: QAOA wins {wins}/{}",
+                    out.len()
+                );
+            }
+            out
+        })
+        .collect();
+
+    GridSummary { cells, settings: settings.clone() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_sweep_produces_all_cells() {
+        let settings = GridSettings {
+            node_counts: vec![6],
+            edge_probs: vec![0.4],
+            ps: vec![1],
+            rhobegs: vec![0.3],
+            shots: 256,
+            seed: 1,
+        };
+        let summary = run_grid_experiment(&settings, false);
+        // 1 node count × 1 prob × 2 weightings × 1 grid point
+        assert_eq!(summary.cells.len(), 2);
+        for c in &summary.cells {
+            assert!(c.qaoa_value >= 0.0);
+            assert!(c.gw_value > 0.0);
+        }
+    }
+
+    #[test]
+    fn proportions_in_unit_interval() {
+        let settings = GridSettings {
+            node_counts: vec![7],
+            edge_probs: vec![0.3],
+            ps: vec![1, 2],
+            rhobegs: vec![0.2],
+            shots: 256,
+            seed: 5,
+        };
+        let summary = run_grid_experiment(&settings, false);
+        let p = summary.instance_proportion(7, 0.3, false, CellOutcome::qaoa_wins);
+        assert!((0.0..=1.0).contains(&p));
+        let q = summary.gridpoint_win_proportion(1, 0.2, true);
+        assert!((0.0..=1.0).contains(&q));
+    }
+}

@@ -1,0 +1,14 @@
+//! # qq-bench — experiment harness
+//!
+//! One binary per table/figure of the paper (see DESIGN.md §3) plus the
+//! criterion micro-benchmarks. This library holds the shared machinery:
+//! run-scale handling, the Fig. 3/Table 1 grid-search engine, and plain
+//! CSV/heatmap output helpers.
+
+pub mod fig3;
+pub mod output;
+pub mod scale;
+
+pub use fig3::{run_grid_experiment, CellOutcome, GridSettings, GridSummary};
+pub use output::{write_csv, Heatmap};
+pub use scale::Scale;

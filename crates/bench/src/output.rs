@@ -1,0 +1,123 @@
+//! Plain-text heatmaps (the paper's Fig. 3 panels are heatmaps) and CSV
+//! persistence for every experiment.
+
+use std::io::Write;
+use std::path::Path;
+
+/// A labelled 2-D table of proportions.
+#[derive(Debug, Clone)]
+pub struct Heatmap {
+    /// Panel title.
+    pub title: String,
+    /// Row axis name and labels.
+    pub row_axis: (String, Vec<String>),
+    /// Column axis name and labels.
+    pub col_axis: (String, Vec<String>),
+    /// `cells[row][col]`.
+    pub cells: Vec<Vec<f64>>,
+}
+
+impl Heatmap {
+    /// Allocate a zeroed heatmap.
+    pub fn new(
+        title: &str,
+        row_axis: (&str, Vec<String>),
+        col_axis: (&str, Vec<String>),
+    ) -> Self {
+        let cells = vec![vec![0.0; col_axis.1.len()]; row_axis.1.len()];
+        Heatmap {
+            title: title.to_string(),
+            row_axis: (row_axis.0.to_string(), row_axis.1),
+            col_axis: (col_axis.0.to_string(), col_axis.1),
+            cells,
+        }
+    }
+
+    /// Render like the paper's figure annotations (two significant digits).
+    pub fn render(&self) -> String {
+        let mut s = String::new();
+        s.push_str(&format!("## {}\n", self.title));
+        s.push_str(&format!("{} \\ {}:\n", self.row_axis.0, self.col_axis.0));
+        s.push_str(&format!("{:>8}", ""));
+        for c in &self.col_axis.1 {
+            s.push_str(&format!("{c:>8}"));
+        }
+        s.push('\n');
+        for (r, row) in self.cells.iter().enumerate() {
+            s.push_str(&format!("{:>8}", self.row_axis.1[r]));
+            for v in row {
+                s.push_str(&format!("{:>8}", format_prop(*v)));
+            }
+            s.push('\n');
+        }
+        s
+    }
+}
+
+/// Two-significant-digit proportion, like the paper's annotations
+/// (`0.067`, `0.53`, `0`).
+pub fn format_prop(v: f64) -> String {
+    if v == 0.0 {
+        "0".to_string()
+    } else if v >= 0.995 {
+        "1.0".to_string()
+    } else if v < 0.095 {
+        format!("{v:.3}")
+    } else {
+        format!("{v:.2}")
+    }
+}
+
+/// Write rows as CSV under `results/` (header first). Best-effort
+/// directory creation; errors propagate.
+pub fn write_csv<P: AsRef<Path>>(
+    path: P,
+    header: &[&str],
+    rows: &[Vec<String>],
+) -> std::io::Result<()> {
+    if let Some(dir) = path.as_ref().parent() {
+        std::fs::create_dir_all(dir)?;
+    }
+    let mut f = std::io::BufWriter::new(std::fs::File::create(path)?);
+    writeln!(f, "{}", header.join(","))?;
+    for row in rows {
+        writeln!(f, "{}", row.join(","))?;
+    }
+    f.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn heatmap_renders_all_cells() {
+        let mut h = Heatmap::new(
+            "test",
+            ("rows", vec!["a".into(), "b".into()]),
+            ("cols", vec!["x".into(), "y".into(), "z".into()]),
+        );
+        h.cells[1][2] = 0.53;
+        let out = h.render();
+        assert!(out.contains("0.53"));
+        assert!(out.lines().count() >= 4);
+    }
+
+    #[test]
+    fn proportion_formatting_matches_paper_style() {
+        assert_eq!(format_prop(0.0), "0");
+        assert_eq!(format_prop(0.067), "0.067");
+        assert_eq!(format_prop(0.53), "0.53");
+        assert_eq!(format_prop(1.0), "1.0");
+    }
+
+    #[test]
+    fn csv_roundtrip() {
+        let dir = std::env::temp_dir().join("qq_bench_test_csv");
+        let path = dir.join("t.csv");
+        write_csv(&path, &["a", "b"], &[vec!["1".into(), "2".into()]]).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text, "a,b\n1,2\n");
+        let _ = std::fs::remove_dir_all(dir);
+    }
+}

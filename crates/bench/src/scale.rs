@@ -1,0 +1,68 @@
+//! Run scales: every experiment binary accepts `--scale smoke|default|paper`.
+//!
+//! * `smoke` — seconds; CI-sized sanity run.
+//! * `default` — minutes on a laptop; the scale EXPERIMENTS.md records.
+//! * `paper` — the paper's exact parameters (15–25 and 30–33 qubit cells,
+//!   500–2500-node graphs). Needs a large machine; 33-qubit statevectors
+//!   are out of reach for 21 GB of RAM (the paper used 512 nodes).
+
+/// Experiment scale selector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Scale {
+    /// Seconds-long sanity run.
+    Smoke,
+    /// Laptop-sized reproduction (recorded in EXPERIMENTS.md).
+    #[default]
+    Default,
+    /// The paper's full parameters.
+    Paper,
+}
+
+impl Scale {
+    /// Parse from CLI args (`--scale X` or positional `X`); defaults to
+    /// [`Scale::Default`].
+    pub fn from_args() -> Scale {
+        let args: Vec<String> = std::env::args().collect();
+        for (i, a) in args.iter().enumerate() {
+            let v = if a == "--scale" {
+                args.get(i + 1).map(String::as_str)
+            } else if let Some(rest) = a.strip_prefix("--scale=") {
+                Some(rest)
+            } else {
+                continue;
+            };
+            match v {
+                Some("smoke") => return Scale::Smoke,
+                Some("default") => return Scale::Default,
+                Some("paper") => return Scale::Paper,
+                Some(other) => {
+                    eprintln!("unknown scale `{other}`; using default");
+                    return Scale::Default;
+                }
+                None => {}
+            }
+        }
+        Scale::Default
+    }
+
+    /// Human label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Scale::Smoke => "smoke",
+            Scale::Default => "default",
+            Scale::Paper => "paper",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels() {
+        assert_eq!(Scale::Smoke.label(), "smoke");
+        assert_eq!(Scale::Paper.label(), "paper");
+        assert_eq!(Scale::default(), Scale::Default);
+    }
+}

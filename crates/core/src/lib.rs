@@ -1,0 +1,57 @@
+//! # qq-core — QAOA-in-QAOA (QAOA²)
+//!
+//! The paper's primary contribution: solve large MaxCut instances on small
+//! (simulated) quantum devices by divide and conquer (Zhou et al.):
+//!
+//! 1. **Divide** — partition the graph with greedy modularity, capping
+//!    every community at the qubit budget `n` (recursively re-dividing
+//!    oversized communities);
+//! 2. **Solve** — solve every sub-graph independently (in parallel across
+//!    threads or through the `qq-hpc` coordinator/worker workflow), with a
+//!    per-sub-graph choice of solver: QAOA, GW, the best of both (the
+//!    hybrid run-time decision the paper investigates), or classical
+//!    baselines;
+//! 3. **Merge** — build the coarse graph whose nodes are communities and
+//!    whose weights are `W_AB = Σ_{(i,j)∈E(A,B)} w_ij·s_i·s_j` (edges in
+//!    the local cut flip sign), solve MaxCut on it, and flip every
+//!    community assigned `−1`; recurse while the coarse graph exceeds the
+//!    qubit budget.
+//!
+//! ```
+//! use qq_core::{solve, Qaoa2Config, SubSolver};
+//! use qq_graph::generators;
+//!
+//! let g = generators::erdos_renyi(60, 0.1, generators::WeightKind::Uniform, 3);
+//! let cfg = Qaoa2Config { max_qubits: 8, solver: SubSolver::LocalSearch, ..Qaoa2Config::default() };
+//! let res = solve(&g, &cfg).unwrap();
+//! assert!(res.cut_value >= 0.0);
+//! assert_eq!(res.cut.len(), 60);
+//! ```
+
+pub mod merge;
+pub mod qaoa2;
+pub mod solvers;
+
+pub use merge::{apply_flips, build_merge_graph};
+pub use qaoa2::{solve, LevelStats, Qaoa2Config, Qaoa2Result, Parallelism};
+pub use solvers::{solve_subgraph, SubSolver};
+
+/// Errors from the QAOA² driver.
+#[derive(Debug)]
+pub enum Qaoa2Error {
+    /// A sub-problem solver failed.
+    Solver(String),
+    /// Configuration rejected.
+    InvalidConfig(String),
+}
+
+impl std::fmt::Display for Qaoa2Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Qaoa2Error::Solver(m) => write!(f, "sub-solver failed: {m}"),
+            Qaoa2Error::InvalidConfig(m) => write!(f, "invalid QAOA² config: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for Qaoa2Error {}

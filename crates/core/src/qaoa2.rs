@@ -1,0 +1,335 @@
+//! The QAOA² driver: divide → solve (in parallel) → merge → recurse.
+
+use crate::merge::{apply_flips, build_merge_graph};
+use crate::solvers::{solve_subgraph, SubSolver};
+use crate::Qaoa2Error;
+use qq_graph::{extract_subgraphs, partition_with_cap, Cut, Graph};
+use rayon::prelude::*;
+use std::time::{Duration, Instant};
+
+/// How sub-graph solves are executed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Parallelism {
+    /// One after another (reference behaviour, deterministic timing).
+    Sequential,
+    /// Rayon data parallelism across sub-graphs (shared-memory node).
+    Threads,
+    /// Through the `qq-hpc` coordinator/worker workflow (Fig. 2): a
+    /// dedicated coordinator rank plus this many workers.
+    Cluster(usize),
+}
+
+/// QAOA² configuration.
+#[derive(Debug, Clone)]
+pub struct Qaoa2Config {
+    /// Qubit budget `n`: no sub-graph may exceed this many nodes.
+    pub max_qubits: usize,
+    /// Solver for the first-level sub-graphs (the paper makes the
+    /// quantum/classical choice only at the first partitioning).
+    pub solver: SubSolver,
+    /// Solver for merge-level (coarse) graphs and deeper recursion.
+    /// The paper: "In case of further iterations in the QAOA² method, the
+    /// classical solution is chosen."
+    pub coarse_solver: SubSolver,
+    /// Parallel execution mode for sub-graph solves.
+    pub parallelism: Parallelism,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl Default for Qaoa2Config {
+    fn default() -> Self {
+        Qaoa2Config {
+            max_qubits: 12,
+            solver: SubSolver::Qaoa(qq_qaoa::QaoaConfig::default()),
+            coarse_solver: SubSolver::Gw(qq_gw::GwConfig::default()),
+            parallelism: Parallelism::Threads,
+            seed: 0,
+        }
+    }
+}
+
+/// Statistics for one divide/solve/merge level.
+#[derive(Debug, Clone)]
+pub struct LevelStats {
+    /// Nodes of the graph at this level.
+    pub graph_nodes: usize,
+    /// Number of sub-graphs after partitioning.
+    pub num_subgraphs: usize,
+    /// Largest sub-graph size.
+    pub max_subgraph: usize,
+    /// Wall-clock spent solving the sub-graphs of this level.
+    pub solve_wall: Duration,
+    /// Nodes of the resulting coarse graph.
+    pub coarse_nodes: usize,
+}
+
+/// QAOA² outcome.
+#[derive(Debug, Clone)]
+pub struct Qaoa2Result {
+    /// The global cut on the input graph.
+    pub cut: Cut,
+    /// Its value.
+    pub cut_value: f64,
+    /// Per-level statistics, first partitioning first.
+    pub levels: Vec<LevelStats>,
+    /// Total sub-graphs solved across all levels.
+    pub total_subgraphs: usize,
+    /// Wall-clock of the whole solve.
+    pub wall: Duration,
+}
+
+/// Solve MaxCut on `g` with QAOA-in-QAOA.
+pub fn solve(g: &Graph, cfg: &Qaoa2Config) -> Result<Qaoa2Result, Qaoa2Error> {
+    if cfg.max_qubits < 2 {
+        return Err(Qaoa2Error::InvalidConfig("max_qubits must be ≥ 2".into()));
+    }
+    if let Parallelism::Cluster(0) = cfg.parallelism {
+        return Err(Qaoa2Error::InvalidConfig("cluster mode needs ≥ 1 worker".into()));
+    }
+    let started = Instant::now();
+    let mut levels = Vec::new();
+    let mut total_subgraphs = 0usize;
+    let cut = solve_level(g, cfg, 0, &mut levels, &mut total_subgraphs)?;
+    let cut_value = cut.value(g);
+    Ok(Qaoa2Result { cut, cut_value, levels, total_subgraphs, wall: started.elapsed() })
+}
+
+fn solve_level(
+    g: &Graph,
+    cfg: &Qaoa2Config,
+    depth: usize,
+    levels: &mut Vec<LevelStats>,
+    total_subgraphs: &mut usize,
+) -> Result<Cut, Qaoa2Error> {
+    let solver = if depth == 0 { &cfg.solver } else { &cfg.coarse_solver };
+
+    // Base case: the whole graph fits on the device.
+    if g.num_nodes() <= cfg.max_qubits {
+        *total_subgraphs += 1;
+        return solve_subgraph(g, solver, mix_seed(cfg.seed, depth as u64, 0)).map(|r| r.cut);
+    }
+
+    // Divide. Modularity can refuse to group nodes (e.g. coarse graphs
+    // with non-positive total weight fall back to singletons); a singleton
+    // partition would make the merge graph identical to `g` and stall the
+    // recursion, so force a balanced structural partition in that case.
+    let mut partition = partition_with_cap(g, cfg.max_qubits);
+    if partition.len() >= g.num_nodes() {
+        partition = balanced_partition(g.num_nodes(), cfg.max_qubits);
+    }
+    let subgraphs = extract_subgraphs(g, &partition);
+    let num_subgraphs = subgraphs.len();
+    let max_subgraph = subgraphs.iter().map(|s| s.num_nodes()).max().unwrap_or(0);
+    *total_subgraphs += num_subgraphs;
+
+    // Solve all sub-graphs.
+    let t0 = Instant::now();
+    let local_cuts: Vec<Cut> = match cfg.parallelism {
+        Parallelism::Sequential => {
+            let mut out = Vec::with_capacity(num_subgraphs);
+            for (i, sub) in subgraphs.iter().enumerate() {
+                out.push(
+                    solve_subgraph(&sub.graph, solver, mix_seed(cfg.seed, depth as u64, i as u64))?
+                        .cut,
+                );
+            }
+            out
+        }
+        Parallelism::Threads => {
+            let results: Result<Vec<Cut>, Qaoa2Error> = subgraphs
+                .par_iter()
+                .enumerate()
+                .map(|(i, sub)| {
+                    solve_subgraph(&sub.graph, solver, mix_seed(cfg.seed, depth as u64, i as u64))
+                        .map(|r| r.cut)
+                })
+                .collect();
+            results?
+        }
+        Parallelism::Cluster(workers) => {
+            let tasks: Vec<usize> = (0..num_subgraphs).collect();
+            let report = qq_hpc::master_worker(workers, tasks, |i, &task| {
+                solve_subgraph(
+                    &subgraphs[task].graph,
+                    solver,
+                    mix_seed(cfg.seed, depth as u64, i as u64),
+                )
+                .map(|r| r.cut)
+            });
+            report.results.into_iter().collect::<Result<Vec<Cut>, Qaoa2Error>>()?
+        }
+    };
+    let solve_wall = t0.elapsed();
+
+    // Merge.
+    let coarse = build_merge_graph(g, &partition, &local_cuts);
+    levels.push(LevelStats {
+        graph_nodes: g.num_nodes(),
+        num_subgraphs,
+        max_subgraph,
+        solve_wall,
+        coarse_nodes: coarse.num_nodes(),
+    });
+
+    // Recurse on the coarse graph (it has `num_subgraphs` nodes, which is
+    // strictly smaller than `g` because every community holds ≥ 1 node and
+    // at least one holds ≥ 2 when the graph exceeds the budget).
+    let coarse_cut = solve_level(&coarse, cfg, depth + 1, levels, total_subgraphs)?;
+    Ok(apply_flips(g, &partition, &local_cuts, &coarse_cut))
+}
+
+/// Node-order chunks of size `cap`: the fallback divide when modularity
+/// finds no community structure to exploit.
+fn balanced_partition(n: usize, cap: usize) -> qq_graph::Partition {
+    let communities: Vec<Vec<qq_graph::NodeId>> = (0..n as u32)
+        .collect::<Vec<_>>()
+        .chunks(cap)
+        .map(|c| c.to_vec())
+        .collect();
+    qq_graph::Partition::new(n, communities)
+}
+
+/// Splitmix-style seed derivation so every (level, sub-graph) pair gets an
+/// independent, reproducible stream.
+fn mix_seed(seed: u64, level: u64, index: u64) -> u64 {
+    let mut z = seed ^ (level.wrapping_mul(0x9e37_79b9_7f4a_7c15)) ^ (index << 17);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qq_graph::generators::{self, WeightKind};
+
+    fn fast_cfg(max_qubits: usize) -> Qaoa2Config {
+        Qaoa2Config {
+            max_qubits,
+            solver: SubSolver::LocalSearch,
+            coarse_solver: SubSolver::LocalSearch,
+            parallelism: Parallelism::Sequential,
+            seed: 0,
+        }
+    }
+
+    #[test]
+    fn solves_graph_fitting_on_device_directly() {
+        let g = generators::erdos_renyi(10, 0.3, WeightKind::Uniform, 1);
+        let res = solve(&g, &fast_cfg(12)).unwrap();
+        assert!(res.levels.is_empty());
+        assert_eq!(res.total_subgraphs, 1);
+        assert!((res.cut.value(&g) - res.cut_value).abs() < 1e-9);
+    }
+
+    #[test]
+    fn divides_and_merges_larger_graphs() {
+        let g = generators::erdos_renyi(60, 0.12, WeightKind::Uniform, 2);
+        let res = solve(&g, &fast_cfg(10)).unwrap();
+        assert!(!res.levels.is_empty());
+        assert!(res.levels[0].max_subgraph <= 10);
+        assert_eq!(res.cut.len(), 60);
+        // must beat half the edges in expectation terms
+        assert!(res.cut_value >= g.total_weight() / 2.0 * 0.9);
+    }
+
+    #[test]
+    fn beats_random_baseline() {
+        let g = generators::erdos_renyi(80, 0.1, WeightKind::Uniform, 5);
+        let res = solve(&g, &fast_cfg(12)).unwrap();
+        let rnd = qq_classical::randomized_partitioning(&g, 1, 5);
+        assert!(res.cut_value > rnd.value, "{} vs {}", res.cut_value, rnd.value);
+    }
+
+    #[test]
+    fn respects_deep_recursion() {
+        // tiny budget forces multiple merge levels
+        let g = generators::erdos_renyi(64, 0.15, WeightKind::Uniform, 3);
+        let res = solve(&g, &fast_cfg(4)).unwrap();
+        assert!(res.levels.len() >= 2, "levels: {}", res.levels.len());
+        // coarse sizes strictly decrease
+        for w in res.levels.windows(2) {
+            assert!(w[1].graph_nodes < w[0].graph_nodes);
+        }
+    }
+
+    #[test]
+    fn thread_and_sequential_agree() {
+        let g = generators::erdos_renyi(50, 0.15, WeightKind::Random01, 9);
+        let seq = solve(&g, &fast_cfg(8)).unwrap();
+        let par = solve(
+            &g,
+            &Qaoa2Config { parallelism: Parallelism::Threads, ..fast_cfg(8) },
+        )
+        .unwrap();
+        assert_eq!(seq.cut, par.cut);
+    }
+
+    #[test]
+    fn cluster_mode_agrees_with_sequential() {
+        let g = generators::erdos_renyi(40, 0.2, WeightKind::Uniform, 11);
+        let seq = solve(&g, &fast_cfg(8)).unwrap();
+        let clu = solve(
+            &g,
+            &Qaoa2Config { parallelism: Parallelism::Cluster(3), ..fast_cfg(8) },
+        )
+        .unwrap();
+        assert_eq!(seq.cut_value, clu.cut_value);
+    }
+
+    #[test]
+    fn qaoa_subsolver_end_to_end() {
+        let g = generators::erdos_renyi(24, 0.2, WeightKind::Uniform, 13);
+        let cfg = Qaoa2Config {
+            max_qubits: 8,
+            solver: SubSolver::Qaoa(qq_qaoa::QaoaConfig {
+                layers: 2,
+                max_iters: 25,
+                ..qq_qaoa::QaoaConfig::default()
+            }),
+            coarse_solver: SubSolver::Gw(qq_gw::GwConfig::default()),
+            parallelism: Parallelism::Threads,
+            seed: 1,
+        };
+        let res = solve(&g, &cfg).unwrap();
+        assert!(res.cut_value > 0.0);
+        assert!(res.total_subgraphs >= res.levels.first().map(|l| l.num_subgraphs).unwrap_or(0));
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        let g = generators::ring(6);
+        assert!(solve(&g, &fast_cfg(1)).is_err());
+        let mut cfg = fast_cfg(4);
+        cfg.parallelism = Parallelism::Cluster(0);
+        assert!(solve(&g, &cfg).is_err());
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let g = generators::erdos_renyi(45, 0.15, WeightKind::Random01, 21);
+        let a = solve(&g, &fast_cfg(9)).unwrap();
+        let b = solve(&g, &fast_cfg(9)).unwrap();
+        assert_eq!(a.cut, b.cut);
+    }
+
+    #[test]
+    fn exact_on_subgraphs_beats_local_search_on_subgraphs() {
+        let g = generators::erdos_renyi(36, 0.2, WeightKind::Random01, 8);
+        let ls = solve(&g, &fast_cfg(9)).unwrap();
+        let ex = solve(
+            &g,
+            &Qaoa2Config {
+                solver: SubSolver::Exact,
+                coarse_solver: SubSolver::Exact,
+                ..fast_cfg(9)
+            },
+        )
+        .unwrap();
+        // exact local solutions + exact merges ≥ heuristic pipeline is not
+        // guaranteed in general (divide-and-conquer is itself a heuristic),
+        // but holds on these seeds and guards against regressions.
+        assert!(ex.cut_value >= ls.cut_value - 1e-9);
+    }
+}

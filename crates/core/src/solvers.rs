@@ -1,0 +1,235 @@
+//! Pluggable sub-graph solvers — the run-time quantum/classical decision
+//! mechanism the paper investigates.
+
+use qq_classical::{annealing::AnnealingSchedule, CutResult};
+use qq_graph::{Cut, Graph};
+use qq_gw::GwConfig;
+use qq_qaoa::QaoaConfig;
+
+/// Which method solves a sub-graph MaxCut.
+#[derive(Debug, Clone)]
+pub enum SubSolver {
+    /// QAOA on a simulated quantum device.
+    Qaoa(QaoaConfig),
+    /// QAOA grid search over `(p, rhobeg)` — the paper's per-sub-graph
+    /// procedure for Fig. 4 ("analyzed with the same parameter grid search
+    /// from before, and the QAOA solution with the highest MaxCut value is
+    /// stored").
+    QaoaGrid {
+        /// Layer counts to scan.
+        ps: Vec<usize>,
+        /// `rhobeg` values to scan.
+        rhobegs: Vec<f64>,
+        /// Template configuration (seed, shots, policy, …).
+        base: QaoaConfig,
+    },
+    /// Goemans–Williamson (classical).
+    Gw(GwConfig),
+    /// Solve with both QAOA and GW, keep the better cut — the hybrid
+    /// "Best" series of Fig. 4.
+    Best {
+        /// QAOA settings.
+        qaoa: QaoaConfig,
+        /// GW settings.
+        gw: GwConfig,
+    },
+    /// Best of `trials` random bipartitions.
+    Random {
+        /// Number of random cuts to draw.
+        trials: usize,
+    },
+    /// One-exchange local search.
+    LocalSearch,
+    /// Simulated annealing.
+    Annealing(AnnealingSchedule),
+    /// Recursive QAOA (Bravyi et al.) — the non-local variant the paper
+    /// notes "can also be leveraged using QAOA² to get a good global
+    /// solution for very large problems".
+    Rqaoa(qq_qaoa::RqaoaConfig),
+    /// Exact enumeration (≤ 30 nodes) — ground truth for ablations.
+    Exact,
+}
+
+impl SubSolver {
+    /// Short label for reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            SubSolver::Qaoa(_) => "qaoa",
+            SubSolver::QaoaGrid { .. } => "qaoa-grid",
+            SubSolver::Gw(_) => "gw",
+            SubSolver::Best { .. } => "best",
+            SubSolver::Random { .. } => "random",
+            SubSolver::LocalSearch => "local-search",
+            SubSolver::Annealing(_) => "annealing",
+            SubSolver::Rqaoa(_) => "rqaoa",
+            SubSolver::Exact => "exact",
+        }
+    }
+}
+
+/// Solve one sub-graph. `seed` perturbs every stochastic component so
+/// repeated sub-problems explore independently while staying reproducible.
+pub fn solve_subgraph(g: &Graph, solver: &SubSolver, seed: u64) -> Result<CutResult, crate::Qaoa2Error> {
+    if g.num_nodes() == 0 {
+        return Ok(CutResult::new(Cut::new(0), g));
+    }
+    match solver {
+        SubSolver::Qaoa(cfg) => {
+            let cfg = QaoaConfig { seed: cfg.seed ^ seed, ..cfg.clone() };
+            qq_qaoa::solve(g, &cfg)
+                .map(|r| r.best)
+                .map_err(|e| crate::Qaoa2Error::Solver(e.to_string()))
+        }
+        SubSolver::QaoaGrid { ps, rhobegs, base } => {
+            if ps.is_empty() || rhobegs.is_empty() {
+                return Err(crate::Qaoa2Error::InvalidConfig("empty QAOA grid".into()));
+            }
+            let mut best: Option<CutResult> = None;
+            for &p in ps {
+                for &rb in rhobegs {
+                    let cfg = QaoaConfig {
+                        layers: p,
+                        rhobeg: rb,
+                        max_iters: QaoaConfig::paper_iterations(p),
+                        seed: base.seed ^ seed ^ ((p as u64) << 32) ^ (rb.to_bits() >> 16),
+                        ..base.clone()
+                    };
+                    let r = qq_qaoa::solve(g, &cfg)
+                        .map_err(|e| crate::Qaoa2Error::Solver(e.to_string()))?;
+                    if best.as_ref().map(|b| r.best.value > b.value).unwrap_or(true) {
+                        best = Some(r.best);
+                    }
+                }
+            }
+            Ok(best.expect("grid is non-empty"))
+        }
+        SubSolver::Gw(cfg) => {
+            let cfg = GwConfig { seed: cfg.seed ^ seed, ..*cfg };
+            Ok(qq_gw::goemans_williamson(g, &cfg).best)
+        }
+        SubSolver::Best { qaoa, gw } => {
+            let q = solve_subgraph(g, &SubSolver::Qaoa(qaoa.clone()), seed)?;
+            let c = solve_subgraph(g, &SubSolver::Gw(*gw), seed)?;
+            Ok(if q.value >= c.value { q } else { c })
+        }
+        SubSolver::Random { trials } => {
+            Ok(qq_classical::randomized_partitioning(g, (*trials).max(1), seed))
+        }
+        SubSolver::LocalSearch => Ok(qq_classical::one_exchange(g, seed)),
+        SubSolver::Annealing(schedule) => {
+            Ok(qq_classical::simulated_annealing(g, *schedule, seed))
+        }
+        SubSolver::Rqaoa(cfg) => {
+            let cfg = qq_qaoa::RqaoaConfig {
+                qaoa: QaoaConfig { seed: cfg.qaoa.seed ^ seed, ..cfg.qaoa.clone() },
+                ..cfg.clone()
+            };
+            qq_qaoa::rqaoa_solve(g, &cfg)
+                .map(|r| r.best)
+                .map_err(|e| crate::Qaoa2Error::Solver(e.to_string()))
+        }
+        SubSolver::Exact => Ok(qq_classical::exact_maxcut(g)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qq_graph::generators::{self, WeightKind};
+
+    fn small_graph(seed: u64) -> Graph {
+        generators::erdos_renyi(9, 0.4, WeightKind::Uniform, seed)
+    }
+
+    #[test]
+    fn every_solver_returns_valid_cut() {
+        let g = small_graph(4);
+        let solvers = [
+            SubSolver::Qaoa(QaoaConfig { layers: 1, max_iters: 12, ..QaoaConfig::default() }),
+            SubSolver::Gw(GwConfig::default()),
+            SubSolver::Best {
+                qaoa: QaoaConfig { layers: 1, max_iters: 12, ..QaoaConfig::default() },
+                gw: GwConfig::default(),
+            },
+            SubSolver::Random { trials: 8 },
+            SubSolver::LocalSearch,
+            SubSolver::Annealing(AnnealingSchedule::default()),
+            SubSolver::Exact,
+        ];
+        let exact = qq_classical::exact_maxcut(&g).value;
+        for s in &solvers {
+            let r = solve_subgraph(&g, s, 7).unwrap();
+            assert_eq!(r.cut.len(), 9, "{}", s.label());
+            assert!((r.cut.value(&g) - r.value).abs() < 1e-9, "{}", s.label());
+            assert!(r.value <= exact + 1e-9, "{} exceeded the optimum", s.label());
+        }
+    }
+
+    #[test]
+    fn best_dominates_both_components() {
+        let g = small_graph(11);
+        let qaoa = QaoaConfig { layers: 2, max_iters: 20, ..QaoaConfig::default() };
+        let gw = GwConfig::default();
+        let q = solve_subgraph(&g, &SubSolver::Qaoa(qaoa.clone()), 3).unwrap();
+        let c = solve_subgraph(&g, &SubSolver::Gw(gw), 3).unwrap();
+        let b = solve_subgraph(&g, &SubSolver::Best { qaoa, gw }, 3).unwrap();
+        assert!(b.value >= q.value - 1e-12);
+        assert!(b.value >= c.value - 1e-12);
+    }
+
+    #[test]
+    fn grid_never_below_single_cell() {
+        let g = small_graph(2);
+        let base = QaoaConfig::default();
+        let single = solve_subgraph(
+            &g,
+            &SubSolver::Qaoa(QaoaConfig { layers: 3, rhobeg: 0.5, ..base.clone() }),
+            5,
+        )
+        .unwrap();
+        let grid = solve_subgraph(
+            &g,
+            &SubSolver::QaoaGrid { ps: vec![3], rhobegs: vec![0.5], base: base.clone() },
+            5,
+        )
+        .unwrap();
+        // identical cell → identical result
+        assert_eq!(grid.value, single.value);
+    }
+
+    #[test]
+    fn empty_grid_rejected() {
+        let g = small_graph(1);
+        let r = solve_subgraph(
+            &g,
+            &SubSolver::QaoaGrid { ps: vec![], rhobegs: vec![0.1], base: QaoaConfig::default() },
+            0,
+        );
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn labels_are_stable() {
+        assert_eq!(SubSolver::LocalSearch.label(), "local-search");
+        assert_eq!(SubSolver::Exact.label(), "exact");
+    }
+
+    #[test]
+    fn rqaoa_subsolver_inside_qaoa2() {
+        // the paper's suggested combination: RQAOA as the QAOA² sub-solver
+        let g = qq_graph::generators::erdos_renyi(26, 0.2, WeightKind::Uniform, 17);
+        let cfg = crate::Qaoa2Config {
+            max_qubits: 9,
+            solver: SubSolver::Rqaoa(qq_qaoa::RqaoaConfig {
+                qaoa: QaoaConfig { layers: 1, max_iters: 25, ..QaoaConfig::default() },
+                stop_size: 4,
+            }),
+            coarse_solver: SubSolver::LocalSearch,
+            parallelism: crate::Parallelism::Sequential,
+            seed: 3,
+        };
+        let res = crate::solve(&g, &cfg).unwrap();
+        assert_eq!(res.cut.len(), 26);
+        assert!(res.cut_value >= g.total_weight() / 2.0 * 0.9);
+    }
+}

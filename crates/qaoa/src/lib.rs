@@ -1,0 +1,66 @@
+//! # qq-qaoa — the QAOA MaxCut driver
+//!
+//! Ties the substrates together exactly the way the paper's stack does:
+//! graph → Ising cost model → synthesized ansatz (`qq-circuit`) →
+//! statevector execution (`qq-sim`, 4096-shot sampling) → COBYLA parameter
+//! optimization (`qq-opt`) → bit-string extraction.
+//!
+//! Two fidelity/performance paths execute the cost layer:
+//! * **gate path** — the synthesized `RZZ` circuit, gate by gate;
+//! * **fused path** (default) — the cost layer is diagonal, so one pass
+//!   multiplies each amplitude by `e^{−iγ·C(z)}` from a precomputed
+//!   [`cost::CostTable`]; this is the "diagonal fusion" optimization the
+//!   `aer` simulator applies and is bit-compatible with the gate path up
+//!   to floating-point association (verified by tests).
+//!
+//! Solution extraction implements the paper's policy (single highest
+//! amplitude) *and* the two extensions it names as future work: inspecting
+//! the top-k amplitudes, and taking the best sampled shot.
+//!
+//! ```
+//! use qq_graph::generators;
+//! use qq_qaoa::{solve, QaoaConfig};
+//!
+//! let g = generators::ring(6);
+//! let cfg = QaoaConfig { layers: 2, seed: 7, ..QaoaConfig::default() };
+//! let res = solve(&g, &cfg).unwrap();
+//! assert!(res.best.value >= 4.0); // even-ring optimum is 6
+//! ```
+
+pub mod config;
+pub mod cost;
+pub mod executor;
+pub mod rqaoa;
+pub mod solver;
+
+pub use config::{ObjectiveMode, QaoaConfig, SolutionPolicy};
+pub use cost::CostTable;
+pub use rqaoa::{rqaoa_solve, RqaoaConfig, RqaoaResult};
+pub use solver::{solve, QaoaResult};
+
+/// Errors from the QAOA driver.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QaoaError {
+    /// Graph too large for statevector simulation.
+    TooManyQubits { requested: usize, max: usize },
+    /// Configuration rejected (zero layers, zero shots, …).
+    InvalidConfig { message: String },
+}
+
+impl std::fmt::Display for QaoaError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            QaoaError::TooManyQubits { requested, max } => {
+                write!(f, "graph needs {requested} qubits; simulator supports {max}")
+            }
+            QaoaError::InvalidConfig { message } => write!(f, "invalid QAOA config: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for QaoaError {}
+
+/// Statevector ceiling for the driver: `2^26` amplitudes (1 GiB) plus the
+/// cost table (512 MiB). The paper's 30–33-qubit cells need the blocked
+/// engine and a bigger machine (see EXPERIMENTS.md).
+pub const MAX_QAOA_QUBITS: usize = 26;

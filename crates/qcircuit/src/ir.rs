@@ -1,0 +1,306 @@
+//! Gate-level intermediate representation.
+//!
+//! A [`Circuit`] is an ordered gate list over a fixed-width register. The
+//! IR tracks the two metrics the Classiq synthesis engine optimizes and the
+//! paper cares about on NISQ devices: circuit **depth** (parallel layers,
+//! assuming all-to-all connectivity as the simulator provides) and
+//! **two-qubit gate count** (the error-dominating resource on hardware).
+
+use std::fmt;
+
+/// One gate instruction. Angles are radians; qubit indices are
+/// little-endian register positions.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Gate {
+    /// Hadamard.
+    H(u32),
+    /// Pauli-X.
+    X(u32),
+    /// `RX(θ)` rotation (QAOA mixer).
+    Rx(u32, f64),
+    /// `RY(θ)` rotation.
+    Ry(u32, f64),
+    /// `RZ(θ)` rotation.
+    Rz(u32, f64),
+    /// `RZZ(θ) = exp(−iθ(Z⊗Z)/2)` (QAOA cost term).
+    Rzz(u32, u32, f64),
+    /// Controlled-Z.
+    Cz(u32, u32),
+    /// Controlled-X (control, target).
+    Cnot(u32, u32),
+    /// Global phase `e^{iφ}` (bookkeeping for exact-fidelity checks).
+    GlobalPhase(f64),
+}
+
+impl Gate {
+    /// Qubits the gate acts on (empty for a global phase).
+    pub fn qubits(&self) -> Vec<u32> {
+        match *self {
+            Gate::H(q) | Gate::X(q) | Gate::Rx(q, _) | Gate::Ry(q, _) | Gate::Rz(q, _) => vec![q],
+            Gate::Rzz(a, b, _) | Gate::Cz(a, b) | Gate::Cnot(a, b) => vec![a, b],
+            Gate::GlobalPhase(_) => vec![],
+        }
+    }
+
+    /// True for gates diagonal in the computational basis — these commute
+    /// with one another, which is what the depth scheduler exploits.
+    pub fn is_diagonal(&self) -> bool {
+        matches!(self, Gate::Rz(..) | Gate::Rzz(..) | Gate::Cz(..) | Gate::GlobalPhase(_))
+    }
+
+    /// True for two-qubit gates.
+    pub fn is_two_qubit(&self) -> bool {
+        matches!(self, Gate::Rzz(..) | Gate::Cz(..) | Gate::Cnot(..))
+    }
+
+    /// Short mnemonic.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Gate::H(_) => "h",
+            Gate::X(_) => "x",
+            Gate::Rx(..) => "rx",
+            Gate::Ry(..) => "ry",
+            Gate::Rz(..) => "rz",
+            Gate::Rzz(..) => "rzz",
+            Gate::Cz(..) => "cz",
+            Gate::Cnot(..) => "cx",
+            Gate::GlobalPhase(_) => "gphase",
+        }
+    }
+}
+
+/// IR validation errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CircuitError {
+    /// Gate references a qubit ≥ register width.
+    QubitOutOfRange { qubit: u32, num_qubits: usize },
+    /// Two-qubit gate with identical operands.
+    DuplicateQubit { qubit: u32 },
+}
+
+impl fmt::Display for CircuitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CircuitError::QubitOutOfRange { qubit, num_qubits } => {
+                write!(f, "qubit {qubit} out of range for width-{num_qubits} circuit")
+            }
+            CircuitError::DuplicateQubit { qubit } => {
+                write!(f, "two-qubit gate uses qubit {qubit} twice")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CircuitError {}
+
+/// An ordered gate list over `num_qubits` qubits.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Circuit {
+    num_qubits: usize,
+    gates: Vec<Gate>,
+}
+
+impl Circuit {
+    /// Empty circuit.
+    pub fn new(num_qubits: usize) -> Self {
+        Circuit { num_qubits, gates: Vec::new() }
+    }
+
+    /// Register width.
+    pub fn num_qubits(&self) -> usize {
+        self.num_qubits
+    }
+
+    /// Gate list in program order.
+    pub fn gates(&self) -> &[Gate] {
+        &self.gates
+    }
+
+    /// Total gate count (global phases excluded).
+    pub fn gate_count(&self) -> usize {
+        self.gates.iter().filter(|g| !matches!(g, Gate::GlobalPhase(_))).count()
+    }
+
+    /// Two-qubit gate count — the NISQ cost metric.
+    pub fn two_qubit_count(&self) -> usize {
+        self.gates.iter().filter(|g| g.is_two_qubit()).count()
+    }
+
+    /// Append a gate with validation.
+    pub fn push(&mut self, gate: Gate) -> Result<(), CircuitError> {
+        let qs = gate.qubits();
+        for &q in &qs {
+            if q as usize >= self.num_qubits {
+                return Err(CircuitError::QubitOutOfRange { qubit: q, num_qubits: self.num_qubits });
+            }
+        }
+        if qs.len() == 2 && qs[0] == qs[1] {
+            return Err(CircuitError::DuplicateQubit { qubit: qs[0] });
+        }
+        self.gates.push(gate);
+        Ok(())
+    }
+
+    /// Append all gates of `other` (widths must match).
+    pub fn append(&mut self, other: &Circuit) -> Result<(), CircuitError> {
+        assert_eq!(self.num_qubits, other.num_qubits, "circuit widths differ");
+        for &g in other.gates() {
+            self.push(g)?;
+        }
+        Ok(())
+    }
+
+    /// Replace the gate list wholesale (used by optimization passes, which
+    /// are whole-circuit rewrites).
+    pub(crate) fn with_gates(num_qubits: usize, gates: Vec<Gate>) -> Self {
+        Circuit { num_qubits, gates }
+    }
+
+    /// Circuit depth: number of parallel layers under all-to-all
+    /// connectivity. Global phases occupy no layer.
+    pub fn depth(&self) -> usize {
+        let mut level = vec![0usize; self.num_qubits];
+        let mut depth = 0;
+        for g in &self.gates {
+            let qs = g.qubits();
+            if qs.is_empty() {
+                continue;
+            }
+            let layer = qs.iter().map(|&q| level[q as usize]).max().unwrap_or(0) + 1;
+            for &q in &qs {
+                level[q as usize] = layer;
+            }
+            depth = depth.max(layer);
+        }
+        depth
+    }
+
+    /// Histogram of gate mnemonics, for reporting.
+    pub fn gate_histogram(&self) -> Vec<(&'static str, usize)> {
+        let mut counts: Vec<(&'static str, usize)> = Vec::new();
+        for g in &self.gates {
+            match counts.iter_mut().find(|(n, _)| *n == g.name()) {
+                Some((_, c)) => *c += 1,
+                None => counts.push((g.name(), 1)),
+            }
+        }
+        counts.sort_by(|a, b| a.0.cmp(b.0));
+        counts
+    }
+}
+
+impl fmt::Display for Circuit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "circuit: {} qubits, {} gates, depth {}, {} two-qubit",
+            self.num_qubits,
+            self.gate_count(),
+            self.depth(),
+            self.two_qubit_count()
+        )?;
+        for g in &self.gates {
+            match *g {
+                Gate::H(q) => writeln!(f, "  h q{q}")?,
+                Gate::X(q) => writeln!(f, "  x q{q}")?,
+                Gate::Rx(q, t) => writeln!(f, "  rx({t:.4}) q{q}")?,
+                Gate::Ry(q, t) => writeln!(f, "  ry({t:.4}) q{q}")?,
+                Gate::Rz(q, t) => writeln!(f, "  rz({t:.4}) q{q}")?,
+                Gate::Rzz(a, b, t) => writeln!(f, "  rzz({t:.4}) q{a}, q{b}")?,
+                Gate::Cz(a, b) => writeln!(f, "  cz q{a}, q{b}")?,
+                Gate::Cnot(a, b) => writeln!(f, "  cx q{a}, q{b}")?,
+                Gate::GlobalPhase(p) => writeln!(f, "  gphase({p:.4})")?,
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_validates_range() {
+        let mut c = Circuit::new(2);
+        assert!(c.push(Gate::H(0)).is_ok());
+        assert_eq!(
+            c.push(Gate::H(2)),
+            Err(CircuitError::QubitOutOfRange { qubit: 2, num_qubits: 2 })
+        );
+    }
+
+    #[test]
+    fn push_validates_distinct_operands() {
+        let mut c = Circuit::new(3);
+        assert_eq!(
+            c.push(Gate::Rzz(1, 1, 0.5)),
+            Err(CircuitError::DuplicateQubit { qubit: 1 })
+        );
+    }
+
+    #[test]
+    fn depth_counts_parallel_layers() {
+        let mut c = Circuit::new(4);
+        // layer 1: h on all four qubits
+        for q in 0..4 {
+            c.push(Gate::H(q)).unwrap();
+        }
+        assert_eq!(c.depth(), 1);
+        // layer 2: two disjoint rzz
+        c.push(Gate::Rzz(0, 1, 0.3)).unwrap();
+        c.push(Gate::Rzz(2, 3, 0.3)).unwrap();
+        assert_eq!(c.depth(), 2);
+        // layer 3: rzz sharing qubit 1
+        c.push(Gate::Rzz(1, 2, 0.3)).unwrap();
+        assert_eq!(c.depth(), 3);
+    }
+
+    #[test]
+    fn global_phase_does_not_affect_depth() {
+        let mut c = Circuit::new(1);
+        c.push(Gate::GlobalPhase(0.2)).unwrap();
+        assert_eq!(c.depth(), 0);
+        assert_eq!(c.gate_count(), 0);
+        c.push(Gate::H(0)).unwrap();
+        assert_eq!(c.depth(), 1);
+    }
+
+    #[test]
+    fn two_qubit_count() {
+        let mut c = Circuit::new(3);
+        c.push(Gate::H(0)).unwrap();
+        c.push(Gate::Rzz(0, 1, 0.2)).unwrap();
+        c.push(Gate::Cnot(1, 2)).unwrap();
+        c.push(Gate::Rx(2, 0.1)).unwrap();
+        assert_eq!(c.two_qubit_count(), 2);
+        assert_eq!(c.gate_count(), 4);
+    }
+
+    #[test]
+    fn histogram_sorted_by_name() {
+        let mut c = Circuit::new(2);
+        c.push(Gate::Rzz(0, 1, 0.2)).unwrap();
+        c.push(Gate::H(0)).unwrap();
+        c.push(Gate::H(1)).unwrap();
+        assert_eq!(c.gate_histogram(), vec![("h", 2), ("rzz", 1)]);
+    }
+
+    #[test]
+    fn append_concatenates() {
+        let mut a = Circuit::new(2);
+        a.push(Gate::H(0)).unwrap();
+        let mut b = Circuit::new(2);
+        b.push(Gate::Cnot(0, 1)).unwrap();
+        a.append(&b).unwrap();
+        assert_eq!(a.gates().len(), 2);
+    }
+
+    #[test]
+    fn diagonal_classification() {
+        assert!(Gate::Rzz(0, 1, 0.1).is_diagonal());
+        assert!(Gate::Rz(0, 0.1).is_diagonal());
+        assert!(!Gate::Rx(0, 0.1).is_diagonal());
+        assert!(!Gate::Cnot(0, 1).is_diagonal());
+    }
+}

@@ -1,0 +1,42 @@
+//! # qq-circuit — circuit IR and synthesis engine
+//!
+//! The paper builds its QAOA circuits with the Classiq platform: a
+//! high-level combinatorial model goes in, an optimized gate-level circuit
+//! comes out, subject to optimization preferences (depth, gate count, …).
+//! This crate is that layer, rebuilt:
+//!
+//! * [`ir`] — the gate-level intermediate representation with depth and
+//!   gate-count metrics;
+//! * [`synth`] — high-level models ([`synth::CostModel`], built from a
+//!   MaxCut graph) lowered to QAOA ansatz circuits;
+//! * [`passes`] — optimization passes: commuting-layer depth scheduling
+//!   (greedy edge coloring of the cost terms), rotation fusion,
+//!   inverse-pair cancellation;
+//! * [`exec`] — execution on the `qq-sim` backends.
+//!
+//! ```
+//! use qq_circuit::prelude::*;
+//! use qq_graph::generators;
+//!
+//! let g = generators::ring(6);
+//! let model = CostModel::from_maxcut(&g);
+//! let params = AnsatzParams::new(vec![0.4], vec![0.7]);
+//! let circuit = Synthesizer::new(Preference::Depth).qaoa_ansatz(&model, &params);
+//! let state = qq_circuit::exec::run_statevector(&circuit);
+//! assert!((state.norm_sqr() - 1.0).abs() < 1e-10);
+//! ```
+
+pub mod exec;
+pub mod ir;
+pub mod passes;
+pub mod synth;
+
+pub use ir::{Circuit, CircuitError, Gate};
+pub use synth::{AnsatzParams, CostModel, Preference, Synthesizer};
+
+/// Commonly used items.
+pub mod prelude {
+    pub use crate::exec::run_statevector;
+    pub use crate::ir::{Circuit, Gate};
+    pub use crate::synth::{AnsatzParams, CostModel, Preference, Synthesizer};
+}

@@ -1,0 +1,258 @@
+//! Circuit optimization passes.
+//!
+//! Three rewrites cover what the paper relies on Classiq for:
+//!
+//! * [`schedule_commuting_layers`] — all gates of a QAOA cost layer are
+//!   diagonal and commute, so they may be reordered freely; a greedy edge
+//!   coloring groups the RZZ gates into color classes that execute as
+//!   parallel layers, minimizing depth (within the greedy bound ≤ 2Δ−1
+//!   colors).
+//! * [`fuse_rotations`] — adjacent same-axis rotations on one qubit merge
+//!   into a single gate; zero-angle rotations vanish.
+//! * [`cancel_inverses`] — adjacent self-inverse pairs (`H·H`,
+//!   `CX·CX`, `CZ·CZ`, `X·X`) annihilate.
+//!
+//! Every pass preserves circuit semantics up to global phase; the
+//! equivalence tests execute rewritten circuits against the originals on
+//! the statevector simulator.
+
+use crate::ir::{Circuit, Gate};
+
+/// Reorder runs of commuting diagonal gates into edge-colored parallel
+/// layers. Non-diagonal gates act as barriers, so correctness only relies
+/// on commutativity inside each diagonal run.
+pub fn schedule_commuting_layers(c: &Circuit) -> Circuit {
+    let mut out: Vec<Gate> = Vec::with_capacity(c.gates().len());
+    let mut run: Vec<Gate> = Vec::new();
+    for &g in c.gates() {
+        if g.is_diagonal() {
+            run.push(g);
+        } else {
+            flush_diagonal_run(&mut out, &mut run, c.num_qubits());
+            out.push(g);
+        }
+    }
+    flush_diagonal_run(&mut out, &mut run, c.num_qubits());
+    Circuit::with_gates(c.num_qubits(), out)
+}
+
+/// Greedy edge coloring of one diagonal run; emits gates color by color.
+fn flush_diagonal_run(out: &mut Vec<Gate>, run: &mut Vec<Gate>, num_qubits: usize) {
+    if run.is_empty() {
+        return;
+    }
+    // single-qubit diagonals and global phases go first (depth-free w.r.t.
+    // two-qubit scheduling)
+    let mut colors: Vec<u32> = Vec::with_capacity(run.len());
+    let mut used: Vec<Vec<u32>> = vec![Vec::new(); num_qubits]; // colors present at each qubit
+    let mut max_color = 0u32;
+    for g in run.iter() {
+        let qs = g.qubits();
+        if qs.len() < 2 {
+            colors.push(0);
+            continue;
+        }
+        let (a, b) = (qs[0] as usize, qs[1] as usize);
+        let mut color = 1u32;
+        while used[a].contains(&color) || used[b].contains(&color) {
+            color += 1;
+        }
+        used[a].push(color);
+        used[b].push(color);
+        colors.push(color);
+        max_color = max_color.max(color);
+    }
+    for wanted in 0..=max_color {
+        for (g, &col) in run.iter().zip(&colors) {
+            if col == wanted {
+                out.push(*g);
+            }
+        }
+    }
+    run.clear();
+}
+
+/// Merge adjacent same-axis rotations on the same qubit(s); drop
+/// resulting zero-angle gates (and zero global phases).
+pub fn fuse_rotations(c: &Circuit) -> Circuit {
+    const ZERO_TOL: f64 = 1e-15;
+    let mut out: Vec<Gate> = Vec::with_capacity(c.gates().len());
+    for &g in c.gates() {
+        let fused = match (out.last().copied(), g) {
+            (Some(Gate::Rx(q1, a)), Gate::Rx(q2, b)) if q1 == q2 => Some(Gate::Rx(q1, a + b)),
+            (Some(Gate::Ry(q1, a)), Gate::Ry(q2, b)) if q1 == q2 => Some(Gate::Ry(q1, a + b)),
+            (Some(Gate::Rz(q1, a)), Gate::Rz(q2, b)) if q1 == q2 => Some(Gate::Rz(q1, a + b)),
+            (Some(Gate::Rzz(a1, b1, t1)), Gate::Rzz(a2, b2, t2))
+                if (a1, b1) == (a2, b2) || (a1, b1) == (b2, a2) =>
+            {
+                Some(Gate::Rzz(a1, b1, t1 + t2))
+            }
+            (Some(Gate::GlobalPhase(a)), Gate::GlobalPhase(b)) => Some(Gate::GlobalPhase(a + b)),
+            _ => None,
+        };
+        match fused {
+            Some(f) => {
+                out.pop();
+                if rotation_angle(&f).map(|t| t.abs() > ZERO_TOL).unwrap_or(true) {
+                    out.push(f);
+                }
+            }
+            None => out.push(g),
+        }
+    }
+    Circuit::with_gates(c.num_qubits(), out)
+}
+
+/// Cancel adjacent self-inverse pairs. Iterates to a fixed point so
+/// cascades (`H H H H`) fully collapse.
+pub fn cancel_inverses(c: &Circuit) -> Circuit {
+    let mut gates: Vec<Gate> = c.gates().to_vec();
+    loop {
+        let mut out: Vec<Gate> = Vec::with_capacity(gates.len());
+        let mut changed = false;
+        for g in gates.drain(..) {
+            if let Some(&prev) = out.last() {
+                if is_self_inverse_pair(prev, g) {
+                    out.pop();
+                    changed = true;
+                    continue;
+                }
+            }
+            out.push(g);
+        }
+        gates = out;
+        if !changed {
+            break;
+        }
+    }
+    Circuit::with_gates(c.num_qubits(), gates)
+}
+
+fn rotation_angle(g: &Gate) -> Option<f64> {
+    match *g {
+        Gate::Rx(_, t) | Gate::Ry(_, t) | Gate::Rz(_, t) | Gate::Rzz(_, _, t) => Some(t),
+        Gate::GlobalPhase(p) => Some(p),
+        _ => None,
+    }
+}
+
+fn is_self_inverse_pair(a: Gate, b: Gate) -> bool {
+    match (a, b) {
+        (Gate::H(p), Gate::H(q)) | (Gate::X(p), Gate::X(q)) => p == q,
+        (Gate::Cnot(c1, t1), Gate::Cnot(c2, t2)) => (c1, t1) == (c2, t2),
+        (Gate::Cz(a1, b1), Gate::Cz(a2, b2)) => {
+            (a1, b1) == (a2, b2) || (a1, b1) == (b2, a2)
+        }
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::run_statevector;
+    use crate::synth::{AnsatzParams, CostModel, Preference, Synthesizer};
+    use qq_graph::generators;
+
+    fn assert_equivalent(a: &Circuit, b: &Circuit) {
+        let sa = run_statevector(a);
+        let sb = run_statevector(b);
+        // equality up to global phase: |⟨a|b⟩| = 1
+        let mut overlap = qq_sim::C64::ZERO;
+        for (x, y) in sa.amplitudes().iter().zip(sb.amplitudes()) {
+            overlap += x.conj() * *y;
+        }
+        assert!((overlap.abs() - 1.0).abs() < 1e-9, "overlap = {}", overlap.abs());
+    }
+
+    #[test]
+    fn scheduling_preserves_semantics() {
+        let g = generators::erdos_renyi(6, 0.6, generators::WeightKind::Random01, 4);
+        let model = CostModel::from_maxcut(&g);
+        let params = AnsatzParams::new(vec![0.3, 0.5], vec![0.2, 0.7]);
+        let naive = Synthesizer::new(Preference::None).qaoa_ansatz(&model, &params);
+        let sched = schedule_commuting_layers(&naive);
+        assert_equivalent(&naive, &sched);
+        assert!(sched.depth() <= naive.depth());
+    }
+
+    #[test]
+    fn fusion_merges_rotations() {
+        let mut c = Circuit::new(1);
+        c.push(Gate::Rx(0, 0.3)).unwrap();
+        c.push(Gate::Rx(0, 0.4)).unwrap();
+        let f = fuse_rotations(&c);
+        assert_eq!(f.gates().len(), 1);
+        assert_eq!(f.gates()[0], Gate::Rx(0, 0.7));
+    }
+
+    #[test]
+    fn fusion_drops_zero_rotations() {
+        let mut c = Circuit::new(1);
+        c.push(Gate::Rz(0, 0.5)).unwrap();
+        c.push(Gate::Rz(0, -0.5)).unwrap();
+        let f = fuse_rotations(&c);
+        assert_eq!(f.gate_count(), 0);
+    }
+
+    #[test]
+    fn fusion_respects_qubit_boundaries() {
+        let mut c = Circuit::new(2);
+        c.push(Gate::Rx(0, 0.3)).unwrap();
+        c.push(Gate::Rx(1, 0.4)).unwrap();
+        assert_eq!(fuse_rotations(&c).gates().len(), 2);
+    }
+
+    #[test]
+    fn fusion_merges_rzz_either_orientation() {
+        let mut c = Circuit::new(2);
+        c.push(Gate::Rzz(0, 1, 0.3)).unwrap();
+        c.push(Gate::Rzz(1, 0, 0.2)).unwrap();
+        let f = fuse_rotations(&c);
+        assert_eq!(f.gates(), &[Gate::Rzz(0, 1, 0.5)]);
+    }
+
+    #[test]
+    fn cancel_collapses_cascades() {
+        let mut c = Circuit::new(2);
+        for _ in 0..4 {
+            c.push(Gate::H(0)).unwrap();
+        }
+        c.push(Gate::Cnot(0, 1)).unwrap();
+        c.push(Gate::Cnot(0, 1)).unwrap();
+        let out = cancel_inverses(&c);
+        assert_eq!(out.gate_count(), 0);
+    }
+
+    #[test]
+    fn cancel_keeps_non_adjacent_pairs() {
+        let mut c = Circuit::new(2);
+        c.push(Gate::H(0)).unwrap();
+        c.push(Gate::Cnot(0, 1)).unwrap();
+        c.push(Gate::H(0)).unwrap();
+        assert_eq!(cancel_inverses(&c).gate_count(), 3);
+    }
+
+    #[test]
+    fn fusion_preserves_semantics_on_ansatz() {
+        let g = generators::ring(5);
+        let model = CostModel::from_maxcut(&g);
+        let params = AnsatzParams::new(vec![0.4], vec![0.6]);
+        let naive = Synthesizer::new(Preference::None).qaoa_ansatz(&model, &params);
+        let fused = fuse_rotations(&naive);
+        assert_equivalent(&naive, &fused);
+    }
+
+    #[test]
+    fn coloring_is_proper() {
+        // every color class must touch each qubit at most once
+        let g = generators::complete(7);
+        let model = CostModel::from_maxcut(&g);
+        let params = AnsatzParams::new(vec![0.2], vec![0.1]);
+        let c = Synthesizer::new(Preference::Depth).qaoa_ansatz(&model, &params);
+        // walk the rzz run and check no two adjacent-in-layer gates share a
+        // qubit: equivalent to checking depth of the rzz block is the
+        // number of color classes; weaker but meaningful: depth ≤ 2Δ−1+2
+        assert!(c.depth() <= 2 * 6 - 1 + 2);
+    }
+}

@@ -1,0 +1,41 @@
+//! # qq-classical — classical MaxCut baselines
+//!
+//! Every classical comparator the paper touches, plus an exact solver used
+//! as ground truth in the test suite:
+//!
+//! * [`random`] — randomized partitioning (the NetworkX
+//!   `approximation.maxcut` baseline shown in red in Fig. 4);
+//! * [`local_search`] — one-exchange hill climbing;
+//! * [`annealing`] — simulated annealing (mentioned in the related work as
+//!   the statistical-physics alternative);
+//! * [`exact`] — Gray-code exhaustive enumeration, feasible to ~26 nodes,
+//!   giving certified optima for validation.
+
+pub mod annealing;
+pub mod exact;
+pub mod local_search;
+pub mod random;
+
+pub use annealing::simulated_annealing;
+pub use exact::exact_maxcut;
+pub use local_search::one_exchange;
+pub use random::randomized_partitioning;
+
+use qq_graph::{Cut, Graph};
+
+/// A solver outcome: the cut and its value on the input graph.
+#[derive(Debug, Clone)]
+pub struct CutResult {
+    /// The bipartition found.
+    pub cut: Cut,
+    /// Its cut value.
+    pub value: f64,
+}
+
+impl CutResult {
+    /// Wrap a cut, computing its value on `g`.
+    pub fn new(cut: Cut, g: &Graph) -> Self {
+        let value = cut.value(g);
+        CutResult { cut, value }
+    }
+}

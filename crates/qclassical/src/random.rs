@@ -1,0 +1,64 @@
+//! Randomized partitioning — the weakest baseline in Fig. 4.
+//!
+//! Each trial assigns every node to a side with probability ½; the best of
+//! `trials` cuts is kept. A single trial achieves half the total weight in
+//! expectation, which is the floor every serious method must clear.
+
+use crate::CutResult;
+use qq_graph::{Cut, Graph};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Best of `trials` uniform random bipartitions.
+pub fn randomized_partitioning(g: &Graph, trials: usize, seed: u64) -> CutResult {
+    assert!(trials >= 1, "need at least one trial");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = g.num_nodes();
+    let mut best: Option<CutResult> = None;
+    for _ in 0..trials {
+        let cut = Cut::from_fn(n, |_| rng.gen::<bool>());
+        let cand = CutResult::new(cut, g);
+        if best.as_ref().map(|b| cand.value > b.value).unwrap_or(true) {
+            best = Some(cand);
+        }
+    }
+    best.expect("trials >= 1")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qq_graph::generators::{self, WeightKind};
+
+    #[test]
+    fn random_cut_near_half_weight() {
+        let g = generators::erdos_renyi(100, 0.3, WeightKind::Uniform, 5);
+        let r = randomized_partitioning(&g, 1, 42);
+        let half = g.total_weight() / 2.0;
+        // Binomial concentration: a single random cut is within 15% of W/2 whp
+        assert!((r.value - half).abs() < 0.15 * g.total_weight(), "value = {}", r.value);
+    }
+
+    #[test]
+    fn more_trials_never_worse() {
+        let g = generators::erdos_renyi(40, 0.2, WeightKind::Random01, 9);
+        let one = randomized_partitioning(&g, 1, 7);
+        let many = randomized_partitioning(&g, 64, 7);
+        assert!(many.value >= one.value);
+    }
+
+    #[test]
+    fn seeded_reproducibility() {
+        let g = generators::erdos_renyi(30, 0.3, WeightKind::Uniform, 1);
+        let a = randomized_partitioning(&g, 8, 33);
+        let b = randomized_partitioning(&g, 8, 33);
+        assert_eq!(a.cut, b.cut);
+    }
+
+    #[test]
+    fn empty_graph_gives_zero() {
+        let g = qq_graph::Graph::new(4);
+        let r = randomized_partitioning(&g, 4, 0);
+        assert_eq!(r.value, 0.0);
+    }
+}

@@ -1,0 +1,246 @@
+//! Cut (bipartition) bookkeeping.
+//!
+//! A cut assigns every node to one of two sides; its value is the total
+//! weight of edges whose endpoints disagree — exactly the quantity the
+//! MaxCut Hamiltonian `H_C = ½ Σ w_ij (1 − Z_i Z_j)` measures on a
+//! computational-basis state. Side assignment is stored as a packed bitset:
+//! QAOA bit strings for up to 33 qubits and QAOA² parent solutions for
+//! thousands of nodes share this one type.
+
+use crate::graph::{Graph, NodeId};
+
+/// A bipartition of `n` nodes, packed 64 nodes per word.
+///
+/// Convention: `get(v) == true` ⇔ node `v` is on side "1" ⇔ spin `s_v = −1`
+/// in the Ising picture (matching the paper's "if a node in the merge graph
+/// is −1, flip all nodes of that sub-graph").
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Cut {
+    bits: Vec<u64>,
+    len: usize,
+}
+
+impl Cut {
+    /// All-zero cut (every node on side 0).
+    pub fn new(len: usize) -> Self {
+        Cut { bits: vec![0; len.div_ceil(64)], len }
+    }
+
+    /// Build from a predicate over node ids.
+    pub fn from_fn(len: usize, mut f: impl FnMut(NodeId) -> bool) -> Self {
+        let mut c = Cut::new(len);
+        for v in 0..len {
+            if f(v as NodeId) {
+                c.set(v as NodeId, true);
+            }
+        }
+        c
+    }
+
+    /// Build from a basis-state index, qubit `i` ↦ node `i`.
+    ///
+    /// This is the bridge from simulator measurement outcomes to cuts:
+    /// the basis index's bit `i` (little-endian) gives node `i`'s side.
+    pub fn from_basis_index(len: usize, index: u64) -> Self {
+        assert!(len <= 64, "basis-index cuts limited to 64 nodes");
+        let mut c = Cut::new(len);
+        if len > 0 {
+            let mask = if len == 64 { u64::MAX } else { (1u64 << len) - 1 };
+            c.bits[0] = index & mask;
+        }
+        c
+    }
+
+    /// Build from a slice of booleans.
+    pub fn from_bools(sides: &[bool]) -> Self {
+        Cut::from_fn(sides.len(), |v| sides[v as usize])
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the cut covers zero nodes.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Side of node `v`.
+    #[inline]
+    pub fn get(&self, v: NodeId) -> bool {
+        debug_assert!((v as usize) < self.len);
+        (self.bits[v as usize / 64] >> (v % 64)) & 1 == 1
+    }
+
+    /// Assign node `v` to a side.
+    #[inline]
+    pub fn set(&mut self, v: NodeId, side: bool) {
+        debug_assert!((v as usize) < self.len);
+        let (word, bit) = (v as usize / 64, v % 64);
+        if side {
+            self.bits[word] |= 1 << bit;
+        } else {
+            self.bits[word] &= !(1 << bit);
+        }
+    }
+
+    /// Move node `v` to the opposite side.
+    #[inline]
+    pub fn flip_node(&mut self, v: NodeId) {
+        debug_assert!((v as usize) < self.len);
+        self.bits[v as usize / 64] ^= 1 << (v % 64);
+    }
+
+    /// Swap both sides globally. Cut value is invariant under this.
+    pub fn flip_all(&mut self) {
+        for w in &mut self.bits {
+            *w = !*w;
+        }
+        // clear padding bits so Eq/Hash stay canonical
+        let spare = self.bits.len() * 64 - self.len;
+        if spare > 0 {
+            let last = self.bits.len() - 1;
+            self.bits[last] &= u64::MAX >> spare;
+        }
+    }
+
+    /// Number of nodes on side 1.
+    pub fn count_ones(&self) -> usize {
+        self.bits.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Ising spin of node `v`: side 0 ↦ +1, side 1 ↦ −1.
+    #[inline]
+    pub fn spin(&self, v: NodeId) -> f64 {
+        if self.get(v) {
+            -1.0
+        } else {
+            1.0
+        }
+    }
+
+    /// Cut value on `g`: `Σ_{(u,v)∈E, side(u)≠side(v)} w_uv`.
+    ///
+    /// Works for negative weights too (QAOA² merge graphs).
+    pub fn value(&self, g: &Graph) -> f64 {
+        debug_assert_eq!(self.len, g.num_nodes());
+        let mut total = 0.0;
+        for e in g.edges() {
+            if self.get(e.u) != self.get(e.v) {
+                total += e.w;
+            }
+        }
+        total
+    }
+
+    /// The change in cut value if node `v` were flipped (positive = improves).
+    pub fn flip_gain(&self, g: &Graph, v: NodeId) -> f64 {
+        let side = self.get(v);
+        let mut gain = 0.0;
+        for &(u, w) in g.neighbors(v) {
+            if self.get(u) == side {
+                gain += w; // edge becomes cut
+            } else {
+                gain -= w; // edge leaves the cut
+            }
+        }
+        gain
+    }
+
+    /// Render as a bit string, node 0 first (e.g. `"0110"`).
+    pub fn to_bitstring(&self) -> String {
+        (0..self.len as NodeId)
+            .map(|v| if self.get(v) { '1' } else { '0' })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::Graph;
+
+    fn path4() -> Graph {
+        // 0 - 1 - 2 - 3 with weights 1, 2, 3
+        Graph::from_edges(4, [(0, 1, 1.0), (1, 2, 2.0), (2, 3, 3.0)]).unwrap()
+    }
+
+    #[test]
+    fn value_counts_crossing_edges() {
+        let g = path4();
+        let c = Cut::from_bools(&[false, true, false, true]);
+        assert_eq!(c.value(&g), 6.0); // all edges cross
+        let c2 = Cut::from_bools(&[false, false, true, true]);
+        assert_eq!(c2.value(&g), 2.0); // only middle edge crosses
+    }
+
+    #[test]
+    fn global_flip_preserves_value() {
+        let g = path4();
+        let mut c = Cut::from_bools(&[true, false, false, true]);
+        let before = c.value(&g);
+        c.flip_all();
+        assert_eq!(c.value(&g), before);
+    }
+
+    #[test]
+    fn from_basis_index_is_little_endian() {
+        let c = Cut::from_basis_index(4, 0b0110);
+        assert!(!c.get(0));
+        assert!(c.get(1));
+        assert!(c.get(2));
+        assert!(!c.get(3));
+        assert_eq!(c.to_bitstring(), "0110");
+    }
+
+    #[test]
+    fn from_basis_index_masks_out_of_range_bits() {
+        let c = Cut::from_basis_index(2, 0b1111);
+        assert_eq!(c.count_ones(), 2);
+    }
+
+    #[test]
+    fn flip_gain_matches_recomputation() {
+        let g = path4();
+        let mut c = Cut::from_bools(&[false, false, true, false]);
+        for v in 0..4 {
+            let before = c.value(&g);
+            let predicted = c.flip_gain(&g, v);
+            c.flip_node(v);
+            let after = c.value(&g);
+            assert!((after - before - predicted).abs() < 1e-12, "node {v}");
+            c.flip_node(v); // restore
+        }
+    }
+
+    #[test]
+    fn flip_all_clears_padding() {
+        let mut a = Cut::new(3);
+        a.flip_all();
+        a.flip_all();
+        assert_eq!(a, Cut::new(3));
+    }
+
+    #[test]
+    fn spins_match_sides() {
+        let c = Cut::from_bools(&[true, false]);
+        assert_eq!(c.spin(0), -1.0);
+        assert_eq!(c.spin(1), 1.0);
+    }
+
+    #[test]
+    fn count_ones_across_word_boundary() {
+        let c = Cut::from_fn(130, |v| v % 2 == 0);
+        assert_eq!(c.count_ones(), 65);
+    }
+
+    #[test]
+    fn negative_weights_supported() {
+        let g = Graph::from_edges(2, [(0, 1, -2.5)]).unwrap();
+        let c = Cut::from_bools(&[false, true]);
+        assert_eq!(c.value(&g), -2.5);
+    }
+}

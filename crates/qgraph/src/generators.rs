@@ -1,0 +1,219 @@
+//! Workload generators.
+//!
+//! The paper's evaluation uses Erdős–Rényi `G(n, p)` graphs, either
+//! unweighted or with weights drawn uniformly from `[0, 1]`, generated with
+//! NetworkX. [`erdos_renyi`] mirrors that (seeded, so every experiment cell
+//! is reproducible). The remaining generators provide structured instances
+//! for tests and for the community-detection substrate (planted partitions
+//! exercise the CNM partitioner; rings/complete graphs have known MaxCut
+//! optima).
+
+use crate::graph::{Graph, NodeId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// How edge weights are drawn.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WeightKind {
+    /// All weights 1 — the paper's "unweighted" instances.
+    Uniform,
+    /// Weights i.i.d. uniform in `[0, 1)` — the paper's "weighted" instances.
+    Random01,
+}
+
+/// Erdős–Rényi `G(n, p)`: every unordered pair becomes an edge
+/// independently with probability `p`.
+///
+/// `seed` fixes both the topology and (for [`WeightKind::Random01`]) the
+/// weights, matching how the paper creates one weighted and one unweighted
+/// instance per `(n, p)` grid point.
+pub fn erdos_renyi(n: usize, p: f64, weights: WeightKind, seed: u64) -> Graph {
+    assert!((0.0..=1.0).contains(&p), "edge probability must be in [0,1]");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut g = Graph::new(n);
+    for u in 0..n as NodeId {
+        for v in (u + 1)..n as NodeId {
+            if rng.gen::<f64>() < p {
+                let w = match weights {
+                    WeightKind::Uniform => 1.0,
+                    WeightKind::Random01 => rng.gen::<f64>(),
+                };
+                g.add_edge(u, v, w).expect("generator produces unique in-range edges");
+            }
+        }
+    }
+    g
+}
+
+/// Complete graph `K_n` with unit weights. MaxCut optimum is
+/// `⌊n/2⌋·⌈n/2⌉` (balanced bipartition).
+pub fn complete(n: usize) -> Graph {
+    let mut g = Graph::new(n);
+    for u in 0..n as NodeId {
+        for v in (u + 1)..n as NodeId {
+            g.add_edge(u, v, 1.0).unwrap();
+        }
+    }
+    g
+}
+
+/// Cycle `C_n` with unit weights. MaxCut optimum is `n` for even `n`,
+/// `n − 1` for odd `n`.
+pub fn ring(n: usize) -> Graph {
+    assert!(n >= 3, "ring needs at least 3 nodes");
+    let mut g = Graph::new(n);
+    for v in 0..n as NodeId {
+        g.add_edge(v, ((v as usize + 1) % n) as NodeId, 1.0).unwrap();
+    }
+    g
+}
+
+/// Star graph: node 0 joined to all others. MaxCut optimum is `n − 1`.
+pub fn star(n: usize) -> Graph {
+    assert!(n >= 2, "star needs at least 2 nodes");
+    let mut g = Graph::new(n);
+    for v in 1..n as NodeId {
+        g.add_edge(0, v, 1.0).unwrap();
+    }
+    g
+}
+
+/// Planted-partition graph: `k` blocks of `block_size` nodes; intra-block
+/// pairs connect with probability `p_in`, inter-block with `p_out`.
+///
+/// With `p_in ≫ p_out` the blocks are the modularity-optimal communities,
+/// which makes this the reference workload for the CNM partitioner tests
+/// and the QAOA² divide step.
+pub fn planted_partition(k: usize, block_size: usize, p_in: f64, p_out: f64, seed: u64) -> Graph {
+    let n = k * block_size;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut g = Graph::new(n);
+    for u in 0..n as NodeId {
+        for v in (u + 1)..n as NodeId {
+            let same = (u as usize / block_size) == (v as usize / block_size);
+            let p = if same { p_in } else { p_out };
+            if rng.gen::<f64>() < p {
+                g.add_edge(u, v, 1.0).unwrap();
+            }
+        }
+    }
+    g
+}
+
+/// Two cliques of size `b` joined by a single bridge edge ("barbell").
+/// Greedy modularity must recover the two cliques.
+pub fn barbell(b: usize) -> Graph {
+    assert!(b >= 2, "barbell bells need at least 2 nodes");
+    let n = 2 * b;
+    let mut g = Graph::new(n);
+    for side in 0..2 {
+        let off = (side * b) as NodeId;
+        for u in 0..b as NodeId {
+            for v in (u + 1)..b as NodeId {
+                g.add_edge(off + u, off + v, 1.0).unwrap();
+            }
+        }
+    }
+    g.add_edge((b - 1) as NodeId, b as NodeId, 1.0).unwrap();
+    g
+}
+
+/// Expected edge count of `G(n, p)`, for sanity checks and workload sizing.
+pub fn expected_edges(n: usize, p: f64) -> f64 {
+    n as f64 * (n as f64 - 1.0) / 2.0 * p
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn er_is_reproducible() {
+        let a = erdos_renyi(20, 0.3, WeightKind::Random01, 42);
+        let b = erdos_renyi(20, 0.3, WeightKind::Random01, 42);
+        assert_eq!(a.num_edges(), b.num_edges());
+        for (ea, eb) in a.edges().iter().zip(b.edges()) {
+            assert_eq!((ea.u, ea.v), (eb.u, eb.v));
+            assert_eq!(ea.w, eb.w);
+        }
+    }
+
+    #[test]
+    fn er_seeds_differ() {
+        let a = erdos_renyi(30, 0.3, WeightKind::Uniform, 1);
+        let b = erdos_renyi(30, 0.3, WeightKind::Uniform, 2);
+        // overwhelmingly likely to differ in edge count or topology
+        let same = a.num_edges() == b.num_edges()
+            && a.edges().iter().zip(b.edges()).all(|(x, y)| (x.u, x.v) == (y.u, y.v));
+        assert!(!same);
+    }
+
+    #[test]
+    fn er_extreme_probabilities() {
+        let empty = erdos_renyi(10, 0.0, WeightKind::Uniform, 0);
+        assert_eq!(empty.num_edges(), 0);
+        let full = erdos_renyi(10, 1.0, WeightKind::Uniform, 0);
+        assert_eq!(full.num_edges(), 45);
+    }
+
+    #[test]
+    fn er_edge_count_near_expectation() {
+        let n = 200;
+        let p = 0.1;
+        let g = erdos_renyi(n, p, WeightKind::Uniform, 7);
+        let expected = expected_edges(n, p);
+        // 5 sigma of Binomial(n(n-1)/2, p)
+        let sigma = (expected * (1.0 - p)).sqrt();
+        assert!((g.num_edges() as f64 - expected).abs() < 5.0 * sigma);
+    }
+
+    #[test]
+    fn weighted_er_weights_in_unit_interval() {
+        let g = erdos_renyi(25, 0.4, WeightKind::Random01, 3);
+        assert!(g.edges().iter().all(|e| (0.0..1.0).contains(&e.w)));
+    }
+
+    #[test]
+    fn complete_graph_shape() {
+        let g = complete(6);
+        assert_eq!(g.num_edges(), 15);
+        assert!(g.is_unit_weighted());
+    }
+
+    #[test]
+    fn ring_shape() {
+        let g = ring(5);
+        assert_eq!(g.num_edges(), 5);
+        assert!((0..5).all(|v| g.degree(v) == 2));
+    }
+
+    #[test]
+    fn star_shape() {
+        let g = star(7);
+        assert_eq!(g.num_edges(), 6);
+        assert_eq!(g.degree(0), 6);
+    }
+
+    #[test]
+    fn barbell_shape() {
+        let g = barbell(4);
+        assert_eq!(g.num_nodes(), 8);
+        // 2 * C(4,2) + bridge
+        assert_eq!(g.num_edges(), 13);
+    }
+
+    #[test]
+    fn planted_partition_denser_inside() {
+        let g = planted_partition(3, 10, 0.9, 0.05, 11);
+        let mut intra = 0usize;
+        let mut inter = 0usize;
+        for e in g.edges() {
+            if e.u / 10 == e.v / 10 {
+                intra += 1;
+            } else {
+                inter += 1;
+            }
+        }
+        assert!(intra > inter, "intra={intra} inter={inter}");
+    }
+}

@@ -1,0 +1,305 @@
+//! Weighted undirected graph representation.
+//!
+//! The graph is stored twice: as a flat edge list (the natural shape for cut
+//! evaluation, Hamiltonian construction and SDP assembly) and as adjacency
+//! lists (the natural shape for traversals and modularity bookkeeping). Both
+//! views are built once and kept consistent; the struct is immutable after
+//! construction apart from [`Graph::add_edge`] during building.
+
+use std::fmt;
+
+/// Node identifier. Graphs in this suite stay well below `u32::MAX` nodes,
+/// and the narrower index keeps edge lists compact (see the perf-book advice
+/// on smaller integers for hot types).
+pub type NodeId = u32;
+
+/// A weighted undirected edge. Stored with `u < v` canonical orientation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Edge {
+    /// Smaller endpoint.
+    pub u: NodeId,
+    /// Larger endpoint.
+    pub v: NodeId,
+    /// Edge weight `w_uv = w_vu`. May be negative in QAOA² merge graphs.
+    pub w: f64,
+}
+
+/// Errors for graph construction and queries.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GraphError {
+    /// An endpoint index is out of range.
+    NodeOutOfRange { node: NodeId, num_nodes: usize },
+    /// A self-loop was supplied; MaxCut never benefits from them and the
+    /// Ising mapping has no `Z_i Z_i` term, so they are rejected outright.
+    SelfLoop { node: NodeId },
+    /// The same unordered pair appeared twice.
+    DuplicateEdge { u: NodeId, v: NodeId },
+    /// Parse failure in [`crate::io`].
+    Parse { line: usize, message: String },
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::NodeOutOfRange { node, num_nodes } => {
+                write!(f, "node {node} out of range for graph with {num_nodes} nodes")
+            }
+            GraphError::SelfLoop { node } => write!(f, "self-loop on node {node} rejected"),
+            GraphError::DuplicateEdge { u, v } => write!(f, "duplicate edge ({u}, {v})"),
+            GraphError::Parse { line, message } => write!(f, "parse error on line {line}: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+/// A weighted undirected graph with `0..n` contiguous node ids.
+#[derive(Debug, Clone, Default)]
+pub struct Graph {
+    num_nodes: usize,
+    edges: Vec<Edge>,
+    /// `adj[v]` lists `(neighbor, weight)` pairs; every edge appears twice.
+    adj: Vec<Vec<(NodeId, f64)>>,
+}
+
+impl Graph {
+    /// Create an edgeless graph on `num_nodes` nodes.
+    pub fn new(num_nodes: usize) -> Self {
+        Graph { num_nodes, edges: Vec::new(), adj: vec![Vec::new(); num_nodes] }
+    }
+
+    /// Create a graph from an iterator of `(u, v, w)` triples.
+    ///
+    /// Duplicate unordered pairs and self-loops are rejected.
+    pub fn from_edges<I>(num_nodes: usize, iter: I) -> crate::Result<Self>
+    where
+        I: IntoIterator<Item = (NodeId, NodeId, f64)>,
+    {
+        let mut g = Graph::new(num_nodes);
+        for (u, v, w) in iter {
+            g.add_edge(u, v, w)?;
+        }
+        Ok(g)
+    }
+
+    /// Add one undirected edge. `O(deg)` duplicate check against the
+    /// adjacency list — fine for construction-time use.
+    pub fn add_edge(&mut self, u: NodeId, v: NodeId, w: f64) -> crate::Result<()> {
+        let n = self.num_nodes;
+        if (u as usize) >= n {
+            return Err(GraphError::NodeOutOfRange { node: u, num_nodes: n });
+        }
+        if (v as usize) >= n {
+            return Err(GraphError::NodeOutOfRange { node: v, num_nodes: n });
+        }
+        if u == v {
+            return Err(GraphError::SelfLoop { node: u });
+        }
+        if self.adj[u as usize].iter().any(|&(x, _)| x == v) {
+            return Err(GraphError::DuplicateEdge { u: u.min(v), v: u.max(v) });
+        }
+        let (a, b) = if u < v { (u, v) } else { (v, u) };
+        self.edges.push(Edge { u: a, v: b, w });
+        self.adj[u as usize].push((v, w));
+        self.adj[v as usize].push((u, w));
+        Ok(())
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    /// Number of edges.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Flat edge list (canonical `u < v` orientation).
+    #[inline]
+    pub fn edges(&self) -> &[Edge] {
+        &self.edges
+    }
+
+    /// Neighbors of `v` as `(neighbor, weight)` pairs.
+    #[inline]
+    pub fn neighbors(&self, v: NodeId) -> &[(NodeId, f64)] {
+        &self.adj[v as usize]
+    }
+
+    /// Degree of `v` (neighbor count, not weighted).
+    #[inline]
+    pub fn degree(&self, v: NodeId) -> usize {
+        self.adj[v as usize].len()
+    }
+
+    /// Weighted degree of `v`: `Σ_u w_vu`.
+    pub fn weighted_degree(&self, v: NodeId) -> f64 {
+        self.adj[v as usize].iter().map(|&(_, w)| w).sum()
+    }
+
+    /// Sum of all edge weights (each edge counted once).
+    pub fn total_weight(&self) -> f64 {
+        self.edges.iter().map(|e| e.w).sum()
+    }
+
+    /// True if every edge weight equals 1 (the paper's "unweighted" case).
+    pub fn is_unit_weighted(&self) -> bool {
+        self.edges.iter().all(|e| e.w == 1.0)
+    }
+
+    /// Edge density: `|E| / (n choose 2)`; 0 for graphs with < 2 nodes.
+    pub fn density(&self) -> f64 {
+        if self.num_nodes < 2 {
+            return 0.0;
+        }
+        let max = self.num_nodes as f64 * (self.num_nodes as f64 - 1.0) / 2.0;
+        self.edges.len() as f64 / max
+    }
+
+    /// Weight of the edge `(u, v)` if present.
+    pub fn edge_weight(&self, u: NodeId, v: NodeId) -> Option<f64> {
+        self.adj
+            .get(u as usize)?
+            .iter()
+            .find_map(|&(x, w)| (x == v).then_some(w))
+    }
+
+    /// Connected components as lists of node ids (each sorted ascending).
+    pub fn connected_components(&self) -> Vec<Vec<NodeId>> {
+        let n = self.num_nodes;
+        let mut seen = vec![false; n];
+        let mut comps = Vec::new();
+        let mut stack = Vec::new();
+        for start in 0..n {
+            if seen[start] {
+                continue;
+            }
+            seen[start] = true;
+            stack.push(start as NodeId);
+            let mut comp = Vec::new();
+            while let Some(v) = stack.pop() {
+                comp.push(v);
+                for &(u, _) in self.neighbors(v) {
+                    if !seen[u as usize] {
+                        seen[u as usize] = true;
+                        stack.push(u);
+                    }
+                }
+            }
+            comp.sort_unstable();
+            comps.push(comp);
+        }
+        comps
+    }
+
+    /// Induced subgraph on `nodes` (need not be sorted). Returns the new
+    /// graph plus the mapping `local id -> original id`.
+    pub fn induced_subgraph(&self, nodes: &[NodeId]) -> (Graph, Vec<NodeId>) {
+        let mut local_of = vec![u32::MAX; self.num_nodes];
+        for (i, &v) in nodes.iter().enumerate() {
+            local_of[v as usize] = i as u32;
+        }
+        let mut g = Graph::new(nodes.len());
+        for e in &self.edges {
+            let lu = local_of[e.u as usize];
+            let lv = local_of[e.v as usize];
+            if lu != u32::MAX && lv != u32::MAX {
+                g.add_edge(lu, lv, e.w).expect("induced edges are unique and in range");
+            }
+        }
+        (g, nodes.to_vec())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triangle() -> Graph {
+        Graph::from_edges(3, [(0, 1, 1.0), (1, 2, 2.0), (0, 2, 3.0)]).unwrap()
+    }
+
+    #[test]
+    fn basic_construction() {
+        let g = triangle();
+        assert_eq!(g.num_nodes(), 3);
+        assert_eq!(g.num_edges(), 3);
+        assert_eq!(g.degree(1), 2);
+        assert_eq!(g.total_weight(), 6.0);
+        assert!((g.density() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rejects_self_loop() {
+        let mut g = Graph::new(2);
+        assert_eq!(g.add_edge(1, 1, 1.0), Err(GraphError::SelfLoop { node: 1 }));
+    }
+
+    #[test]
+    fn rejects_out_of_range() {
+        let mut g = Graph::new(2);
+        assert_eq!(
+            g.add_edge(0, 5, 1.0),
+            Err(GraphError::NodeOutOfRange { node: 5, num_nodes: 2 })
+        );
+    }
+
+    #[test]
+    fn rejects_duplicate_edge_either_orientation() {
+        let mut g = Graph::new(3);
+        g.add_edge(0, 1, 1.0).unwrap();
+        assert_eq!(g.add_edge(1, 0, 2.0), Err(GraphError::DuplicateEdge { u: 0, v: 1 }));
+    }
+
+    #[test]
+    fn edge_weight_lookup() {
+        let g = triangle();
+        assert_eq!(g.edge_weight(2, 1), Some(2.0));
+        assert_eq!(g.edge_weight(1, 2), Some(2.0));
+        assert_eq!(g.edge_weight(0, 0), None);
+    }
+
+    #[test]
+    fn weighted_degree_sums_incident_weights() {
+        let g = triangle();
+        assert_eq!(g.weighted_degree(0), 4.0);
+        assert_eq!(g.weighted_degree(2), 5.0);
+    }
+
+    #[test]
+    fn canonical_edge_orientation() {
+        let g = Graph::from_edges(3, [(2, 0, 1.0)]).unwrap();
+        let e = g.edges()[0];
+        assert!(e.u < e.v);
+    }
+
+    #[test]
+    fn connected_components_split() {
+        // two disjoint edges + isolated node
+        let g = Graph::from_edges(5, [(0, 1, 1.0), (2, 3, 1.0)]).unwrap();
+        let comps = g.connected_components();
+        assert_eq!(comps, vec![vec![0, 1], vec![2, 3], vec![4]]);
+    }
+
+    #[test]
+    fn induced_subgraph_remaps_ids() {
+        let g = triangle();
+        let (sub, map) = g.induced_subgraph(&[2, 0]);
+        assert_eq!(sub.num_nodes(), 2);
+        assert_eq!(sub.num_edges(), 1);
+        // edge (0,2,w=3) survives, remapped to local (1,0) -> canonical (0,1)
+        assert_eq!(sub.edges()[0].w, 3.0);
+        assert_eq!(map, vec![2, 0]);
+    }
+
+    #[test]
+    fn unit_weight_detection() {
+        let g = Graph::from_edges(3, [(0, 1, 1.0), (1, 2, 1.0)]).unwrap();
+        assert!(g.is_unit_weighted());
+        let h = triangle();
+        assert!(!h.is_unit_weighted());
+    }
+}

@@ -1,0 +1,128 @@
+//! Plain-text edge-list serialization.
+//!
+//! Format (whitespace separated, `#` comments allowed):
+//!
+//! ```text
+//! # header: num_nodes num_edges
+//! 5 3
+//! 0 1 1.0
+//! 1 2 0.75
+//! 3 4 1.0
+//! ```
+//!
+//! This is the interchange format the experiment binaries use to persist
+//! generated workloads next to their result CSVs, so any table cell can be
+//! re-run on the exact same instance.
+
+use crate::graph::{Graph, GraphError};
+use std::io::{BufRead, Write};
+
+/// Write `g` as an edge list.
+pub fn write_edge_list<W: Write>(g: &Graph, mut out: W) -> std::io::Result<()> {
+    writeln!(out, "{} {}", g.num_nodes(), g.num_edges())?;
+    for e in g.edges() {
+        writeln!(out, "{} {} {}", e.u, e.v, e.w)?;
+    }
+    Ok(())
+}
+
+/// Read a graph previously written by [`write_edge_list`].
+pub fn read_edge_list<R: BufRead>(input: R) -> crate::Result<Graph> {
+    let mut lines = input
+        .lines()
+        .map(|l| l.unwrap_or_default())
+        .enumerate()
+        .map(|(i, l)| (i + 1, l))
+        .filter(|(_, l)| {
+            let t = l.trim();
+            !t.is_empty() && !t.starts_with('#')
+        });
+
+    let (line_no, header) = lines.next().ok_or(GraphError::Parse {
+        line: 0,
+        message: "empty input".into(),
+    })?;
+    let mut parts = header.split_whitespace();
+    let n: usize = parse_field(&mut parts, line_no, "num_nodes")?;
+    let m: usize = parse_field(&mut parts, line_no, "num_edges")?;
+
+    let mut g = Graph::new(n);
+    let mut count = 0usize;
+    for (line_no, line) in lines {
+        let mut parts = line.split_whitespace();
+        let u: u32 = parse_field(&mut parts, line_no, "u")?;
+        let v: u32 = parse_field(&mut parts, line_no, "v")?;
+        let w: f64 = parse_field(&mut parts, line_no, "w")?;
+        g.add_edge(u, v, w)?;
+        count += 1;
+    }
+    if count != m {
+        return Err(GraphError::Parse {
+            line: 0,
+            message: format!("header promised {m} edges, found {count}"),
+        });
+    }
+    Ok(g)
+}
+
+fn parse_field<'a, T: std::str::FromStr>(
+    parts: &mut impl Iterator<Item = &'a str>,
+    line: usize,
+    what: &str,
+) -> crate::Result<T> {
+    let tok = parts.next().ok_or_else(|| GraphError::Parse {
+        line,
+        message: format!("missing field `{what}`"),
+    })?;
+    tok.parse().map_err(|_| GraphError::Parse {
+        line,
+        message: format!("cannot parse `{tok}` as {what}"),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::{self, WeightKind};
+    use std::io::BufReader;
+
+    #[test]
+    fn roundtrip() {
+        let g = generators::erdos_renyi(15, 0.3, WeightKind::Random01, 77);
+        let mut buf = Vec::new();
+        write_edge_list(&g, &mut buf).unwrap();
+        let h = read_edge_list(BufReader::new(buf.as_slice())).unwrap();
+        assert_eq!(g.num_nodes(), h.num_nodes());
+        assert_eq!(g.num_edges(), h.num_edges());
+        for (a, b) in g.edges().iter().zip(h.edges()) {
+            assert_eq!((a.u, a.v), (b.u, b.v));
+            assert!((a.w - b.w).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn comments_and_blank_lines_skipped() {
+        let text = "# a graph\n\n3 1\n# the only edge\n0 2 1.5\n";
+        let g = read_edge_list(BufReader::new(text.as_bytes())).unwrap();
+        assert_eq!(g.num_nodes(), 3);
+        assert_eq!(g.edge_weight(0, 2), Some(1.5));
+    }
+
+    #[test]
+    fn wrong_edge_count_rejected() {
+        let text = "2 2\n0 1 1.0\n";
+        assert!(read_edge_list(BufReader::new(text.as_bytes())).is_err());
+    }
+
+    #[test]
+    fn malformed_field_rejected() {
+        let text = "2 1\n0 x 1.0\n";
+        let err = read_edge_list(BufReader::new(text.as_bytes())).unwrap_err();
+        assert!(matches!(err, GraphError::Parse { line: 2, .. }));
+    }
+
+    #[test]
+    fn empty_input_rejected() {
+        assert!(read_edge_list(BufReader::new("".as_bytes())).is_err());
+    }
+}

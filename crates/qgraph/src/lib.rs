@@ -1,0 +1,36 @@
+//! # qq-graph — graph substrate for QAOA-in-QAOA
+//!
+//! Weighted undirected graphs, the workload generators used throughout the
+//! paper (Erdős–Rényi with uniform or `U[0,1]` weights), cut bookkeeping,
+//! modularity, and the Clauset–Newman–Moore greedy-modularity partitioner
+//! that QAOA² uses to cap sub-graph sizes at the qubit budget.
+//!
+//! The types here are deliberately simulator-agnostic: `qq-qaoa`, `qq-gw`
+//! and `qq-classical` all consume [`Graph`] and produce [`Cut`] values, so
+//! solvers are interchangeable inside the QAOA² divide-and-conquer loop.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use qq_graph::{generators, Cut};
+//!
+//! let g = generators::erdos_renyi(12, 0.4, generators::WeightKind::Uniform, 7);
+//! // put even nodes on one side, odd on the other
+//! let cut = Cut::from_fn(g.num_nodes(), |v| v % 2 == 0);
+//! assert!(cut.value(&g) > 0.0);
+//! ```
+
+pub mod cut;
+pub mod generators;
+pub mod graph;
+pub mod io;
+pub mod modularity;
+pub mod partition;
+
+pub use cut::Cut;
+pub use graph::{Edge, Graph, GraphError, NodeId};
+pub use modularity::{greedy_modularity_communities, modularity};
+pub use partition::{extract_subgraphs, partition_with_cap, Partition, Subgraph};
+
+/// Convenient result alias for fallible graph operations.
+pub type Result<T> = std::result::Result<T, GraphError>;

@@ -1,0 +1,224 @@
+//! Size-capped graph partitioning for the QAOA² divide step.
+//!
+//! The paper partitions the input with greedy modularity and then — because
+//! every sub-graph must fit on an `n`-qubit device — recursively re-divides
+//! any community larger than the qubit budget. [`partition_with_cap`]
+//! implements exactly that, with a balanced-bisection fallback for
+//! communities that greedy modularity refuses to split (cliques, very dense
+//! blobs, or merge graphs with non-positive total weight).
+
+use crate::graph::{Graph, NodeId};
+use crate::modularity::greedy_modularity_communities;
+
+/// A disjoint cover of the node set.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Partition {
+    communities: Vec<Vec<NodeId>>,
+    num_nodes: usize,
+}
+
+impl Partition {
+    /// Wrap raw communities. Panics in debug builds if they are not a
+    /// disjoint cover of `0..num_nodes`.
+    pub fn new(num_nodes: usize, communities: Vec<Vec<NodeId>>) -> Self {
+        let p = Partition { communities, num_nodes };
+        debug_assert!(p.is_valid(), "communities must partition the node set");
+        p
+    }
+
+    /// Communities as sorted node-id lists.
+    pub fn communities(&self) -> &[Vec<NodeId>] {
+        &self.communities
+    }
+
+    /// Number of communities.
+    pub fn len(&self) -> usize {
+        self.communities.len()
+    }
+
+    /// True when there are no communities (empty graph).
+    pub fn is_empty(&self) -> bool {
+        self.communities.is_empty()
+    }
+
+    /// Size of the largest community.
+    pub fn max_community_size(&self) -> usize {
+        self.communities.iter().map(Vec::len).max().unwrap_or(0)
+    }
+
+    /// `assignment()[v]` = index of the community containing node `v`.
+    pub fn assignment(&self) -> Vec<u32> {
+        let mut a = vec![u32::MAX; self.num_nodes];
+        for (c, members) in self.communities.iter().enumerate() {
+            for &v in members {
+                a[v as usize] = c as u32;
+            }
+        }
+        a
+    }
+
+    /// Check the partition is a disjoint cover of the node set.
+    pub fn is_valid(&self) -> bool {
+        let mut seen = vec![false; self.num_nodes];
+        for c in &self.communities {
+            for &v in c {
+                let Some(slot) = seen.get_mut(v as usize) else { return false };
+                if *slot {
+                    return false;
+                }
+                *slot = true;
+            }
+        }
+        seen.iter().all(|&s| s)
+    }
+}
+
+/// One sub-problem of the divide step: the induced sub-graph plus the
+/// mapping from its local node ids back to the parent graph.
+#[derive(Debug, Clone)]
+pub struct Subgraph {
+    /// Induced sub-graph with contiguous local ids.
+    pub graph: Graph,
+    /// `nodes[local] = global` id in the parent graph.
+    pub nodes: Vec<NodeId>,
+}
+
+impl Subgraph {
+    /// Number of local nodes (= qubits needed to solve it with QAOA).
+    pub fn num_nodes(&self) -> usize {
+        self.graph.num_nodes()
+    }
+}
+
+/// Extract the induced sub-graph of every community.
+pub fn extract_subgraphs(g: &Graph, partition: &Partition) -> Vec<Subgraph> {
+    partition
+        .communities()
+        .iter()
+        .map(|c| {
+            let (graph, nodes) = g.induced_subgraph(c);
+            Subgraph { graph, nodes }
+        })
+        .collect()
+}
+
+/// Greedy-modularity partition with every community capped at `cap` nodes.
+///
+/// Mirrors the paper's procedure: CNM first; any oversized community is
+/// re-partitioned recursively; if CNM cannot split a piece (single
+/// community or no positive-ΔQ merge structure), fall back to balanced
+/// bisection in node order, which always terminates.
+pub fn partition_with_cap(g: &Graph, cap: usize) -> Partition {
+    assert!(cap >= 1, "community cap must be at least 1");
+    let mut result: Vec<Vec<NodeId>> = Vec::new();
+    let initial = greedy_modularity_communities(g, 1);
+    let mut work: Vec<Vec<NodeId>> = initial;
+    while let Some(community) = work.pop() {
+        if community.len() <= cap {
+            result.push(community);
+            continue;
+        }
+        let (sub, map) = g.induced_subgraph(&community);
+        let split = greedy_modularity_communities(&sub, 2);
+        let pieces: Vec<Vec<NodeId>> = if split.len() >= 2 {
+            split
+                .into_iter()
+                .map(|c| c.into_iter().map(|local| map[local as usize]).collect())
+                .collect()
+        } else {
+            bisect(&community)
+        };
+        work.extend(pieces);
+    }
+    result.sort_by(|x, y| y.len().cmp(&x.len()).then_with(|| x[0].cmp(&y[0])));
+    Partition::new(g.num_nodes(), result)
+}
+
+/// Split a node list into two halves (node-id order). Used as the fallback
+/// when modularity cannot find sub-structure.
+fn bisect(nodes: &[NodeId]) -> Vec<Vec<NodeId>> {
+    let mid = nodes.len() / 2;
+    vec![nodes[..mid].to_vec(), nodes[mid..].to_vec()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::{self, WeightKind};
+
+    #[test]
+    fn partition_respects_cap() {
+        let g = generators::erdos_renyi(60, 0.15, WeightKind::Uniform, 3);
+        for cap in [4, 8, 16] {
+            let p = partition_with_cap(&g, cap);
+            assert!(p.max_community_size() <= cap, "cap {cap} violated: {}", p.max_community_size());
+            assert!(p.is_valid());
+        }
+    }
+
+    #[test]
+    fn partition_of_clique_uses_bisection() {
+        let g = generators::complete(16);
+        let p = partition_with_cap(&g, 5);
+        assert!(p.max_community_size() <= 5);
+        assert!(p.is_valid());
+    }
+
+    #[test]
+    fn partition_cap_one_gives_singletons() {
+        let g = generators::ring(7);
+        let p = partition_with_cap(&g, 1);
+        assert_eq!(p.len(), 7);
+    }
+
+    #[test]
+    fn partition_preserves_planted_blocks_when_cap_allows() {
+        let g = generators::planted_partition(4, 6, 0.9, 0.02, 8);
+        let p = partition_with_cap(&g, 6);
+        assert_eq!(p.len(), 4);
+        for c in p.communities() {
+            let block = c[0] / 6;
+            assert!(c.iter().all(|&v| v / 6 == block));
+        }
+    }
+
+    #[test]
+    fn extract_subgraphs_preserves_edges() {
+        let g = generators::barbell(4);
+        let p = partition_with_cap(&g, 4);
+        let subs = extract_subgraphs(&g, &p);
+        // the two bells are K4: 6 edges each; bridge edge is inter-community
+        let total_sub_edges: usize = subs.iter().map(|s| s.graph.num_edges()).sum();
+        assert_eq!(total_sub_edges, 12);
+    }
+
+    #[test]
+    fn assignment_roundtrip() {
+        let g = generators::erdos_renyi(30, 0.2, WeightKind::Uniform, 5);
+        let p = partition_with_cap(&g, 10);
+        let a = p.assignment();
+        for (c, members) in p.communities().iter().enumerate() {
+            for &v in members {
+                assert_eq!(a[v as usize], c as u32);
+            }
+        }
+    }
+
+    #[test]
+    fn empty_graph_partition() {
+        let g = Graph::new(0);
+        let p = partition_with_cap(&g, 4);
+        assert!(p.is_empty());
+        assert!(p.is_valid());
+    }
+
+    #[test]
+    fn invalid_partition_detected() {
+        let p = Partition { communities: vec![vec![0, 1], vec![1]], num_nodes: 2 };
+        assert!(!p.is_valid());
+        let q = Partition { communities: vec![vec![0]], num_nodes: 2 };
+        assert!(!q.is_valid());
+    }
+
+    use crate::graph::Graph;
+}

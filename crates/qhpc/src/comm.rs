@@ -1,0 +1,236 @@
+//! MPI-like communicator over threads and channels (the `mpi4py` stand-in).
+//!
+//! [`run_ranks`] spawns `size` OS threads, each holding a [`Communicator`]
+//! with its rank. Point-to-point messages travel over unbounded crossbeam
+//! channels; a per-rank stash preserves MPI's tagged-source semantics
+//! (`recv_from` buffers out-of-order arrivals). Collectives are built on
+//! point-to-point with rank 0 as root, as small MPI implementations do.
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use std::collections::VecDeque;
+
+/// A message envelope: source rank + payload.
+type Envelope<T> = (usize, T);
+
+/// Per-rank communicator handle.
+pub struct Communicator<T> {
+    rank: usize,
+    size: usize,
+    senders: Vec<Sender<Envelope<T>>>,
+    receiver: Receiver<Envelope<T>>,
+    stash: VecDeque<Envelope<T>>,
+}
+
+impl<T: Send> Communicator<T> {
+    /// This rank's id.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Number of ranks.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Send `msg` to rank `to`. Non-blocking (unbounded buffering, like
+    /// eager-mode MPI for small messages).
+    pub fn send(&self, to: usize, msg: T) {
+        assert!(to < self.size, "rank {to} out of range (size {})", self.size);
+        self.senders[to]
+            .send((self.rank, msg))
+            .expect("receiver thread alive for the scope duration");
+    }
+
+    /// Receive the next message from any source. Blocks.
+    pub fn recv_any(&mut self) -> (usize, T) {
+        if let Some(env) = self.stash.pop_front() {
+            return env;
+        }
+        self.receiver.recv().expect("senders alive for the scope duration")
+    }
+
+    /// Receive the next message from a specific source, stashing others.
+    pub fn recv_from(&mut self, src: usize) -> T {
+        // check the stash first
+        if let Some(pos) = self.stash.iter().position(|(s, _)| *s == src) {
+            return self.stash.remove(pos).expect("position just found").1;
+        }
+        loop {
+            let env = self.receiver.recv().expect("senders alive");
+            if env.0 == src {
+                return env.1;
+            }
+            self.stash.push_back(env);
+        }
+    }
+}
+
+impl<T: Send + Clone> Communicator<T> {
+    /// Broadcast from `root`: root's value is delivered to every rank
+    /// (including returned at the root itself).
+    pub fn broadcast(&mut self, root: usize, value: Option<T>) -> T {
+        if self.rank == root {
+            let v = value.expect("root must supply the broadcast value");
+            for r in 0..self.size {
+                if r != root {
+                    self.send(r, v.clone());
+                }
+            }
+            v
+        } else {
+            self.recv_from(root)
+        }
+    }
+
+    /// Gather to `root`: returns `Some(values)` at the root (indexed by
+    /// rank), `None` elsewhere.
+    pub fn gather(&mut self, root: usize, value: T) -> Option<Vec<T>> {
+        if self.rank == root {
+            let mut out: Vec<Option<T>> = (0..self.size).map(|_| None).collect();
+            out[root] = Some(value);
+            for _ in 0..self.size - 1 {
+                let (src, v) = self.recv_any();
+                out[src] = Some(v);
+            }
+            Some(out.into_iter().map(|v| v.expect("all ranks reported")).collect())
+        } else {
+            self.send(root, value);
+            None
+        }
+    }
+
+    /// Reduce at `root` with a binary fold over rank order.
+    pub fn reduce<F: Fn(T, T) -> T>(&mut self, root: usize, value: T, f: F) -> Option<T> {
+        self.gather(root, value).map(|vs| {
+            let mut it = vs.into_iter();
+            let first = it.next().expect("size >= 1");
+            it.fold(first, |a, b| f(a, b))
+        })
+    }
+
+    /// Barrier: gather-then-broadcast of unit values through rank 0.
+    pub fn barrier(&mut self)
+    where
+        T: Default,
+    {
+        let _ = self.gather(0, T::default());
+        let _ = self.broadcast(0, (self.rank == 0).then(T::default));
+    }
+}
+
+/// Spawn `size` ranks running `f`; returns each rank's output in rank
+/// order. Panics in any rank propagate.
+pub fn run_ranks<T, R, F>(size: usize, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(Communicator<T>) -> R + Sync,
+{
+    assert!(size >= 1, "need at least one rank");
+    let channels: Vec<(Sender<Envelope<T>>, Receiver<Envelope<T>>)> =
+        (0..size).map(|_| unbounded()).collect();
+    let senders: Vec<Sender<Envelope<T>>> = channels.iter().map(|(s, _)| s.clone()).collect();
+    let mut receivers: Vec<Option<Receiver<Envelope<T>>>> =
+        channels.into_iter().map(|(_, r)| Some(r)).collect();
+
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(size);
+        for rank in 0..size {
+            let comm = Communicator {
+                rank,
+                size,
+                senders: senders.clone(),
+                receiver: receivers[rank].take().expect("each rank taken once"),
+                stash: VecDeque::new(),
+            };
+            let f = &f;
+            handles.push(scope.spawn(move || f(comm)));
+        }
+        handles.into_iter().map(|h| h.join().expect("rank panicked")).collect()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn point_to_point_roundtrip() {
+        let out: Vec<i64> = run_ranks(2, |mut comm: Communicator<i64>| {
+            if comm.rank() == 0 {
+                comm.send(1, 41);
+                comm.recv_from(1)
+            } else {
+                let v = comm.recv_from(0);
+                comm.send(0, v + 1);
+                v
+            }
+        });
+        assert_eq!(out, vec![42, 41]);
+    }
+
+    #[test]
+    fn gather_collects_rank_order() {
+        let out = run_ranks(4, |mut comm: Communicator<usize>| comm.gather(0, comm.rank() * 10));
+        assert_eq!(out[0], Some(vec![0, 10, 20, 30]));
+        assert!(out[1..].iter().all(Option::is_none));
+    }
+
+    #[test]
+    fn broadcast_reaches_all() {
+        let out = run_ranks(3, |mut comm: Communicator<String>| {
+            let root_value = (comm.rank() == 1).then(|| "hello".to_string());
+            comm.broadcast(1, root_value)
+        });
+        assert!(out.iter().all(|v| v == "hello"));
+    }
+
+    #[test]
+    fn reduce_sums() {
+        let out = run_ranks(5, |mut comm: Communicator<u64>| {
+            comm.reduce(0, comm.rank() as u64 + 1, |a, b| a + b)
+        });
+        assert_eq!(out[0], Some(15));
+    }
+
+    #[test]
+    fn barrier_completes() {
+        // would deadlock if the barrier were wrong; completion is the test
+        let out = run_ranks(4, |mut comm: Communicator<u8>| {
+            comm.barrier();
+            comm.rank()
+        });
+        assert_eq!(out, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn recv_from_stashes_out_of_order() {
+        let out = run_ranks(3, |mut comm: Communicator<&'static str>| match comm.rank() {
+            0 => {
+                // rank 2's message may arrive first; recv_from(1) must
+                // stash it and still return rank 1's message
+                let one = comm.recv_from(1);
+                let two = comm.recv_from(2);
+                format!("{one}-{two}")
+            }
+            1 => {
+                comm.send(0, "one");
+                String::new()
+            }
+            _ => {
+                comm.send(0, "two");
+                String::new()
+            }
+        });
+        assert_eq!(out[0], "one-two");
+    }
+
+    #[test]
+    fn single_rank_collectives() {
+        let out = run_ranks(1, |mut comm: Communicator<i32>| {
+            comm.barrier();
+            comm.reduce(0, 7, |a, b| a + b)
+        });
+        assert_eq!(out[0], Some(7));
+    }
+}

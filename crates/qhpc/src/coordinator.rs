@@ -1,0 +1,186 @@
+//! The Fig. 2 distribution scheme: coordinator + worker pools.
+//!
+//! "A coordinator executed on a dedicated MPI rank handles the
+//! partitioning and collection of results." Here: rank 0 owns the task
+//! queue and hands tasks to workers on demand (self-scheduling, so
+//! heterogeneous task costs balance automatically); workers run the
+//! user's closure on real threads and report per-task busy time, letting
+//! the harness compute coordination overhead and scaling efficiency —
+//! the "almost ideal scaling" claim of §4.
+
+use crate::comm::{run_ranks, Communicator};
+use std::time::{Duration, Instant};
+
+/// Coordinator/worker protocol messages.
+enum Msg<T, R> {
+    /// Worker asks for work.
+    Request,
+    /// Coordinator assigns task `id`.
+    Task(usize, T),
+    /// Worker returns the result of task `id` plus its busy time.
+    Result(usize, R, Duration),
+    /// No more work.
+    Stop,
+}
+
+/// Per-worker accounting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WorkerStats {
+    /// Tasks completed.
+    pub tasks: usize,
+    /// Time spent inside the task closure.
+    pub busy: Duration,
+}
+
+/// Outcome of a master/worker run.
+#[derive(Debug)]
+pub struct MasterWorkerReport<R> {
+    /// Results in task order.
+    pub results: Vec<R>,
+    /// Stats per worker (index 0 = worker rank 1).
+    pub workers: Vec<WorkerStats>,
+    /// Wall-clock of the whole distribution.
+    pub wall: Duration,
+}
+
+impl<R> MasterWorkerReport<R> {
+    /// Parallel efficiency: total busy time / (workers × wall). 1.0 would
+    /// be ideal scaling with zero coordination overhead.
+    pub fn efficiency(&self) -> f64 {
+        if self.workers.is_empty() || self.wall.is_zero() {
+            return 1.0;
+        }
+        let busy: Duration = self.workers.iter().map(|w| w.busy).sum();
+        busy.as_secs_f64() / (self.workers.len() as f64 * self.wall.as_secs_f64())
+    }
+}
+
+/// Run `tasks` through `num_workers` worker ranks with self-scheduling.
+///
+/// `worker` receives `(task_index, &task)` and runs on a worker thread;
+/// results are returned in task order. Deterministic in *results* (task
+/// indices are explicit); assignment order depends on thread timing, as
+/// on a real cluster.
+pub fn master_worker<T, R, F>(
+    num_workers: usize,
+    tasks: Vec<T>,
+    worker: F,
+) -> MasterWorkerReport<R>
+where
+    T: Send + Sync + Clone,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    assert!(num_workers >= 1, "need at least one worker");
+    let started = Instant::now();
+    let n_tasks = tasks.len();
+    let size = num_workers + 1; // + coordinator
+
+    let mut rank_outputs = run_ranks(size, |mut comm: Communicator<Msg<T, R>>| {
+        if comm.rank() == 0 {
+            // ---- coordinator ----
+            let mut next = 0usize;
+            let mut results: Vec<Option<R>> = (0..n_tasks).map(|_| None).collect();
+            let mut stats = vec![WorkerStats { tasks: 0, busy: Duration::ZERO }; num_workers];
+            let mut stopped = 0usize;
+            while stopped < num_workers {
+                let (src, msg) = comm.recv_any();
+                match msg {
+                    Msg::Request => {
+                        if next < n_tasks {
+                            comm.send(src, Msg::Task(next, tasks[next].clone()));
+                            next += 1;
+                        } else {
+                            comm.send(src, Msg::Stop);
+                            stopped += 1;
+                        }
+                    }
+                    Msg::Result(id, r, busy) => {
+                        results[id] = Some(r);
+                        stats[src - 1].tasks += 1;
+                        stats[src - 1].busy += busy;
+                    }
+                    _ => unreachable!("workers only send Request/Result"),
+                }
+            }
+            Some((
+                results.into_iter().map(|r| r.expect("all tasks completed")).collect::<Vec<R>>(),
+                stats,
+            ))
+        } else {
+            // ---- worker ----
+            loop {
+                comm.send(0, Msg::Request);
+                match comm.recv_from(0) {
+                    Msg::Task(id, t) => {
+                        let t0 = Instant::now();
+                        let r = worker(id, &t);
+                        comm.send(0, Msg::Result(id, r, t0.elapsed()));
+                    }
+                    Msg::Stop => break,
+                    _ => unreachable!("coordinator only sends Task/Stop"),
+                }
+            }
+            None
+        }
+    });
+
+    let (results, workers) =
+        rank_outputs.remove(0).expect("coordinator rank returns the collected results");
+    MasterWorkerReport { results, workers, wall: started.elapsed() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_in_task_order() {
+        let tasks: Vec<u64> = (0..50).collect();
+        let report = master_worker(3, tasks, |_, &t| t * t);
+        let expected: Vec<u64> = (0..50).map(|t| t * t).collect();
+        assert_eq!(report.results, expected);
+    }
+
+    #[test]
+    fn all_tasks_counted_once() {
+        let report = master_worker(4, vec![1u32; 37], |_, &t| t);
+        let total: usize = report.workers.iter().map(|w| w.tasks).sum();
+        assert_eq!(total, 37);
+    }
+
+    #[test]
+    fn heterogeneous_costs_balance() {
+        // tasks with very uneven cost: self-scheduling should give every
+        // worker at least one task when there are many more tasks than workers
+        let tasks: Vec<u64> = (0..40).map(|i| if i % 10 == 0 { 3000 } else { 50 }).collect();
+        let report = master_worker(2, tasks, |_, &micros| {
+            std::thread::sleep(Duration::from_micros(micros));
+            micros
+        });
+        assert!(report.workers.iter().all(|w| w.tasks > 0));
+    }
+
+    #[test]
+    fn empty_task_list() {
+        let report = master_worker::<u8, u8, _>(2, Vec::new(), |_, &t| t);
+        assert!(report.results.is_empty());
+        assert!(report.workers.iter().all(|w| w.tasks == 0));
+    }
+
+    #[test]
+    fn single_worker_processes_everything() {
+        let report = master_worker(1, vec![5u8, 6, 7], |i, &t| (i as u8, t));
+        assert_eq!(report.results, vec![(0, 5), (1, 6), (2, 7)]);
+        assert_eq!(report.workers[0].tasks, 3);
+    }
+
+    #[test]
+    fn efficiency_in_unit_range() {
+        let report = master_worker(2, vec![200u64; 16], |_, &micros| {
+            std::thread::sleep(Duration::from_micros(micros));
+        });
+        let e = report.efficiency();
+        assert!((0.0..=1.05).contains(&e), "efficiency {e}");
+    }
+}

@@ -1,0 +1,27 @@
+//! # qq-hpc — HPC workflow substrate
+//!
+//! The paper's workflow layer, rebuilt at laptop scale:
+//!
+//! * [`scheduler`] — a SLURM-like workload manager as a discrete-event
+//!   simulation: jobs with MPMD components, **heterogeneous jobs** whose
+//!   components start independently as their resources free (the Fig. 1
+//!   idle-time optimization), FIFO + backfill, and per-resource
+//!   utilization/idle accounting;
+//! * [`comm`] — an MPI-like communicator: ranks on real threads,
+//!   point-to-point send/recv over crossbeam channels, and the collective
+//!   operations the workflow uses (barrier, broadcast, gather, reduce) —
+//!   the `mpi4py` stand-in;
+//! * [`coordinator`] — the Fig. 2 distribution scheme: a coordinator rank
+//!   hands sub-problems to quantum/classical worker pools and collects
+//!   results, with per-worker busy accounting so coordination overhead and
+//!   scaling efficiency can be reported like the paper does.
+
+pub mod comm;
+pub mod coordinator;
+pub mod scheduler;
+
+pub use comm::{run_ranks, Communicator};
+pub use coordinator::{master_worker, MasterWorkerReport, WorkerStats};
+pub use scheduler::{
+    Cluster, Job, JobComponent, JobMode, ResourceKind, ResourceReq, ScheduleOutcome, Scheduler,
+};

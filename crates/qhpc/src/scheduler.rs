@@ -1,0 +1,468 @@
+//! SLURM-like workload manager (discrete-event simulation).
+//!
+//! Models what the paper actually uses SLURM for:
+//!
+//! * **MPMD jobs** ([`JobMode::Monolithic`]) — all components must be
+//!   allocated simultaneously (one `srun` with several programs);
+//! * **heterogeneous jobs** ([`JobMode::Heterogeneous`]) — components are
+//!   co-submitted but each starts as soon as *its* resources are free.
+//!   Fig. 1's point: with a scarce quantum device, het jobs let job 2's
+//!   QPU component start while job 1's classical component still runs,
+//!   cutting QPU idle time.
+//!
+//! Time is unitless ticks. The scheduler is deterministic: FIFO order with
+//! optional conservative backfill (a later component may start early only
+//! if it does not delay any earlier pending component's earliest start).
+
+use std::collections::BTreeMap;
+
+/// Resource classes a component can request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ResourceKind {
+    /// Classical compute nodes.
+    CpuNode,
+    /// Quantum processing units (simulated devices).
+    Qpu,
+}
+
+/// Amounts of each resource a component needs for its whole runtime.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ResourceReq {
+    /// Classical nodes.
+    pub cpu_nodes: usize,
+    /// Quantum devices.
+    pub qpus: usize,
+}
+
+impl ResourceReq {
+    /// Pure-classical request.
+    pub fn cpu(cpu_nodes: usize) -> Self {
+        ResourceReq { cpu_nodes, qpus: 0 }
+    }
+
+    /// Request including quantum devices.
+    pub fn quantum(cpu_nodes: usize, qpus: usize) -> Self {
+        ResourceReq { cpu_nodes, qpus }
+    }
+}
+
+/// One program of an MPMD/heterogeneous job.
+#[derive(Debug, Clone)]
+pub struct JobComponent {
+    /// Label for reports ("qaoa-sim", "gw", "coordinator", …).
+    pub name: String,
+    /// Resources held for the duration.
+    pub req: ResourceReq,
+    /// Runtime in ticks.
+    pub duration: u64,
+}
+
+/// How a job's components are co-scheduled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobMode {
+    /// All components start together (plain MPMD `srun`).
+    Monolithic,
+    /// Components start independently (SLURM heterogeneous job).
+    Heterogeneous,
+}
+
+/// A submitted job.
+#[derive(Debug, Clone)]
+pub struct Job {
+    /// Submission time (ticks).
+    pub submit: u64,
+    /// Components.
+    pub components: Vec<JobComponent>,
+    /// Co-scheduling mode.
+    pub mode: JobMode,
+}
+
+/// Cluster capacity.
+#[derive(Debug, Clone, Copy)]
+pub struct Cluster {
+    /// Classical node count.
+    pub cpu_nodes: usize,
+    /// Quantum device count.
+    pub qpus: usize,
+}
+
+/// One scheduled interval in the Gantt record.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GanttEntry {
+    /// Job index (submission order).
+    pub job: usize,
+    /// Component index within the job.
+    pub component: usize,
+    /// Component label.
+    pub name: String,
+    /// Start tick.
+    pub start: u64,
+    /// End tick.
+    pub end: u64,
+    /// Resources held.
+    pub req: ResourceReq,
+}
+
+/// Result of scheduling a batch.
+#[derive(Debug, Clone)]
+pub struct ScheduleOutcome {
+    /// Per-component intervals.
+    pub gantt: Vec<GanttEntry>,
+    /// Time the last component finishes.
+    pub makespan: u64,
+    /// Busy ticks per resource class (summed over units).
+    pub busy: BTreeMap<&'static str, u64>,
+    /// Utilization per resource class in `[0, 1]` over the makespan.
+    pub utilization: BTreeMap<&'static str, f64>,
+}
+
+impl ScheduleOutcome {
+    /// Idle fraction of the quantum devices — the Fig. 1 metric.
+    pub fn qpu_idle_fraction(&self) -> f64 {
+        1.0 - self.utilization.get("qpu").copied().unwrap_or(0.0)
+    }
+}
+
+/// Deterministic discrete-event scheduler.
+#[derive(Debug, Clone)]
+pub struct Scheduler {
+    cluster: Cluster,
+    backfill: bool,
+}
+
+/// A pending component, flattened from the job list.
+#[derive(Debug, Clone)]
+struct Pending {
+    job: usize,
+    component: usize,
+    name: String,
+    req: ResourceReq,
+    duration: u64,
+    ready: u64,
+    /// For monolithic jobs, all components share a group id and must start
+    /// at one time.
+    group: Option<usize>,
+}
+
+impl Scheduler {
+    /// Scheduler over a cluster; `backfill` enables conservative backfill.
+    pub fn new(cluster: Cluster, backfill: bool) -> Self {
+        assert!(cluster.cpu_nodes > 0 || cluster.qpus > 0, "cluster has no resources");
+        Scheduler { cluster, backfill }
+    }
+
+    /// Schedule a batch of jobs; panics if any single component exceeds the
+    /// cluster capacity (it could never run).
+    pub fn run(&self, jobs: &[Job]) -> ScheduleOutcome {
+        for (j, job) in jobs.iter().enumerate() {
+            for (c, comp) in job.components.iter().enumerate() {
+                assert!(
+                    comp.req.cpu_nodes <= self.cluster.cpu_nodes
+                        && comp.req.qpus <= self.cluster.qpus,
+                    "job {j} component {c} exceeds cluster capacity"
+                );
+            }
+        }
+
+        // Flatten to pending list in FIFO order.
+        let mut pending: Vec<Pending> = Vec::new();
+        for (j, job) in jobs.iter().enumerate() {
+            let group = matches!(job.mode, JobMode::Monolithic).then_some(j);
+            for (c, comp) in job.components.iter().enumerate() {
+                pending.push(Pending {
+                    job: j,
+                    component: c,
+                    name: comp.name.clone(),
+                    req: comp.req,
+                    duration: comp.duration,
+                    ready: job.submit,
+                    group,
+                });
+            }
+        }
+
+        let mut gantt: Vec<GanttEntry> = Vec::new();
+        let mut running: Vec<(u64, ResourceReq)> = Vec::new(); // (end, held)
+        let mut free = self.cluster;
+        let mut now = 0u64;
+
+        while !pending.is_empty() {
+            // Release everything finishing at or before `now`.
+            running.retain(|&(end, req)| {
+                if end <= now {
+                    free.cpu_nodes += req.cpu_nodes;
+                    free.qpus += req.qpus;
+                    false
+                } else {
+                    true
+                }
+            });
+
+            // Try to start components in FIFO order.
+            let mut started_any = false;
+            let mut i = 0;
+            let mut blocked_head = false;
+            while i < pending.len() {
+                let can_consider = !blocked_head || self.backfill;
+                if !can_consider {
+                    break;
+                }
+                let p = &pending[i];
+                if p.ready > now {
+                    i += 1;
+                    continue;
+                }
+                let startable = match p.group {
+                    None => fits(&free, &p.req),
+                    Some(gid) => {
+                        // monolithic: all same-group components must fit at once
+                        let mut need = ResourceReq::default();
+                        for q in pending.iter().filter(|q| q.group == Some(gid)) {
+                            need.cpu_nodes += q.req.cpu_nodes;
+                            need.qpus += q.req.qpus;
+                        }
+                        fits(&free, &need)
+                    }
+                };
+                if startable {
+                    // start the component (or the whole monolithic group)
+                    let group = p.group;
+                    let idxs: Vec<usize> = pending
+                        .iter()
+                        .enumerate()
+                        .filter(|(k, q)| if group.is_some() { q.group == group } else { *k == i })
+                        .map(|(k, _)| k)
+                        .collect();
+                    for &k in idxs.iter().rev() {
+                        let q = pending.remove(k);
+                        free.cpu_nodes -= q.req.cpu_nodes;
+                        free.qpus -= q.req.qpus;
+                        running.push((now + q.duration, q.req));
+                        gantt.push(GanttEntry {
+                            job: q.job,
+                            component: q.component,
+                            name: q.name,
+                            start: now,
+                            end: now + q.duration,
+                            req: q.req,
+                        });
+                    }
+                    started_any = true;
+                    i = 0; // restart FIFO scan
+                    blocked_head = false;
+                } else {
+                    if i == 0 || !blocked_head {
+                        blocked_head = true;
+                    }
+                    i += 1;
+                }
+            }
+
+            if pending.is_empty() {
+                break;
+            }
+            if !started_any {
+                // advance to the next event: earliest completion or ready time
+                let next_end = running.iter().map(|&(e, _)| e).min();
+                let next_ready =
+                    pending.iter().map(|p| p.ready).filter(|&r| r > now).min();
+                now = match (next_end, next_ready) {
+                    (Some(e), Some(r)) => e.min(r),
+                    (Some(e), None) => e,
+                    (None, Some(r)) => r,
+                    (None, None) => unreachable!("pending work with nothing running or arriving"),
+                };
+            }
+        }
+
+        let makespan = gantt.iter().map(|e| e.end).max().unwrap_or(0);
+        let mut busy: BTreeMap<&'static str, u64> = BTreeMap::new();
+        for e in &gantt {
+            *busy.entry("cpu").or_default() += e.req.cpu_nodes as u64 * (e.end - e.start);
+            *busy.entry("qpu").or_default() += e.req.qpus as u64 * (e.end - e.start);
+        }
+        let mut utilization = BTreeMap::new();
+        if makespan > 0 {
+            utilization.insert(
+                "cpu",
+                busy.get("cpu").copied().unwrap_or(0) as f64
+                    / (self.cluster.cpu_nodes as f64 * makespan as f64).max(1.0),
+            );
+            utilization.insert(
+                "qpu",
+                busy.get("qpu").copied().unwrap_or(0) as f64
+                    / (self.cluster.qpus as f64 * makespan as f64).max(1.0),
+            );
+        }
+        ScheduleOutcome { gantt, makespan, busy, utilization }
+    }
+}
+
+fn fits(free: &Cluster, req: &ResourceReq) -> bool {
+    free.cpu_nodes >= req.cpu_nodes && free.qpus >= req.qpus
+}
+
+/// The paper's Fig. 1 workload: `k` hybrid jobs, each with a classical
+/// component (long) and a quantum component (short), on a cluster with one
+/// QPU. Returns (monolithic outcome, heterogeneous outcome).
+pub fn fig1_hetjob_scenario(
+    k: usize,
+    classical_ticks: u64,
+    quantum_ticks: u64,
+    cluster: Cluster,
+) -> (ScheduleOutcome, ScheduleOutcome) {
+    let build = |mode: JobMode| -> Vec<Job> {
+        (0..k)
+            .map(|_| Job {
+                submit: 0,
+                mode,
+                components: vec![
+                    JobComponent {
+                        name: "classical".into(),
+                        req: ResourceReq::cpu(1),
+                        duration: classical_ticks,
+                    },
+                    JobComponent {
+                        name: "quantum".into(),
+                        req: ResourceReq::quantum(1, 1),
+                        duration: quantum_ticks,
+                    },
+                ],
+            })
+            .collect()
+    };
+    let sched = Scheduler::new(cluster, true);
+    (sched.run(&build(JobMode::Monolithic)), sched.run(&build(JobMode::Heterogeneous)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cluster() -> Cluster {
+        Cluster { cpu_nodes: 4, qpus: 1 }
+    }
+
+    #[test]
+    fn single_job_runs_immediately() {
+        let sched = Scheduler::new(cluster(), false);
+        let out = sched.run(&[Job {
+            submit: 0,
+            mode: JobMode::Monolithic,
+            components: vec![JobComponent {
+                name: "a".into(),
+                req: ResourceReq::cpu(2),
+                duration: 10,
+            }],
+        }]);
+        assert_eq!(out.makespan, 10);
+        assert_eq!(out.gantt[0].start, 0);
+    }
+
+    #[test]
+    fn monolithic_components_start_together() {
+        let sched = Scheduler::new(cluster(), false);
+        let out = sched.run(&[Job {
+            submit: 0,
+            mode: JobMode::Monolithic,
+            components: vec![
+                JobComponent { name: "c".into(), req: ResourceReq::cpu(3), duration: 10 },
+                JobComponent { name: "q".into(), req: ResourceReq::quantum(1, 1), duration: 4 },
+            ],
+        }]);
+        assert!(out.gantt.iter().all(|e| e.start == 0));
+    }
+
+    #[test]
+    fn jobs_queue_when_resources_exhausted() {
+        let sched = Scheduler::new(Cluster { cpu_nodes: 1, qpus: 0 }, false);
+        let job = |_: usize| Job {
+            submit: 0,
+            mode: JobMode::Monolithic,
+            components: vec![JobComponent {
+                name: "x".into(),
+                req: ResourceReq::cpu(1),
+                duration: 5,
+            }],
+        };
+        let out = sched.run(&[job(0), job(1), job(2)]);
+        assert_eq!(out.makespan, 15);
+        let mut starts: Vec<u64> = out.gantt.iter().map(|e| e.start).collect();
+        starts.sort_unstable();
+        assert_eq!(starts, vec![0, 5, 10]);
+    }
+
+    #[test]
+    fn het_jobs_reduce_qpu_idle_time() {
+        // Fig. 1 reproduction: classical 10 ticks, quantum 3 ticks, 1 QPU.
+        let (mono, het) = fig1_hetjob_scenario(4, 10, 3, Cluster { cpu_nodes: 8, qpus: 1 });
+        assert!(
+            het.qpu_idle_fraction() < mono.qpu_idle_fraction(),
+            "het idle {} !< mono idle {}",
+            het.qpu_idle_fraction(),
+            mono.qpu_idle_fraction()
+        );
+        assert!(het.makespan <= mono.makespan);
+    }
+
+    #[test]
+    fn backfill_improves_utilization() {
+        // running job leaves one node free; the queue head needs the whole
+        // machine, so only backfill lets the small job use that node now
+        let big = Job {
+            submit: 0,
+            mode: JobMode::Monolithic,
+            components: vec![JobComponent { name: "big".into(), req: ResourceReq::cpu(3), duration: 10 }],
+        };
+        let blocker = Job {
+            submit: 0,
+            mode: JobMode::Monolithic,
+            components: vec![JobComponent { name: "blk".into(), req: ResourceReq::cpu(4), duration: 10 }],
+        };
+        let small = Job {
+            submit: 0,
+            mode: JobMode::Monolithic,
+            components: vec![JobComponent { name: "small".into(), req: ResourceReq::cpu(1), duration: 2 }],
+        };
+        let jobs = vec![big, blocker, small];
+        let no_bf = Scheduler::new(cluster(), false).run(&jobs);
+        let bf = Scheduler::new(cluster(), true).run(&jobs);
+        let small_start = |o: &ScheduleOutcome| {
+            o.gantt.iter().find(|e| e.name == "small").map(|e| e.start).unwrap()
+        };
+        assert!(small_start(&bf) < small_start(&no_bf));
+    }
+
+    #[test]
+    fn submit_times_respected() {
+        let sched = Scheduler::new(cluster(), false);
+        let out = sched.run(&[Job {
+            submit: 7,
+            mode: JobMode::Monolithic,
+            components: vec![JobComponent { name: "x".into(), req: ResourceReq::cpu(1), duration: 1 }],
+        }]);
+        assert_eq!(out.gantt[0].start, 7);
+        assert_eq!(out.makespan, 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds cluster capacity")]
+    fn oversized_component_panics() {
+        let sched = Scheduler::new(cluster(), false);
+        sched.run(&[Job {
+            submit: 0,
+            mode: JobMode::Monolithic,
+            components: vec![JobComponent { name: "x".into(), req: ResourceReq::cpu(5), duration: 1 }],
+        }]);
+    }
+
+    #[test]
+    fn utilization_bounded_by_one() {
+        let (mono, het) = fig1_hetjob_scenario(6, 8, 2, Cluster { cpu_nodes: 3, qpus: 1 });
+        for out in [mono, het] {
+            for (_, u) in out.utilization.iter() {
+                assert!((0.0..=1.0 + 1e-9).contains(u));
+            }
+        }
+    }
+}

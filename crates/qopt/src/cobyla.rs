@@ -1,0 +1,361 @@
+//! COBYLA — Constrained Optimization BY Linear Approximations (M.J.D.
+//! Powell, 1994), specialized to the unconstrained objectives produced by
+//! QAOA (the paper imposes no parameter constraints).
+//!
+//! The method keeps a non-degenerate simplex of `n+1` points, fits the
+//! linear interpolant of the objective over it, and takes a trust-region
+//! step of length `ρ` against the model gradient. When steps stop paying
+//! off and the simplex geometry is acceptable, `ρ` halves; the run ends at
+//! `ρ < rhoend` or when the evaluation budget is spent.
+//!
+//! `rhobeg` — the initial trust-region radius, SciPy's "reasonable initial
+//! change to the variables" — is the knob the paper grid-searches, because
+//! QAOA landscapes at different depths reward different initial step
+//! scales. The implementation keeps Powell's two step types (minimization
+//! step / geometry-repair step) and his acceptability criterion on vertex
+//! distances.
+
+use crate::{OptResult, Optimizer, Recorder};
+
+/// COBYLA configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct Cobyla {
+    /// Initial trust-region radius (SciPy `rhobeg`).
+    pub rhobeg: f64,
+    /// Final radius; convergence declared below this (SciPy `tol`).
+    pub rhoend: f64,
+    /// Maximum objective evaluations (SciPy `maxiter` — COBYLA counts
+    /// evaluations).
+    pub max_evals: usize,
+}
+
+impl Cobyla {
+    /// Create a COBYLA optimizer.
+    pub fn new(rhobeg: f64, rhoend: f64, max_evals: usize) -> Self {
+        assert!(rhobeg > 0.0 && rhoend > 0.0 && rhoend <= rhobeg);
+        Cobyla { rhobeg, rhoend, max_evals }
+    }
+}
+
+impl Default for Cobyla {
+    /// SciPy-like defaults: `rhobeg = 1.0`, `rhoend = 1e-6`, 1000 evals.
+    fn default() -> Self {
+        Cobyla::new(1.0, 1e-6, 1000)
+    }
+}
+
+impl Optimizer for Cobyla {
+    fn minimize(&self, f: &dyn Fn(&[f64]) -> f64, x0: &[f64]) -> OptResult {
+        let n = x0.len();
+        assert!(n > 0, "objective must have at least one variable");
+        let mut rec = Recorder::new(f, n, self.max_evals);
+
+        // Initial simplex: x0 and x0 + rhobeg·e_i.
+        let mut verts: Vec<Vec<f64>> = Vec::with_capacity(n + 1);
+        let mut fvals: Vec<f64> = Vec::with_capacity(n + 1);
+        verts.push(x0.to_vec());
+        fvals.push(rec.eval(x0));
+        for i in 0..n {
+            if rec.exhausted() {
+                return rec.finish();
+            }
+            let mut v = x0.to_vec();
+            v[i] += self.rhobeg;
+            fvals.push(rec.eval(&v));
+            verts.push(v);
+        }
+
+        let mut rho = self.rhobeg;
+        while rho >= self.rhoend && !rec.exhausted() {
+            let best = argmin(&fvals);
+            // Linear model: solve Eᵀg = Δf with rows e_i = v_i − v_best.
+            let mut rows: Vec<Vec<f64>> = Vec::with_capacity(n);
+            let mut rhs: Vec<f64> = Vec::with_capacity(n);
+            for (i, v) in verts.iter().enumerate() {
+                if i == best {
+                    continue;
+                }
+                rows.push(v.iter().zip(&verts[best]).map(|(a, b)| a - b).collect());
+                rhs.push(fvals[i] - fvals[best]);
+            }
+            let grad = solve_linear(&rows, &rhs);
+
+            let Some(g) = grad.filter(|g| norm(g) > 1e-14) else {
+                // Degenerate model: repair geometry at the current radius.
+                let far = farthest_vertex(&verts, best);
+                repair_vertex(&mut verts, &mut fvals, &mut rec, best, far, rho, n);
+                continue;
+            };
+
+            // Trust-region step against the model gradient.
+            let gn = norm(&g);
+            let trial: Vec<f64> =
+                verts[best].iter().zip(&g).map(|(x, gi)| x - rho * gi / gn).collect();
+            let ft = rec.eval(&trial);
+            let actual = fvals[best] - ft;
+
+            if actual > 0.0 {
+                let worst = argmax(&fvals);
+                verts[worst] = trial;
+                fvals[worst] = ft;
+            } else {
+                // Powell: when the step under-delivers, first make sure the
+                // simplex geometry is trustworthy at the current scale; only
+                // then halve ρ. The repair moves a single vertex, so the
+                // simplex keeps its memory of productive directions.
+                let best_now = argmin(&fvals);
+                if let Some(far) = worst_geometry_vertex(&verts, best_now, rho) {
+                    repair_vertex(&mut verts, &mut fvals, &mut rec, best_now, far, rho, n);
+                } else {
+                    rho *= 0.5;
+                    // refit the model at the new scale with one fresh vertex
+                    let far = farthest_vertex(&verts, best_now);
+                    repair_vertex(&mut verts, &mut fvals, &mut rec, best_now, far, rho, n);
+                }
+            }
+        }
+        rec.finish()
+    }
+}
+
+fn argmin(v: &[f64]) -> usize {
+    v.iter()
+        .enumerate()
+        .min_by(|a, b| a.1.total_cmp(b.1))
+        .map(|(i, _)| i)
+        .expect("non-empty")
+}
+
+fn argmax(v: &[f64]) -> usize {
+    v.iter()
+        .enumerate()
+        .max_by(|a, b| a.1.total_cmp(b.1))
+        .map(|(i, _)| i)
+        .expect("non-empty")
+}
+
+fn norm(v: &[f64]) -> f64 {
+    v.iter().map(|x| x * x).sum::<f64>().sqrt()
+}
+
+fn dist(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum::<f64>().sqrt()
+}
+
+/// The non-best vertex farthest from the best (always exists; simplex has
+/// ≥ 2 vertices).
+fn farthest_vertex(verts: &[Vec<f64>], best: usize) -> usize {
+    verts
+        .iter()
+        .enumerate()
+        .filter(|&(i, _)| i != best)
+        .max_by(|a, b| dist(a.1, &verts[best]).total_cmp(&dist(b.1, &verts[best])))
+        .map(|(i, _)| i)
+        .expect("simplex has at least two vertices")
+}
+
+/// A vertex violating Powell's acceptability band `[0.1ρ, 2.1ρ]` around
+/// the best vertex, if any (the most out-of-scale one).
+fn worst_geometry_vertex(verts: &[Vec<f64>], best: usize, rho: f64) -> Option<usize> {
+    verts
+        .iter()
+        .enumerate()
+        .filter(|&(i, _)| i != best)
+        .map(|(i, v)| {
+            let d = dist(v, &verts[best]);
+            // badness: how far outside the band, as a ratio
+            let badness = if d > 2.1 * rho {
+                d / (2.1 * rho)
+            } else if d < 0.1 * rho {
+                (0.1 * rho) / d.max(1e-300)
+            } else {
+                1.0
+            };
+            (i, badness)
+        })
+        .filter(|&(_, b)| b > 1.0)
+        .max_by(|a, b| a.1.total_cmp(&b.1))
+        .map(|(i, _)| i)
+}
+
+/// Replace vertex `j` with `best + ρ·d`, where `d` is the coordinate axis
+/// least represented by the remaining simplex edges (a cheap stand-in for
+/// Powell's volume-maximizing direction): project each axis onto the edge
+/// span via Gram–Schmidt and take the axis with the largest residual.
+fn repair_vertex(
+    verts: &mut [Vec<f64>],
+    fvals: &mut [f64],
+    rec: &mut Recorder<'_>,
+    best: usize,
+    j: usize,
+    rho: f64,
+    n: usize,
+) {
+    if rec.exhausted() {
+        return;
+    }
+    // Orthonormal basis of the edges excluding vertex j.
+    let mut basis: Vec<Vec<f64>> = Vec::with_capacity(n - 1);
+    for (i, v) in verts.iter().enumerate() {
+        if i == best || i == j {
+            continue;
+        }
+        let mut e: Vec<f64> = v.iter().zip(&verts[best]).map(|(a, b)| a - b).collect();
+        for q in &basis {
+            let proj: f64 = e.iter().zip(q).map(|(a, b)| a * b).sum();
+            for (ev, qv) in e.iter_mut().zip(q) {
+                *ev -= proj * qv;
+            }
+        }
+        let en = norm(&e);
+        if en > 1e-12 {
+            for ev in &mut e {
+                *ev /= en;
+            }
+            basis.push(e);
+        }
+    }
+    // Axis with the largest residual after projecting off the basis.
+    let mut best_axis = 0usize;
+    let mut best_resid = -1.0;
+    for axis in 0..n {
+        let mut resid = 1.0; // |e_axis|² = 1
+        for q in &basis {
+            resid -= q[axis] * q[axis];
+        }
+        if resid > best_resid {
+            best_resid = resid;
+            best_axis = axis;
+        }
+    }
+    let mut v = verts[best].clone();
+    v[best_axis] += rho;
+    fvals[j] = rec.eval(&v);
+    verts[j] = v;
+}
+
+/// Solve a dense `n×n` system by Gaussian elimination with partial
+/// pivoting. Returns `None` when the matrix is numerically singular
+/// (degenerate simplex).
+fn solve_linear(rows: &[Vec<f64>], rhs: &[f64]) -> Option<Vec<f64>> {
+    let n = rhs.len();
+    let mut a: Vec<Vec<f64>> = rows.to_vec();
+    let mut b = rhs.to_vec();
+    for col in 0..n {
+        let pivot = (col..n).max_by(|&i, &j| a[i][col].abs().total_cmp(&a[j][col].abs()))?;
+        if a[pivot][col].abs() < 1e-12 {
+            return None;
+        }
+        a.swap(col, pivot);
+        b.swap(col, pivot);
+        let inv = 1.0 / a[col][col];
+        for row in (col + 1)..n {
+            let factor = a[row][col] * inv;
+            if factor == 0.0 {
+                continue;
+            }
+            for k in col..n {
+                a[row][k] -= factor * a[col][k];
+            }
+            b[row] -= factor * b[col];
+        }
+    }
+    // back substitution
+    let mut x = vec![0.0; n];
+    for row in (0..n).rev() {
+        let mut acc = b[row];
+        for k in (row + 1)..n {
+            acc -= a[row][k] * x[k];
+        }
+        x[row] = acc / a[row][row];
+    }
+    Some(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_functions::{cosine_mixture, rosenbrock, shifted_sphere};
+
+    #[test]
+    fn solves_quadratic_to_high_accuracy() {
+        let res = Cobyla::new(0.5, 1e-10, 2000).minimize(&shifted_sphere, &[0.0, 0.0, 0.0]);
+        assert!(res.fx < 1e-8, "fx = {}", res.fx);
+        for (i, v) in res.x.iter().enumerate() {
+            assert!((v - (i + 1) as f64).abs() < 1e-3, "x[{i}] = {v}");
+        }
+    }
+
+    #[test]
+    fn reaches_rosenbrock_valley() {
+        // Linear-model trust-region methods descend into the banana valley
+        // quickly but then track its curvature slowly (no second-order
+        // model) — assert the descent from f = 24.2 to the valley floor.
+        let res = Cobyla::new(0.5, 1e-10, 4000).minimize(&rosenbrock, &[-1.2, 1.0]);
+        assert!(res.fx < 2.0, "fx = {}", res.fx);
+        // the iterate must sit essentially on the parabola y = x²
+        let (x, y) = (res.x[0], res.x[1]);
+        assert!((y - x * x).abs() < 0.05, "off the valley floor: ({x}, {y})");
+    }
+
+    #[test]
+    fn descends_cosine_landscape() {
+        let res = Cobyla::new(0.3, 1e-8, 500).minimize(&cosine_mixture, &[0.5, -0.4]);
+        // global minimum of each term is ≈ −1.2 at x = 0
+        assert!(res.fx < -2.3, "fx = {}", res.fx);
+    }
+
+    #[test]
+    fn respects_eval_budget() {
+        let budget = 37;
+        let res = Cobyla::new(0.5, 1e-12, budget).minimize(&shifted_sphere, &[5.0, 5.0]);
+        assert!(res.evals <= budget);
+        assert_eq!(res.history.len(), res.evals);
+    }
+
+    #[test]
+    fn history_is_monotone_nonincreasing() {
+        let res = Cobyla::new(0.4, 1e-8, 300).minimize(&rosenbrock, &[0.0, 0.0]);
+        for w in res.history.windows(2) {
+            assert!(w[1] <= w[0] + 1e-15);
+        }
+    }
+
+    #[test]
+    fn larger_rhobeg_travels_farther_early() {
+        // From a distant start, a larger initial radius must reach a lower
+        // value within a small budget — the effect the paper's grid probes.
+        let start = [8.0, 8.0];
+        let small = Cobyla::new(0.1, 1e-8, 60).minimize(&shifted_sphere, &start);
+        let large = Cobyla::new(1.0, 1e-8, 60).minimize(&shifted_sphere, &start);
+        assert!(large.fx < small.fx, "large {} vs small {}", large.fx, small.fx);
+    }
+
+    #[test]
+    fn one_dimensional_problem() {
+        let f = |x: &[f64]| (x[0] - 3.5).powi(2);
+        let res = Cobyla::new(0.5, 1e-10, 500).minimize(&f, &[0.0]);
+        assert!((res.x[0] - 3.5).abs() < 1e-4);
+    }
+
+    #[test]
+    fn deterministic_given_same_inputs() {
+        let a = Cobyla::new(0.3, 1e-8, 200).minimize(&rosenbrock, &[0.2, 0.3]);
+        let b = Cobyla::new(0.3, 1e-8, 200).minimize(&rosenbrock, &[0.2, 0.3]);
+        assert_eq!(a.x, b.x);
+        assert_eq!(a.fx, b.fx);
+    }
+
+    #[test]
+    fn solve_linear_identity() {
+        let rows = vec![vec![1.0, 0.0], vec![0.0, 1.0]];
+        let x = solve_linear(&rows, &[3.0, -4.0]).unwrap();
+        assert!((x[0] - 3.0).abs() < 1e-12 && (x[1] + 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn solve_linear_detects_singularity() {
+        let rows = vec![vec![1.0, 2.0], vec![2.0, 4.0]];
+        assert!(solve_linear(&rows, &[1.0, 2.0]).is_none());
+    }
+}

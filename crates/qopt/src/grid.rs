@@ -1,0 +1,116 @@
+//! Parameter-grid utilities for the paper's sweeps.
+//!
+//! Fig. 3 scans `p ∈ {3..8} × rhobeg ∈ {0.1..0.5}`; the experiment
+//! harness builds those axes with [`linspace`]/[`GridSpec`] and iterates
+//! the cartesian product deterministically (row-major, first axis slowest),
+//! so every grid cell has a stable index that can seed its RNG.
+
+/// `count` evenly spaced values from `start` to `end` inclusive.
+pub fn linspace(start: f64, end: f64, count: usize) -> Vec<f64> {
+    match count {
+        0 => Vec::new(),
+        1 => vec![start],
+        _ => {
+            let step = (end - start) / (count - 1) as f64;
+            (0..count).map(|i| start + step * i as f64).collect()
+        }
+    }
+}
+
+/// A cartesian grid over named `f64` axes.
+#[derive(Debug, Clone, Default)]
+pub struct GridSpec {
+    axes: Vec<(String, Vec<f64>)>,
+}
+
+impl GridSpec {
+    /// Empty grid (a single empty point).
+    pub fn new() -> Self {
+        GridSpec::default()
+    }
+
+    /// Add an axis; builder style.
+    pub fn axis(mut self, name: &str, values: Vec<f64>) -> Self {
+        assert!(!values.is_empty(), "axis `{name}` has no values");
+        self.axes.push((name.to_string(), values));
+        self
+    }
+
+    /// Number of grid points (product of axis lengths).
+    pub fn len(&self) -> usize {
+        self.axes.iter().map(|(_, v)| v.len()).product()
+    }
+
+    /// True when no axes were added.
+    pub fn is_empty(&self) -> bool {
+        self.axes.is_empty()
+    }
+
+    /// Axis names in insertion order.
+    pub fn names(&self) -> Vec<&str> {
+        self.axes.iter().map(|(n, _)| n.as_str()).collect()
+    }
+
+    /// The `i`-th point, row-major with the first axis varying slowest.
+    pub fn point(&self, mut i: usize) -> Vec<f64> {
+        assert!(i < self.len());
+        let mut out = vec![0.0; self.axes.len()];
+        for (slot, (_, vals)) in out.iter_mut().zip(&self.axes).rev() {
+            *slot = vals[i % vals.len()];
+            i /= vals.len();
+        }
+        out
+    }
+
+    /// Iterate `(index, point)` over the whole grid.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, Vec<f64>)> + '_ {
+        (0..self.len()).map(move |i| (i, self.point(i)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linspace_endpoints() {
+        let v = linspace(0.1, 0.5, 5);
+        assert_eq!(v.len(), 5);
+        assert!((v[0] - 0.1).abs() < 1e-12);
+        assert!((v[4] - 0.5).abs() < 1e-12);
+        assert!((v[2] - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn linspace_degenerate() {
+        assert!(linspace(1.0, 2.0, 0).is_empty());
+        assert_eq!(linspace(1.0, 2.0, 1), vec![1.0]);
+    }
+
+    #[test]
+    fn grid_cartesian_product() {
+        let g = GridSpec::new()
+            .axis("p", vec![3.0, 4.0])
+            .axis("rhobeg", vec![0.1, 0.2, 0.3]);
+        assert_eq!(g.len(), 6);
+        assert_eq!(g.point(0), vec![3.0, 0.1]);
+        assert_eq!(g.point(2), vec![3.0, 0.3]);
+        assert_eq!(g.point(3), vec![4.0, 0.1]);
+        assert_eq!(g.point(5), vec![4.0, 0.3]);
+    }
+
+    #[test]
+    fn grid_iter_covers_all_points_once() {
+        let g = GridSpec::new().axis("a", vec![1.0, 2.0]).axis("b", vec![5.0, 6.0]);
+        let pts: Vec<Vec<f64>> = g.iter().map(|(_, p)| p).collect();
+        assert_eq!(pts.len(), 4);
+        assert!(pts.contains(&vec![2.0, 5.0]));
+    }
+
+    #[test]
+    #[should_panic]
+    fn grid_point_out_of_range_panics() {
+        let g = GridSpec::new().axis("a", vec![1.0]);
+        g.point(1);
+    }
+}

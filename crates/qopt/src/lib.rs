@@ -1,0 +1,115 @@
+//! # qq-opt — derivative-free optimizers for variational quantum algorithms
+//!
+//! The paper drives QAOA with SciPy's COBYLA and sweeps its `rhobeg`
+//! parameter (the initial change to the variables) over
+//! `{0.1, 0.2, 0.3, 0.4, 0.5}` — `rhobeg` is one of the two axes of the
+//! paper's Fig. 3c grid. [`cobyla`] is a from-scratch implementation of
+//! COBYLA's unconstrained core: linear interpolation models over a simplex,
+//! trust-region steps, and the `rhobeg → rhoend` radius schedule.
+//! [`neldermead`] and [`spsa`] provide baselines for the optimizer-ablation
+//! benchmark.
+//!
+//! All optimizers *minimize*; the QAOA driver negates its objective.
+//!
+//! ```
+//! use qq_opt::{cobyla::Cobyla, Optimizer};
+//!
+//! let sphere = |x: &[f64]| x.iter().map(|v| v * v).sum::<f64>();
+//! let res = Cobyla::new(0.5, 1e-8, 500).minimize(&sphere, &[1.0, -0.7]);
+//! assert!(res.fx < 1e-6);
+//! ```
+
+pub mod cobyla;
+pub mod grid;
+pub mod neldermead;
+pub mod spsa;
+
+/// Result of a minimization run.
+#[derive(Debug, Clone)]
+pub struct OptResult {
+    /// Best point found.
+    pub x: Vec<f64>,
+    /// Objective value at `x`.
+    pub fx: f64,
+    /// Number of objective evaluations consumed.
+    pub evals: usize,
+    /// Best objective value seen after each evaluation (monotone
+    /// non-increasing); used for convergence reporting.
+    pub history: Vec<f64>,
+}
+
+/// A derivative-free minimizer.
+pub trait Optimizer {
+    /// Minimize `f` starting from `x0`.
+    fn minimize(&self, f: &dyn Fn(&[f64]) -> f64, x0: &[f64]) -> OptResult;
+}
+
+/// Objective wrapper that counts evaluations and records the running best.
+pub(crate) struct Recorder<'a> {
+    f: &'a dyn Fn(&[f64]) -> f64,
+    pub evals: usize,
+    pub best_fx: f64,
+    pub best_x: Vec<f64>,
+    pub history: Vec<f64>,
+    pub max_evals: usize,
+}
+
+impl<'a> Recorder<'a> {
+    pub fn new(f: &'a dyn Fn(&[f64]) -> f64, dim: usize, max_evals: usize) -> Self {
+        Recorder {
+            f,
+            evals: 0,
+            best_fx: f64::INFINITY,
+            best_x: vec![0.0; dim],
+            history: Vec::new(),
+            max_evals,
+        }
+    }
+
+    /// True when the evaluation budget is spent.
+    pub fn exhausted(&self) -> bool {
+        self.evals >= self.max_evals
+    }
+
+    /// Evaluate and record.
+    pub fn eval(&mut self, x: &[f64]) -> f64 {
+        let v = (self.f)(x);
+        self.evals += 1;
+        if v < self.best_fx {
+            self.best_fx = v;
+            self.best_x.copy_from_slice(x);
+        }
+        self.history.push(self.best_fx);
+        v
+    }
+
+    pub fn finish(self) -> OptResult {
+        OptResult { x: self.best_x, fx: self.best_fx, evals: self.evals, history: self.history }
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod test_functions {
+    /// Convex quadratic with minimum 0 at (1, 2, 3, ...).
+    pub fn shifted_sphere(x: &[f64]) -> f64 {
+        x.iter()
+            .enumerate()
+            .map(|(i, v)| {
+                let d = v - (i + 1) as f64;
+                d * d
+            })
+            .sum()
+    }
+
+    /// The classic banana valley; minimum 0 at (1, 1).
+    pub fn rosenbrock(x: &[f64]) -> f64 {
+        let (a, b) = (x[0], x[1]);
+        (1.0 - a).powi(2) + 100.0 * (b - a * a).powi(2)
+    }
+
+    /// Smooth trigonometric landscape like a QAOA objective: multiple
+    /// local optima, bounded, 2π-periodic.
+    pub fn cosine_mixture(x: &[f64]) -> f64 {
+        x.iter().map(|v| -(v.cos() + 0.2 * (3.0 * v).cos())).sum()
+    }
+}

@@ -1,0 +1,155 @@
+//! Nelder–Mead downhill simplex, the classic derivative-free baseline.
+//!
+//! Included for the optimizer-ablation benchmark: the paper fixes COBYLA,
+//! and comparing against Nelder–Mead (and SPSA) on the same QAOA
+//! landscapes shows how sensitive the Fig. 3 grid is to that choice.
+
+use crate::{OptResult, Optimizer, Recorder};
+
+/// Nelder–Mead configuration with the standard coefficient set
+/// (reflection 1, expansion 2, contraction ½, shrink ½).
+#[derive(Debug, Clone, Copy)]
+pub struct NelderMead {
+    /// Initial simplex edge length (plays the role of `rhobeg`).
+    pub initial_step: f64,
+    /// Terminate when the simplex f-spread falls below this.
+    pub ftol: f64,
+    /// Evaluation budget.
+    pub max_evals: usize,
+}
+
+impl NelderMead {
+    /// Create a Nelder–Mead optimizer.
+    pub fn new(initial_step: f64, ftol: f64, max_evals: usize) -> Self {
+        assert!(initial_step > 0.0 && ftol >= 0.0);
+        NelderMead { initial_step, ftol, max_evals }
+    }
+}
+
+impl Default for NelderMead {
+    fn default() -> Self {
+        NelderMead::new(0.5, 1e-10, 1000)
+    }
+}
+
+impl Optimizer for NelderMead {
+    fn minimize(&self, f: &dyn Fn(&[f64]) -> f64, x0: &[f64]) -> OptResult {
+        let n = x0.len();
+        assert!(n > 0);
+        let mut rec = Recorder::new(f, n, self.max_evals);
+
+        let mut verts: Vec<Vec<f64>> = Vec::with_capacity(n + 1);
+        let mut fv: Vec<f64> = Vec::with_capacity(n + 1);
+        verts.push(x0.to_vec());
+        fv.push(rec.eval(x0));
+        for i in 0..n {
+            if rec.exhausted() {
+                return rec.finish();
+            }
+            let mut v = x0.to_vec();
+            v[i] += self.initial_step;
+            fv.push(rec.eval(&v));
+            verts.push(v);
+        }
+
+        while !rec.exhausted() {
+            // sort ascending by objective
+            let mut order: Vec<usize> = (0..=n).collect();
+            order.sort_by(|&a, &b| fv[a].total_cmp(&fv[b]));
+            let (best, worst, second_worst) = (order[0], order[n], order[n - 1]);
+            if fv[worst] - fv[best] < self.ftol {
+                break;
+            }
+
+            // centroid of all but the worst
+            let mut centroid = vec![0.0; n];
+            for &i in &order[..n] {
+                for (c, v) in centroid.iter_mut().zip(&verts[i]) {
+                    *c += v / n as f64;
+                }
+            }
+
+            let reflect: Vec<f64> =
+                centroid.iter().zip(&verts[worst]).map(|(c, w)| 2.0 * c - w).collect();
+            let fr = rec.eval(&reflect);
+
+            if fr < fv[best] {
+                // try expansion
+                if rec.exhausted() {
+                    break;
+                }
+                let expand: Vec<f64> =
+                    centroid.iter().zip(&verts[worst]).map(|(c, w)| 3.0 * c - 2.0 * w).collect();
+                let fe = rec.eval(&expand);
+                if fe < fr {
+                    verts[worst] = expand;
+                    fv[worst] = fe;
+                } else {
+                    verts[worst] = reflect;
+                    fv[worst] = fr;
+                }
+            } else if fr < fv[second_worst] {
+                verts[worst] = reflect;
+                fv[worst] = fr;
+            } else {
+                // contraction (outside if reflection helped at all)
+                if rec.exhausted() {
+                    break;
+                }
+                let towards = if fr < fv[worst] { &reflect } else { &verts[worst] };
+                let contract: Vec<f64> =
+                    centroid.iter().zip(towards).map(|(c, w)| 0.5 * (c + w)).collect();
+                let fc = rec.eval(&contract);
+                if fc < fv[worst].min(fr) {
+                    verts[worst] = contract;
+                    fv[worst] = fc;
+                } else {
+                    // shrink toward best
+                    let base = verts[best].clone();
+                    for i in 0..=n {
+                        if i == best || rec.exhausted() {
+                            continue;
+                        }
+                        let v: Vec<f64> =
+                            base.iter().zip(&verts[i]).map(|(b, w)| 0.5 * (b + w)).collect();
+                        fv[i] = rec.eval(&v);
+                        verts[i] = v;
+                    }
+                }
+            }
+        }
+        rec.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_functions::{rosenbrock, shifted_sphere};
+
+    #[test]
+    fn solves_quadratic() {
+        let res = NelderMead::default().minimize(&shifted_sphere, &[0.0, 0.0]);
+        assert!(res.fx < 1e-8, "fx = {}", res.fx);
+    }
+
+    #[test]
+    fn solves_rosenbrock() {
+        let res = NelderMead::new(0.5, 1e-12, 4000).minimize(&rosenbrock, &[-1.2, 1.0]);
+        assert!(res.fx < 1e-6, "fx = {}", res.fx);
+        assert!((res.x[0] - 1.0).abs() < 1e-2);
+    }
+
+    #[test]
+    fn respects_budget() {
+        let res = NelderMead::new(0.5, 0.0, 25).minimize(&shifted_sphere, &[4.0, 4.0, 4.0]);
+        assert!(res.evals <= 25);
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = NelderMead::default().minimize(&rosenbrock, &[0.3, 0.1]);
+        let b = NelderMead::default().minimize(&rosenbrock, &[0.3, 0.1]);
+        assert_eq!(a.x, b.x);
+    }
+}

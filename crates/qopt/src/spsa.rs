@@ -1,0 +1,105 @@
+//! SPSA — Simultaneous Perturbation Stochastic Approximation (Spall).
+//!
+//! Estimates the gradient from exactly two objective evaluations per
+//! iteration regardless of dimension, which is why it is the standard
+//! optimizer for *shot-noisy* QAOA objectives on real hardware. Included
+//! to let the testbed compare a noise-robust optimizer against COBYLA,
+//! one of the "preparation of real quantum devices" angles the paper's
+//! workflow is meant to serve.
+
+use crate::{OptResult, Optimizer, Recorder};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// SPSA configuration with the standard gain schedules
+/// `a_k = a/(k+1+A)^α`, `c_k = c/(k+1)^γ`.
+#[derive(Debug, Clone, Copy)]
+pub struct Spsa {
+    /// Step-size numerator `a`.
+    pub a: f64,
+    /// Perturbation numerator `c`.
+    pub c: f64,
+    /// Stability constant `A` (typically 10% of iterations).
+    pub big_a: f64,
+    /// Step decay exponent (0.602 per Spall).
+    pub alpha: f64,
+    /// Perturbation decay exponent (0.101 per Spall).
+    pub gamma: f64,
+    /// Evaluation budget (two evals per iteration).
+    pub max_evals: usize,
+    /// RNG seed for the Rademacher perturbations.
+    pub seed: u64,
+}
+
+impl Spsa {
+    /// SPSA with Spall's recommended exponents.
+    pub fn new(a: f64, c: f64, max_evals: usize, seed: u64) -> Self {
+        Spsa { a, c, big_a: max_evals as f64 * 0.05, alpha: 0.602, gamma: 0.101, max_evals, seed }
+    }
+}
+
+impl Optimizer for Spsa {
+    fn minimize(&self, f: &dyn Fn(&[f64]) -> f64, x0: &[f64]) -> OptResult {
+        let n = x0.len();
+        assert!(n > 0);
+        let mut rec = Recorder::new(f, n, self.max_evals);
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut x = x0.to_vec();
+        rec.eval(&x);
+
+        let mut k = 0usize;
+        while rec.evals + 2 <= self.max_evals {
+            let ak = self.a / (k as f64 + 1.0 + self.big_a).powf(self.alpha);
+            let ck = self.c / (k as f64 + 1.0).powf(self.gamma);
+            // Rademacher ±1 perturbation
+            let delta: Vec<f64> =
+                (0..n).map(|_| if rng.gen::<bool>() { 1.0 } else { -1.0 }).collect();
+            let xp: Vec<f64> = x.iter().zip(&delta).map(|(v, d)| v + ck * d).collect();
+            let xm: Vec<f64> = x.iter().zip(&delta).map(|(v, d)| v - ck * d).collect();
+            let fp = rec.eval(&xp);
+            let fm = rec.eval(&xm);
+            let diff = (fp - fm) / (2.0 * ck);
+            for (v, d) in x.iter_mut().zip(&delta) {
+                *v -= ak * diff / d;
+            }
+            k += 1;
+        }
+        // final candidate
+        if !rec.exhausted() {
+            rec.eval(&x);
+        }
+        rec.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_functions::shifted_sphere;
+
+    #[test]
+    fn converges_on_quadratic() {
+        let res = Spsa::new(0.5, 0.2, 2000, 7).minimize(&shifted_sphere, &[0.0, 0.0]);
+        assert!(res.fx < 1e-2, "fx = {}", res.fx);
+    }
+
+    #[test]
+    fn tolerates_noise() {
+        // noisy sphere: SPSA should still get close
+        use std::cell::RefCell;
+        let rng = RefCell::new(StdRng::seed_from_u64(3));
+        let noisy = move |x: &[f64]| {
+            shifted_sphere(x) + 0.01 * rng.borrow_mut().gen::<f64>()
+        };
+        let res = Spsa::new(0.5, 0.2, 3000, 11).minimize(&noisy, &[0.0, 0.0]);
+        assert!(res.fx < 0.5, "fx = {}", res.fx);
+    }
+
+    #[test]
+    fn respects_budget_and_is_seeded() {
+        let a = Spsa::new(0.4, 0.2, 101, 5).minimize(&shifted_sphere, &[2.0]);
+        let b = Spsa::new(0.4, 0.2, 101, 5).minimize(&shifted_sphere, &[2.0]);
+        assert!(a.evals <= 101);
+        assert_eq!(a.x, b.x);
+    }
+}

@@ -1,0 +1,217 @@
+//! Minimal `f64` complex arithmetic.
+//!
+//! The offline dependency set has no `num-complex`, and the simulator only
+//! needs a handful of operations on a `Copy` pair of doubles — so this is
+//! written by hand and kept small enough to inline everywhere.
+
+use std::ops::{Add, AddAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// Complex double: `re + i·im`. 16 bytes, `Copy`, layout-compatible with a
+/// pair of `f64`s (amplitude arrays are tightly packed).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct C64 {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl C64 {
+    /// `0 + 0i`.
+    pub const ZERO: C64 = C64 { re: 0.0, im: 0.0 };
+    /// `1 + 0i`.
+    pub const ONE: C64 = C64 { re: 1.0, im: 0.0 };
+    /// `0 + 1i`.
+    pub const I: C64 = C64 { re: 0.0, im: 1.0 };
+
+    /// Construct from parts.
+    #[inline(always)]
+    pub const fn new(re: f64, im: f64) -> Self {
+        C64 { re, im }
+    }
+
+    /// Real number as complex.
+    #[inline(always)]
+    pub const fn real(re: f64) -> Self {
+        C64 { re, im: 0.0 }
+    }
+
+    /// `e^{iθ} = cos θ + i sin θ`.
+    #[inline(always)]
+    pub fn cis(theta: f64) -> Self {
+        let (s, c) = theta.sin_cos();
+        C64 { re: c, im: s }
+    }
+
+    /// Squared magnitude `|z|²` — the measurement probability of an
+    /// amplitude, so it is the hottest operation in the simulator.
+    #[inline(always)]
+    pub fn norm_sqr(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Magnitude `|z|`.
+    #[inline(always)]
+    pub fn abs(self) -> f64 {
+        self.norm_sqr().sqrt()
+    }
+
+    /// Complex conjugate.
+    #[inline(always)]
+    pub fn conj(self) -> Self {
+        C64 { re: self.re, im: -self.im }
+    }
+
+    /// Multiply by a real scalar.
+    #[inline(always)]
+    pub fn scale(self, s: f64) -> Self {
+        C64 { re: self.re * s, im: self.im * s }
+    }
+
+    /// Argument (phase angle) in `(−π, π]`.
+    #[inline(always)]
+    pub fn arg(self) -> f64 {
+        self.im.atan2(self.re)
+    }
+}
+
+impl Add for C64 {
+    type Output = C64;
+    #[inline(always)]
+    fn add(self, o: C64) -> C64 {
+        C64 { re: self.re + o.re, im: self.im + o.im }
+    }
+}
+
+impl Sub for C64 {
+    type Output = C64;
+    #[inline(always)]
+    fn sub(self, o: C64) -> C64 {
+        C64 { re: self.re - o.re, im: self.im - o.im }
+    }
+}
+
+impl Mul for C64 {
+    type Output = C64;
+    #[inline(always)]
+    fn mul(self, o: C64) -> C64 {
+        C64 {
+            re: self.re * o.re - self.im * o.im,
+            im: self.re * o.im + self.im * o.re,
+        }
+    }
+}
+
+impl Neg for C64 {
+    type Output = C64;
+    #[inline(always)]
+    fn neg(self) -> C64 {
+        C64 { re: -self.re, im: -self.im }
+    }
+}
+
+impl AddAssign for C64 {
+    #[inline(always)]
+    fn add_assign(&mut self, o: C64) {
+        self.re += o.re;
+        self.im += o.im;
+    }
+}
+
+impl SubAssign for C64 {
+    #[inline(always)]
+    fn sub_assign(&mut self, o: C64) {
+        self.re -= o.re;
+        self.im -= o.im;
+    }
+}
+
+impl MulAssign for C64 {
+    #[inline(always)]
+    fn mul_assign(&mut self, o: C64) {
+        *self = *self * o;
+    }
+}
+
+impl Mul<f64> for C64 {
+    type Output = C64;
+    #[inline(always)]
+    fn mul(self, s: f64) -> C64 {
+        self.scale(s)
+    }
+}
+
+impl From<f64> for C64 {
+    #[inline(always)]
+    fn from(re: f64) -> Self {
+        C64::real(re)
+    }
+}
+
+impl std::fmt::Display for C64 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.im >= 0.0 {
+            write!(f, "{:.6}+{:.6}i", self.re, self.im)
+        } else {
+            write!(f, "{:.6}-{:.6}i", self.re, -self.im)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const EPS: f64 = 1e-12;
+
+    #[test]
+    fn multiplication_matches_definition() {
+        let a = C64::new(1.0, 2.0);
+        let b = C64::new(3.0, -4.0);
+        let p = a * b;
+        assert!((p.re - 11.0).abs() < EPS);
+        assert!((p.im - 2.0).abs() < EPS);
+    }
+
+    #[test]
+    fn i_squared_is_minus_one() {
+        let z = C64::I * C64::I;
+        assert!((z.re + 1.0).abs() < EPS && z.im.abs() < EPS);
+    }
+
+    #[test]
+    fn cis_lies_on_unit_circle() {
+        for k in 0..16 {
+            let z = C64::cis(k as f64 * 0.41);
+            assert!((z.norm_sqr() - 1.0).abs() < EPS);
+        }
+    }
+
+    #[test]
+    fn conjugate_times_self_is_norm() {
+        let z = C64::new(-2.5, 1.5);
+        let n = z * z.conj();
+        assert!((n.re - z.norm_sqr()).abs() < EPS);
+        assert!(n.im.abs() < EPS);
+    }
+
+    #[test]
+    fn arg_quadrants() {
+        assert!((C64::new(1.0, 0.0).arg()).abs() < EPS);
+        assert!((C64::new(0.0, 1.0).arg() - std::f64::consts::FRAC_PI_2).abs() < EPS);
+        assert!((C64::new(-1.0, 0.0).arg() - std::f64::consts::PI).abs() < EPS);
+    }
+
+    #[test]
+    fn assign_ops_match_binary_ops() {
+        let mut z = C64::new(0.5, -0.25);
+        let w = C64::new(-1.0, 2.0);
+        let sum = z + w;
+        z += w;
+        assert_eq!(z, sum);
+        let mut y = C64::new(0.5, -0.25);
+        let prod = y * w;
+        y *= w;
+        assert_eq!(y, prod);
+    }
+}

@@ -1,0 +1,327 @@
+//! Gate kernels over raw amplitude slices.
+//!
+//! Every kernel works on a `&mut [C64]` whose length is a power of two, so
+//! the flat [`crate::StateVector`] and the chunk-pair paths of
+//! [`crate::BlockedState`] share the exact same code. Kernels are
+//! sequential; parallelism is layered on top by the storage engines
+//! (rayon over aligned blocks / chunks), which keeps the hot loops simple
+//! enough for LLVM to vectorize.
+//!
+//! Conventions (standard little-endian, qubit `q` ↦ bit `q` of the basis
+//! index):
+//!
+//! * `RX(θ) = exp(−iθX/2)`
+//! * `RZ(θ) = exp(−iθZ/2) = diag(e^{−iθ/2}, e^{+iθ/2})`
+//! * `RZZ(θ) = exp(−iθ(Z⊗Z)/2)` — diagonal, phase `e^{−iθ/2}` when the two
+//!   bits agree and `e^{+iθ/2}` when they differ.
+
+use crate::complex::C64;
+
+/// A 2×2 complex matrix in row-major order: `[m00, m01, m10, m11]`.
+pub type Mat2 = [C64; 4];
+
+/// Hadamard matrix.
+pub fn h_matrix() -> Mat2 {
+    let s = std::f64::consts::FRAC_1_SQRT_2;
+    [C64::real(s), C64::real(s), C64::real(s), C64::real(-s)]
+}
+
+/// Pauli-X matrix.
+pub fn x_matrix() -> Mat2 {
+    [C64::ZERO, C64::ONE, C64::ONE, C64::ZERO]
+}
+
+/// Pauli-Y matrix.
+pub fn y_matrix() -> Mat2 {
+    [C64::ZERO, -C64::I, C64::I, C64::ZERO]
+}
+
+/// Pauli-Z matrix.
+pub fn z_matrix() -> Mat2 {
+    [C64::ONE, C64::ZERO, C64::ZERO, -C64::ONE]
+}
+
+/// `RX(θ) = exp(−iθX/2)`.
+pub fn rx_matrix(theta: f64) -> Mat2 {
+    let (s, c) = (theta / 2.0).sin_cos();
+    [
+        C64::real(c),
+        C64::new(0.0, -s),
+        C64::new(0.0, -s),
+        C64::real(c),
+    ]
+}
+
+/// `RY(θ) = exp(−iθY/2)`.
+pub fn ry_matrix(theta: f64) -> Mat2 {
+    let (s, c) = (theta / 2.0).sin_cos();
+    [C64::real(c), C64::real(-s), C64::real(s), C64::real(c)]
+}
+
+/// `RZ(θ) = exp(−iθZ/2)`.
+pub fn rz_matrix(theta: f64) -> Mat2 {
+    [
+        C64::cis(-theta / 2.0),
+        C64::ZERO,
+        C64::ZERO,
+        C64::cis(theta / 2.0),
+    ]
+}
+
+/// Multiply two 2×2 matrices: `a · b`.
+pub fn mat_mul(a: &Mat2, b: &Mat2) -> Mat2 {
+    [
+        a[0] * b[0] + a[1] * b[2],
+        a[0] * b[1] + a[1] * b[3],
+        a[2] * b[0] + a[3] * b[2],
+        a[2] * b[1] + a[3] * b[3],
+    ]
+}
+
+/// Whether a matrix is (numerically) unitary — used by debug assertions and
+/// the circuit-synthesis validator.
+pub fn is_unitary(m: &Mat2, tol: f64) -> bool {
+    // rows of m times conjugate-transpose columns must give identity
+    let dot = |r0: C64, r1: C64, c0: C64, c1: C64| r0 * c0.conj() + r1 * c1.conj();
+    let e00 = dot(m[0], m[1], m[0], m[1]);
+    let e01 = dot(m[0], m[1], m[2], m[3]);
+    let e11 = dot(m[2], m[3], m[2], m[3]);
+    (e00 - C64::ONE).norm_sqr() < tol
+        && e01.norm_sqr() < tol
+        && (e11 - C64::ONE).norm_sqr() < tol
+}
+
+/// Apply a single-qubit gate to qubit `q` of an amplitude slice.
+///
+/// `amps.len()` must be a power of two and `2^q < amps.len()`.
+pub fn apply_1q(amps: &mut [C64], q: usize, m: &Mat2) {
+    let n = amps.len();
+    let stride = 1usize << q;
+    debug_assert!(n.is_power_of_two() && stride < n);
+    let (m00, m01, m10, m11) = (m[0], m[1], m[2], m[3]);
+    let block = stride << 1;
+    let mut base = 0;
+    while base < n {
+        for i in base..base + stride {
+            let a = amps[i];
+            let b = amps[i + stride];
+            amps[i] = m00 * a + m01 * b;
+            amps[i + stride] = m10 * a + m11 * b;
+        }
+        base += block;
+    }
+}
+
+/// Apply a single-qubit gate across a chunk pair: `lo` holds the
+/// amplitudes with the target bit 0, `hi` those with the bit 1.
+///
+/// This is the kernel a rank runs after an MPI exchange in the
+/// cache-blocked scheme; the slices are element-aligned.
+pub fn apply_1q_paired(lo: &mut [C64], hi: &mut [C64], m: &Mat2) {
+    debug_assert_eq!(lo.len(), hi.len());
+    let (m00, m01, m10, m11) = (m[0], m[1], m[2], m[3]);
+    for (a, b) in lo.iter_mut().zip(hi.iter_mut()) {
+        let (x, y) = (*a, *b);
+        *a = m00 * x + m01 * y;
+        *b = m10 * x + m11 * y;
+    }
+}
+
+/// Apply `RZ(θ)` to qubit `q` — diagonal, so done in a single pass without
+/// pairing (cheaper than the generic kernel).
+pub fn apply_rz(amps: &mut [C64], base_index: u64, q: usize, theta: f64) {
+    let p0 = C64::cis(-theta / 2.0);
+    let p1 = C64::cis(theta / 2.0);
+    apply_diag_bit(amps, base_index, q, p0, p1);
+}
+
+/// Apply `RZZ(θ)` between qubits `qa` and `qb`.
+///
+/// Diagonal: amplitudes where the two bits agree pick up `e^{−iθ/2}`, the
+/// rest `e^{+iθ/2}`. `base_index` is the global index of `amps[0]`, which
+/// lets chunk-local storage apply phases for qubits above the chunk
+/// boundary without any communication — the key property of cache blocking
+/// that makes the QAOA cost layer embarrassingly parallel.
+pub fn apply_rzz(amps: &mut [C64], base_index: u64, qa: usize, qb: usize, theta: f64) {
+    debug_assert_ne!(qa, qb);
+    let same = C64::cis(-theta / 2.0);
+    let diff = C64::cis(theta / 2.0);
+    let ma = 1u64 << qa;
+    let mb = 1u64 << qb;
+    for (i, a) in amps.iter_mut().enumerate() {
+        let idx = base_index + i as u64;
+        let parity = ((idx & ma) != 0) ^ ((idx & mb) != 0);
+        *a *= if parity { diff } else { same };
+    }
+}
+
+/// Apply a controlled-Z between `qa` and `qb` (symmetric).
+pub fn apply_cz(amps: &mut [C64], base_index: u64, qa: usize, qb: usize) {
+    let ma = 1u64 << qa;
+    let mb = 1u64 << qb;
+    for (i, a) in amps.iter_mut().enumerate() {
+        let idx = base_index + i as u64;
+        if (idx & ma) != 0 && (idx & mb) != 0 {
+            *a = -*a;
+        }
+    }
+}
+
+/// Apply a CNOT with control `c` and target `t` on a flat slice
+/// (both qubits local). Swaps amplitude pairs where the control bit is set.
+pub fn apply_cnot(amps: &mut [C64], c: usize, t: usize) {
+    debug_assert_ne!(c, t);
+    let n = amps.len();
+    let mc = 1usize << c;
+    let mt = 1usize << t;
+    for i in 0..n {
+        // visit each pair once: control set, target clear
+        if (i & mc) != 0 && (i & mt) == 0 {
+            amps.swap(i, i | mt);
+        }
+    }
+}
+
+/// Shared helper: multiply amplitudes by `p0`/`p1` depending on bit `q` of
+/// the global index.
+fn apply_diag_bit(amps: &mut [C64], base_index: u64, q: usize, p0: C64, p1: C64) {
+    let mask = 1u64 << q;
+    for (i, a) in amps.iter_mut().enumerate() {
+        let idx = base_index + i as u64;
+        *a *= if idx & mask == 0 { p0 } else { p1 };
+    }
+}
+
+/// Apply a global phase `e^{iφ}` (used by synthesis passes when folding
+/// the constant term of the cost Hamiltonian).
+pub fn apply_global_phase(amps: &mut [C64], phi: f64) {
+    let p = C64::cis(phi);
+    for a in amps.iter_mut() {
+        *a *= p;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const EPS: f64 = 1e-12;
+
+    fn approx(a: C64, b: C64) -> bool {
+        (a - b).norm_sqr() < EPS
+    }
+
+    #[test]
+    fn standard_matrices_are_unitary() {
+        for m in [
+            h_matrix(),
+            x_matrix(),
+            y_matrix(),
+            z_matrix(),
+            rx_matrix(0.37),
+            ry_matrix(1.2),
+            rz_matrix(-2.1),
+        ] {
+            assert!(is_unitary(&m, 1e-20));
+        }
+    }
+
+    #[test]
+    fn hadamard_twice_is_identity() {
+        let mut amps = vec![C64::ONE, C64::ZERO];
+        let h = h_matrix();
+        apply_1q(&mut amps, 0, &h);
+        apply_1q(&mut amps, 0, &h);
+        assert!(approx(amps[0], C64::ONE));
+        assert!(approx(amps[1], C64::ZERO));
+    }
+
+    #[test]
+    fn x_flips_basis_state() {
+        let mut amps = vec![C64::ONE, C64::ZERO, C64::ZERO, C64::ZERO]; // |00⟩
+        apply_1q(&mut amps, 1, &x_matrix());
+        assert!(approx(amps[2], C64::ONE)); // |10⟩ (bit 1 set)
+    }
+
+    #[test]
+    fn rx_full_turn_is_minus_identity() {
+        let mut amps = vec![C64::new(0.6, 0.0), C64::new(0.0, 0.8)];
+        let before = amps.clone();
+        apply_1q(&mut amps, 0, &rx_matrix(2.0 * std::f64::consts::PI));
+        assert!(approx(amps[0], -before[0]));
+        assert!(approx(amps[1], -before[1]));
+    }
+
+    #[test]
+    fn rzz_phases_match_parity() {
+        let theta = 0.9;
+        let mut amps = vec![C64::ONE; 4];
+        apply_rzz(&mut amps, 0, 0, 1, theta);
+        // |00⟩,|11⟩ same parity; |01⟩,|10⟩ differ
+        assert!(approx(amps[0], C64::cis(-theta / 2.0)));
+        assert!(approx(amps[3], C64::cis(-theta / 2.0)));
+        assert!(approx(amps[1], C64::cis(theta / 2.0)));
+        assert!(approx(amps[2], C64::cis(theta / 2.0)));
+    }
+
+    #[test]
+    fn rzz_respects_base_index_offset() {
+        let theta = 0.5;
+        // simulate a chunk starting at global index 2 for qubits (0,1)
+        let mut chunk = vec![C64::ONE; 2];
+        apply_rzz(&mut chunk, 2, 0, 1, theta);
+        // global 2 = |10⟩ differing bits, global 3 = |11⟩ same
+        assert!(approx(chunk[0], C64::cis(theta / 2.0)));
+        assert!(approx(chunk[1], C64::cis(-theta / 2.0)));
+    }
+
+    #[test]
+    fn cnot_entangles_plus_state() {
+        // (|0⟩+|1⟩)/√2 ⊗ |0⟩, control = qubit 0 → Bell state
+        let s = std::f64::consts::FRAC_1_SQRT_2;
+        let mut amps = vec![C64::real(s), C64::real(s), C64::ZERO, C64::ZERO];
+        apply_cnot(&mut amps, 0, 1);
+        assert!(approx(amps[0], C64::real(s)));
+        assert!(approx(amps[3], C64::real(s)));
+        assert!(approx(amps[1], C64::ZERO));
+    }
+
+    #[test]
+    fn cz_equals_rzz_up_to_phases() {
+        // CZ = e^{iπ/4} RZZ(π/2) · RZ(−π/2)⊗RZ(−π/2) — verify on all basis states
+        let mut a = vec![C64::ONE; 4];
+        apply_cz(&mut a, 0, 0, 1);
+        let mut b = vec![C64::ONE; 4];
+        apply_rzz(&mut b, 0, 0, 1, std::f64::consts::FRAC_PI_2);
+        apply_rz(&mut b, 0, 0, -std::f64::consts::FRAC_PI_2);
+        apply_rz(&mut b, 0, 1, -std::f64::consts::FRAC_PI_2);
+        apply_global_phase(&mut b, -std::f64::consts::FRAC_PI_4);
+        for i in 0..4 {
+            assert!(approx(a[i], b[i]), "index {i}: {} vs {}", a[i], b[i]);
+        }
+    }
+
+    #[test]
+    fn paired_kernel_matches_flat_kernel() {
+        let m = rx_matrix(0.77);
+        // 3-qubit state, gate on the top qubit (q=2)
+        let amps: Vec<C64> = (0..8).map(|i| C64::new(i as f64, -(i as f64) / 2.0)).collect();
+        let mut flat = amps.clone();
+        apply_1q(&mut flat, 2, &m);
+        let (lo, hi) = amps.split_at(4);
+        let mut lo = lo.to_vec();
+        let mut hi = hi.to_vec();
+        apply_1q_paired(&mut lo, &mut hi, &m);
+        for i in 0..4 {
+            assert!(approx(flat[i], lo[i]));
+            assert!(approx(flat[i + 4], hi[i]));
+        }
+    }
+
+    #[test]
+    fn mat_mul_identity() {
+        let id = [C64::ONE, C64::ZERO, C64::ZERO, C64::ONE];
+        let m = rx_matrix(0.3);
+        assert_eq!(mat_mul(&id, &m), m);
+    }
+}

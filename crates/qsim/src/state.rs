@@ -1,0 +1,299 @@
+//! Flat statevector storage.
+//!
+//! `2^n` amplitudes in one contiguous allocation. Single-qubit gates run in
+//! parallel over gate-aligned blocks with rayon; diagonal gates (the entire
+//! QAOA cost layer) run in parallel over arbitrary chunks because they touch
+//! each amplitude exactly once.
+
+use crate::complex::C64;
+use crate::gates::{self, Mat2};
+use crate::SimError;
+use rayon::prelude::*;
+
+/// Practical register ceiling for flat storage: 2^30 amplitudes = 16 GiB.
+pub const MAX_QUBITS: usize = 30;
+
+/// Minimum amplitudes per rayon task; below this the split overhead
+/// dominates (2^14 × 16 B = 256 KiB ≈ L2-sized work items).
+const PAR_GRAIN: usize = 1 << 14;
+
+/// A flat `2^n`-amplitude statevector.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StateVector {
+    amps: Vec<C64>,
+    num_qubits: usize,
+}
+
+impl StateVector {
+    /// `|0…0⟩` on `n` qubits.
+    pub fn zero_state(n: usize) -> Self {
+        Self::try_zero_state(n).expect("register too large")
+    }
+
+    /// Fallible constructor for caller-supplied sizes.
+    pub fn try_zero_state(n: usize) -> Result<Self, SimError> {
+        if n > MAX_QUBITS {
+            return Err(SimError::TooManyQubits { requested: n, max: MAX_QUBITS });
+        }
+        let mut amps = vec![C64::ZERO; 1usize << n];
+        amps[0] = C64::ONE;
+        Ok(StateVector { amps, num_qubits: n })
+    }
+
+    /// `H^{⊗n}|0…0⟩` — the uniform superposition every QAOA circuit starts
+    /// from. Built directly (no gate applications needed).
+    pub fn plus_state(n: usize) -> Self {
+        let mut s = Self::zero_state(n);
+        let amp = C64::real(1.0 / ((1usize << n) as f64).sqrt());
+        s.amps.fill(amp);
+        s
+    }
+
+    /// Construct from raw amplitudes (length must be a power of two).
+    pub fn from_amplitudes(amps: Vec<C64>) -> Self {
+        assert!(amps.len().is_power_of_two(), "amplitude count must be 2^n");
+        let num_qubits = amps.len().trailing_zeros() as usize;
+        StateVector { amps, num_qubits }
+    }
+
+    /// Number of qubits.
+    #[inline]
+    pub fn num_qubits(&self) -> usize {
+        self.num_qubits
+    }
+
+    /// Amplitude slice.
+    #[inline]
+    pub fn amplitudes(&self) -> &[C64] {
+        &self.amps
+    }
+
+    /// Mutable amplitude slice (used by circuit execution).
+    #[inline]
+    pub fn amplitudes_mut(&mut self) -> &mut [C64] {
+        &mut self.amps
+    }
+
+    /// Squared norm; 1 for any valid quantum state.
+    pub fn norm_sqr(&self) -> f64 {
+        self.amps.par_iter().map(|a| a.norm_sqr()).sum()
+    }
+
+    /// Measurement probability of basis state `i`.
+    #[inline]
+    pub fn probability(&self, i: usize) -> f64 {
+        self.amps[i].norm_sqr()
+    }
+
+    fn check_qubit(&self, q: usize) -> Result<(), SimError> {
+        if q >= self.num_qubits {
+            Err(SimError::QubitOutOfRange { qubit: q, num_qubits: self.num_qubits })
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Apply an arbitrary single-qubit unitary to qubit `q`.
+    pub fn apply_1q(&mut self, q: usize, m: &Mat2) {
+        self.check_qubit(q).expect("qubit in range");
+        let block = 1usize << (q + 1);
+        if block >= self.amps.len() || self.amps.len() <= PAR_GRAIN {
+            gates::apply_1q(&mut self.amps, q, m);
+        } else {
+            // blocks of 2^(q+1) are self-contained for a gate on qubit q
+            self.amps
+                .par_chunks_mut(block.max(PAR_GRAIN))
+                .for_each(|chunk| gates::apply_1q(chunk, q, m));
+        }
+    }
+
+    /// Hadamard on qubit `q`.
+    pub fn h(&mut self, q: usize) {
+        self.apply_1q(q, &gates::h_matrix());
+    }
+
+    /// Pauli-X on qubit `q`.
+    pub fn x(&mut self, q: usize) {
+        self.apply_1q(q, &gates::x_matrix());
+    }
+
+    /// `RX(θ)` on qubit `q` — the QAOA mixer gate.
+    pub fn rx(&mut self, q: usize, theta: f64) {
+        self.apply_1q(q, &gates::rx_matrix(theta));
+    }
+
+    /// `RY(θ)` on qubit `q`.
+    pub fn ry(&mut self, q: usize, theta: f64) {
+        self.apply_1q(q, &gates::ry_matrix(theta));
+    }
+
+    /// `RZ(θ)` on qubit `q` (diagonal fast path).
+    pub fn rz(&mut self, q: usize, theta: f64) {
+        self.check_qubit(q).expect("qubit in range");
+        self.par_diag(|amps, base| gates::apply_rz(amps, base, q, theta));
+    }
+
+    /// `RZZ(θ)` between `qa` and `qb` — the QAOA cost gate.
+    pub fn rzz(&mut self, qa: usize, qb: usize, theta: f64) {
+        self.check_qubit(qa).expect("qubit in range");
+        self.check_qubit(qb).expect("qubit in range");
+        assert_ne!(qa, qb, "rzz needs two distinct qubits");
+        self.par_diag(|amps, base| gates::apply_rzz(amps, base, qa, qb, theta));
+    }
+
+    /// Controlled-Z between `qa` and `qb`.
+    pub fn cz(&mut self, qa: usize, qb: usize) {
+        self.check_qubit(qa).expect("qubit in range");
+        self.check_qubit(qb).expect("qubit in range");
+        self.par_diag(|amps, base| gates::apply_cz(amps, base, qa, qb));
+    }
+
+    /// CNOT with control `c`, target `t`.
+    pub fn cnot(&mut self, c: usize, t: usize) {
+        self.check_qubit(c).expect("qubit in range");
+        self.check_qubit(t).expect("qubit in range");
+        gates::apply_cnot(&mut self.amps, c, t);
+    }
+
+    /// Global phase `e^{iφ}`.
+    pub fn global_phase(&mut self, phi: f64) {
+        self.par_diag(|amps, _| gates::apply_global_phase(amps, phi));
+    }
+
+    /// Run a diagonal kernel over parallel chunks, passing each chunk its
+    /// global base index.
+    fn par_diag(&mut self, f: impl Fn(&mut [C64], u64) + Sync) {
+        if self.amps.len() <= PAR_GRAIN {
+            f(&mut self.amps, 0);
+        } else {
+            self.amps
+                .par_chunks_mut(PAR_GRAIN)
+                .enumerate()
+                .for_each(|(i, chunk)| f(chunk, (i * PAR_GRAIN) as u64));
+        }
+    }
+
+    /// L2-normalize (guards against drift in very deep circuits).
+    pub fn renormalize(&mut self) {
+        let n = self.norm_sqr().sqrt();
+        if n > 0.0 {
+            let inv = 1.0 / n;
+            self.amps.par_iter_mut().for_each(|a| *a = a.scale(inv));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const EPS: f64 = 1e-10;
+
+    #[test]
+    fn zero_state_is_normalized_delta() {
+        let s = StateVector::zero_state(5);
+        assert_eq!(s.num_qubits(), 5);
+        assert!((s.norm_sqr() - 1.0).abs() < EPS);
+        assert!((s.probability(0) - 1.0).abs() < EPS);
+    }
+
+    #[test]
+    fn plus_state_is_uniform() {
+        let s = StateVector::plus_state(4);
+        let p = 1.0 / 16.0;
+        for i in 0..16 {
+            assert!((s.probability(i) - p).abs() < EPS);
+        }
+    }
+
+    #[test]
+    fn plus_state_matches_hadamards() {
+        let mut s = StateVector::zero_state(3);
+        for q in 0..3 {
+            s.h(q);
+        }
+        let direct = StateVector::plus_state(3);
+        for (a, b) in s.amplitudes().iter().zip(direct.amplitudes()) {
+            assert!((*a - *b).norm_sqr() < EPS);
+        }
+    }
+
+    #[test]
+    fn gates_preserve_norm() {
+        let mut s = StateVector::plus_state(6);
+        s.rx(0, 0.31);
+        s.ry(3, -1.7);
+        s.rz(5, 2.2);
+        s.rzz(1, 4, 0.9);
+        s.cz(0, 5);
+        s.cnot(2, 3);
+        s.h(1);
+        assert!((s.norm_sqr() - 1.0).abs() < EPS);
+    }
+
+    #[test]
+    fn bell_state_probabilities() {
+        let mut s = StateVector::zero_state(2);
+        s.h(0);
+        s.cnot(0, 1);
+        assert!((s.probability(0) - 0.5).abs() < EPS);
+        assert!((s.probability(3) - 0.5).abs() < EPS);
+        assert!(s.probability(1) < EPS);
+        assert!(s.probability(2) < EPS);
+    }
+
+    #[test]
+    fn rzz_symmetric_in_qubit_order() {
+        let mut a = StateVector::plus_state(3);
+        let mut b = StateVector::plus_state(3);
+        a.rx(0, 0.4);
+        b.rx(0, 0.4);
+        a.rzz(0, 2, 0.8);
+        b.rzz(2, 0, 0.8);
+        for (x, y) in a.amplitudes().iter().zip(b.amplitudes()) {
+            assert!((*x - *y).norm_sqr() < EPS);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "qubit in range")]
+    fn out_of_range_qubit_panics() {
+        let mut s = StateVector::zero_state(2);
+        s.h(2);
+    }
+
+    #[test]
+    fn too_many_qubits_is_error() {
+        assert!(matches!(
+            StateVector::try_zero_state(40),
+            Err(SimError::TooManyQubits { requested: 40, .. })
+        ));
+    }
+
+    #[test]
+    fn renormalize_restores_unit_norm() {
+        let mut s = StateVector::plus_state(3);
+        for a in s.amplitudes_mut() {
+            *a = a.scale(3.0);
+        }
+        s.renormalize();
+        assert!((s.norm_sqr() - 1.0).abs() < EPS);
+    }
+
+    /// Cross-check the parallel block decomposition against the sequential
+    /// kernel on every qubit position.
+    #[test]
+    fn parallel_gate_matches_sequential_all_qubits() {
+        for q in 0..6 {
+            let mut par = StateVector::plus_state(6);
+            par.rx(1, 0.3); // make it non-symmetric
+            let mut seq = par.clone();
+            let m = gates::rx_matrix(1.234);
+            par.apply_1q(q, &m);
+            gates::apply_1q(&mut seq.amps, q, &m);
+            for (a, b) in par.amplitudes().iter().zip(seq.amplitudes()) {
+                assert!((*a - *b).norm_sqr() < EPS, "qubit {q}");
+            }
+        }
+    }
+}

@@ -1,0 +1,48 @@
+//! The synthesis engine (Classiq substitute): one high-level MaxCut model
+//! lowered with different optimization preferences, with the resulting
+//! circuit metrics — the depth/gate trade-off the paper delegates to the
+//! Classiq platform.
+//!
+//! ```text
+//! cargo run --release --example circuit_synthesis
+//! ```
+
+use qaoa2_suite::prelude::*;
+use qq_circuit::{Preference, Synthesizer};
+
+fn main() {
+    let g = generators::erdos_renyi(10, 0.6, generators::WeightKind::Uniform, 12);
+    let model = CostModel::from_maxcut(&g);
+    let params = AnsatzParams::new(vec![0.4, 0.7], vec![0.3, 0.5]);
+
+    println!("high-level model: {} qubits, {} ZZ terms\n", model.num_qubits, model.terms.len());
+    println!(
+        "{:>12} {:>8} {:>8} {:>10}",
+        "preference", "depth", "gates", "two-qubit"
+    );
+    for (name, pref) in [
+        ("none", Preference::None),
+        ("depth", Preference::Depth),
+        ("gate-count", Preference::GateCount),
+    ] {
+        let c = Synthesizer::new(pref).qaoa_ansatz(&model, &params);
+        println!(
+            "{:>12} {:>8} {:>8} {:>10}",
+            name,
+            c.depth(),
+            c.gate_count(),
+            c.two_qubit_count()
+        );
+    }
+
+    // All three lower to the same state (up to global phase).
+    let naive = Synthesizer::new(Preference::None).qaoa_ansatz(&model, &params);
+    let depth = Synthesizer::new(Preference::Depth).qaoa_ansatz(&model, &params);
+    let a = qq_circuit::exec::run_statevector(&naive);
+    let b = qq_circuit::exec::run_statevector(&depth);
+    let mut overlap = C64::ZERO;
+    for (x, y) in a.amplitudes().iter().zip(b.amplitudes()) {
+        overlap += x.conj() * *y;
+    }
+    println!("\n|⟨ψ_none|ψ_depth⟩| = {:.12} (semantics preserved)", overlap.abs());
+}

@@ -1,0 +1,42 @@
+//! The paper's central question in miniature: for which graphs and which
+//! `(p, rhobeg)` parameterizations does QAOA beat GW? This mini-sweep
+//! mirrors Fig. 3 on two instances and prints the per-grid-point verdicts
+//! — the "knowledge base" that motivates the hybrid sub-graph decision.
+//!
+//! ```text
+//! cargo run --release --example subgraph_advantage
+//! ```
+
+use qaoa2_suite::prelude::*;
+
+fn main() {
+    for (label, edge_prob) in [("sparse (p_edge = 0.1)", 0.1), ("dense (p_edge = 0.5)", 0.5)] {
+        let g = generators::erdos_renyi(12, edge_prob, generators::WeightKind::Uniform, 9);
+        let gw = goemans_williamson(&g, &GwConfig::default());
+        println!("== {label}: {} edges, GW mean-of-30 = {:.3} ==", g.num_edges(), gw.mean_value);
+        println!("{:>4} {:>8} {:>10} {:>10}", "p", "rhobeg", "QAOA cut", "verdict");
+        let mut wins = 0;
+        let mut total = 0;
+        for p in [3usize, 4, 5, 6] {
+            for rhobeg in [0.1, 0.3, 0.5] {
+                let cfg = QaoaConfig::grid_cell(p, rhobeg, 11);
+                let r = qaoa_solve(&g, &cfg).expect("12 qubits fit");
+                let verdict = if r.best.value > gw.mean_value {
+                    wins += 1;
+                    "QAOA wins"
+                } else if r.best.value >= 0.95 * gw.mean_value {
+                    "within 5%"
+                } else {
+                    "GW wins"
+                };
+                total += 1;
+                println!("{:>4} {:>8.1} {:>10.3} {:>10}", p, rhobeg, r.best.value, verdict);
+            }
+        }
+        println!("QAOA won {wins}/{total} grid points\n");
+    }
+    println!(
+        "the paper's Fig. 3 finding at scale: QAOA's partial advantage concentrates on\n\
+         graphs with small edge probability and large (rhobeg, p) grid points."
+    );
+}

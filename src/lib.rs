@@ -1,0 +1,37 @@
+//! # qaoa2-suite — umbrella crate
+//!
+//! Re-exports the whole QAOA-in-QAOA stack behind one dependency, hosts
+//! the runnable `examples/` and the cross-crate integration tests in
+//! `tests/`. See the README for the tour and DESIGN.md for the system
+//! inventory.
+//!
+//! ```
+//! use qaoa2_suite::prelude::*;
+//!
+//! let g = generators::erdos_renyi(40, 0.15, generators::WeightKind::Uniform, 1);
+//! let cfg = Qaoa2Config { max_qubits: 8, solver: SubSolver::LocalSearch, ..Qaoa2Config::default() };
+//! let res = qaoa2_solve(&g, &cfg).unwrap();
+//! assert_eq!(res.cut.len(), 40);
+//! ```
+
+pub use qq_circuit as circuit;
+pub use qq_classical as classical;
+pub use qq_core as core;
+pub use qq_graph as graph;
+pub use qq_gw as gw;
+pub use qq_hpc as hpc;
+pub use qq_opt as opt;
+pub use qq_qaoa as qaoa;
+pub use qq_sim as sim;
+
+/// The names most programs need.
+pub mod prelude {
+    pub use qq_circuit::prelude::*;
+    pub use qq_classical::{exact_maxcut, one_exchange, randomized_partitioning, CutResult};
+    pub use qq_core::{solve as qaoa2_solve, Parallelism, Qaoa2Config, Qaoa2Result, SubSolver};
+    pub use qq_graph::{generators, Cut, Graph};
+    pub use qq_gw::{goemans_williamson, GwConfig};
+    pub use qq_hpc::{master_worker, run_ranks, Communicator};
+    pub use qq_qaoa::{solve as qaoa_solve, ObjectiveMode, QaoaConfig, SolutionPolicy};
+    pub use qq_sim::prelude::*;
+}

@@ -1,0 +1,122 @@
+//! Cross-crate integration tests: the full stack, graph → partition →
+//! (QAOA | GW) sub-solves → merge → global cut, against certified optima.
+
+use qaoa2_suite::prelude::*;
+
+#[test]
+fn qaoa_vs_exact_small_graph() {
+    let g = generators::erdos_renyi(12, 0.35, generators::WeightKind::Uniform, 100);
+    let exact = exact_maxcut(&g);
+    let cfg = QaoaConfig {
+        layers: 4,
+        max_iters: 200,
+        objective: ObjectiveMode::Exact,
+        policy: SolutionPolicy::TopK(32),
+        seed: 5,
+        ..QaoaConfig::default()
+    };
+    let res = qaoa_solve(&g, &cfg).unwrap();
+    assert!(res.best.value <= exact.value + 1e-9, "heuristic exceeded certified optimum");
+    assert!(
+        res.best.value >= 0.8 * exact.value,
+        "QAOA ratio {:.3} too low",
+        res.best.value / exact.value
+    );
+}
+
+#[test]
+fn gw_certificate_sandwich() {
+    // exact ≤ SDP bound and GW-best ≥ 0.878·exact on every seed
+    for seed in 0..3 {
+        let g = generators::erdos_renyi(15, 0.3, generators::WeightKind::Random01, 200 + seed);
+        let exact = exact_maxcut(&g);
+        let gw = goemans_williamson(&g, &GwConfig::default());
+        assert!(exact.value <= gw.sdp_bound + 1e-6);
+        assert!(gw.best.value >= 0.878 * exact.value);
+        assert!(gw.best.value <= exact.value + 1e-9);
+    }
+}
+
+#[test]
+fn qaoa2_full_stack_with_quantum_and_classical_solvers() {
+    let g = generators::erdos_renyi(30, 0.2, generators::WeightKind::Uniform, 7);
+    let exact = exact_maxcut(&g);
+    let cfg = Qaoa2Config {
+        max_qubits: 8,
+        solver: SubSolver::Best {
+            qaoa: QaoaConfig { layers: 2, max_iters: 30, ..QaoaConfig::default() },
+            gw: GwConfig::default(),
+        },
+        coarse_solver: SubSolver::Gw(GwConfig::default()),
+        parallelism: Parallelism::Threads,
+        seed: 9,
+    };
+    let res = qaoa2_solve(&g, &cfg).unwrap();
+    assert!(res.cut_value <= exact.value + 1e-9);
+    // divide-and-conquer on a 30-node graph should stay close to optimal
+    assert!(
+        res.cut_value >= 0.85 * exact.value,
+        "QAOA² ratio {:.3}",
+        res.cut_value / exact.value
+    );
+    assert!(res.levels[0].max_subgraph <= 8);
+}
+
+#[test]
+fn qaoa2_through_cluster_workflow_matches_threaded() {
+    let g = generators::erdos_renyi(48, 0.15, generators::WeightKind::Random01, 31);
+    let mk = |parallelism| Qaoa2Config {
+        max_qubits: 10,
+        solver: SubSolver::LocalSearch,
+        coarse_solver: SubSolver::LocalSearch,
+        parallelism,
+        seed: 2,
+    };
+    let threaded = qaoa2_solve(&g, &mk(Parallelism::Threads)).unwrap();
+    let cluster = qaoa2_solve(&g, &mk(Parallelism::Cluster(3))).unwrap();
+    assert_eq!(threaded.cut_value, cluster.cut_value);
+    assert_eq!(threaded.cut, cluster.cut);
+}
+
+#[test]
+fn blocked_engine_reproduces_qaoa_state_through_circuit_layer() {
+    let g = generators::erdos_renyi(9, 0.4, generators::WeightKind::Uniform, 77);
+    let model = CostModel::from_maxcut(&g);
+    let params = AnsatzParams::new(vec![0.35, 0.6], vec![0.25, 0.45]);
+    let circuit = Synthesizer::new(Preference::Depth).qaoa_ansatz(&model, &params);
+    let flat = qq_circuit::exec::run_statevector(&circuit);
+    let blocked = qq_circuit::exec::run_blocked(&circuit, 4).unwrap();
+    let blocked_flat = blocked.to_statevector();
+    let mut overlap = C64::ZERO;
+    for (a, b) in flat.amplitudes().iter().zip(blocked_flat.amplitudes()) {
+        overlap += a.conj() * *b;
+    }
+    assert!((overlap.abs() - 1.0).abs() < 1e-9);
+    // the cost layers were communication-free; only high mixer gates paid
+    assert!(blocked.stats().pair_exchanges > 0);
+}
+
+#[test]
+fn shots_pipeline_matches_paper_configuration() {
+    // 4096 shots, highest-amplitude extraction: the paper's exact setup
+    let g = generators::erdos_renyi(10, 0.3, generators::WeightKind::Uniform, 55);
+    let cfg = QaoaConfig::grid_cell(3, 0.5, 1);
+    assert_eq!(cfg.shots, 4096);
+    assert_eq!(cfg.max_iters, 30);
+    let res = qaoa_solve(&g, &cfg).unwrap();
+    let rnd = randomized_partitioning(&g, 1, 1);
+    // QAOA with paper budgets must at least compete with one random cut
+    assert!(res.best.value >= 0.8 * rnd.value);
+}
+
+#[test]
+fn workflow_scheduler_and_coordinator_compose() {
+    use qq_hpc::scheduler::{fig1_hetjob_scenario, Cluster};
+    let (mono, het) = fig1_hetjob_scenario(4, 30, 6, Cluster { cpu_nodes: 6, qpus: 1 });
+    assert!(het.qpu_idle_fraction() <= mono.qpu_idle_fraction());
+
+    let tasks: Vec<u64> = (0..24).collect();
+    let report = master_worker(3, tasks, |_, &t| t * 2);
+    assert_eq!(report.results.len(), 24);
+    assert!(report.results.iter().enumerate().all(|(i, &v)| v == i as u64 * 2));
+}

@@ -1,0 +1,164 @@
+//! Property-based tests over the core invariants (proptest).
+
+use proptest::prelude::*;
+use qaoa2_suite::prelude::*;
+use qq_graph::{extract_subgraphs, partition_with_cap};
+
+/// Strategy: a random graph as (node count, edge fraction seedable).
+fn arb_graph() -> impl Strategy<Value = Graph> {
+    (2usize..40, 0.05f64..0.8, any::<u64>()).prop_map(|(n, p, seed)| {
+        generators::erdos_renyi(n, p, generators::WeightKind::Random01, seed)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn cut_value_invariant_under_global_flip(g in arb_graph(), bits in any::<u64>()) {
+        let n = g.num_nodes();
+        let mut cut = Cut::from_basis_index(n.min(64), bits);
+        if cut.len() != n { return Ok(()); }
+        let before = cut.value(&g);
+        cut.flip_all();
+        prop_assert!((cut.value(&g) - before).abs() < 1e-9);
+    }
+
+    #[test]
+    fn flip_gain_consistent_with_value(g in arb_graph(), bits in any::<u64>(), v in 0u32..40) {
+        let n = g.num_nodes();
+        if v as usize >= n || n > 64 { return Ok(()); }
+        let mut cut = Cut::from_basis_index(n, bits);
+        let before = cut.value(&g);
+        let gain = cut.flip_gain(&g, v);
+        cut.flip_node(v);
+        prop_assert!((cut.value(&g) - before - gain).abs() < 1e-9);
+    }
+
+    #[test]
+    fn partition_is_disjoint_cover_with_cap(g in arb_graph(), cap in 2usize..12) {
+        let p = partition_with_cap(&g, cap);
+        prop_assert!(p.is_valid());
+        prop_assert!(p.max_community_size() <= cap);
+        let total: usize = p.communities().iter().map(Vec::len).sum();
+        prop_assert_eq!(total, g.num_nodes());
+    }
+
+    #[test]
+    fn subgraph_edges_never_cross_communities(g in arb_graph(), cap in 2usize..10) {
+        let p = partition_with_cap(&g, cap);
+        let subs = extract_subgraphs(&g, &p);
+        let assignment = p.assignment();
+        for (c, sub) in subs.iter().enumerate() {
+            for e in sub.graph.edges() {
+                let gu = sub.nodes[e.u as usize];
+                let gv = sub.nodes[e.v as usize];
+                prop_assert_eq!(assignment[gu as usize], c as u32);
+                prop_assert_eq!(assignment[gv as usize], c as u32);
+            }
+        }
+    }
+
+    #[test]
+    fn merge_identity_holds_for_arbitrary_local_cuts(
+        g in arb_graph(),
+        cap in 2usize..10,
+        seed in any::<u64>(),
+    ) {
+        // compose(local cuts, coarse cut) evaluated directly must equal the
+        // intra + coarse-decomposed inter value — the core QAOA² identity.
+        let partition = partition_with_cap(&g, cap);
+        let local_cuts: Vec<Cut> = partition
+            .communities()
+            .iter()
+            .enumerate()
+            .map(|(i, m)| Cut::from_basis_index(m.len(), seed.rotate_left(i as u32)))
+            .collect();
+        let coarse = qq_core::build_merge_graph(&g, &partition, &local_cuts);
+        let coarse_cut = Cut::from_basis_index(partition.len().min(64), seed / 3);
+        if coarse_cut.len() != partition.len() { return Ok(()); }
+        let global = qq_core::apply_flips(&g, &partition, &local_cuts, &coarse_cut);
+
+        // direct evaluation
+        let direct = global.value(&g);
+        // decomposition
+        let mut intra = 0.0;
+        for (c, members) in partition.communities().iter().enumerate() {
+            let (sub, _) = g.induced_subgraph(members);
+            intra += local_cuts[c].value(&sub);
+        }
+        let assignment = partition.assignment();
+        let w_inter: f64 = g
+            .edges()
+            .iter()
+            .filter(|e| assignment[e.u as usize] != assignment[e.v as usize])
+            .map(|e| e.w)
+            .sum();
+        let signed: f64 = coarse
+            .edges()
+            .iter()
+            .map(|e| e.w * coarse_cut.spin(e.u) * coarse_cut.spin(e.v))
+            .sum();
+        prop_assert!((direct - (intra + (w_inter - signed) / 2.0)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn statevector_norm_preserved_by_random_circuits(
+        n in 2usize..8,
+        ops in prop::collection::vec((0usize..8, 0usize..8, -3.0f64..3.0), 1..40),
+    ) {
+        let mut s = StateVector::plus_state(n);
+        for (a, b, theta) in ops {
+            let (a, b) = (a % n, b % n);
+            s.rx(a, theta);
+            s.rz(b, -theta);
+            if a != b {
+                s.rzz(a, b, theta * 0.7);
+            }
+        }
+        prop_assert!((s.norm_sqr() - 1.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn sampling_conserves_shots_and_range(
+        n in 1usize..8,
+        shots in 1usize..4096,
+        seed in any::<u64>(),
+    ) {
+        let s = StateVector::plus_state(n);
+        let counts = sample_counts(s.amplitudes(), shots, seed);
+        let total: u32 = counts.iter().map(|&(_, c)| c).sum();
+        prop_assert_eq!(total as usize, shots);
+        prop_assert!(counts.iter().all(|&(z, _)| z < (1u64 << n)));
+    }
+
+    #[test]
+    fn exact_dominates_every_heuristic(g in arb_graph(), seed in any::<u64>()) {
+        if g.num_nodes() > 18 { return Ok(()); }
+        let exact = exact_maxcut(&g);
+        let ls = one_exchange(&g, seed);
+        let rnd = randomized_partitioning(&g, 4, seed);
+        prop_assert!(exact.value >= ls.value - 1e-9);
+        prop_assert!(exact.value >= rnd.value - 1e-9);
+    }
+
+    #[test]
+    fn gw_bound_dominates_rounding(g in arb_graph(), seed in any::<u64>()) {
+        if g.num_nodes() > 24 { return Ok(()); }
+        // non-negative weights: rounding can never beat the SDP objective
+        let gw = goemans_williamson(&g, &GwConfig { seed, ..GwConfig::default() });
+        prop_assert!(gw.best.value <= gw.sdp_bound + 1e-6);
+        prop_assert!(gw.mean_value <= gw.best.value + 1e-12);
+    }
+
+    #[test]
+    fn communicator_reduce_matches_sequential_fold(vals in prop::collection::vec(0i64..1000, 1..6)) {
+        let n = vals.len();
+        let expected: i64 = vals.iter().sum();
+        let outs = run_ranks(n, |mut comm: Communicator<i64>| {
+            let v = vals[comm.rank()];
+            comm.reduce(0, v, |a, b| a + b)
+        });
+        prop_assert_eq!(outs[0], Some(expected));
+    }
+}
