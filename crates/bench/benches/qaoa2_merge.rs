@@ -16,7 +16,7 @@ fn bench_merge(c: &mut Criterion) {
             .communities()
             .iter()
             .enumerate()
-            .map(|(i, members)| Cut::from_fn(members.len(), |v| (v as usize + i) % 2 == 0))
+            .map(|(i, members)| Cut::from_fn(members.len(), |v| (v as usize + i).is_multiple_of(2)))
             .collect();
         group.bench_with_input(BenchmarkId::new("build", n), &n, |b, _| {
             b.iter(|| build_merge_graph(&g, &partition, &local_cuts));

@@ -41,7 +41,13 @@ fn main() {
     }
     write_csv(
         "results/fig1.csv",
-        &["classical_quantum_ratio", "mono_qpu_idle", "het_qpu_idle", "mono_makespan", "het_makespan"],
+        &[
+            "classical_quantum_ratio",
+            "mono_qpu_idle",
+            "het_qpu_idle",
+            "mono_makespan",
+            "het_makespan",
+        ],
         &rows,
     )
     .expect("write results/fig1.csv");

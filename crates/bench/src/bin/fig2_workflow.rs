@@ -10,8 +10,8 @@
 
 use qq_bench::{write_csv, Scale};
 use qq_core::{solve_subgraph, SubSolver};
-use qq_graph::{extract_subgraphs, generators, partition_with_cap};
 use qq_graph::generators::WeightKind;
+use qq_graph::{extract_subgraphs, generators, partition_with_cap};
 use qq_hpc::master_worker;
 use qq_qaoa::QaoaConfig;
 
@@ -47,9 +47,7 @@ fn main() {
     let mut t1 = None;
     for workers in [1usize, 2, 4, 8] {
         let report = master_worker(workers, subgraphs.clone(), |i, sub| {
-            solve_subgraph(&sub.graph, &solver, i as u64)
-                .map(|r| r.value)
-                .unwrap_or(f64::NAN)
+            solve_subgraph(&sub.graph, &solver, i as u64).map(|r| r.value).unwrap_or(f64::NAN)
         });
         let wall_ms = report.wall.as_secs_f64() * 1e3;
         if t1.is_none() {

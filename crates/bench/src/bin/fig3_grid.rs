@@ -46,7 +46,10 @@ fn main() {
 
     // Panels (a) and (b): instance heatmaps per weighting.
     for (pred_name, pred) in [
-        ("QAOA strictly better than GW (Fig 3a)", CellOutcome::qaoa_wins as fn(&CellOutcome) -> bool),
+        (
+            "QAOA strictly better than GW (Fig 3a)",
+            CellOutcome::qaoa_wins as fn(&CellOutcome) -> bool,
+        ),
         ("QAOA in [95,100)% of GW (Fig 3b)", CellOutcome::near_miss as fn(&CellOutcome) -> bool),
     ] {
         for weighted in [false, true] {

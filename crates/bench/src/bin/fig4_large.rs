@@ -70,7 +70,10 @@ fn main() {
         "{:>7} {:>12} {:>12} {:>12} {:>12} {:>12}",
         "nodes", "random", "classic(GW)", "qaoa", "best", "gw-full"
     );
-    println!("{:>7} {:>12} {:>12} {:>12} {:>12} {:>12}", "", "(rel)", "(rel)", "(rel=1)", "(rel)", "(rel)");
+    println!(
+        "{:>7} {:>12} {:>12} {:>12} {:>12} {:>12}",
+        "", "(rel)", "(rel)", "(rel=1)", "(rel)", "(rel)"
+    );
 
     for &n in &s.node_counts {
         let t0 = std::time::Instant::now();

@@ -51,7 +51,11 @@ impl GridSettings {
 
     /// The paper's Table 1 sweep (nodes 30–33, probs {0.1, 0.2}).
     pub fn paper_table1() -> Self {
-        GridSettings { node_counts: (30..=33).collect(), edge_probs: vec![0.1, 0.2], ..Self::paper_fig3() }
+        GridSettings {
+            node_counts: (30..=33).collect(),
+            edge_probs: vec![0.1, 0.2],
+            ..Self::paper_fig3()
+        }
     }
 }
 
@@ -156,13 +160,18 @@ pub fn run_grid_experiment(settings: &GridSettings, verbose: bool) -> GridSummar
                 .wrapping_add(weighted as u64);
             let g = generators::erdos_renyi(nodes, edge_prob, kind, gseed);
             // paper comparison value: mean of 30 GW slicings
-            let gw = goemans_williamson(&g, &GwConfig { seed: gseed ^ 0xa5a5, ..GwConfig::default() });
+            let gw =
+                goemans_williamson(&g, &GwConfig { seed: gseed ^ 0xa5a5, ..GwConfig::default() });
             let mut out = Vec::new();
             for &p in &settings.ps {
                 for &rhobeg in &settings.rhobegs {
                     let cfg = QaoaConfig {
                         shots: settings.shots,
-                        ..QaoaConfig::grid_cell(p, rhobeg, gseed ^ ((p as u64) << 8) ^ rhobeg.to_bits())
+                        ..QaoaConfig::grid_cell(
+                            p,
+                            rhobeg,
+                            gseed ^ ((p as u64) << 8) ^ rhobeg.to_bits(),
+                        )
                     };
                     let qaoa_value = match qq_qaoa::solve(&g, &cfg) {
                         Ok(r) => r.best.value,

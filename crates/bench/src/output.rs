@@ -19,11 +19,7 @@ pub struct Heatmap {
 
 impl Heatmap {
     /// Allocate a zeroed heatmap.
-    pub fn new(
-        title: &str,
-        row_axis: (&str, Vec<String>),
-        col_axis: (&str, Vec<String>),
-    ) -> Self {
+    pub fn new(title: &str, row_axis: (&str, Vec<String>), col_axis: (&str, Vec<String>)) -> Self {
         let cells = vec![vec![0.0; col_axis.1.len()]; row_axis.1.len()];
         Heatmap {
             title: title.to_string(),

@@ -30,11 +30,17 @@
 
 pub mod merge;
 pub mod qaoa2;
+pub mod registry;
 pub mod solvers;
 
 pub use merge::{apply_flips, build_merge_graph};
-pub use qaoa2::{solve, LevelStats, Qaoa2Config, Qaoa2Result, Parallelism};
-pub use solvers::{solve_subgraph, SubSolver};
+pub use qaoa2::{solve, LevelStats, Parallelism, Qaoa2Config, Qaoa2Result};
+pub use registry::{SolverFactory, SolverRegistry};
+pub use solvers::{solve_subgraph, solve_with_backend, SharedSolver, SubSolver};
+
+// the backend interface, re-exported so orchestrator users need only this
+// crate to implement or consume solvers
+pub use qq_graph::{BestOf, BoxedSolver, MaxCutSolver, SolverCaps, SolverError};
 
 /// Errors from the QAOA² driver.
 #[derive(Debug)]

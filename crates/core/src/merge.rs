@@ -67,12 +67,7 @@ pub fn build_merge_graph(g: &Graph, partition: &Partition, local_cuts: &[Cut]) -
 /// and flips every node otherwise (the paper's "if a node in the new graph
 /// is −1, all the nodes in the sub-graph represented by this node are
 /// flipped").
-pub fn apply_flips(
-    g: &Graph,
-    partition: &Partition,
-    local_cuts: &[Cut],
-    coarse_cut: &Cut,
-) -> Cut {
+pub fn apply_flips(g: &Graph, partition: &Partition, local_cuts: &[Cut], coarse_cut: &Cut) -> Cut {
     assert_eq!(coarse_cut.len(), partition.len());
     let mut global = Cut::new(g.num_nodes());
     for (c, members) in partition.communities().iter().enumerate() {
@@ -88,8 +83,8 @@ pub fn apply_flips(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use qq_graph::{generators, partition_with_cap};
     use qq_graph::generators::WeightKind;
+    use qq_graph::{generators, partition_with_cap};
 
     /// Independent recomputation of the composed cut value, for checking
     /// the merge-identity invariant.
@@ -169,11 +164,9 @@ mod tests {
         // both communities cut their internal edge, but sides misalign:
         // A: 0→side0, 1→side1; B: 2→side0, 3→side1 — the inter edges
         // (0,2) and (1,3) are both UNcut (composed value 2, optimum 4)
-        let local_cuts =
-            vec![Cut::from_bools(&[false, true]), Cut::from_bools(&[false, true])];
+        let local_cuts = vec![Cut::from_bools(&[false, true]), Cut::from_bools(&[false, true])];
         // without any flip the composition is suboptimal
-        let unflipped =
-            apply_flips(&g, &partition, &local_cuts, &Cut::new(2)).value(&g);
+        let unflipped = apply_flips(&g, &partition, &local_cuts, &Cut::new(2)).value(&g);
         assert_eq!(unflipped, 2.0);
         let coarse = build_merge_graph(&g, &partition, &local_cuts);
         // W_AB = w02·s0·s2 + w13·s1·s3 = (+1)(+1)(+1) + (+1)(−1)(−1) = +2

@@ -1,9 +1,9 @@
 //! The QAOA² driver: divide → solve (in parallel) → merge → recurse.
 
 use crate::merge::{apply_flips, build_merge_graph};
-use crate::solvers::{solve_subgraph, SubSolver};
+use crate::solvers::{solve_with_backend, SubSolver};
 use crate::Qaoa2Error;
-use qq_graph::{extract_subgraphs, partition_with_cap, Cut, Graph};
+use qq_graph::{extract_subgraphs, partition_with_cap, Cut, Graph, MaxCutSolver};
 use rayon::prelude::*;
 use std::time::{Duration, Instant};
 
@@ -102,12 +102,17 @@ fn solve_level(
     levels: &mut Vec<LevelStats>,
     total_subgraphs: &mut usize,
 ) -> Result<Cut, Qaoa2Error> {
-    let solver = if depth == 0 { &cfg.solver } else { &cfg.coarse_solver };
+    let config = if depth == 0 { &cfg.solver } else { &cfg.coarse_solver };
+    // Build the backend once per level; it is shared (read-only) across
+    // every sub-graph solve of the level, including the threaded and
+    // cluster execution modes.
+    let backend = config.to_backend();
+    let backend: &dyn MaxCutSolver = backend.as_ref();
 
     // Base case: the whole graph fits on the device.
     if g.num_nodes() <= cfg.max_qubits {
         *total_subgraphs += 1;
-        return solve_subgraph(g, solver, mix_seed(cfg.seed, depth as u64, 0)).map(|r| r.cut);
+        return solve_with_backend(g, backend, mix_seed(cfg.seed, depth as u64, 0)).map(|r| r.cut);
     }
 
     // Divide. Modularity can refuse to group nodes (e.g. coarse graphs
@@ -130,8 +135,12 @@ fn solve_level(
             let mut out = Vec::with_capacity(num_subgraphs);
             for (i, sub) in subgraphs.iter().enumerate() {
                 out.push(
-                    solve_subgraph(&sub.graph, solver, mix_seed(cfg.seed, depth as u64, i as u64))?
-                        .cut,
+                    solve_with_backend(
+                        &sub.graph,
+                        backend,
+                        mix_seed(cfg.seed, depth as u64, i as u64),
+                    )?
+                    .cut,
                 );
             }
             out
@@ -141,8 +150,12 @@ fn solve_level(
                 .par_iter()
                 .enumerate()
                 .map(|(i, sub)| {
-                    solve_subgraph(&sub.graph, solver, mix_seed(cfg.seed, depth as u64, i as u64))
-                        .map(|r| r.cut)
+                    solve_with_backend(
+                        &sub.graph,
+                        backend,
+                        mix_seed(cfg.seed, depth as u64, i as u64),
+                    )
+                    .map(|r| r.cut)
                 })
                 .collect();
             results?
@@ -150,9 +163,9 @@ fn solve_level(
         Parallelism::Cluster(workers) => {
             let tasks: Vec<usize> = (0..num_subgraphs).collect();
             let report = qq_hpc::master_worker(workers, tasks, |i, &task| {
-                solve_subgraph(
+                solve_with_backend(
                     &subgraphs[task].graph,
-                    solver,
+                    backend,
                     mix_seed(cfg.seed, depth as u64, i as u64),
                 )
                 .map(|r| r.cut)
@@ -182,11 +195,8 @@ fn solve_level(
 /// Node-order chunks of size `cap`: the fallback divide when modularity
 /// finds no community structure to exploit.
 fn balanced_partition(n: usize, cap: usize) -> qq_graph::Partition {
-    let communities: Vec<Vec<qq_graph::NodeId>> = (0..n as u32)
-        .collect::<Vec<_>>()
-        .chunks(cap)
-        .map(|c| c.to_vec())
-        .collect();
+    let communities: Vec<Vec<qq_graph::NodeId>> =
+        (0..n as u32).collect::<Vec<_>>().chunks(cap).map(|c| c.to_vec()).collect();
     qq_graph::Partition::new(n, communities)
 }
 
@@ -258,11 +268,8 @@ mod tests {
     fn thread_and_sequential_agree() {
         let g = generators::erdos_renyi(50, 0.15, WeightKind::Random01, 9);
         let seq = solve(&g, &fast_cfg(8)).unwrap();
-        let par = solve(
-            &g,
-            &Qaoa2Config { parallelism: Parallelism::Threads, ..fast_cfg(8) },
-        )
-        .unwrap();
+        let par =
+            solve(&g, &Qaoa2Config { parallelism: Parallelism::Threads, ..fast_cfg(8) }).unwrap();
         assert_eq!(seq.cut, par.cut);
     }
 
@@ -270,11 +277,8 @@ mod tests {
     fn cluster_mode_agrees_with_sequential() {
         let g = generators::erdos_renyi(40, 0.2, WeightKind::Uniform, 11);
         let seq = solve(&g, &fast_cfg(8)).unwrap();
-        let clu = solve(
-            &g,
-            &Qaoa2Config { parallelism: Parallelism::Cluster(3), ..fast_cfg(8) },
-        )
-        .unwrap();
+        let clu = solve(&g, &Qaoa2Config { parallelism: Parallelism::Cluster(3), ..fast_cfg(8) })
+            .unwrap();
         assert_eq!(seq.cut_value, clu.cut_value);
     }
 

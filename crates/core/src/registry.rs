@@ -1,0 +1,181 @@
+//! Label-indexed backend registry.
+//!
+//! Maps stable string labels (`"qaoa"`, `"gw"`, `"local-search"`, …) to
+//! factories producing [`MaxCutSolver`] instances. The bench bins and the
+//! umbrella examples use it for CLI-style backend selection; downstream
+//! crates use [`SolverRegistry::register`] to add their own backends —
+//! e.g. a future sharded or distributed solver — without editing any
+//! dispatch code in this crate.
+
+use std::collections::BTreeMap;
+
+use qq_graph::{BoxedSolver, CutResult, Graph};
+
+use crate::solvers::SubSolver;
+use crate::Qaoa2Error;
+
+/// Factory producing a fresh backend instance.
+pub type SolverFactory = Box<dyn Fn() -> BoxedSolver + Send + Sync>;
+
+/// A label → backend-factory table.
+///
+/// `BTreeMap` keeps [`SolverRegistry::labels`] sorted so reports and CLIs
+/// render deterministically.
+#[derive(Default)]
+pub struct SolverRegistry {
+    factories: BTreeMap<String, SolverFactory>,
+}
+
+impl SolverRegistry {
+    /// An empty registry.
+    pub fn empty() -> Self {
+        SolverRegistry::default()
+    }
+
+    /// A registry pre-loaded with every built-in backend under its
+    /// default configuration: `annealing`, `exact`, `gw`, `local-search`,
+    /// `qaoa`, `random`, plus the hybrid `best` (QAOA ∨ GW) and the
+    /// paper's `qaoa-grid` and `rqaoa`.
+    pub fn with_default_backends() -> Self {
+        let mut r = SolverRegistry::empty();
+        for config in [
+            SubSolver::Qaoa(qq_qaoa::QaoaConfig::default()),
+            SubSolver::QaoaGrid {
+                ps: vec![2, 4],
+                rhobegs: vec![0.3, 0.5],
+                base: qq_qaoa::QaoaConfig::default(),
+            },
+            SubSolver::Gw(qq_gw::GwConfig::default()),
+            SubSolver::Best {
+                qaoa: qq_qaoa::QaoaConfig::default(),
+                gw: qq_gw::GwConfig::default(),
+            },
+            SubSolver::Random { trials: 16 },
+            SubSolver::LocalSearch,
+            SubSolver::Annealing(qq_classical::annealing::AnnealingSchedule::default()),
+            SubSolver::Rqaoa(qq_qaoa::RqaoaConfig::default()),
+            SubSolver::Exact,
+        ] {
+            r.register_config(config);
+        }
+        r
+    }
+
+    /// Register `factory` under `label`, replacing any previous entry.
+    pub fn register(
+        &mut self,
+        label: impl Into<String>,
+        factory: impl Fn() -> BoxedSolver + Send + Sync + 'static,
+    ) {
+        self.factories.insert(label.into(), Box::new(factory));
+    }
+
+    /// Register a [`SubSolver`] configuration under its own label.
+    pub fn register_config(&mut self, config: SubSolver) {
+        let label = config.label().to_string();
+        // `Arc<dyn MaxCutSolver>` is itself a `MaxCutSolver`, so the shared
+        // handle boxes straight into the factory output
+        self.register(label, move || Box::new(config.to_backend()));
+    }
+
+    /// Instantiate the backend registered under `label`.
+    pub fn create(&self, label: &str) -> Option<BoxedSolver> {
+        self.factories.get(label).map(|f| f())
+    }
+
+    /// All registered labels, sorted.
+    pub fn labels(&self) -> Vec<&str> {
+        self.factories.keys().map(String::as_str).collect()
+    }
+
+    /// Number of registered backends.
+    pub fn len(&self) -> usize {
+        self.factories.len()
+    }
+
+    /// True when nothing is registered.
+    pub fn is_empty(&self) -> bool {
+        self.factories.is_empty()
+    }
+
+    /// Look up `label` and solve `g` with it.
+    pub fn solve(&self, label: &str, g: &Graph, seed: u64) -> Result<CutResult, Qaoa2Error> {
+        let backend = self.create(label).ok_or_else(|| {
+            Qaoa2Error::InvalidConfig(format!(
+                "no backend registered under '{label}' (known: {})",
+                self.labels().join(", ")
+            ))
+        })?;
+        crate::solvers::solve_with_backend(g, &backend, seed)
+    }
+}
+
+// factories are opaque closures; print the labels
+impl std::fmt::Debug for SolverRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SolverRegistry").field("labels", &self.labels()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qq_graph::generators::{self, WeightKind};
+    use qq_graph::{Cut, MaxCutSolver, SolverError};
+
+    #[test]
+    fn default_registry_lists_all_builtins() {
+        let r = SolverRegistry::with_default_backends();
+        assert_eq!(
+            r.labels(),
+            vec![
+                "annealing",
+                "best",
+                "exact",
+                "gw",
+                "local-search",
+                "qaoa",
+                "qaoa-grid",
+                "random",
+                "rqaoa"
+            ]
+        );
+        assert_eq!(r.len(), 9);
+    }
+
+    #[test]
+    fn unknown_label_is_a_config_error() {
+        let r = SolverRegistry::with_default_backends();
+        let g = generators::ring(6);
+        assert!(matches!(r.solve("no-such", &g, 0), Err(Qaoa2Error::InvalidConfig(_))));
+        assert!(r.create("no-such").is_none());
+    }
+
+    #[test]
+    fn registering_a_new_backend_needs_no_core_edits() {
+        struct AllOnOneSide;
+        impl MaxCutSolver for AllOnOneSide {
+            fn label(&self) -> &str {
+                "all-one-side"
+            }
+            fn solve(&self, g: &Graph, _seed: u64) -> Result<CutResult, SolverError> {
+                Ok(CutResult::new(Cut::new(g.num_nodes()), g))
+            }
+        }
+        let mut r = SolverRegistry::empty();
+        r.register("all-one-side", || Box::new(AllOnOneSide));
+        let g = generators::erdos_renyi(12, 0.3, WeightKind::Uniform, 1);
+        let res = r.solve("all-one-side", &g, 0).unwrap();
+        assert_eq!(res.value, 0.0, "everything on one side cuts nothing");
+    }
+
+    #[test]
+    fn create_returns_working_instances() {
+        let r = SolverRegistry::with_default_backends();
+        let g = generators::erdos_renyi(8, 0.5, WeightKind::Uniform, 3);
+        let solver = r.create("local-search").unwrap();
+        let a = solver.solve(&g, 9).unwrap();
+        assert_eq!(a.cut.len(), 8);
+        assert_eq!(solver.label(), "local-search");
+    }
+}

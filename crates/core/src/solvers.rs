@@ -1,13 +1,29 @@
-//! Pluggable sub-graph solvers — the run-time quantum/classical decision
-//! mechanism the paper investigates.
+//! Sub-graph solver configuration — the run-time quantum/classical
+//! decision mechanism the paper investigates.
+//!
+//! [`SubSolver`] is a *configuration* enum: each variant holds backend
+//! settings and [`SubSolver::to_backend`] constructs the corresponding
+//! [`MaxCutSolver`] trait object from its home crate (`qq-qaoa`, `qq-gw`,
+//! `qq-classical`). The orchestrator in [`crate::qaoa2`] dispatches only
+//! through the trait, so backends added outside this crate plug in via
+//! [`SubSolver::Custom`] (any boxed/arc'd `MaxCutSolver`) or through the
+//! [`crate::registry::SolverRegistry`] — no edits here required.
 
-use qq_classical::{annealing::AnnealingSchedule, CutResult};
-use qq_graph::{Cut, Graph};
-use qq_gw::GwConfig;
-use qq_qaoa::QaoaConfig;
+use std::sync::Arc;
+
+use qq_classical::annealing::AnnealingSchedule;
+use qq_classical::{AnnealingSolver, CutResult, ExactSolver, LocalSearchSolver, RandomSolver};
+use qq_graph::{BestOf, BoxedSolver, Cut, Graph, MaxCutSolver, SolverError};
+use qq_gw::{GwConfig, GwSolver};
+use qq_qaoa::{QaoaConfig, QaoaGridSolver, QaoaSolver, RqaoaSolver};
+
+/// A dynamically supplied backend (the escape hatch for solvers defined
+/// outside this crate). `Arc` rather than `Box` so the configuration enum
+/// stays cheaply cloneable.
+pub type SharedSolver = Arc<dyn MaxCutSolver>;
 
 /// Which method solves a sub-graph MaxCut.
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub enum SubSolver {
     /// QAOA on a simulated quantum device.
     Qaoa(QaoaConfig),
@@ -48,11 +64,42 @@ pub enum SubSolver {
     Rqaoa(qq_qaoa::RqaoaConfig),
     /// Exact enumeration (≤ 30 nodes) — ground truth for ablations.
     Exact,
+    /// Any externally supplied [`MaxCutSolver`]: the open end of the
+    /// backend layer. Build one with [`SubSolver::custom`] or via the
+    /// `From` impls for boxed/arc'd trait objects.
+    Custom(SharedSolver),
+}
+
+impl std::fmt::Debug for SubSolver {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SubSolver::Qaoa(cfg) => f.debug_tuple("Qaoa").field(cfg).finish(),
+            SubSolver::QaoaGrid { ps, rhobegs, base } => f
+                .debug_struct("QaoaGrid")
+                .field("ps", ps)
+                .field("rhobegs", rhobegs)
+                .field("base", base)
+                .finish(),
+            SubSolver::Gw(cfg) => f.debug_tuple("Gw").field(cfg).finish(),
+            SubSolver::Best { qaoa, gw } => {
+                f.debug_struct("Best").field("qaoa", qaoa).field("gw", gw).finish()
+            }
+            SubSolver::Random { trials } => {
+                f.debug_struct("Random").field("trials", trials).finish()
+            }
+            SubSolver::LocalSearch => f.write_str("LocalSearch"),
+            SubSolver::Annealing(s) => f.debug_tuple("Annealing").field(s).finish(),
+            SubSolver::Rqaoa(cfg) => f.debug_tuple("Rqaoa").field(cfg).finish(),
+            SubSolver::Exact => f.write_str("Exact"),
+            SubSolver::Custom(s) => f.debug_tuple("Custom").field(&s.label()).finish(),
+        }
+    }
 }
 
 impl SubSolver {
-    /// Short label for reports.
-    pub fn label(&self) -> &'static str {
+    /// Short label for reports. Matches the label of the backend
+    /// [`SubSolver::to_backend`] constructs.
+    pub fn label(&self) -> &str {
         match self {
             SubSolver::Qaoa(_) => "qaoa",
             SubSolver::QaoaGrid { .. } => "qaoa-grid",
@@ -63,79 +110,99 @@ impl SubSolver {
             SubSolver::Annealing(_) => "annealing",
             SubSolver::Rqaoa(_) => "rqaoa",
             SubSolver::Exact => "exact",
+            SubSolver::Custom(s) => s.label(),
+        }
+    }
+
+    /// Wrap an externally defined backend.
+    pub fn custom(solver: impl MaxCutSolver + 'static) -> Self {
+        SubSolver::Custom(Arc::new(solver))
+    }
+
+    /// Construct the backend this configuration describes.
+    ///
+    /// Enum variants build their implementation from its home crate;
+    /// [`SubSolver::Custom`] hands back the wrapped instance. Call once
+    /// per batch of solves, not per solve — grid and hybrid backends are
+    /// cheap to build but not free.
+    pub fn to_backend(&self) -> SharedSolver {
+        match self {
+            SubSolver::Qaoa(cfg) => Arc::new(QaoaSolver { config: cfg.clone() }),
+            SubSolver::QaoaGrid { ps, rhobegs, base } => Arc::new(QaoaGridSolver {
+                ps: ps.clone(),
+                rhobegs: rhobegs.clone(),
+                base: base.clone(),
+            }),
+            SubSolver::Gw(cfg) => Arc::new(GwSolver { config: *cfg }),
+            SubSolver::Best { qaoa, gw } => Arc::new(BestOf::new(vec![
+                Box::new(QaoaSolver { config: qaoa.clone() }) as BoxedSolver,
+                Box::new(GwSolver { config: *gw }),
+            ])),
+            SubSolver::Random { trials } => Arc::new(RandomSolver { trials: *trials }),
+            SubSolver::LocalSearch => Arc::new(LocalSearchSolver),
+            SubSolver::Annealing(schedule) => Arc::new(AnnealingSolver { schedule: *schedule }),
+            SubSolver::Rqaoa(cfg) => Arc::new(RqaoaSolver { config: cfg.clone() }),
+            SubSolver::Exact => Arc::new(ExactSolver),
+            SubSolver::Custom(solver) => Arc::clone(solver),
         }
     }
 }
 
-/// Solve one sub-graph. `seed` perturbs every stochastic component so
-/// repeated sub-problems explore independently while staying reproducible.
-pub fn solve_subgraph(g: &Graph, solver: &SubSolver, seed: u64) -> Result<CutResult, crate::Qaoa2Error> {
+impl From<SharedSolver> for SubSolver {
+    fn from(solver: SharedSolver) -> Self {
+        SubSolver::Custom(solver)
+    }
+}
+
+impl From<BoxedSolver> for SubSolver {
+    fn from(solver: BoxedSolver) -> Self {
+        SubSolver::Custom(Arc::from(solver))
+    }
+}
+
+impl From<SolverError> for crate::Qaoa2Error {
+    fn from(e: SolverError) -> Self {
+        match e {
+            SolverError::InvalidConfig(m) => crate::Qaoa2Error::InvalidConfig(m),
+            other => crate::Qaoa2Error::Solver(other.to_string()),
+        }
+    }
+}
+
+/// Solve one sub-graph through an already-built backend, with the
+/// orchestrator's uniform guards (empty graphs short-circuit, capability
+/// envelopes are enforced before dispatch).
+pub fn solve_with_backend(
+    g: &Graph,
+    backend: &dyn MaxCutSolver,
+    seed: u64,
+) -> Result<CutResult, crate::Qaoa2Error> {
     if g.num_nodes() == 0 {
         return Ok(CutResult::new(Cut::new(0), g));
     }
-    match solver {
-        SubSolver::Qaoa(cfg) => {
-            let cfg = QaoaConfig { seed: cfg.seed ^ seed, ..cfg.clone() };
-            qq_qaoa::solve(g, &cfg)
-                .map(|r| r.best)
-                .map_err(|e| crate::Qaoa2Error::Solver(e.to_string()))
-        }
-        SubSolver::QaoaGrid { ps, rhobegs, base } => {
-            if ps.is_empty() || rhobegs.is_empty() {
-                return Err(crate::Qaoa2Error::InvalidConfig("empty QAOA grid".into()));
-            }
-            let mut best: Option<CutResult> = None;
-            for &p in ps {
-                for &rb in rhobegs {
-                    let cfg = QaoaConfig {
-                        layers: p,
-                        rhobeg: rb,
-                        max_iters: QaoaConfig::paper_iterations(p),
-                        seed: base.seed ^ seed ^ ((p as u64) << 32) ^ (rb.to_bits() >> 16),
-                        ..base.clone()
-                    };
-                    let r = qq_qaoa::solve(g, &cfg)
-                        .map_err(|e| crate::Qaoa2Error::Solver(e.to_string()))?;
-                    if best.as_ref().map(|b| r.best.value > b.value).unwrap_or(true) {
-                        best = Some(r.best);
-                    }
-                }
-            }
-            Ok(best.expect("grid is non-empty"))
-        }
-        SubSolver::Gw(cfg) => {
-            let cfg = GwConfig { seed: cfg.seed ^ seed, ..*cfg };
-            Ok(qq_gw::goemans_williamson(g, &cfg).best)
-        }
-        SubSolver::Best { qaoa, gw } => {
-            let q = solve_subgraph(g, &SubSolver::Qaoa(qaoa.clone()), seed)?;
-            let c = solve_subgraph(g, &SubSolver::Gw(*gw), seed)?;
-            Ok(if q.value >= c.value { q } else { c })
-        }
-        SubSolver::Random { trials } => {
-            Ok(qq_classical::randomized_partitioning(g, (*trials).max(1), seed))
-        }
-        SubSolver::LocalSearch => Ok(qq_classical::one_exchange(g, seed)),
-        SubSolver::Annealing(schedule) => {
-            Ok(qq_classical::simulated_annealing(g, *schedule, seed))
-        }
-        SubSolver::Rqaoa(cfg) => {
-            let cfg = qq_qaoa::RqaoaConfig {
-                qaoa: QaoaConfig { seed: cfg.qaoa.seed ^ seed, ..cfg.qaoa.clone() },
-                ..cfg.clone()
-            };
-            qq_qaoa::rqaoa_solve(g, &cfg)
-                .map(|r| r.best)
-                .map_err(|e| crate::Qaoa2Error::Solver(e.to_string()))
-        }
-        SubSolver::Exact => Ok(qq_classical::exact_maxcut(g)),
-    }
+    backend.check_instance(g)?;
+    Ok(backend.solve(g, seed)?)
+}
+
+/// Solve one sub-graph. `seed` perturbs every stochastic component so
+/// repeated sub-problems explore independently while staying reproducible.
+///
+/// Convenience wrapper building the backend per call; batch callers (the
+/// QAOA² level loop) build once via [`SubSolver::to_backend`] and use
+/// [`solve_with_backend`].
+pub fn solve_subgraph(
+    g: &Graph,
+    solver: &SubSolver,
+    seed: u64,
+) -> Result<CutResult, crate::Qaoa2Error> {
+    solve_with_backend(g, solver.to_backend().as_ref(), seed)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use qq_graph::generators::{self, WeightKind};
+    use qq_graph::SolverCaps;
 
     fn small_graph(seed: u64) -> Graph {
         generators::erdos_renyi(9, 0.4, WeightKind::Uniform, seed)
@@ -212,6 +279,17 @@ mod tests {
     fn labels_are_stable() {
         assert_eq!(SubSolver::LocalSearch.label(), "local-search");
         assert_eq!(SubSolver::Exact.label(), "exact");
+        // the config enum and the backend it builds must agree
+        for s in [
+            SubSolver::Qaoa(QaoaConfig::default()),
+            SubSolver::Gw(GwConfig::default()),
+            SubSolver::Random { trials: 2 },
+            SubSolver::LocalSearch,
+            SubSolver::Annealing(AnnealingSchedule::default()),
+            SubSolver::Exact,
+        ] {
+            assert_eq!(s.label(), s.to_backend().label());
+        }
     }
 
     #[test]
@@ -231,5 +309,59 @@ mod tests {
         let res = crate::solve(&g, &cfg).unwrap();
         assert_eq!(res.cut.len(), 26);
         assert!(res.cut_value >= g.total_weight() / 2.0 * 0.9);
+    }
+
+    /// A backend defined entirely outside the workspace's solver crates:
+    /// proves the dispatch layer is open (no `qq-core` edits needed).
+    struct EveryOther;
+
+    impl MaxCutSolver for EveryOther {
+        fn label(&self) -> &str {
+            "every-other"
+        }
+
+        fn solve(&self, g: &Graph, _seed: u64) -> Result<CutResult, SolverError> {
+            Ok(CutResult::new(Cut::from_fn(g.num_nodes(), |v| v % 2 == 0), g))
+        }
+
+        fn capabilities(&self) -> SolverCaps {
+            SolverCaps { max_nodes: Some(64), ..SolverCaps::default() }
+        }
+    }
+
+    #[test]
+    fn custom_backend_plugs_into_subsolver() {
+        let g = small_graph(6);
+        let s = SubSolver::custom(EveryOther);
+        assert_eq!(s.label(), "every-other");
+        let r = solve_subgraph(&g, &s, 0).unwrap();
+        assert_eq!(r.cut.len(), 9);
+        // and through the whole QAOA² pipeline as a coarse solver
+        let big = generators::erdos_renyi(40, 0.15, WeightKind::Uniform, 9);
+        let cfg = crate::Qaoa2Config {
+            max_qubits: 8,
+            solver: SubSolver::LocalSearch,
+            coarse_solver: SubSolver::custom(EveryOther),
+            parallelism: crate::Parallelism::Sequential,
+            seed: 0,
+        };
+        let res = crate::solve(&big, &cfg).unwrap();
+        assert_eq!(res.cut.len(), 40);
+    }
+
+    #[test]
+    fn boxed_trait_object_converts_into_subsolver() {
+        let boxed: BoxedSolver = Box::new(EveryOther);
+        let s: SubSolver = boxed.into();
+        assert_eq!(s.label(), "every-other");
+        let g = small_graph(3);
+        assert_eq!(solve_subgraph(&g, &s, 1).unwrap().cut.len(), 9);
+    }
+
+    #[test]
+    fn caps_enforced_before_dispatch() {
+        let g = generators::erdos_renyi(70, 0.05, WeightKind::Uniform, 2);
+        let r = solve_subgraph(&g, &SubSolver::custom(EveryOther), 0);
+        assert!(matches!(r, Err(crate::Qaoa2Error::Solver(_))), "{r:?}");
     }
 }

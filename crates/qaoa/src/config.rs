@@ -146,17 +146,13 @@ mod tests {
 
     #[test]
     fn validation_catches_bad_configs() {
-        let mut c = QaoaConfig::default();
-        c.layers = 0;
+        let c = QaoaConfig { layers: 0, ..QaoaConfig::default() };
         assert!(c.validate().is_err());
-        let mut c = QaoaConfig::default();
-        c.shots = 0;
+        let c = QaoaConfig { shots: 0, ..QaoaConfig::default() };
         assert!(c.validate().is_err());
-        let mut c = QaoaConfig::default();
-        c.policy = SolutionPolicy::TopK(0);
+        let c = QaoaConfig { policy: SolutionPolicy::TopK(0), ..QaoaConfig::default() };
         assert!(c.validate().is_err());
-        let mut c = QaoaConfig::default();
-        c.initial_params = Some(vec![0.1; 3]);
+        let c = QaoaConfig { initial_params: Some(vec![0.1; 3]), ..QaoaConfig::default() };
         assert!(c.validate().is_err());
     }
 

@@ -8,7 +8,7 @@
 //! what makes the paper's grid search (thousands of QAOA runs) tractable.
 
 use qq_circuit::CostModel;
-use qq_sim::{C64, StateVector};
+use qq_sim::{StateVector, C64};
 use rayon::prelude::*;
 
 /// `table[z] = C(z)` for every basis state of an `n`-qubit register.
@@ -23,10 +23,8 @@ impl CostTable {
     pub fn new(model: &CostModel) -> Self {
         let n = model.num_qubits;
         let size = 1usize << n;
-        let values: Vec<f64> = (0..size as u64)
-            .into_par_iter()
-            .map(|z| model.eval_basis(z))
-            .collect();
+        let values: Vec<f64> =
+            (0..size as u64).into_par_iter().map(|z| model.eval_basis(z)).collect();
         CostTable { values, num_qubits: n }
     }
 
@@ -55,13 +53,9 @@ impl CostTable {
     /// Apply the fused cost layer `|ψ⟩ ← e^{−iγ·C} |ψ⟩` in one pass.
     pub fn apply_cost_layer(&self, state: &mut StateVector, gamma: f64) {
         assert_eq!(state.num_qubits(), self.num_qubits, "register width mismatch");
-        state
-            .amplitudes_mut()
-            .par_iter_mut()
-            .zip(self.values.par_iter())
-            .for_each(|(a, &c)| {
-                *a *= C64::cis(-gamma * c);
-            });
+        state.amplitudes_mut().par_iter_mut().zip(self.values.par_iter()).for_each(|(a, &c)| {
+            *a *= C64::cis(-gamma * c);
+        });
     }
 
     /// Exact ⟨C⟩ under `state`.
@@ -72,10 +66,7 @@ impl CostTable {
     /// Sample-mean ⟨C⟩ from `shots` measurements.
     pub fn sampled_expectation(&self, state: &StateVector, shots: usize, seed: u64) -> f64 {
         let counts = qq_sim::measure::sample_counts(state.amplitudes(), shots, seed);
-        let total: f64 = counts
-            .iter()
-            .map(|&(z, c)| self.values[z as usize] * c as f64)
-            .sum();
+        let total: f64 = counts.iter().map(|&(z, c)| self.values[z as usize] * c as f64).sum();
         total / shots as f64
     }
 }

@@ -50,7 +50,11 @@ pub struct CircuitMetrics {
 }
 
 /// Synthesize once and measure the circuit.
-pub fn circuit_metrics(model: &CostModel, params: &AnsatzParams, preference: Preference) -> CircuitMetrics {
+pub fn circuit_metrics(
+    model: &CostModel,
+    params: &AnsatzParams,
+    preference: Preference,
+) -> CircuitMetrics {
     let circuit = Synthesizer::new(preference).qaoa_ansatz(model, params);
     CircuitMetrics {
         depth: circuit.depth(),

@@ -27,12 +27,14 @@
 //! assert!(res.best.value >= 4.0); // even-ring optimum is 6
 //! ```
 
+pub mod backend;
 pub mod config;
 pub mod cost;
 pub mod executor;
 pub mod rqaoa;
 pub mod solver;
 
+pub use backend::{QaoaGridSolver, QaoaSolver, RqaoaSolver};
 pub use config::{ObjectiveMode, QaoaConfig, SolutionPolicy};
 pub use cost::CostTable;
 pub use rqaoa::{rqaoa_solve, RqaoaConfig, RqaoaResult};

@@ -152,13 +152,7 @@ fn strongest_correlation(
 /// Contract `v` into `u` with relative `sign`: neighbors of `v` re-attach
 /// to `u` with weight `sign · w` (parallel edges merge additively;
 /// vanishing weights are dropped). Node indices above `v` shift down.
-fn contract(
-    g: &Graph,
-    ids: &[NodeId],
-    u: NodeId,
-    v: NodeId,
-    sign: f64,
-) -> (Graph, Vec<NodeId>) {
+fn contract(g: &Graph, ids: &[NodeId], u: NodeId, v: NodeId, sign: f64) -> (Graph, Vec<NodeId>) {
     let n = g.num_nodes();
     // new index mapping: remove v
     let remap = |x: NodeId| -> NodeId {
@@ -208,8 +202,8 @@ fn contract(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use qq_graph::generators::{self, WeightKind};
     use crate::config::{ObjectiveMode, SolutionPolicy};
+    use qq_graph::generators::{self, WeightKind};
 
     fn cfg(stop: usize) -> RqaoaConfig {
         RqaoaConfig {

@@ -92,11 +92,8 @@ pub fn solve(g: &Graph, cfg: &QaoaConfig) -> Result<QaoaResult, QaoaError> {
             Cut::from_basis_index(n, z)
         }
         SolutionPolicy::BestShot => {
-            let counts = qq_sim::measure::sample_counts(
-                state.amplitudes(),
-                cfg.shots,
-                cfg.seed ^ 0xbeef,
-            );
+            let counts =
+                qq_sim::measure::sample_counts(state.amplitudes(), cfg.shots, cfg.seed ^ 0xbeef);
             let z = counts
                 .iter()
                 .max_by(|a, b| table.value(a.0).total_cmp(&table.value(b.0)))
@@ -187,7 +184,12 @@ mod tests {
         let g = generators::erdos_renyi(8, 0.5, WeightKind::Uniform, 13);
         let r1 = solve(&g, &exact_cfg(1, 4)).unwrap();
         let r3 = solve(&g, &exact_cfg(3, 4)).unwrap();
-        assert!(r3.expectation >= r1.expectation - 0.05, "{} vs {}", r3.expectation, r1.expectation);
+        assert!(
+            r3.expectation >= r1.expectation - 0.05,
+            "{} vs {}",
+            r3.expectation,
+            r1.expectation
+        );
     }
 
     #[test]
@@ -199,8 +201,9 @@ mod tests {
             seed: 8,
             ..QaoaConfig::default()
         };
-        let ha = solve(&g, &QaoaConfig { policy: SolutionPolicy::HighestAmplitude, ..base.clone() })
-            .unwrap();
+        let ha =
+            solve(&g, &QaoaConfig { policy: SolutionPolicy::HighestAmplitude, ..base.clone() })
+                .unwrap();
         let tk =
             solve(&g, &QaoaConfig { policy: SolutionPolicy::TopK(32), ..base.clone() }).unwrap();
         assert!(tk.best.value >= ha.best.value - 1e-12);
@@ -209,10 +212,7 @@ mod tests {
     #[test]
     fn rejects_oversized_graph() {
         let g = qq_graph::Graph::new(27);
-        assert!(matches!(
-            solve(&g, &QaoaConfig::default()),
-            Err(QaoaError::TooManyQubits { .. })
-        ));
+        assert!(matches!(solve(&g, &QaoaConfig::default()), Err(QaoaError::TooManyQubits { .. })));
     }
 
     #[test]

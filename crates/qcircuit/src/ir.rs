@@ -131,7 +131,10 @@ impl Circuit {
         let qs = gate.qubits();
         for &q in &qs {
             if q as usize >= self.num_qubits {
-                return Err(CircuitError::QubitOutOfRange { qubit: q, num_qubits: self.num_qubits });
+                return Err(CircuitError::QubitOutOfRange {
+                    qubit: q,
+                    num_qubits: self.num_qubits,
+                });
             }
         }
         if qs.len() == 2 && qs[0] == qs[1] {
@@ -233,10 +236,7 @@ mod tests {
     #[test]
     fn push_validates_distinct_operands() {
         let mut c = Circuit::new(3);
-        assert_eq!(
-            c.push(Gate::Rzz(1, 1, 0.5)),
-            Err(CircuitError::DuplicateQubit { qubit: 1 })
-        );
+        assert_eq!(c.push(Gate::Rzz(1, 1, 0.5)), Err(CircuitError::DuplicateQubit { qubit: 1 }));
     }
 
     #[test]

@@ -140,9 +140,7 @@ fn is_self_inverse_pair(a: Gate, b: Gate) -> bool {
     match (a, b) {
         (Gate::H(p), Gate::H(q)) | (Gate::X(p), Gate::X(q)) => p == q,
         (Gate::Cnot(c1, t1), Gate::Cnot(c2, t2)) => (c1, t1) == (c2, t2),
-        (Gate::Cz(a1, b1), Gate::Cz(a2, b2)) => {
-            (a1, b1) == (a2, b2) || (a1, b1) == (b2, a2)
-        }
+        (Gate::Cz(a1, b1), Gate::Cz(a2, b2)) => (a1, b1) == (a2, b2) || (a1, b1) == (b2, a2),
         _ => false,
     }
 }

@@ -18,10 +18,7 @@ pub const MAX_EXACT_NODES: usize = 30;
 /// If `g` has more than [`MAX_EXACT_NODES`] nodes.
 pub fn exact_maxcut(g: &Graph) -> CutResult {
     let n = g.num_nodes();
-    assert!(
-        n <= MAX_EXACT_NODES,
-        "exact solver limited to {MAX_EXACT_NODES} nodes, got {n}"
-    );
+    assert!(n <= MAX_EXACT_NODES, "exact solver limited to {MAX_EXACT_NODES} nodes, got {n}");
     if n <= 1 {
         return CutResult::new(Cut::new(n), g);
     }

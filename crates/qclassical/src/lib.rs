@@ -15,27 +15,14 @@ pub mod annealing;
 pub mod exact;
 pub mod local_search;
 pub mod random;
+pub mod solvers;
 
 pub use annealing::simulated_annealing;
 pub use exact::exact_maxcut;
 pub use local_search::one_exchange;
 pub use random::randomized_partitioning;
+pub use solvers::{AnnealingSolver, ExactSolver, LocalSearchSolver, RandomSolver};
 
-use qq_graph::{Cut, Graph};
-
-/// A solver outcome: the cut and its value on the input graph.
-#[derive(Debug, Clone)]
-pub struct CutResult {
-    /// The bipartition found.
-    pub cut: Cut,
-    /// Its cut value.
-    pub value: f64,
-}
-
-impl CutResult {
-    /// Wrap a cut, computing its value on `g`.
-    pub fn new(cut: Cut, g: &Graph) -> Self {
-        let value = cut.value(g);
-        CutResult { cut, value }
-    }
-}
+// `CutResult` moved to the graph substrate alongside the `MaxCutSolver`
+// trait; re-exported here so `qq_classical::CutResult` keeps working.
+pub use qq_graph::CutResult;

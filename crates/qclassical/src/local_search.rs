@@ -19,9 +19,8 @@ pub fn one_exchange(g: &Graph, seed: u64) -> CutResult {
     // gains[v] = Δcut if v flips; updated incrementally after each flip.
     let mut gains: Vec<f64> = (0..n as NodeId).map(|v| cut.flip_gain(g, v)).collect();
     loop {
-        let best = (0..n)
-            .max_by(|&a, &b| gains[a].total_cmp(&gains[b]))
-            .filter(|&v| gains[v] > 1e-12);
+        let best =
+            (0..n).max_by(|&a, &b| gains[a].total_cmp(&gains[b])).filter(|&v| gains[v] > 1e-12);
         let Some(v) = best else { break };
         cut.flip_node(v as NodeId);
         gains[v] = -gains[v];

@@ -1,0 +1,104 @@
+//! [`MaxCutSolver`] backends wrapping the classical baselines, so each
+//! plugs into the QAOA² orchestrator and the `qq-core` solver registry.
+
+use crate::annealing::AnnealingSchedule;
+use qq_graph::{CutResult, Graph, MaxCutSolver, SolverCaps, SolverError};
+
+/// Best of `trials` random bipartitions.
+#[derive(Debug, Clone, Copy)]
+pub struct RandomSolver {
+    /// Number of random cuts to draw (at least 1 is enforced at solve
+    /// time).
+    pub trials: usize,
+}
+
+impl MaxCutSolver for RandomSolver {
+    fn label(&self) -> &str {
+        "random"
+    }
+
+    fn solve(&self, g: &Graph, seed: u64) -> Result<CutResult, SolverError> {
+        Ok(crate::randomized_partitioning(g, self.trials.max(1), seed))
+    }
+}
+
+/// One-exchange local search.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LocalSearchSolver;
+
+impl MaxCutSolver for LocalSearchSolver {
+    fn label(&self) -> &str {
+        "local-search"
+    }
+
+    fn solve(&self, g: &Graph, seed: u64) -> Result<CutResult, SolverError> {
+        Ok(crate::one_exchange(g, seed))
+    }
+}
+
+/// Simulated annealing under a fixed schedule.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AnnealingSolver {
+    /// Cooling schedule.
+    pub schedule: AnnealingSchedule,
+}
+
+impl MaxCutSolver for AnnealingSolver {
+    fn label(&self) -> &str {
+        "annealing"
+    }
+
+    fn solve(&self, g: &Graph, seed: u64) -> Result<CutResult, SolverError> {
+        Ok(crate::simulated_annealing(g, self.schedule, seed))
+    }
+}
+
+/// Exact Gray-code enumeration — ground truth for ablations, bounded to
+/// [`crate::exact::MAX_EXACT_NODES`] nodes.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ExactSolver;
+
+impl MaxCutSolver for ExactSolver {
+    fn label(&self) -> &str {
+        "exact"
+    }
+
+    fn solve(&self, g: &Graph, _seed: u64) -> Result<CutResult, SolverError> {
+        self.check_instance(g)?;
+        Ok(crate::exact_maxcut(g))
+    }
+
+    fn capabilities(&self) -> SolverCaps {
+        SolverCaps { max_nodes: Some(crate::exact::MAX_EXACT_NODES), ..SolverCaps::default() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qq_graph::generators::{self, WeightKind};
+
+    #[test]
+    fn all_backends_return_valid_cuts() {
+        let g = generators::erdos_renyi(10, 0.4, WeightKind::Random01, 5);
+        let backends: [&dyn MaxCutSolver; 4] = [
+            &RandomSolver { trials: 4 },
+            &LocalSearchSolver,
+            &AnnealingSolver::default(),
+            &ExactSolver,
+        ];
+        let exact = crate::exact_maxcut(&g).value;
+        for b in backends {
+            let r = b.solve(&g, 3).unwrap();
+            assert_eq!(r.cut.len(), 10, "{}", b.label());
+            assert!((r.cut.value(&g) - r.value).abs() < 1e-9, "{}", b.label());
+            assert!(r.value <= exact + 1e-9, "{}", b.label());
+        }
+    }
+
+    #[test]
+    fn exact_solver_rejects_oversized_instances() {
+        let g = generators::erdos_renyi(40, 0.1, WeightKind::Uniform, 1);
+        assert!(matches!(ExactSolver.solve(&g, 0), Err(SolverError::TooLarge { nodes: 40, .. })));
+    }
+}

@@ -152,9 +152,7 @@ impl Cut {
 
     /// Render as a bit string, node 0 first (e.g. `"0110"`).
     pub fn to_bitstring(&self) -> String {
-        (0..self.len as NodeId)
-            .map(|v| if self.get(v) { '1' } else { '0' })
-            .collect()
+        (0..self.len as NodeId).map(|v| if self.get(v) { '1' } else { '0' }).collect()
     }
 }
 

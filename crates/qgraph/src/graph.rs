@@ -46,7 +46,9 @@ impl fmt::Display for GraphError {
             }
             GraphError::SelfLoop { node } => write!(f, "self-loop on node {node} rejected"),
             GraphError::DuplicateEdge { u, v } => write!(f, "duplicate edge ({u}, {v})"),
-            GraphError::Parse { line, message } => write!(f, "parse error on line {line}: {message}"),
+            GraphError::Parse { line, message } => {
+                write!(f, "parse error on line {line}: {message}")
+            }
         }
     }
 }
@@ -161,10 +163,7 @@ impl Graph {
 
     /// Weight of the edge `(u, v)` if present.
     pub fn edge_weight(&self, u: NodeId, v: NodeId) -> Option<f64> {
-        self.adj
-            .get(u as usize)?
-            .iter()
-            .find_map(|&(x, w)| (x == v).then_some(w))
+        self.adj.get(u as usize)?.iter().find_map(|&(x, w)| (x == v).then_some(w))
     }
 
     /// Connected components as lists of node ids (each sorted ascending).

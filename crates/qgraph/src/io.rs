@@ -28,20 +28,16 @@ pub fn write_edge_list<W: Write>(g: &Graph, mut out: W) -> std::io::Result<()> {
 
 /// Read a graph previously written by [`write_edge_list`].
 pub fn read_edge_list<R: BufRead>(input: R) -> crate::Result<Graph> {
-    let mut lines = input
-        .lines()
-        .map(|l| l.unwrap_or_default())
-        .enumerate()
-        .map(|(i, l)| (i + 1, l))
-        .filter(|(_, l)| {
-            let t = l.trim();
-            !t.is_empty() && !t.starts_with('#')
-        });
+    let mut lines =
+        input.lines().map(|l| l.unwrap_or_default()).enumerate().map(|(i, l)| (i + 1, l)).filter(
+            |(_, l)| {
+                let t = l.trim();
+                !t.is_empty() && !t.starts_with('#')
+            },
+        );
 
-    let (line_no, header) = lines.next().ok_or(GraphError::Parse {
-        line: 0,
-        message: "empty input".into(),
-    })?;
+    let (line_no, header) =
+        lines.next().ok_or(GraphError::Parse { line: 0, message: "empty input".into() })?;
     let mut parts = header.split_whitespace();
     let n: usize = parse_field(&mut parts, line_no, "num_nodes")?;
     let m: usize = parse_field(&mut parts, line_no, "num_edges")?;
@@ -70,14 +66,11 @@ fn parse_field<'a, T: std::str::FromStr>(
     line: usize,
     what: &str,
 ) -> crate::Result<T> {
-    let tok = parts.next().ok_or_else(|| GraphError::Parse {
-        line,
-        message: format!("missing field `{what}`"),
-    })?;
-    tok.parse().map_err(|_| GraphError::Parse {
-        line,
-        message: format!("cannot parse `{tok}` as {what}"),
-    })
+    let tok = parts
+        .next()
+        .ok_or_else(|| GraphError::Parse { line, message: format!("missing field `{what}`") })?;
+    tok.parse()
+        .map_err(|_| GraphError::Parse { line, message: format!("cannot parse `{tok}` as {what}") })
 }
 
 #[cfg(test)]

@@ -26,11 +26,13 @@ pub mod graph;
 pub mod io;
 pub mod modularity;
 pub mod partition;
+pub mod solver;
 
 pub use cut::Cut;
 pub use graph::{Edge, Graph, GraphError, NodeId};
 pub use modularity::{greedy_modularity_communities, modularity};
 pub use partition::{extract_subgraphs, partition_with_cap, Partition, Subgraph};
+pub use solver::{BestOf, BoxedSolver, CutResult, MaxCutSolver, SolverCaps, SolverError};
 
 /// Convenient result alias for fallible graph operations.
 pub type Result<T> = std::result::Result<T, GraphError>;

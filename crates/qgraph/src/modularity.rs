@@ -46,9 +46,7 @@ pub fn modularity(g: &Graph, communities: &[Vec<NodeId>]) -> f64 {
         }
     }
     let two_m = 2.0 * m;
-    (0..communities.len())
-        .map(|c| intra[c] / m - (degree[c] / two_m).powi(2))
-        .sum()
+    (0..communities.len()).map(|c| intra[c] / m - (degree[c] / two_m).powi(2)).sum()
 }
 
 /// Max-heap entry; compared by `dq` with deterministic index tie-breaks so
@@ -219,9 +217,8 @@ mod tests {
     fn modularity_hand_computed_value() {
         // two triangles joined by one edge; split at the bridge.
         // m = 7; intra = 3 + 3; degrees: each triangle has 2+2+3+... -> d_c = 7.
-        let mut g = generators::barbell(3);
+        let g = generators::barbell(3);
         assert_eq!(g.num_edges(), 7);
-        g.num_edges(); // silence unused-mut lint path
         let comms = vec![vec![0, 1, 2], vec![3, 4, 5]];
         let q = modularity(&g, &comms);
         let expected = 2.0 * (3.0 / 7.0 - (7.0 / 14.0_f64).powi(2));
@@ -268,7 +265,7 @@ mod tests {
     fn cnm_covers_all_nodes_exactly_once() {
         let g = generators::erdos_renyi(60, 0.1, generators::WeightKind::Random01, 13);
         let comms = greedy_modularity_communities(&g, 1);
-        let mut seen = vec![false; 60];
+        let mut seen = [false; 60];
         for c in &comms {
             for &v in c {
                 assert!(!seen[v as usize], "node {v} appears twice");

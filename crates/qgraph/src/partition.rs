@@ -151,7 +151,11 @@ mod tests {
         let g = generators::erdos_renyi(60, 0.15, WeightKind::Uniform, 3);
         for cap in [4, 8, 16] {
             let p = partition_with_cap(&g, cap);
-            assert!(p.max_community_size() <= cap, "cap {cap} violated: {}", p.max_community_size());
+            assert!(
+                p.max_community_size() <= cap,
+                "cap {cap} violated: {}",
+                p.max_community_size()
+            );
             assert!(p.is_valid());
         }
     }

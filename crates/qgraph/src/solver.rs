@@ -1,0 +1,284 @@
+//! The pluggable MaxCut solver interface.
+//!
+//! Every backend — quantum (QAOA, RQAOA), classical (Goemans–Williamson,
+//! local search, annealing, exact enumeration), or anything a downstream
+//! crate invents (sharded, distributed, cached, …) — implements
+//! [`MaxCutSolver`]. The QAOA² orchestrator in `qq-core` dispatches
+//! exclusively through this trait, so new backends plug in without
+//! touching the orchestration layer: implement the trait in your own
+//! crate and either hand the orchestrator a boxed instance or register a
+//! factory in `qq_core::SolverRegistry`.
+//!
+//! The trait lives here, in the graph substrate, because it is the one
+//! crate every backend already depends on — backend crates must be able
+//! to implement the trait without depending on the orchestrator (which
+//! depends on *them*).
+
+use crate::cut::Cut;
+use crate::graph::Graph;
+
+/// A solver outcome: the cut and its value on the input graph.
+#[derive(Debug, Clone)]
+pub struct CutResult {
+    /// The bipartition found.
+    pub cut: Cut,
+    /// Its cut value.
+    pub value: f64,
+}
+
+impl CutResult {
+    /// Wrap a cut, computing its value on `g`.
+    pub fn new(cut: Cut, g: &Graph) -> Self {
+        let value = cut.value(g);
+        CutResult { cut, value }
+    }
+}
+
+/// Why a backend could not produce a cut.
+#[derive(Debug, Clone)]
+pub enum SolverError {
+    /// The instance exceeds the backend's capability envelope.
+    TooLarge {
+        /// Nodes in the rejected instance.
+        nodes: usize,
+        /// The backend's limit ([`SolverCaps::max_nodes`]).
+        max_nodes: usize,
+    },
+    /// The backend's configuration is invalid.
+    InvalidConfig(String),
+    /// The backend failed while solving.
+    Backend(String),
+}
+
+impl std::fmt::Display for SolverError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SolverError::TooLarge { nodes, max_nodes } => {
+                write!(f, "instance has {nodes} nodes, backend handles at most {max_nodes}")
+            }
+            SolverError::InvalidConfig(m) => write!(f, "invalid solver config: {m}"),
+            SolverError::Backend(m) => write!(f, "solver backend failed: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for SolverError {}
+
+/// A backend's capability envelope, used by orchestrators to validate
+/// dispatch before paying for a solve (and to route instances in
+/// heterogeneous pools).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SolverCaps {
+    /// Largest instance (node count) the backend accepts, if bounded.
+    /// Quantum backends bound this by the qubit budget of the simulated
+    /// device; exact enumeration by runtime.
+    pub max_nodes: Option<usize>,
+    /// True when repeated calls with the same `(graph, seed)` return the
+    /// same cut.
+    pub deterministic: bool,
+    /// True when the backend simulates a quantum device (used by
+    /// reporting and by schedulers that separate QPU from CPU work).
+    pub quantum: bool,
+}
+
+impl Default for SolverCaps {
+    fn default() -> Self {
+        SolverCaps { max_nodes: None, deterministic: true, quantum: false }
+    }
+}
+
+/// A MaxCut solver backend.
+///
+/// `Send + Sync` is required so orchestrators can share one backend
+/// instance across worker threads; configuration is therefore read-only
+/// during solves.
+pub trait MaxCutSolver: Send + Sync {
+    /// Short stable label for reports, registries, and CLI selection
+    /// (e.g. `"qaoa"`, `"gw"`, `"local-search"`).
+    fn label(&self) -> &str;
+
+    /// Solve MaxCut on `g`. `seed` perturbs every stochastic component so
+    /// repeated sub-problems explore independently while staying
+    /// reproducible.
+    fn solve(&self, g: &Graph, seed: u64) -> Result<CutResult, SolverError>;
+
+    /// Capability envelope; default is unbounded/deterministic/classical.
+    fn capabilities(&self) -> SolverCaps {
+        SolverCaps::default()
+    }
+
+    /// Validate `g` against [`MaxCutSolver::capabilities`]; orchestrators
+    /// call this before dispatch to fail fast with a uniform error.
+    fn check_instance(&self, g: &Graph) -> Result<(), SolverError> {
+        match self.capabilities().max_nodes {
+            Some(max_nodes) if g.num_nodes() > max_nodes => {
+                Err(SolverError::TooLarge { nodes: g.num_nodes(), max_nodes })
+            }
+            _ => Ok(()),
+        }
+    }
+}
+
+/// Owned, dynamically typed backend handle.
+pub type BoxedSolver = Box<dyn MaxCutSolver>;
+
+// Boxed and shared handles are themselves solvers, so generic
+// orchestration code accepts either without special cases. Every method
+// is forwarded (including `check_instance`) so wrapper handles never
+// shadow an implementation's overrides with trait defaults.
+impl MaxCutSolver for BoxedSolver {
+    fn label(&self) -> &str {
+        self.as_ref().label()
+    }
+
+    fn solve(&self, g: &Graph, seed: u64) -> Result<CutResult, SolverError> {
+        self.as_ref().solve(g, seed)
+    }
+
+    fn capabilities(&self) -> SolverCaps {
+        self.as_ref().capabilities()
+    }
+
+    fn check_instance(&self, g: &Graph) -> Result<(), SolverError> {
+        self.as_ref().check_instance(g)
+    }
+}
+
+impl MaxCutSolver for std::sync::Arc<dyn MaxCutSolver> {
+    fn label(&self) -> &str {
+        self.as_ref().label()
+    }
+
+    fn solve(&self, g: &Graph, seed: u64) -> Result<CutResult, SolverError> {
+        self.as_ref().solve(g, seed)
+    }
+
+    fn capabilities(&self) -> SolverCaps {
+        self.as_ref().capabilities()
+    }
+
+    fn check_instance(&self, g: &Graph) -> Result<(), SolverError> {
+        self.as_ref().check_instance(g)
+    }
+}
+
+/// Combinator: run every inner backend, keep the best cut — the hybrid
+/// run-time quantum/classical decision the paper's "Best" series makes.
+pub struct BestOf {
+    label: String,
+    inner: Vec<BoxedSolver>,
+}
+
+impl BestOf {
+    /// Combine `inner` backends (at least one) under the label `"best"`.
+    pub fn new(inner: Vec<BoxedSolver>) -> Self {
+        Self::labeled("best", inner)
+    }
+
+    /// Combine with a custom label.
+    pub fn labeled(label: impl Into<String>, inner: Vec<BoxedSolver>) -> Self {
+        assert!(!inner.is_empty(), "BestOf needs at least one inner solver");
+        BestOf { label: label.into(), inner }
+    }
+}
+
+impl MaxCutSolver for BestOf {
+    fn label(&self) -> &str {
+        &self.label
+    }
+
+    fn solve(&self, g: &Graph, seed: u64) -> Result<CutResult, SolverError> {
+        let mut best: Option<CutResult> = None;
+        for solver in &self.inner {
+            let r = solver.solve(g, seed)?;
+            if best.as_ref().map(|b| r.value > b.value).unwrap_or(true) {
+                best = Some(r);
+            }
+        }
+        Ok(best.expect("at least one inner solver"))
+    }
+
+    fn capabilities(&self) -> SolverCaps {
+        // the composite is as limited as its most limited member, quantum
+        // if any member is, deterministic only if all members are
+        let caps: Vec<SolverCaps> = self.inner.iter().map(|s| s.capabilities()).collect();
+        SolverCaps {
+            max_nodes: caps.iter().filter_map(|c| c.max_nodes).min(),
+            deterministic: caps.iter().all(|c| c.deterministic),
+            quantum: caps.iter().any(|c| c.quantum),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    /// Fixed-side test backend.
+    struct Constant {
+        side: bool,
+        cap: Option<usize>,
+    }
+
+    impl MaxCutSolver for Constant {
+        fn label(&self) -> &str {
+            "constant"
+        }
+
+        fn solve(&self, g: &Graph, _seed: u64) -> Result<CutResult, SolverError> {
+            self.check_instance(g)?;
+            let side = self.side;
+            Ok(CutResult::new(Cut::from_fn(g.num_nodes(), |v| (v % 2 == 0) == side), g))
+        }
+
+        fn capabilities(&self) -> SolverCaps {
+            SolverCaps { max_nodes: self.cap, ..SolverCaps::default() }
+        }
+    }
+
+    #[test]
+    fn check_instance_enforces_max_nodes() {
+        let g = generators::ring(8);
+        let ok = Constant { side: true, cap: Some(8) };
+        let too_small = Constant { side: true, cap: Some(7) };
+        assert!(ok.solve(&g, 0).is_ok());
+        assert!(matches!(
+            too_small.solve(&g, 0),
+            Err(SolverError::TooLarge { nodes: 8, max_nodes: 7 })
+        ));
+    }
+
+    #[test]
+    fn best_of_picks_the_better_inner() {
+        // on a star graph, centre-vs-rest beats alternating sides
+        let g = generators::star(7);
+        let all_even = Constant { side: true, cap: None };
+        let all_odd = Constant { side: false, cap: None };
+        let each: Vec<f64> =
+            [&all_even, &all_odd].iter().map(|s| s.solve(&g, 1).unwrap().value).collect();
+        let best = BestOf::new(vec![
+            Box::new(Constant { side: true, cap: None }) as BoxedSolver,
+            Box::new(Constant { side: false, cap: None }),
+        ]);
+        let b = best.solve(&g, 1).unwrap();
+        assert_eq!(b.value, each.iter().cloned().fold(f64::MIN, f64::max));
+    }
+
+    #[test]
+    fn best_of_caps_compose() {
+        let best = BestOf::new(vec![
+            Box::new(Constant { side: true, cap: Some(10) }) as BoxedSolver,
+            Box::new(Constant { side: false, cap: Some(20) }),
+        ]);
+        assert_eq!(best.capabilities().max_nodes, Some(10));
+    }
+
+    #[test]
+    fn boxed_solver_is_a_solver() {
+        let boxed: BoxedSolver = Box::new(Constant { side: true, cap: None });
+        let g = generators::ring(6);
+        assert_eq!(boxed.label(), "constant");
+        assert_eq!(boxed.solve(&g, 3).unwrap().cut.len(), 6);
+    }
+}

@@ -33,7 +33,7 @@ pub use rounding::{hyperplane_rounding, RoundingOutcome};
 pub use sdp::{solve_maxcut_sdp, SdpConfig, SdpSolution};
 
 use qq_classical::CutResult;
-use qq_graph::Graph;
+use qq_graph::{Graph, MaxCutSolver, SolverError};
 
 /// End-to-end GW configuration.
 #[derive(Debug, Clone, Copy)]
@@ -59,7 +59,10 @@ pub struct GwResult {
     pub best: CutResult,
     /// Mean cut value over the slicings — the paper's comparison value.
     pub mean_value: f64,
-    /// SDP objective: a certified upper bound on the optimum.
+    /// Relaxation objective at the best factorization found — equals the
+    /// SDP optimum (a certified upper bound on MaxCut) when descent
+    /// converges at a rank above the Barvinok–Pataki bound, and is always
+    /// at least `best.value`.
     pub sdp_bound: f64,
     /// Coordinate-descent sweeps used.
     pub sweeps: usize,
@@ -67,15 +70,85 @@ pub struct GwResult {
     pub converged: bool,
 }
 
+/// [`MaxCutSolver`] backend running the full GW pipeline, so the
+/// classical comparator plugs into the QAOA² orchestrator and registry.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct GwSolver {
+    /// Pipeline configuration.
+    pub config: GwConfig,
+}
+
+impl MaxCutSolver for GwSolver {
+    fn label(&self) -> &str {
+        "gw"
+    }
+
+    fn solve(&self, g: &Graph, seed: u64) -> Result<CutResult, SolverError> {
+        let cfg = GwConfig { seed: self.config.seed ^ seed, ..self.config };
+        Ok(goemans_williamson(g, &cfg).best)
+    }
+}
+
 /// Run Goemans–Williamson: SDP relaxation + hyperplane rounding.
 pub fn goemans_williamson(g: &Graph, cfg: &GwConfig) -> GwResult {
     let sol = solve_maxcut_sdp(g, &cfg.sdp);
     let rounded = hyperplane_rounding(g, &sol.vectors, cfg.slices, cfg.seed);
+    // Coordinate descent approaches the SDP optimum from below, so an
+    // under-converged (or rank-deficient-stalled) run can report a
+    // "bound" that a lucky rounding beats. Restart descent from the
+    // incumbent cut's embedding, *perturbed off the rank-1 subspace* —
+    // a pure ±e0 start would keep every gradient in span(e0) and reduce
+    // descent to sign flips. The restart's objective starts within
+    // O(ε²)·W of the cut value and descent lifts it monotonically; the
+    // exact rank-1 embedding (objective = cut value) remains a fallback
+    // candidate, so `best.value <= sdp_bound` holds unconditionally.
+    let mut sweeps = sol.sweeps;
+    let mut sol = sol;
+    if rounded.best.value > sol.objective {
+        let n = g.num_nodes();
+        let k = sdp::effective_rank(n, &cfg.sdp);
+        let eps = 0.05;
+        let perturbed = (0..n)
+            .map(|i| {
+                // deterministic low-discrepancy perturbation; any fixed
+                // off-axis direction breaks the rank-1 trap
+                let mut row: Vec<f64> = (0..k)
+                    .map(|j| eps * (((i * 31 + j * 17 + 7) % 13) as f64 / 13.0 - 0.5))
+                    .collect();
+                row[0] += rounded.best.cut.spin(i as u32);
+                let norm = row.iter().map(|x| x * x).sum::<f64>().sqrt();
+                row.iter_mut().for_each(|x| *x /= norm);
+                row
+            })
+            .collect();
+        let polished = sdp::solve_maxcut_sdp_from(g, &cfg.sdp, perturbed);
+        sweeps += polished.sweeps;
+        if polished.objective > sol.objective {
+            sol = polished;
+        }
+        if sol.objective < rounded.best.value {
+            // fall back to the exact rank-1 embedding of the cut, whose
+            // relaxation objective is exactly the cut value
+            let vectors = (0..n)
+                .map(|i| {
+                    let mut row = vec![0.0; k];
+                    row[0] = rounded.best.cut.spin(i as u32);
+                    row
+                })
+                .collect();
+            sol = sdp::SdpSolution {
+                vectors,
+                objective: rounded.best.value,
+                sweeps: 0,
+                converged: false,
+            };
+        }
+    }
     GwResult {
         best: rounded.best,
         mean_value: rounded.mean_value,
         sdp_bound: sol.objective,
-        sweeps: sol.sweeps,
+        sweeps,
         converged: sol.converged,
     }
 }

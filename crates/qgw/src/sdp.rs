@@ -56,20 +56,41 @@ pub fn solve_maxcut_sdp(g: &Graph, cfg: &SdpConfig) -> SdpSolution {
     if n == 0 {
         return SdpSolution { vectors: Vec::new(), objective: 0.0, sweeps: 0, converged: true };
     }
-    let k = cfg
-        .rank
-        .unwrap_or_else(|| ((2.0 * n as f64).sqrt().ceil() as usize) + 1)
-        .clamp(1, n.max(1));
+    let k = effective_rank(n, cfg);
     let mut rng = StdRng::seed_from_u64(cfg.seed);
 
     // random unit rows
-    let mut v: Vec<Vec<f64>> = (0..n)
+    let v: Vec<Vec<f64>> = (0..n)
         .map(|_| {
             let mut row: Vec<f64> = (0..k).map(|_| rng.gen::<f64>() - 0.5).collect();
             normalize(&mut row);
             row
         })
         .collect();
+    solve_maxcut_sdp_from(g, cfg, v)
+}
+
+/// The factorization rank used for `n` nodes under `cfg`.
+pub fn effective_rank(n: usize, cfg: &SdpConfig) -> usize {
+    cfg.rank.unwrap_or_else(|| ((2.0 * n as f64).sqrt().ceil() as usize) + 1).clamp(1, n.max(1))
+}
+
+/// Run coordinate descent from caller-supplied unit rows (one per node).
+///
+/// Because each row update is the exact minimizer in that row, the Ising
+/// energy is monotone non-increasing — equivalently the reported SDP
+/// objective is monotone non-decreasing from the initial point. Warm
+/// starting from a cut's ±1 rank-1 embedding therefore yields an
+/// objective at least that cut's value, which is how
+/// [`crate::goemans_williamson`] repairs an under-converged bound.
+pub fn solve_maxcut_sdp_from(g: &Graph, cfg: &SdpConfig, init: Vec<Vec<f64>>) -> SdpSolution {
+    let n = g.num_nodes();
+    if n == 0 {
+        return SdpSolution { vectors: Vec::new(), objective: 0.0, sweeps: 0, converged: true };
+    }
+    assert_eq!(init.len(), n, "one row per node required");
+    let k = init.first().map(Vec::len).unwrap_or(0).max(1);
+    let mut v = init;
 
     let mut prev_energy = ising_energy(g, &v);
     let mut sweeps = 0;
@@ -109,10 +130,7 @@ pub fn solve_maxcut_sdp(g: &Graph, cfg: &SdpConfig) -> SdpSolution {
 
 /// `Σ w_ij ⟨v_i, v_j⟩` — the quantity coordinate descent minimizes.
 fn ising_energy(g: &Graph, v: &[Vec<f64>]) -> f64 {
-    g.edges()
-        .iter()
-        .map(|e| e.w * dot(&v[e.u as usize], &v[e.v as usize]))
-        .sum()
+    g.edges().iter().map(|e| e.w * dot(&v[e.u as usize], &v[e.v as usize])).sum()
 }
 
 fn dot(a: &[f64], b: &[f64]) -> f64 {

@@ -12,6 +12,9 @@ use std::collections::VecDeque;
 /// A message envelope: source rank + payload.
 type Envelope<T> = (usize, T);
 
+/// One rank's channel pair.
+type Channel<T> = (Sender<Envelope<T>>, Receiver<Envelope<T>>);
+
 /// Per-rank communicator handle.
 pub struct Communicator<T> {
     rank: usize,
@@ -104,7 +107,7 @@ impl<T: Send + Clone> Communicator<T> {
         self.gather(root, value).map(|vs| {
             let mut it = vs.into_iter();
             let first = it.next().expect("size >= 1");
-            it.fold(first, |a, b| f(a, b))
+            it.fold(first, f)
         })
     }
 
@@ -127,20 +130,18 @@ where
     F: Fn(Communicator<T>) -> R + Sync,
 {
     assert!(size >= 1, "need at least one rank");
-    let channels: Vec<(Sender<Envelope<T>>, Receiver<Envelope<T>>)> =
-        (0..size).map(|_| unbounded()).collect();
+    let channels: Vec<Channel<T>> = (0..size).map(|_| unbounded()).collect();
     let senders: Vec<Sender<Envelope<T>>> = channels.iter().map(|(s, _)| s.clone()).collect();
-    let mut receivers: Vec<Option<Receiver<Envelope<T>>>> =
-        channels.into_iter().map(|(_, r)| Some(r)).collect();
+    let receivers = channels.into_iter().map(|(_, r)| r);
 
     std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(size);
-        for rank in 0..size {
+        for (rank, receiver) in receivers.enumerate() {
             let comm = Communicator {
                 rank,
                 size,
                 senders: senders.clone(),
-                receiver: receivers[rank].take().expect("each rank taken once"),
+                receiver,
                 stash: VecDeque::new(),
             };
             let f = &f;

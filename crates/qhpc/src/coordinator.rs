@@ -61,11 +61,7 @@ impl<R> MasterWorkerReport<R> {
 /// results are returned in task order. Deterministic in *results* (task
 /// indices are explicit); assignment order depends on thread timing, as
 /// on a real cluster.
-pub fn master_worker<T, R, F>(
-    num_workers: usize,
-    tasks: Vec<T>,
-    worker: F,
-) -> MasterWorkerReport<R>
+pub fn master_worker<T, R, F>(num_workers: usize, tasks: Vec<T>, worker: F) -> MasterWorkerReport<R>
 where
     T: Send + Sync + Clone,
     R: Send,

@@ -264,8 +264,7 @@ impl Scheduler {
             if !started_any {
                 // advance to the next event: earliest completion or ready time
                 let next_end = running.iter().map(|&(e, _)| e).min();
-                let next_ready =
-                    pending.iter().map(|p| p.ready).filter(|&r| r > now).min();
+                let next_ready = pending.iter().map(|p| p.ready).filter(|&r| r > now).min();
                 now = match (next_end, next_ready) {
                     (Some(e), Some(r)) => e.min(r),
                     (Some(e), None) => e,
@@ -412,17 +411,29 @@ mod tests {
         let big = Job {
             submit: 0,
             mode: JobMode::Monolithic,
-            components: vec![JobComponent { name: "big".into(), req: ResourceReq::cpu(3), duration: 10 }],
+            components: vec![JobComponent {
+                name: "big".into(),
+                req: ResourceReq::cpu(3),
+                duration: 10,
+            }],
         };
         let blocker = Job {
             submit: 0,
             mode: JobMode::Monolithic,
-            components: vec![JobComponent { name: "blk".into(), req: ResourceReq::cpu(4), duration: 10 }],
+            components: vec![JobComponent {
+                name: "blk".into(),
+                req: ResourceReq::cpu(4),
+                duration: 10,
+            }],
         };
         let small = Job {
             submit: 0,
             mode: JobMode::Monolithic,
-            components: vec![JobComponent { name: "small".into(), req: ResourceReq::cpu(1), duration: 2 }],
+            components: vec![JobComponent {
+                name: "small".into(),
+                req: ResourceReq::cpu(1),
+                duration: 2,
+            }],
         };
         let jobs = vec![big, blocker, small];
         let no_bf = Scheduler::new(cluster(), false).run(&jobs);
@@ -439,7 +450,11 @@ mod tests {
         let out = sched.run(&[Job {
             submit: 7,
             mode: JobMode::Monolithic,
-            components: vec![JobComponent { name: "x".into(), req: ResourceReq::cpu(1), duration: 1 }],
+            components: vec![JobComponent {
+                name: "x".into(),
+                req: ResourceReq::cpu(1),
+                duration: 1,
+            }],
         }]);
         assert_eq!(out.gantt[0].start, 7);
         assert_eq!(out.makespan, 8);
@@ -452,7 +467,11 @@ mod tests {
         sched.run(&[Job {
             submit: 0,
             mode: JobMode::Monolithic,
-            components: vec![JobComponent { name: "x".into(), req: ResourceReq::cpu(5), duration: 1 }],
+            components: vec![JobComponent {
+                name: "x".into(),
+                req: ResourceReq::cpu(5),
+                duration: 1,
+            }],
         }]);
     }
 

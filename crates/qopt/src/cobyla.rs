@@ -119,19 +119,11 @@ impl Optimizer for Cobyla {
 }
 
 fn argmin(v: &[f64]) -> usize {
-    v.iter()
-        .enumerate()
-        .min_by(|a, b| a.1.total_cmp(b.1))
-        .map(|(i, _)| i)
-        .expect("non-empty")
+    v.iter().enumerate().min_by(|a, b| a.1.total_cmp(b.1)).map(|(i, _)| i).expect("non-empty")
 }
 
 fn argmax(v: &[f64]) -> usize {
-    v.iter()
-        .enumerate()
-        .max_by(|a, b| a.1.total_cmp(b.1))
-        .map(|(i, _)| i)
-        .expect("non-empty")
+    v.iter().enumerate().max_by(|a, b| a.1.total_cmp(b.1)).map(|(i, _)| i).expect("non-empty")
 }
 
 fn norm(v: &[f64]) -> f64 {
@@ -249,15 +241,18 @@ fn solve_linear(rows: &[Vec<f64>], rhs: &[f64]) -> Option<Vec<f64>> {
         a.swap(col, pivot);
         b.swap(col, pivot);
         let inv = 1.0 / a[col][col];
-        for row in (col + 1)..n {
-            let factor = a[row][col] * inv;
+        // split so the pivot row can be read while later rows are updated
+        let (pivot_rows, tail) = a.split_at_mut(col + 1);
+        let pivot_row = &pivot_rows[col];
+        for (offset, row) in tail.iter_mut().enumerate() {
+            let factor = row[col] * inv;
             if factor == 0.0 {
                 continue;
             }
-            for k in col..n {
-                a[row][k] -= factor * a[col][k];
+            for (x, &p) in row[col..n].iter_mut().zip(&pivot_row[col..n]) {
+                *x -= factor * p;
             }
-            b[row] -= factor * b[col];
+            b[col + 1 + offset] -= factor * b[col];
         }
     }
     // back substitution

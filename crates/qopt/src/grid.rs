@@ -89,9 +89,7 @@ mod tests {
 
     #[test]
     fn grid_cartesian_product() {
-        let g = GridSpec::new()
-            .axis("p", vec![3.0, 4.0])
-            .axis("rhobeg", vec![0.1, 0.2, 0.3]);
+        let g = GridSpec::new().axis("p", vec![3.0, 4.0]).axis("rhobeg", vec![0.1, 0.2, 0.3]);
         assert_eq!(g.len(), 6);
         assert_eq!(g.point(0), vec![3.0, 0.1]);
         assert_eq!(g.point(2), vec![3.0, 0.3]);

@@ -88,9 +88,7 @@ mod tests {
         // noisy sphere: SPSA should still get close
         use std::cell::RefCell;
         let rng = RefCell::new(StdRng::seed_from_u64(3));
-        let noisy = move |x: &[f64]| {
-            shifted_sphere(x) + 0.01 * rng.borrow_mut().gen::<f64>()
-        };
+        let noisy = move |x: &[f64]| shifted_sphere(x) + 0.01 * rng.borrow_mut().gen::<f64>();
         let res = Spsa::new(0.5, 0.2, 3000, 11).minimize(&noisy, &[0.0, 0.0]);
         assert!(res.fx < 0.5, "fx = {}", res.fx);
     }

@@ -66,7 +66,7 @@ impl BlockedState {
     /// Uniform superposition `H^{⊗n}|0…0⟩`.
     pub fn plus_state(n: usize, chunk_qubits: usize) -> Result<Self, SimError> {
         let mut s = Self::zero_state(n, chunk_qubits)?;
-        let amp = C64::real(1.0 / ((1u64 << n) as f64 as f64).sqrt());
+        let amp = C64::real(1.0 / ((1u64 << n) as f64).sqrt());
         for chunk in &mut s.chunks {
             chunk.fill(amp);
         }
@@ -171,10 +171,7 @@ impl BlockedState {
 
     /// Squared norm.
     pub fn norm_sqr(&self) -> f64 {
-        self.chunks
-            .par_iter()
-            .map(|c| c.iter().map(|a| a.norm_sqr()).sum::<f64>())
-            .sum()
+        self.chunks.par_iter().map(|c| c.iter().map(|a| a.norm_sqr()).sum::<f64>()).sum()
     }
 
     /// Probability of global basis state `i`.

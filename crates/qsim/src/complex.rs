@@ -95,10 +95,7 @@ impl Mul for C64 {
     type Output = C64;
     #[inline(always)]
     fn mul(self, o: C64) -> C64 {
-        C64 {
-            re: self.re * o.re - self.im * o.im,
-            im: self.re * o.im + self.im * o.re,
-        }
+        C64 { re: self.re * o.re - self.im * o.im, im: self.re * o.im + self.im * o.re }
     }
 }
 

@@ -44,12 +44,7 @@ pub fn z_matrix() -> Mat2 {
 /// `RX(θ) = exp(−iθX/2)`.
 pub fn rx_matrix(theta: f64) -> Mat2 {
     let (s, c) = (theta / 2.0).sin_cos();
-    [
-        C64::real(c),
-        C64::new(0.0, -s),
-        C64::new(0.0, -s),
-        C64::real(c),
-    ]
+    [C64::real(c), C64::new(0.0, -s), C64::new(0.0, -s), C64::real(c)]
 }
 
 /// `RY(θ) = exp(−iθY/2)`.
@@ -60,12 +55,7 @@ pub fn ry_matrix(theta: f64) -> Mat2 {
 
 /// `RZ(θ) = exp(−iθZ/2)`.
 pub fn rz_matrix(theta: f64) -> Mat2 {
-    [
-        C64::cis(-theta / 2.0),
-        C64::ZERO,
-        C64::ZERO,
-        C64::cis(theta / 2.0),
-    ]
+    [C64::cis(-theta / 2.0), C64::ZERO, C64::ZERO, C64::cis(theta / 2.0)]
 }
 
 /// Multiply two 2×2 matrices: `a · b`.
@@ -86,9 +76,7 @@ pub fn is_unitary(m: &Mat2, tol: f64) -> bool {
     let e00 = dot(m[0], m[1], m[0], m[1]);
     let e01 = dot(m[0], m[1], m[2], m[3]);
     let e11 = dot(m[2], m[3], m[2], m[3]);
-    (e00 - C64::ONE).norm_sqr() < tol
-        && e01.norm_sqr() < tol
-        && (e11 - C64::ONE).norm_sqr() < tol
+    (e00 - C64::ONE).norm_sqr() < tol && e01.norm_sqr() < tol && (e11 - C64::ONE).norm_sqr() < tol
 }
 
 /// Apply a single-qubit gate to qubit `q` of an amplitude slice.

@@ -19,20 +19,14 @@ use std::collections::BinaryHeap;
 /// `f` receives the basis index (global, little-endian). `base` offsets the
 /// indices so chunked storage can evaluate per chunk.
 pub fn expectation_diagonal(amps: &[C64], base: u64, f: impl Fn(u64) -> f64 + Sync) -> f64 {
-    amps.par_iter()
-        .enumerate()
-        .map(|(i, a)| a.norm_sqr() * f(base + i as u64))
-        .sum()
+    amps.par_iter().enumerate().map(|(i, a)| a.norm_sqr() * f(base + i as u64)).sum()
 }
 
 /// Exact expectation against a precomputed value table
 /// (`table[z] = f(z)`), the fused fast path used by the QAOA driver.
 pub fn expectation_from_table(amps: &[C64], table: &[f64]) -> f64 {
     debug_assert_eq!(amps.len(), table.len());
-    amps.par_iter()
-        .zip(table.par_iter())
-        .map(|(a, &v)| a.norm_sqr() * v)
-        .sum()
+    amps.par_iter().zip(table.par_iter()).map(|(a, &v)| a.norm_sqr() * v).sum()
 }
 
 /// Multinomial shot sampling: draw `shots` basis states from `|a_z|²`.
@@ -100,10 +94,7 @@ impl Ord for HeapItem {
         // must be the *weakest* candidate. Ties break on index ascending
         // (lower basis index is the stronger candidate), so the weakest of
         // an equal-probability group is the highest index.
-        other
-            .prob
-            .total_cmp(&self.prob)
-            .then_with(|| self.index.cmp(&other.index))
+        other.prob.total_cmp(&self.prob).then_with(|| self.index.cmp(&other.index))
     }
 }
 
@@ -125,10 +116,8 @@ pub(crate) fn top_k_from_probs(
     if k == 0 {
         return Vec::new();
     }
-    let mut heap: BinaryHeap<HeapItem> = carry
-        .into_iter()
-        .map(|(index, prob)| HeapItem { prob, index })
-        .collect();
+    let mut heap: BinaryHeap<HeapItem> =
+        carry.into_iter().map(|(index, prob)| HeapItem { prob, index }).collect();
     for (i, p) in probs.enumerate() {
         let item = HeapItem { prob: p, index: base + i as u64 };
         if heap.len() < k {
@@ -190,10 +179,7 @@ mod tests {
     #[test]
     fn sampling_is_seeded() {
         let s = StateVector::plus_state(6);
-        assert_eq!(
-            sample_counts(s.amplitudes(), 512, 9),
-            sample_counts(s.amplitudes(), 512, 9)
-        );
+        assert_eq!(sample_counts(s.amplitudes(), 512, 9), sample_counts(s.amplitudes(), 512, 9));
     }
 
     #[test]
@@ -234,12 +220,8 @@ mod tests {
         s.rx(2, 1.3);
         for k in [1, 3, 7, 64] {
             let top = top_k_amplitudes(s.amplitudes(), k);
-            let mut reference: Vec<(u64, f64)> = s
-                .amplitudes()
-                .iter()
-                .enumerate()
-                .map(|(i, a)| (i as u64, a.norm_sqr()))
-                .collect();
+            let mut reference: Vec<(u64, f64)> =
+                s.amplitudes().iter().enumerate().map(|(i, a)| (i as u64, a.norm_sqr())).collect();
             reference.sort_by(|a, b| b.1.total_cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
             reference.truncate(k);
             assert_eq!(top, reference, "k = {k}");

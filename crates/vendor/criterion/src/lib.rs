@@ -1,0 +1,234 @@
+//! Vendored, API-compatible subset of
+//! [`criterion`](https://docs.rs/criterion).
+//!
+//! No network route to crates.io exists in this build environment, so the
+//! workspace vendors the criterion entry points the bench suite uses:
+//! `Criterion::benchmark_group`, `BenchmarkGroup::{sample_size,
+//! bench_with_input, bench_function, finish}`, `BenchmarkId`,
+//! `Bencher::iter`, `black_box`, and the `criterion_group!` /
+//! `criterion_main!` macros.
+//!
+//! Instead of criterion's statistical machinery this harness times a
+//! fixed number of samples (after one warm-up run) and prints
+//! min/mean/max per benchmark — enough to compare kernels locally and to
+//! keep `cargo bench` green. Benchmark names, IDs, and filter arguments
+//! behave like upstream's, so swapping the real crate back in is a
+//! manifest-only change.
+
+use std::time::{Duration, Instant};
+
+/// Re-export of `std::hint::black_box` under criterion's name.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    filter: Option<String>,
+    default_samples: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // `cargo bench -- <filter>` and criterion-style flags: take the
+        // first non-flag argument as a substring filter, ignore the rest
+        // (`--bench`, `--quick`, …) like upstream does for unknown modes.
+        let filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
+        Criterion { filter, default_samples: 10 }
+    }
+}
+
+impl Criterion {
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { name: name.to_string(), samples: self.default_samples, criterion: self }
+    }
+
+    /// Run a standalone benchmark (no group).
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let samples = self.default_samples;
+        let matches = self.matches(name);
+        if matches {
+            run_one(name, samples, f);
+        }
+        self
+    }
+
+    fn matches(&self, full_name: &str) -> bool {
+        self.filter.as_deref().is_none_or(|f| full_name.contains(f))
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and sample settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    samples: usize,
+    criterion: &'a Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n.max(2);
+        self
+    }
+
+    /// Time `f`, handing it the input by reference.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.0);
+        if self.criterion.matches(&full) {
+            run_one(&full, self.samples, |b| f(b, input));
+        }
+        self
+    }
+
+    /// Time `f` with no input.
+    pub fn bench_function<F>(&mut self, id: BenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.0);
+        if self.criterion.matches(&full) {
+            run_one(&full, self.samples, |b| f(b));
+        }
+        self
+    }
+
+    /// End the group (upstream flushes reports here; nothing to flush).
+    pub fn finish(self) {}
+}
+
+/// A benchmark identifier: `function/parameter`.
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// `function_name/parameter` id.
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId(format!("{}/{}", function_name.into(), parameter))
+    }
+
+    /// Id carrying only a parameter.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId(parameter.to_string())
+    }
+}
+
+/// Passed to the benchmark closure; `iter` does the timing.
+pub struct Bencher {
+    samples: usize,
+    results: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Time `samples` executions of `routine` (after one warm-up call).
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        black_box(routine()); // warm-up, untimed
+        self.results.clear();
+        self.results.reserve(self.samples);
+        for _ in 0..self.samples {
+            let t0 = Instant::now();
+            black_box(routine());
+            self.results.push(t0.elapsed());
+        }
+    }
+}
+
+fn run_one<F: FnOnce(&mut Bencher)>(name: &str, samples: usize, f: F) {
+    let mut b = Bencher { samples, results: Vec::new() };
+    f(&mut b);
+    if b.results.is_empty() {
+        println!("{name:<40} (no measurement: bencher.iter was not called)");
+        return;
+    }
+    let min = b.results.iter().min().expect("non-empty");
+    let max = b.results.iter().max().expect("non-empty");
+    let mean = b.results.iter().sum::<Duration>() / b.results.len() as u32;
+    println!(
+        "{name:<40} [{} {} {}] ({} samples)",
+        fmt_duration(*min),
+        fmt_duration(mean),
+        fmt_duration(*max),
+        b.results.len()
+    );
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2} s", ns as f64 / 1e9)
+    }
+}
+
+/// Bundle benchmark functions into a runnable group, like upstream's
+/// `criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generate `fn main` running the listed groups, like upstream's
+/// `criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_with_input_runs_closure() {
+        let mut c = Criterion { filter: None, default_samples: 3 };
+        let mut calls = 0usize;
+        let mut group = c.benchmark_group("g");
+        group.sample_size(2).bench_with_input(BenchmarkId::new("f", 1), &7usize, |b, &x| {
+            b.iter(|| {
+                calls += 1;
+                x * 2
+            });
+        });
+        group.finish();
+        // 1 warm-up + 2 samples
+        assert_eq!(calls, 3);
+    }
+
+    #[test]
+    fn filter_skips_non_matching() {
+        let mut c = Criterion { filter: Some("nomatch".into()), default_samples: 3 };
+        let mut calls = 0usize;
+        let mut group = c.benchmark_group("g");
+        group.bench_function(BenchmarkId::from_parameter("x"), |b| {
+            b.iter(|| calls += 1);
+        });
+        group.finish();
+        assert_eq!(calls, 0);
+    }
+
+    #[test]
+    fn ids_format_like_upstream() {
+        assert_eq!(BenchmarkId::new("flat_rx", 14).0, "flat_rx/14");
+        assert_eq!(BenchmarkId::from_parameter(200).0, "200");
+    }
+}

@@ -1,0 +1,101 @@
+//! Vendored, API-compatible subset of
+//! [`crossbeam`](https://docs.rs/crossbeam).
+//!
+//! No network route to crates.io exists in this build environment, so the
+//! workspace vendors the one piece of crossbeam the suite uses: unbounded
+//! MPSC channels (`crossbeam::channel::{unbounded, Sender, Receiver}`).
+//! `std::sync::mpsc` provides the exact semantics needed by `qq-hpc`'s
+//! communicator — each rank is the sole consumer of its own receiver, so
+//! crossbeam's MPMC capability is never exercised.
+
+/// Multi-producer channels, mirroring `crossbeam::channel`.
+pub mod channel {
+    use std::sync::mpsc;
+
+    /// Sending half; clonable across producer threads.
+    pub struct Sender<T>(mpsc::Sender<T>);
+
+    /// Receiving half.
+    pub struct Receiver<T>(mpsc::Receiver<T>);
+
+    /// Error returned when all receivers are gone.
+    #[derive(Clone, Copy, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    // Debug must not require `T: Debug` (upstream prints the payload
+    // opaquely so callers can `.expect()` on any message type).
+    impl<T> std::fmt::Debug for SendError<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str("SendError(..)")
+        }
+    }
+
+    /// Error returned when all senders are gone and the buffer is empty.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Sender(self.0.clone())
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Queue `msg`; never blocks (unbounded buffering).
+        pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
+            self.0.send(msg).map_err(|mpsc::SendError(v)| SendError(v))
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Dequeue the next message, blocking until one arrives.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.0.recv().map_err(|_| RecvError)
+        }
+
+        /// Dequeue without blocking.
+        pub fn try_recv(&self) -> Result<T, RecvError> {
+            self.0.try_recv().map_err(|_| RecvError)
+        }
+    }
+
+    /// Create an unbounded channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::channel();
+        (Sender(tx), Receiver(rx))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel::unbounded;
+
+    #[test]
+    fn send_recv_roundtrip() {
+        let (tx, rx) = unbounded();
+        tx.send(5i32).unwrap();
+        tx.send(6).unwrap();
+        assert_eq!(rx.recv(), Ok(5));
+        assert_eq!(rx.recv(), Ok(6));
+    }
+
+    #[test]
+    fn cloned_senders_feed_one_receiver() {
+        let (tx, rx) = unbounded();
+        let tx2 = tx.clone();
+        std::thread::scope(|s| {
+            s.spawn(move || tx.send(1u8).unwrap());
+            s.spawn(move || tx2.send(2u8).unwrap());
+            let mut got = [rx.recv().unwrap(), rx.recv().unwrap()];
+            got.sort_unstable();
+            assert_eq!(got, [1, 2]);
+        });
+    }
+
+    #[test]
+    fn recv_errors_after_senders_drop() {
+        let (tx, rx) = unbounded::<u8>();
+        drop(tx);
+        assert!(rx.recv().is_err());
+    }
+}

@@ -1,0 +1,234 @@
+//! Vendored, API-compatible subset of [`rayon`](https://docs.rs/rayon).
+//!
+//! This build environment has no network route to crates.io, so the
+//! workspace vendors the small slice of the rayon surface the suite
+//! actually uses (`par_iter`, `par_iter_mut`, `into_par_iter`,
+//! `par_chunks`/`par_chunks_mut` plus the adapter chain: `map`, `zip`,
+//! `enumerate`, `cloned`, `filter`, `flat_map`, `for_each`, `sum`,
+//! `reduce`, `collect`).
+//!
+//! Execution is **sequential**: every parallel iterator delegates to the
+//! equivalent `std` iterator. That keeps semantics identical to rayon for
+//! the deterministic, order-preserving operations used here (rayon's
+//! indexed parallel iterators guarantee the same item order), and on the
+//! single-core containers this repo builds in it is also the fastest
+//! schedule. Swapping the real crate back in requires only deleting this
+//! vendor entry from the workspace manifest — no call site changes.
+
+/// The adapter and entry-point traits, mirroring `rayon::prelude`.
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, ParallelIterator, ParallelSlice, ParallelSliceMut};
+}
+
+/// A "parallel" iterator: a thin newtype over a sequential iterator that
+/// exposes rayon's method names (notably `reduce(identity, op)`, whose
+/// signature differs from `std::iter::Iterator::reduce`).
+pub struct ParallelIterator<I>(I);
+
+impl<I: Iterator> ParallelIterator<I> {
+    /// Map each item.
+    pub fn map<R, F>(self, f: F) -> ParallelIterator<std::iter::Map<I, F>>
+    where
+        F: FnMut(I::Item) -> R,
+    {
+        ParallelIterator(self.0.map(f))
+    }
+
+    /// Map each item to an iterator and flatten.
+    pub fn flat_map<U, F>(self, f: F) -> ParallelIterator<std::iter::FlatMap<I, U, F>>
+    where
+        U: IntoIterator,
+        F: FnMut(I::Item) -> U,
+    {
+        ParallelIterator(self.0.flat_map(f))
+    }
+
+    /// Keep items satisfying the predicate.
+    pub fn filter<F>(self, f: F) -> ParallelIterator<std::iter::Filter<I, F>>
+    where
+        F: FnMut(&I::Item) -> bool,
+    {
+        ParallelIterator(self.0.filter(f))
+    }
+
+    /// Pair up with another (parallel) iterator.
+    pub fn zip<J>(self, other: J) -> ParallelIterator<std::iter::Zip<I, J::IntoIter>>
+    where
+        J: IntoIterator,
+    {
+        ParallelIterator(self.0.zip(other))
+    }
+
+    /// Attach the item index.
+    pub fn enumerate(self) -> ParallelIterator<std::iter::Enumerate<I>> {
+        ParallelIterator(self.0.enumerate())
+    }
+
+    /// Clone referenced items.
+    pub fn cloned<'a, T>(self) -> ParallelIterator<std::iter::Cloned<I>>
+    where
+        I: Iterator<Item = &'a T>,
+        T: Clone + 'a,
+    {
+        ParallelIterator(self.0.cloned())
+    }
+
+    /// Run `f` on every item.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: FnMut(I::Item),
+    {
+        self.0.for_each(f)
+    }
+
+    /// Sum the items.
+    pub fn sum<S>(self) -> S
+    where
+        S: std::iter::Sum<I::Item>,
+    {
+        self.0.sum()
+    }
+
+    /// Count the items.
+    pub fn count(self) -> usize {
+        self.0.count()
+    }
+
+    /// Rayon-style reduce: fold from `identity()` with `op`.
+    pub fn reduce<ID, OP>(self, identity: ID, op: OP) -> I::Item
+    where
+        ID: Fn() -> I::Item,
+        OP: Fn(I::Item, I::Item) -> I::Item,
+    {
+        self.0.fold(identity(), op)
+    }
+
+    /// Collect into any `FromIterator` target (including
+    /// `Result<Vec<_>, E>`, rayon's short-circuiting collect).
+    pub fn collect<C>(self) -> C
+    where
+        C: FromIterator<I::Item>,
+    {
+        self.0.collect()
+    }
+}
+
+impl<I: Iterator> IntoIterator for ParallelIterator<I> {
+    type Item = I::Item;
+    type IntoIter = I;
+
+    fn into_iter(self) -> I {
+        self.0
+    }
+}
+
+/// Entry point mirroring `rayon::iter::IntoParallelIterator`, implemented
+/// for everything that is already sequentially iterable (ranges, vectors,
+/// options, …).
+pub trait IntoParallelIterator: IntoIterator + Sized {
+    /// Convert into a parallel iterator.
+    fn into_par_iter(self) -> ParallelIterator<Self::IntoIter> {
+        ParallelIterator(self.into_iter())
+    }
+}
+
+impl<T: IntoIterator> IntoParallelIterator for T {}
+
+/// Shared-slice entry points (`rayon::slice::ParallelSlice` +
+/// `IntoParallelRefIterator` rolled together).
+pub trait ParallelSlice<T> {
+    /// Parallel iterator over references.
+    fn par_iter(&self) -> ParallelIterator<std::slice::Iter<'_, T>>;
+    /// Parallel iterator over `size`-element chunks.
+    fn par_chunks(&self, size: usize) -> ParallelIterator<std::slice::Chunks<'_, T>>;
+}
+
+impl<T> ParallelSlice<T> for [T] {
+    fn par_iter(&self) -> ParallelIterator<std::slice::Iter<'_, T>> {
+        ParallelIterator(self.iter())
+    }
+
+    fn par_chunks(&self, size: usize) -> ParallelIterator<std::slice::Chunks<'_, T>> {
+        ParallelIterator(self.chunks(size))
+    }
+}
+
+/// Mutable-slice entry points (`rayon::slice::ParallelSliceMut` +
+/// `IntoParallelRefMutIterator` rolled together).
+pub trait ParallelSliceMut<T> {
+    /// Parallel iterator over mutable references.
+    fn par_iter_mut(&mut self) -> ParallelIterator<std::slice::IterMut<'_, T>>;
+    /// Parallel iterator over mutable `size`-element chunks.
+    fn par_chunks_mut(&mut self, size: usize) -> ParallelIterator<std::slice::ChunksMut<'_, T>>;
+}
+
+impl<T> ParallelSliceMut<T> for [T] {
+    fn par_iter_mut(&mut self) -> ParallelIterator<std::slice::IterMut<'_, T>> {
+        ParallelIterator(self.iter_mut())
+    }
+
+    fn par_chunks_mut(&mut self, size: usize) -> ParallelIterator<std::slice::ChunksMut<'_, T>> {
+        ParallelIterator(self.chunks_mut(size))
+    }
+}
+
+/// `rayon::join`: run both closures (sequentially here) and return both
+/// results.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA,
+    B: FnOnce() -> RB,
+{
+    (a(), b())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_roundtrip() {
+        let v: Vec<u64> = (0u64..8).into_par_iter().map(|x| x * 2).collect();
+        assert_eq!(v, vec![0, 2, 4, 6, 8, 10, 12, 14]);
+    }
+
+    #[test]
+    fn slice_par_iter_sum() {
+        let v = [1.0f64, 2.0, 3.5];
+        let s: f64 = v.par_iter().map(|x| x * 2.0).sum();
+        assert!((s - 13.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reduce_with_identity() {
+        let v = [3.0f64, -1.0, 7.0];
+        let m = v.par_iter().cloned().reduce(|| f64::MIN, f64::max);
+        assert_eq!(m, 7.0);
+    }
+
+    #[test]
+    fn chunks_mut_enumerate() {
+        let mut v = vec![0usize; 8];
+        v.par_chunks_mut(4).enumerate().for_each(|(i, c)| {
+            for x in c {
+                *x = i;
+            }
+        });
+        assert_eq!(v, vec![0, 0, 0, 0, 1, 1, 1, 1]);
+    }
+
+    #[test]
+    fn zip_mutates_in_lockstep() {
+        let mut a = vec![1i64, 2, 3];
+        let b = [10i64, 20, 30];
+        a.par_iter_mut().zip(b.par_iter()).for_each(|(x, y)| *x += y);
+        assert_eq!(a, vec![11, 22, 33]);
+    }
+
+    #[test]
+    fn collect_result_short_circuits() {
+        let r: Result<Vec<i32>, &str> =
+            [1, 2, 3].par_iter().map(|&x| if x == 2 { Err("two") } else { Ok(x) }).collect();
+        assert_eq!(r, Err("two"));
+    }
+}

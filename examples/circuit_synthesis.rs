@@ -16,23 +16,14 @@ fn main() {
     let params = AnsatzParams::new(vec![0.4, 0.7], vec![0.3, 0.5]);
 
     println!("high-level model: {} qubits, {} ZZ terms\n", model.num_qubits, model.terms.len());
-    println!(
-        "{:>12} {:>8} {:>8} {:>10}",
-        "preference", "depth", "gates", "two-qubit"
-    );
+    println!("{:>12} {:>8} {:>8} {:>10}", "preference", "depth", "gates", "two-qubit");
     for (name, pref) in [
         ("none", Preference::None),
         ("depth", Preference::Depth),
         ("gate-count", Preference::GateCount),
     ] {
         let c = Synthesizer::new(pref).qaoa_ansatz(&model, &params);
-        println!(
-            "{:>12} {:>8} {:>8} {:>10}",
-            name,
-            c.depth(),
-            c.gate_count(),
-            c.two_qubit_count()
-        );
+        println!("{:>12} {:>8} {:>8} {:>10}", name, c.depth(), c.gate_count(), c.two_qubit_count());
     }
 
     // All three lower to the same state (up to global phase).

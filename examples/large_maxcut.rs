@@ -30,7 +30,12 @@ fn main() {
     for (i, level) in res.levels.iter().enumerate() {
         println!(
             "  level {}: {} nodes → {} sub-graphs (max {}), solved in {:.2?}, coarse {} nodes",
-            i, level.graph_nodes, level.num_subgraphs, level.max_subgraph, level.solve_wall, level.coarse_nodes
+            i,
+            level.graph_nodes,
+            level.num_subgraphs,
+            level.max_subgraph,
+            level.solve_wall,
+            level.coarse_nodes
         );
     }
 

@@ -28,7 +28,10 @@ pub use qq_sim as sim;
 pub mod prelude {
     pub use qq_circuit::prelude::*;
     pub use qq_classical::{exact_maxcut, one_exchange, randomized_partitioning, CutResult};
-    pub use qq_core::{solve as qaoa2_solve, Parallelism, Qaoa2Config, Qaoa2Result, SubSolver};
+    pub use qq_core::{
+        solve as qaoa2_solve, BestOf, BoxedSolver, MaxCutSolver, Parallelism, Qaoa2Config,
+        Qaoa2Result, SolverCaps, SolverError, SolverRegistry, SubSolver,
+    };
     pub use qq_graph::{generators, Cut, Graph};
     pub use qq_gw::{goemans_williamson, GwConfig};
     pub use qq_hpc::{master_worker, run_ranks, Communicator};

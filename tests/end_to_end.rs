@@ -54,11 +54,7 @@ fn qaoa2_full_stack_with_quantum_and_classical_solvers() {
     let res = qaoa2_solve(&g, &cfg).unwrap();
     assert!(res.cut_value <= exact.value + 1e-9);
     // divide-and-conquer on a 30-node graph should stay close to optimal
-    assert!(
-        res.cut_value >= 0.85 * exact.value,
-        "QAOA² ratio {:.3}",
-        res.cut_value / exact.value
-    );
+    assert!(res.cut_value >= 0.85 * exact.value, "QAOA² ratio {:.3}", res.cut_value / exact.value);
     assert!(res.levels[0].max_subgraph <= 8);
 }
 

@@ -1,51 +1,85 @@
-//! Property-based tests over the core invariants (proptest).
+//! Property-based tests over the core invariants.
+//!
+//! Originally written against `proptest`; this build environment cannot
+//! fetch crates.io dependencies, so the same properties run under a small
+//! seeded-case harness: every property is checked over `CASES` graphs and
+//! parameter draws derived deterministically from the case index, so
+//! failures reproduce exactly.
 
-use proptest::prelude::*;
 use qaoa2_suite::prelude::*;
 use qq_graph::{extract_subgraphs, partition_with_cap};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
-/// Strategy: a random graph as (node count, edge fraction seedable).
-fn arb_graph() -> impl Strategy<Value = Graph> {
-    (2usize..40, 0.05f64..0.8, any::<u64>()).prop_map(|(n, p, seed)| {
-        generators::erdos_renyi(n, p, generators::WeightKind::Random01, seed)
-    })
+const CASES: u64 = 64;
+
+/// One deterministic RNG per (property, case) pair.
+fn case_rng(property: u64, case: u64) -> StdRng {
+    StdRng::seed_from_u64(property.wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ case)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+/// The `arb_graph` strategy: 2–39 nodes, edge fraction 0.05–0.8,
+/// `U[0,1]` weights.
+fn arb_graph(rng: &mut StdRng) -> Graph {
+    let n = rng.gen_range(2usize..40);
+    let p = 0.05 + rng.gen::<f64>() * 0.75;
+    generators::erdos_renyi(n, p, generators::WeightKind::Random01, rng.gen::<u64>())
+}
 
-    #[test]
-    fn cut_value_invariant_under_global_flip(g in arb_graph(), bits in any::<u64>()) {
+#[test]
+fn cut_value_invariant_under_global_flip() {
+    for case in 0..CASES {
+        let mut rng = case_rng(1, case);
+        let g = arb_graph(&mut rng);
         let n = g.num_nodes();
-        let mut cut = Cut::from_basis_index(n.min(64), bits);
-        if cut.len() != n { return Ok(()); }
+        let mut cut = Cut::from_basis_index(n.min(64), rng.gen::<u64>());
+        if cut.len() != n {
+            continue;
+        }
         let before = cut.value(&g);
         cut.flip_all();
-        prop_assert!((cut.value(&g) - before).abs() < 1e-9);
+        assert!((cut.value(&g) - before).abs() < 1e-9, "case {case}");
     }
+}
 
-    #[test]
-    fn flip_gain_consistent_with_value(g in arb_graph(), bits in any::<u64>(), v in 0u32..40) {
+#[test]
+fn flip_gain_consistent_with_value() {
+    for case in 0..CASES {
+        let mut rng = case_rng(2, case);
+        let g = arb_graph(&mut rng);
         let n = g.num_nodes();
-        if v as usize >= n || n > 64 { return Ok(()); }
-        let mut cut = Cut::from_basis_index(n, bits);
+        let v = rng.gen_range(0u32..40);
+        if v as usize >= n || n > 64 {
+            continue;
+        }
+        let mut cut = Cut::from_basis_index(n, rng.gen::<u64>());
         let before = cut.value(&g);
         let gain = cut.flip_gain(&g, v);
         cut.flip_node(v);
-        prop_assert!((cut.value(&g) - before - gain).abs() < 1e-9);
+        assert!((cut.value(&g) - before - gain).abs() < 1e-9, "case {case}");
     }
+}
 
-    #[test]
-    fn partition_is_disjoint_cover_with_cap(g in arb_graph(), cap in 2usize..12) {
+#[test]
+fn partition_is_disjoint_cover_with_cap() {
+    for case in 0..CASES {
+        let mut rng = case_rng(3, case);
+        let g = arb_graph(&mut rng);
+        let cap = rng.gen_range(2usize..12);
         let p = partition_with_cap(&g, cap);
-        prop_assert!(p.is_valid());
-        prop_assert!(p.max_community_size() <= cap);
+        assert!(p.is_valid(), "case {case}");
+        assert!(p.max_community_size() <= cap, "case {case}");
         let total: usize = p.communities().iter().map(Vec::len).sum();
-        prop_assert_eq!(total, g.num_nodes());
+        assert_eq!(total, g.num_nodes(), "case {case}");
     }
+}
 
-    #[test]
-    fn subgraph_edges_never_cross_communities(g in arb_graph(), cap in 2usize..10) {
+#[test]
+fn subgraph_edges_never_cross_communities() {
+    for case in 0..CASES {
+        let mut rng = case_rng(4, case);
+        let g = arb_graph(&mut rng);
+        let cap = rng.gen_range(2usize..10);
         let p = partition_with_cap(&g, cap);
         let subs = extract_subgraphs(&g, &p);
         let assignment = p.assignment();
@@ -53,18 +87,20 @@ proptest! {
             for e in sub.graph.edges() {
                 let gu = sub.nodes[e.u as usize];
                 let gv = sub.nodes[e.v as usize];
-                prop_assert_eq!(assignment[gu as usize], c as u32);
-                prop_assert_eq!(assignment[gv as usize], c as u32);
+                assert_eq!(assignment[gu as usize], c as u32, "case {case}");
+                assert_eq!(assignment[gv as usize], c as u32, "case {case}");
             }
         }
     }
+}
 
-    #[test]
-    fn merge_identity_holds_for_arbitrary_local_cuts(
-        g in arb_graph(),
-        cap in 2usize..10,
-        seed in any::<u64>(),
-    ) {
+#[test]
+fn merge_identity_holds_for_arbitrary_local_cuts() {
+    for case in 0..CASES {
+        let mut rng = case_rng(5, case);
+        let g = arb_graph(&mut rng);
+        let cap = rng.gen_range(2usize..10);
+        let seed = rng.gen::<u64>();
         // compose(local cuts, coarse cut) evaluated directly must equal the
         // intra + coarse-decomposed inter value — the core QAOA² identity.
         let partition = partition_with_cap(&g, cap);
@@ -76,7 +112,9 @@ proptest! {
             .collect();
         let coarse = qq_core::build_merge_graph(&g, &partition, &local_cuts);
         let coarse_cut = Cut::from_basis_index(partition.len().min(64), seed / 3);
-        if coarse_cut.len() != partition.len() { return Ok(()); }
+        if coarse_cut.len() != partition.len() {
+            continue;
+        }
         let global = qq_core::apply_flips(&g, &partition, &local_cuts, &coarse_cut);
 
         // direct evaluation
@@ -94,71 +132,103 @@ proptest! {
             .filter(|e| assignment[e.u as usize] != assignment[e.v as usize])
             .map(|e| e.w)
             .sum();
-        let signed: f64 = coarse
-            .edges()
-            .iter()
-            .map(|e| e.w * coarse_cut.spin(e.u) * coarse_cut.spin(e.v))
-            .sum();
-        prop_assert!((direct - (intra + (w_inter - signed) / 2.0)).abs() < 1e-6);
+        let signed: f64 =
+            coarse.edges().iter().map(|e| e.w * coarse_cut.spin(e.u) * coarse_cut.spin(e.v)).sum();
+        assert!((direct - (intra + (w_inter - signed) / 2.0)).abs() < 1e-6, "case {case}");
     }
+}
 
-    #[test]
-    fn statevector_norm_preserved_by_random_circuits(
-        n in 2usize..8,
-        ops in prop::collection::vec((0usize..8, 0usize..8, -3.0f64..3.0), 1..40),
-    ) {
+#[test]
+fn statevector_norm_preserved_by_random_circuits() {
+    for case in 0..CASES {
+        let mut rng = case_rng(6, case);
+        let n = rng.gen_range(2usize..8);
+        let num_ops = rng.gen_range(1usize..40);
         let mut s = StateVector::plus_state(n);
-        for (a, b, theta) in ops {
-            let (a, b) = (a % n, b % n);
+        for _ in 0..num_ops {
+            let a = rng.gen_range(0usize..8) % n;
+            let b = rng.gen_range(0usize..8) % n;
+            let theta = -3.0 + rng.gen::<f64>() * 6.0;
             s.rx(a, theta);
             s.rz(b, -theta);
             if a != b {
                 s.rzz(a, b, theta * 0.7);
             }
         }
-        prop_assert!((s.norm_sqr() - 1.0).abs() < 1e-8);
+        assert!((s.norm_sqr() - 1.0).abs() < 1e-8, "case {case}");
     }
+}
 
-    #[test]
-    fn sampling_conserves_shots_and_range(
-        n in 1usize..8,
-        shots in 1usize..4096,
-        seed in any::<u64>(),
-    ) {
+#[test]
+fn sampling_conserves_shots_and_range() {
+    for case in 0..CASES {
+        let mut rng = case_rng(7, case);
+        let n = rng.gen_range(1usize..8);
+        let shots = rng.gen_range(1usize..4096);
         let s = StateVector::plus_state(n);
-        let counts = sample_counts(s.amplitudes(), shots, seed);
+        let counts = sample_counts(s.amplitudes(), shots, rng.gen::<u64>());
         let total: u32 = counts.iter().map(|&(_, c)| c).sum();
-        prop_assert_eq!(total as usize, shots);
-        prop_assert!(counts.iter().all(|&(z, _)| z < (1u64 << n)));
+        assert_eq!(total as usize, shots, "case {case}");
+        assert!(counts.iter().all(|&(z, _)| z < (1u64 << n)), "case {case}");
     }
+}
 
-    #[test]
-    fn exact_dominates_every_heuristic(g in arb_graph(), seed in any::<u64>()) {
-        if g.num_nodes() > 18 { return Ok(()); }
+#[test]
+fn exact_dominates_every_heuristic() {
+    for case in 0..CASES {
+        let mut rng = case_rng(8, case);
+        let g = arb_graph(&mut rng);
+        let seed = rng.gen::<u64>();
+        if g.num_nodes() > 18 {
+            continue;
+        }
         let exact = exact_maxcut(&g);
         let ls = one_exchange(&g, seed);
         let rnd = randomized_partitioning(&g, 4, seed);
-        prop_assert!(exact.value >= ls.value - 1e-9);
-        prop_assert!(exact.value >= rnd.value - 1e-9);
+        assert!(exact.value >= ls.value - 1e-9, "case {case}");
+        assert!(exact.value >= rnd.value - 1e-9, "case {case}");
     }
+}
 
-    #[test]
-    fn gw_bound_dominates_rounding(g in arb_graph(), seed in any::<u64>()) {
-        if g.num_nodes() > 24 { return Ok(()); }
+#[test]
+fn gw_bound_dominates_rounding() {
+    for case in 0..CASES {
+        let mut rng = case_rng(9, case);
+        let g = arb_graph(&mut rng);
+        let seed = rng.gen::<u64>();
+        if g.num_nodes() > 24 {
+            continue;
+        }
         // non-negative weights: rounding can never beat the SDP objective
         let gw = goemans_williamson(&g, &GwConfig { seed, ..GwConfig::default() });
-        prop_assert!(gw.best.value <= gw.sdp_bound + 1e-6);
-        prop_assert!(gw.mean_value <= gw.best.value + 1e-12);
+        assert!(gw.best.value <= gw.sdp_bound + 1e-6, "case {case}");
+        assert!(gw.mean_value <= gw.best.value + 1e-12, "case {case}");
+        // the best-value check above is enforced by construction in
+        // `goemans_williamson`; compare against the independently computed
+        // optimum so under-convergence regressions stay detectable
+        if g.num_nodes() <= 16 {
+            let exact = exact_maxcut(&g);
+            assert!(
+                gw.sdp_bound >= exact.value - 1e-6,
+                "case {case}: bound {} < optimum {}",
+                gw.sdp_bound,
+                exact.value
+            );
+        }
     }
+}
 
-    #[test]
-    fn communicator_reduce_matches_sequential_fold(vals in prop::collection::vec(0i64..1000, 1..6)) {
-        let n = vals.len();
+#[test]
+fn communicator_reduce_matches_sequential_fold() {
+    for case in 0..16 {
+        let mut rng = case_rng(10, case);
+        let n = rng.gen_range(1usize..6);
+        let vals: Vec<i64> = (0..n).map(|_| rng.gen_range(0i64..1000)).collect();
         let expected: i64 = vals.iter().sum();
         let outs = run_ranks(n, |mut comm: Communicator<i64>| {
             let v = vals[comm.rank()];
             comm.reduce(0, v, |a, b| a + b)
         });
-        prop_assert_eq!(outs[0], Some(expected));
+        assert_eq!(outs[0], Some(expected), "case {case}");
     }
 }

@@ -1,0 +1,74 @@
+//! Every registered `MaxCutSolver` backend must round-trip through the
+//! registry: label lookup → instantiation → solve → valid cut.
+
+use qaoa2_suite::prelude::*;
+
+/// 10-node instance sized so even `exact` and the quantum backends are
+/// fast.
+fn test_graph() -> Graph {
+    generators::erdos_renyi(10, 0.4, generators::WeightKind::Random01, 77)
+}
+
+#[test]
+fn every_registered_backend_roundtrips() {
+    let registry = SolverRegistry::with_default_backends();
+    let g = test_graph();
+    let exact = exact_maxcut(&g).value;
+    assert!(!registry.is_empty());
+
+    for label in registry.labels() {
+        // label lookup → instance, and the instance agrees on its label
+        let solver = registry
+            .create(label)
+            .unwrap_or_else(|| panic!("registry lists '{label}' but cannot create it"));
+        assert_eq!(solver.label(), label, "factory under '{label}' built a different backend");
+
+        // capability envelope admits the 10-node instance
+        if let Some(max_nodes) = solver.capabilities().max_nodes {
+            assert!(max_nodes >= 10, "'{label}' cannot even take 10 nodes");
+        }
+
+        // solve → structurally valid cut with a consistent value
+        let r = solver.solve(&g, 42).unwrap_or_else(|e| panic!("'{label}' failed: {e}"));
+        assert_eq!(r.cut.len(), g.num_nodes(), "'{label}' returned a wrong-width cut");
+        assert!(
+            (r.cut.value(&g) - r.value).abs() < 1e-9,
+            "'{label}' reported value {} but the cut evaluates to {}",
+            r.value,
+            r.cut.value(&g)
+        );
+        assert!(r.value <= exact + 1e-9, "'{label}' beat the certified optimum");
+        assert!(r.value >= 0.0, "'{label}' returned a negative cut value");
+    }
+}
+
+#[test]
+fn registry_solve_matches_direct_backend_solve() {
+    let registry = SolverRegistry::with_default_backends();
+    let g = test_graph();
+    for label in ["local-search", "exact", "random"] {
+        let via_registry = registry.solve(label, &g, 7).unwrap();
+        let direct = registry.create(label).unwrap().solve(&g, 7).unwrap();
+        assert_eq!(via_registry.cut, direct.cut, "'{label}' not deterministic per seed");
+    }
+}
+
+#[test]
+fn registered_custom_backend_roundtrips_too() {
+    struct OddEven;
+    impl MaxCutSolver for OddEven {
+        fn label(&self) -> &str {
+            "odd-even"
+        }
+        fn solve(&self, g: &Graph, _seed: u64) -> Result<CutResult, SolverError> {
+            Ok(CutResult::new(Cut::from_fn(g.num_nodes(), |v| v % 2 == 0), g))
+        }
+    }
+
+    let mut registry = SolverRegistry::with_default_backends();
+    registry.register("odd-even", || Box::new(OddEven));
+    let g = test_graph();
+    let r = registry.solve("odd-even", &g, 0).unwrap();
+    assert_eq!(r.cut.len(), 10);
+    assert!(registry.labels().contains(&"odd-even"));
+}
