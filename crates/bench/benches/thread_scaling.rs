@@ -1,0 +1,153 @@
+//! Threads-vs-time scaling for the suite's hot parallel paths.
+//!
+//! The rayon pool is global and sized once per process, so each thread
+//! count is measured in a child process: the parent re-executes this
+//! binary with `RAYON_NUM_THREADS` pinned (and `QQ_THREAD_SCALING_CHILD`
+//! set), the child runs the workloads and prints per-workload
+//! nanoseconds, and the parent assembles the scaling table recorded in
+//! EXPERIMENTS.md.
+//!
+//! Not a criterion harness: criterion cannot re-exec per configuration.
+//! Run with `cargo bench --bench thread_scaling` (add
+//! `--features`-style knobs via env: `QQ_THREAD_COUNTS="1 2 4"`).
+
+use qq_circuit::{AnsatzParams, CostModel};
+use qq_core::{Parallelism, Qaoa2Config};
+use qq_graph::generators::{self, WeightKind};
+use qq_qaoa::executor::build_state_fused;
+use qq_qaoa::CostTable;
+use qq_sim::{BlockedState, StateVector};
+use std::time::Instant;
+
+const CHILD_ENV: &str = "QQ_THREAD_SCALING_CHILD";
+
+/// A named workload returning a checksum (defeats dead-code elimination
+/// and confirms cross-thread-count agreement).
+type Workload = (&'static str, fn() -> f64);
+
+fn workloads() -> Vec<Workload> {
+    vec![
+        ("flat_gate_sweep_n20", || {
+            let mut s = StateVector::plus_state(20);
+            for q in 0..20 {
+                s.rx(q, 0.1 + 0.01 * q as f64);
+            }
+            for q in 0..19 {
+                s.rzz(q, q + 1, 0.05);
+            }
+            s.norm_sqr()
+        }),
+        ("blocked_gate_sweep_n20", || {
+            let mut s = BlockedState::plus_state(20, 14).unwrap();
+            for q in 0..20 {
+                s.rx(q, 0.1 + 0.01 * q as f64).unwrap();
+            }
+            for q in 0..19 {
+                s.rzz(q, q + 1, 0.05).unwrap();
+            }
+            s.norm_sqr()
+        }),
+        ("cost_layer_landscape_n18", || {
+            let g = generators::erdos_renyi(18, 0.3, WeightKind::Random01, 3);
+            let table = CostTable::new(&CostModel::from_maxcut(&g));
+            let mut acc = 0.0;
+            for k in 0..4 {
+                let params = AnsatzParams::new(vec![0.2 + 0.1 * k as f64], vec![0.3]);
+                let state = build_state_fused(&table, &params);
+                acc += table.expectation(&state);
+            }
+            acc
+        }),
+        ("qaoa2_subgraph_fanout", || {
+            let g = generators::erdos_renyi(96, 0.08, WeightKind::Random01, 11);
+            let cfg = Qaoa2Config {
+                max_qubits: 10,
+                parallelism: Parallelism::Threads,
+                seed: 4,
+                ..Default::default()
+            };
+            qq_core::solve(&g, &cfg).expect("solve").cut_value
+        }),
+    ]
+}
+
+fn run_child() {
+    for (name, work) in workloads() {
+        // one warm-up (also first-touches the pool), then best-of-3
+        let check = work();
+        let mut best = u128::MAX;
+        for _ in 0..3 {
+            let t = Instant::now();
+            let c = work();
+            best = best.min(t.elapsed().as_nanos());
+            assert_eq!(c.to_bits(), check.to_bits(), "nondeterministic workload {name}");
+        }
+        println!("WORKLOAD {name} ns={best} check={:016x}", check.to_bits());
+    }
+}
+
+fn main() {
+    if std::env::var(CHILD_ENV).is_ok() {
+        run_child();
+        return;
+    }
+
+    let counts: Vec<String> = std::env::var("QQ_THREAD_COUNTS")
+        .unwrap_or_else(|_| "1 2 4".into())
+        .split_whitespace()
+        .map(str::to_string)
+        .collect();
+    let exe = std::env::current_exe().expect("bench binary path");
+
+    // name -> (threads, ns, check) rows
+    let mut rows: Vec<(String, String, u128, String)> = Vec::new();
+    for t in &counts {
+        let out = std::process::Command::new(&exe)
+            .env(CHILD_ENV, "1")
+            .env("RAYON_NUM_THREADS", t)
+            .output()
+            .expect("spawn scaling child");
+        assert!(out.status.success(), "child failed at {t} threads");
+        for line in String::from_utf8_lossy(&out.stdout).lines() {
+            let Some(rest) = line.strip_prefix("WORKLOAD ") else { continue };
+            let mut it = rest.split_whitespace();
+            let name = it.next().unwrap_or("?").to_string();
+            let ns: u128 = it
+                .next()
+                .and_then(|s| s.strip_prefix("ns="))
+                .and_then(|s| s.parse().ok())
+                .unwrap_or(0);
+            let check = it.next().and_then(|s| s.strip_prefix("check=")).unwrap_or("?").to_string();
+            rows.push((name, t.clone(), ns, check));
+        }
+    }
+
+    println!("thread_scaling — best-of-3 wall time per workload");
+    println!("{:<28} {:>8} {:>14} {:>10}", "workload", "threads", "time", "speedup");
+    for (name, _) in workloads() {
+        let base = rows
+            .iter()
+            .find(|(n, t, _, _)| n == name && t == &counts[0])
+            .map(|&(_, _, ns, _)| ns)
+            .unwrap_or(0);
+        let mut checks: Vec<&str> = Vec::new();
+        for t in &counts {
+            if let Some((_, _, ns, check)) = rows.iter().find(|(n, tt, _, _)| n == name && tt == t)
+            {
+                println!(
+                    "{:<28} {:>8} {:>12.3} ms {:>9.2}x",
+                    name,
+                    t,
+                    *ns as f64 / 1e6,
+                    base as f64 / *ns as f64
+                );
+                checks.push(check);
+            }
+        }
+        assert!(
+            checks.windows(2).all(|w| w[0] == w[1]),
+            "checksums differ across thread counts for {name}: {checks:?}"
+        );
+    }
+    println!("checksums bit-identical across thread counts: ok");
+}

@@ -23,18 +23,20 @@ fn main() {
     for ratio in [1u64, 2, 4, 8, 16] {
         let classical_ticks = quantum_ticks * ratio;
         let (mono, het) = fig1_hetjob_scenario(jobs, classical_ticks, quantum_ticks, cluster);
+        let mono_idle = mono.qpu_idle_fraction().expect("cluster has a QPU");
+        let het_idle = het.qpu_idle_fraction().expect("cluster has a QPU");
         println!(
             "{:>18} {:>14.3} {:>14.3} {:>12} {:>12}",
             format!("{classical_ticks}:{quantum_ticks}"),
-            mono.qpu_idle_fraction(),
-            het.qpu_idle_fraction(),
+            mono_idle,
+            het_idle,
             mono.makespan,
             het.makespan
         );
         rows.push(vec![
             ratio.to_string(),
-            format!("{}", mono.qpu_idle_fraction()),
-            format!("{}", het.qpu_idle_fraction()),
+            format!("{mono_idle}"),
+            format!("{het_idle}"),
             mono.makespan.to_string(),
             het.makespan.to_string(),
         ]);

@@ -151,6 +151,7 @@ pub fn run_grid_experiment(settings: &GridSettings, verbose: bool) -> GridSummar
 
     let cells: Vec<CellOutcome> = instances
         .par_iter()
+        .with_min_len(1)
         .flat_map(|&(nodes, edge_prob, weighted)| {
             let kind = if weighted { WeightKind::Random01 } else { WeightKind::Uniform };
             let gseed = settings

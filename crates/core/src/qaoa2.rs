@@ -146,8 +146,10 @@ fn solve_level(
             out
         }
         Parallelism::Threads => {
+            // each sub-graph is a full QAOA solve: fan out per item
             let results: Result<Vec<Cut>, Qaoa2Error> = subgraphs
                 .par_iter()
+                .with_min_len(1)
                 .enumerate()
                 .map(|(i, sub)| {
                     solve_with_backend(

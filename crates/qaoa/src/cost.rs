@@ -19,7 +19,10 @@ pub struct CostTable {
 }
 
 impl CostTable {
-    /// Tabulate a cost model over all `2^n` basis states (parallel).
+    /// Tabulate a cost model over all `2^n` basis states, in parallel
+    /// across the rayon pool. The parallel `collect` is order-preserving
+    /// (chunks concatenate in basis order), so the table is identical at
+    /// any thread count.
     pub fn new(model: &CostModel) -> Self {
         let n = model.num_qubits;
         let size = 1usize << n;
@@ -46,6 +49,8 @@ impl CostTable {
 
     /// The certified maximum over all basis states (exact MaxCut value —
     /// available as a by-product for registers small enough to tabulate).
+    /// `max` is associative and insensitive to the reduction tree, and the
+    /// vendored rayon fixes the tree anyway, so this is deterministic.
     pub fn max_value(&self) -> f64 {
         self.values.par_iter().cloned().reduce(|| f64::MIN, f64::max)
     }

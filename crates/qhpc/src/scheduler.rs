@@ -10,9 +10,14 @@
 //!   QPU component start while job 1's classical component still runs,
 //!   cutting QPU idle time.
 //!
-//! Time is unitless ticks. The scheduler is deterministic: FIFO order with
-//! optional conservative backfill (a later component may start early only
-//! if it does not delay any earlier pending component's earliest start).
+//! Time is unitless ticks. The scheduler is deterministic: strict FIFO
+//! queue order (a component that has not arrived yet still blocks the
+//! queue behind it), with optional conservative backfill in the EASY
+//! style: the blocked queue head holds a reservation for its earliest
+//! possible start, and a later component may start early only if it
+//! provably cannot delay that reservation — it finishes before the
+//! reserved tick, or the resources it would still hold then are not
+//! needed by the head.
 
 use std::collections::BTreeMap;
 
@@ -118,8 +123,13 @@ pub struct ScheduleOutcome {
 
 impl ScheduleOutcome {
     /// Idle fraction of the quantum devices — the Fig. 1 metric.
-    pub fn qpu_idle_fraction(&self) -> f64 {
-        1.0 - self.utilization.get("qpu").copied().unwrap_or(0.0)
+    ///
+    /// `None` when the cluster has no QPUs (or nothing was scheduled):
+    /// a machine without quantum devices has no idle fraction, and
+    /// fabricating `1.0` for it silently corrupts averages over
+    /// heterogeneous fleets.
+    pub fn qpu_idle_fraction(&self) -> Option<f64> {
+        self.utilization.get("qpu").map(|u| 1.0 - u)
     }
 }
 
@@ -155,13 +165,24 @@ impl Scheduler {
     /// cluster capacity (it could never run).
     pub fn run(&self, jobs: &[Job]) -> ScheduleOutcome {
         for (j, job) in jobs.iter().enumerate() {
+            let mut total = ResourceReq::default();
             for (c, comp) in job.components.iter().enumerate() {
                 assert!(
                     comp.req.cpu_nodes <= self.cluster.cpu_nodes
                         && comp.req.qpus <= self.cluster.qpus,
                     "job {j} component {c} exceeds cluster capacity"
                 );
+                total.cpu_nodes += comp.req.cpu_nodes;
+                total.qpus += comp.req.qpus;
             }
+            // monolithic components all hold resources at once, so the
+            // *aggregate* must fit too or the job could never start
+            assert!(
+                job.mode != JobMode::Monolithic
+                    || (total.cpu_nodes <= self.cluster.cpu_nodes
+                        && total.qpus <= self.cluster.qpus),
+                "job {j} monolithic aggregate exceeds cluster capacity"
+            );
         }
 
         // Flatten to pending list in FIFO order.
@@ -198,42 +219,46 @@ impl Scheduler {
                 }
             });
 
-            // Try to start components in FIFO order.
+            // Try to start components in FIFO (queue) order. The first
+            // component that cannot start — whether its resources are
+            // busy or it simply has not arrived yet — becomes the
+            // *blocked head* and gets a reservation for its earliest
+            // possible start. Without backfill the scan stops there
+            // (strict FIFO: later-queued work never overtakes the head,
+            // not even work that is ready while the head is not).
+            // With backfill, later components may start now only if the
+            // reservation proves they cannot delay the head.
             let mut started_any = false;
             let mut i = 0;
-            let mut blocked_head = false;
+            let mut reservation: Option<Reservation> = None;
             while i < pending.len() {
-                let can_consider = !blocked_head || self.backfill;
-                if !can_consider {
+                if reservation.is_some() && !self.backfill {
                     break;
                 }
                 let p = &pending[i];
-                if p.ready > now {
-                    i += 1;
-                    continue;
-                }
-                let startable = match p.group {
-                    None => fits(&free, &p.req),
-                    Some(gid) => {
-                        // monolithic: all same-group components must fit at once
-                        let mut need = ResourceReq::default();
-                        for q in pending.iter().filter(|q| q.group == Some(gid)) {
-                            need.cpu_nodes += q.req.cpu_nodes;
-                            need.qpus += q.req.qpus;
-                        }
-                        fits(&free, &need)
-                    }
-                };
-                if startable {
-                    // start the component (or the whole monolithic group)
-                    let group = p.group;
-                    let idxs: Vec<usize> = pending
+                let member_idxs: Vec<usize> = match p.group {
+                    None => vec![i],
+                    Some(gid) => pending
                         .iter()
                         .enumerate()
-                        .filter(|(k, q)| if group.is_some() { q.group == group } else { *k == i })
+                        .filter(|(_, q)| q.group == Some(gid))
                         .map(|(k, _)| k)
-                        .collect();
-                    for &k in idxs.iter().rev() {
+                        .collect(),
+                };
+                // monolithic: all same-group components must fit at once
+                let mut need = ResourceReq::default();
+                for &k in &member_idxs {
+                    need.cpu_nodes += pending[k].req.cpu_nodes;
+                    need.qpus += pending[k].req.qpus;
+                }
+                let startable = p.ready <= now && fits(&free, &need);
+                let admissible = startable
+                    && reservation.as_ref().is_none_or(|res| {
+                        backfill_fits_reservation(res, now, &pending, &member_idxs)
+                    });
+                if admissible {
+                    // start the component (or the whole monolithic group)
+                    for &k in member_idxs.iter().rev() {
                         let q = pending.remove(k);
                         free.cpu_nodes -= q.req.cpu_nodes;
                         free.qpus -= q.req.qpus;
@@ -248,11 +273,12 @@ impl Scheduler {
                         });
                     }
                     started_any = true;
-                    i = 0; // restart FIFO scan
-                    blocked_head = false;
+                    i = 0; // restart FIFO scan against the new state
+                    reservation = None;
                 } else {
-                    if i == 0 || !blocked_head {
-                        blocked_head = true;
+                    if reservation.is_none() {
+                        // this is the blocked head: reserve its earliest start
+                        reservation = Some(reserve(&need, p.ready, now, &running, &free));
                     }
                     i += 1;
                 }
@@ -280,18 +306,26 @@ impl Scheduler {
             *busy.entry("cpu").or_default() += e.req.cpu_nodes as u64 * (e.end - e.start);
             *busy.entry("qpu").or_default() += e.req.qpus as u64 * (e.end - e.start);
         }
+        // Utilization only exists for resource classes the cluster has:
+        // a `.max(1.0)` denominator guard would fabricate 0.0 for an
+        // absent class, which reads as "present but idle". Absent classes
+        // are omitted instead (and `qpu_idle_fraction` returns `None`).
         let mut utilization = BTreeMap::new();
         if makespan > 0 {
-            utilization.insert(
-                "cpu",
-                busy.get("cpu").copied().unwrap_or(0) as f64
-                    / (self.cluster.cpu_nodes as f64 * makespan as f64).max(1.0),
-            );
-            utilization.insert(
-                "qpu",
-                busy.get("qpu").copied().unwrap_or(0) as f64
-                    / (self.cluster.qpus as f64 * makespan as f64).max(1.0),
-            );
+            if self.cluster.cpu_nodes > 0 {
+                utilization.insert(
+                    "cpu",
+                    busy.get("cpu").copied().unwrap_or(0) as f64
+                        / (self.cluster.cpu_nodes as f64 * makespan as f64),
+                );
+            }
+            if self.cluster.qpus > 0 {
+                utilization.insert(
+                    "qpu",
+                    busy.get("qpu").copied().unwrap_or(0) as f64
+                        / (self.cluster.qpus as f64 * makespan as f64),
+                );
+            }
         }
         ScheduleOutcome { gantt, makespan, busy, utilization }
     }
@@ -299,6 +333,79 @@ impl Scheduler {
 
 fn fits(free: &Cluster, req: &ResourceReq) -> bool {
     free.cpu_nodes >= req.cpu_nodes && free.qpus >= req.qpus
+}
+
+/// The blocked FIFO head's claim on the future: the earliest tick it
+/// could start given what is running now, and the resources that will be
+/// available to it then. Conservative backfill admits a later component
+/// only if the head can still start on time afterwards.
+#[derive(Debug, Clone)]
+struct Reservation {
+    /// Earliest tick the head can start.
+    start: u64,
+    /// Resources available at `start` (current free + everything released
+    /// by then), before any backfill.
+    avail: Cluster,
+    /// What the head needs (group-aggregated for monolithic jobs).
+    need: ResourceReq,
+}
+
+/// Compute the blocked head's reservation: walk the completion events of
+/// `running` from `max(now, ready)` until the head's request fits.
+fn reserve(
+    need: &ResourceReq,
+    ready: u64,
+    now: u64,
+    running: &[(u64, ResourceReq)],
+    free: &Cluster,
+) -> Reservation {
+    let base = now.max(ready);
+    let avail_at = |t: u64| {
+        let mut avail = *free;
+        for &(end, req) in running {
+            if end <= t {
+                avail.cpu_nodes += req.cpu_nodes;
+                avail.qpus += req.qpus;
+            }
+        }
+        avail
+    };
+    let mut ends: Vec<u64> = running.iter().map(|&(e, _)| e).filter(|&e| e > base).collect();
+    ends.sort_unstable();
+    for t in std::iter::once(base).chain(ends) {
+        let avail = avail_at(t);
+        if fits(&avail, need) {
+            return Reservation { start: t, avail, need: *need };
+        }
+    }
+    // Unreachable in practice: once everything running has completed the
+    // whole cluster is free, and `run` asserts every component — and
+    // every monolithic aggregate — fits the cluster. Kept as a
+    // defensive fallback.
+    let last = running.iter().map(|&(e, _)| e).max().unwrap_or(base).max(base);
+    Reservation { start: last, avail: avail_at(last), need: *need }
+}
+
+/// Would starting `member_idxs` of `pending` right `now` still let the
+/// reserved head start at `res.start`? True iff the resources the
+/// candidate is still holding at that tick leave room for the head's
+/// need inside the reservation-time availability.
+fn backfill_fits_reservation(
+    res: &Reservation,
+    now: u64,
+    pending: &[Pending],
+    member_idxs: &[usize],
+) -> bool {
+    let mut held = ResourceReq::default();
+    for &k in member_idxs {
+        let q = &pending[k];
+        if now + q.duration > res.start {
+            held.cpu_nodes += q.req.cpu_nodes;
+            held.qpus += q.req.qpus;
+        }
+    }
+    res.avail.cpu_nodes >= res.need.cpu_nodes + held.cpu_nodes
+        && res.avail.qpus >= res.need.qpus + held.qpus
 }
 
 /// The paper's Fig. 1 workload: `k` hybrid jobs, each with a classical
@@ -395,12 +502,11 @@ mod tests {
     fn het_jobs_reduce_qpu_idle_time() {
         // Fig. 1 reproduction: classical 10 ticks, quantum 3 ticks, 1 QPU.
         let (mono, het) = fig1_hetjob_scenario(4, 10, 3, Cluster { cpu_nodes: 8, qpus: 1 });
-        assert!(
-            het.qpu_idle_fraction() < mono.qpu_idle_fraction(),
-            "het idle {} !< mono idle {}",
-            het.qpu_idle_fraction(),
-            mono.qpu_idle_fraction()
+        let (mono_idle, het_idle) = (
+            mono.qpu_idle_fraction().expect("cluster has a QPU"),
+            het.qpu_idle_fraction().expect("cluster has a QPU"),
         );
+        assert!(het_idle < mono_idle, "het idle {het_idle} !< mono idle {mono_idle}");
         assert!(het.makespan <= mono.makespan);
     }
 
@@ -458,6 +564,143 @@ mod tests {
         }]);
         assert_eq!(out.gantt[0].start, 7);
         assert_eq!(out.makespan, 8);
+    }
+
+    /// One single-component job, for the backfill scenarios.
+    fn simple(name: &str, submit: u64, cpu: usize, qpus: usize, duration: u64) -> Job {
+        Job {
+            submit,
+            mode: JobMode::Monolithic,
+            components: vec![JobComponent {
+                name: name.into(),
+                req: ResourceReq { cpu_nodes: cpu, qpus },
+                duration,
+            }],
+        }
+    }
+
+    fn start_of(out: &ScheduleOutcome, name: &str) -> u64 {
+        out.gantt.iter().find(|e| e.name == name).map(|e| e.start).unwrap()
+    }
+
+    /// Regression (aggressive backfill): a long small job must not grab
+    /// the nodes the blocked head is waiting for. `runner` (2 cpu, ends
+    /// t=10) leaves 2 of 4 nodes free; `head` needs all 4, so its
+    /// reservation is t=10. `filler` (2 cpu, 20 ticks) fits the free
+    /// nodes *now*, but holding them past t=10 would push the head to
+    /// t=20 — conservative backfill must refuse it.
+    #[test]
+    fn backfill_never_delays_blocked_head() {
+        let jobs = vec![
+            simple("runner", 0, 2, 0, 10),
+            simple("head", 0, 4, 0, 5),
+            simple("filler", 0, 2, 0, 20),
+        ];
+        let out = Scheduler::new(cluster(), true).run(&jobs);
+        assert_eq!(start_of(&out, "runner"), 0);
+        assert_eq!(start_of(&out, "head"), 10, "head starts at its reservation, undelayed");
+        assert_eq!(start_of(&out, "filler"), 15, "filler waits for the head instead");
+    }
+
+    /// A filler that finishes exactly at the reservation tick is harmless
+    /// and must still be backfilled (that is the point of backfill).
+    #[test]
+    fn backfill_admits_filler_that_finishes_by_reservation() {
+        let jobs = vec![
+            simple("runner", 0, 2, 0, 10),
+            simple("head", 0, 4, 0, 5),
+            simple("filler", 0, 2, 0, 10),
+        ];
+        let out = Scheduler::new(cluster(), true).run(&jobs);
+        assert_eq!(start_of(&out, "filler"), 0, "filler fits entirely before the reservation");
+        assert_eq!(start_of(&out, "head"), 10);
+    }
+
+    /// A filler that runs long past the reservation is also fine when it
+    /// holds only resources the head's reservation does not need (here:
+    /// the QPU, while the head is purely classical).
+    #[test]
+    fn backfill_admits_filler_on_resources_head_does_not_need() {
+        let jobs = vec![
+            simple("runner", 0, 2, 0, 10),
+            simple("head", 0, 4, 0, 5),
+            simple("filler", 0, 0, 1, 100),
+        ];
+        let out = Scheduler::new(cluster(), true).run(&jobs);
+        assert_eq!(start_of(&out, "filler"), 0, "QPU-only filler cannot delay a CPU-only head");
+        assert_eq!(start_of(&out, "head"), 10);
+    }
+
+    /// Regression (strict FIFO): without backfill, a head that has not
+    /// arrived yet still blocks the queue — a later-queued job must not
+    /// overtake it just because it happens to be ready.
+    #[test]
+    fn strict_fifo_blocks_on_not_yet_ready_head() {
+        let jobs = vec![simple("head", 5, 1, 0, 5), simple("late", 0, 1, 0, 5)];
+        let out = Scheduler::new(Cluster { cpu_nodes: 1, qpus: 0 }, false).run(&jobs);
+        assert_eq!(start_of(&out, "head"), 5, "head starts as soon as it arrives");
+        assert_eq!(start_of(&out, "late"), 10, "strict FIFO: `late` never overtakes the head");
+        assert_eq!(out.makespan, 15);
+    }
+
+    /// With backfill, overtaking a not-yet-arrived head is fine exactly
+    /// when it cannot delay the head's arrival-time start.
+    #[test]
+    fn backfill_may_overtake_sleeping_head_only_harmlessly() {
+        let harmless = vec![simple("head", 5, 1, 0, 5), simple("fits", 0, 1, 0, 5)];
+        let out = Scheduler::new(Cluster { cpu_nodes: 1, qpus: 0 }, true).run(&harmless);
+        assert_eq!(start_of(&out, "fits"), 0, "ends exactly when the head arrives");
+        assert_eq!(start_of(&out, "head"), 5);
+
+        let harmful = vec![simple("head", 5, 1, 0, 5), simple("long", 0, 1, 0, 6)];
+        let out = Scheduler::new(Cluster { cpu_nodes: 1, qpus: 0 }, true).run(&harmful);
+        assert_eq!(start_of(&out, "head"), 5, "6-tick filler would delay the head to t=6");
+        assert_eq!(start_of(&out, "long"), 10);
+    }
+
+    /// Regression (absent resource classes): a QPU-less cluster reports
+    /// no QPU utilization at all instead of a fabricated 0.0 / idle 1.0.
+    #[test]
+    fn utilization_omits_absent_resource_classes() {
+        let out = Scheduler::new(Cluster { cpu_nodes: 2, qpus: 0 }, false)
+            .run(&[simple("work", 0, 2, 0, 4)]);
+        assert!(out.utilization.contains_key("cpu"));
+        assert!(!out.utilization.contains_key("qpu"), "no QPUs -> no qpu utilization entry");
+        assert_eq!(out.qpu_idle_fraction(), None);
+        assert!((out.utilization["cpu"] - 1.0).abs() < 1e-12);
+    }
+
+    /// Components that fit individually but not simultaneously make a
+    /// monolithic job unstartable — reject it up front instead of
+    /// spinning into the no-progress `unreachable!`.
+    #[test]
+    #[should_panic(expected = "monolithic aggregate exceeds cluster capacity")]
+    fn oversized_monolithic_aggregate_panics() {
+        let sched = Scheduler::new(cluster(), false);
+        sched.run(&[Job {
+            submit: 0,
+            mode: JobMode::Monolithic,
+            components: vec![
+                JobComponent { name: "a".into(), req: ResourceReq::cpu(3), duration: 1 },
+                JobComponent { name: "b".into(), req: ResourceReq::cpu(3), duration: 1 },
+            ],
+        }]);
+    }
+
+    /// The same pair of components is fine as a heterogeneous job (they
+    /// run one after the other).
+    #[test]
+    fn heterogeneous_aggregate_may_exceed_capacity() {
+        let sched = Scheduler::new(cluster(), false);
+        let out = sched.run(&[Job {
+            submit: 0,
+            mode: JobMode::Heterogeneous,
+            components: vec![
+                JobComponent { name: "a".into(), req: ResourceReq::cpu(3), duration: 2 },
+                JobComponent { name: "b".into(), req: ResourceReq::cpu(3), duration: 2 },
+            ],
+        }]);
+        assert_eq!(out.makespan, 4);
     }
 
     #[test]

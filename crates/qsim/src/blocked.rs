@@ -110,22 +110,33 @@ impl BlockedState {
     pub fn apply_1q(&mut self, q: usize, m: &Mat2) -> Result<(), SimError> {
         self.check_qubit(q)?;
         if q < self.chunk_qubits {
-            // chunk-local
-            self.chunks.par_iter_mut().for_each(|chunk| gates::apply_1q(chunk, q, m));
+            // chunk-local: each cache-sized chunk is one coarse work item
+            self.chunks
+                .par_iter_mut()
+                .with_min_len(1)
+                .for_each(|chunk| gates::apply_1q(chunk, q, m));
             self.stats.local_chunk_ops += self.chunks.len() as u64;
         } else {
-            // chunk-pair: groups of 2^(b+1) chunks pair first/second halves
+            // chunk-pair: groups of 2^(b+1) chunks pair first/second halves.
+            // Collect every (lo, hi) pair into one flat list and fan out a
+            // single parallel level over it: the nested shape (par over
+            // groups, then par over pairs inside each) degrades to one
+            // task for the top qubit, where the whole state is one group.
             let b = q - self.chunk_qubits;
             let group = 1usize << (b + 1);
             let half = 1usize << b;
             let chunk_bytes = (self.chunks[0].len() * std::mem::size_of::<C64>()) as u64;
             let pairs = (self.chunks.len() / 2) as u64;
-            self.chunks.par_chunks_mut(group).for_each(|grp| {
+            let mut pair_refs: Vec<(&mut Vec<C64>, &mut Vec<C64>)> =
+                Vec::with_capacity(self.chunks.len() / 2);
+            for grp in self.chunks.chunks_mut(group) {
                 let (lo, hi) = grp.split_at_mut(half);
-                lo.par_iter_mut().zip(hi.par_iter_mut()).for_each(|(a, b)| {
-                    gates::apply_1q_paired(a, b, m);
-                });
-            });
+                pair_refs.extend(lo.iter_mut().zip(hi.iter_mut()));
+            }
+            pair_refs
+                .into_par_iter()
+                .with_min_len(1)
+                .for_each(|(a, b)| gates::apply_1q_paired(a, b, m));
             self.stats.pair_exchanges += pairs;
             self.stats.bytes_exchanged += pairs * 2 * chunk_bytes;
         }
@@ -163,7 +174,7 @@ impl BlockedState {
 
     fn diag(&mut self, f: impl Fn(&mut [C64], u64) + Sync) {
         let cq = self.chunk_qubits;
-        self.chunks.par_iter_mut().enumerate().for_each(|(k, chunk)| {
+        self.chunks.par_iter_mut().with_min_len(1).enumerate().for_each(|(k, chunk)| {
             f(chunk, (k as u64) << cq);
         });
         self.stats.local_chunk_ops += self.chunks.len() as u64;
@@ -171,7 +182,11 @@ impl BlockedState {
 
     /// Squared norm.
     pub fn norm_sqr(&self) -> f64 {
-        self.chunks.par_iter().map(|c| c.iter().map(|a| a.norm_sqr()).sum::<f64>()).sum()
+        self.chunks
+            .par_iter()
+            .with_min_len(1)
+            .map(|c| c.iter().map(|a| a.norm_sqr()).sum::<f64>())
+            .sum()
     }
 
     /// Probability of global basis state `i`.
@@ -186,6 +201,7 @@ impl BlockedState {
         let cq = self.chunk_qubits;
         self.chunks
             .par_iter()
+            .with_min_len(1)
             .enumerate()
             .map(|(k, chunk)| {
                 let base = (k as u64) << cq;

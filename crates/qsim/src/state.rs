@@ -13,8 +13,13 @@ use rayon::prelude::*;
 /// Practical register ceiling for flat storage: 2^30 amplitudes = 16 GiB.
 pub const MAX_QUBITS: usize = 30;
 
-/// Minimum amplitudes per rayon task; below this the split overhead
-/// dominates (2^14 × 16 B = 256 KiB ≈ L2-sized work items).
+/// Amplitudes per parallel task for the gate kernels; 2^14 × 16 B =
+/// 256 KiB ≈ L2-sized work items. Registers at or below this size run
+/// inline (the vendored rayon's fixed split tree never splits below one
+/// chunk, so small states pay no pool overhead). The value is a constant
+/// — never derived from the worker count — which keeps chunk boundaries,
+/// and therefore every floating-point reduction in the suite,
+/// bit-identical at any `RAYON_NUM_THREADS` (DESIGN.md §6).
 const PAR_GRAIN: usize = 1 << 14;
 
 /// A flat `2^n`-amplitude statevector.

@@ -1,190 +1,779 @@
 //! Vendored, API-compatible subset of [`rayon`](https://docs.rs/rayon).
 //!
 //! This build environment has no network route to crates.io, so the
-//! workspace vendors the small slice of the rayon surface the suite
-//! actually uses (`par_iter`, `par_iter_mut`, `into_par_iter`,
-//! `par_chunks`/`par_chunks_mut` plus the adapter chain: `map`, `zip`,
-//! `enumerate`, `cloned`, `filter`, `flat_map`, `for_each`, `sum`,
-//! `reduce`, `collect`).
+//! workspace vendors the slice of the rayon surface the suite actually
+//! uses (`par_iter`, `par_iter_mut`, `into_par_iter` on ranges and
+//! vectors, `par_chunks`/`par_chunks_mut`, plus the adapter chain: `map`,
+//! `zip`, `enumerate`, `cloned`, `filter`, `flat_map`, `for_each`, `sum`,
+//! `count`, `reduce`, `collect`) and `rayon::join`.
 //!
-//! Execution is **sequential**: every parallel iterator delegates to the
-//! equivalent `std` iterator. That keeps semantics identical to rayon for
-//! the deterministic, order-preserving operations used here (rayon's
-//! indexed parallel iterators guarantee the same item order), and on the
-//! single-core containers this repo builds in it is also the fastest
-//! schedule. Swapping the real crate back in requires only deleting this
-//! vendor entry from the workspace manifest — no call site changes.
+//! Unlike the PR-1 shim this executor is **really parallel**: work runs on
+//! a lazily-initialized global pool of `std::thread` workers fed through
+//! the vendored crossbeam channels (see [`pool`]). `RAYON_NUM_THREADS`
+//! controls the worker count exactly as upstream; `1` runs everything
+//! inline on the calling thread.
+//!
+//! # Determinism
+//!
+//! Floating-point `sum`/`reduce` must give bit-identical results at any
+//! thread count, so the execution model is a **fixed split tree**:
+//!
+//! * a parallel iterator is a splittable description of work over a
+//!   source index range;
+//! * every terminal operation splits the source into a power-of-two
+//!   number of contiguous chunks determined *only* by the source length
+//!   and a per-source grain constant — never by the thread count, pool
+//!   state, or load;
+//! * each chunk is folded sequentially left-to-right, and the per-chunk
+//!   partials are combined sequentially in chunk order.
+//!
+//! Where those chunks *execute* (pool workers, the calling thread when
+//! the input is below the grain threshold, or inline on a worker for
+//! nested parallelism) is invisible to the result. This is stricter than
+//! upstream rayon, whose work-stealing join tree makes float reductions
+//! run-to-run nondeterministic; the suite's reproducibility guarantees
+//! (DESIGN.md §6) rely on the stricter contract.
+//!
+//! `enumerate`/`zip` are restricted to index-preserving chains
+//! ([`IndexedParallelIterator`]) exactly as upstream restricts them, so
+//! `filter`/`flat_map` cannot desynchronize indices. `collect` preserves
+//! item order (chunks are concatenated in source order); collecting into
+//! `Result`/`Option` returns the smallest-index error, matching the
+//! sequential short-circuit *result* — but chunks already dispatched run
+//! to completion first (speculative execution, as upstream rayon also
+//! allows), so don't rely on an early error skipping sibling work.
+//!
+//! Swapping the real crate back in requires only deleting this vendor
+//! entry from the workspace manifest — no call-site changes — except for
+//! [`sequential_scope`], a clearly-marked vendor extension used only by
+//! tests and benches.
+
+mod pool;
+
+pub use pool::{join, sequential_scope};
 
 /// The adapter and entry-point traits, mirroring `rayon::prelude`.
 pub mod prelude {
-    pub use crate::{IntoParallelIterator, ParallelIterator, ParallelSlice, ParallelSliceMut};
+    pub use crate::{
+        IndexedParallelIterator, IntoParallelIterator, ParallelIterator, ParallelSlice,
+        ParallelSliceMut,
+    };
 }
 
-/// A "parallel" iterator: a thin newtype over a sequential iterator that
-/// exposes rayon's method names (notably `reduce(identity, op)`, whose
-/// signature differs from `std::iter::Iterator::reduce`).
-pub struct ParallelIterator<I>(I);
+/// Number of threads the global pool executes on (1 = inline only).
+pub fn current_num_threads() -> usize {
+    pool::current_num_threads()
+}
 
-impl<I: Iterator> ParallelIterator<I> {
-    /// Map each item.
-    pub fn map<R, F>(self, f: F) -> ParallelIterator<std::iter::Map<I, F>>
-    where
-        F: FnMut(I::Item) -> R,
-    {
-        ParallelIterator(self.0.map(f))
+/// Default minimum source elements per chunk. Below this a source is not
+/// split at all (inline sequential execution — small inputs never pay
+/// pool overhead). Sources whose elements are themselves large work items
+/// (slice chunks) override [`ParallelIterator::grain`] to 1.
+pub const DEFAULT_GRAIN: usize = 1 << 12;
+
+/// Fixed upper bound on the number of chunks a terminal operation splits
+/// into. A constant (never derived from the thread count) so that chunk
+/// boundaries — and therefore float reduction trees — are identical at
+/// any `RAYON_NUM_THREADS`.
+const MAX_CHUNKS: usize = 128;
+
+/// Power-of-two chunk count for a source of `len` elements: the largest
+/// `c ≤ MAX_CHUNKS` such that every chunk still holds at least `grain`
+/// elements. Depends only on its arguments (determinism).
+fn chunk_count(len: usize, grain: usize) -> usize {
+    let grain = grain.max(1);
+    let mut c = 1usize;
+    while c < MAX_CHUNKS && len / (c * 2) >= grain {
+        c *= 2;
+    }
+    c
+}
+
+/// Recursively halve `p` into exactly `chunks` (a power of two) parts.
+/// Split points depend only on `split_len` and `chunks`.
+fn split_into<P: ParallelIterator>(p: P, chunks: usize, out: &mut Vec<P>) {
+    if chunks <= 1 {
+        out.push(p);
+    } else {
+        let mid = p.split_len() / 2;
+        let (left, right) = p.split_at(mid);
+        split_into(left, chunks / 2, out);
+        split_into(right, chunks / 2, out);
+    }
+}
+
+/// A parallel iterator: a splittable, sendable description of a
+/// computation over a contiguous source index range.
+///
+/// The three required methods make a type splittable; the provided
+/// methods are the rayon adapter/terminal surface. All terminals follow
+/// the fixed-split-tree contract described in the crate docs.
+pub trait ParallelIterator: Sized + Send {
+    /// Item produced by the iterator.
+    type Item: Send;
+    /// The equivalent sequential iterator one part runs.
+    type Seq: Iterator<Item = Self::Item>;
+
+    /// Source length in *split units* (source elements, not necessarily
+    /// output items — `filter`/`flat_map` change the output count but
+    /// split by source index).
+    fn split_len(&self) -> usize;
+
+    /// Split into `[0, index)` and `[index, len)` parts.
+    fn split_at(self, index: usize) -> (Self, Self);
+
+    /// Convert one part into its sequential iterator.
+    fn into_seq(self) -> Self::Seq;
+
+    /// Minimum split units per chunk; see [`DEFAULT_GRAIN`].
+    fn grain(&self) -> usize {
+        DEFAULT_GRAIN
     }
 
-    /// Map each item to an iterator and flatten.
-    pub fn flat_map<U, F>(self, f: F) -> ParallelIterator<std::iter::FlatMap<I, U, F>>
+    // ---------------------------------------------------------- adapters
+
+    /// Map each item. The closure is cloned per chunk, so it must be
+    /// `Clone` (capture by reference or `Copy` data — upstream rayon
+    /// shares `&F` instead, which is the same restriction in practice).
+    fn map<R, F>(self, f: F) -> Map<Self, F>
+    where
+        F: Fn(Self::Item) -> R + Clone + Send + Sync,
+        R: Send,
+    {
+        Map { base: self, f }
+    }
+
+    /// Map each item to an iterator and flatten, preserving order.
+    fn flat_map<U, F>(self, f: F) -> FlatMap<Self, U, F>
     where
         U: IntoIterator,
-        F: FnMut(I::Item) -> U,
+        U::Item: Send,
+        F: Fn(Self::Item) -> U + Clone + Send + Sync,
     {
-        ParallelIterator(self.0.flat_map(f))
+        FlatMap { base: self, f, _marker: std::marker::PhantomData }
     }
 
-    /// Keep items satisfying the predicate.
-    pub fn filter<F>(self, f: F) -> ParallelIterator<std::iter::Filter<I, F>>
+    /// Keep items satisfying the predicate, preserving order.
+    fn filter<F>(self, f: F) -> Filter<Self, F>
     where
-        F: FnMut(&I::Item) -> bool,
+        F: Fn(&Self::Item) -> bool + Clone + Send + Sync,
     {
-        ParallelIterator(self.0.filter(f))
-    }
-
-    /// Pair up with another (parallel) iterator.
-    pub fn zip<J>(self, other: J) -> ParallelIterator<std::iter::Zip<I, J::IntoIter>>
-    where
-        J: IntoIterator,
-    {
-        ParallelIterator(self.0.zip(other))
-    }
-
-    /// Attach the item index.
-    pub fn enumerate(self) -> ParallelIterator<std::iter::Enumerate<I>> {
-        ParallelIterator(self.0.enumerate())
+        Filter { base: self, f }
     }
 
     /// Clone referenced items.
-    pub fn cloned<'a, T>(self) -> ParallelIterator<std::iter::Cloned<I>>
+    fn cloned<'a, T>(self) -> Cloned<Self>
     where
-        I: Iterator<Item = &'a T>,
-        T: Clone + 'a,
+        Self: ParallelIterator<Item = &'a T>,
+        T: Clone + Send + Sync + 'a,
     {
-        ParallelIterator(self.0.cloned())
+        Cloned(self)
     }
+
+    // --------------------------------------------------------- terminals
 
     /// Run `f` on every item.
-    pub fn for_each<F>(self, f: F)
+    fn for_each<F>(self, f: F)
     where
-        F: FnMut(I::Item),
+        F: Fn(Self::Item) + Send + Sync,
     {
-        self.0.for_each(f)
+        pool::execute_ordered(self.into_parts(), |part| part.into_seq().for_each(&f));
     }
 
-    /// Sum the items.
-    pub fn sum<S>(self) -> S
+    /// Sum the items: sequential per-chunk sums combined in chunk order
+    /// (bit-identical at any thread count).
+    fn sum<S>(self) -> S
     where
-        S: std::iter::Sum<I::Item>,
+        S: std::iter::Sum<Self::Item> + std::iter::Sum<S> + Send,
     {
-        self.0.sum()
+        pool::execute_ordered(self.into_parts(), |part| part.into_seq().sum::<S>())
+            .into_iter()
+            .sum()
     }
 
     /// Count the items.
-    pub fn count(self) -> usize {
-        self.0.count()
+    fn count(self) -> usize {
+        pool::execute_ordered(self.into_parts(), |part| part.into_seq().count()).into_iter().sum()
     }
 
-    /// Rayon-style reduce: fold from `identity()` with `op`.
-    pub fn reduce<ID, OP>(self, identity: ID, op: OP) -> I::Item
+    /// Rayon-style reduce: fold each chunk from `identity()`, then fold
+    /// the chunk partials in chunk order from `identity()` again.
+    /// Bit-identical at any thread count; as with upstream, `op` should
+    /// be associative and `identity()` its neutral element.
+    fn reduce<ID, OP>(self, identity: ID, op: OP) -> Self::Item
     where
-        ID: Fn() -> I::Item,
-        OP: Fn(I::Item, I::Item) -> I::Item,
+        ID: Fn() -> Self::Item + Send + Sync,
+        OP: Fn(Self::Item, Self::Item) -> Self::Item + Send + Sync,
     {
-        self.0.fold(identity(), op)
+        pool::execute_ordered(self.into_parts(), |part| part.into_seq().fold(identity(), &op))
+            .into_iter()
+            .fold(identity(), &op)
     }
 
-    /// Collect into any `FromIterator` target (including
-    /// `Result<Vec<_>, E>`, rayon's short-circuiting collect).
-    pub fn collect<C>(self) -> C
+    /// Collect into any `FromIterator` target. Chunks are concatenated in
+    /// source order, so `Vec` collects are order-preserving and
+    /// `Result`/`Option` collects return the smallest-index failure —
+    /// the sequential short-circuit *result*, though all chunks still
+    /// run to completion (speculative execution).
+    fn collect<C>(self) -> C
     where
-        C: FromIterator<I::Item>,
+        C: FromIterator<Self::Item>,
     {
-        self.0.collect()
+        pool::execute_ordered(self.into_parts(), |part| part.into_seq().collect::<Vec<_>>())
+            .into_iter()
+            .flatten()
+            .collect()
+    }
+
+    /// Split into the fixed chunk list every terminal executes over.
+    #[doc(hidden)]
+    fn into_parts(self) -> Vec<Self> {
+        let chunks = chunk_count(self.split_len(), self.grain());
+        let mut parts = Vec::with_capacity(chunks);
+        split_into(self, chunks, &mut parts);
+        parts
     }
 }
 
-impl<I: Iterator> IntoIterator for ParallelIterator<I> {
-    type Item = I::Item;
-    type IntoIter = I;
+/// Marker + adapters for iterators whose split index corresponds 1:1 with
+/// output items (slices, ranges, vecs, and `map`/`cloned`/`enumerate`/
+/// `zip` chains over them — not `filter`/`flat_map`). Mirrors upstream's
+/// `IndexedParallelIterator`, which gates the same adapters.
+pub trait IndexedParallelIterator: ParallelIterator {
+    /// Attach the global item index.
+    fn enumerate(self) -> Enumerate<Self> {
+        Enumerate { base: self, offset: 0 }
+    }
 
-    fn into_iter(self) -> I {
-        self.0
+    /// Pair up with another indexed parallel iterator; both sides split
+    /// at the same indices, so pairs match the sequential zip.
+    fn zip<J>(self, other: J) -> Zip<Self, J>
+    where
+        J: IndexedParallelIterator,
+    {
+        Zip { a: self, b: other }
+    }
+
+    /// Set the minimum number of items per split piece (upstream rayon's
+    /// `with_min_len`). The suite uses `with_min_len(1)` where each item
+    /// is itself a coarse unit of work (a sub-graph solve, a chunk pair)
+    /// so the fixed split tree fans out per item instead of treating the
+    /// short list as "small input". A constant argument keeps chunk
+    /// boundaries — and float reductions — deterministic.
+    fn with_min_len(self, min: usize) -> MinLen<Self> {
+        MinLen { base: self, min: min.max(1) }
     }
 }
 
-/// Entry point mirroring `rayon::iter::IntoParallelIterator`, implemented
-/// for everything that is already sequentially iterable (ranges, vectors,
-/// options, …).
-pub trait IntoParallelIterator: IntoIterator + Sized {
-    /// Convert into a parallel iterator.
-    fn into_par_iter(self) -> ParallelIterator<Self::IntoIter> {
-        ParallelIterator(self.into_iter())
-    }
-}
-
-impl<T: IntoIterator> IntoParallelIterator for T {}
+// ===================================================================
+// Sources
+// ===================================================================
 
 /// Shared-slice entry points (`rayon::slice::ParallelSlice` +
 /// `IntoParallelRefIterator` rolled together).
-pub trait ParallelSlice<T> {
+pub trait ParallelSlice<T: Sync> {
     /// Parallel iterator over references.
-    fn par_iter(&self) -> ParallelIterator<std::slice::Iter<'_, T>>;
-    /// Parallel iterator over `size`-element chunks.
-    fn par_chunks(&self, size: usize) -> ParallelIterator<std::slice::Chunks<'_, T>>;
+    fn par_iter(&self) -> SliceIter<'_, T>;
+    /// Parallel iterator over `size`-element chunks (each chunk is one
+    /// work item, so chunked iterators split down to single chunks).
+    fn par_chunks(&self, size: usize) -> SliceChunks<'_, T>;
 }
 
-impl<T> ParallelSlice<T> for [T] {
-    fn par_iter(&self) -> ParallelIterator<std::slice::Iter<'_, T>> {
-        ParallelIterator(self.iter())
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn par_iter(&self) -> SliceIter<'_, T> {
+        SliceIter { slice: self }
     }
 
-    fn par_chunks(&self, size: usize) -> ParallelIterator<std::slice::Chunks<'_, T>> {
-        ParallelIterator(self.chunks(size))
+    fn par_chunks(&self, size: usize) -> SliceChunks<'_, T> {
+        assert!(size > 0, "chunk size must be non-zero");
+        SliceChunks { slice: self, size }
     }
 }
 
 /// Mutable-slice entry points (`rayon::slice::ParallelSliceMut` +
 /// `IntoParallelRefMutIterator` rolled together).
-pub trait ParallelSliceMut<T> {
+pub trait ParallelSliceMut<T: Send> {
     /// Parallel iterator over mutable references.
-    fn par_iter_mut(&mut self) -> ParallelIterator<std::slice::IterMut<'_, T>>;
+    fn par_iter_mut(&mut self) -> SliceIterMut<'_, T>;
     /// Parallel iterator over mutable `size`-element chunks.
-    fn par_chunks_mut(&mut self, size: usize) -> ParallelIterator<std::slice::ChunksMut<'_, T>>;
+    fn par_chunks_mut(&mut self, size: usize) -> SliceChunksMut<'_, T>;
 }
 
-impl<T> ParallelSliceMut<T> for [T] {
-    fn par_iter_mut(&mut self) -> ParallelIterator<std::slice::IterMut<'_, T>> {
-        ParallelIterator(self.iter_mut())
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_iter_mut(&mut self) -> SliceIterMut<'_, T> {
+        SliceIterMut { slice: self }
     }
 
-    fn par_chunks_mut(&mut self, size: usize) -> ParallelIterator<std::slice::ChunksMut<'_, T>> {
-        ParallelIterator(self.chunks_mut(size))
+    fn par_chunks_mut(&mut self, size: usize) -> SliceChunksMut<'_, T> {
+        assert!(size > 0, "chunk size must be non-zero");
+        SliceChunksMut { slice: self, size }
     }
 }
 
-/// `rayon::join`: run both closures (sequentially here) and return both
-/// results.
-pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+/// Entry point mirroring `rayon::iter::IntoParallelIterator`; implemented
+/// for vectors and integer ranges (the owned sources the suite uses).
+pub trait IntoParallelIterator {
+    /// Resulting parallel iterator.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// Item type.
+    type Item: Send;
+    /// Convert into a parallel iterator.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+/// Parallel iterator over `&[T]`.
+pub struct SliceIter<'a, T> {
+    slice: &'a [T],
+}
+
+impl<'a, T: Sync> ParallelIterator for SliceIter<'a, T> {
+    type Item = &'a T;
+    type Seq = std::slice::Iter<'a, T>;
+
+    fn split_len(&self) -> usize {
+        self.slice.len()
+    }
+
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let (l, r) = self.slice.split_at(index);
+        (SliceIter { slice: l }, SliceIter { slice: r })
+    }
+
+    fn into_seq(self) -> Self::Seq {
+        self.slice.iter()
+    }
+}
+
+impl<T: Sync> IndexedParallelIterator for SliceIter<'_, T> {}
+
+/// Parallel iterator over `&mut [T]`.
+pub struct SliceIterMut<'a, T> {
+    slice: &'a mut [T],
+}
+
+impl<'a, T: Send> ParallelIterator for SliceIterMut<'a, T> {
+    type Item = &'a mut T;
+    type Seq = std::slice::IterMut<'a, T>;
+
+    fn split_len(&self) -> usize {
+        self.slice.len()
+    }
+
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let (l, r) = self.slice.split_at_mut(index);
+        (SliceIterMut { slice: l }, SliceIterMut { slice: r })
+    }
+
+    fn into_seq(self) -> Self::Seq {
+        self.slice.iter_mut()
+    }
+}
+
+impl<T: Send> IndexedParallelIterator for SliceIterMut<'_, T> {}
+
+/// Parallel iterator over `size`-element chunks of `&[T]`.
+pub struct SliceChunks<'a, T> {
+    slice: &'a [T],
+    size: usize,
+}
+
+impl<'a, T: Sync> ParallelIterator for SliceChunks<'a, T> {
+    type Item = &'a [T];
+    type Seq = std::slice::Chunks<'a, T>;
+
+    fn split_len(&self) -> usize {
+        self.slice.len().div_ceil(self.size)
+    }
+
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let (l, r) = self.slice.split_at(index * self.size);
+        (SliceChunks { slice: l, size: self.size }, SliceChunks { slice: r, size: self.size })
+    }
+
+    fn into_seq(self) -> Self::Seq {
+        self.slice.chunks(self.size)
+    }
+
+    fn grain(&self) -> usize {
+        1 // each chunk is one coarse work item
+    }
+}
+
+impl<T: Sync> IndexedParallelIterator for SliceChunks<'_, T> {}
+
+/// Parallel iterator over mutable `size`-element chunks of `&mut [T]`.
+pub struct SliceChunksMut<'a, T> {
+    slice: &'a mut [T],
+    size: usize,
+}
+
+impl<'a, T: Send> ParallelIterator for SliceChunksMut<'a, T> {
+    type Item = &'a mut [T];
+    type Seq = std::slice::ChunksMut<'a, T>;
+
+    fn split_len(&self) -> usize {
+        self.slice.len().div_ceil(self.size)
+    }
+
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let (l, r) = self.slice.split_at_mut(index * self.size);
+        (SliceChunksMut { slice: l, size: self.size }, SliceChunksMut { slice: r, size: self.size })
+    }
+
+    fn into_seq(self) -> Self::Seq {
+        self.slice.chunks_mut(self.size)
+    }
+
+    fn grain(&self) -> usize {
+        1 // each chunk is one coarse work item
+    }
+}
+
+impl<T: Send> IndexedParallelIterator for SliceChunksMut<'_, T> {}
+
+/// Parallel iterator over an integer range.
+pub struct RangeIter<T> {
+    range: std::ops::Range<T>,
+}
+
+macro_rules! range_impl {
+    ($($t:ty),*) => {$(
+        impl ParallelIterator for RangeIter<$t> {
+            type Item = $t;
+            type Seq = std::ops::Range<$t>;
+
+            fn split_len(&self) -> usize {
+                if self.range.end <= self.range.start {
+                    0
+                } else {
+                    (self.range.end - self.range.start) as usize
+                }
+            }
+
+            fn split_at(self, index: usize) -> (Self, Self) {
+                let mid = self.range.start + index as $t;
+                (
+                    RangeIter { range: self.range.start..mid },
+                    RangeIter { range: mid..self.range.end },
+                )
+            }
+
+            fn into_seq(self) -> Self::Seq {
+                self.range
+            }
+        }
+
+        impl IndexedParallelIterator for RangeIter<$t> {}
+
+        impl IntoParallelIterator for std::ops::Range<$t> {
+            type Iter = RangeIter<$t>;
+            type Item = $t;
+
+            fn into_par_iter(self) -> RangeIter<$t> {
+                RangeIter { range: self }
+            }
+        }
+    )*};
+}
+
+range_impl!(u32, u64, usize, i32, i64);
+
+/// Parallel iterator over an owned `Vec<T>`.
+pub struct VecIter<T> {
+    vec: Vec<T>,
+}
+
+impl<T: Send> ParallelIterator for VecIter<T> {
+    type Item = T;
+    type Seq = std::vec::IntoIter<T>;
+
+    fn split_len(&self) -> usize {
+        self.vec.len()
+    }
+
+    fn split_at(mut self, index: usize) -> (Self, Self) {
+        let tail = self.vec.split_off(index);
+        (self, VecIter { vec: tail })
+    }
+
+    fn into_seq(self) -> Self::Seq {
+        self.vec.into_iter()
+    }
+}
+
+impl<T: Send> IndexedParallelIterator for VecIter<T> {}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Iter = VecIter<T>;
+    type Item = T;
+
+    fn into_par_iter(self) -> VecIter<T> {
+        VecIter { vec: self }
+    }
+}
+
+// ===================================================================
+// Adapters
+// ===================================================================
+
+/// See [`ParallelIterator::map`].
+pub struct Map<P, F> {
+    base: P,
+    f: F,
+}
+
+impl<P, R, F> ParallelIterator for Map<P, F>
 where
-    A: FnOnce() -> RA,
-    B: FnOnce() -> RB,
+    P: ParallelIterator,
+    F: Fn(P::Item) -> R + Clone + Send + Sync,
+    R: Send,
 {
-    (a(), b())
+    type Item = R;
+    type Seq = std::iter::Map<P::Seq, F>;
+
+    fn split_len(&self) -> usize {
+        self.base.split_len()
+    }
+
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let (l, r) = self.base.split_at(index);
+        (Map { base: l, f: self.f.clone() }, Map { base: r, f: self.f })
+    }
+
+    fn into_seq(self) -> Self::Seq {
+        self.base.into_seq().map(self.f)
+    }
+
+    fn grain(&self) -> usize {
+        self.base.grain()
+    }
+}
+
+impl<P, R, F> IndexedParallelIterator for Map<P, F>
+where
+    P: IndexedParallelIterator,
+    F: Fn(P::Item) -> R + Clone + Send + Sync,
+    R: Send,
+{
+}
+
+/// See [`ParallelIterator::filter`].
+pub struct Filter<P, F> {
+    base: P,
+    f: F,
+}
+
+impl<P, F> ParallelIterator for Filter<P, F>
+where
+    P: ParallelIterator,
+    F: Fn(&P::Item) -> bool + Clone + Send + Sync,
+{
+    type Item = P::Item;
+    type Seq = std::iter::Filter<P::Seq, F>;
+
+    fn split_len(&self) -> usize {
+        self.base.split_len()
+    }
+
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let (l, r) = self.base.split_at(index);
+        (Filter { base: l, f: self.f.clone() }, Filter { base: r, f: self.f })
+    }
+
+    fn into_seq(self) -> Self::Seq {
+        self.base.into_seq().filter(self.f)
+    }
+
+    fn grain(&self) -> usize {
+        self.base.grain()
+    }
+}
+
+/// See [`ParallelIterator::flat_map`].
+pub struct FlatMap<P, U, F> {
+    base: P,
+    f: F,
+    _marker: std::marker::PhantomData<fn() -> U>,
+}
+
+impl<P, U, F> ParallelIterator for FlatMap<P, U, F>
+where
+    P: ParallelIterator,
+    U: IntoIterator,
+    U::Item: Send,
+    F: Fn(P::Item) -> U + Clone + Send + Sync,
+{
+    type Item = U::Item;
+    type Seq = std::iter::FlatMap<P::Seq, U, F>;
+
+    fn split_len(&self) -> usize {
+        self.base.split_len()
+    }
+
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let (l, r) = self.base.split_at(index);
+        (
+            FlatMap { base: l, f: self.f.clone(), _marker: std::marker::PhantomData },
+            FlatMap { base: r, f: self.f, _marker: std::marker::PhantomData },
+        )
+    }
+
+    fn into_seq(self) -> Self::Seq {
+        self.base.into_seq().flat_map(self.f)
+    }
+
+    fn grain(&self) -> usize {
+        self.base.grain()
+    }
+}
+
+/// See [`ParallelIterator::cloned`].
+pub struct Cloned<P>(P);
+
+impl<'a, T, P> ParallelIterator for Cloned<P>
+where
+    P: ParallelIterator<Item = &'a T>,
+    T: Clone + Send + Sync + 'a,
+{
+    type Item = T;
+    type Seq = std::iter::Cloned<P::Seq>;
+
+    fn split_len(&self) -> usize {
+        self.0.split_len()
+    }
+
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let (l, r) = self.0.split_at(index);
+        (Cloned(l), Cloned(r))
+    }
+
+    fn into_seq(self) -> Self::Seq {
+        self.0.into_seq().cloned()
+    }
+
+    fn grain(&self) -> usize {
+        self.0.grain()
+    }
+}
+
+impl<'a, T, P> IndexedParallelIterator for Cloned<P>
+where
+    P: IndexedParallelIterator<Item = &'a T>,
+    T: Clone + Send + Sync + 'a,
+{
+}
+
+/// See [`IndexedParallelIterator::with_min_len`].
+pub struct MinLen<P> {
+    base: P,
+    min: usize,
+}
+
+impl<P: IndexedParallelIterator> ParallelIterator for MinLen<P> {
+    type Item = P::Item;
+    type Seq = P::Seq;
+
+    fn split_len(&self) -> usize {
+        self.base.split_len()
+    }
+
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let (l, r) = self.base.split_at(index);
+        (MinLen { base: l, min: self.min }, MinLen { base: r, min: self.min })
+    }
+
+    fn into_seq(self) -> Self::Seq {
+        self.base.into_seq()
+    }
+
+    fn grain(&self) -> usize {
+        self.min
+    }
+}
+
+impl<P: IndexedParallelIterator> IndexedParallelIterator for MinLen<P> {}
+
+/// See [`IndexedParallelIterator::enumerate`].
+pub struct Enumerate<P> {
+    base: P,
+    offset: usize,
+}
+
+impl<P: IndexedParallelIterator> ParallelIterator for Enumerate<P> {
+    type Item = (usize, P::Item);
+    type Seq = std::iter::Zip<std::ops::RangeFrom<usize>, P::Seq>;
+
+    fn split_len(&self) -> usize {
+        self.base.split_len()
+    }
+
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let (l, r) = self.base.split_at(index);
+        (
+            Enumerate { base: l, offset: self.offset },
+            Enumerate { base: r, offset: self.offset + index },
+        )
+    }
+
+    fn into_seq(self) -> Self::Seq {
+        (self.offset..).zip(self.base.into_seq())
+    }
+
+    fn grain(&self) -> usize {
+        self.base.grain()
+    }
+}
+
+impl<P: IndexedParallelIterator> IndexedParallelIterator for Enumerate<P> {}
+
+/// See [`IndexedParallelIterator::zip`].
+pub struct Zip<A, B> {
+    a: A,
+    b: B,
+}
+
+impl<A, B> ParallelIterator for Zip<A, B>
+where
+    A: IndexedParallelIterator,
+    B: IndexedParallelIterator,
+{
+    type Item = (A::Item, B::Item);
+    type Seq = std::iter::Zip<A::Seq, B::Seq>;
+
+    fn split_len(&self) -> usize {
+        self.a.split_len().min(self.b.split_len())
+    }
+
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let (al, ar) = self.a.split_at(index);
+        let (bl, br) = self.b.split_at(index);
+        (Zip { a: al, b: bl }, Zip { a: ar, b: br })
+    }
+
+    fn into_seq(self) -> Self::Seq {
+        self.a.into_seq().zip(self.b.into_seq())
+    }
+
+    fn grain(&self) -> usize {
+        self.a.grain().min(self.b.grain())
+    }
+}
+
+impl<A, B> IndexedParallelIterator for Zip<A, B>
+where
+    A: IndexedParallelIterator,
+    B: IndexedParallelIterator,
+{
 }
 
 #[cfg(test)]
 mod tests {
     use super::prelude::*;
+    use std::collections::HashSet;
+    use std::sync::Mutex;
+    use std::thread::ThreadId;
+
+    // -------------------------------------------------- PR-1 suite (kept)
 
     #[test]
     fn map_collect_roundtrip() {
@@ -230,5 +819,151 @@ mod tests {
         let r: Result<Vec<i32>, &str> =
             [1, 2, 3].par_iter().map(|&x| if x == 2 { Err("two") } else { Ok(x) }).collect();
         assert_eq!(r, Err("two"));
+    }
+
+    // ------------------------------------------- real-parallelism suite
+
+    /// Inputs big enough to split into many chunks (default grain is 4096).
+    const BIG: usize = crate::DEFAULT_GRAIN * 32;
+
+    /// True when this process was explicitly pinned to one thread
+    /// (`RAYON_NUM_THREADS=1`, the CI determinism leg) — the
+    /// multi-thread observables below don't exist then.
+    fn pinned_single_threaded() -> bool {
+        crate::current_num_threads() < 2
+    }
+
+    #[test]
+    fn pool_runs_on_multiple_os_threads() {
+        if pinned_single_threaded() {
+            return;
+        }
+        // without the env override the pool defaults to >= 2 workers,
+        // even on single-core hosts
+        let seen: Mutex<HashSet<ThreadId>> = Mutex::new(HashSet::new());
+        (0..BIG as u64).into_par_iter().for_each(|_| {
+            seen.lock().unwrap().insert(std::thread::current().id());
+        });
+        let seen = seen.into_inner().unwrap();
+        assert!(seen.len() >= 2, "expected >= 2 distinct worker threads, saw {}", seen.len());
+        assert!(
+            !seen.contains(&std::thread::current().id()),
+            "chunks run on pool workers, not the caller"
+        );
+    }
+
+    #[test]
+    fn join_runs_second_closure_on_worker() {
+        if pinned_single_threaded() {
+            return;
+        }
+        let here = std::thread::current().id();
+        let (a, b) = crate::join(|| std::thread::current().id(), || std::thread::current().id());
+        assert_eq!(a, here);
+        assert_ne!(b, here, "join offloads `b` to the pool");
+    }
+
+    #[test]
+    fn parallel_collect_preserves_order_at_scale() {
+        let v: Vec<usize> = (0..BIG).into_par_iter().map(|x| x * 3).collect();
+        assert_eq!(v.len(), BIG);
+        assert!(v.iter().enumerate().all(|(i, &x)| x == i * 3));
+    }
+
+    #[test]
+    fn parallel_result_collect_reports_smallest_index_error() {
+        let bad = [BIG / 2, BIG - 7];
+        let r: Result<Vec<usize>, usize> = (0..BIG)
+            .into_par_iter()
+            .map(|x| if bad.contains(&x) { Err(x) } else { Ok(x) })
+            .collect();
+        assert_eq!(r, Err(BIG / 2));
+    }
+
+    #[test]
+    fn join_propagates_panic_from_either_side() {
+        let a = std::panic::catch_unwind(|| crate::join(|| panic!("left boom"), || 1));
+        let payload = a.unwrap_err();
+        assert_eq!(payload.downcast_ref::<&str>(), Some(&"left boom"));
+
+        let b = std::panic::catch_unwind(|| crate::join(|| 1, || panic!("right boom")));
+        let payload = b.unwrap_err();
+        assert_eq!(payload.downcast_ref::<&str>(), Some(&"right boom"));
+    }
+
+    #[test]
+    fn for_each_panic_propagates_after_all_chunks_finish() {
+        let r = std::panic::catch_unwind(|| {
+            (0..BIG).into_par_iter().for_each(|i| {
+                if i == BIG / 3 {
+                    panic!("chunk panic");
+                }
+            });
+        });
+        let payload = r.unwrap_err();
+        assert_eq!(payload.downcast_ref::<&str>(), Some(&"chunk panic"));
+    }
+
+    #[test]
+    fn nested_parallelism_runs_inline_without_deadlock() {
+        let mut rows = vec![vec![1.0f64; 64]; 256];
+        rows.par_iter_mut().for_each(|row| {
+            // nested parallel op on (potentially) a worker thread
+            let s: f64 = row.par_iter().sum();
+            row[0] = s;
+        });
+        assert!(rows.iter().all(|r| (r[0] - 64.0).abs() < 1e-12));
+    }
+
+    #[test]
+    fn float_sum_bit_identical_pooled_vs_sequential_scope() {
+        let data: Vec<f64> = (0..BIG).map(|i| (i as f64).sqrt().sin()).collect();
+        let pooled: f64 = data.par_iter().cloned().sum();
+        let inline: f64 = crate::sequential_scope(|| data.par_iter().cloned().sum());
+        assert_eq!(pooled.to_bits(), inline.to_bits());
+
+        let pooled_red = data.par_iter().cloned().reduce(|| 0.0, |a, b| a + b * 1.000000001);
+        let inline_red = crate::sequential_scope(|| {
+            data.par_iter().cloned().reduce(|| 0.0, |a, b| a + b * 1.000000001)
+        });
+        assert_eq!(pooled_red.to_bits(), inline_red.to_bits());
+    }
+
+    #[test]
+    fn chunk_boundaries_independent_of_thread_count() {
+        // chunk_count depends only on (len, grain) — spot-check the tree
+        assert_eq!(crate::chunk_count(0, 1), 1);
+        assert_eq!(crate::chunk_count(crate::DEFAULT_GRAIN, crate::DEFAULT_GRAIN), 1);
+        assert_eq!(crate::chunk_count(2 * crate::DEFAULT_GRAIN, crate::DEFAULT_GRAIN), 2);
+        assert_eq!(crate::chunk_count(usize::MAX / 2, 1), crate::MAX_CHUNKS);
+        assert!(crate::MAX_CHUNKS.is_power_of_two());
+    }
+
+    #[test]
+    fn small_inputs_run_inline() {
+        // below the grain there is exactly one part — executed on the
+        // calling thread with no pool round-trip
+        let here = std::thread::current().id();
+        let ids: Vec<ThreadId> =
+            (0..16u32).into_par_iter().map(|_| std::thread::current().id()).collect();
+        assert!(ids.iter().all(|&id| id == here));
+    }
+
+    #[test]
+    fn filter_and_flat_map_preserve_order_in_parallel() {
+        let v: Vec<usize> = (0..BIG).into_par_iter().filter(|x| x % 3 == 0).collect();
+        let expect: Vec<usize> = (0..BIG).filter(|x| x % 3 == 0).collect();
+        assert_eq!(v, expect);
+
+        let v: Vec<usize> = (0..1000usize).into_par_iter().flat_map(|x| vec![x, x]).collect();
+        let expect: Vec<usize> = (0..1000usize).flat_map(|x| vec![x, x]).collect();
+        assert_eq!(v, expect);
+    }
+
+    #[test]
+    fn mutations_visible_after_parallel_for_each() {
+        let mut v = vec![0u64; BIG];
+        v.par_iter_mut().enumerate().for_each(|(i, x)| *x = (i as u64).wrapping_mul(2654435761));
+        assert!(v.iter().enumerate().all(|(i, &x)| x == (i as u64).wrapping_mul(2654435761)));
     }
 }

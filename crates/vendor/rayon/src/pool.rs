@@ -1,0 +1,225 @@
+//! The global worker pool and the bridge that runs borrowed work on it.
+//!
+//! Workers are plain `std::thread`s fed through the vendored crossbeam
+//! channels, one queue per worker with round-robin dispatch (no work
+//! stealing — the iterator layer produces uniform chunks, so striping is
+//! already balanced). The pool is lazily initialized on first use and
+//! lives for the whole process.
+//!
+//! Three rules keep this sound and deadlock-free:
+//!
+//! 1. **Callers block until every job they submitted has reported.**
+//!    [`execute_ordered`] transmutes borrowed closures to `'static` before
+//!    queueing them; that is sound only because it never returns (or
+//!    unwinds) before receiving exactly one result per job, so every
+//!    borrow captured by a job outlives the job's execution.
+//! 2. **Workers never wait on the pool.** A parallel operation invoked on
+//!    a worker thread (nested parallelism) runs inline on that worker, so
+//!    a job can always run to completion without needing a free slot —
+//!    no circular waits.
+//! 3. **Panics are ferried, not leaked.** Jobs run under `catch_unwind`
+//!    and report `thread::Result`s; the caller re-raises the first panic
+//!    (in chunk order, for determinism) only after all jobs have
+//!    reported.
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use std::any::Any;
+use std::cell::Cell;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+use std::thread;
+
+/// A queued unit of work. Jobs are erased to `'static`; see the module
+/// docs for why that is sound.
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// The process-wide worker pool. `None` when configured for one thread —
+/// then every operation runs inline on the calling thread.
+struct ThreadPool {
+    queues: Vec<Sender<Job>>,
+    next: AtomicUsize,
+}
+
+static POOL: OnceLock<Option<ThreadPool>> = OnceLock::new();
+
+thread_local! {
+    static IS_WORKER: Cell<bool> = const { Cell::new(false) };
+    static FORCE_SEQUENTIAL: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Worker count from the environment: `RAYON_NUM_THREADS` if set to a
+/// positive integer (upstream's convention; `0` means "default"),
+/// otherwise the available parallelism, floored at 2 so the parallel
+/// code paths are exercised even on single-core CI containers.
+fn configured_threads() -> usize {
+    match std::env::var("RAYON_NUM_THREADS").ok().and_then(|v| v.parse::<usize>().ok()) {
+        Some(n) if n >= 1 => n,
+        _ => thread::available_parallelism().map_or(1, |n| n.get()).max(2),
+    }
+}
+
+fn pool() -> Option<&'static ThreadPool> {
+    POOL.get_or_init(|| {
+        let n = configured_threads();
+        if n <= 1 {
+            return None;
+        }
+        let mut queues = Vec::with_capacity(n);
+        for i in 0..n {
+            let (tx, rx) = unbounded::<Job>();
+            thread::Builder::new()
+                .name(format!("qq-rayon-{i}"))
+                .spawn(move || worker(rx))
+                .expect("failed to spawn rayon worker thread");
+            queues.push(tx);
+        }
+        Some(ThreadPool { queues, next: AtomicUsize::new(0) })
+    })
+    .as_ref()
+}
+
+fn worker(rx: Receiver<Job>) {
+    IS_WORKER.with(|w| w.set(true));
+    // The sender side lives in a `static`, so `recv` only errors at
+    // process teardown.
+    while let Ok(job) = rx.recv() {
+        job(); // every job catches panics internally
+    }
+}
+
+impl ThreadPool {
+    fn submit(&self, job: Job) {
+        let k = self.next.fetch_add(1, Ordering::Relaxed) % self.queues.len();
+        // Send can only fail at process teardown; the job is then dropped,
+        // which is fine because its caller is gone too.
+        let _ = self.queues[k].send(job);
+    }
+}
+
+/// Number of worker threads the pool runs (1 when inline-only).
+pub(crate) fn current_num_threads() -> usize {
+    pool().map_or(1, |p| p.queues.len())
+}
+
+/// True on pool worker threads; nested parallel operations check this and
+/// run inline (rule 2 above).
+pub(crate) fn on_worker_thread() -> bool {
+    IS_WORKER.with(|w| w.get())
+}
+
+fn force_sequential() -> bool {
+    FORCE_SEQUENTIAL.with(|f| f.get())
+}
+
+/// Run `f` with every parallel operation on this thread executing inline.
+///
+/// **Vendor extension, not part of upstream rayon.** Because reductions
+/// use a fixed split tree (see `lib.rs`), results inside the scope are
+/// bit-identical to pooled execution — this exists so tests and benches
+/// can compare the two schedules within one process.
+pub fn sequential_scope<R>(f: impl FnOnce() -> R) -> R {
+    let prev = FORCE_SEQUENTIAL.with(|c| c.replace(true));
+    let out = panic::catch_unwind(AssertUnwindSafe(f));
+    FORCE_SEQUENTIAL.with(|c| c.set(prev));
+    match out {
+        Ok(r) => r,
+        Err(p) => panic::resume_unwind(p),
+    }
+}
+
+/// Run `f` over each part, returning results in part order.
+///
+/// This is the single execution primitive the iterator layer builds on.
+/// The parts and the combine order are fixed by the caller, so the result
+/// is identical whether the parts run pooled, inline, or on a worker.
+pub(crate) fn execute_ordered<P, R, F>(parts: Vec<P>, f: F) -> Vec<R>
+where
+    P: Send,
+    R: Send,
+    F: Fn(P) -> R + Sync,
+{
+    let n = parts.len();
+    let pool = match pool() {
+        Some(p) if n > 1 && !on_worker_thread() && !force_sequential() => p,
+        _ => return parts.into_iter().map(f).collect(),
+    };
+
+    let (tx, rx) = unbounded::<(usize, thread::Result<R>)>();
+    for (idx, part) in parts.into_iter().enumerate() {
+        let job_tx = tx.clone();
+        let f_ref = &f;
+        let job: Box<dyn FnOnce() + Send + '_> = Box::new(move || {
+            let out = panic::catch_unwind(AssertUnwindSafe(|| f_ref(part)));
+            let _ = job_tx.send((idx, out));
+        });
+        // SAFETY: the receive loop below gets exactly one message per job
+        // before this function returns or unwinds, so `f` and the
+        // borrows inside `part` outlive every queued job (rule 1).
+        let job: Job = unsafe { std::mem::transmute(job) };
+        pool.submit(job);
+    }
+    drop(tx);
+
+    let mut slots: Vec<Option<thread::Result<R>>> = (0..n).map(|_| None).collect();
+    for _ in 0..n {
+        let (idx, out) = rx.recv().expect("rayon worker died with jobs outstanding");
+        slots[idx] = Some(out);
+    }
+
+    let mut results = Vec::with_capacity(n);
+    let mut panic_payload: Option<Box<dyn Any + Send>> = None;
+    for slot in slots {
+        match slot.expect("each job reports exactly once") {
+            Ok(r) => results.push(r),
+            Err(p) => {
+                panic_payload.get_or_insert(p);
+            }
+        }
+    }
+    if let Some(p) = panic_payload {
+        panic::resume_unwind(p);
+    }
+    results
+}
+
+/// `rayon::join`: run both closures, potentially in parallel, and return
+/// both results. `b` is offloaded to the pool while `a` runs on the
+/// calling thread; on a worker thread (or a one-thread pool) both run
+/// inline. Panics propagate after **both** closures have finished, `a`'s
+/// first — nothing a closure borrowed is still in use when the caller
+/// unwinds.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    let pool = match pool() {
+        Some(p) if !on_worker_thread() && !force_sequential() => p,
+        _ => {
+            let ra = a();
+            let rb = b();
+            return (ra, rb);
+        }
+    };
+
+    let (tx, rx) = unbounded::<thread::Result<RB>>();
+    let job: Box<dyn FnOnce() + Send + '_> = Box::new(move || {
+        let out = panic::catch_unwind(AssertUnwindSafe(b));
+        let _ = tx.send(out);
+    });
+    // SAFETY: `rx.recv()` below waits for the job before this function
+    // returns or unwinds, so `b`'s borrows outlive its execution.
+    let job: Job = unsafe { std::mem::transmute(job) };
+    pool.submit(job);
+
+    let ra = panic::catch_unwind(AssertUnwindSafe(a));
+    let rb = rx.recv().expect("rayon worker died during join");
+    match (ra, rb) {
+        (Ok(ra), Ok(rb)) => (ra, rb),
+        (Err(p), _) => panic::resume_unwind(p),
+        (_, Err(p)) => panic::resume_unwind(p),
+    }
+}

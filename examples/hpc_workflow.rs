@@ -15,16 +15,12 @@ fn main() {
     // --- Fig. 1: heterogeneous jobs on a 1-QPU cluster ---
     let (mono, het) = fig1_hetjob_scenario(5, 40, 8, Cluster { cpu_nodes: 8, qpus: 1 });
     println!("SLURM-style scheduling of 5 hybrid jobs (classical 40 ticks, quantum 8 ticks):");
-    println!(
-        "  monolithic:    makespan {:>4}, QPU idle {:.1}%",
-        mono.makespan,
-        mono.qpu_idle_fraction() * 100.0
-    );
-    println!(
-        "  heterogeneous: makespan {:>4}, QPU idle {:.1}%",
-        het.makespan,
-        het.qpu_idle_fraction() * 100.0
-    );
+    // the cluster above has one QPU, so an idle fraction always exists
+    let idle_pct = |o: &qq_hpc::scheduler::ScheduleOutcome| {
+        o.qpu_idle_fraction().expect("cluster has a QPU") * 100.0
+    };
+    println!("  monolithic:    makespan {:>4}, QPU idle {:.1}%", mono.makespan, idle_pct(&mono));
+    println!("  heterogeneous: makespan {:>4}, QPU idle {:.1}%", het.makespan, idle_pct(&het));
 
     // --- Fig. 2: coordinator rank distributing sub-graph solves ---
     let g = generators::erdos_renyi(120, 0.12, generators::WeightKind::Uniform, 8);

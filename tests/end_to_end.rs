@@ -109,7 +109,9 @@ fn shots_pipeline_matches_paper_configuration() {
 fn workflow_scheduler_and_coordinator_compose() {
     use qq_hpc::scheduler::{fig1_hetjob_scenario, Cluster};
     let (mono, het) = fig1_hetjob_scenario(4, 30, 6, Cluster { cpu_nodes: 6, qpus: 1 });
-    assert!(het.qpu_idle_fraction() <= mono.qpu_idle_fraction());
+    let mono_idle = mono.qpu_idle_fraction().expect("cluster has a QPU");
+    let het_idle = het.qpu_idle_fraction().expect("cluster has a QPU");
+    assert!(het_idle <= mono_idle);
 
     let tasks: Vec<u64> = (0..24).collect();
     let report = master_worker(3, tasks, |_, &t| t * 2);
