@@ -1,0 +1,97 @@
+//! Abstraction cost of the execution-engine layer.
+//!
+//! PR 3 collapsed the orchestrator's hand-rolled `par_iter` fan-out into
+//! `ExecutionEngine::solve_batch` (routing + timing + dispatch
+//! accounting per batch). This bench holds the new layer to its budget:
+//! on the 60-node ER workload (the `qaoa2` test workload — ~10 coarse
+//! sub-graph solves per batch), `ThreadPoolEngine` must cost **< 5%**
+//! over the pre-refactor direct `par_iter` path it replaced.
+//!
+//! Not a criterion harness so the two paths can share one warmed pool
+//! and the checksum comparison stays explicit. Run with
+//! `cargo bench --bench routing_overhead`.
+
+use qq_core::{solve_with_backend, SubSolver};
+use qq_graph::generators::{self, WeightKind};
+use qq_graph::{extract_subgraphs, partition_with_cap, Subgraph};
+use qq_hpc::{ExecutionEngine, HeterogeneousPool, SolveJob, ThreadPoolEngine};
+use rayon::prelude::*;
+use std::time::Instant;
+
+const BATCHES_PER_REP: usize = 200;
+const REPS: usize = 7;
+
+/// Best-of-`REPS` nanoseconds for `BATCHES_PER_REP` runs of `work`.
+fn best_ns(mut work: impl FnMut() -> f64) -> (u128, f64) {
+    let check = work(); // warm-up (also first-touches the rayon pool)
+    let mut best = u128::MAX;
+    for _ in 0..REPS {
+        let t = Instant::now();
+        for _ in 0..BATCHES_PER_REP {
+            let c = work();
+            assert_eq!(c.to_bits(), check.to_bits(), "nondeterministic batch");
+        }
+        best = best.min(t.elapsed().as_nanos());
+    }
+    (best / BATCHES_PER_REP as u128, check)
+}
+
+fn main() {
+    // the 60-node ER workload: same graph family/cap as the qaoa2 tests
+    let g = generators::erdos_renyi(60, 0.12, WeightKind::Random01, 2);
+    let partition = partition_with_cap(&g, 10);
+    let subgraphs: Vec<Subgraph> = extract_subgraphs(&g, &partition);
+    let backend = SubSolver::LocalSearch.to_backend();
+    println!(
+        "routing_overhead — {} nodes → {} sub-graphs (≤ 10 nodes), local-search backend,",
+        g.num_nodes(),
+        subgraphs.len()
+    );
+    println!("{BATCHES_PER_REP} batches/rep, best of {REPS} reps\n");
+
+    // pre-refactor path: the literal `Parallelism::Threads` arm that
+    // used to live in `qaoa2::solve_level`
+    let direct = || -> f64 {
+        let cuts: Result<Vec<_>, _> = subgraphs
+            .par_iter()
+            .with_min_len(1)
+            .enumerate()
+            .map(|(i, sub)| {
+                solve_with_backend(&sub.graph, backend.as_ref(), i as u64).map(|r| r.value)
+            })
+            .collect();
+        cuts.expect("local search cannot fail").iter().sum()
+    };
+
+    // post-refactor path: the same batch through the engine layer
+    // (routing + per-task timing + dispatch report + utilization replay)
+    let pool = HeterogeneousPool::single(backend.clone());
+    let engine = ThreadPoolEngine;
+    let engined = || -> f64 {
+        let jobs: Vec<SolveJob<'_>> = subgraphs
+            .iter()
+            .enumerate()
+            .map(|(i, sub)| SolveJob { graph: &sub.graph, seed: i as u64 })
+            .collect();
+        let out = engine.solve_batch(&pool, &jobs).expect("local search cannot fail");
+        out.results.iter().map(|r| r.value).sum()
+    };
+
+    let (direct_ns, direct_check) = best_ns(direct);
+    let (engine_ns, engine_check) = best_ns(engined);
+    assert_eq!(
+        direct_check.to_bits(),
+        engine_check.to_bits(),
+        "engine path changed the cuts: {direct_check} vs {engine_check}"
+    );
+
+    let overhead = (engine_ns as f64 - direct_ns as f64) / direct_ns as f64 * 100.0;
+    println!("{:<34} {:>12}", "path", "ns/batch");
+    println!("{:<34} {:>12}", "direct par_iter (pre-refactor)", direct_ns);
+    println!("{:<34} {:>12}", "ThreadPoolEngine::solve_batch", engine_ns);
+    println!("\nabstraction overhead: {overhead:+.2}%  (budget: < 5%)");
+    println!("checksums identical: ok");
+    if overhead >= 5.0 {
+        println!("WARNING: engine overhead exceeds the 5% budget on this host");
+    }
+}

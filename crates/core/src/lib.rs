@@ -31,16 +31,24 @@
 pub mod merge;
 pub mod qaoa2;
 pub mod registry;
+pub mod sharded;
 pub mod solvers;
 
 pub use merge::{apply_flips, build_merge_graph};
 pub use qaoa2::{solve, LevelStats, Parallelism, Qaoa2Config, Qaoa2Result};
 pub use registry::{SolverFactory, SolverRegistry};
+pub use sharded::{ShardedConfig, ShardedSolver};
 pub use solvers::{solve_subgraph, solve_with_backend, SharedSolver, SubSolver};
 
 // the backend interface, re-exported so orchestrator users need only this
 // crate to implement or consume solvers
 pub use qq_graph::{BestOf, BoxedSolver, MaxCutSolver, SolverCaps, SolverError};
+// the execution layer, re-exported for the same reason: configuring a
+// heterogeneous run needs the pool/engine/report types
+pub use qq_hpc::{
+    BatchOutcome, ClusterEngine, EngineReport, ExecutionEngine, HeterogeneousPool, InlineEngine,
+    SolveJob, ThreadPoolEngine, WorkerClass,
+};
 
 /// Errors from the QAOA² driver.
 #[derive(Debug)]

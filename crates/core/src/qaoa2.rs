@@ -1,13 +1,24 @@
-//! The QAOA² driver: divide → solve (in parallel) → merge → recurse.
+//! The QAOA² driver: divide → solve (through the execution engine) →
+//! merge → recurse.
+//!
+//! Every sub-graph solve — including the base case where the whole graph
+//! fits on the device — flows through
+//! [`qq_hpc::ExecutionEngine::solve_batch`]: [`Parallelism`] is only a
+//! configuration enum that picks which engine to build, and
+//! [`SubSolver::to_pool`] turns the per-level solver configuration into
+//! the (possibly heterogeneous) backend pool the engine routes over.
 
 use crate::merge::{apply_flips, build_merge_graph};
-use crate::solvers::{solve_with_backend, SubSolver};
+use crate::solvers::SubSolver;
 use crate::Qaoa2Error;
-use qq_graph::{extract_subgraphs, partition_with_cap, Cut, Graph, MaxCutSolver};
-use rayon::prelude::*;
+use qq_graph::{extract_subgraphs, partition_with_cap, Cut, Graph};
+use qq_hpc::{
+    ClusterEngine, EngineReport, ExecutionEngine, InlineEngine, SolveJob, ThreadPoolEngine,
+};
 use std::time::{Duration, Instant};
 
-/// How sub-graph solves are executed.
+/// How sub-graph solves are executed. A thin configuration enum: each
+/// variant builds one [`ExecutionEngine`] via [`Parallelism::to_engine`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Parallelism {
     /// One after another (reference behaviour, deterministic timing).
@@ -17,6 +28,23 @@ pub enum Parallelism {
     /// Through the `qq-hpc` coordinator/worker workflow (Fig. 2): a
     /// dedicated coordinator rank plus this many workers.
     Cluster(usize),
+}
+
+impl Parallelism {
+    /// Build the execution engine this configuration describes.
+    ///
+    /// Errors on `Cluster(0)` (a cluster needs at least one worker); the
+    /// same check `solve` applies up front.
+    pub fn to_engine(&self) -> Result<Box<dyn ExecutionEngine>, Qaoa2Error> {
+        match *self {
+            Parallelism::Sequential => Ok(Box::new(InlineEngine)),
+            Parallelism::Threads => Ok(Box::new(ThreadPoolEngine)),
+            Parallelism::Cluster(0) => {
+                Err(Qaoa2Error::InvalidConfig("cluster mode needs ≥ 1 worker".into()))
+            }
+            Parallelism::Cluster(workers) => Ok(Box::new(ClusterEngine::new(workers))),
+        }
+    }
 }
 
 /// QAOA² configuration.
@@ -73,6 +101,10 @@ pub struct Qaoa2Result {
     pub cut_value: f64,
     /// Per-level statistics, first partitioning first.
     pub levels: Vec<LevelStats>,
+    /// One engine dispatch report per `solve_batch` call: index `i <
+    /// levels.len()` pairs with `levels[i]`, and the final entry is the
+    /// base-case solve of the deepest coarse graph.
+    pub engine_reports: Vec<EngineReport>,
     /// Total sub-graphs solved across all levels.
     pub total_subgraphs: usize,
     /// Wall-clock of the whole solve.
@@ -84,35 +116,57 @@ pub fn solve(g: &Graph, cfg: &Qaoa2Config) -> Result<Qaoa2Result, Qaoa2Error> {
     if cfg.max_qubits < 2 {
         return Err(Qaoa2Error::InvalidConfig("max_qubits must be ≥ 2".into()));
     }
-    if let Parallelism::Cluster(0) = cfg.parallelism {
-        return Err(Qaoa2Error::InvalidConfig("cluster mode needs ≥ 1 worker".into()));
-    }
+    cfg.solver.validate()?;
+    cfg.coarse_solver.validate()?;
+    // one engine for the whole solve; levels share it
+    let engine = cfg.parallelism.to_engine()?;
     let started = Instant::now();
     let mut levels = Vec::new();
+    let mut engine_reports = Vec::new();
     let mut total_subgraphs = 0usize;
-    let cut = solve_level(g, cfg, 0, &mut levels, &mut total_subgraphs)?;
+    let cut = solve_level(
+        g,
+        cfg,
+        engine.as_ref(),
+        0,
+        &mut levels,
+        &mut engine_reports,
+        &mut total_subgraphs,
+    )?;
     let cut_value = cut.value(g);
-    Ok(Qaoa2Result { cut, cut_value, levels, total_subgraphs, wall: started.elapsed() })
+    Ok(Qaoa2Result {
+        cut,
+        cut_value,
+        levels,
+        engine_reports,
+        total_subgraphs,
+        wall: started.elapsed(),
+    })
 }
 
 fn solve_level(
     g: &Graph,
     cfg: &Qaoa2Config,
+    engine: &dyn ExecutionEngine,
     depth: usize,
     levels: &mut Vec<LevelStats>,
+    engine_reports: &mut Vec<EngineReport>,
     total_subgraphs: &mut usize,
 ) -> Result<Cut, Qaoa2Error> {
     let config = if depth == 0 { &cfg.solver } else { &cfg.coarse_solver };
-    // Build the backend once per level; it is shared (read-only) across
-    // every sub-graph solve of the level, including the threaded and
-    // cluster execution modes.
-    let backend = config.to_backend();
-    let backend: &dyn MaxCutSolver = backend.as_ref();
+    // Build the backend pool once per level; it is shared (read-only)
+    // across every sub-graph solve of the level on any engine.
+    let pool = config.to_pool();
 
-    // Base case: the whole graph fits on the device.
+    // Base case: the whole graph fits on the device. Still a (one-job)
+    // engine batch, so capability routing, classical fallback, and
+    // dispatch accounting apply uniformly.
     if g.num_nodes() <= cfg.max_qubits {
         *total_subgraphs += 1;
-        return solve_with_backend(g, backend, mix_seed(cfg.seed, depth as u64, 0)).map(|r| r.cut);
+        let jobs = [SolveJob { graph: g, seed: mix_seed(cfg.seed, depth as u64, 0) }];
+        let mut out = engine.solve_batch(&pool, &jobs)?;
+        engine_reports.push(out.report);
+        return Ok(out.results.pop().expect("one job in, one result out").cut);
     }
 
     // Divide. Modularity can refuse to group nodes (e.g. coarse graphs
@@ -128,54 +182,22 @@ fn solve_level(
     let max_subgraph = subgraphs.iter().map(|s| s.num_nodes()).max().unwrap_or(0);
     *total_subgraphs += num_subgraphs;
 
-    // Solve all sub-graphs.
-    let t0 = Instant::now();
-    let local_cuts: Vec<Cut> = match cfg.parallelism {
-        Parallelism::Sequential => {
-            let mut out = Vec::with_capacity(num_subgraphs);
-            for (i, sub) in subgraphs.iter().enumerate() {
-                out.push(
-                    solve_with_backend(
-                        &sub.graph,
-                        backend,
-                        mix_seed(cfg.seed, depth as u64, i as u64),
-                    )?
-                    .cut,
-                );
-            }
-            out
-        }
-        Parallelism::Threads => {
-            // each sub-graph is a full QAOA solve: fan out per item
-            let results: Result<Vec<Cut>, Qaoa2Error> = subgraphs
-                .par_iter()
-                .with_min_len(1)
-                .enumerate()
-                .map(|(i, sub)| {
-                    solve_with_backend(
-                        &sub.graph,
-                        backend,
-                        mix_seed(cfg.seed, depth as u64, i as u64),
-                    )
-                    .map(|r| r.cut)
-                })
-                .collect();
-            results?
-        }
-        Parallelism::Cluster(workers) => {
-            let tasks: Vec<usize> = (0..num_subgraphs).collect();
-            let report = qq_hpc::master_worker(workers, tasks, |i, &task| {
-                solve_with_backend(
-                    &subgraphs[task].graph,
-                    backend,
-                    mix_seed(cfg.seed, depth as u64, i as u64),
-                )
-                .map(|r| r.cut)
-            });
-            report.results.into_iter().collect::<Result<Vec<Cut>, Qaoa2Error>>()?
-        }
-    };
-    let solve_wall = t0.elapsed();
+    // Solve all sub-graphs through the engine, seeded by (level, index)
+    // exactly as the sequential reference would.
+    let jobs: Vec<SolveJob<'_>> = subgraphs
+        .iter()
+        .enumerate()
+        .map(|(i, sub)| SolveJob {
+            graph: &sub.graph,
+            seed: mix_seed(cfg.seed, depth as u64, i as u64),
+        })
+        .collect();
+    let out = engine.solve_batch(&pool, &jobs)?;
+    // the engine's own measurement: routing + solves, report assembly
+    // excluded — the pre-refactor meaning of "time spent solving"
+    let solve_wall = out.report.batch_wall;
+    let local_cuts: Vec<Cut> = out.results.into_iter().map(|r| r.cut).collect();
+    engine_reports.push(out.report);
 
     // Merge.
     let coarse = build_merge_graph(g, &partition, &local_cuts);
@@ -190,7 +212,8 @@ fn solve_level(
     // Recurse on the coarse graph (it has `num_subgraphs` nodes, which is
     // strictly smaller than `g` because every community holds ≥ 1 node and
     // at least one holds ≥ 2 when the graph exceeds the budget).
-    let coarse_cut = solve_level(&coarse, cfg, depth + 1, levels, total_subgraphs)?;
+    let coarse_cut =
+        solve_level(&coarse, cfg, engine, depth + 1, levels, engine_reports, total_subgraphs)?;
     Ok(apply_flips(g, &partition, &local_cuts, &coarse_cut))
 }
 
@@ -310,6 +333,26 @@ mod tests {
         let mut cfg = fast_cfg(4);
         cfg.parallelism = Parallelism::Cluster(0);
         assert!(solve(&g, &cfg).is_err());
+        let mut cfg = fast_cfg(4);
+        cfg.coarse_solver = SubSolver::Pool(vec![]);
+        assert!(solve(&g, &cfg).is_err(), "empty pools are config errors, not panics");
+    }
+
+    #[test]
+    fn engine_reports_pair_with_levels() {
+        let g = generators::erdos_renyi(60, 0.12, WeightKind::Uniform, 2);
+        let res = solve(&g, &fast_cfg(10)).unwrap();
+        // one report per divide level plus the final base-case solve
+        assert_eq!(res.engine_reports.len(), res.levels.len() + 1);
+        for (report, level) in res.engine_reports.iter().zip(&res.levels) {
+            assert_eq!(report.engine, "inline");
+            assert_eq!(
+                report.quantum.tasks + report.classical.tasks,
+                level.num_subgraphs,
+                "every sub-graph dispatched exactly once"
+            );
+        }
+        assert_eq!(res.engine_reports.last().unwrap().classical.tasks, 1);
     }
 
     #[test]

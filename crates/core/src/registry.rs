@@ -3,9 +3,10 @@
 //! Maps stable string labels (`"qaoa"`, `"gw"`, `"local-search"`, …) to
 //! factories producing [`MaxCutSolver`] instances. The bench bins and the
 //! umbrella examples use it for CLI-style backend selection; downstream
-//! crates use [`SolverRegistry::register`] to add their own backends —
-//! e.g. a future sharded or distributed solver — without editing any
-//! dispatch code in this crate.
+//! crates use [`SolverRegistry::register`] to add their own backends
+//! without editing any dispatch code in this crate — exactly how the
+//! built-in `"sharded"` backend ([`crate::sharded::ShardedSolver`])
+//! plugs in.
 
 use std::collections::BTreeMap;
 
@@ -34,10 +35,12 @@ impl SolverRegistry {
 
     /// A registry pre-loaded with every built-in backend under its
     /// default configuration: `annealing`, `exact`, `gw`, `local-search`,
-    /// `qaoa`, `random`, plus the hybrid `best` (QAOA ∨ GW) and the
-    /// paper's `qaoa-grid` and `rqaoa`.
+    /// `qaoa`, `random`, plus the hybrid `best` (QAOA ∨ GW), the paper's
+    /// `qaoa-grid` and `rqaoa`, and the divide-and-conquer `sharded`
+    /// backend (unbounded instance sizes via the execution engine).
     pub fn with_default_backends() -> Self {
         let mut r = SolverRegistry::empty();
+        r.register("sharded", || Box::new(crate::sharded::ShardedSolver::default()));
         for config in [
             SubSolver::Qaoa(qq_qaoa::QaoaConfig::default()),
             SubSolver::QaoaGrid {
@@ -137,10 +140,24 @@ mod tests {
                 "qaoa",
                 "qaoa-grid",
                 "random",
-                "rqaoa"
+                "rqaoa",
+                "sharded"
             ]
         );
-        assert_eq!(r.len(), 9);
+        assert_eq!(r.len(), 10);
+    }
+
+    #[test]
+    fn sharded_backend_resolves_and_scales_past_member_caps() {
+        let r = SolverRegistry::with_default_backends();
+        let sharded = r.create("sharded").expect("registered by default");
+        assert_eq!(sharded.label(), "sharded");
+        assert_eq!(sharded.capabilities().max_nodes, None);
+        // far beyond the default 12-node shard cap
+        let g = generators::erdos_renyi(64, 0.1, WeightKind::Uniform, 4);
+        let res = r.solve("sharded", &g, 1).unwrap();
+        assert_eq!(res.cut.len(), 64);
+        assert!(res.value > 0.0);
     }
 
     #[test]

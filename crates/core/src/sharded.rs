@@ -1,0 +1,159 @@
+//! A sharded [`MaxCutSolver`] backend: the registry's open-dispatch
+//! consumer.
+//!
+//! `ShardedSolver` wraps the divide/solve/merge pipeline *as a backend*:
+//! partition the instance at a shard cap, route every shard through the
+//! capability-routed execution engine, merge via
+//! [`crate::merge::build_merge_graph`]/[`crate::merge::apply_flips`],
+//! and recurse on the coarse graph. That makes an unbounded solver out
+//! of bounded ones — so it can be registered in the
+//! [`crate::SolverRegistry`] (label `"sharded"`), nested inside other
+//! composites ([`qq_graph::BestOf`], [`crate::SubSolver::Pool`]), or
+//! handed to any orchestrator that only speaks [`MaxCutSolver`].
+
+use crate::qaoa2::{solve, Parallelism, Qaoa2Config};
+use crate::solvers::SubSolver;
+use crate::Qaoa2Error;
+use qq_graph::{CutResult, Graph, MaxCutSolver, SolverCaps, SolverError};
+
+/// Configuration of a [`ShardedSolver`].
+#[derive(Debug, Clone)]
+pub struct ShardedConfig {
+    /// Shard-size cap: no shard exceeds this many nodes (≥ 2).
+    pub shard_cap: usize,
+    /// Backend (or backend pool) for first-level shards.
+    pub solver: SubSolver,
+    /// Backend for coarse (merge-level) graphs.
+    pub coarse_solver: SubSolver,
+    /// Execution engine the shards run on.
+    pub parallelism: Parallelism,
+}
+
+impl Default for ShardedConfig {
+    fn default() -> Self {
+        // classical defaults keep the registry entry cheap and
+        // deterministic; callers wanting quantum shards configure
+        // `solver` (possibly as a `SubSolver::Pool`)
+        ShardedConfig {
+            shard_cap: 12,
+            solver: SubSolver::LocalSearch,
+            coarse_solver: SubSolver::LocalSearch,
+            parallelism: Parallelism::Sequential,
+        }
+    }
+}
+
+/// Divide-and-conquer as a backend (see module docs).
+#[derive(Debug, Clone, Default)]
+pub struct ShardedSolver {
+    /// Shard pipeline configuration.
+    pub config: ShardedConfig,
+}
+
+impl ShardedSolver {
+    /// Sharded solver over `config`.
+    pub fn new(config: ShardedConfig) -> Self {
+        ShardedSolver { config }
+    }
+}
+
+impl MaxCutSolver for ShardedSolver {
+    fn label(&self) -> &str {
+        "sharded"
+    }
+
+    fn solve(&self, g: &Graph, seed: u64) -> Result<CutResult, SolverError> {
+        let cfg = Qaoa2Config {
+            max_qubits: self.config.shard_cap,
+            solver: self.config.solver.clone(),
+            coarse_solver: self.config.coarse_solver.clone(),
+            parallelism: self.config.parallelism,
+            seed,
+        };
+        let res = solve(g, &cfg)?;
+        Ok(CutResult { cut: res.cut, value: res.cut_value })
+    }
+
+    fn capabilities(&self) -> SolverCaps {
+        // an invalid member configuration (e.g. an empty pool) must not
+        // panic here: admit nothing and let solve() report the error
+        if self.config.solver.validate().is_err() || self.config.coarse_solver.validate().is_err() {
+            return SolverCaps { max_nodes: Some(0), ..SolverCaps::default() };
+        }
+        // sharding exists to lift member size caps: the composite is
+        // unbounded, quantum/deterministic as its members compose
+        let solver_caps = self.config.solver.to_pool().capabilities();
+        let coarse_caps = self.config.coarse_solver.to_pool().capabilities();
+        SolverCaps {
+            max_nodes: None,
+            deterministic: solver_caps.deterministic && coarse_caps.deterministic,
+            quantum: solver_caps.quantum || coarse_caps.quantum,
+        }
+    }
+}
+
+impl From<Qaoa2Error> for SolverError {
+    fn from(e: Qaoa2Error) -> Self {
+        match e {
+            Qaoa2Error::InvalidConfig(m) => SolverError::InvalidConfig(m),
+            Qaoa2Error::Solver(m) => SolverError::Backend(m),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qq_graph::generators::{self, WeightKind};
+
+    #[test]
+    fn sharded_solves_far_beyond_the_shard_cap() {
+        let g = generators::erdos_renyi(70, 0.1, WeightKind::Uniform, 3);
+        let solver = ShardedSolver::default();
+        assert_eq!(solver.capabilities().max_nodes, None);
+        let r = solver.solve(&g, 5).unwrap();
+        assert_eq!(r.cut.len(), 70);
+        assert!((r.cut.value(&g) - r.value).abs() < 1e-9);
+        assert!(r.value >= g.total_weight() / 2.0 * 0.9);
+    }
+
+    #[test]
+    fn sharded_is_deterministic_per_seed() {
+        let g = generators::erdos_renyi(50, 0.15, WeightKind::Random01, 8);
+        let solver = ShardedSolver::default();
+        assert!(solver.capabilities().deterministic);
+        let a = solver.solve(&g, 11).unwrap();
+        let b = solver.solve(&g, 11).unwrap();
+        assert_eq!(a.cut, b.cut);
+    }
+
+    #[test]
+    fn sharded_with_heterogeneous_pool_members() {
+        // shards routed through a pool: quantum-capped exact + classical
+        let cfg = ShardedConfig {
+            shard_cap: 10,
+            solver: SubSolver::Pool(vec![SubSolver::Exact, SubSolver::LocalSearch]),
+            ..ShardedConfig::default()
+        };
+        let g = generators::erdos_renyi(40, 0.15, WeightKind::Uniform, 6);
+        let r = ShardedSolver::new(cfg).solve(&g, 2).unwrap();
+        assert_eq!(r.cut.len(), 40);
+    }
+
+    #[test]
+    fn invalid_shard_cap_is_a_config_error() {
+        let cfg = ShardedConfig { shard_cap: 1, ..ShardedConfig::default() };
+        let g = generators::ring(8);
+        assert!(matches!(ShardedSolver::new(cfg).solve(&g, 0), Err(SolverError::InvalidConfig(_))));
+    }
+
+    #[test]
+    fn empty_pool_member_is_an_error_not_a_panic() {
+        let cfg = ShardedConfig { solver: SubSolver::Pool(vec![]), ..ShardedConfig::default() };
+        let solver = ShardedSolver::new(cfg);
+        // capabilities must not panic; an unconfigurable solver admits nothing
+        assert_eq!(solver.capabilities().max_nodes, Some(0));
+        let g = generators::ring(8);
+        assert!(matches!(solver.solve(&g, 0), Err(SolverError::InvalidConfig(_))));
+    }
+}

@@ -15,6 +15,7 @@ use qq_classical::annealing::AnnealingSchedule;
 use qq_classical::{AnnealingSolver, CutResult, ExactSolver, LocalSearchSolver, RandomSolver};
 use qq_graph::{BestOf, BoxedSolver, Cut, Graph, MaxCutSolver, SolverError};
 use qq_gw::{GwConfig, GwSolver};
+use qq_hpc::HeterogeneousPool;
 use qq_qaoa::{QaoaConfig, QaoaGridSolver, QaoaSolver, RqaoaSolver};
 
 /// A dynamically supplied backend (the escape hatch for solvers defined
@@ -68,6 +69,14 @@ pub enum SubSolver {
     /// backend layer. Build one with [`SubSolver::custom`] or via the
     /// `From` impls for boxed/arc'd trait objects.
     Custom(SharedSolver),
+    /// A heterogeneous backend set routed by capability (Fig. 2's mixed
+    /// quantum/classical worker pool): quantum members take every
+    /// instance their caps admit, everything else degrades to the
+    /// classical members. The orchestrator hands the members to the
+    /// execution engine individually ([`SubSolver::to_pool`]); as a
+    /// plain backend ([`SubSolver::to_backend`]) the set routes one
+    /// instance at a time.
+    Pool(Vec<SubSolver>),
 }
 
 impl std::fmt::Debug for SubSolver {
@@ -92,6 +101,7 @@ impl std::fmt::Debug for SubSolver {
             SubSolver::Rqaoa(cfg) => f.debug_tuple("Rqaoa").field(cfg).finish(),
             SubSolver::Exact => f.write_str("Exact"),
             SubSolver::Custom(s) => f.debug_tuple("Custom").field(&s.label()).finish(),
+            SubSolver::Pool(members) => f.debug_tuple("Pool").field(members).finish(),
         }
     }
 }
@@ -111,7 +121,26 @@ impl SubSolver {
             SubSolver::Rqaoa(_) => "rqaoa",
             SubSolver::Exact => "exact",
             SubSolver::Custom(s) => s.label(),
+            SubSolver::Pool(_) => "pool",
         }
+    }
+
+    /// Reject configurations that cannot build a backend (today: empty
+    /// pools, at any nesting depth). Called by `qq_core::solve` before
+    /// any backend is constructed so the failure is a config error, not
+    /// a panic.
+    pub fn validate(&self) -> Result<(), crate::Qaoa2Error> {
+        if let SubSolver::Pool(members) = self {
+            if members.is_empty() {
+                return Err(crate::Qaoa2Error::InvalidConfig(
+                    "solver pool needs at least one member".into(),
+                ));
+            }
+            for m in members {
+                m.validate()?;
+            }
+        }
+        Ok(())
     }
 
     /// Wrap an externally defined backend.
@@ -144,6 +173,43 @@ impl SubSolver {
             SubSolver::Rqaoa(cfg) => Arc::new(RqaoaSolver { config: cfg.clone() }),
             SubSolver::Exact => Arc::new(ExactSolver),
             SubSolver::Custom(solver) => Arc::clone(solver),
+            SubSolver::Pool(_) => Arc::new(self.to_pool()),
+        }
+    }
+
+    /// Construct the backend *pool* this configuration describes — what
+    /// the QAOA² orchestrator hands to the execution engine per level.
+    ///
+    /// [`SubSolver::Pool`] exposes its members individually so the
+    /// engine can route each sub-graph by capability; every other
+    /// variant is a single-member pool. Nested pools are **flattened**
+    /// (depth-first, preserving order): routing quantum-first over the
+    /// leaves picks the same backend a nested pool would, and the
+    /// engine's per-class accounting then sees the real quantum/classical
+    /// split instead of one opaque "quantum" composite.
+    ///
+    /// Panics on an empty [`SubSolver::Pool`] (a pool needs a member);
+    /// call [`SubSolver::validate`] first to surface that as a config
+    /// error instead — every orchestrator entry point does.
+    pub fn to_pool(&self) -> HeterogeneousPool {
+        match self {
+            SubSolver::Pool(_) => {
+                let mut members = Vec::new();
+                self.collect_pool_members(&mut members);
+                HeterogeneousPool::new(members)
+            }
+            other => HeterogeneousPool::single(other.to_backend()),
+        }
+    }
+
+    fn collect_pool_members(&self, out: &mut Vec<SharedSolver>) {
+        match self {
+            SubSolver::Pool(members) => {
+                for m in members {
+                    m.collect_pool_members(out);
+                }
+            }
+            other => out.push(other.to_backend()),
         }
     }
 }
@@ -195,6 +261,7 @@ pub fn solve_subgraph(
     solver: &SubSolver,
     seed: u64,
 ) -> Result<CutResult, crate::Qaoa2Error> {
+    solver.validate()?;
     solve_with_backend(g, solver.to_backend().as_ref(), seed)
 }
 
@@ -363,5 +430,36 @@ mod tests {
         let g = generators::erdos_renyi(70, 0.05, WeightKind::Uniform, 2);
         let r = solve_subgraph(&g, &SubSolver::custom(EveryOther), 0);
         assert!(matches!(r, Err(crate::Qaoa2Error::Solver(_))), "{r:?}");
+    }
+
+    #[test]
+    fn nested_pools_flatten_to_their_leaves() {
+        // a pool inside a pool must expose its leaf members to the
+        // engine, or per-class accounting would book the whole inner
+        // composite as one quantum backend
+        let nested = SubSolver::Pool(vec![
+            SubSolver::Pool(vec![SubSolver::Exact, SubSolver::LocalSearch]),
+            SubSolver::Random { trials: 2 },
+        ]);
+        let pool = nested.to_pool();
+        let labels: Vec<&str> = pool.members().iter().map(|m| m.label()).collect();
+        assert_eq!(labels, vec!["exact", "local-search", "random"]);
+        // flattening does not change what a single-instance solve picks
+        let g = small_graph(9);
+        let flat_cut = pool.solve(&g, 3).unwrap();
+        let nested_cut = nested.to_backend().solve(&g, 3).unwrap();
+        assert_eq!(flat_cut.cut, nested_cut.cut);
+    }
+
+    #[test]
+    fn empty_pool_rejected_before_backend_construction() {
+        // solve_subgraph validates, so the empty pool is a config error
+        // rather than the HeterogeneousPool constructor panic
+        let g = small_graph(1);
+        let r = solve_subgraph(&g, &SubSolver::Pool(vec![]), 0);
+        assert!(matches!(r, Err(crate::Qaoa2Error::InvalidConfig(_))), "{r:?}");
+        // nested inside a non-empty pool too
+        let nested = SubSolver::Pool(vec![SubSolver::LocalSearch, SubSolver::Pool(vec![])]);
+        assert!(solve_subgraph(&g, &nested, 0).is_err());
     }
 }

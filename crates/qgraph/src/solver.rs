@@ -87,6 +87,28 @@ impl Default for SolverCaps {
     }
 }
 
+impl SolverCaps {
+    /// Compose the envelope of a *degrading* composite — one that skips
+    /// members incapable of an instance rather than failing (the
+    /// [`BestOf`] combinator, heterogeneous pools): as capable as the
+    /// most capable member (`None` once any member is unbounded),
+    /// quantum if any member is, deterministic only when all are.
+    pub fn union_of(members: impl IntoIterator<Item = SolverCaps>) -> SolverCaps {
+        let mut max_nodes = Some(0usize);
+        let mut deterministic = true;
+        let mut quantum = false;
+        for caps in members {
+            max_nodes = match (max_nodes, caps.max_nodes) {
+                (Some(a), Some(b)) => Some(a.max(b)),
+                _ => None,
+            };
+            deterministic &= caps.deterministic;
+            quantum |= caps.quantum;
+        }
+        SolverCaps { max_nodes, deterministic, quantum }
+    }
+}
+
 /// A MaxCut solver backend.
 ///
 /// `Send + Sync` is required so orchestrators can share one backend
@@ -162,8 +184,10 @@ impl MaxCutSolver for std::sync::Arc<dyn MaxCutSolver> {
     }
 }
 
-/// Combinator: run every inner backend, keep the best cut — the hybrid
-/// run-time quantum/classical decision the paper's "Best" series makes.
+/// Combinator: run every inner backend that admits the instance, keep
+/// the best cut — the hybrid run-time quantum/classical decision the
+/// paper's "Best" series makes. Incapable members are skipped, not
+/// fatal; see [`MaxCutSolver::solve`] on this type.
 pub struct BestOf {
     label: String,
     inner: Vec<BoxedSolver>,
@@ -187,26 +211,31 @@ impl MaxCutSolver for BestOf {
         &self.label
     }
 
+    /// Run every *capable* inner backend and keep the best cut. Members
+    /// whose [`MaxCutSolver::check_instance`] rejects the graph are
+    /// skipped — the run-time hybrid decision degrades to the remaining
+    /// members (e.g. QAOA caps out, GW takes over) — and only when every
+    /// member rejects does the composite error. Genuine solve failures
+    /// of a capable member still propagate.
     fn solve(&self, g: &Graph, seed: u64) -> Result<CutResult, SolverError> {
         let mut best: Option<CutResult> = None;
+        let mut rejection: Option<SolverError> = None;
         for solver in &self.inner {
+            if let Err(e) = solver.check_instance(g) {
+                rejection = Some(e);
+                continue;
+            }
             let r = solver.solve(g, seed)?;
             if best.as_ref().map(|b| r.value > b.value).unwrap_or(true) {
                 best = Some(r);
             }
         }
-        Ok(best.expect("at least one inner solver"))
+        best.ok_or_else(|| rejection.expect("≥ 1 member, each either solved or rejected"))
     }
 
     fn capabilities(&self) -> SolverCaps {
-        // the composite is as limited as its most limited member, quantum
-        // if any member is, deterministic only if all members are
-        let caps: Vec<SolverCaps> = self.inner.iter().map(|s| s.capabilities()).collect();
-        SolverCaps {
-            max_nodes: caps.iter().filter_map(|c| c.max_nodes).min(),
-            deterministic: caps.iter().all(|c| c.deterministic),
-            quantum: caps.iter().any(|c| c.quantum),
-        }
+        // incapable members are skipped, so the composite degrades
+        SolverCaps::union_of(self.inner.iter().map(|s| s.capabilities()))
     }
 }
 
@@ -267,11 +296,43 @@ mod tests {
 
     #[test]
     fn best_of_caps_compose() {
+        // incapable members are skipped at solve time, so the composite
+        // is as capable as its largest member …
         let best = BestOf::new(vec![
             Box::new(Constant { side: true, cap: Some(10) }) as BoxedSolver,
             Box::new(Constant { side: false, cap: Some(20) }),
         ]);
-        assert_eq!(best.capabilities().max_nodes, Some(10));
+        assert_eq!(best.capabilities().max_nodes, Some(20));
+        // … and unbounded as soon as one member is
+        let best = BestOf::new(vec![
+            Box::new(Constant { side: true, cap: Some(10) }) as BoxedSolver,
+            Box::new(Constant { side: false, cap: None }),
+        ]);
+        assert_eq!(best.capabilities().max_nodes, None);
+    }
+
+    #[test]
+    fn best_of_skips_incapable_members() {
+        // one member caps out at 7 nodes; the 8-node instance must not
+        // poison the composite — the capable member answers alone
+        let g = generators::ring(8);
+        let best = BestOf::new(vec![
+            Box::new(Constant { side: true, cap: Some(7) }) as BoxedSolver,
+            Box::new(Constant { side: false, cap: None }),
+        ]);
+        let r = best.solve(&g, 0).unwrap();
+        let alone = Constant { side: false, cap: None }.solve(&g, 0).unwrap();
+        assert_eq!(r.cut, alone.cut, "only the capable member contributed");
+    }
+
+    #[test]
+    fn best_of_errors_only_when_all_members_reject() {
+        let g = generators::ring(9);
+        let best = BestOf::new(vec![
+            Box::new(Constant { side: true, cap: Some(7) }) as BoxedSolver,
+            Box::new(Constant { side: false, cap: Some(8) }),
+        ]);
+        assert!(matches!(best.solve(&g, 0), Err(SolverError::TooLarge { nodes: 9, .. })));
     }
 
     #[test]

@@ -1,0 +1,617 @@
+//! The capability-routed execution engine (the paper's Fig. 2 pool,
+//! generalized).
+//!
+//! A QAOA² level produces a batch of sub-graph MaxCut instances. This
+//! module owns *where* those instances run and *which* backend solves
+//! each one:
+//!
+//! * [`HeterogeneousPool`] — an ordered set of [`MaxCutSolver`] backends
+//!   with their [`SolverCaps`] envelopes. Routing is capability-driven:
+//!   quantum backends (the scarce resource) are preferred for every
+//!   instance they admit; instances exceeding every quantum cap **fall
+//!   back classically** instead of erroring; an instance no member
+//!   admits is a [`SolverError::TooLarge`].
+//! * [`ExecutionEngine`] — the execution substrate behind one
+//!   [`ExecutionEngine::solve_batch`] API: [`InlineEngine`] (caller's
+//!   thread), [`ThreadPoolEngine`] (rayon fan-out), [`ClusterEngine`]
+//!   (the coordinator/worker workflow of [`crate::coordinator`]).
+//! * [`EngineReport`] — per-backend and per-class (QPU vs CPU) dispatch
+//!   accounting. For heterogeneous pools, class utilization is obtained
+//!   by replaying the measured busy times through the [`Scheduler`] with
+//!   [`ResourceReq::quantum`]/[`ResourceReq::cpu`] requests, so engine
+//!   runs report the same Fig. 1 metrics as the workload simulation;
+//!   classical-only pools take an allocation-light greedy accounting
+//!   instead (the engine sits on the orchestrator's hot path — see the
+//!   `routing_overhead` bench).
+//!
+//! **Determinism contract:** routing is a pure function of the pool and
+//! the instance, and every job carries its own caller-derived seed, so
+//! all engines produce identical cuts for the same batch — wall-clock
+//! and utilization fields are the only nondeterministic outputs.
+
+use crate::coordinator::master_worker;
+use crate::scheduler::{Cluster, Job, JobComponent, JobMode, ResourceReq, Scheduler};
+use qq_graph::{Cut, CutResult, Graph, MaxCutSolver, SolverCaps, SolverError};
+use rayon::prelude::*;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// A shared backend handle as pools store it.
+pub type PoolMember = Arc<dyn MaxCutSolver>;
+
+/// One sub-graph solve request: the instance plus the seed the caller
+/// derived for it (QAOA² derives per-`(level, index)` seeds, which is
+/// what keeps results engine-independent).
+#[derive(Debug, Clone, Copy)]
+pub struct SolveJob<'a> {
+    /// The MaxCut instance.
+    pub graph: &'a Graph,
+    /// Seed for every stochastic component of the solve.
+    pub seed: u64,
+}
+
+/// Which worker class an instance was routed to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WorkerClass {
+    /// A quantum-capable backend (counts against QPU resources).
+    Quantum,
+    /// A classical backend (counts against CPU nodes).
+    Classical,
+}
+
+/// The routing decision for one job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Route {
+    /// Index of the chosen backend in the pool.
+    pub backend: usize,
+    /// Worker class of that backend.
+    pub class: WorkerClass,
+    /// True when the pool has quantum members but none admitted the
+    /// instance — the run-time classical fallback the paper's hybrid
+    /// decision requires (degrade, don't fail).
+    pub fallback: bool,
+}
+
+/// An ordered set of backends routed by capability.
+///
+/// Order matters and is part of the determinism contract: among members
+/// of the same class that admit an instance, the first registered wins.
+pub struct HeterogeneousPool {
+    members: Vec<PoolMember>,
+    caps: Vec<SolverCaps>,
+}
+
+impl HeterogeneousPool {
+    /// Pool over `members` (at least one).
+    ///
+    /// Capability envelopes are snapshotted here; backends must keep
+    /// them constant for the pool's lifetime (they are `Sync` and
+    /// read-only during solves anyway).
+    pub fn new(members: Vec<PoolMember>) -> Self {
+        assert!(!members.is_empty(), "HeterogeneousPool needs at least one backend");
+        let caps = members.iter().map(|m| m.capabilities()).collect();
+        HeterogeneousPool { members, caps }
+    }
+
+    /// Single-backend pool (the homogeneous case every plain `SubSolver`
+    /// configuration reduces to).
+    pub fn single(member: PoolMember) -> Self {
+        HeterogeneousPool::new(vec![member])
+    }
+
+    /// The member backends, in registration order.
+    pub fn members(&self) -> &[PoolMember] {
+        &self.members
+    }
+
+    /// Number of quantum-class members (the simulated QPU count used for
+    /// utilization replay).
+    pub fn quantum_members(&self) -> usize {
+        self.caps.iter().filter(|c| c.quantum).count()
+    }
+
+    /// Route one instance: quantum members that admit it first (in pool
+    /// order), then classical members (classical *fallback* when quantum
+    /// members exist but all cap out). `TooLarge` only when every member
+    /// rejects.
+    ///
+    /// Admission is judged against the **snapshotted** envelopes — not
+    /// per-call `check_instance` — so routing an N-job batch never
+    /// recomputes member capabilities on the hot path (and stays
+    /// consistent with the class/fallback decisions below, which read
+    /// the same snapshot).
+    pub fn route(&self, g: &Graph) -> Result<Route, SolverError> {
+        let admits = |i: usize| self.caps[i].max_nodes.is_none_or(|max| g.num_nodes() <= max);
+        for (i, caps) in self.caps.iter().enumerate() {
+            if caps.quantum && admits(i) {
+                return Ok(Route { backend: i, class: WorkerClass::Quantum, fallback: false });
+            }
+        }
+        let has_quantum = self.quantum_members() > 0;
+        for (i, caps) in self.caps.iter().enumerate() {
+            if !caps.quantum && admits(i) {
+                return Ok(Route {
+                    backend: i,
+                    class: WorkerClass::Classical,
+                    fallback: has_quantum,
+                });
+            }
+        }
+        Err(SolverError::TooLarge {
+            nodes: g.num_nodes(),
+            max_nodes: self.caps.iter().filter_map(|c| c.max_nodes).max().unwrap_or(0),
+        })
+    }
+
+    /// Solve one already-routed job (shared by every engine). Empty
+    /// graphs short-circuit without touching a backend.
+    fn solve_routed(&self, job: &SolveJob<'_>, route: Route) -> Result<TimedCut, SolverError> {
+        let t0 = Instant::now();
+        let result = if job.graph.num_nodes() == 0 {
+            CutResult::new(Cut::new(0), job.graph)
+        } else {
+            self.members[route.backend].solve(job.graph, job.seed)?
+        };
+        Ok(TimedCut { result, busy: t0.elapsed() })
+    }
+}
+
+// A pool is itself a solver: route a single instance by capability and
+// solve it. This is what `SubSolver::Pool` builds for callers that want
+// the heterogeneous run-time decision outside a batch engine.
+impl MaxCutSolver for HeterogeneousPool {
+    fn label(&self) -> &str {
+        "pool"
+    }
+
+    fn solve(&self, g: &Graph, seed: u64) -> Result<CutResult, SolverError> {
+        let route = self.route(g)?;
+        self.members[route.backend].solve(g, seed)
+    }
+
+    fn capabilities(&self) -> SolverCaps {
+        // over-cap instances degrade across members (routing itself is
+        // deterministic), so the standard degrading-composite envelope
+        SolverCaps::union_of(self.caps.iter().copied())
+    }
+}
+
+/// One solved job plus the time spent inside the backend.
+#[derive(Debug, Clone)]
+pub struct TimedCut {
+    /// The backend's cut.
+    pub result: CutResult,
+    /// Wall-clock spent in the solve closure.
+    pub busy: Duration,
+}
+
+/// Dispatch accounting for one worker class.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ClassLoad {
+    /// Instances dispatched to this class.
+    pub tasks: usize,
+    /// Total busy time across those instances.
+    pub busy: Duration,
+}
+
+/// What one `solve_batch` call did: which backend and class every
+/// instance went to, and how the classes were utilized.
+#[derive(Debug, Clone)]
+pub struct EngineReport {
+    /// Engine that executed the batch (`"inline"`, `"thread-pool"`,
+    /// `"cluster"`).
+    pub engine: &'static str,
+    /// Tasks per pool member, in pool order (label, count).
+    pub per_backend: Vec<(String, usize)>,
+    /// QPU-class dispatch totals.
+    pub quantum: ClassLoad,
+    /// CPU-class dispatch totals.
+    pub classical: ClassLoad,
+    /// Instances that exceeded every quantum cap and degraded to a
+    /// classical member.
+    pub fallbacks: usize,
+    /// Per-class utilization in `[0, 1]` (`"cpu"` / `"qpu"` keys; absent
+    /// classes omitted, exactly like
+    /// [`crate::scheduler::ScheduleOutcome`]). Heterogeneous pools
+    /// replay measured busy times through the [`Scheduler`]; classical
+    /// pools use greedy list-schedule accounting.
+    pub utilization: BTreeMap<&'static str, f64>,
+    /// Makespan of the replayed schedule, in µs-ticks.
+    pub makespan_ticks: u64,
+    /// Wall-clock of routing + executing the batch — report assembly
+    /// (including the utilization replay) excluded, so this is the
+    /// number to record as "time spent solving".
+    pub batch_wall: Duration,
+}
+
+impl EngineReport {
+    /// Idle fraction of the QPU class (the Fig. 1 metric); `None` when
+    /// the pool has no quantum members.
+    pub fn qpu_idle_fraction(&self) -> Option<f64> {
+        self.utilization.get("qpu").map(|u| 1.0 - u)
+    }
+}
+
+/// A batch of solved jobs plus the dispatch report.
+#[derive(Debug, Clone)]
+pub struct BatchOutcome {
+    /// One result per job, in job order.
+    pub results: Vec<CutResult>,
+    /// Dispatch/utilization accounting.
+    pub report: EngineReport,
+}
+
+/// An execution substrate for batches of routed sub-graph solves.
+///
+/// Implementations differ only in *where* tasks run; routing, seeding,
+/// and reporting are shared, which is what makes every engine produce
+/// identical cuts for the same batch.
+pub trait ExecutionEngine: Send + Sync {
+    /// Stable engine name for reports.
+    fn name(&self) -> &'static str;
+
+    /// Worker slots this engine fans out to (sizes the CPU side of the
+    /// utilization replay).
+    fn workers(&self) -> usize;
+
+    /// Execute pre-routed jobs, one [`TimedCut`] per job in job order.
+    /// `routes[i]` is the pool's decision for `jobs[i]`.
+    fn run_routed(
+        &self,
+        pool: &HeterogeneousPool,
+        jobs: &[SolveJob<'_>],
+        routes: &[Route],
+    ) -> Result<Vec<TimedCut>, SolverError>;
+
+    /// Route every job through `pool`, execute, and account: the single
+    /// entry point the QAOA² orchestrator calls per level.
+    fn solve_batch(
+        &self,
+        pool: &HeterogeneousPool,
+        jobs: &[SolveJob<'_>],
+    ) -> Result<BatchOutcome, SolverError> {
+        let t0 = Instant::now();
+        let routes: Vec<Route> =
+            jobs.iter().map(|job| pool.route(job.graph)).collect::<Result<_, _>>()?;
+        let timed = self.run_routed(pool, jobs, &routes)?;
+        let batch_wall = t0.elapsed();
+        debug_assert_eq!(timed.len(), jobs.len());
+        let report = build_report(self, pool, &routes, &timed, batch_wall);
+        Ok(BatchOutcome { results: timed.into_iter().map(|t| t.result).collect(), report })
+    }
+}
+
+/// Assemble the [`EngineReport`] for an executed batch.
+fn build_report(
+    engine: &(impl ExecutionEngine + ?Sized),
+    pool: &HeterogeneousPool,
+    routes: &[Route],
+    timed: &[TimedCut],
+    batch_wall: Duration,
+) -> EngineReport {
+    let mut per_backend: Vec<(String, usize)> =
+        pool.members().iter().map(|m| (m.label().to_string(), 0)).collect();
+    let mut quantum = ClassLoad::default();
+    let mut classical = ClassLoad::default();
+    let mut fallbacks = 0usize;
+    for (route, t) in routes.iter().zip(timed) {
+        per_backend[route.backend].1 += 1;
+        let load = match route.class {
+            WorkerClass::Quantum => &mut quantum,
+            WorkerClass::Classical => &mut classical,
+        };
+        load.tasks += 1;
+        load.busy += t.busy;
+        fallbacks += route.fallback as usize;
+    }
+    let (utilization, makespan_ticks) = if pool.quantum_members() > 0 {
+        replay_utilization(pool, engine.workers(), routes, timed)
+    } else {
+        classical_utilization(engine.workers(), timed)
+    };
+    EngineReport {
+        engine: engine.name(),
+        per_backend,
+        quantum,
+        classical,
+        fallbacks,
+        utilization,
+        makespan_ticks,
+        batch_wall,
+    }
+}
+
+/// µs-ticks for one task; every task costs at least one tick so
+/// utilization never divides by a zero makespan.
+fn busy_ticks(t: &TimedCut) -> u64 {
+    (t.busy.as_micros() as u64).max(1)
+}
+
+/// Replay the measured busy times through the discrete-event scheduler:
+/// every quantum-routed task requests one QPU, every classical task one
+/// CPU node, on a cluster sized by the engine's worker count and the
+/// pool's quantum member count. This is what ties engine runs to the
+/// same per-class utilization metrics as the Fig. 1 simulation. Only
+/// heterogeneous pools pay for it — the homogeneous case takes
+/// [`classical_utilization`] instead.
+fn replay_utilization(
+    pool: &HeterogeneousPool,
+    workers: usize,
+    routes: &[Route],
+    timed: &[TimedCut],
+) -> (BTreeMap<&'static str, f64>, u64) {
+    let cluster = Cluster { cpu_nodes: workers.max(1), qpus: pool.quantum_members() };
+    let jobs: Vec<Job> = routes
+        .iter()
+        .zip(timed)
+        .map(|(route, t)| {
+            let req = match route.class {
+                WorkerClass::Quantum => ResourceReq::quantum(0, 1),
+                WorkerClass::Classical => ResourceReq::cpu(1),
+            };
+            Job {
+                submit: 0,
+                mode: JobMode::Heterogeneous,
+                components: vec![JobComponent {
+                    name: String::new(),
+                    req,
+                    duration: busy_ticks(t),
+                }],
+            }
+        })
+        .collect();
+    let outcome = Scheduler::new(cluster, true).run(&jobs);
+    (outcome.utilization, outcome.makespan)
+}
+
+/// CPU utilization for a classical-only batch: deterministic greedy list
+/// scheduling in job order onto `workers` slots (what a self-scheduling
+/// pool approximates), allocation-free per job. The engine layer runs
+/// per level on the orchestrator's hot path, so the homogeneous common
+/// case must not pay for the full discrete-event replay.
+fn classical_utilization(workers: usize, timed: &[TimedCut]) -> (BTreeMap<&'static str, f64>, u64) {
+    let mut loads = vec![0u64; workers.max(1)];
+    let mut busy_total = 0u64;
+    for t in timed {
+        let ticks = busy_ticks(t);
+        busy_total += ticks;
+        let min = loads.iter().copied().enumerate().min_by_key(|&(_, l)| l);
+        loads[min.expect("≥ 1 worker slot").0] += ticks;
+    }
+    let makespan = loads.into_iter().max().unwrap_or(0);
+    let mut utilization = BTreeMap::new();
+    if makespan > 0 {
+        utilization.insert("cpu", busy_total as f64 / (workers.max(1) as f64 * makespan as f64));
+    }
+    (utilization, makespan)
+}
+
+/// Run every job on the calling thread, in order — the reference
+/// behaviour with deterministic timing.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct InlineEngine;
+
+impl ExecutionEngine for InlineEngine {
+    fn name(&self) -> &'static str {
+        "inline"
+    }
+
+    fn workers(&self) -> usize {
+        1
+    }
+
+    fn run_routed(
+        &self,
+        pool: &HeterogeneousPool,
+        jobs: &[SolveJob<'_>],
+        routes: &[Route],
+    ) -> Result<Vec<TimedCut>, SolverError> {
+        jobs.iter().zip(routes).map(|(job, &route)| pool.solve_routed(job, route)).collect()
+    }
+}
+
+/// Fan jobs out across the rayon pool, one task per job (sub-graph
+/// solves are coarse, so per-item tasks beat chunking).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ThreadPoolEngine;
+
+impl ExecutionEngine for ThreadPoolEngine {
+    fn name(&self) -> &'static str {
+        "thread-pool"
+    }
+
+    fn workers(&self) -> usize {
+        rayon::current_num_threads().max(1)
+    }
+
+    fn run_routed(
+        &self,
+        pool: &HeterogeneousPool,
+        jobs: &[SolveJob<'_>],
+        routes: &[Route],
+    ) -> Result<Vec<TimedCut>, SolverError> {
+        jobs.par_iter()
+            .with_min_len(1)
+            .enumerate()
+            .map(|(i, job)| pool.solve_routed(job, routes[i]))
+            .collect()
+    }
+}
+
+/// Distribute jobs through the Fig. 2 coordinator/worker workflow: a
+/// dedicated coordinator rank plus `workers` worker ranks with
+/// self-scheduling.
+#[derive(Debug, Clone, Copy)]
+pub struct ClusterEngine {
+    workers: usize,
+}
+
+impl ClusterEngine {
+    /// Engine over `workers` worker ranks (at least one).
+    pub fn new(workers: usize) -> Self {
+        assert!(workers >= 1, "cluster engine needs ≥ 1 worker");
+        ClusterEngine { workers }
+    }
+}
+
+impl ExecutionEngine for ClusterEngine {
+    fn name(&self) -> &'static str {
+        "cluster"
+    }
+
+    fn workers(&self) -> usize {
+        self.workers
+    }
+
+    fn run_routed(
+        &self,
+        pool: &HeterogeneousPool,
+        jobs: &[SolveJob<'_>],
+        routes: &[Route],
+    ) -> Result<Vec<TimedCut>, SolverError> {
+        let tasks: Vec<usize> = (0..jobs.len()).collect();
+        let report = master_worker(self.workers, tasks, |_, &task| {
+            pool.solve_routed(&jobs[task], routes[task])
+        });
+        report.results.into_iter().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qq_graph::generators::{self, WeightKind};
+
+    /// Deterministic test backend with a configurable envelope.
+    struct Toy {
+        label: &'static str,
+        cap: Option<usize>,
+        quantum: bool,
+    }
+
+    impl MaxCutSolver for Toy {
+        fn label(&self) -> &str {
+            self.label
+        }
+
+        fn solve(&self, g: &Graph, seed: u64) -> Result<CutResult, SolverError> {
+            self.check_instance(g)?;
+            Ok(CutResult::new(Cut::from_fn(g.num_nodes(), |v| (v as u64 ^ seed) & 1 == 0), g))
+        }
+
+        fn capabilities(&self) -> SolverCaps {
+            SolverCaps { max_nodes: self.cap, deterministic: true, quantum: self.quantum }
+        }
+    }
+
+    fn qpu(cap: usize) -> PoolMember {
+        Arc::new(Toy { label: "toy-qpu", cap: Some(cap), quantum: true })
+    }
+
+    fn cpu() -> PoolMember {
+        Arc::new(Toy { label: "toy-cpu", cap: None, quantum: false })
+    }
+
+    fn jobs_over<'a>(graphs: &'a [Graph]) -> Vec<SolveJob<'a>> {
+        graphs.iter().enumerate().map(|(i, g)| SolveJob { graph: g, seed: i as u64 }).collect()
+    }
+
+    #[test]
+    fn routes_quantum_first_with_classical_fallback() {
+        let pool = HeterogeneousPool::new(vec![qpu(8), cpu()]);
+        let small = generators::ring(6);
+        let large = generators::ring(12);
+        let r_small = pool.route(&small).unwrap();
+        assert_eq!(r_small.class, WorkerClass::Quantum);
+        assert!(!r_small.fallback);
+        let r_large = pool.route(&large).unwrap();
+        assert_eq!(r_large.class, WorkerClass::Classical);
+        assert!(r_large.fallback, "exceeding the quantum cap is a fallback, not an error");
+    }
+
+    #[test]
+    fn quantum_only_pool_errors_past_its_cap() {
+        let pool = HeterogeneousPool::new(vec![qpu(8)]);
+        let err = pool.route(&generators::ring(12)).unwrap_err();
+        assert!(matches!(err, SolverError::TooLarge { nodes: 12, max_nodes: 8 }));
+    }
+
+    #[test]
+    fn engines_agree_bit_for_bit() {
+        let graphs: Vec<Graph> = (0..7)
+            .map(|s| generators::erdos_renyi(6 + s % 5, 0.5, WeightKind::Random01, s as u64))
+            .collect();
+        let jobs = jobs_over(&graphs);
+        let pool = HeterogeneousPool::new(vec![qpu(8), cpu()]);
+        let inline = InlineEngine.solve_batch(&pool, &jobs).unwrap();
+        let pooled = ThreadPoolEngine.solve_batch(&pool, &jobs).unwrap();
+        let cluster = ClusterEngine::new(3).solve_batch(&pool, &jobs).unwrap();
+        for (a, b) in inline.results.iter().zip(&pooled.results) {
+            assert_eq!(a.cut, b.cut);
+        }
+        for (a, b) in inline.results.iter().zip(&cluster.results) {
+            assert_eq!(a.cut, b.cut);
+        }
+        // routing is engine-independent too
+        assert_eq!(inline.report.per_backend, pooled.report.per_backend);
+        assert_eq!(inline.report.per_backend, cluster.report.per_backend);
+    }
+
+    #[test]
+    fn report_accounts_every_task_once() {
+        let graphs: Vec<Graph> =
+            [4usize, 6, 10, 12, 5].iter().map(|&n| generators::ring(n)).collect();
+        let jobs = jobs_over(&graphs);
+        let pool = HeterogeneousPool::new(vec![qpu(8), cpu()]);
+        let out = InlineEngine.solve_batch(&pool, &jobs).unwrap();
+        let r = &out.report;
+        assert_eq!(r.engine, "inline");
+        assert_eq!(r.quantum.tasks, 3, "rings of 4, 6, 5 fit the 8-node quantum cap");
+        assert_eq!(r.classical.tasks, 2, "rings of 10 and 12 degrade classically");
+        assert_eq!(r.fallbacks, 2);
+        assert_eq!(r.per_backend, vec![("toy-qpu".into(), 3), ("toy-cpu".into(), 2)]);
+        assert!(r.qpu_idle_fraction().is_some());
+        for (_, u) in r.utilization.iter() {
+            assert!((0.0..=1.0 + 1e-9).contains(u));
+        }
+        assert!(r.makespan_ticks >= 1);
+    }
+
+    #[test]
+    fn classical_only_pool_has_no_qpu_metrics() {
+        let g = [generators::ring(9)];
+        let out =
+            InlineEngine.solve_batch(&HeterogeneousPool::single(cpu()), &jobs_over(&g)).unwrap();
+        assert_eq!(out.report.qpu_idle_fraction(), None);
+        assert_eq!(out.report.fallbacks, 0, "no quantum members means no fallbacks");
+    }
+
+    #[test]
+    fn pool_is_itself_a_solver() {
+        let pool = HeterogeneousPool::new(vec![qpu(8), cpu()]);
+        assert_eq!(pool.label(), "pool");
+        let caps = pool.capabilities();
+        assert_eq!(caps.max_nodes, None, "unbounded classical member lifts the cap");
+        assert!(caps.quantum);
+        let big = generators::ring(20);
+        assert_eq!(pool.solve(&big, 1).unwrap().cut.len(), 20);
+    }
+
+    #[test]
+    fn empty_batch_is_fine() {
+        let out = InlineEngine.solve_batch(&HeterogeneousPool::single(cpu()), &[]).unwrap();
+        assert!(out.results.is_empty());
+        assert_eq!(out.report.quantum.tasks + out.report.classical.tasks, 0);
+    }
+
+    #[test]
+    fn error_propagates_from_every_engine() {
+        let graphs = [generators::ring(12)];
+        let jobs = jobs_over(&graphs);
+        let pool = HeterogeneousPool::single(qpu(8));
+        assert!(InlineEngine.solve_batch(&pool, &jobs).is_err());
+        assert!(ThreadPoolEngine.solve_batch(&pool, &jobs).is_err());
+        assert!(ClusterEngine::new(2).solve_batch(&pool, &jobs).is_err());
+    }
+}

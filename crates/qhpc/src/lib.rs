@@ -14,14 +14,26 @@
 //! * [`coordinator`] — the Fig. 2 distribution scheme: a coordinator rank
 //!   hands sub-problems to quantum/classical worker pools and collects
 //!   results, with per-worker busy accounting so coordination overhead and
-//!   scaling efficiency can be reported like the paper does.
+//!   scaling efficiency can be reported like the paper does;
+//! * [`engine`] — the capability-routed execution layer: one
+//!   [`ExecutionEngine::solve_batch`] API over inline, thread-pool, and
+//!   coordinator/worker execution, routing each instance of a
+//!   [`HeterogeneousPool`] to QPU- or CPU-class backends by their
+//!   `SolverCaps` (classical fallback when every quantum cap is
+//!   exceeded), with per-class utilization replayed through the
+//!   scheduler.
 
 pub mod comm;
 pub mod coordinator;
+pub mod engine;
 pub mod scheduler;
 
 pub use comm::{run_ranks, Communicator};
 pub use coordinator::{master_worker, MasterWorkerReport, WorkerStats};
+pub use engine::{
+    BatchOutcome, ClassLoad, ClusterEngine, EngineReport, ExecutionEngine, HeterogeneousPool,
+    InlineEngine, Route, SolveJob, ThreadPoolEngine, WorkerClass,
+};
 pub use scheduler::{
     Cluster, Job, JobComponent, JobMode, ResourceKind, ResourceReq, ScheduleOutcome, Scheduler,
 };

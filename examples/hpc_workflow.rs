@@ -1,6 +1,8 @@
 //! The supercomputer workflow end to end: SLURM-like batch of hybrid jobs
-//! (Fig. 1) and the MPI-like coordinator distributing QAOA² sub-graphs to
-//! worker ranks (Fig. 2).
+//! (Fig. 1), the MPI-like coordinator distributing QAOA² sub-graphs to
+//! worker ranks (Fig. 2), and the capability-routed heterogeneous pool —
+//! a capped quantum backend plus a classical fallback behind one
+//! `ExecutionEngine::solve_batch` call.
 //!
 //! ```text
 //! cargo run --release --example hpc_workflow
@@ -45,5 +47,57 @@ fn main() {
     );
     for (w, stats) in report.workers.iter().enumerate() {
         println!("  worker {}: {} tasks, busy {:.2?}", w + 1, stats.tasks, stats.busy);
+    }
+
+    // --- heterogeneous pool: QAOA capped at 6 qubits + GW fallback ---
+    // Sub-graphs the quantum cap admits go to the QPU-class backend;
+    // larger ones degrade to the classical member instead of erroring.
+    let qaoa = SubSolver::Qaoa(QaoaConfig { layers: 2, max_iters: 20, ..QaoaConfig::default() });
+    let capped = SubSolver::custom(CappedQuantum { inner: qaoa.to_backend(), cap: 6 });
+    let cfg = Qaoa2Config {
+        max_qubits: 10,
+        solver: SubSolver::Pool(vec![capped, SubSolver::Gw(GwConfig::default())]),
+        coarse_solver: SubSolver::Gw(GwConfig::default()),
+        parallelism: Parallelism::Cluster(2),
+        seed: 8,
+    };
+    let res = qaoa2_solve(&g, &cfg).expect("heterogeneous solve succeeds");
+    let level0 = &res.engine_reports[0];
+    println!(
+        "\nheterogeneous pool on the {} engine: cut {:.1} across {} sub-graphs",
+        level0.engine, res.cut_value, res.levels[0].num_subgraphs
+    );
+    println!(
+        "  QPU class: {} tasks (busy {:.2?});  CPU class: {} tasks (busy {:.2?}), {} over-cap fallbacks",
+        level0.quantum.tasks,
+        level0.quantum.busy,
+        level0.classical.tasks,
+        level0.classical.busy,
+        level0.fallbacks
+    );
+    if let Some(idle) = level0.qpu_idle_fraction() {
+        println!("  replayed QPU idle fraction (Fig. 1 metric): {:.1}%", idle * 100.0);
+    }
+}
+
+/// A qubit ceiling on any backend: the device-budget wrapper that
+/// turns a solver into a QPU-class pool member.
+struct CappedQuantum {
+    inner: qq_core::SharedSolver,
+    cap: usize,
+}
+
+impl MaxCutSolver for CappedQuantum {
+    fn label(&self) -> &str {
+        "capped-qaoa"
+    }
+
+    fn solve(&self, g: &Graph, seed: u64) -> Result<qq_graph::CutResult, SolverError> {
+        self.check_instance(g)?;
+        self.inner.solve(g, seed)
+    }
+
+    fn capabilities(&self) -> SolverCaps {
+        SolverCaps { max_nodes: Some(self.cap), ..self.inner.capabilities() }
     }
 }

@@ -30,11 +30,15 @@ pub mod prelude {
     pub use qq_classical::{exact_maxcut, one_exchange, randomized_partitioning, CutResult};
     pub use qq_core::{
         solve as qaoa2_solve, BestOf, BoxedSolver, MaxCutSolver, Parallelism, Qaoa2Config,
-        Qaoa2Result, SolverCaps, SolverError, SolverRegistry, SubSolver,
+        Qaoa2Result, ShardedConfig, ShardedSolver, SolverCaps, SolverError, SolverRegistry,
+        SubSolver,
     };
     pub use qq_graph::{generators, Cut, Graph};
     pub use qq_gw::{goemans_williamson, GwConfig};
-    pub use qq_hpc::{master_worker, run_ranks, Communicator};
+    pub use qq_hpc::{
+        master_worker, run_ranks, ClusterEngine, Communicator, EngineReport, ExecutionEngine,
+        HeterogeneousPool, InlineEngine, SolveJob, ThreadPoolEngine,
+    };
     pub use qq_qaoa::{solve as qaoa_solve, ObjectiveMode, QaoaConfig, SolutionPolicy};
     pub use qq_sim::prelude::*;
 }

@@ -2,7 +2,7 @@
 //!
 //! The vendored rayon promises bit-identical floating-point results at
 //! any `RAYON_NUM_THREADS` (fixed power-of-two split tree; see
-//! `crates/vendor/rayon/src/lib.rs` and DESIGN.md §6). This suite holds
+//! `crates/vendor/rayon/src/lib.rs` and DESIGN.md §7). This suite holds
 //! it to that: a battery spanning the simulator (flat + blocked), the
 //! QAOA landscape evaluation, the full QAOA² driver in `Threads` mode,
 //! and property-harness-style seeded draws is folded into one digest of
@@ -34,6 +34,28 @@ impl Digest {
 
     fn f64(&mut self, x: f64) {
         self.word(x.to_bits());
+    }
+}
+
+/// Deterministic quantum-class member for the heterogeneous engine leg
+/// of the battery: local search behind a capped QPU envelope.
+struct CappedQuantumLocalSearch {
+    cap: usize,
+}
+
+impl qq_core::MaxCutSolver for CappedQuantumLocalSearch {
+    fn label(&self) -> &str {
+        "toy-qpu"
+    }
+
+    fn solve(&self, g: &Graph, seed: u64) -> Result<qq_graph::CutResult, qq_core::SolverError> {
+        self.check_instance(g)?;
+        let r = qaoa2_suite::classical::one_exchange(g, seed);
+        Ok(qq_graph::CutResult { cut: r.cut, value: r.value })
+    }
+
+    fn capabilities(&self) -> qq_core::SolverCaps {
+        qq_core::SolverCaps { max_nodes: Some(self.cap), deterministic: true, quantum: true }
     }
 }
 
@@ -98,6 +120,28 @@ fn battery_digest() -> u64 {
     };
     let res = qq_core::solve(&big, &cfg).expect("qaoa2 solve succeeds");
     d.f64(res.cut_value);
+
+    // --- qq-core + qq-hpc: the capability-routed heterogeneous engine
+    // path (capped quantum member + classical fallback); the cut AND the
+    // routing decisions must be thread-count independent ---
+    let het = generators::erdos_renyi(60, 0.12, generators::WeightKind::Random01, 2);
+    let cfg = qq_core::Qaoa2Config {
+        max_qubits: 10,
+        solver: qq_core::SubSolver::Pool(vec![
+            qq_core::SubSolver::custom(CappedQuantumLocalSearch { cap: 8 }),
+            qq_core::SubSolver::LocalSearch,
+        ]),
+        coarse_solver: qq_core::SubSolver::LocalSearch,
+        parallelism: qq_core::Parallelism::Threads,
+        seed: 7,
+    };
+    let res = qq_core::solve(&het, &cfg).expect("heterogeneous solve succeeds");
+    d.f64(res.cut_value);
+    for report in &res.engine_reports {
+        d.word(report.quantum.tasks as u64);
+        d.word(report.classical.tasks as u64);
+        d.word(report.fallbacks as u64);
+    }
 
     // --- property-harness-style seeded draws ---
     use rand::rngs::StdRng;

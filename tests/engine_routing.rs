@@ -1,0 +1,134 @@
+//! Capability-routing integration tests: a heterogeneous pool (capped
+//! quantum + unbounded classical) driven through the full QAOA²
+//! pipeline on every execution engine.
+//!
+//! What is locked here:
+//! * dispatch follows the capability envelopes — every sub-graph within
+//!   the quantum cap goes to the QPU-class backend, everything larger
+//!   degrades to the classical member (counted as a fallback), and the
+//!   per-class counts in [`EngineReport`] match the partition exactly;
+//! * the cut is **bit-for-bit identical** across `Sequential`,
+//!   `Threads`, and `Cluster` engines (the determinism contract);
+//! * a quantum-only pool still errors `TooLarge` past its cap — the
+//!   fallback is a property of having classical members, not a silent
+//!   relaxation of the envelope.
+
+use qaoa2_suite::prelude::*;
+use qq_graph::{extract_subgraphs, partition_with_cap, CutResult};
+
+/// Deterministic stand-in for a capped quantum device: local search
+/// behind a QPU-class envelope. Cheap enough for CI, deterministic per
+/// seed so engines must agree bit-for-bit.
+struct ToyQpu {
+    cap: usize,
+}
+
+impl MaxCutSolver for ToyQpu {
+    fn label(&self) -> &str {
+        "toy-qpu"
+    }
+
+    fn solve(&self, g: &Graph, seed: u64) -> Result<CutResult, SolverError> {
+        self.check_instance(g)?;
+        let r = qaoa2_suite::classical::one_exchange(g, seed);
+        Ok(CutResult { cut: r.cut, value: r.value })
+    }
+
+    fn capabilities(&self) -> SolverCaps {
+        SolverCaps { max_nodes: Some(self.cap), deterministic: true, quantum: true }
+    }
+}
+
+const QUANTUM_CAP: usize = 8;
+
+fn mixed_pool() -> SubSolver {
+    SubSolver::Pool(vec![SubSolver::custom(ToyQpu { cap: QUANTUM_CAP }), SubSolver::LocalSearch])
+}
+
+fn mixed_cfg(parallelism: Parallelism) -> Qaoa2Config {
+    Qaoa2Config {
+        max_qubits: 10,
+        solver: mixed_pool(),
+        coarse_solver: SubSolver::LocalSearch,
+        parallelism,
+        seed: 7,
+    }
+}
+
+/// A graph whose first-level partition yields sub-graphs on both sides
+/// of the quantum cap (asserted, so a generator change cannot silently
+/// hollow out the test).
+fn mixed_size_graph() -> Graph {
+    generators::erdos_renyi(60, 0.12, generators::WeightKind::Random01, 2)
+}
+
+#[test]
+fn mixed_pool_dispatches_per_caps_and_matches_sequential_reference() {
+    let g = mixed_size_graph();
+
+    // ground truth for the routing split: the partition the driver will
+    // compute at level 0
+    let partition = partition_with_cap(&g, 10);
+    let sizes: Vec<usize> =
+        extract_subgraphs(&g, &partition).iter().map(|s| s.num_nodes()).collect();
+    let small = sizes.iter().filter(|&&n| n <= QUANTUM_CAP).count();
+    let large = sizes.len() - small;
+    assert!(small > 0 && large > 0, "workload must exercise both classes: sizes {sizes:?}");
+
+    let reference = qaoa2_solve(&g, &mixed_cfg(Parallelism::Sequential)).unwrap();
+    let level0 = &reference.engine_reports[0];
+    assert_eq!(level0.engine, "inline");
+    assert_eq!(level0.quantum.tasks, small, "every sub-graph within the cap goes quantum");
+    assert_eq!(level0.classical.tasks, large, "every larger sub-graph degrades classically");
+    assert_eq!(level0.fallbacks, large, "each classical dispatch here is a quantum-cap fallback");
+    assert_eq!(
+        level0.per_backend,
+        vec![("toy-qpu".to_string(), small), ("local-search".to_string(), large)]
+    );
+    assert!(level0.qpu_idle_fraction().is_some(), "pool has a quantum member");
+
+    // identical cuts on every engine, bit for bit
+    for parallelism in [Parallelism::Threads, Parallelism::Cluster(3)] {
+        let res = qaoa2_solve(&g, &mixed_cfg(parallelism)).unwrap();
+        assert_eq!(res.cut, reference.cut, "{parallelism:?} diverged from sequential");
+        assert_eq!(res.cut_value.to_bits(), reference.cut_value.to_bits());
+        // routing is engine-independent
+        assert_eq!(res.engine_reports[0].per_backend, level0.per_backend);
+        assert_eq!(res.engine_reports[0].fallbacks, level0.fallbacks);
+    }
+}
+
+#[test]
+fn capped_quantum_pool_with_classical_member_never_errors_too_large() {
+    // the largest first-level sub-graph (and the coarse recursion input)
+    // exceeds the quantum cap; with a classical member present this must
+    // degrade, not fail
+    let g = mixed_size_graph();
+    let res = qaoa2_solve(&g, &mixed_cfg(Parallelism::Threads));
+    assert!(res.is_ok(), "classical fallback must absorb over-cap instances: {res:?}");
+}
+
+#[test]
+fn quantum_only_pool_still_enforces_its_envelope() {
+    let g = mixed_size_graph();
+    let cfg = Qaoa2Config {
+        solver: SubSolver::Pool(vec![SubSolver::custom(ToyQpu { cap: QUANTUM_CAP })]),
+        ..mixed_cfg(Parallelism::Sequential)
+    };
+    let err = qaoa2_solve(&g, &cfg).unwrap_err();
+    assert!(
+        err.to_string().contains("at most"),
+        "expected a TooLarge-derived solver error, got: {err}"
+    );
+}
+
+#[test]
+fn heterogeneous_pool_beats_or_matches_its_classical_member_alone() {
+    // sanity: routing through the pool cannot degrade determinism or
+    // produce invalid cuts relative to the homogeneous baseline
+    let g = mixed_size_graph();
+    let pool = qaoa2_solve(&g, &mixed_cfg(Parallelism::Threads)).unwrap();
+    assert_eq!(pool.cut.len(), g.num_nodes());
+    assert!((pool.cut.value(&g) - pool.cut_value).abs() < 1e-9);
+    assert!(pool.cut_value >= g.total_weight() / 2.0 * 0.9);
+}
