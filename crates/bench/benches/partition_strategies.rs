@@ -1,0 +1,101 @@
+//! Partition-strategy comparison: cut value and wall time per divide
+//! strategy on ER, planted-partition, and Gset-format instances.
+//!
+//! Two measurements per (instance, strategy) cell:
+//!
+//! * `divide/…` — the partitioner alone (what the strategy costs);
+//! * `qaoa2/…` — the full QAOA² pipeline under that strategy with
+//!   local-search sub-solves (what the strategy buys), with the cut
+//!   value and partition quality printed once per cell so the numbers
+//!   land next to the timings (recorded in EXPERIMENTS.md).
+//!
+//! The instance list is mirrored by `tests/partition_strategies.rs`,
+//! which asserts the refinement-quality guarantee on exactly these
+//! graphs. The Gset leg exercises the full interchange path: the
+//! generated graph is serialized with `write_gset` and read back with
+//! `read_gset` before being benched.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qq_core::{Parallelism, PartitionStrategy, Qaoa2Config, RefineConfig, SubSolver};
+use qq_graph::generators::{self, WeightKind};
+use qq_graph::io::{read_gset, write_gset};
+use qq_graph::{inter_weight_fraction, Graph};
+
+fn instances() -> Vec<(&'static str, Graph)> {
+    let gset = {
+        // round-trip a generated instance through the Gset format so
+        // the bench covers published-instance ingestion end-to-end
+        let g = generators::erdos_renyi(120, 0.06, WeightKind::Uniform, 5);
+        let mut buf = Vec::new();
+        write_gset(&g, &mut buf).expect("in-memory write cannot fail");
+        read_gset(std::io::BufReader::new(buf.as_slice())).expect("round-trip parses")
+    };
+    vec![
+        ("gset-er-120", gset),
+        ("er-90w", generators::erdos_renyi(90, 0.1, WeightKind::Random01, 7)),
+        ("planted-100", generators::planted_partition(10, 10, 0.8, 0.03, 9)),
+        ("planted-48", generators::planted_partition(6, 8, 0.9, 0.05, 11)),
+    ]
+}
+
+const CAP: usize = 10;
+
+fn bench_divide(c: &mut Criterion) {
+    let mut group = c.benchmark_group("divide");
+    group.sample_size(10);
+    for (name, g) in instances() {
+        for strategy in PartitionStrategy::builtin() {
+            let partitioner = strategy.to_partitioner();
+            let p = partitioner.partition(&g, CAP).expect("builtin strategies succeed");
+            eprintln!(
+                "# divide {name}/{}: {} communities, inter-weight {:.3}, balance {:.2}",
+                strategy.label(),
+                p.len(),
+                inter_weight_fraction(&g, &p),
+                p.balance(),
+            );
+            group.bench_with_input(BenchmarkId::new(name, strategy.label()), &g, |b, g| {
+                b.iter(|| partitioner.partition(g, CAP).unwrap())
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_qaoa2_per_strategy(c: &mut Criterion) {
+    let mut group = c.benchmark_group("qaoa2");
+    group.sample_size(10);
+    for (name, g) in instances() {
+        for strategy in PartitionStrategy::builtin() {
+            for (mode, refine) in
+                [("plain", RefineConfig::default()), ("refined", RefineConfig::full())]
+            {
+                let cfg = Qaoa2Config {
+                    max_qubits: CAP,
+                    solver: SubSolver::LocalSearch,
+                    coarse_solver: SubSolver::LocalSearch,
+                    partition: strategy.clone(),
+                    refine,
+                    parallelism: Parallelism::Sequential,
+                    seed: 1,
+                };
+                let res = qq_core::solve(&g, &cfg).expect("solve succeeds");
+                eprintln!(
+                    "# qaoa2 {name}/{}/{mode}: cut {:.2} across {} sub-graphs",
+                    strategy.label(),
+                    res.cut_value,
+                    res.total_subgraphs,
+                );
+                group.bench_with_input(
+                    BenchmarkId::new(name, format!("{}/{mode}", strategy.label())),
+                    &g,
+                    |b, g| b.iter(|| qq_core::solve(g, &cfg).unwrap().cut_value),
+                );
+            }
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_divide, bench_qaoa2_per_strategy);
+criterion_main!(benches);

@@ -85,6 +85,7 @@ fn main() {
             parallelism: Parallelism::Threads,
             seed: s.seed,
             solver: SubSolver::LocalSearch, // replaced below
+            ..Qaoa2Config::default()
         };
 
         let qaoa_solver = SubSolver::QaoaGrid {

@@ -3,9 +3,12 @@
 //! The paper's primary contribution: solve large MaxCut instances on small
 //! (simulated) quantum devices by divide and conquer (Zhou et al.):
 //!
-//! 1. **Divide** — partition the graph with greedy modularity, capping
-//!    every community at the qubit budget `n` (recursively re-dividing
-//!    oversized communities);
+//! 1. **Divide** — partition the graph into communities capped at the
+//!    qubit budget `n`, through a pluggable [`PartitionStrategy`]
+//!    (greedy modularity by default, as in the paper; balanced chunks,
+//!    BFS region growing, multilevel coarsening, or any custom
+//!    [`Partitioner`]), optionally refined by a Kernighan–Lin-style
+//!    boundary sweep;
 //! 2. **Solve** — solve every sub-graph independently (in parallel across
 //!    threads or through the `qq-hpc` coordinator/worker workflow), with a
 //!    per-sub-graph choice of solver: QAOA, GW, the best of both (the
@@ -33,16 +36,21 @@ pub mod qaoa2;
 pub mod registry;
 pub mod sharded;
 pub mod solvers;
+pub mod strategy;
 
 pub use merge::{apply_flips, build_merge_graph};
 pub use qaoa2::{solve, LevelStats, Parallelism, Qaoa2Config, Qaoa2Result};
 pub use registry::{SolverFactory, SolverRegistry};
 pub use sharded::{ShardedConfig, ShardedSolver};
 pub use solvers::{solve_subgraph, solve_with_backend, SharedSolver, SubSolver};
+pub use strategy::{divide, DivideOutcome, PartitionStrategy, RefineConfig, SharedPartitioner};
 
 // the backend interface, re-exported so orchestrator users need only this
 // crate to implement or consume solvers
 pub use qq_graph::{BestOf, BoxedSolver, MaxCutSolver, SolverCaps, SolverError};
+// the partition-strategy interface, re-exported for the same reason:
+// implementing or wrapping a divide strategy needs these types
+pub use qq_graph::{PartitionError, Partitioner, Refined};
 // the execution layer, re-exported for the same reason: configuring a
 // heterogeneous run needs the pool/engine/report types
 pub use qq_hpc::{
@@ -55,6 +63,9 @@ pub use qq_hpc::{
 pub enum Qaoa2Error {
     /// A sub-problem solver failed.
     Solver(String),
+    /// The divide step failed (a strategy returned an invalid or
+    /// cap-violating partition, or failed outright).
+    Partition(String),
     /// Configuration rejected.
     InvalidConfig(String),
 }
@@ -63,6 +74,7 @@ impl std::fmt::Display for Qaoa2Error {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             Qaoa2Error::Solver(m) => write!(f, "sub-solver failed: {m}"),
+            Qaoa2Error::Partition(m) => write!(f, "divide step failed: {m}"),
             Qaoa2Error::InvalidConfig(m) => write!(f, "invalid QAOA² config: {m}"),
         }
     }

@@ -1,17 +1,22 @@
 //! The QAOA² driver: divide → solve (through the execution engine) →
 //! merge → recurse.
 //!
-//! Every sub-graph solve — including the base case where the whole graph
-//! fits on the device — flows through
-//! [`qq_hpc::ExecutionEngine::solve_batch`]: [`Parallelism`] is only a
-//! configuration enum that picks which engine to build, and
-//! [`SubSolver::to_pool`] turns the per-level solver configuration into
-//! the (possibly heterogeneous) backend pool the engine routes over.
+//! Both halves of divide-and-conquer are pluggable configuration:
+//! every sub-graph solve — including the base case where the whole
+//! graph fits on the device — flows through
+//! [`qq_hpc::ExecutionEngine::solve_batch`] ([`Parallelism`] only picks
+//! which engine to build, [`SubSolver::to_pool`] the backend pool it
+//! routes over), and every divide flows through
+//! [`crate::strategy::divide`] ([`PartitionStrategy`] picks the
+//! [`qq_graph::Partitioner`], [`RefineConfig`] gates partition
+//! refinement and the post-merge boundary polish). This module owns
+//! only the recursion and the bookkeeping.
 
 use crate::merge::{apply_flips, build_merge_graph};
 use crate::solvers::SubSolver;
+use crate::strategy::{self, PartitionStrategy, RefineConfig};
 use crate::Qaoa2Error;
-use qq_graph::{extract_subgraphs, partition_with_cap, Cut, Graph};
+use qq_graph::{boundary_nodes, extract_subgraphs, Cut, Graph, Partitioner};
 use qq_hpc::{
     ClusterEngine, EngineReport, ExecutionEngine, InlineEngine, SolveJob, ThreadPoolEngine,
 };
@@ -59,6 +64,12 @@ pub struct Qaoa2Config {
     /// The paper: "In case of further iterations in the QAOA² method, the
     /// classical solution is chosen."
     pub coarse_solver: SubSolver,
+    /// Divide strategy: how each level's graph is split into
+    /// cap-respecting communities (used at every recursion depth).
+    pub partition: PartitionStrategy,
+    /// Refinement gates: partition boundary sweeps and the post-merge
+    /// boundary cut polish. Off by default.
+    pub refine: RefineConfig,
     /// Parallel execution mode for sub-graph solves.
     pub parallelism: Parallelism,
     /// Master seed.
@@ -71,6 +82,8 @@ impl Default for Qaoa2Config {
             max_qubits: 12,
             solver: SubSolver::Qaoa(qq_qaoa::QaoaConfig::default()),
             coarse_solver: SubSolver::Gw(qq_gw::GwConfig::default()),
+            partition: PartitionStrategy::GreedyModularity,
+            refine: RefineConfig::default(),
             parallelism: Parallelism::Threads,
             seed: 0,
         }
@@ -86,6 +99,15 @@ pub struct LevelStats {
     pub num_subgraphs: usize,
     /// Largest sub-graph size.
     pub max_subgraph: usize,
+    /// Fraction of the level graph's absolute edge weight crossing
+    /// community boundaries — the weight the merge stage must recover.
+    pub inter_weight_fraction: f64,
+    /// Largest community size over mean community size (1.0 = balanced).
+    pub balance: f64,
+    /// Community count the strategy produced, before refinement.
+    pub communities_before_refine: usize,
+    /// Community count after refinement (equal when refinement is off).
+    pub communities_after_refine: usize,
     /// Wall-clock spent solving the sub-graphs of this level.
     pub solve_wall: Duration,
     /// Nodes of the resulting coarse graph.
@@ -118,8 +140,9 @@ pub fn solve(g: &Graph, cfg: &Qaoa2Config) -> Result<Qaoa2Result, Qaoa2Error> {
     }
     cfg.solver.validate()?;
     cfg.coarse_solver.validate()?;
-    // one engine for the whole solve; levels share it
+    // one engine and one partitioner for the whole solve; levels share both
     let engine = cfg.parallelism.to_engine()?;
+    let partitioner = cfg.partition.to_partitioner();
     let started = Instant::now();
     let mut levels = Vec::new();
     let mut engine_reports = Vec::new();
@@ -128,6 +151,7 @@ pub fn solve(g: &Graph, cfg: &Qaoa2Config) -> Result<Qaoa2Result, Qaoa2Error> {
         g,
         cfg,
         engine.as_ref(),
+        partitioner.as_ref(),
         0,
         &mut levels,
         &mut engine_reports,
@@ -144,10 +168,12 @@ pub fn solve(g: &Graph, cfg: &Qaoa2Config) -> Result<Qaoa2Result, Qaoa2Error> {
     })
 }
 
+#[allow(clippy::too_many_arguments)]
 fn solve_level(
     g: &Graph,
     cfg: &Qaoa2Config,
     engine: &dyn ExecutionEngine,
+    partitioner: &dyn Partitioner,
     depth: usize,
     levels: &mut Vec<LevelStats>,
     engine_reports: &mut Vec<EngineReport>,
@@ -169,14 +195,11 @@ fn solve_level(
         return Ok(out.results.pop().expect("one job in, one result out").cut);
     }
 
-    // Divide. Modularity can refuse to group nodes (e.g. coarse graphs
-    // with non-positive total weight fall back to singletons); a singleton
-    // partition would make the merge graph identical to `g` and stall the
-    // recursion, so force a balanced structural partition in that case.
-    let mut partition = partition_with_cap(g, cfg.max_qubits);
-    if partition.len() >= g.num_nodes() {
-        partition = balanced_partition(g.num_nodes(), cfg.max_qubits);
-    }
+    // Divide, through the configured strategy. Validation, the cap
+    // check, the singleton-stall fallback, and optional boundary
+    // refinement all live behind the strategy layer.
+    let divided = strategy::divide(g, cfg.max_qubits, partitioner, &cfg.refine)?;
+    let partition = divided.partition;
     let subgraphs = extract_subgraphs(g, &partition);
     let num_subgraphs = subgraphs.len();
     let max_subgraph = subgraphs.iter().map(|s| s.num_nodes()).max().unwrap_or(0);
@@ -205,6 +228,10 @@ fn solve_level(
         graph_nodes: g.num_nodes(),
         num_subgraphs,
         max_subgraph,
+        inter_weight_fraction: divided.inter_weight_fraction,
+        balance: divided.balance,
+        communities_before_refine: divided.communities_before_refine,
+        communities_after_refine: divided.communities_after_refine,
         solve_wall,
         coarse_nodes: coarse.num_nodes(),
     });
@@ -212,17 +239,27 @@ fn solve_level(
     // Recurse on the coarse graph (it has `num_subgraphs` nodes, which is
     // strictly smaller than `g` because every community holds ≥ 1 node and
     // at least one holds ≥ 2 when the graph exceeds the budget).
-    let coarse_cut =
-        solve_level(&coarse, cfg, engine, depth + 1, levels, engine_reports, total_subgraphs)?;
-    Ok(apply_flips(g, &partition, &local_cuts, &coarse_cut))
-}
-
-/// Node-order chunks of size `cap`: the fallback divide when modularity
-/// finds no community structure to exploit.
-fn balanced_partition(n: usize, cap: usize) -> qq_graph::Partition {
-    let communities: Vec<Vec<qq_graph::NodeId>> =
-        (0..n as u32).collect::<Vec<_>>().chunks(cap).map(|c| c.to_vec()).collect();
-    qq_graph::Partition::new(n, communities)
+    let coarse_cut = solve_level(
+        &coarse,
+        cfg,
+        engine,
+        partitioner,
+        depth + 1,
+        levels,
+        engine_reports,
+        total_subgraphs,
+    )?;
+    let composed = apply_flips(g, &partition, &local_cuts, &coarse_cut);
+    if cfg.refine.polish_cut {
+        // Post-merge polish: one-exchange restricted to the partition's
+        // boundary nodes — the only nodes whose flip status the
+        // community-granular merge could have gotten wrong. The climb
+        // starts from the composed cut, so the value never decreases.
+        let boundary = boundary_nodes(g, &partition);
+        Ok(qq_classical::one_exchange_from(g, composed, &boundary).cut)
+    } else {
+        Ok(composed)
+    }
 }
 
 /// Splitmix-style seed derivation so every (level, sub-graph) pair gets an
@@ -246,6 +283,7 @@ mod tests {
             coarse_solver: SubSolver::LocalSearch,
             parallelism: Parallelism::Sequential,
             seed: 0,
+            ..Qaoa2Config::default()
         }
     }
 
@@ -320,6 +358,7 @@ mod tests {
             coarse_solver: SubSolver::Gw(qq_gw::GwConfig::default()),
             parallelism: Parallelism::Threads,
             seed: 1,
+            ..Qaoa2Config::default()
         };
         let res = solve(&g, &cfg).unwrap();
         assert!(res.cut_value > 0.0);

@@ -13,6 +13,7 @@
 
 use crate::qaoa2::{solve, Parallelism, Qaoa2Config};
 use crate::solvers::SubSolver;
+use crate::strategy::{PartitionStrategy, RefineConfig};
 use crate::Qaoa2Error;
 use qq_graph::{CutResult, Graph, MaxCutSolver, SolverCaps, SolverError};
 
@@ -25,6 +26,10 @@ pub struct ShardedConfig {
     pub solver: SubSolver,
     /// Backend for coarse (merge-level) graphs.
     pub coarse_solver: SubSolver,
+    /// Divide strategy shards are cut with.
+    pub partition: PartitionStrategy,
+    /// Partition/cut refinement gates (off by default).
+    pub refine: RefineConfig,
     /// Execution engine the shards run on.
     pub parallelism: Parallelism,
 }
@@ -38,6 +43,8 @@ impl Default for ShardedConfig {
             shard_cap: 12,
             solver: SubSolver::LocalSearch,
             coarse_solver: SubSolver::LocalSearch,
+            partition: PartitionStrategy::GreedyModularity,
+            refine: RefineConfig::default(),
             parallelism: Parallelism::Sequential,
         }
     }
@@ -67,6 +74,8 @@ impl MaxCutSolver for ShardedSolver {
             max_qubits: self.config.shard_cap,
             solver: self.config.solver.clone(),
             coarse_solver: self.config.coarse_solver.clone(),
+            partition: self.config.partition.clone(),
+            refine: self.config.refine,
             parallelism: self.config.parallelism,
             seed,
         };
@@ -96,7 +105,7 @@ impl From<Qaoa2Error> for SolverError {
     fn from(e: Qaoa2Error) -> Self {
         match e {
             Qaoa2Error::InvalidConfig(m) => SolverError::InvalidConfig(m),
-            Qaoa2Error::Solver(m) => SolverError::Backend(m),
+            Qaoa2Error::Solver(m) | Qaoa2Error::Partition(m) => SolverError::Backend(m),
         }
     }
 }

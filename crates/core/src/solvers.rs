@@ -372,6 +372,7 @@ mod tests {
             coarse_solver: SubSolver::LocalSearch,
             parallelism: crate::Parallelism::Sequential,
             seed: 3,
+            ..crate::Qaoa2Config::default()
         };
         let res = crate::solve(&g, &cfg).unwrap();
         assert_eq!(res.cut.len(), 26);
@@ -411,6 +412,7 @@ mod tests {
             coarse_solver: SubSolver::custom(EveryOther),
             parallelism: crate::Parallelism::Sequential,
             seed: 0,
+            ..crate::Qaoa2Config::default()
         };
         let res = crate::solve(&big, &cfg).unwrap();
         assert_eq!(res.cut.len(), 40);

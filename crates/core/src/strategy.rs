@@ -1,0 +1,303 @@
+//! Partition-strategy configuration — the divide half of divide-and-
+//! conquer, made pluggable.
+//!
+//! [`PartitionStrategy`] mirrors [`crate::SubSolver`]'s config-enum
+//! pattern for the *divide* step: each variant names a
+//! [`Partitioner`] built via [`PartitionStrategy::to_partitioner`],
+//! and [`PartitionStrategy::Custom`] wraps any external implementation
+//! — no `qq-core` edits required to plug in a new way of cutting a
+//! graph. [`RefineConfig`] gates the two refinement hooks: a
+//! Kernighan–Lin-style boundary sweep on every level's partition
+//! ([`qq_graph::refine_partition`]) and a boundary-restricted
+//! one-exchange polish on every level's composed cut
+//! ([`qq_classical::one_exchange_from`]).
+//!
+//! The orchestrator enters through [`divide`], which adds the uniform
+//! guards (validation, cap enforcement, singleton-stall fallback — see
+//! [`qq_graph::partition_for_divide`]) and reports partition-quality
+//! metrics for [`crate::LevelStats`].
+
+use crate::Qaoa2Error;
+use qq_graph::{
+    inter_weight_fraction, partition_for_divide, refine_partition, BalancedChunks, BfsGrow, Graph,
+    GreedyModularity, Multilevel, Partition, PartitionError, Partitioner,
+};
+use std::sync::Arc;
+
+/// A dynamically supplied partitioner (the escape hatch for strategies
+/// defined outside this crate). `Arc` rather than `Box` so the
+/// configuration enum stays cheaply cloneable.
+pub type SharedPartitioner = Arc<dyn Partitioner>;
+
+/// Which strategy divides a graph into cap-sized communities.
+#[derive(Clone, Default)]
+pub enum PartitionStrategy {
+    /// The paper's divide: CNM greedy modularity, oversized communities
+    /// recursively re-divided. The default.
+    #[default]
+    GreedyModularity,
+    /// Node-order chunks of `cap` nodes: structure-free baseline.
+    BalancedChunks,
+    /// Breadth-first region growing from ascending seed ids: connected,
+    /// locality-friendly communities.
+    BfsGrow,
+    /// Multilevel heavy-edge-matching coarsening (METIS-style, after
+    /// Angone et al.); pair with partition refinement for the classic
+    /// coarsen → refine pipeline.
+    Multilevel,
+    /// Any externally supplied [`Partitioner`]: the open end of the
+    /// strategy layer. Build one with [`PartitionStrategy::custom`] or
+    /// via the `From` impls for boxed/arc'd trait objects. Outputs are
+    /// revalidated (`Partition::try_new`) and cap-checked on every
+    /// divide — custom strategies are not trusted.
+    Custom(SharedPartitioner),
+}
+
+impl std::fmt::Debug for PartitionStrategy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PartitionStrategy::GreedyModularity => f.write_str("GreedyModularity"),
+            PartitionStrategy::BalancedChunks => f.write_str("BalancedChunks"),
+            PartitionStrategy::BfsGrow => f.write_str("BfsGrow"),
+            PartitionStrategy::Multilevel => f.write_str("Multilevel"),
+            PartitionStrategy::Custom(p) => f.debug_tuple("Custom").field(&p.label()).finish(),
+        }
+    }
+}
+
+impl PartitionStrategy {
+    /// Short label for reports and benches. Matches the label of the
+    /// partitioner [`PartitionStrategy::to_partitioner`] constructs.
+    pub fn label(&self) -> &str {
+        match self {
+            PartitionStrategy::GreedyModularity => "greedy-modularity",
+            PartitionStrategy::BalancedChunks => "balanced-chunks",
+            PartitionStrategy::BfsGrow => "bfs-grow",
+            PartitionStrategy::Multilevel => "multilevel",
+            PartitionStrategy::Custom(p) => p.label(),
+        }
+    }
+
+    /// Wrap an externally defined strategy.
+    pub fn custom(partitioner: impl Partitioner + 'static) -> Self {
+        PartitionStrategy::Custom(Arc::new(partitioner))
+    }
+
+    /// Construct the partitioner this configuration describes. Built
+    /// once per solve and shared across levels (strategies are
+    /// stateless and `Sync`).
+    pub fn to_partitioner(&self) -> SharedPartitioner {
+        match self {
+            PartitionStrategy::GreedyModularity => Arc::new(GreedyModularity),
+            PartitionStrategy::BalancedChunks => Arc::new(BalancedChunks),
+            PartitionStrategy::BfsGrow => Arc::new(BfsGrow),
+            PartitionStrategy::Multilevel => Arc::new(Multilevel),
+            PartitionStrategy::Custom(p) => Arc::clone(p),
+        }
+    }
+
+    /// All built-in strategies, for benches and exhaustive tests.
+    pub fn builtin() -> Vec<PartitionStrategy> {
+        vec![
+            PartitionStrategy::GreedyModularity,
+            PartitionStrategy::BalancedChunks,
+            PartitionStrategy::BfsGrow,
+            PartitionStrategy::Multilevel,
+        ]
+    }
+}
+
+impl From<SharedPartitioner> for PartitionStrategy {
+    fn from(p: SharedPartitioner) -> Self {
+        PartitionStrategy::Custom(p)
+    }
+}
+
+impl From<Box<dyn Partitioner>> for PartitionStrategy {
+    fn from(p: Box<dyn Partitioner>) -> Self {
+        PartitionStrategy::Custom(Arc::from(p))
+    }
+}
+
+/// Gates for the two refinement hooks. Default: everything off — the
+/// divide is exactly the configured strategy and the composed cut is
+/// exactly what divide/solve/merge produced (bit-identical to the
+/// pre-strategy-layer pipeline).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RefineConfig {
+    /// Kernighan–Lin-style boundary sweeps applied to every level's
+    /// partition (`0` = off). Each pass visits every node once; the
+    /// sweep stops early when a pass applies no move, so 2–4 passes is
+    /// plenty in practice.
+    pub partition_passes: usize,
+    /// Polish every level's composed cut with a one-exchange restricted
+    /// to the partition's boundary nodes. Never decreases the cut value
+    /// (the climb starts from the composed cut).
+    pub polish_cut: bool,
+}
+
+impl RefineConfig {
+    /// Both refinement hooks on, at the recommended pass budget.
+    pub fn full() -> Self {
+        RefineConfig { partition_passes: 2, polish_cut: true }
+    }
+}
+
+/// A divide outcome: the partition plus the quality metrics
+/// [`crate::LevelStats`] records.
+#[derive(Debug, Clone)]
+pub struct DivideOutcome {
+    /// The (possibly refined) partition the level solves over.
+    pub partition: Partition,
+    /// Community count before refinement (equals `after` when
+    /// refinement is off).
+    pub communities_before_refine: usize,
+    /// Community count after refinement (migration can empty small
+    /// communities, which are dropped).
+    pub communities_after_refine: usize,
+    /// Fraction of the graph's absolute edge weight crossing community
+    /// boundaries — what the merge stage must recover.
+    pub inter_weight_fraction: f64,
+    /// Largest community size over mean community size (1.0 = balanced).
+    pub balance: f64,
+}
+
+/// Divide `g` with the configured strategy: guarded partition
+/// ([`partition_for_divide`]), optional refinement sweep, quality
+/// metrics. This is the only partitioning entry point the QAOA²
+/// orchestrator uses.
+pub fn divide(
+    g: &Graph,
+    cap: usize,
+    strategy: &dyn Partitioner,
+    refine: &RefineConfig,
+) -> Result<DivideOutcome, Qaoa2Error> {
+    let partition = partition_for_divide(strategy, g, cap)?;
+    let communities_before_refine = partition.len();
+    let partition = if refine.partition_passes > 0 {
+        refine_partition(g, &partition, cap, refine.partition_passes).partition
+    } else {
+        partition
+    };
+    let communities_after_refine = partition.len();
+    let inter = inter_weight_fraction(g, &partition);
+    let balance = partition.balance();
+    Ok(DivideOutcome {
+        partition,
+        communities_before_refine,
+        communities_after_refine,
+        inter_weight_fraction: inter,
+        balance,
+    })
+}
+
+impl From<PartitionError> for Qaoa2Error {
+    fn from(e: PartitionError) -> Self {
+        match e {
+            PartitionError::InvalidCap => {
+                Qaoa2Error::InvalidConfig("community cap must be at least 1".into())
+            }
+            other => Qaoa2Error::Partition(other.to_string()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qq_graph::generators::{self, WeightKind};
+
+    #[test]
+    fn labels_match_partitioner_labels() {
+        for s in PartitionStrategy::builtin() {
+            assert_eq!(s.label(), s.to_partitioner().label());
+        }
+    }
+
+    #[test]
+    fn divide_records_metrics() {
+        let g = generators::planted_partition(4, 6, 0.9, 0.02, 8);
+        let strategy = PartitionStrategy::default().to_partitioner();
+        let d = divide(&g, 6, strategy.as_ref(), &RefineConfig::default()).unwrap();
+        assert_eq!(d.communities_before_refine, d.communities_after_refine);
+        assert_eq!(d.partition.len(), 4);
+        assert!((0.0..=1.0).contains(&d.inter_weight_fraction));
+        assert!((d.balance - 1.0).abs() < 1e-12, "planted blocks are balanced");
+    }
+
+    #[test]
+    fn refined_divide_never_raises_inter_fraction() {
+        for seed in 0..4 {
+            let g = generators::erdos_renyi(42, 0.15, WeightKind::Random01, seed);
+            for s in PartitionStrategy::builtin() {
+                let p = s.to_partitioner();
+                let plain = divide(&g, 8, p.as_ref(), &RefineConfig::default()).unwrap();
+                let refined = divide(&g, 8, p.as_ref(), &RefineConfig::full()).unwrap();
+                assert!(
+                    refined.inter_weight_fraction <= plain.inter_weight_fraction + 1e-9,
+                    "{} seed {seed}: {} > {}",
+                    s.label(),
+                    refined.inter_weight_fraction,
+                    plain.inter_weight_fraction,
+                );
+                assert!(refined.partition.max_community_size() <= 8);
+            }
+        }
+    }
+
+    #[test]
+    fn custom_strategy_plugs_in() {
+        struct EveryOtherNode;
+        impl Partitioner for EveryOtherNode {
+            fn label(&self) -> &str {
+                "every-other-node"
+            }
+            fn partition(
+                &self,
+                g: &Graph,
+                _cap: usize,
+            ) -> Result<Partition, qq_graph::PartitionError> {
+                let n = g.num_nodes();
+                let evens: Vec<u32> = (0..n as u32).step_by(2).collect();
+                let odds: Vec<u32> = (1..n as u32).step_by(2).collect();
+                Partition::try_new(n, vec![evens, odds])
+            }
+        }
+        let s = PartitionStrategy::custom(EveryOtherNode);
+        assert_eq!(s.label(), "every-other-node");
+        let g = generators::ring(8);
+        let d = divide(&g, 4, s.to_partitioner().as_ref(), &RefineConfig::default()).unwrap();
+        assert_eq!(d.partition.len(), 2);
+        // ring: every edge crosses the even/odd split
+        assert!((d.inter_weight_fraction - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn custom_strategy_violating_the_cap_is_rejected() {
+        struct OneBlob;
+        impl Partitioner for OneBlob {
+            fn label(&self) -> &str {
+                "one-blob"
+            }
+            fn partition(
+                &self,
+                g: &Graph,
+                _cap: usize,
+            ) -> Result<Partition, qq_graph::PartitionError> {
+                Partition::try_new(g.num_nodes(), vec![(0..g.num_nodes() as u32).collect()])
+            }
+        }
+        let g = generators::ring(9);
+        let s = PartitionStrategy::custom(OneBlob);
+        let err = divide(&g, 4, s.to_partitioner().as_ref(), &RefineConfig::default()).unwrap_err();
+        assert!(matches!(err, Qaoa2Error::Partition(_)), "{err:?}");
+    }
+
+    #[test]
+    fn refine_inside_cap_zero_path_is_a_config_error() {
+        let g = generators::ring(5);
+        let s = PartitionStrategy::default().to_partitioner();
+        let err = divide(&g, 0, s.as_ref(), &RefineConfig::default()).unwrap_err();
+        assert!(matches!(err, Qaoa2Error::InvalidConfig(_)), "{err:?}");
+    }
+}

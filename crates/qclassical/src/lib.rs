@@ -19,7 +19,7 @@ pub mod solvers;
 
 pub use annealing::simulated_annealing;
 pub use exact::exact_maxcut;
-pub use local_search::one_exchange;
+pub use local_search::{one_exchange, one_exchange_from};
 pub use random::randomized_partitioning;
 pub use solvers::{AnnealingSolver, ExactSolver, LocalSearchSolver, RandomSolver};
 

@@ -4,6 +4,13 @@
 //! while any node flip strictly increases the cut value, flip the node with
 //! the largest gain. Terminates at a 1-flip local optimum, which is always
 //! ≥ half the total positive weight.
+//!
+//! [`one_exchange_from`] is the restricted variant: the same climb, but
+//! starting from a caller-supplied cut and flipping only a candidate
+//! subset of nodes. QAOA² uses it as the post-merge cut polish — a
+//! one-exchange confined to the partition's boundary nodes, the only
+//! place where the divide-and-conquer composition can have left local
+//! slack.
 
 use crate::CutResult;
 use qq_graph::{Cut, Graph, NodeId};
@@ -14,18 +21,46 @@ use rand::{Rng, SeedableRng};
 pub fn one_exchange(g: &Graph, seed: u64) -> CutResult {
     let n = g.num_nodes();
     let mut rng = StdRng::seed_from_u64(seed);
-    let mut cut = Cut::from_fn(n, |_| rng.gen::<bool>());
+    let all: Vec<NodeId> = (0..n as NodeId).collect();
+    let cut = climb(g, Cut::from_fn(n, |_| rng.gen::<bool>()), &all);
+    CutResult::new(cut, g)
+}
 
+/// Hill-climb single-node flips restricted to `candidates`, starting
+/// from `start`. The returned cut's value is never below the starting
+/// cut's (zero improving flips leave it untouched), so this is safe to
+/// apply unconditionally as a polish. Deterministic: no randomness, the
+/// largest-gain candidate flips first (last index wins exact ties, as
+/// in [`one_exchange`]).
+pub fn one_exchange_from(g: &Graph, start: Cut, candidates: &[NodeId]) -> CutResult {
+    assert_eq!(start.len(), g.num_nodes(), "cut and graph must agree on node count");
+    CutResult::new(climb(g, start, candidates), g)
+}
+
+/// The shared climb: while any candidate flip strictly increases the
+/// cut value, flip the largest-gain candidate, updating gains
+/// incrementally.
+fn climb(g: &Graph, mut cut: Cut, candidates: &[NodeId]) -> Cut {
     // gains[v] = Δcut if v flips; updated incrementally after each flip.
-    let mut gains: Vec<f64> = (0..n as NodeId).map(|v| cut.flip_gain(g, v)).collect();
+    // Only candidate gains are ever *read*, so initialization is
+    // proportional to the candidate set (the boundary-polish caller
+    // passes a small subset of a large graph); incremental updates
+    // below may write non-candidate entries, which is harmless.
+    let mut gains: Vec<f64> = vec![0.0; g.num_nodes()];
+    for &v in candidates {
+        gains[v as usize] = cut.flip_gain(g, v);
+    }
     loop {
-        let best =
-            (0..n).max_by(|&a, &b| gains[a].total_cmp(&gains[b])).filter(|&v| gains[v] > 1e-12);
+        let best = candidates
+            .iter()
+            .copied()
+            .max_by(|&a, &b| gains[a as usize].total_cmp(&gains[b as usize]))
+            .filter(|&v| gains[v as usize] > 1e-12);
         let Some(v) = best else { break };
-        cut.flip_node(v as NodeId);
-        gains[v] = -gains[v];
-        let side_v = cut.get(v as NodeId);
-        for &(u, w) in g.neighbors(v as NodeId) {
+        cut.flip_node(v);
+        gains[v as usize] = -gains[v as usize];
+        let side_v = cut.get(v);
+        for &(u, w) in g.neighbors(v) {
             // edge (u,v) changed cut-status; u's gain shifts by ±2w
             if cut.get(u) == side_v {
                 gains[u as usize] += 2.0 * w;
@@ -34,7 +69,7 @@ pub fn one_exchange(g: &Graph, seed: u64) -> CutResult {
             }
         }
     }
-    CutResult::new(cut, g)
+    cut
 }
 
 #[cfg(test)]
@@ -78,5 +113,58 @@ mod tests {
     fn deterministic_per_seed() {
         let g = generators::erdos_renyi(25, 0.3, WeightKind::Uniform, 0);
         assert_eq!(one_exchange(&g, 5).cut, one_exchange(&g, 5).cut);
+    }
+
+    #[test]
+    fn restricted_climb_never_decreases_the_start_value() {
+        let g = generators::erdos_renyi(30, 0.25, WeightKind::Random01, 12);
+        for seed in 0..5u64 {
+            let start = Cut::from_fn(30, |v| (seed >> (v % 13)) & 1 == 1);
+            let before = start.value(&g);
+            let candidates: Vec<NodeId> = (0..30).filter(|v| v % 3 != 0).collect();
+            let r = one_exchange_from(&g, start, &candidates);
+            assert!(r.value >= before - 1e-12, "seed {seed}: {} < {before}", r.value);
+        }
+    }
+
+    #[test]
+    fn restricted_climb_only_flips_candidates() {
+        let g = generators::erdos_renyi(24, 0.3, WeightKind::Uniform, 7);
+        let start = Cut::new(24);
+        let candidates: Vec<NodeId> = (0..12).collect();
+        let r = one_exchange_from(&g, start.clone(), &candidates);
+        for v in 12..24 {
+            assert_eq!(r.cut.get(v), start.get(v), "non-candidate {v} flipped");
+        }
+    }
+
+    #[test]
+    fn restricted_climb_reaches_candidate_local_optimum() {
+        let g = generators::erdos_renyi(20, 0.35, WeightKind::Random01, 4);
+        let candidates: Vec<NodeId> = (0..20).filter(|v| v % 2 == 0).collect();
+        let r = one_exchange_from(&g, Cut::new(20), &candidates);
+        for &v in &candidates {
+            assert!(r.cut.flip_gain(&g, v) <= 1e-9, "candidate {v} still improves");
+        }
+    }
+
+    #[test]
+    fn unrestricted_climb_from_matches_one_exchange() {
+        // one_exchange == climb over all nodes from the same seeded start
+        let g = generators::erdos_renyi(28, 0.25, WeightKind::Random01, 9);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let start = Cut::from_fn(28, |_| rng.gen::<bool>());
+        let all: Vec<NodeId> = (0..28).collect();
+        let restricted = one_exchange_from(&g, start, &all);
+        let direct = one_exchange(&g, 3);
+        assert_eq!(restricted.cut, direct.cut);
+    }
+
+    #[test]
+    fn empty_candidate_set_is_identity() {
+        let g = generators::erdos_renyi(10, 0.4, WeightKind::Uniform, 1);
+        let start = Cut::from_fn(10, |v| v % 2 == 0);
+        let r = one_exchange_from(&g, start.clone(), &[]);
+        assert_eq!(r.cut, start);
     }
 }

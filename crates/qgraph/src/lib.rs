@@ -26,12 +26,22 @@ pub mod graph;
 pub mod io;
 pub mod modularity;
 pub mod partition;
+pub mod partitioner;
+pub mod refine;
 pub mod solver;
 
 pub use cut::Cut;
 pub use graph::{Edge, Graph, GraphError, NodeId};
 pub use modularity::{greedy_modularity_communities, modularity};
-pub use partition::{extract_subgraphs, partition_with_cap, Partition, Subgraph};
+pub use partition::{
+    boundary_nodes, extract_subgraphs, inter_weight_fraction, partition_with_cap, Partition,
+    Subgraph,
+};
+pub use partitioner::{
+    partition_for_divide, BalancedChunks, BfsGrow, BoxedPartitioner, GreedyModularity, Multilevel,
+    PartitionError, Partitioner,
+};
+pub use refine::{refine_partition, RefineOutcome, Refined};
 pub use solver::{BestOf, BoxedSolver, CutResult, MaxCutSolver, SolverCaps, SolverError};
 
 /// Convenient result alias for fallible graph operations.

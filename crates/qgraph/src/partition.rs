@@ -5,7 +5,11 @@
 //! any community larger than the qubit budget. [`partition_with_cap`]
 //! implements exactly that, with a balanced-bisection fallback for
 //! communities that greedy modularity refuses to split (cliques, very dense
-//! blobs, or merge graphs with non-positive total weight).
+//! blobs, or merge graphs with non-positive total weight). It is one
+//! strategy of several: the pluggable strategy layer lives in
+//! [`crate::partitioner`] (trait + built-ins) and [`crate::refine`]
+//! (boundary refinement); this module owns the [`Partition`] type, its
+//! quality metrics, and the CNM strategy's engine.
 
 use crate::graph::{Graph, NodeId};
 use crate::modularity::greedy_modularity_communities;
@@ -19,16 +23,67 @@ pub struct Partition {
 
 impl Partition {
     /// Wrap raw communities. Panics in debug builds if they are not a
-    /// disjoint cover of `0..num_nodes`.
+    /// disjoint cover of `0..num_nodes`. For communities from an
+    /// external or otherwise untrusted source, use
+    /// [`Partition::try_new`] instead — this constructor is for
+    /// internal callers whose output is correct by construction.
     pub fn new(num_nodes: usize, communities: Vec<Vec<NodeId>>) -> Self {
         let p = Partition { communities, num_nodes };
         debug_assert!(p.is_valid(), "communities must partition the node set");
         p
     }
 
+    /// Wrap raw communities, rejecting any set that is not a disjoint
+    /// cover of `0..num_nodes`. This is the constructor for communities
+    /// that cross a trust boundary (custom [`crate::Partitioner`]
+    /// implementations, deserialized data): unlike [`Partition::new`],
+    /// the check runs in every build profile and surfaces as an error
+    /// instead of undefined downstream behaviour.
+    pub fn try_new(
+        num_nodes: usize,
+        communities: Vec<Vec<NodeId>>,
+    ) -> Result<Self, crate::partitioner::PartitionError> {
+        let mut seen = vec![false; num_nodes];
+        for c in &communities {
+            for &v in c {
+                let Some(slot) = seen.get_mut(v as usize) else {
+                    return Err(crate::partitioner::PartitionError::InvalidPartition {
+                        reason: format!("node {v} out of range for {num_nodes} nodes"),
+                    });
+                };
+                if *slot {
+                    return Err(crate::partitioner::PartitionError::InvalidPartition {
+                        reason: format!("node {v} appears in more than one community"),
+                    });
+                }
+                *slot = true;
+            }
+        }
+        if let Some(missing) = seen.iter().position(|&s| !s) {
+            return Err(crate::partitioner::PartitionError::InvalidPartition {
+                reason: format!("node {missing} is not covered by any community"),
+            });
+        }
+        Ok(Partition { communities, num_nodes })
+    }
+
+    /// Wrap raw communities with **no** validation at all — not even the
+    /// debug assertion. Only for tests that need to construct invalid
+    /// partitions on purpose (e.g. to exercise the validators).
+    #[doc(hidden)]
+    pub fn new_unchecked(num_nodes: usize, communities: Vec<Vec<NodeId>>) -> Self {
+        Partition { communities, num_nodes }
+    }
+
     /// Communities as sorted node-id lists.
     pub fn communities(&self) -> &[Vec<NodeId>] {
         &self.communities
+    }
+
+    /// Consume the partition, yielding the raw communities (for
+    /// revalidation or transformation).
+    pub fn into_communities(self) -> Vec<Vec<NodeId>> {
+        self.communities
     }
 
     /// Number of communities.
@@ -44,6 +99,18 @@ impl Partition {
     /// Size of the largest community.
     pub fn max_community_size(&self) -> usize {
         self.communities.iter().map(Vec::len).max().unwrap_or(0)
+    }
+
+    /// Balance: largest community size divided by the mean community
+    /// size (`1.0` = perfectly balanced, higher = more skewed; `1.0`
+    /// for empty partitions by convention). A strategy with balance 3
+    /// puts three times the mean load on its largest sub-circuit.
+    pub fn balance(&self) -> f64 {
+        if self.num_nodes == 0 || self.communities.is_empty() {
+            return 1.0;
+        }
+        let mean = self.num_nodes as f64 / self.communities.len() as f64;
+        self.max_community_size() as f64 / mean
     }
 
     /// `assignment()[v]` = index of the community containing node `v`.
@@ -88,6 +155,46 @@ impl Subgraph {
     pub fn num_nodes(&self) -> usize {
         self.graph.num_nodes()
     }
+}
+
+/// Fraction of the graph's edge weight that crosses community
+/// boundaries: `Σ|w| over inter-community edges / Σ|w| over all edges`
+/// (`0.0` for edgeless graphs). Absolute values keep the metric in
+/// `[0, 1]` even on QAOA² merge graphs with negative weights.
+///
+/// This is the quantity the QAOA² merge stage must recover at community
+/// granularity — the partition-quality headline number in
+/// `LevelStats`.
+pub fn inter_weight_fraction(g: &Graph, partition: &Partition) -> f64 {
+    let assignment = partition.assignment();
+    let mut inter = 0.0;
+    let mut total = 0.0;
+    for e in g.edges() {
+        total += e.w.abs();
+        if assignment[e.u as usize] != assignment[e.v as usize] {
+            inter += e.w.abs();
+        }
+    }
+    if total == 0.0 {
+        0.0
+    } else {
+        inter / total
+    }
+}
+
+/// Node ids with at least one neighbor in a different community — the
+/// candidate set for boundary-restricted local search (the post-merge
+/// cut polish) and for KL-style refinement.
+pub fn boundary_nodes(g: &Graph, partition: &Partition) -> Vec<NodeId> {
+    let assignment = partition.assignment();
+    let mut boundary = vec![false; g.num_nodes()];
+    for e in g.edges() {
+        if assignment[e.u as usize] != assignment[e.v as usize] {
+            boundary[e.u as usize] = true;
+            boundary[e.v as usize] = true;
+        }
+    }
+    (0..g.num_nodes() as NodeId).filter(|&v| boundary[v as usize]).collect()
 }
 
 /// Extract the induced sub-graph of every community.
@@ -222,6 +329,69 @@ mod tests {
         assert!(!p.is_valid());
         let q = Partition { communities: vec![vec![0]], num_nodes: 2 };
         assert!(!q.is_valid());
+    }
+
+    #[test]
+    fn try_new_accepts_valid_and_names_each_failure() {
+        use crate::partitioner::PartitionError;
+        let ok = Partition::try_new(3, vec![vec![0, 2], vec![1]]).unwrap();
+        assert_eq!(ok.len(), 2);
+        let dup = Partition::try_new(2, vec![vec![0, 1], vec![1]]).unwrap_err();
+        assert!(
+            matches!(&dup, PartitionError::InvalidPartition { reason } if reason.contains("more than one")),
+            "{dup:?}"
+        );
+        let missing = Partition::try_new(2, vec![vec![0]]).unwrap_err();
+        assert!(
+            matches!(&missing, PartitionError::InvalidPartition { reason } if reason.contains("not covered")),
+            "{missing:?}"
+        );
+        let oob = Partition::try_new(2, vec![vec![0, 1, 5]]).unwrap_err();
+        assert!(
+            matches!(&oob, PartitionError::InvalidPartition { reason } if reason.contains("out of range")),
+            "{oob:?}"
+        );
+    }
+
+    #[test]
+    fn into_communities_roundtrips_through_try_new() {
+        let g = generators::erdos_renyi(20, 0.25, WeightKind::Uniform, 2);
+        let p = partition_with_cap(&g, 6);
+        let q = Partition::try_new(20, p.clone().into_communities()).unwrap();
+        assert_eq!(p, q);
+    }
+
+    #[test]
+    fn balance_is_max_over_mean() {
+        let p = Partition::new(6, vec![vec![0, 1, 2, 3], vec![4], vec![5]]);
+        // mean = 2, max = 4
+        assert!((p.balance() - 2.0).abs() < 1e-12);
+        let uniform = Partition::new(4, vec![vec![0, 1], vec![2, 3]]);
+        assert!((uniform.balance() - 1.0).abs() < 1e-12);
+        assert_eq!(Partition::new(0, vec![]).balance(), 1.0);
+    }
+
+    #[test]
+    fn inter_weight_fraction_counts_crossing_weight() {
+        // barbell: only the bridge edge crosses the two bells
+        let g = generators::barbell(4);
+        let p = Partition::new(8, vec![vec![0, 1, 2, 3], vec![4, 5, 6, 7]]);
+        assert!((inter_weight_fraction(&g, &p) - 1.0 / 13.0).abs() < 1e-12);
+        // everything in one community: nothing crosses
+        let one = Partition::new(8, vec![(0..8).collect()]);
+        assert_eq!(inter_weight_fraction(&g, &one), 0.0);
+        // edgeless graph: defined as 0
+        let empty = Graph::new(3);
+        let singletons = Partition::new(3, vec![vec![0], vec![1], vec![2]]);
+        assert_eq!(inter_weight_fraction(&empty, &singletons), 0.0);
+    }
+
+    #[test]
+    fn boundary_nodes_are_exactly_the_crossing_endpoints() {
+        let g = generators::barbell(3);
+        let p = Partition::new(6, vec![vec![0, 1, 2], vec![3, 4, 5]]);
+        // bridge is (2, 3): only its endpoints are boundary
+        assert_eq!(boundary_nodes(&g, &p), vec![2, 3]);
     }
 
     use crate::graph::Graph;

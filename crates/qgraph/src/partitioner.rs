@@ -1,0 +1,575 @@
+//! The pluggable partition-strategy layer for the QAOA² divide step.
+//!
+//! The divide step controls QAOA² quality: every unit of edge weight
+//! trapped *between* communities is exactly what the merge stage must
+//! later recover on the coarse graph, so *how* a graph is split across
+//! sub-circuits matters as much as how each sub-circuit is solved.
+//! Mirroring the solver backend layer ([`crate::solver::MaxCutSolver`]),
+//! dividing is therefore a trait, not a hard-coded function: every
+//! strategy implements [`Partitioner`], and the orchestrator dispatches
+//! through [`partition_for_divide`], which adds the uniform guards every
+//! strategy needs (output validation, cap enforcement, and the
+//! singleton-stall fallback that keeps the recursion contracting).
+//!
+//! Built-in strategies:
+//!
+//! * [`GreedyModularity`] — the paper's procedure (CNM communities,
+//!   recursively re-divided to the cap); the default.
+//! * [`BalancedChunks`] — node-order chunks of `cap` nodes: the
+//!   structure-free baseline, and the fallback every other strategy
+//!   degrades to when it cannot make progress.
+//! * [`BfsGrow`] — breadth-first region growing from the lowest
+//!   unassigned node id: connected, cache/locality-friendly communities
+//!   without any modularity machinery.
+//! * [`Multilevel`] — heavy-edge-matching coarsening in the METIS /
+//!   multilevel tradition (Angone et al., arXiv:2309.08815): repeatedly
+//!   contract the heaviest admissible matching until no merge fits the
+//!   cap; the surviving super-nodes are the communities.
+//!
+//! Any of them (or an external [`Partitioner`]) can be wrapped in
+//! [`crate::refine::Refined`] for a Kernighan–Lin-style boundary pass
+//! that migrates nodes between communities to shrink the
+//! inter-community weight while respecting the cap.
+
+use crate::graph::{Graph, NodeId};
+use crate::partition::Partition;
+use std::fmt;
+
+/// Why a partition could not be produced (or was rejected).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PartitionError {
+    /// The community cap is zero — no node fits anywhere.
+    InvalidCap,
+    /// The returned communities are not a disjoint cover of the node
+    /// set (duplicate, missing, or out-of-range node).
+    InvalidPartition {
+        /// What the validator found.
+        reason: String,
+    },
+    /// A community exceeds the requested cap.
+    CapExceeded {
+        /// Size of the offending community.
+        size: usize,
+        /// The cap it violated.
+        cap: usize,
+    },
+    /// A custom strategy failed for its own reasons.
+    Backend(String),
+}
+
+impl fmt::Display for PartitionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PartitionError::InvalidCap => write!(f, "community cap must be at least 1"),
+            PartitionError::InvalidPartition { reason } => {
+                write!(f, "communities do not partition the node set: {reason}")
+            }
+            PartitionError::CapExceeded { size, cap } => {
+                write!(f, "community of {size} nodes exceeds the cap of {cap}")
+            }
+            PartitionError::Backend(m) => write!(f, "partitioner failed: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for PartitionError {}
+
+/// A divide strategy: split `g` into communities of at most `cap` nodes.
+///
+/// Implementations must be deterministic (same graph + cap → same
+/// partition) — partitioning sits upstream of every seeded solve, so a
+/// nondeterministic divide would break the suite's reproducibility
+/// contract. `Send + Sync` so orchestrators can share one strategy
+/// across levels and worker threads.
+///
+/// Implementations should return a valid, cap-respecting partition, but
+/// the orchestrator does not *trust* them to: outputs flow through
+/// [`partition_for_divide`], which re-validates via
+/// [`Partition::try_new`] and enforces the cap — essential for external
+/// strategies plugged in through `qq_core::PartitionStrategy::Custom`.
+pub trait Partitioner: Send + Sync {
+    /// Short stable label for reports, benches, and CLI selection
+    /// (e.g. `"greedy-modularity"`, `"multilevel"`).
+    fn label(&self) -> &str;
+
+    /// Split `g` into communities of at most `cap` nodes.
+    fn partition(&self, g: &Graph, cap: usize) -> Result<Partition, PartitionError>;
+}
+
+/// Boxed, dynamically typed strategy handle.
+pub type BoxedPartitioner = Box<dyn Partitioner>;
+
+// Boxed and shared handles are themselves partitioners, mirroring the
+// solver layer, so orchestration code accepts either without special
+// cases.
+impl Partitioner for BoxedPartitioner {
+    fn label(&self) -> &str {
+        self.as_ref().label()
+    }
+
+    fn partition(&self, g: &Graph, cap: usize) -> Result<Partition, PartitionError> {
+        self.as_ref().partition(g, cap)
+    }
+}
+
+impl Partitioner for std::sync::Arc<dyn Partitioner> {
+    fn label(&self) -> &str {
+        self.as_ref().label()
+    }
+
+    fn partition(&self, g: &Graph, cap: usize) -> Result<Partition, PartitionError> {
+        self.as_ref().partition(g, cap)
+    }
+}
+
+/// The paper's divide: CNM greedy modularity with oversized communities
+/// recursively re-divided ([`crate::partition::partition_with_cap`]).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct GreedyModularity;
+
+impl Partitioner for GreedyModularity {
+    fn label(&self) -> &str {
+        "greedy-modularity"
+    }
+
+    fn partition(&self, g: &Graph, cap: usize) -> Result<Partition, PartitionError> {
+        if cap == 0 {
+            return Err(PartitionError::InvalidCap);
+        }
+        Ok(crate::partition::partition_with_cap(g, cap))
+    }
+}
+
+/// Node-order chunks of `cap` nodes: nodes `0..cap`, `cap..2cap`, ….
+///
+/// Ignores structure entirely, which makes it the deterministic
+/// always-terminates baseline — and the fallback
+/// [`partition_for_divide`] applies when a structural strategy stalls
+/// on singletons (cliques, edgeless graphs, merge graphs with
+/// non-positive weight).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BalancedChunks;
+
+impl Partitioner for BalancedChunks {
+    fn label(&self) -> &str {
+        "balanced-chunks"
+    }
+
+    fn partition(&self, g: &Graph, cap: usize) -> Result<Partition, PartitionError> {
+        if cap == 0 {
+            return Err(PartitionError::InvalidCap);
+        }
+        Ok(balanced_chunks(g.num_nodes(), cap))
+    }
+}
+
+/// Node-order chunks of size `cap` as a raw partition (shared by the
+/// [`BalancedChunks`] strategy and the stall fallback).
+pub(crate) fn balanced_chunks(n: usize, cap: usize) -> Partition {
+    let communities: Vec<Vec<NodeId>> =
+        (0..n as NodeId).collect::<Vec<_>>().chunks(cap).map(|c| c.to_vec()).collect();
+    Partition::new(n, communities)
+}
+
+/// Breadth-first region growing: start from the lowest unassigned node
+/// id, BFS outward (neighbors in ascending id order) until the
+/// community holds `cap` nodes or the reachable region is exhausted,
+/// then seed the next community from the next unassigned node.
+///
+/// Communities are connected by construction (except on isolated
+/// nodes), which keeps sub-problems physically meaningful without the
+/// cost of modularity bookkeeping.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BfsGrow;
+
+impl Partitioner for BfsGrow {
+    fn label(&self) -> &str {
+        "bfs-grow"
+    }
+
+    fn partition(&self, g: &Graph, cap: usize) -> Result<Partition, PartitionError> {
+        if cap == 0 {
+            return Err(PartitionError::InvalidCap);
+        }
+        let n = g.num_nodes();
+        let mut assigned = vec![false; n];
+        let mut communities: Vec<Vec<NodeId>> = Vec::new();
+        let mut queue: std::collections::VecDeque<NodeId> = std::collections::VecDeque::new();
+        let mut sorted_neighbors: Vec<NodeId> = Vec::new();
+        for seed in 0..n as NodeId {
+            if assigned[seed as usize] {
+                continue;
+            }
+            let mut community = Vec::with_capacity(cap);
+            queue.clear();
+            queue.push_back(seed);
+            while let Some(v) = queue.pop_front() {
+                if assigned[v as usize] {
+                    continue;
+                }
+                assigned[v as usize] = true;
+                community.push(v);
+                if community.len() == cap {
+                    break; // abandoned frontier nodes reseed later
+                }
+                sorted_neighbors.clear();
+                sorted_neighbors.extend(
+                    g.neighbors(v).iter().filter(|&&(u, _)| !assigned[u as usize]).map(|&(u, _)| u),
+                );
+                sorted_neighbors.sort_unstable();
+                queue.extend(sorted_neighbors.iter().copied());
+            }
+            community.sort_unstable();
+            communities.push(community);
+        }
+        Ok(Partition::new(n, communities))
+    }
+}
+
+/// Multilevel heavy-edge-matching coarsening (METIS-style, after Angone
+/// et al.): repeatedly match each super-node with its heaviest
+/// positive-weight neighbor whose combined size still fits the cap,
+/// contract all matched pairs at once, and stop when a round produces
+/// no merge. The surviving super-nodes — each a set of original nodes
+/// grown along the heaviest edges — are the communities; uncoarsening
+/// is the identity because every super-node tracks its member list.
+///
+/// Pairing along heavy edges keeps strongly coupled nodes inside one
+/// sub-circuit, which is exactly the weight the merge stage would
+/// otherwise have to recover. Combine with [`crate::refine::Refined`]
+/// for the classic coarsen → refine pipeline.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Multilevel;
+
+impl Partitioner for Multilevel {
+    fn label(&self) -> &str {
+        "multilevel"
+    }
+
+    fn partition(&self, g: &Graph, cap: usize) -> Result<Partition, PartitionError> {
+        if cap == 0 {
+            return Err(PartitionError::InvalidCap);
+        }
+        let n = g.num_nodes();
+        // super-node state: member lists (global ids) and the current
+        // coarse graph over super-nodes
+        let mut members: Vec<Vec<NodeId>> = (0..n as NodeId).map(|v| vec![v]).collect();
+        let mut coarse = g.clone();
+        loop {
+            let k = coarse.num_nodes();
+            // heaviest admissible matching, greedy in super-node order:
+            // deterministic and one linear scan per round
+            let mut matched = vec![false; k];
+            let mut merge_into = vec![u32::MAX; k];
+            let mut merges = 0usize;
+            for u in 0..k as NodeId {
+                if matched[u as usize] {
+                    continue;
+                }
+                let mut best: Option<(f64, NodeId)> = None;
+                for &(v, w) in coarse.neighbors(u) {
+                    if matched[v as usize]
+                        || w <= 0.0
+                        || members[u as usize].len() + members[v as usize].len() > cap
+                    {
+                        continue;
+                    }
+                    let better = match best {
+                        None => true,
+                        // heaviest edge wins; ties break to the smaller id
+                        Some((bw, bv)) => w > bw || (w == bw && v < bv),
+                    };
+                    if better {
+                        best = Some((w, v));
+                    }
+                }
+                if let Some((_, v)) = best {
+                    matched[u as usize] = true;
+                    matched[v as usize] = true;
+                    merge_into[v as usize] = u;
+                    merges += 1;
+                }
+            }
+            if merges == 0 {
+                break;
+            }
+            // contract: relabel super-nodes compactly, absorb matched
+            // partners, and rebuild the coarse graph with summed weights
+            let mut new_id = vec![u32::MAX; k];
+            let mut next = 0u32;
+            for u in 0..k {
+                if merge_into[u] == u32::MAX {
+                    new_id[u] = next;
+                    next += 1;
+                }
+            }
+            let mut new_members: Vec<Vec<NodeId>> = vec![Vec::new(); next as usize];
+            for (u, m) in members.iter_mut().enumerate() {
+                let target = if merge_into[u] == u32::MAX { u } else { merge_into[u] as usize };
+                new_members[new_id[target] as usize].append(m);
+            }
+            for m in &mut new_members {
+                m.sort_unstable();
+            }
+            let mut weights: std::collections::HashMap<(u32, u32), f64> =
+                std::collections::HashMap::new();
+            for e in coarse.edges() {
+                let mut a = e.u as usize;
+                let mut b = e.v as usize;
+                if merge_into[a] != u32::MAX {
+                    a = merge_into[a] as usize;
+                }
+                if merge_into[b] != u32::MAX {
+                    b = merge_into[b] as usize;
+                }
+                let (a, b) = (new_id[a], new_id[b]);
+                if a == b {
+                    continue; // contracted edge disappears
+                }
+                let key = if a < b { (a, b) } else { (b, a) };
+                *weights.entry(key).or_insert(0.0) += e.w;
+            }
+            let mut next_coarse = Graph::new(next as usize);
+            let mut entries: Vec<((u32, u32), f64)> = weights.into_iter().collect();
+            entries.sort_by_key(|&(key, _)| key);
+            for ((a, b), w) in entries {
+                next_coarse.add_edge(a, b, w).expect("contracted edges are unique and in range");
+            }
+            members = new_members;
+            coarse = next_coarse;
+        }
+        // deterministic presentation order, matching the CNM partitioner
+        members.sort_by(|x, y| y.len().cmp(&x.len()).then_with(|| x[0].cmp(&y[0])));
+        Ok(Partition::new(n, members))
+    }
+}
+
+/// Run a strategy with the orchestrator's uniform guards:
+///
+/// 1. **Validation** — the returned communities are re-checked through
+///    [`Partition::try_new`] (strategies, especially external ones, are
+///    not trusted), every community is held to the cap, and empty
+///    communities are dropped (they would become zero-node solve jobs
+///    and isolated coarse-graph nodes, and would skew both the stall
+///    guard and the balance metric).
+/// 2. **Stall guard** — when the graph is larger than the cap but the
+///    strategy returns only singletons (modularity on non-positive
+///    total weight, matching with no positive edges, …), the divide
+///    would not contract and the QAOA² recursion would never terminate;
+///    the partition degrades to [`BalancedChunks`], which always makes
+///    progress.
+///
+/// This is the single entry point the QAOA² orchestrator uses; calling
+/// a [`Partitioner`] directly skips both guards.
+pub fn partition_for_divide(
+    strategy: &dyn Partitioner,
+    g: &Graph,
+    cap: usize,
+) -> Result<Partition, PartitionError> {
+    if cap == 0 {
+        return Err(PartitionError::InvalidCap);
+    }
+    let partition = strategy.partition(g, cap)?;
+    // revalidate: strategy outputs are untrusted by contract
+    let mut communities = partition.into_communities();
+    communities.retain(|c| !c.is_empty());
+    let partition = Partition::try_new(g.num_nodes(), communities)?;
+    if partition.max_community_size() > cap {
+        return Err(PartitionError::CapExceeded { size: partition.max_community_size(), cap });
+    }
+    // singleton stall: a partition that does not group anything makes
+    // the coarse graph as large as `g` itself
+    if partition.len() >= g.num_nodes() && g.num_nodes() > cap {
+        return Ok(balanced_chunks(g.num_nodes(), cap));
+    }
+    Ok(partition)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::{self, WeightKind};
+
+    fn strategies() -> Vec<BoxedPartitioner> {
+        vec![
+            Box::new(GreedyModularity),
+            Box::new(BalancedChunks),
+            Box::new(BfsGrow),
+            Box::new(Multilevel),
+        ]
+    }
+
+    #[test]
+    fn every_strategy_returns_valid_capped_partition() {
+        let g = generators::erdos_renyi(50, 0.12, WeightKind::Random01, 7);
+        for s in strategies() {
+            for cap in [3, 8, 17] {
+                let p = s.partition(&g, cap).unwrap();
+                assert!(p.is_valid(), "{} cap {cap}", s.label());
+                assert!(p.max_community_size() <= cap, "{} cap {cap}", s.label());
+            }
+        }
+    }
+
+    #[test]
+    fn zero_cap_rejected_everywhere() {
+        let g = generators::ring(5);
+        for s in strategies() {
+            assert_eq!(s.partition(&g, 0), Err(PartitionError::InvalidCap), "{}", s.label());
+        }
+    }
+
+    #[test]
+    fn greedy_modularity_matches_partition_with_cap() {
+        let g = generators::erdos_renyi(40, 0.15, WeightKind::Uniform, 3);
+        let via_trait = GreedyModularity.partition(&g, 9).unwrap();
+        let direct = crate::partition::partition_with_cap(&g, 9);
+        assert_eq!(via_trait, direct);
+    }
+
+    #[test]
+    fn balanced_chunks_are_node_order_blocks() {
+        let g = generators::ring(10);
+        let p = BalancedChunks.partition(&g, 4).unwrap();
+        assert_eq!(p.communities(), &[vec![0, 1, 2, 3], vec![4, 5, 6, 7], vec![8, 9]]);
+    }
+
+    #[test]
+    fn bfs_grow_communities_are_connected() {
+        let g = generators::erdos_renyi(40, 0.15, WeightKind::Uniform, 11);
+        let p = BfsGrow.partition(&g, 7).unwrap();
+        for c in p.communities() {
+            let (sub, _) = g.induced_subgraph(c);
+            if sub.num_nodes() > 1 && sub.num_edges() > 0 {
+                // every multi-node community grown from one seed is one
+                // BFS region; isolated-node pickups only happen when the
+                // frontier is empty, i.e. in their own communities
+                assert_eq!(sub.connected_components().len(), 1, "community {c:?} not connected");
+            }
+        }
+    }
+
+    #[test]
+    fn multilevel_groups_heavy_edges_first() {
+        // two heavy pairs bridged by light edges: HEM must contract the
+        // heavy pairs into communities
+        let g =
+            Graph::from_edges(4, [(0, 1, 10.0), (2, 3, 10.0), (1, 2, 0.1), (0, 3, 0.1)]).unwrap();
+        let p = Multilevel.partition(&g, 2).unwrap();
+        assert_eq!(p.len(), 2);
+        let a = p.assignment();
+        assert_eq!(a[0], a[1]);
+        assert_eq!(a[2], a[3]);
+        assert_ne!(a[0], a[2]);
+    }
+
+    #[test]
+    fn multilevel_respects_cap_on_dense_graphs() {
+        let g = generators::complete(17);
+        let p = Multilevel.partition(&g, 5).unwrap();
+        assert!(p.is_valid());
+        assert!(p.max_community_size() <= 5);
+        // K17 has plenty of positive edges: coarsening must actually merge
+        assert!(p.len() < 17);
+    }
+
+    #[test]
+    fn multilevel_on_negative_weights_stalls_to_singletons() {
+        let g = Graph::from_edges(3, [(0, 1, -1.0), (1, 2, -2.0)]).unwrap();
+        let p = Multilevel.partition(&g, 2).unwrap();
+        assert_eq!(p.len(), 3, "no positive edge may be contracted");
+    }
+
+    #[test]
+    fn divide_guard_replaces_singleton_stall_with_chunks() {
+        // negative-weight graph: both structural strategies return
+        // singletons; the divide entry point must still contract
+        let g = Graph::from_edges(6, [(0, 1, -1.0), (2, 3, -1.0), (4, 5, -1.0)]).unwrap();
+        for s in [&Multilevel as &dyn Partitioner, &GreedyModularity] {
+            let p = partition_for_divide(s, &g, 3).unwrap();
+            assert!(p.len() < 6, "{} stalled", s.label());
+            assert!(p.max_community_size() <= 3);
+        }
+    }
+
+    #[test]
+    fn divide_rejects_invalid_custom_output() {
+        struct Overlapping;
+        impl Partitioner for Overlapping {
+            fn label(&self) -> &str {
+                "overlapping"
+            }
+            fn partition(&self, g: &Graph, _cap: usize) -> Result<Partition, PartitionError> {
+                // deliberately broken: node 0 appears twice — bypass
+                // try_new the way a buggy external impl could
+                let mut communities: Vec<Vec<NodeId>> =
+                    (0..g.num_nodes() as NodeId).map(|v| vec![v]).collect();
+                communities[1][0] = 0;
+                Ok(Partition::new_unchecked(g.num_nodes(), communities))
+            }
+        }
+        let g = generators::ring(4);
+        let err = partition_for_divide(&Overlapping, &g, 2).unwrap_err();
+        assert!(matches!(err, PartitionError::InvalidPartition { .. }), "{err:?}");
+    }
+
+    #[test]
+    fn divide_rejects_cap_violating_custom_output() {
+        struct OneBlob;
+        impl Partitioner for OneBlob {
+            fn label(&self) -> &str {
+                "one-blob"
+            }
+            fn partition(&self, g: &Graph, _cap: usize) -> Result<Partition, PartitionError> {
+                let all: Vec<NodeId> = (0..g.num_nodes() as NodeId).collect();
+                Ok(Partition::new(g.num_nodes(), vec![all]))
+            }
+        }
+        let g = generators::ring(6);
+        let err = partition_for_divide(&OneBlob, &g, 3).unwrap_err();
+        assert_eq!(err, PartitionError::CapExceeded { size: 6, cap: 3 });
+    }
+
+    #[test]
+    fn divide_drops_empty_communities_before_the_stall_check() {
+        // a custom strategy padding its (good) cover with empty
+        // communities: the empties must neither become zero-node solve
+        // jobs nor push len() past the singleton-stall threshold
+        struct PaddedChunks;
+        impl Partitioner for PaddedChunks {
+            fn label(&self) -> &str {
+                "padded-chunks"
+            }
+            fn partition(&self, g: &Graph, cap: usize) -> Result<Partition, PartitionError> {
+                let mut communities = balanced_chunks(g.num_nodes(), cap).into_communities();
+                // pad with enough empties that len() >= num_nodes
+                communities.resize(g.num_nodes() + 3, Vec::new());
+                Ok(Partition::new_unchecked(g.num_nodes(), communities))
+            }
+        }
+        let g = generators::ring(12);
+        let p = partition_for_divide(&PaddedChunks, &g, 4).unwrap();
+        assert_eq!(p.len(), 3, "empties dropped, real chunks kept (no stall fallback)");
+        assert!(p.communities().iter().all(|c| !c.is_empty()));
+        assert!(p.is_valid());
+    }
+
+    #[test]
+    fn strategies_are_deterministic() {
+        let g = generators::erdos_renyi(45, 0.1, WeightKind::Random01, 19);
+        for s in strategies() {
+            let a = s.partition(&g, 8).unwrap();
+            let b = s.partition(&g, 8).unwrap();
+            assert_eq!(a, b, "{}", s.label());
+        }
+    }
+
+    #[test]
+    fn labels_are_stable() {
+        let strategies = strategies();
+        let labels: Vec<&str> = strategies.iter().map(|s| s.label()).collect();
+        assert_eq!(labels, vec!["greedy-modularity", "balanced-chunks", "bfs-grow", "multilevel"]);
+    }
+
+    use crate::graph::Graph;
+}

@@ -32,7 +32,7 @@
 //! nested parallelism) is invisible to the result. This is stricter than
 //! upstream rayon, whose work-stealing join tree makes float reductions
 //! run-to-run nondeterministic; the suite's reproducibility guarantees
-//! (DESIGN.md §7) rely on the stricter contract.
+//! (DESIGN.md §8) rely on the stricter contract.
 //!
 //! `enumerate`/`zip` are restricted to index-preserving chains
 //! ([`IndexedParallelIterator`]) exactly as upstream restricts them, so

@@ -1,0 +1,75 @@
+//! Gset-format instances end-to-end: generate workloads, persist them
+//! in the Gset interchange format (the format the published G1…G81
+//! MaxCut benchmarks ship in), read them back, and run QAOA² under
+//! every registered partition strategy — approximation ratios against
+//! the exact optimum (small instances) or the Goemans–Williamson
+//! rounding (large ones), recorded in EXPERIMENTS.md.
+//!
+//! ```text
+//! cargo run --release --example gset_pipeline
+//! ```
+
+use qaoa2_suite::prelude::*;
+use qq_core::{PartitionStrategy, RefineConfig};
+use qq_graph::io::{read_gset, write_gset};
+use std::io::BufReader;
+
+fn main() {
+    let instances: Vec<(&str, Graph)> = vec![
+        ("er24", generators::erdos_renyi(24, 0.25, generators::WeightKind::Uniform, 42)),
+        ("planted48", generators::planted_partition(6, 8, 0.9, 0.05, 11)),
+        ("er120", generators::erdos_renyi(120, 0.06, generators::WeightKind::Uniform, 5)),
+    ];
+    let dir = std::env::temp_dir().join("qaoa2-gset-pipeline");
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+
+    println!("Gset round trip + QAOA² per partition strategy (cap 10, local-search sub-solves)");
+    println!(
+        "{:<10} {:>5} {:>6}  {:<18} {:>9} {:>9} {:>7}",
+        "instance", "nodes", "edges", "strategy", "cut", "baseline", "ratio"
+    );
+    for (name, g) in &instances {
+        // out through the Gset writer to a real file, back through the
+        // explicit Gset reader — the door published instances use
+        let path = dir.join(format!("{name}.gset"));
+        let mut file = std::fs::File::create(&path).expect("create instance file");
+        write_gset(g, &mut file).expect("serialize instance");
+        let file = std::fs::File::open(&path).expect("reopen instance file");
+        let loaded = read_gset(BufReader::new(file)).expect("parse Gset instance");
+        assert_eq!(loaded.num_nodes(), g.num_nodes(), "{name}: round trip changed the graph");
+        assert_eq!(loaded.num_edges(), g.num_edges(), "{name}: round trip changed the graph");
+
+        // baseline: certified optimum where enumeration is feasible,
+        // GW rounding (with its SDP bound) beyond that
+        let (baseline, baseline_kind) = if loaded.num_nodes() <= 26 {
+            (exact_maxcut(&loaded).value, "exact")
+        } else {
+            (goemans_williamson(&loaded, &GwConfig::default()).best.value, "gw")
+        };
+
+        for strategy in PartitionStrategy::builtin() {
+            let cfg = Qaoa2Config {
+                max_qubits: 10,
+                solver: SubSolver::LocalSearch,
+                coarse_solver: SubSolver::LocalSearch,
+                partition: strategy.clone(),
+                refine: RefineConfig::full(),
+                parallelism: Parallelism::Sequential,
+                seed: 1,
+            };
+            let res = qaoa2_solve(&loaded, &cfg).expect("valid configuration");
+            println!(
+                "{:<10} {:>5} {:>6}  {:<18} {:>9.2} {:>9.2} {:>7.3}  (vs {})",
+                name,
+                loaded.num_nodes(),
+                loaded.num_edges(),
+                strategy.label(),
+                res.cut_value,
+                baseline,
+                res.cut_value / baseline,
+                baseline_kind,
+            );
+        }
+    }
+    println!("\ninstances persisted under {}", dir.display());
+}

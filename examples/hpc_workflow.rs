@@ -60,6 +60,7 @@ fn main() {
         coarse_solver: SubSolver::Gw(GwConfig::default()),
         parallelism: Parallelism::Cluster(2),
         seed: 8,
+        ..Qaoa2Config::default()
     };
     let res = qaoa2_solve(&g, &cfg).expect("heterogeneous solve succeeds");
     let level0 = &res.engine_reports[0];

@@ -23,6 +23,7 @@ fn main() {
         coarse_solver: SubSolver::Gw(GwConfig::default()),
         parallelism: Parallelism::Threads,
         seed: 3,
+        ..Qaoa2Config::default()
     };
     let t0 = std::time::Instant::now();
     let res = qaoa2_solve(&g, &cfg).expect("valid configuration");

@@ -2,12 +2,14 @@
 //!
 //! The vendored rayon promises bit-identical floating-point results at
 //! any `RAYON_NUM_THREADS` (fixed power-of-two split tree; see
-//! `crates/vendor/rayon/src/lib.rs` and DESIGN.md §7). This suite holds
+//! `crates/vendor/rayon/src/lib.rs` and DESIGN.md §8). This suite holds
 //! it to that: a battery spanning the simulator (flat + blocked), the
-//! QAOA landscape evaluation, the full QAOA² driver in `Threads` mode,
-//! and property-harness-style seeded draws is folded into one digest of
-//! exact `f64` bit patterns, and the digest is compared across separate
-//! processes pinned to 1, 2, and N worker threads.
+//! QAOA landscape evaluation, the full QAOA² driver in `Threads` mode
+//! (including one end-to-end run per partition strategy with
+//! refinement on), and property-harness-style seeded draws is folded
+//! into one digest of exact `f64` bit patterns, and the digest is
+//! compared across separate processes pinned to 1, 2, and N worker
+//! threads.
 //!
 //! (Separate processes because the pool is global and sized once per
 //! process — the only honest way to vary the thread count.)
@@ -134,6 +136,7 @@ fn battery_digest() -> u64 {
         coarse_solver: qq_core::SubSolver::LocalSearch,
         parallelism: qq_core::Parallelism::Threads,
         seed: 7,
+        ..Default::default()
     };
     let res = qq_core::solve(&het, &cfg).expect("heterogeneous solve succeeds");
     d.f64(res.cut_value);
@@ -141,6 +144,31 @@ fn battery_digest() -> u64 {
         d.word(report.quantum.tasks as u64);
         d.word(report.classical.tasks as u64);
         d.word(report.fallbacks as u64);
+    }
+
+    // --- qq-core: every partition strategy end-to-end, refinement on —
+    // partitioner choice (and the boundary polish) must be bit-stable
+    // across thread counts and engines ---
+    let strat_graph = generators::erdos_renyi(52, 0.14, generators::WeightKind::Random01, 13);
+    for strategy in qq_core::PartitionStrategy::builtin() {
+        let cfg = qq_core::Qaoa2Config {
+            max_qubits: 9,
+            solver: qq_core::SubSolver::LocalSearch,
+            coarse_solver: qq_core::SubSolver::LocalSearch,
+            partition: strategy.clone(),
+            refine: qq_core::RefineConfig::full(),
+            parallelism: qq_core::Parallelism::Threads,
+            seed: 21,
+        };
+        let res = qq_core::solve(&strat_graph, &cfg).expect("strategy solve succeeds");
+        d.f64(res.cut_value);
+        for level in &res.levels {
+            d.word(level.num_subgraphs as u64);
+            d.word(level.communities_before_refine as u64);
+            d.word(level.communities_after_refine as u64);
+            d.f64(level.inter_weight_fraction);
+            d.f64(level.balance);
+        }
     }
 
     // --- property-harness-style seeded draws ---

@@ -50,6 +50,7 @@ fn qaoa2_full_stack_with_quantum_and_classical_solvers() {
         coarse_solver: SubSolver::Gw(GwConfig::default()),
         parallelism: Parallelism::Threads,
         seed: 9,
+        ..Qaoa2Config::default()
     };
     let res = qaoa2_solve(&g, &cfg).unwrap();
     assert!(res.cut_value <= exact.value + 1e-9);
@@ -67,6 +68,7 @@ fn qaoa2_through_cluster_workflow_matches_threaded() {
         coarse_solver: SubSolver::LocalSearch,
         parallelism,
         seed: 2,
+        ..Qaoa2Config::default()
     };
     let threaded = qaoa2_solve(&g, &mk(Parallelism::Threads)).unwrap();
     let cluster = qaoa2_solve(&g, &mk(Parallelism::Cluster(3))).unwrap();

@@ -52,6 +52,7 @@ fn mixed_cfg(parallelism: Parallelism) -> Qaoa2Config {
         coarse_solver: SubSolver::LocalSearch,
         parallelism,
         seed: 7,
+        ..Qaoa2Config::default()
     }
 }
 

@@ -1,0 +1,215 @@
+//! Cross-crate tests of the partition-strategy layer: Gset-format
+//! instances fed end-to-end through every divide strategy, the
+//! refinement quality guarantee on the bench instances, and a
+//! bit-identity pin of the default configuration against the
+//! pre-strategy-layer pipeline.
+
+use qaoa2_suite::prelude::*;
+use qq_core::{PartitionStrategy, RefineConfig};
+use qq_graph::io::{read_gset, write_gset};
+use qq_graph::{partition_with_cap, Partition};
+use std::io::BufReader;
+
+/// The instances `benches/partition_strategies.rs` sweeps — kept in
+/// lockstep so the quality assertions here cover exactly what the
+/// bench records.
+fn bench_instances() -> Vec<(&'static str, Graph)> {
+    vec![
+        ("er-120", generators::erdos_renyi(120, 0.06, generators::WeightKind::Uniform, 5)),
+        ("er-90w", generators::erdos_renyi(90, 0.1, generators::WeightKind::Random01, 7)),
+        ("planted-100", generators::planted_partition(10, 10, 0.8, 0.03, 9)),
+        ("planted-48", generators::planted_partition(6, 8, 0.9, 0.05, 11)),
+    ]
+}
+
+fn strategy_cfg(strategy: PartitionStrategy, refine: RefineConfig) -> Qaoa2Config {
+    Qaoa2Config {
+        max_qubits: 10,
+        solver: SubSolver::LocalSearch,
+        coarse_solver: SubSolver::LocalSearch,
+        partition: strategy,
+        refine,
+        parallelism: Parallelism::Sequential,
+        seed: 1,
+    }
+}
+
+/// Gset-format round trip, end-to-end: generated graphs leave through
+/// `write_gset`, re-enter through `read_gset`, and the loaded instance
+/// runs through QAOA² under every registered partition strategy. The
+/// approximation ratios vs the exact optimum are recorded in
+/// EXPERIMENTS.md (via `examples/gset_pipeline.rs`, which runs this
+/// same pipeline on larger instances against the GW baseline).
+#[test]
+fn gset_roundtrip_feeds_every_partition_strategy() {
+    let g = generators::erdos_renyi(24, 0.25, generators::WeightKind::Uniform, 42);
+    let exact = exact_maxcut(&g);
+
+    // out through the Gset writer, back through the Gset reader
+    let mut buf = Vec::new();
+    write_gset(&g, &mut buf).unwrap();
+    let loaded = read_gset(BufReader::new(buf.as_slice())).unwrap();
+    assert_eq!(loaded.num_nodes(), g.num_nodes());
+    assert_eq!(loaded.num_edges(), g.num_edges());
+    for (a, b) in g.edges().iter().zip(loaded.edges()) {
+        assert_eq!((a.u, a.v), (b.u, b.v));
+        assert!((a.w - b.w).abs() < 1e-12);
+    }
+
+    for strategy in PartitionStrategy::builtin() {
+        let label = strategy.label().to_string();
+        let res = qaoa2_solve(&loaded, &strategy_cfg(strategy, RefineConfig::full())).unwrap();
+        assert_eq!(res.cut.len(), 24, "{label}");
+        assert!(res.cut_value <= exact.value + 1e-9, "{label} exceeded the optimum");
+        let ratio = res.cut_value / exact.value;
+        assert!(ratio >= 0.85, "{label}: approximation ratio {ratio:.3} too low");
+    }
+}
+
+/// The acceptance criterion of the refinement pass: with boundary
+/// refinement (partition sweeps + cut polish) enabled, the mean cut
+/// value on every bench instance is at least the unrefined baseline.
+///
+/// The per-strategy assertion on top is an *empirical pin*, not an
+/// algorithmic guarantee: refinement changes the divide, so the
+/// refined pipeline composes a different cut, and the polish only
+/// guarantees ≥ its own composed cut. On these fixed instances/seeds
+/// every cell currently improves (see EXPERIMENTS.md); if a legitimate
+/// tie-break tweak ever nudges one cell below its baseline, relax the
+/// per-cell check to the mean criterion rather than reverting the
+/// change.
+#[test]
+fn refinement_never_loses_to_the_unrefined_baseline_on_bench_instances() {
+    for (name, g) in bench_instances() {
+        let mut mean_plain = 0.0;
+        let mut mean_refined = 0.0;
+        for strategy in PartitionStrategy::builtin() {
+            let label = strategy.label().to_string();
+            let plain = qaoa2_solve(&g, &strategy_cfg(strategy.clone(), RefineConfig::default()))
+                .unwrap()
+                .cut_value;
+            let refined =
+                qaoa2_solve(&g, &strategy_cfg(strategy, RefineConfig::full())).unwrap().cut_value;
+            assert!(
+                refined >= plain - 1e-9,
+                "{name}/{label}: refined {refined:.3} < unrefined {plain:.3}"
+            );
+            mean_plain += plain;
+            mean_refined += refined;
+        }
+        assert!(
+            mean_refined >= mean_plain - 1e-9,
+            "{name}: mean refined {mean_refined:.3} < mean unrefined {mean_plain:.3}"
+        );
+    }
+}
+
+/// Splitmix-style seed derivation, copied verbatim from the orchestrator
+/// spec (DESIGN.md §8): the pin below re-implements the pre-refactor
+/// pipeline and must derive identical per-(level, index) seeds.
+fn mix_seed(seed: u64, level: u64, index: u64) -> u64 {
+    let mut z = seed ^ (level.wrapping_mul(0x9e37_79b9_7f4a_7c15)) ^ (index << 17);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// The pre-strategy-layer pipeline, reimplemented from public pieces:
+/// `partition_with_cap`, the singleton-stall balanced fallback, local
+/// search per sub-graph, merge, recurse. The default configuration
+/// (`GreedyModularity`, refinement off) must reproduce it bit for bit.
+fn legacy_solve(g: &Graph, cap: usize, seed: u64, depth: u64) -> Cut {
+    if g.num_nodes() <= cap {
+        return one_exchange(g, mix_seed(seed, depth, 0)).cut;
+    }
+    let mut partition = partition_with_cap(g, cap);
+    if partition.len() >= g.num_nodes() {
+        let chunks: Vec<Vec<u32>> = (0..g.num_nodes() as u32)
+            .collect::<Vec<_>>()
+            .chunks(cap)
+            .map(<[u32]>::to_vec)
+            .collect();
+        partition = Partition::new(g.num_nodes(), chunks);
+    }
+    let local_cuts: Vec<Cut> = qq_graph::extract_subgraphs(g, &partition)
+        .iter()
+        .enumerate()
+        .map(|(i, sub)| one_exchange(&sub.graph, mix_seed(seed, depth, i as u64)).cut)
+        .collect();
+    let coarse = qq_core::build_merge_graph(g, &partition, &local_cuts);
+    let coarse_cut = legacy_solve(&coarse, cap, seed, depth + 1);
+    qq_core::apply_flips(g, &partition, &local_cuts, &coarse_cut)
+}
+
+#[test]
+fn default_strategy_reproduces_the_legacy_pipeline_bit_for_bit() {
+    for (seed, n) in [(3u64, 56usize), (17, 72)] {
+        let g = generators::erdos_renyi(n, 0.12, generators::WeightKind::Random01, seed * 7 + 1);
+        let expected = legacy_solve(&g, 9, seed, 0);
+        let cfg = Qaoa2Config {
+            max_qubits: 9,
+            solver: SubSolver::LocalSearch,
+            coarse_solver: SubSolver::LocalSearch,
+            partition: PartitionStrategy::GreedyModularity,
+            refine: RefineConfig::default(),
+            parallelism: Parallelism::Sequential,
+            seed,
+        };
+        let res = qaoa2_solve(&g, &cfg).unwrap();
+        assert_eq!(res.cut, expected, "seed {seed}: divide refactor changed the default cuts");
+        // and the strategy layer reports coherent metrics while at it
+        for level in &res.levels {
+            assert_eq!(level.communities_before_refine, level.communities_after_refine);
+            assert!((0.0..=1.0).contains(&level.inter_weight_fraction));
+            assert!(level.balance >= 1.0 - 1e-12);
+        }
+    }
+}
+
+/// An external strategy plugged through the `Custom` escape hatch runs
+/// the whole pipeline — and its output is revalidated, so a broken one
+/// fails as a divide error instead of corrupting the merge.
+#[test]
+fn custom_partitioner_runs_end_to_end_and_is_validated() {
+    use qq_core::{PartitionError, Partitioner};
+
+    struct StripedChunks;
+    impl Partitioner for StripedChunks {
+        fn label(&self) -> &str {
+            "striped-chunks"
+        }
+        fn partition(&self, g: &Graph, cap: usize) -> Result<Partition, PartitionError> {
+            // round-robin stripes: node v joins community v % k
+            let n = g.num_nodes();
+            let k = n.div_ceil(cap);
+            let mut communities = vec![Vec::new(); k];
+            for v in 0..n as u32 {
+                communities[v as usize % k].push(v);
+            }
+            Partition::try_new(n, communities)
+        }
+    }
+
+    let g = generators::erdos_renyi(40, 0.15, generators::WeightKind::Uniform, 23);
+    let cfg = strategy_cfg(PartitionStrategy::custom(StripedChunks), RefineConfig::default());
+    let res = qaoa2_solve(&g, &cfg).unwrap();
+    assert_eq!(res.cut.len(), 40);
+    assert!(res.cut_value > 0.0);
+
+    struct Liar;
+    impl Partitioner for Liar {
+        fn label(&self) -> &str {
+            "liar"
+        }
+        fn partition(&self, g: &Graph, _cap: usize) -> Result<Partition, PartitionError> {
+            // claims node 0 twice and never covers node 1
+            let mut communities: Vec<Vec<u32>> =
+                (0..g.num_nodes() as u32).map(|v| vec![v]).collect();
+            communities[1][0] = 0;
+            Ok(Partition::new_unchecked(g.num_nodes(), communities))
+        }
+    }
+    let bad = strategy_cfg(PartitionStrategy::custom(Liar), RefineConfig::default());
+    let err = qaoa2_solve(&g, &bad).unwrap_err();
+    assert!(matches!(err, qq_core::Qaoa2Error::Partition(_)), "{err:?}");
+}

@@ -7,7 +7,10 @@
 //! failures reproduce exactly.
 
 use qaoa2_suite::prelude::*;
-use qq_graph::{extract_subgraphs, partition_with_cap};
+use qq_core::PartitionStrategy;
+use qq_graph::{
+    extract_subgraphs, inter_weight_fraction, partition_with_cap, refine_partition, Partitioner,
+};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -71,6 +74,94 @@ fn partition_is_disjoint_cover_with_cap() {
         assert!(p.max_community_size() <= cap, "case {case}");
         let total: usize = p.communities().iter().map(Vec::len).sum();
         assert_eq!(total, g.num_nodes(), "case {case}");
+    }
+}
+
+/// One graph from every generator family, seeded per case: the divide
+/// strategies must hold their invariants on community-structured,
+/// structure-free, dense, sparse, and degenerate inputs alike.
+fn generator_zoo(rng: &mut StdRng) -> Vec<Graph> {
+    vec![
+        arb_graph(rng),
+        generators::erdos_renyi(
+            rng.gen_range(10usize..50),
+            0.02 + rng.gen::<f64>() * 0.2,
+            generators::WeightKind::Uniform,
+            rng.gen(),
+        ),
+        generators::planted_partition(
+            rng.gen_range(2usize..5),
+            rng.gen_range(3usize..8),
+            0.9,
+            0.05,
+            rng.gen(),
+        ),
+        generators::ring(rng.gen_range(3usize..30)),
+        generators::complete(rng.gen_range(2usize..16)),
+        generators::barbell(rng.gen_range(2usize..9)),
+        generators::star(rng.gen_range(2usize..20)),
+    ]
+}
+
+#[test]
+fn every_partition_strategy_is_a_valid_capped_cover() {
+    // every registered strategy × every generator family × caps × seeds
+    for case in 0..16 {
+        let mut rng = case_rng(11, case);
+        let cap = rng.gen_range(2usize..12);
+        for g in generator_zoo(&mut rng) {
+            for strategy in PartitionStrategy::builtin() {
+                let p = strategy
+                    .to_partitioner()
+                    .partition(&g, cap)
+                    .unwrap_or_else(|e| panic!("{} case {case}: {e}", strategy.label()));
+                assert!(p.is_valid(), "{} case {case}", strategy.label());
+                assert!(
+                    p.max_community_size() <= cap,
+                    "{} case {case}: {} > {cap}",
+                    strategy.label(),
+                    p.max_community_size()
+                );
+                let covered: usize = p.communities().iter().map(Vec::len).sum();
+                assert_eq!(covered, g.num_nodes(), "{} case {case}", strategy.label());
+            }
+        }
+    }
+}
+
+#[test]
+fn refinement_never_increases_inter_weight_nor_violates_cap() {
+    for case in 0..16 {
+        let mut rng = case_rng(12, case);
+        let cap = rng.gen_range(2usize..12);
+        let passes = rng.gen_range(1usize..5);
+        for g in generator_zoo(&mut rng) {
+            for strategy in PartitionStrategy::builtin() {
+                let base = strategy.to_partitioner().partition(&g, cap).unwrap();
+                let out = refine_partition(&g, &base, cap, passes);
+                assert!(
+                    out.inter_weight_after <= out.inter_weight_before + 1e-9,
+                    "{} case {case}: {} > {}",
+                    strategy.label(),
+                    out.inter_weight_after,
+                    out.inter_weight_before
+                );
+                assert!(out.partition.is_valid(), "{} case {case}", strategy.label());
+                assert!(
+                    out.partition.max_community_size() <= cap,
+                    "{} case {case}",
+                    strategy.label()
+                );
+                // the abs-weight fraction metric also never rises on
+                // non-negative-weight inputs (all generators here)
+                assert!(
+                    inter_weight_fraction(&g, &out.partition)
+                        <= inter_weight_fraction(&g, &base) + 1e-9,
+                    "{} case {case}",
+                    strategy.label()
+                );
+            }
+        }
     }
 }
 
