@@ -1,5 +1,7 @@
 //! Partition-strategy comparison: cut value and wall time per divide
-//! strategy on ER, planted-partition, and Gset-format instances.
+//! strategy — the six fixed built-ins, per-instance `Auto` selection,
+//! and a per-level schedule — on ER, planted-partition, and
+//! Gset-format instances.
 //!
 //! Two measurements per (instance, strategy) cell:
 //!
@@ -10,13 +12,16 @@
 //!   land next to the timings (recorded in EXPERIMENTS.md).
 //!
 //! The instance list is mirrored by `tests/partition_strategies.rs`,
-//! which asserts the refinement-quality guarantee on exactly these
-//! graphs. The Gset leg exercises the full interchange path: the
-//! generated graph is serialized with `write_gset` and read back with
-//! `read_gset` before being benched.
+//! which asserts the refinement-quality guarantee **and the Auto
+//! guarantee** (auto ≥ every fixed strategy's cut, per instance and
+//! mode) on exactly these graphs. The Gset leg exercises the full
+//! interchange path: the generated graph is serialized with
+//! `write_gset` and read back with `read_gset` before being benched.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use qq_core::{Parallelism, PartitionStrategy, Qaoa2Config, RefineConfig, SubSolver};
+use qq_core::{
+    Parallelism, PartitionSchedule, PartitionStrategy, Qaoa2Config, RefineConfig, SubSolver,
+};
 use qq_graph::generators::{self, WeightKind};
 use qq_graph::io::{read_gset, write_gset};
 use qq_graph::{inter_weight_fraction, Graph};
@@ -40,11 +45,36 @@ fn instances() -> Vec<(&'static str, Graph)> {
 
 const CAP: usize = 10;
 
+/// The single-shot divide sweep: every fixed built-in plus
+/// per-instance auto-selection. A schedule is deliberately absent —
+/// `to_partitioner()` on a schedule yields only its level-0 strategy
+/// (per-level resolution lives in `divide()`), so a divide-only
+/// "schedule" row would be a re-measurement of that strategy under a
+/// misleading label; schedules are benched where they mean something,
+/// in the full-pipeline sweep below.
+fn divide_strategies() -> Vec<PartitionStrategy> {
+    let mut all = PartitionStrategy::builtin();
+    all.push(PartitionStrategy::Auto);
+    all
+}
+
+/// The full-pipeline sweep: the divide set plus the canonical
+/// per-level schedule (structure-exploiting divide on the input graph,
+/// label propagation on the negative-weight merge graphs below).
+fn pipeline_strategies() -> Vec<PartitionStrategy> {
+    let mut all = divide_strategies();
+    all.push(PartitionStrategy::scheduled(PartitionSchedule::new(
+        vec![PartitionStrategy::Multilevel],
+        PartitionStrategy::LabelPropagation,
+    )));
+    all
+}
+
 fn bench_divide(c: &mut Criterion) {
     let mut group = c.benchmark_group("divide");
     group.sample_size(10);
     for (name, g) in instances() {
-        for strategy in PartitionStrategy::builtin() {
+        for strategy in divide_strategies() {
             let partitioner = strategy.to_partitioner();
             let p = partitioner.partition(&g, CAP).expect("builtin strategies succeed");
             eprintln!(
@@ -66,7 +96,7 @@ fn bench_qaoa2_per_strategy(c: &mut Criterion) {
     let mut group = c.benchmark_group("qaoa2");
     group.sample_size(10);
     for (name, g) in instances() {
-        for strategy in PartitionStrategy::builtin() {
+        for strategy in pipeline_strategies() {
             for (mode, refine) in
                 [("plain", RefineConfig::default()), ("refined", RefineConfig::full())]
             {
@@ -80,11 +110,14 @@ fn bench_qaoa2_per_strategy(c: &mut Criterion) {
                     seed: 1,
                 };
                 let res = qq_core::solve(&g, &cfg).expect("solve succeeds");
+                let effective: Vec<&str> =
+                    res.levels.iter().map(|l| l.strategy_effective.as_str()).collect();
                 eprintln!(
-                    "# qaoa2 {name}/{}/{mode}: cut {:.2} across {} sub-graphs",
+                    "# qaoa2 {name}/{}/{mode}: cut {:.2} across {} sub-graphs, levels {:?}",
                     strategy.label(),
                     res.cut_value,
                     res.total_subgraphs,
+                    effective,
                 );
                 group.bench_with_input(
                     BenchmarkId::new(name, format!("{}/{mode}", strategy.label())),

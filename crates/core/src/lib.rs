@@ -6,9 +6,11 @@
 //! 1. **Divide** — partition the graph into communities capped at the
 //!    qubit budget `n`, through a pluggable [`PartitionStrategy`]
 //!    (greedy modularity by default, as in the paper; balanced chunks,
-//!    BFS region growing, multilevel coarsening, or any custom
-//!    [`Partitioner`]), optionally refined by a Kernighan–Lin-style
-//!    boundary sweep;
+//!    BFS region growing, multilevel coarsening, label propagation,
+//!    spectral bisection, per-level schedules, per-instance
+//!    auto-selection, or any custom [`Partitioner`]), optionally
+//!    refined by a Kernighan–Lin-style boundary sweep with FM swap
+//!    moves;
 //! 2. **Solve** — solve every sub-graph independently (in parallel across
 //!    threads or through the `qq-hpc` coordinator/worker workflow), with a
 //!    per-sub-graph choice of solver: QAOA, GW, the best of both (the
@@ -43,14 +45,17 @@ pub use qaoa2::{solve, LevelStats, Parallelism, Qaoa2Config, Qaoa2Result};
 pub use registry::{SolverFactory, SolverRegistry};
 pub use sharded::{ShardedConfig, ShardedSolver};
 pub use solvers::{solve_subgraph, solve_with_backend, SharedSolver, SubSolver};
-pub use strategy::{divide, DivideOutcome, PartitionStrategy, RefineConfig, SharedPartitioner};
+pub use strategy::{
+    divide, AutoPartitioner, DivideOutcome, PartitionSchedule, PartitionStrategy, RefineConfig,
+    SharedPartitioner,
+};
 
 // the backend interface, re-exported so orchestrator users need only this
 // crate to implement or consume solvers
 pub use qq_graph::{BestOf, BoxedSolver, MaxCutSolver, SolverCaps, SolverError};
 // the partition-strategy interface, re-exported for the same reason:
 // implementing or wrapping a divide strategy needs these types
-pub use qq_graph::{PartitionError, Partitioner, Refined};
+pub use qq_graph::{DividedPartition, PartitionError, Partitioner, RefineOptions, Refined};
 // the execution layer, re-exported for the same reason: configuring a
 // heterogeneous run needs the pool/engine/report types
 pub use qq_hpc::{

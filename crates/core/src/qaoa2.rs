@@ -16,7 +16,7 @@ use crate::merge::{apply_flips, build_merge_graph};
 use crate::solvers::SubSolver;
 use crate::strategy::{self, PartitionStrategy, RefineConfig};
 use crate::Qaoa2Error;
-use qq_graph::{boundary_nodes, extract_subgraphs, Cut, Graph, Partitioner};
+use qq_graph::{boundary_nodes, extract_subgraphs, Cut, Graph};
 use qq_hpc::{
     ClusterEngine, EngineReport, ExecutionEngine, InlineEngine, SolveJob, ThreadPoolEngine,
 };
@@ -65,7 +65,10 @@ pub struct Qaoa2Config {
     /// classical solution is chosen."
     pub coarse_solver: SubSolver,
     /// Divide strategy: how each level's graph is split into
-    /// cap-respecting communities (used at every recursion depth).
+    /// cap-respecting communities. Fixed strategies apply at every
+    /// recursion depth; [`PartitionStrategy::Scheduled`] picks per
+    /// level and [`PartitionStrategy::Auto`] per instance (the choice
+    /// each level records in [`LevelStats::strategy_effective`]).
     pub partition: PartitionStrategy,
     /// Refinement gates: partition boundary sweeps and the post-merge
     /// boundary cut polish. Off by default.
@@ -99,6 +102,18 @@ pub struct LevelStats {
     pub num_subgraphs: usize,
     /// Largest sub-graph size.
     pub max_subgraph: usize,
+    /// Label of the partition strategy the configuration requested at
+    /// this level (a schedule reports its per-level resolution;
+    /// `"auto"` for per-instance selection).
+    pub strategy_requested: String,
+    /// Label of the strategy that actually produced this level's
+    /// partition: the requested one normally, `Auto`'s per-instance
+    /// choice, or `"balanced-chunks"` when the singleton-stall guard
+    /// replaced a stalled structural strategy.
+    pub strategy_effective: String,
+    /// `true` when the singleton-stall guard replaced the requested
+    /// strategy's output with balanced chunks at this level.
+    pub stall_fallback: bool,
     /// Fraction of the level graph's absolute edge weight crossing
     /// community boundaries — the weight the merge stage must recover.
     pub inter_weight_fraction: f64,
@@ -140,9 +155,9 @@ pub fn solve(g: &Graph, cfg: &Qaoa2Config) -> Result<Qaoa2Result, Qaoa2Error> {
     }
     cfg.solver.validate()?;
     cfg.coarse_solver.validate()?;
-    // one engine and one partitioner for the whole solve; levels share both
+    // one engine for the whole solve; the partition strategy resolves
+    // per level (schedules) and per instance (auto) inside divide()
     let engine = cfg.parallelism.to_engine()?;
-    let partitioner = cfg.partition.to_partitioner();
     let started = Instant::now();
     let mut levels = Vec::new();
     let mut engine_reports = Vec::new();
@@ -151,7 +166,6 @@ pub fn solve(g: &Graph, cfg: &Qaoa2Config) -> Result<Qaoa2Result, Qaoa2Error> {
         g,
         cfg,
         engine.as_ref(),
-        partitioner.as_ref(),
         0,
         &mut levels,
         &mut engine_reports,
@@ -173,7 +187,6 @@ fn solve_level(
     g: &Graph,
     cfg: &Qaoa2Config,
     engine: &dyn ExecutionEngine,
-    partitioner: &dyn Partitioner,
     depth: usize,
     levels: &mut Vec<LevelStats>,
     engine_reports: &mut Vec<EngineReport>,
@@ -195,10 +208,13 @@ fn solve_level(
         return Ok(out.results.pop().expect("one job in, one result out").cut);
     }
 
-    // Divide, through the configured strategy. Validation, the cap
-    // check, the singleton-stall fallback, and optional boundary
-    // refinement all live behind the strategy layer.
-    let divided = strategy::divide(g, cfg.max_qubits, partitioner, &cfg.refine)?;
+    // Divide, through the configured strategy. Schedule/auto
+    // resolution, validation, the cap check, the singleton-stall
+    // fallback, and optional boundary refinement all live behind the
+    // strategy layer; the outcome names the strategy that actually
+    // produced the partition.
+    let divided =
+        strategy::divide(g, cfg.max_qubits, &cfg.partition, depth, &cfg.refine, cfg.seed)?;
     let partition = divided.partition;
     let subgraphs = extract_subgraphs(g, &partition);
     let num_subgraphs = subgraphs.len();
@@ -228,6 +244,9 @@ fn solve_level(
         graph_nodes: g.num_nodes(),
         num_subgraphs,
         max_subgraph,
+        strategy_requested: divided.requested,
+        strategy_effective: divided.effective,
+        stall_fallback: divided.stall_fallback,
         inter_weight_fraction: divided.inter_weight_fraction,
         balance: divided.balance,
         communities_before_refine: divided.communities_before_refine,
@@ -239,16 +258,8 @@ fn solve_level(
     // Recurse on the coarse graph (it has `num_subgraphs` nodes, which is
     // strictly smaller than `g` because every community holds ≥ 1 node and
     // at least one holds ≥ 2 when the graph exceeds the budget).
-    let coarse_cut = solve_level(
-        &coarse,
-        cfg,
-        engine,
-        partitioner,
-        depth + 1,
-        levels,
-        engine_reports,
-        total_subgraphs,
-    )?;
+    let coarse_cut =
+        solve_level(&coarse, cfg, engine, depth + 1, levels, engine_reports, total_subgraphs)?;
     let composed = apply_flips(g, &partition, &local_cuts, &coarse_cut);
     if cfg.refine.polish_cut {
         // Post-merge polish: one-exchange restricted to the partition's
@@ -263,8 +274,11 @@ fn solve_level(
 }
 
 /// Splitmix-style seed derivation so every (level, sub-graph) pair gets an
-/// independent, reproducible stream.
-fn mix_seed(seed: u64, level: u64, index: u64) -> u64 {
+/// independent, reproducible stream. Shared with the strategy layer: the
+/// auto-selection lookahead replays these exact streams so its classical
+/// evaluation of a candidate partition matches what the pipeline's local
+/// solves will actually do.
+pub(crate) fn mix_seed(seed: u64, level: u64, index: u64) -> u64 {
     let mut z = seed ^ (level.wrapping_mul(0x9e37_79b9_7f4a_7c15)) ^ (index << 17);
     z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);

@@ -150,6 +150,34 @@ mod tests {
     }
 
     #[test]
+    fn sharded_with_adaptive_partitioning() {
+        // the shard pipeline passes schedules and auto-selection
+        // through unchanged: adaptive divides behind the plain
+        // MaxCutSolver interface
+        use crate::strategy::PartitionSchedule;
+        let g = generators::erdos_renyi(60, 0.12, WeightKind::Random01, 17);
+        for partition in [
+            PartitionStrategy::Auto,
+            PartitionStrategy::scheduled(PartitionSchedule::new(
+                vec![PartitionStrategy::Multilevel],
+                PartitionStrategy::LabelPropagation,
+            )),
+        ] {
+            let cfg = ShardedConfig {
+                shard_cap: 10,
+                partition,
+                refine: RefineConfig::full(),
+                ..ShardedConfig::default()
+            };
+            let solver = ShardedSolver::new(cfg);
+            let a = solver.solve(&g, 3).unwrap();
+            let b = solver.solve(&g, 3).unwrap();
+            assert_eq!(a.cut, b.cut, "adaptive divides must stay deterministic");
+            assert_eq!(a.cut.len(), 60);
+        }
+    }
+
+    #[test]
     fn invalid_shard_cap_is_a_config_error() {
         let cfg = ShardedConfig { shard_cap: 1, ..ShardedConfig::default() };
         let g = generators::ring(8);

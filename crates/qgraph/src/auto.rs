@@ -1,0 +1,253 @@
+//! Per-instance partition-strategy auto-selection.
+//!
+//! No single divide strategy wins everywhere: greedy modularity and
+//! heavy-edge matching excel on sparse community-structured graphs but
+//! stall to singletons on the negative-weight merge graphs the QAOA²
+//! recursion produces; node-order chunks are unbeatable on structure-
+//! free dense graphs but trap avoidable weight on clustered ones. This
+//! module makes the choice *per instance* from cheap probes, mirroring
+//! the heterogeneous-dispatch argument of Patwardhan et al. (Hybrid
+//! Quantum-HPC Solutions for Max-Cut): [`probe`] summarizes an
+//! instance (density, weight signs) in one `O(n + m)` scan,
+//! [`candidates`] orders the strategy portfolio on that summary
+//! (excluding a strategy only when the probe *proves* it degrades to
+//! the chunk fallback), and [`AutoScore`] supplies the structural
+//! tie-break — the [`crate::inter_weight_fraction`] the merge stage
+//! would have to recover, then balance. Running every surviving
+//! candidate is itself cheap (µs against the ms-scale sub-graph
+//! solves downstream), so selection can afford to evaluate real
+//! partitions rather than trust a static heuristic.
+//!
+//! This module owns the *building blocks*: probes, the gated
+//! portfolio, and the structural score. The canonical `Auto` strategy
+//! lives one layer up (`qq_core::PartitionStrategy::Auto`), where the
+//! merge machinery and a classical solver are available: there the
+//! surviving candidates are scored by a one-level **lookahead** — the
+//! cut value a cheap classical compose actually achieves on each
+//! candidate partition — with the structural score as tie-break, and
+//! the chosen label is surfaced in every level report.
+
+use crate::graph::Graph;
+use crate::partition::{inter_weight_fraction, Partition};
+use crate::partitioner::{
+    BalancedChunks, BfsGrow, BoxedPartitioner, GreedyModularity, LabelPropagation, Multilevel,
+    Spectral,
+};
+
+/// Cheap per-instance summary driving candidate gating: one scan over
+/// nodes and edges, no partitioning.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct InstanceProbe {
+    /// Node count.
+    pub nodes: usize,
+    /// Edge count.
+    pub edges: usize,
+    /// Edge density `|E| / (n choose 2)` (0 below 2 nodes).
+    pub density: f64,
+    /// Fraction of the total absolute edge weight carried by
+    /// positive-weight edges (`1.0` for edgeless graphs by
+    /// convention). Merge graphs produced by the QAOA² recursion sit
+    /// well below 1 — the regime where modularity and positive-edge
+    /// matching stall.
+    pub positive_weight_fraction: f64,
+}
+
+/// Below this positive-weight share the instance is treated as a
+/// (coarse) merge graph: the portfolio is reordered to lead with the
+/// absolute-weight strategies that stay effective there.
+const POSITIVE_FRACTION_FLOOR: f64 = 0.75;
+
+/// Above this density modularity has little community structure to
+/// find (cliques and near-cliques collapse to the bisection
+/// fallback); the portfolio leads with coarsening and spectral
+/// bisection instead.
+const DENSE_DENSITY: f64 = 0.4;
+
+/// Summarize `g` for candidate gating.
+pub fn probe(g: &Graph) -> InstanceProbe {
+    let mut positive = 0.0f64;
+    let mut total = 0.0f64;
+    for e in g.edges() {
+        let a = e.w.abs();
+        total += a;
+        if e.w > 0.0 {
+            positive += a;
+        }
+    }
+    InstanceProbe {
+        nodes: g.num_nodes(),
+        edges: g.num_edges(),
+        density: g.density(),
+        positive_weight_fraction: if total == 0.0 { 1.0 } else { positive / total },
+    }
+}
+
+/// The candidate portfolio for an instance, in preference order (ties
+/// in the selection score resolve to the earlier candidate).
+///
+/// The probes are used two ways:
+///
+/// * **Exclusion only when provable.** With *zero* positive edge
+///   weight, CNM merges nothing and heavy-edge matching finds no
+///   admissible pair — both provably degrade to the chunk fallback,
+///   which is already in the portfolio, so running them would be pure
+///   waste. Any nonzero positive weight keeps them in: partial
+///   structure is exactly what the scored evaluation is for.
+/// * **Ordering otherwise.** Negative-heavy (merge-graph regime) and
+///   very dense instances lead with the strategies that historically
+///   win there, so score ties resolve toward the probe's prediction.
+///
+/// Always contains [`BalancedChunks`], so selection can never come up
+/// empty-handed.
+pub fn candidates(probe: &InstanceProbe) -> Vec<BoxedPartitioner> {
+    if probe.positive_weight_fraction == 0.0 {
+        vec![
+            Box::new(LabelPropagation),
+            Box::new(Spectral),
+            Box::new(BfsGrow),
+            Box::new(BalancedChunks),
+        ]
+    } else if probe.positive_weight_fraction < POSITIVE_FRACTION_FLOOR {
+        vec![
+            Box::new(LabelPropagation),
+            Box::new(Spectral),
+            Box::new(BfsGrow),
+            Box::new(BalancedChunks),
+            Box::new(Multilevel),
+            Box::new(GreedyModularity),
+        ]
+    } else if probe.density > DENSE_DENSITY {
+        vec![
+            Box::new(Multilevel),
+            Box::new(Spectral),
+            Box::new(LabelPropagation),
+            Box::new(BalancedChunks),
+            Box::new(GreedyModularity),
+            Box::new(BfsGrow),
+        ]
+    } else {
+        vec![
+            Box::new(GreedyModularity),
+            Box::new(Multilevel),
+            Box::new(LabelPropagation),
+            Box::new(Spectral),
+            Box::new(BfsGrow),
+            Box::new(BalancedChunks),
+        ]
+    }
+}
+
+/// Selection score of a candidate partition: primarily the share of
+/// absolute edge weight the merge stage would have to recover, then
+/// balance. Lower is better on both axes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AutoScore {
+    /// [`crate::inter_weight_fraction`] of the candidate partition.
+    pub inter_weight_fraction: f64,
+    /// [`Partition::balance`] of the candidate partition.
+    pub balance: f64,
+}
+
+impl AutoScore {
+    /// Score `p` on `g`.
+    pub fn of(g: &Graph, p: &Partition) -> AutoScore {
+        AutoScore { inter_weight_fraction: inter_weight_fraction(g, p), balance: p.balance() }
+    }
+
+    /// Strictly better than `other` (1e-12 tolerance, so float noise
+    /// cannot flip a selection between platforms).
+    pub fn better_than(&self, other: &AutoScore) -> bool {
+        if self.inter_weight_fraction < other.inter_weight_fraction - 1e-12 {
+            return true;
+        }
+        if self.inter_weight_fraction > other.inter_weight_fraction + 1e-12 {
+            return false;
+        }
+        self.balance < other.balance - 1e-12
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::{self, WeightKind};
+
+    #[test]
+    fn probe_reads_signs_and_density() {
+        let g = Graph::from_edges(4, [(0, 1, 3.0), (1, 2, -1.0), (2, 3, 0.5)]).unwrap();
+        let p = probe(&g);
+        assert_eq!(p.nodes, 4);
+        assert_eq!(p.edges, 3);
+        assert!((p.density - 0.5).abs() < 1e-12);
+        assert!((p.positive_weight_fraction - 3.5 / 4.5).abs() < 1e-12);
+        // edgeless: positive fraction is 1 by convention
+        assert_eq!(probe(&Graph::new(3)).positive_weight_fraction, 1.0);
+    }
+
+    #[test]
+    fn negative_weight_instances_drop_positive_structure_strategies() {
+        let g = Graph::from_edges(6, [(0, 1, -2.0), (2, 3, -2.0), (4, 5, -2.0)]).unwrap();
+        let labels: Vec<String> =
+            candidates(&probe(&g)).iter().map(|c| c.label().to_string()).collect();
+        assert!(!labels.contains(&"greedy-modularity".to_string()), "{labels:?}");
+        assert!(!labels.contains(&"multilevel".to_string()), "{labels:?}");
+        assert!(labels.contains(&"label-propagation".to_string()), "{labels:?}");
+        assert!(labels.contains(&"balanced-chunks".to_string()), "{labels:?}");
+    }
+
+    #[test]
+    fn chunks_are_always_a_candidate() {
+        for g in [
+            generators::complete(12),
+            generators::erdos_renyi(30, 0.1, WeightKind::Random01, 3),
+            Graph::from_edges(4, [(0, 1, -1.0), (2, 3, -1.0)]).unwrap(),
+            Graph::new(5),
+        ] {
+            let labels: Vec<String> =
+                candidates(&probe(&g)).iter().map(|c| c.label().to_string()).collect();
+            assert!(labels.contains(&"balanced-chunks".to_string()), "{labels:?}");
+        }
+    }
+
+    #[test]
+    fn every_candidate_is_a_valid_capped_partitioner() {
+        use crate::partitioner::Partitioner;
+        for (g, cap) in [
+            (generators::erdos_renyi(50, 0.12, WeightKind::Random01, 7), 8),
+            (generators::complete(17), 5),
+            (generators::planted_partition(4, 6, 0.9, 0.02, 3), 6),
+            (Graph::from_edges(6, [(0, 1, -3.0), (2, 3, -3.0), (4, 5, -3.0)]).unwrap(), 2),
+            (Graph::new(9), 4),
+        ] {
+            for candidate in candidates(&probe(&g)) {
+                let p = candidate.partition(&g, cap).unwrap();
+                assert!(p.is_valid(), "{} on {} nodes", candidate.label(), g.num_nodes());
+                assert!(p.max_community_size() <= cap, "{} cap {cap}", candidate.label());
+            }
+        }
+    }
+
+    #[test]
+    fn chunk_candidate_never_stalls_past_cap_one() {
+        use crate::partitioner::Partitioner;
+        // the portfolio's progress guarantee: whatever the probes gate
+        // away, balanced chunks survive and contract whenever cap ≥ 2
+        // (a partition with as many communities as nodes would trip the
+        // divide guard's singleton-stall fallback)
+        for g in [Graph::new(7), generators::ring(9), generators::complete(6)] {
+            let p = BalancedChunks.partition(&g, 2).unwrap();
+            assert!(p.len() < g.num_nodes(), "{} nodes", g.num_nodes());
+        }
+    }
+
+    #[test]
+    fn score_ordering_is_strict_with_tolerance() {
+        let a = AutoScore { inter_weight_fraction: 0.4, balance: 1.2 };
+        let b = AutoScore { inter_weight_fraction: 0.4 + 1e-14, balance: 2.0 };
+        // inter fractions are equal within tolerance → balance decides
+        assert!(a.better_than(&b));
+        assert!(!b.better_than(&a));
+        let c = AutoScore { inter_weight_fraction: 0.3, balance: 9.0 };
+        assert!(c.better_than(&a), "inter fraction dominates balance");
+    }
+}

@@ -20,6 +20,7 @@
 //! assert!(cut.value(&g) > 0.0);
 //! ```
 
+pub mod auto;
 pub mod cut;
 pub mod generators;
 pub mod graph;
@@ -30,6 +31,7 @@ pub mod partitioner;
 pub mod refine;
 pub mod solver;
 
+pub use auto::{AutoScore, InstanceProbe};
 pub use cut::Cut;
 pub use graph::{Edge, Graph, GraphError, NodeId};
 pub use modularity::{greedy_modularity_communities, modularity};
@@ -38,10 +40,11 @@ pub use partition::{
     Subgraph,
 };
 pub use partitioner::{
-    partition_for_divide, BalancedChunks, BfsGrow, BoxedPartitioner, GreedyModularity, Multilevel,
-    PartitionError, Partitioner,
+    guard_strategy_output, partition_for_divide, BalancedChunks, BfsGrow, BoxedPartitioner,
+    DividedPartition, GreedyModularity, LabelPropagation, Multilevel, PartitionError, Partitioner,
+    Spectral,
 };
-pub use refine::{refine_partition, RefineOutcome, Refined};
+pub use refine::{refine_partition, refine_partition_with, RefineOptions, RefineOutcome, Refined};
 pub use solver::{BestOf, BoxedSolver, CutResult, MaxCutSolver, SolverCaps, SolverError};
 
 /// Convenient result alias for fallible graph operations.

@@ -105,12 +105,25 @@ impl Partition {
     /// size (`1.0` = perfectly balanced, higher = more skewed; `1.0`
     /// for empty partitions by convention). A strategy with balance 3
     /// puts three times the mean load on its largest sub-circuit.
+    ///
+    /// Total on every input, including degenerate ones — the value is
+    /// folded into the cross-process determinism digest, so it must
+    /// never be NaN or ∞: the empty graph, the empty community list,
+    /// and a single all-node community all report `1.0`.
     pub fn balance(&self) -> f64 {
         if self.num_nodes == 0 || self.communities.is_empty() {
             return 1.0;
         }
         let mean = self.num_nodes as f64 / self.communities.len() as f64;
-        self.max_community_size() as f64 / mean
+        let balance = self.max_community_size() as f64 / mean;
+        // a partition of only-empty communities on a non-empty node
+        // range is invalid, but metrics on untrusted input must stay
+        // finite rather than poisoning downstream digests
+        if balance.is_finite() {
+            balance
+        } else {
+            1.0
+        }
     }
 
     /// `assignment()[v]` = index of the community containing node `v`.
@@ -165,6 +178,12 @@ impl Subgraph {
 /// This is the quantity the QAOA² merge stage must recover at community
 /// granularity — the partition-quality headline number in
 /// `LevelStats`.
+///
+/// Total on degenerate inputs: edgeless graphs, all-zero weights, and
+/// single-community partitions all report `0.0`, and the result is
+/// guaranteed finite — it is folded into the cross-process determinism
+/// digest, where a NaN from a `0/0` would silently poison every
+/// comparison downstream.
 pub fn inter_weight_fraction(g: &Graph, partition: &Partition) -> f64 {
     let assignment = partition.assignment();
     let mut inter = 0.0;
@@ -176,9 +195,13 @@ pub fn inter_weight_fraction(g: &Graph, partition: &Partition) -> f64 {
         }
     }
     if total == 0.0 {
-        0.0
+        return 0.0;
+    }
+    let fraction = inter / total;
+    if fraction.is_finite() {
+        fraction
     } else {
-        inter / total
+        0.0
     }
 }
 
@@ -384,6 +407,32 @@ mod tests {
         let empty = Graph::new(3);
         let singletons = Partition::new(3, vec![vec![0], vec![1], vec![2]]);
         assert_eq!(inter_weight_fraction(&empty, &singletons), 0.0);
+    }
+
+    #[test]
+    fn metrics_are_finite_on_degenerate_inputs() {
+        // empty graph / empty partition
+        let empty = Graph::new(0);
+        let none = Partition::new(0, vec![]);
+        assert_eq!(none.balance(), 1.0);
+        assert_eq!(inter_weight_fraction(&empty, &none), 0.0);
+        // single community covering everything: nothing crosses
+        let g = generators::ring(5);
+        let one = Partition::new(5, vec![(0..5).collect()]);
+        assert_eq!(one.balance(), 1.0);
+        assert_eq!(inter_weight_fraction(&g, &one), 0.0);
+        // all-zero weights: total |w| = 0 must not become 0/0 = NaN
+        let zero = Graph::from_edges(4, [(0, 1, 0.0), (1, 2, 0.0), (2, 3, 0.0)]).unwrap();
+        let halves = Partition::new(4, vec![vec![0, 1], vec![2, 3]]);
+        let f = inter_weight_fraction(&zero, &halves);
+        assert_eq!(f, 0.0);
+        assert!(f.is_finite());
+        assert!(halves.balance().is_finite());
+        // isolated nodes as singletons alongside a block
+        let iso = Graph::from_edges(5, [(0, 1, 2.0)]).unwrap();
+        let mixed = Partition::new(5, vec![vec![0, 1], vec![2], vec![3], vec![4]]);
+        assert!(mixed.balance().is_finite());
+        assert_eq!(inter_weight_fraction(&iso, &mixed), 0.0);
     }
 
     #[test]

@@ -25,11 +25,19 @@
 //!   multilevel tradition (Angone et al., arXiv:2309.08815): repeatedly
 //!   contract the heaviest admissible matching until no merge fits the
 //!   cap; the surviving super-nodes are the communities.
+//! * [`LabelPropagation`] — deterministic, cap-aware label-propagation
+//!   sweeps over **absolute** edge weights: robust on the
+//!   negative-weight merge graphs the QAOA² recursion produces, where
+//!   modularity and positive-edge matching stall to singletons.
+//! * [`Spectral`] — recursive Fiedler-vector bisection via power
+//!   iteration on the absolute-weight Laplacian (no external linear
+//!   algebra); median splits guarantee contraction to the cap.
 //!
 //! Any of them (or an external [`Partitioner`]) can be wrapped in
-//! [`crate::refine::Refined`] for a Kernighan–Lin-style boundary pass
-//! that migrates nodes between communities to shrink the
-//! inter-community weight while respecting the cap.
+//! [`crate::refine::Refined`] for a Kernighan–Lin/Fiduccia–Mattheyses
+//! boundary pass that migrates (and optionally swaps) nodes between
+//! communities to shrink the inter-community weight while respecting
+//! the cap. Per-instance strategy selection lives in [`crate::auto`].
 
 use crate::graph::{Graph, NodeId};
 use crate::partition::Partition;
@@ -344,6 +352,251 @@ impl Partitioner for Multilevel {
     }
 }
 
+/// Deterministic cap-aware label propagation over absolute edge
+/// weights.
+///
+/// Every node starts in its own label; sweeps visit nodes in ascending
+/// id order, and a node adopts the neighboring label with the highest
+/// total **absolute** incident weight, provided that label's community
+/// is below the cap and the pull is strictly stronger than the node's
+/// current label (ties break to the smaller label id). Sweeps repeat
+/// until a full sweep moves nothing or the fixed sweep budget is
+/// exhausted, so the procedure is deterministic and always terminates.
+///
+/// Absolute weights make this the structural strategy of choice for
+/// the coarse merge graphs the QAOA² recursion produces: their
+/// couplings are routinely negative, which stalls modularity (CNM) and
+/// positive-edge matching ([`Multilevel`]) into singletons, while a
+/// strong coupling is worth keeping inside one sub-circuit whatever
+/// its sign — crossing the boundary defers it to the next coarse
+/// solve.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LabelPropagation;
+
+/// Sweep budget for [`LabelPropagation`]: convergence is typically
+/// reached in 3–5 sweeps on the suite's instance sizes; the bound only
+/// guarantees termination.
+const LABEL_PROP_MAX_SWEEPS: usize = 12;
+
+impl Partitioner for LabelPropagation {
+    fn label(&self) -> &str {
+        "label-propagation"
+    }
+
+    fn partition(&self, g: &Graph, cap: usize) -> Result<Partition, PartitionError> {
+        if cap == 0 {
+            return Err(PartitionError::InvalidCap);
+        }
+        let n = g.num_nodes();
+        let mut label: Vec<u32> = (0..n as u32).collect();
+        let mut size: Vec<usize> = vec![1; n];
+        // per-label absolute incident weight of the node under
+        // consideration, with a touched-list so clearing stays O(deg)
+        let mut link = vec![0.0f64; n];
+        let mut touched: Vec<u32> = Vec::new();
+        for _ in 0..LABEL_PROP_MAX_SWEEPS {
+            let mut changed = false;
+            for v in 0..n as NodeId {
+                let home = label[v as usize];
+                touched.clear();
+                for &(u, w) in g.neighbors(v) {
+                    let c = label[u as usize];
+                    if link[c as usize] == 0.0 && !touched.contains(&c) {
+                        touched.push(c);
+                    }
+                    link[c as usize] += w.abs();
+                }
+                // strongest admissible pull; ties to the smaller label id
+                let mut best: Option<(f64, u32)> = None;
+                for &c in &touched {
+                    if c == home || size[c as usize] >= cap {
+                        continue;
+                    }
+                    let a = link[c as usize];
+                    let better = match best {
+                        None => true,
+                        Some((ba, bc)) => a > ba + 1e-12 || (a >= ba - 1e-12 && c < bc),
+                    };
+                    if better {
+                        best = Some((a, c));
+                    }
+                }
+                if let Some((a, c)) = best {
+                    if a > link[home as usize] + 1e-12 {
+                        size[home as usize] -= 1;
+                        size[c as usize] += 1;
+                        label[v as usize] = c;
+                        changed = true;
+                    }
+                }
+                for &c in &touched {
+                    link[c as usize] = 0.0;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        let mut communities: Vec<Vec<NodeId>> = vec![Vec::new(); n];
+        for v in 0..n as NodeId {
+            communities[label[v as usize] as usize].push(v);
+        }
+        communities.retain(|c| !c.is_empty());
+        communities.sort_by(|x, y| y.len().cmp(&x.len()).then_with(|| x[0].cmp(&y[0])));
+        Ok(Partition::new(n, communities))
+    }
+}
+
+/// Recursive spectral bisection: sort each oversized piece by its
+/// Fiedler-vector coordinate (second-smallest Laplacian eigenvector,
+/// approximated by deflated power iteration — no external linear
+/// algebra) and split at the median until every piece fits the cap.
+///
+/// The Laplacian is built from **absolute** edge weights, which keeps
+/// it positive semi-definite on the negative-weight merge graphs the
+/// QAOA² recursion produces, and means the bisection direction
+/// separates weakly coupled regions whatever the coupling sign. Median
+/// splits (rather than sign splits) make both halves strictly smaller,
+/// so the recursion always terminates; edgeless or zero-weight pieces
+/// degrade to node-order bisection.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Spectral;
+
+/// Fixed power-iteration budget for [`Spectral`]: the split needs a
+/// usable direction, not eigenvector precision, and a fixed count
+/// keeps the strategy deterministic.
+const SPECTRAL_ITERS: usize = 60;
+
+impl Partitioner for Spectral {
+    fn label(&self) -> &str {
+        "spectral"
+    }
+
+    fn partition(&self, g: &Graph, cap: usize) -> Result<Partition, PartitionError> {
+        if cap == 0 {
+            return Err(PartitionError::InvalidCap);
+        }
+        let n = g.num_nodes();
+        let mut result: Vec<Vec<NodeId>> = Vec::new();
+        let mut work: Vec<Vec<NodeId>> =
+            if n == 0 { Vec::new() } else { vec![(0..n as NodeId).collect()] };
+        while let Some(piece) = work.pop() {
+            if piece.len() <= cap {
+                result.push(piece);
+                continue;
+            }
+            let (sub, map) = g.induced_subgraph(&piece);
+            let order = fiedler_order(&sub);
+            let mid = order.len() / 2;
+            for half in [&order[..mid], &order[mid..]] {
+                let mut global: Vec<NodeId> =
+                    half.iter().map(|&local| map[local as usize]).collect();
+                global.sort_unstable();
+                work.push(global);
+            }
+        }
+        result.sort_by(|x, y| y.len().cmp(&x.len()).then_with(|| x[0].cmp(&y[0])));
+        Ok(Partition::new(n, result))
+    }
+}
+
+/// Local node ids of `g` ordered by approximate Fiedler coordinate
+/// (ties broken by id). Power iteration on `σI − L` with `L` the
+/// absolute-weight Laplacian and `σ = 2·max absolute degree`
+/// (Gershgorin bound, so the operator is PSD); the constant vector —
+/// the eigenvector of the dominant eigenvalue `σ` — is deflated every
+/// step, leaving convergence toward the Fiedler direction. Edgeless
+/// (or all-zero-weight) graphs return plain node order.
+fn fiedler_order(g: &Graph) -> Vec<NodeId> {
+    let k = g.num_nodes();
+    let deg: Vec<f64> =
+        (0..k).map(|v| g.neighbors(v as NodeId).iter().map(|&(_, w)| w.abs()).sum()).collect();
+    let max_deg = deg.iter().cloned().fold(0.0, f64::max);
+    let node_order = || (0..k as NodeId).collect::<Vec<_>>();
+    if max_deg <= 0.0 {
+        return node_order();
+    }
+    let sigma = 2.0 * max_deg;
+    // deterministic pseudo-random start (splitmix-hashed indices):
+    // orthogonal-ish to the constant vector after deflation, and
+    // reproducible with no RNG state
+    let mut x: Vec<f64> = (0..k as u64).map(hash_to_unit).collect();
+    if !deflate_normalize(&mut x) {
+        return node_order();
+    }
+    let mut y = vec![0.0f64; k];
+    for _ in 0..SPECTRAL_ITERS {
+        for i in 0..k {
+            y[i] = (sigma - deg[i]) * x[i];
+        }
+        for e in g.edges() {
+            let w = e.w.abs();
+            y[e.u as usize] += w * x[e.v as usize];
+            y[e.v as usize] += w * x[e.u as usize];
+        }
+        std::mem::swap(&mut x, &mut y);
+        if !deflate_normalize(&mut x) {
+            return node_order();
+        }
+    }
+    let mut order: Vec<NodeId> = (0..k as NodeId).collect();
+    order.sort_by(|&a, &b| {
+        x[a as usize]
+            .partial_cmp(&x[b as usize])
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.cmp(&b))
+    });
+    order
+}
+
+/// Splitmix-style hash of `i` mapped into `[-0.5, 0.5)`.
+fn hash_to_unit(i: u64) -> f64 {
+    let mut z = i.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^= z >> 31;
+    (z >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+}
+
+/// Project out the constant component and normalize; `false` when the
+/// remainder is numerically zero (no usable direction).
+fn deflate_normalize(x: &mut [f64]) -> bool {
+    let mean = x.iter().sum::<f64>() / x.len() as f64;
+    for v in x.iter_mut() {
+        *v -= mean;
+    }
+    let norm = x.iter().map(|v| v * v).sum::<f64>().sqrt();
+    if norm < 1e-12 {
+        return false;
+    }
+    for v in x.iter_mut() {
+        *v /= norm;
+    }
+    true
+}
+
+/// A guarded divide outcome: the partition plus attribution — which
+/// strategy was asked for and which one actually produced the
+/// partition. The two differ exactly when the singleton-stall guard
+/// replaced a stalled structural strategy with [`BalancedChunks`]
+/// (`stall_fallback` is then `true`), so engine and level reports stay
+/// attributable instead of silently crediting the requested strategy
+/// with the fallback's partition.
+#[derive(Debug, Clone)]
+pub struct DividedPartition {
+    /// The validated, cap-respecting partition the divide step uses.
+    pub partition: Partition,
+    /// Label of the strategy the caller requested.
+    pub requested: String,
+    /// Label of the strategy whose output `partition` actually is:
+    /// `requested` normally, `"balanced-chunks"` when the stall guard
+    /// fired.
+    pub effective: String,
+    /// `true` when the singleton-stall guard replaced the requested
+    /// strategy's output.
+    pub stall_fallback: bool,
+}
+
 /// Run a strategy with the orchestrator's uniform guards:
 ///
 /// 1. **Validation** — the returned communities are re-checked through
@@ -357,19 +610,38 @@ impl Partitioner for Multilevel {
 ///    total weight, matching with no positive edges, …), the divide
 ///    would not contract and the QAOA² recursion would never terminate;
 ///    the partition degrades to [`BalancedChunks`], which always makes
-///    progress.
+///    progress. The substitution is **not silent**: the returned
+///    [`DividedPartition`] names the effective strategy.
 ///
 /// This is the single entry point the QAOA² orchestrator uses; calling
-/// a [`Partitioner`] directly skips both guards.
+/// a [`Partitioner`] directly skips both guards. Orchestrators that
+/// computed the partition themselves (per-instance auto-selection,
+/// which must record its choice) apply the same guard tail through
+/// [`guard_strategy_output`].
 pub fn partition_for_divide(
     strategy: &dyn Partitioner,
     g: &Graph,
     cap: usize,
-) -> Result<Partition, PartitionError> {
+) -> Result<DividedPartition, PartitionError> {
     if cap == 0 {
         return Err(PartitionError::InvalidCap);
     }
     let partition = strategy.partition(g, cap)?;
+    guard_strategy_output(strategy.label(), partition, g, cap)
+}
+
+/// The guard tail of [`partition_for_divide`] — revalidation, cap
+/// check, singleton-stall fallback — for callers that already hold a
+/// strategy's raw output together with the label it came from.
+pub fn guard_strategy_output(
+    requested: &str,
+    partition: Partition,
+    g: &Graph,
+    cap: usize,
+) -> Result<DividedPartition, PartitionError> {
+    if cap == 0 {
+        return Err(PartitionError::InvalidCap);
+    }
     // revalidate: strategy outputs are untrusted by contract
     let mut communities = partition.into_communities();
     communities.retain(|c| !c.is_empty());
@@ -380,9 +652,19 @@ pub fn partition_for_divide(
     // singleton stall: a partition that does not group anything makes
     // the coarse graph as large as `g` itself
     if partition.len() >= g.num_nodes() && g.num_nodes() > cap {
-        return Ok(balanced_chunks(g.num_nodes(), cap));
+        return Ok(DividedPartition {
+            partition: balanced_chunks(g.num_nodes(), cap),
+            requested: requested.to_string(),
+            effective: BalancedChunks.label().to_string(),
+            stall_fallback: true,
+        });
     }
-    Ok(partition)
+    Ok(DividedPartition {
+        partition,
+        requested: requested.to_string(),
+        effective: requested.to_string(),
+        stall_fallback: false,
+    })
 }
 
 #[cfg(test)]
@@ -396,6 +678,8 @@ mod tests {
             Box::new(BalancedChunks),
             Box::new(BfsGrow),
             Box::new(Multilevel),
+            Box::new(LabelPropagation),
+            Box::new(Spectral),
         ]
     }
 
@@ -483,13 +767,30 @@ mod tests {
     #[test]
     fn divide_guard_replaces_singleton_stall_with_chunks() {
         // negative-weight graph: both structural strategies return
-        // singletons; the divide entry point must still contract
+        // singletons; the divide entry point must still contract — and
+        // name the fallback instead of crediting the stalled strategy
         let g = Graph::from_edges(6, [(0, 1, -1.0), (2, 3, -1.0), (4, 5, -1.0)]).unwrap();
         for s in [&Multilevel as &dyn Partitioner, &GreedyModularity] {
-            let p = partition_for_divide(s, &g, 3).unwrap();
-            assert!(p.len() < 6, "{} stalled", s.label());
-            assert!(p.max_community_size() <= 3);
+            let d = partition_for_divide(s, &g, 3).unwrap();
+            assert!(d.partition.len() < 6, "{} stalled", s.label());
+            assert!(d.partition.max_community_size() <= 3);
+            assert_eq!(d.requested, s.label());
+            assert_eq!(d.effective, "balanced-chunks");
+            assert!(d.stall_fallback);
         }
+        // label propagation groups by |w| and does not stall here
+        let d = partition_for_divide(&LabelPropagation, &g, 3).unwrap();
+        assert!(!d.stall_fallback);
+        assert_eq!(d.effective, "label-propagation");
+    }
+
+    #[test]
+    fn divide_without_fallback_reports_the_requested_strategy() {
+        let g = generators::erdos_renyi(30, 0.2, WeightKind::Uniform, 4);
+        let d = partition_for_divide(&GreedyModularity, &g, 8).unwrap();
+        assert_eq!(d.requested, "greedy-modularity");
+        assert_eq!(d.effective, "greedy-modularity");
+        assert!(!d.stall_fallback);
     }
 
     #[test]
@@ -511,6 +812,81 @@ mod tests {
         let g = generators::ring(4);
         let err = partition_for_divide(&Overlapping, &g, 2).unwrap_err();
         assert!(matches!(err, PartitionError::InvalidPartition { .. }), "{err:?}");
+    }
+
+    #[test]
+    fn label_propagation_groups_heavy_pairs() {
+        let g =
+            Graph::from_edges(4, [(0, 1, 10.0), (2, 3, 10.0), (1, 2, 0.1), (0, 3, 0.1)]).unwrap();
+        let p = LabelPropagation.partition(&g, 2).unwrap();
+        assert_eq!(p.len(), 2);
+        let a = p.assignment();
+        assert_eq!(a[0], a[1]);
+        assert_eq!(a[2], a[3]);
+        assert_ne!(a[0], a[2]);
+    }
+
+    #[test]
+    fn label_propagation_does_not_stall_on_negative_weights() {
+        // heavy *negative* pairs bridged by light edges — exactly the
+        // merge-graph shape that stalls CNM and HEM; absolute-weight
+        // affinities must still group the strong couplings
+        let g = Graph::from_edges(
+            6,
+            [(0, 1, -10.0), (2, 3, -10.0), (4, 5, -10.0), (1, 2, 0.1), (3, 4, -0.1)],
+        )
+        .unwrap();
+        let p = LabelPropagation.partition(&g, 2).unwrap();
+        assert_eq!(p.len(), 3, "expected the three heavy pairs, got {:?}", p.communities());
+        let a = p.assignment();
+        assert_eq!(a[0], a[1]);
+        assert_eq!(a[2], a[3]);
+        assert_eq!(a[4], a[5]);
+    }
+
+    #[test]
+    fn spectral_splits_a_barbell_at_the_bridge() {
+        // two K4 bells joined by one edge: the Fiedler direction
+        // separates the bells, so the bisection cuts only the bridge
+        let g = generators::barbell(4);
+        let p = Spectral.partition(&g, 4).unwrap();
+        assert_eq!(p.len(), 2);
+        let a = p.assignment();
+        for v in 1..4 {
+            assert_eq!(a[0], a[v], "bell 0 split: {:?}", p.communities());
+        }
+        for v in 5..8 {
+            assert_eq!(a[4], a[v], "bell 1 split: {:?}", p.communities());
+        }
+        assert_ne!(a[0], a[4]);
+    }
+
+    #[test]
+    fn spectral_respects_cap_via_median_splits() {
+        for (n, cap) in [(17usize, 5usize), (40, 7), (9, 2)] {
+            let g = generators::complete(n);
+            let p = Spectral.partition(&g, cap).unwrap();
+            assert!(p.is_valid());
+            assert!(p.max_community_size() <= cap, "n {n} cap {cap}");
+        }
+        // edgeless graphs degrade to node-order bisection, still capped
+        let empty = Graph::new(11);
+        let p = Spectral.partition(&empty, 4).unwrap();
+        assert!(p.is_valid());
+        assert!(p.max_community_size() <= 4);
+    }
+
+    #[test]
+    fn spectral_contracts_on_negative_weight_graphs() {
+        // absolute-weight Laplacian: negative couplings are structure,
+        // not a stall — no singleton collapse on merge-graph shapes
+        let g =
+            Graph::from_edges(8, (0..7).map(|i| (i, i + 1, if i % 2 == 0 { -2.0 } else { -0.5 })))
+                .unwrap();
+        let p = Spectral.partition(&g, 4).unwrap();
+        assert!(p.is_valid());
+        assert!(p.len() < 8, "spectral returned singletons");
+        assert!(p.max_community_size() <= 4);
     }
 
     #[test]
@@ -548,10 +924,11 @@ mod tests {
             }
         }
         let g = generators::ring(12);
-        let p = partition_for_divide(&PaddedChunks, &g, 4).unwrap();
-        assert_eq!(p.len(), 3, "empties dropped, real chunks kept (no stall fallback)");
-        assert!(p.communities().iter().all(|c| !c.is_empty()));
-        assert!(p.is_valid());
+        let d = partition_for_divide(&PaddedChunks, &g, 4).unwrap();
+        assert_eq!(d.partition.len(), 3, "empties dropped, real chunks kept (no stall fallback)");
+        assert!(d.partition.communities().iter().all(|c| !c.is_empty()));
+        assert!(d.partition.is_valid());
+        assert!(!d.stall_fallback, "dropping empties must not read as a fallback");
     }
 
     #[test]
@@ -568,7 +945,17 @@ mod tests {
     fn labels_are_stable() {
         let strategies = strategies();
         let labels: Vec<&str> = strategies.iter().map(|s| s.label()).collect();
-        assert_eq!(labels, vec!["greedy-modularity", "balanced-chunks", "bfs-grow", "multilevel"]);
+        assert_eq!(
+            labels,
+            vec![
+                "greedy-modularity",
+                "balanced-chunks",
+                "bfs-grow",
+                "multilevel",
+                "label-propagation",
+                "spectral"
+            ]
+        );
     }
 
     use crate::graph::Graph;

@@ -16,12 +16,20 @@
 //! solve), and minimizing the signed sum would *reward* pushing heavy
 //! negative edges across the boundary.
 //!
+//! Migration alone has a blind spot: a partition whose communities are
+//! all *at the cap* admits no migration at all (every target is full),
+//! however much weight is trapped on the boundary. The
+//! Fiduccia–Mattheyses-style **swap** sweep
+//! ([`RefineOptions::swap_moves`]) covers it by exchanging a pair of
+//! nodes between two communities — sizes are preserved, so fully
+//! packed partitions stay refinable.
+//!
 //! Invariants (property-tested in `tests/properties.rs`):
 //!
 //! * the inter-community weight never increases — only strictly
 //!   improving moves are applied;
 //! * the community cap is never violated — a move into a full
-//!   community is inadmissible;
+//!   community is inadmissible, and swaps preserve sizes;
 //! * the result is always a valid partition (communities emptied by
 //!   migration are dropped).
 //!
@@ -41,11 +49,41 @@ pub struct RefineOutcome {
     pub partition: Partition,
     /// Number of node migrations applied.
     pub moves: usize,
+    /// Number of FM pair swaps applied (0 when
+    /// [`RefineOptions::swap_moves`] is off).
+    pub swaps: usize,
     /// Total absolute inter-community edge weight before refinement.
     pub inter_weight_before: f64,
     /// Total absolute inter-community edge weight after refinement
     /// (`≤ inter_weight_before` always).
     pub inter_weight_after: f64,
+}
+
+/// How a refinement run behaves.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RefineOptions {
+    /// Sweep budget: a pass visits every node once in ascending id
+    /// order; passes stop early once a full pass changes nothing.
+    pub max_passes: usize,
+    /// After each migration sweep, also run an FM-style **swap** sweep:
+    /// exchange a boundary node with the best strictly-improving
+    /// partner in an adjacent community. Swaps preserve community
+    /// sizes, so they improve fully-packed (at-cap) partitions that
+    /// migration alone cannot touch.
+    pub swap_moves: bool,
+}
+
+impl RefineOptions {
+    /// Migration-only refinement with `max_passes` sweeps (the
+    /// behaviour of [`refine_partition`]).
+    pub fn migration_only(max_passes: usize) -> Self {
+        RefineOptions { max_passes, swap_moves: false }
+    }
+
+    /// Migration + FM swap sweeps with `max_passes` passes.
+    pub fn with_swaps(max_passes: usize) -> Self {
+        RefineOptions { max_passes, swap_moves: true }
+    }
 }
 
 /// Migrate boundary nodes between communities to reduce the total
@@ -54,11 +92,27 @@ pub struct RefineOutcome {
 /// once, in ascending id order); passes stop early once a full sweep
 /// applies no move. Deterministic: fixed visit order, ties broken
 /// toward the smaller community index.
+///
+/// Equivalent to [`refine_partition_with`] at
+/// [`RefineOptions::migration_only`].
 pub fn refine_partition(
     g: &Graph,
     partition: &Partition,
     cap: usize,
     max_passes: usize,
+) -> RefineOutcome {
+    refine_partition_with(g, partition, cap, RefineOptions::migration_only(max_passes))
+}
+
+/// [`refine_partition`] with explicit [`RefineOptions`]: each pass runs
+/// the migration sweep and, when `swap_moves` is set, an FM-style swap
+/// sweep over the same node order. Passes stop early once a full pass
+/// neither migrates nor swaps.
+pub fn refine_partition_with(
+    g: &Graph,
+    partition: &Partition,
+    cap: usize,
+    opts: RefineOptions,
 ) -> RefineOutcome {
     let n = g.num_nodes();
     let mut comm: Vec<u32> = partition.assignment();
@@ -67,6 +121,7 @@ pub fn refine_partition(
     let inter_weight_before = inter_weight(g, &comm);
     let mut inter = inter_weight_before;
     let mut moves = 0usize;
+    let mut swaps = 0usize;
 
     // scratch: per-community incident weight of the node under
     // consideration, rebuilt from its neighbor list each visit (degrees
@@ -74,7 +129,7 @@ pub fn refine_partition(
     let mut link = vec![0.0f64; k];
     let mut touched: Vec<u32> = Vec::new();
 
-    for _ in 0..max_passes {
+    for _ in 0..opts.max_passes {
         let mut moved_this_pass = false;
         for v in 0..n as NodeId {
             let home = comm[v as usize];
@@ -115,6 +170,11 @@ pub fn refine_partition(
                 link[c as usize] = 0.0;
             }
         }
+        if opts.swap_moves {
+            let swapped = swap_sweep(g, &mut comm, &sizes, &mut inter);
+            swaps += swapped;
+            moved_this_pass |= swapped > 0;
+        }
         if !moved_this_pass {
             break;
         }
@@ -130,9 +190,107 @@ pub fn refine_partition(
     RefineOutcome {
         partition: Partition::new(n, communities),
         moves,
+        swaps,
         inter_weight_before,
         inter_weight_after: inter,
     }
+}
+
+/// One FM-style swap sweep: every node `v` (ascending id) is offered
+/// the best strictly-improving exchange with a partner in an adjacent
+/// community. Sizes are untouched, so at-cap communities — where
+/// migration is inadmissible by definition — stay refinable.
+///
+/// For `v ∈ A` and partner `u ∈ B`, swapping changes the total
+/// absolute inter weight by
+///
+/// ```text
+/// Δ = (link_v[A] − link_v[B]) + (link_u[B] − link_u[A]) + 2|w_vu|
+/// ```
+///
+/// — the two single-move deltas, corrected for the `(v, u)` edge which
+/// both deltas double-count as becoming intra when it in fact stays
+/// inter. Only `Δ < 0` swaps are applied; ties break to the smaller
+/// (community, partner) pair, keeping the sweep deterministic.
+///
+/// Returns the number of swaps applied. `O(Σ_v Σ_{u ∈ adj comms} deg(u))`
+/// worst case — quadratic-ish, but refinement runs on level graphs
+/// whose size the solve itself already bounds.
+fn swap_sweep(g: &Graph, comm: &mut [u32], sizes: &[usize], inter: &mut f64) -> usize {
+    let n = comm.len();
+    let k = sizes.len();
+    let mut swaps = 0usize;
+    // member lists, rebuilt once per sweep and maintained across swaps
+    let mut members: Vec<Vec<NodeId>> = vec![Vec::new(); k];
+    for v in 0..n as NodeId {
+        members[comm[v as usize] as usize].push(v);
+    }
+    let mut link = vec![0.0f64; k];
+    let mut touched: Vec<u32> = Vec::new();
+    let mut partner_link = vec![0.0f64; k];
+    let mut partner_touched: Vec<u32> = Vec::new();
+
+    for v in 0..n as NodeId {
+        let home = comm[v as usize];
+        touched.clear();
+        for &(u, w) in g.neighbors(v) {
+            let c = comm[u as usize];
+            if link[c as usize] == 0.0 && !touched.contains(&c) {
+                touched.push(c);
+            }
+            link[c as usize] += w.abs();
+        }
+        let mut best: Option<(f64, u32, NodeId)> = None;
+        for &c in &touched {
+            if c == home {
+                continue;
+            }
+            let mig_v = link[home as usize] - link[c as usize];
+            for &u in &members[c as usize] {
+                partner_touched.clear();
+                let mut w_vu = 0.0f64;
+                for &(x, w) in g.neighbors(u) {
+                    if x == v {
+                        w_vu = w.abs();
+                    }
+                    let cx = comm[x as usize];
+                    if partner_link[cx as usize] == 0.0 && !partner_touched.contains(&cx) {
+                        partner_touched.push(cx);
+                    }
+                    partner_link[cx as usize] += w.abs();
+                }
+                let mig_u = partner_link[c as usize] - partner_link[home as usize];
+                let delta = mig_v + mig_u + 2.0 * w_vu;
+                for &cx in &partner_touched {
+                    partner_link[cx as usize] = 0.0;
+                }
+                let better = match best {
+                    None => delta < -1e-12,
+                    Some((bd, bc, bu)) => {
+                        delta < bd - 1e-12 || (delta <= bd + 1e-12 && (c, u) < (bc, bu))
+                    }
+                };
+                if better && delta < -1e-12 {
+                    best = Some((delta, c, u));
+                }
+            }
+        }
+        if let Some((delta, target, partner)) = best {
+            comm[v as usize] = target;
+            comm[partner as usize] = home;
+            let vi = members[home as usize].iter().position(|&x| x == v).expect("v in home");
+            members[home as usize][vi] = partner;
+            let ui =
+                members[target as usize].iter().position(|&x| x == partner).expect("u in target");
+            members[target as usize][ui] = v;
+            *inter += delta;
+            swaps += 1;
+        }
+        for &c in &touched {
+            link[c as usize] = 0.0;
+        }
+    }
+    swaps
 }
 
 /// Total absolute weight of edges whose endpoints live in different
@@ -152,15 +310,23 @@ fn inter_weight(g: &Graph, assignment: &[u32]) -> f64 {
 #[derive(Debug, Clone)]
 pub struct Refined<P> {
     inner: P,
-    passes: usize,
+    opts: RefineOptions,
     label: String,
 }
 
 impl<P: Partitioner> Refined<P> {
-    /// Wrap `inner`, refining its output with up to `passes` sweeps.
+    /// Wrap `inner`, refining its output with up to `passes`
+    /// migration-only sweeps.
     pub fn new(inner: P, passes: usize) -> Self {
+        Refined::with_options(inner, RefineOptions::migration_only(passes))
+    }
+
+    /// Wrap `inner` with explicit [`RefineOptions`] (e.g.
+    /// [`RefineOptions::with_swaps`] so at-cap partitions stay
+    /// refinable).
+    pub fn with_options(inner: P, opts: RefineOptions) -> Self {
         let label = format!("refined-{}", inner.label());
-        Refined { inner, passes, label }
+        Refined { inner, opts, label }
     }
 }
 
@@ -173,7 +339,7 @@ impl<P: Partitioner> Partitioner for Refined<P> {
 
     fn partition(&self, g: &Graph, cap: usize) -> Result<Partition, PartitionError> {
         let base = self.inner.partition(g, cap)?;
-        Ok(refine_partition(g, &base, cap, self.passes).partition)
+        Ok(refine_partition_with(g, &base, cap, self.opts).partition)
     }
 }
 
@@ -278,6 +444,93 @@ mod tests {
         let a = out.partition.assignment();
         assert_eq!(a[0], a[1], "the -10 coupling crossed the boundary");
         assert!(out.inter_weight_after <= out.inter_weight_before + 1e-12);
+    }
+
+    #[test]
+    fn at_cap_partition_is_a_noop_for_migration_only_refinement() {
+        // optimal grouping is {0,2},{1,3}, but both communities of the
+        // start partition are at cap 2: every migration target is full,
+        // so migration-only refinement must change nothing at all
+        let g =
+            Graph::from_edges(4, [(0, 2, 10.0), (1, 3, 10.0), (0, 1, 1.0), (2, 3, 1.0)]).unwrap();
+        let base = Partition::new(4, vec![vec![0, 1], vec![2, 3]]);
+        let out = refine_partition(&g, &base, 2, 8);
+        assert_eq!(out.partition, base, "migration moved a node into a full community");
+        assert_eq!(out.moves, 0);
+        assert_eq!(out.swaps, 0);
+        assert_eq!(out.inter_weight_before, out.inter_weight_after);
+    }
+
+    #[test]
+    fn fm_swaps_strictly_improve_the_at_cap_instance() {
+        // same instance: swapping 1 ↔ 2 reaches the optimal grouping
+        // while keeping both communities exactly at the cap
+        let g =
+            Graph::from_edges(4, [(0, 2, 10.0), (1, 3, 10.0), (0, 1, 1.0), (2, 3, 1.0)]).unwrap();
+        let base = Partition::new(4, vec![vec![0, 1], vec![2, 3]]);
+        let out = refine_partition_with(&g, &base, 2, RefineOptions::with_swaps(8));
+        assert!(out.swaps > 0, "no swap applied on a swap-improvable instance");
+        assert!(
+            out.inter_weight_after < out.inter_weight_before - 1.0,
+            "{} not strictly below {}",
+            out.inter_weight_after,
+            out.inter_weight_before
+        );
+        let a = out.partition.assignment();
+        assert_eq!(a[0], a[2], "heavy pair (0,2) still split");
+        assert_eq!(a[1], a[3], "heavy pair (1,3) still split");
+        assert_eq!(out.partition.max_community_size(), 2, "swap changed community sizes");
+        // the reported total matches a from-scratch recomputation
+        let recomputed = inter_weight(&g, &a);
+        assert!((recomputed - out.inter_weight_after).abs() < 1e-9);
+    }
+
+    #[test]
+    fn swaps_with_adjacent_partners_count_the_shared_edge_once() {
+        // v and its partner are adjacent: the naive sum of the two
+        // migration deltas double-counts the shared edge as becoming
+        // intra; the 2|w_vu| correction must keep the bookkeeping exact
+        let g =
+            Graph::from_edges(4, [(0, 1, 1.0), (2, 3, 1.0), (0, 2, 6.0), (1, 3, 6.0), (1, 2, 2.0)])
+                .unwrap();
+        let base = Partition::new(4, vec![vec![0, 1], vec![2, 3]]);
+        let out = refine_partition_with(&g, &base, 2, RefineOptions::with_swaps(6));
+        let recomputed = inter_weight(&g, &out.partition.assignment());
+        assert!(
+            (recomputed - out.inter_weight_after).abs() < 1e-9,
+            "incremental {} vs recomputed {recomputed}",
+            out.inter_weight_after
+        );
+        assert!(out.inter_weight_after <= out.inter_weight_before + 1e-12);
+    }
+
+    #[test]
+    fn swap_refinement_holds_invariants_on_random_instances() {
+        for seed in 0..8 {
+            let g = generators::erdos_renyi(36, 0.18, WeightKind::Random01, 300 + seed);
+            // chunks of exactly cap nodes: fully packed, migration inert
+            let base = BalancedChunks.partition(&g, 6).unwrap();
+            let migration = refine_partition(&g, &base, 6, 6);
+            let swapped = refine_partition_with(&g, &base, 6, RefineOptions::with_swaps(6));
+            assert!(swapped.partition.is_valid(), "seed {seed}");
+            assert!(swapped.partition.max_community_size() <= 6, "seed {seed}");
+            assert!(
+                swapped.inter_weight_after <= migration.inter_weight_after + 1e-9,
+                "seed {seed}: swaps lost to migration-only"
+            );
+            let recomputed = inter_weight(&g, &swapped.partition.assignment());
+            assert!((recomputed - swapped.inter_weight_after).abs() < 1e-9, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn swap_refinement_is_deterministic() {
+        let g = generators::erdos_renyi(44, 0.15, WeightKind::Random01, 77);
+        let base = BalancedChunks.partition(&g, 8).unwrap();
+        let a = refine_partition_with(&g, &base, 8, RefineOptions::with_swaps(4));
+        let b = refine_partition_with(&g, &base, 8, RefineOptions::with_swaps(4));
+        assert_eq!(a.partition, b.partition);
+        assert_eq!((a.moves, a.swaps), (b.moves, b.swaps));
     }
 
     #[test]

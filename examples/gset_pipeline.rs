@@ -1,20 +1,62 @@
 //! Gset-format instances end-to-end: generate workloads, persist them
 //! in the Gset interchange format (the format the published G1…G81
 //! MaxCut benchmarks ship in), read them back, and run QAOA² under
-//! every registered partition strategy — approximation ratios against
+//! registered partition strategies — approximation ratios against
 //! the exact optimum (small instances) or the Goemans–Williamson
 //! rounding (large ones), recorded in EXPERIMENTS.md.
 //!
 //! ```text
-//! cargo run --release --example gset_pipeline
+//! cargo run --release --example gset_pipeline                     # every strategy
+//! cargo run --release --example gset_pipeline -- --strategy auto  # one strategy
 //! ```
+//!
+//! `--strategy` accepts any built-in label (`greedy-modularity`,
+//! `balanced-chunks`, `bfs-grow`, `multilevel`, `label-propagation`,
+//! `spectral`), `auto` (per-instance selection; the per-level choices
+//! are printed), or `all` (the default).
 
 use qaoa2_suite::prelude::*;
 use qq_core::{PartitionStrategy, RefineConfig};
 use qq_graph::io::{read_gset, write_gset};
 use std::io::BufReader;
 
+/// Strategies selected by the `--strategy` flag (default: all).
+fn selected_strategies() -> Vec<PartitionStrategy> {
+    let mut args = std::env::args().skip(1);
+    let mut requested = String::from("all");
+    while let Some(arg) = args.next() {
+        if arg == "--strategy" {
+            requested = args.next().unwrap_or_else(|| {
+                eprintln!("--strategy needs a value (a strategy label, auto, or all)");
+                std::process::exit(2);
+            });
+        }
+    }
+    if requested == "all" {
+        let mut all = PartitionStrategy::builtin();
+        all.push(PartitionStrategy::Auto);
+        return all;
+    }
+    if requested == "auto" {
+        return vec![PartitionStrategy::Auto];
+    }
+    match PartitionStrategy::builtin().into_iter().find(|s| s.label() == requested) {
+        Some(s) => vec![s],
+        None => {
+            eprintln!(
+                "unknown strategy {requested:?}; expected one of {:?}, auto, or all",
+                PartitionStrategy::builtin()
+                    .iter()
+                    .map(|s| s.label().to_string())
+                    .collect::<Vec<_>>()
+            );
+            std::process::exit(2);
+        }
+    }
+}
+
 fn main() {
+    let strategies = selected_strategies();
     let instances: Vec<(&str, Graph)> = vec![
         ("er24", generators::erdos_renyi(24, 0.25, generators::WeightKind::Uniform, 42)),
         ("planted48", generators::planted_partition(6, 8, 0.9, 0.05, 11)),
@@ -47,7 +89,7 @@ fn main() {
             (goemans_williamson(&loaded, &GwConfig::default()).best.value, "gw")
         };
 
-        for strategy in PartitionStrategy::builtin() {
+        for strategy in &strategies {
             let cfg = Qaoa2Config {
                 max_qubits: 10,
                 solver: SubSolver::LocalSearch,
@@ -58,8 +100,16 @@ fn main() {
                 seed: 1,
             };
             let res = qaoa2_solve(&loaded, &cfg).expect("valid configuration");
+            // adaptive strategies resolve per level: show what ran
+            let detail = if res.levels.iter().any(|l| l.strategy_effective != strategy.label()) {
+                let effective: Vec<&str> =
+                    res.levels.iter().map(|l| l.strategy_effective.as_str()).collect();
+                format!("  [levels: {}]", effective.join(" → "))
+            } else {
+                String::new()
+            };
             println!(
-                "{:<10} {:>5} {:>6}  {:<18} {:>9.2} {:>9.2} {:>7.3}  (vs {})",
+                "{:<10} {:>5} {:>6}  {:<18} {:>9.2} {:>9.2} {:>7.3}  (vs {}){}",
                 name,
                 loaded.num_nodes(),
                 loaded.num_edges(),
@@ -68,6 +118,7 @@ fn main() {
                 baseline,
                 res.cut_value / baseline,
                 baseline_kind,
+                detail,
             );
         }
     }

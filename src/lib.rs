@@ -30,8 +30,8 @@ pub mod prelude {
     pub use qq_classical::{exact_maxcut, one_exchange, randomized_partitioning, CutResult};
     pub use qq_core::{
         solve as qaoa2_solve, BestOf, BoxedSolver, MaxCutSolver, Parallelism, PartitionError,
-        PartitionStrategy, Partitioner, Qaoa2Config, Qaoa2Result, RefineConfig, Refined,
-        ShardedConfig, ShardedSolver, SolverCaps, SolverError, SolverRegistry, SubSolver,
+        PartitionSchedule, PartitionStrategy, Partitioner, Qaoa2Config, Qaoa2Result, RefineConfig,
+        Refined, ShardedConfig, ShardedSolver, SolverCaps, SolverError, SolverRegistry, SubSolver,
     };
     pub use qq_graph::{generators, Cut, Graph};
     pub use qq_gw::{goemans_williamson, GwConfig};

@@ -6,7 +6,9 @@
 //! it to that: a battery spanning the simulator (flat + blocked), the
 //! QAOA landscape evaluation, the full QAOA² driver in `Threads` mode
 //! (including one end-to-end run per partition strategy with
-//! refinement on), and property-harness-style seeded draws is folded
+//! refinement on, plus per-instance `Auto` selection and a per-level
+//! schedule — strategy *choices* fold in alongside the cuts), and
+//! property-harness-style seeded draws is folded
 //! into one digest of exact `f64` bit patterns, and the digest is
 //! compared across separate processes pinned to 1, 2, and N worker
 //! threads.
@@ -36,6 +38,16 @@ impl Digest {
 
     fn f64(&mut self, x: f64) {
         self.word(x.to_bits());
+    }
+
+    /// Fold a label (e.g. the strategy a level actually used) as raw
+    /// bytes: any platform- or thread-count-dependent strategy choice
+    /// changes the digest even when the cut value happens to agree.
+    fn label(&mut self, s: &str) {
+        self.word(s.len() as u64);
+        for b in s.as_bytes() {
+            self.word(*b as u64);
+        }
     }
 }
 
@@ -166,6 +178,40 @@ fn battery_digest() -> u64 {
             d.word(level.num_subgraphs as u64);
             d.word(level.communities_before_refine as u64);
             d.word(level.communities_after_refine as u64);
+            d.f64(level.inter_weight_fraction);
+            d.f64(level.balance);
+            d.label(&level.strategy_effective);
+            d.word(level.stall_fallback as u64);
+        }
+    }
+
+    // --- qq-core: per-instance auto-selection end-to-end — both the
+    // cut AND every level's strategy *choice* fold into the digest, so
+    // a selection that varies by thread count or platform float noise
+    // is a determinism failure, not a silent quality change; a
+    // per-level schedule rides along the same way ---
+    for partition in [
+        qq_core::PartitionStrategy::Auto,
+        qq_core::PartitionStrategy::scheduled(qq_core::PartitionSchedule::new(
+            vec![qq_core::PartitionStrategy::Multilevel],
+            qq_core::PartitionStrategy::Auto,
+        )),
+    ] {
+        let cfg = qq_core::Qaoa2Config {
+            max_qubits: 9,
+            solver: qq_core::SubSolver::LocalSearch,
+            coarse_solver: qq_core::SubSolver::LocalSearch,
+            partition,
+            refine: qq_core::RefineConfig::full(),
+            parallelism: qq_core::Parallelism::Threads,
+            seed: 33,
+        };
+        let res = qq_core::solve(&strat_graph, &cfg).expect("adaptive solve succeeds");
+        d.f64(res.cut_value);
+        for level in &res.levels {
+            d.label(&level.strategy_requested);
+            d.label(&level.strategy_effective);
+            d.word(level.stall_fallback as u64);
             d.f64(level.inter_weight_fraction);
             d.f64(level.balance);
         }

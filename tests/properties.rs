@@ -8,9 +8,7 @@
 
 use qaoa2_suite::prelude::*;
 use qq_core::PartitionStrategy;
-use qq_graph::{
-    extract_subgraphs, inter_weight_fraction, partition_with_cap, refine_partition, Partitioner,
-};
+use qq_graph::{extract_subgraphs, inter_weight_fraction, partition_with_cap, Partitioner};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -77,9 +75,28 @@ fn partition_is_disjoint_cover_with_cap() {
     }
 }
 
+/// A graph whose tail nodes are isolated (degree 0) and whose head is
+/// split into several small components: the divide strategies must
+/// neither drop nodes nor violate the cap when BFS frontiers and
+/// matchings run dry (the shape that exposes region-growing bugs).
+fn with_isolated_nodes(rng: &mut StdRng) -> Graph {
+    let connected = rng.gen_range(4usize..16);
+    let isolated = rng.gen_range(1usize..10);
+    let n = connected + isolated;
+    let mut g = Graph::new(n);
+    // chain the connected head into ~3-node components: 0-1-2, 3-4-5, …
+    for start in (0..connected.saturating_sub(1)).step_by(3) {
+        for v in start..(start + 2).min(connected - 1) {
+            g.add_edge(v as u32, v as u32 + 1, 0.5 + rng.gen::<f64>()).unwrap();
+        }
+    }
+    g
+}
+
 /// One graph from every generator family, seeded per case: the divide
 /// strategies must hold their invariants on community-structured,
-/// structure-free, dense, sparse, and degenerate inputs alike.
+/// structure-free, dense, sparse, multi-component, isolated-node, and
+/// degenerate inputs alike.
 fn generator_zoo(rng: &mut StdRng) -> Vec<Graph> {
     vec![
         arb_graph(rng),
@@ -100,7 +117,17 @@ fn generator_zoo(rng: &mut StdRng) -> Vec<Graph> {
         generators::complete(rng.gen_range(2usize..16)),
         generators::barbell(rng.gen_range(2usize..9)),
         generators::star(rng.gen_range(2usize..20)),
+        with_isolated_nodes(rng),
+        Graph::new(rng.gen_range(1usize..6)), // fully edgeless
     ]
+}
+
+/// Every registered strategy — the fixed built-ins plus per-instance
+/// `Auto` — for the exhaustive coverage loops below.
+fn all_strategies() -> Vec<PartitionStrategy> {
+    let mut all = PartitionStrategy::builtin();
+    all.push(PartitionStrategy::Auto);
+    all
 }
 
 #[test]
@@ -110,7 +137,7 @@ fn every_partition_strategy_is_a_valid_capped_cover() {
         let mut rng = case_rng(11, case);
         let cap = rng.gen_range(2usize..12);
         for g in generator_zoo(&mut rng) {
-            for strategy in PartitionStrategy::builtin() {
+            for strategy in all_strategies() {
                 let p = strategy
                     .to_partitioner()
                     .partition(&g, cap)
@@ -130,15 +157,50 @@ fn every_partition_strategy_is_a_valid_capped_cover() {
 }
 
 #[test]
+fn bfs_grow_covers_isolated_nodes_and_holds_the_cap() {
+    // the region-growing strategy on graphs where BFS frontiers run dry:
+    // every isolated node and every small component must land in exactly
+    // one community, with the cap intact (no node dropped on reseed)
+    use qq_graph::BfsGrow;
+    for case in 0..32 {
+        let mut rng = case_rng(13, case);
+        let g = with_isolated_nodes(&mut rng);
+        let cap = rng.gen_range(2usize..8);
+        let p = BfsGrow.partition(&g, cap).unwrap_or_else(|e| panic!("case {case}: {e}"));
+        assert!(p.is_valid(), "case {case}: dropped or duplicated a node");
+        assert!(p.max_community_size() <= cap, "case {case}");
+        let covered: usize = p.communities().iter().map(Vec::len).sum();
+        assert_eq!(covered, g.num_nodes(), "case {case}: node lost on an empty frontier");
+        // isolated nodes have no BFS frontier at all: each one must
+        // still end up covered — as a singleton community or a reseed
+        for v in 0..g.num_nodes() as u32 {
+            if g.degree(v) == 0 {
+                assert!(
+                    p.communities().iter().any(|c| c.contains(&v)),
+                    "case {case}: isolated node {v} dropped"
+                );
+            }
+        }
+    }
+}
+
+#[test]
 fn refinement_never_increases_inter_weight_nor_violates_cap() {
+    use qq_graph::{refine_partition_with, RefineOptions};
     for case in 0..16 {
         let mut rng = case_rng(12, case);
         let cap = rng.gen_range(2usize..12);
         let passes = rng.gen_range(1usize..5);
+        let swap_moves = case % 2 == 1; // alternate migration-only and FM-swap sweeps
         for g in generator_zoo(&mut rng) {
-            for strategy in PartitionStrategy::builtin() {
+            for strategy in all_strategies() {
                 let base = strategy.to_partitioner().partition(&g, cap).unwrap();
-                let out = refine_partition(&g, &base, cap, passes);
+                let out = refine_partition_with(
+                    &g,
+                    &base,
+                    cap,
+                    RefineOptions { max_passes: passes, swap_moves },
+                );
                 assert!(
                     out.inter_weight_after <= out.inter_weight_before + 1e-9,
                     "{} case {case}: {} > {}",
