@@ -1,0 +1,140 @@
+//! Fused-vs-unfused executor wall time on QAOA ansätze.
+//!
+//! Measures the single-sweep gate fusion (`qq_circuit::fuse`): the same
+//! synthesized circuit runs through the fused executor (one sweep per
+//! diagonal run, one cache-blocked pass per one-qubit wall) and the
+//! per-gate reference path, over Erdős–Rényi, ring and complete MaxCut
+//! ansätze at n = 16–24 (default sizes trimmed for CI; override with
+//! `QQ_FUSION_SIZES="16 20 24"`). Records `BENCH_sim.json` at the repo
+//! root: sweeps per gate, ns per amplitude-sweep, and the fused/unfused
+//! wall-clock ratio.
+//!
+//! Not a criterion harness: one process writes one JSON artifact.
+//! Run with `cargo bench --bench sim_fusion`.
+
+use qq_circuit::exec::{apply_fused_to_statevector, run_statevector, run_statevector_unfused};
+use qq_circuit::{fuse, AnsatzParams, CostModel, Preference, Synthesizer};
+use qq_graph::generators::{self, WeightKind};
+use qq_graph::Graph;
+use qq_sim::StateVector;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+struct Row {
+    family: &'static str,
+    n: usize,
+    gates: usize,
+    ops: usize,
+    sweeps: usize,
+    fused_ns: u128,
+    unfused_ns: u128,
+}
+
+fn graph(family: &'static str, n: usize) -> Graph {
+    match family {
+        "erdos_renyi" => generators::erdos_renyi(n, 0.3, WeightKind::Random01, 7),
+        "ring" => generators::ring(n),
+        "complete" => generators::complete(n),
+        _ => unreachable!("unknown family"),
+    }
+}
+
+fn best_of<R>(reps: usize, mut f: impl FnMut() -> R) -> (u128, R) {
+    let mut best = u128::MAX;
+    let mut last = None;
+    for _ in 0..reps {
+        let t = Instant::now();
+        let r = f();
+        best = best.min(t.elapsed().as_nanos());
+        last = Some(r);
+    }
+    (best, last.expect("reps >= 1"))
+}
+
+fn overlap_ok(a: &StateVector, b: &StateVector) -> bool {
+    let mut overlap = qq_sim::C64::ZERO;
+    for (x, y) in a.amplitudes().iter().zip(b.amplitudes()) {
+        overlap += x.conj() * *y;
+    }
+    (overlap.abs() - 1.0).abs() < 1e-9
+}
+
+fn main() {
+    let sizes: Vec<usize> = std::env::var("QQ_FUSION_SIZES")
+        .unwrap_or_else(|_| "16 18 20".into())
+        .split_whitespace()
+        .map(|s| s.parse().expect("QQ_FUSION_SIZES entries are integers"))
+        .collect();
+    let p = 2;
+    let params = AnsatzParams::new(vec![0.35, 0.6], vec![0.2, 0.45]);
+    assert_eq!(params.layers(), p);
+
+    let mut rows = Vec::new();
+    for &n in &sizes {
+        for family in ["erdos_renyi", "ring", "complete"] {
+            let g = graph(family, n);
+            let model = CostModel::from_maxcut(&g);
+            let circuit = Synthesizer::new(Preference::Depth).qaoa_ansatz(&model, &params);
+            let program = fuse(&circuit);
+
+            // warm-up (first-touches the pool) + correctness gate
+            let fused_state = run_statevector(&circuit);
+            let unfused_state = run_statevector_unfused(&circuit);
+            assert!(overlap_ok(&fused_state, &unfused_state), "{family} n={n} diverged");
+
+            let (fused_ns, stats) = best_of(3, || {
+                let mut s = StateVector::zero_state(n);
+                apply_fused_to_statevector(&program, &mut s)
+            });
+            let (unfused_ns, _) = best_of(3, || run_statevector_unfused(&circuit));
+
+            rows.push(Row {
+                family,
+                n,
+                gates: circuit.gates().len(),
+                ops: program.ops().len(),
+                sweeps: stats.sweeps,
+                fused_ns,
+                unfused_ns,
+            });
+            println!(
+                "{family:<12} n={n:<3} gates={:<4} sweeps={:<3} fused={:>9.3} ms unfused={:>9.3} ms speedup={:.2}x",
+                circuit.gates().len(),
+                stats.sweeps,
+                fused_ns as f64 / 1e6,
+                unfused_ns as f64 / 1e6,
+                unfused_ns as f64 / fused_ns as f64,
+            );
+        }
+    }
+
+    let mut json = String::from("{\n  \"bench\": \"sim_fusion\",\n");
+    let _ = writeln!(json, "  \"layers\": {p},");
+    let _ = writeln!(json, "  \"host_threads\": {},", rayon::current_num_threads());
+    json.push_str("  \"results\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let amps = 1u64 << r.n;
+        let _ = write!(
+            json,
+            "    {{\"family\": \"{}\", \"n\": {}, \"source_gates\": {}, \"fused_ops\": {}, \
+             \"sweeps\": {}, \"sweeps_per_gate\": {:.4}, \"fused_ns\": {}, \"unfused_ns\": {}, \
+             \"fused_ns_per_amp_sweep\": {:.3}, \"speedup\": {:.3}}}",
+            r.family,
+            r.n,
+            r.gates,
+            r.ops,
+            r.sweeps,
+            r.sweeps as f64 / r.gates as f64,
+            r.fused_ns,
+            r.unfused_ns,
+            r.fused_ns as f64 / (amps as f64 * r.sweeps as f64),
+            r.unfused_ns as f64 / r.fused_ns as f64,
+        );
+        json.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ]\n}\n");
+
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_sim.json");
+    std::fs::write(path, &json).expect("write BENCH_sim.json");
+    println!("wrote {path}");
+}

@@ -46,8 +46,8 @@ pub use registry::{SolverFactory, SolverRegistry};
 pub use sharded::{ShardedConfig, ShardedSolver};
 pub use solvers::{solve_subgraph, solve_with_backend, SharedSolver, SubSolver};
 pub use strategy::{
-    divide, AutoPartitioner, DivideOutcome, PartitionSchedule, PartitionStrategy, RefineConfig,
-    SharedPartitioner,
+    divide, partition_memo_hits, AutoPartitioner, DivideOutcome, PartitionSchedule,
+    PartitionStrategy, RefineConfig, SharedPartitioner,
 };
 
 // the backend interface, re-exported so orchestrator users need only this

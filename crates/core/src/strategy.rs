@@ -46,7 +46,9 @@ use qq_graph::{
     refine_partition_with, BalancedChunks, BfsGrow, Cut, DividedPartition, Graph, GreedyModularity,
     LabelPropagation, Multilevel, Partition, PartitionError, Partitioner, RefineOptions, Spectral,
 };
-use std::sync::Arc;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
 
 /// A dynamically supplied partitioner (the escape hatch for strategies
 /// defined outside this crate). `Arc` rather than `Box` so the
@@ -414,6 +416,76 @@ fn lookahead_compose(
 /// keeping the worst case a few hundred cheap classical solves.
 const LOOKAHEAD_BUDGET: usize = 2;
 
+/// Bound on the candidate-partition memo ([`memoized_partition_for_divide`]);
+/// when full the whole map is dropped — the cache is an accelerator, not a
+/// correctness structure, and a deep solve's working set is far smaller.
+const PARTITION_MEMO_CAPACITY: usize = 512;
+
+/// Memo key: graph identity (size + FNV-1a fingerprint of the exact edge
+/// list), candidate label, cap. The size fields guard the (astronomically
+/// unlikely) 64-bit fingerprint collision between graphs of equal shape.
+type PartitionMemoKey = (u64, usize, usize, String, usize);
+
+fn partition_memo() -> &'static Mutex<HashMap<PartitionMemoKey, DividedPartition>> {
+    static MEMO: OnceLock<Mutex<HashMap<PartitionMemoKey, DividedPartition>>> = OnceLock::new();
+    MEMO.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+static PARTITION_MEMO_HITS: AtomicU64 = AtomicU64::new(0);
+
+/// Process-wide count of candidate partitions the auto lookahead reused
+/// from the memo instead of recomputing (monotonic; exposed for tests
+/// and throughput reporting).
+pub fn partition_memo_hits() -> u64 {
+    PARTITION_MEMO_HITS.load(Ordering::Relaxed)
+}
+
+/// FNV-1a over the node count and the exact `(u, v, w)` edge list. Bit
+/// pattern of `w` so the fingerprint is exact (no tolerance classes).
+fn graph_fingerprint(g: &Graph) -> u64 {
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut mix = |word: u64| {
+        for byte in word.to_le_bytes() {
+            h ^= byte as u64;
+            h = h.wrapping_mul(PRIME);
+        }
+    };
+    mix(g.num_nodes() as u64);
+    for e in g.edges() {
+        mix(e.u as u64);
+        mix(e.v as u64);
+        mix(e.w.to_bits());
+    }
+    h
+}
+
+/// [`partition_for_divide`] with a process-wide memo. The guarded output
+/// is a pure function of `(graph, strategy label, cap)` — every built-in
+/// candidate is deterministic — and the auto lookahead recomputes it
+/// heavily: each simulated deeper level re-runs the portfolio on coarse
+/// graphs the real recursion will divide again, and sibling candidates
+/// often produce identical partitions. Errors are not cached.
+fn memoized_partition_for_divide(
+    strategy: &dyn Partitioner,
+    g: &Graph,
+    cap: usize,
+) -> Result<DividedPartition, PartitionError> {
+    let key =
+        (graph_fingerprint(g), g.num_nodes(), g.edges().len(), strategy.label().to_string(), cap);
+    if let Some(hit) = partition_memo().lock().expect("partition memo poisoned").get(&key) {
+        PARTITION_MEMO_HITS.fetch_add(1, Ordering::Relaxed);
+        return Ok(hit.clone());
+    }
+    let divided = partition_for_divide(strategy, g, cap)?;
+    let mut memo = partition_memo().lock().expect("partition memo poisoned");
+    if memo.len() >= PARTITION_MEMO_CAPACITY {
+        memo.clear();
+    }
+    memo.insert(key, divided.clone());
+    Ok(divided)
+}
+
 /// Classical stand-in for `solve_level` during the lookahead: graphs
 /// within the cap are solved by one-exchange on the exact seed the
 /// pipeline's base case would draw; larger graphs divide through the
@@ -480,7 +552,7 @@ fn divide_auto_budgeted(
     let mut best: Option<(f64, auto::AutoScore, DivideOutcome, Cut)> = None;
     let mut stalled: Option<DividedPartition> = None;
     for candidate in auto::candidates(&probe) {
-        let divided = partition_for_divide(candidate.as_ref(), g, cap)?;
+        let divided = memoized_partition_for_divide(candidate.as_ref(), g, cap)?;
         if divided.stall_fallback {
             // the guard already replaced this candidate's output with
             // balanced chunks — a partition the chunk candidate (always
@@ -604,6 +676,36 @@ mod tests {
         }
         assert_eq!(PartitionStrategy::Auto.label(), "auto");
         assert_eq!(PartitionStrategy::Auto.to_partitioner().label(), "auto");
+    }
+
+    #[test]
+    fn auto_lookahead_reuses_memoized_partitions() {
+        let g = generators::erdos_renyi(30, 0.3, WeightKind::Random01, 77);
+        let first =
+            divide(&g, 6, &PartitionStrategy::Auto, 0, &RefineConfig::default(), 5).unwrap();
+        let after_first = partition_memo_hits();
+        // the identical divide replays every candidate on the same graph
+        // (and the same coarse graphs in the lookahead) — all memo hits
+        let second =
+            divide(&g, 6, &PartitionStrategy::Auto, 0, &RefineConfig::default(), 5).unwrap();
+        assert!(
+            partition_memo_hits() > after_first,
+            "repeat auto divide recorded no partition-memo hits"
+        );
+        // memoization must not change the selection
+        assert_eq!(first.partition, second.partition);
+        assert_eq!(first.effective, second.effective);
+    }
+
+    #[test]
+    fn graph_fingerprint_separates_weights_and_shape() {
+        let a = generators::ring(8);
+        let b = generators::ring(9);
+        assert_ne!(graph_fingerprint(&a), graph_fingerprint(&b));
+        let c = generators::erdos_renyi(8, 0.5, WeightKind::Random01, 1);
+        let d = generators::erdos_renyi(8, 0.5, WeightKind::Random01, 2);
+        assert_ne!(graph_fingerprint(&c), graph_fingerprint(&d));
+        assert_eq!(graph_fingerprint(&a), graph_fingerprint(&generators::ring(8)));
     }
 
     #[test]

@@ -1,70 +1,205 @@
 //! Circuit execution on the `qq-sim` backends.
 //!
-//! The lowering is direct: each IR gate maps to one simulator kernel.
+//! The default entry points ([`run_statevector`], [`run_blocked`]) lower
+//! the circuit through the [`crate::fuse`] pass first, so a run of
+//! commuting diagonal gates costs one state sweep and a wall of one-qubit
+//! gates costs one cache-blocked pass. The unfused per-gate lowerings are
+//! kept as the reference path ([`run_statevector_unfused`],
+//! [`run_blocked_unfused`], [`apply_to_statevector`]) — equivalence is
+//! checked to 1e-9 overlap in `tests/fusion_equivalence.rs`.
+//!
 //! Both engines start from `|0…0⟩`; the QAOA ansatz itself contains the
 //! initial Hadamard wall.
 
+use crate::fuse::{fuse, FusedOp, FusedProgram};
 use crate::ir::{Circuit, Gate};
 use qq_sim::{BlockedState, SimError, StateVector};
 
-/// Execute on the flat statevector engine.
+/// Sweep accounting for one fused execution, reported by the
+/// `apply_fused_*` entry points and the fusion benchmark.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FusedRunStats {
+    /// Gates in the source circuit (including global phases).
+    pub source_gates: usize,
+    /// Full passes over the amplitude array the fused execution made.
+    pub sweeps: usize,
+    /// Diagonal blocks executed (one sweep each).
+    pub diag_blocks: usize,
+    /// Source gates folded into diagonal blocks.
+    pub diag_gates: usize,
+    /// One-qubit walls executed.
+    pub walls: usize,
+    /// Gates that fell back to the per-gate kernels.
+    pub unfused_gates: usize,
+}
+
+/// Execute on the flat statevector engine (fused path).
 pub fn run_statevector(c: &Circuit) -> StateVector {
+    let mut s = StateVector::zero_state(c.num_qubits());
+    apply_fused_to_statevector(&fuse(c), &mut s);
+    s
+}
+
+/// Execute on the flat statevector engine with the per-gate reference
+/// lowering (one sweep per gate).
+pub fn run_statevector_unfused(c: &Circuit) -> StateVector {
     let mut s = StateVector::zero_state(c.num_qubits());
     apply_to_statevector(c, &mut s);
     s
 }
 
-/// Apply a circuit to an existing state (used when composing ansatz
-/// fragments or re-running with different measurement settings).
+/// Apply a circuit gate-by-gate to an existing state (used when composing
+/// ansatz fragments or re-running with different measurement settings,
+/// and as the unfused reference path).
 pub fn apply_to_statevector(c: &Circuit, s: &mut StateVector) {
     assert_eq!(c.num_qubits(), s.num_qubits(), "circuit/register width mismatch");
     for &g in c.gates() {
-        match g {
-            Gate::H(q) => s.h(q as usize),
-            Gate::X(q) => s.x(q as usize),
-            Gate::Rx(q, t) => s.rx(q as usize, t),
-            Gate::Ry(q, t) => s.ry(q as usize, t),
-            Gate::Rz(q, t) => s.rz(q as usize, t),
-            Gate::Rzz(a, b, t) => s.rzz(a as usize, b as usize, t),
-            Gate::Cz(a, b) => s.cz(a as usize, b as usize),
-            Gate::Cnot(a, b) => s.cnot(a as usize, b as usize),
-            Gate::GlobalPhase(p) => s.global_phase(p),
-        }
+        apply_gate_statevector(g, s);
     }
 }
 
-/// Execute on the cache-blocked engine (chunk size `2^chunk_qubits`),
-/// returning the final state with its communication statistics.
-pub fn run_blocked(c: &Circuit, chunk_qubits: usize) -> Result<BlockedState, SimError> {
-    let mut s = BlockedState::zero_state(c.num_qubits(), chunk_qubits)?;
-    for &g in c.gates() {
-        match g {
-            Gate::H(q) => s.h(q as usize)?,
-            Gate::X(q) => s.apply_1q(q as usize, &qq_sim::gates::x_matrix())?,
-            Gate::Rx(q, t) => s.rx(q as usize, t)?,
-            Gate::Ry(q, t) => s.apply_1q(q as usize, &qq_sim::gates::ry_matrix(t))?,
-            Gate::Rz(q, t) => s.rz(q as usize, t)?,
-            Gate::Rzz(a, b, t) => s.rzz(a as usize, b as usize, t)?,
-            // CZ/CNOT/global phase are not needed by the QAOA ansatz on the
-            // blocked engine; lower them via the generic kernels.
-            Gate::Cz(a, b) => {
-                s.rzz(a as usize, b as usize, std::f64::consts::FRAC_PI_2)?;
-                s.rz(a as usize, -std::f64::consts::FRAC_PI_2)?;
-                s.rz(b as usize, -std::f64::consts::FRAC_PI_2)?;
-                // global phase −π/4 omitted (unobservable)
+/// Per-gate lowering to the flat engine. Returns the number of state
+/// sweeps the gate cost (1, or 0 for a pure bookkeeping gate).
+fn apply_gate_statevector(g: Gate, s: &mut StateVector) -> usize {
+    match g {
+        Gate::H(q) => s.h(q as usize),
+        Gate::X(q) => s.x(q as usize),
+        Gate::Rx(q, t) => s.rx(q as usize, t),
+        Gate::Ry(q, t) => s.ry(q as usize, t),
+        Gate::Rz(q, t) => s.rz(q as usize, t),
+        Gate::Rzz(a, b, t) => s.rzz(a as usize, b as usize, t),
+        Gate::Cz(a, b) => s.cz(a as usize, b as usize),
+        Gate::Cnot(a, b) => s.cnot(a as usize, b as usize),
+        Gate::GlobalPhase(p) => s.global_phase(p),
+    }
+    1
+}
+
+/// Apply a fused program to an existing flat state, returning sweep
+/// accounting. Each diagonal block is exactly one sweep regardless of how
+/// many gates folded into it; each wall is one pass plus one per
+/// high-qubit gate outside the cache-blocked grain.
+pub fn apply_fused_to_statevector(p: &FusedProgram, s: &mut StateVector) -> FusedRunStats {
+    assert_eq!(p.num_qubits(), s.num_qubits(), "circuit/register width mismatch");
+    let mut stats = FusedRunStats { source_gates: p.source_gates(), ..Default::default() };
+    for op in p.ops() {
+        match op {
+            FusedOp::DiagonalBlock { phase0, terms, gates } => {
+                s.apply_diag_block(*phase0, terms);
+                stats.sweeps += 1;
+                stats.diag_blocks += 1;
+                stats.diag_gates += gates;
             }
-            Gate::Cnot(a, b) => {
-                // CX = (I⊗H)·CZ·(I⊗H)
-                s.h(b as usize)?;
-                s.rzz(a as usize, b as usize, std::f64::consts::FRAC_PI_2)?;
-                s.rz(a as usize, -std::f64::consts::FRAC_PI_2)?;
-                s.rz(b as usize, -std::f64::consts::FRAC_PI_2)?;
-                s.h(b as usize)?;
+            FusedOp::OneQubitWall { mats, .. } => {
+                stats.sweeps += s.apply_1q_wall(mats);
+                stats.walls += 1;
             }
-            Gate::GlobalPhase(_) => {}
+            FusedOp::Unfused(g) => {
+                stats.sweeps += apply_gate_statevector(*g, s);
+                stats.unfused_gates += 1;
+            }
         }
     }
+    stats
+}
+
+/// Execute on the cache-blocked engine (chunk size `2^chunk_qubits`),
+/// fused path, returning the final state with its communication
+/// statistics.
+pub fn run_blocked(c: &Circuit, chunk_qubits: usize) -> Result<BlockedState, SimError> {
+    let mut s = BlockedState::zero_state(c.num_qubits(), chunk_qubits)?;
+    apply_fused_to_blocked(&fuse(c), &mut s)?;
     Ok(s)
+}
+
+/// Execute on the cache-blocked engine with the per-gate reference
+/// lowering.
+pub fn run_blocked_unfused(c: &Circuit, chunk_qubits: usize) -> Result<BlockedState, SimError> {
+    let mut s = BlockedState::zero_state(c.num_qubits(), chunk_qubits)?;
+    for &g in c.gates() {
+        apply_gate_blocked(g, &mut s)?;
+    }
+    Ok(s)
+}
+
+/// Per-gate lowering to the blocked engine. CZ/CNOT lower via the generic
+/// kernels (global phase −π/4 omitted — unobservable); returns the number
+/// of chunk passes the gate cost.
+fn apply_gate_blocked(g: Gate, s: &mut BlockedState) -> Result<usize, SimError> {
+    let passes = match g {
+        Gate::H(q) => {
+            s.h(q as usize)?;
+            1
+        }
+        Gate::X(q) => {
+            s.apply_1q(q as usize, &qq_sim::gates::x_matrix())?;
+            1
+        }
+        Gate::Rx(q, t) => {
+            s.rx(q as usize, t)?;
+            1
+        }
+        Gate::Ry(q, t) => {
+            s.apply_1q(q as usize, &qq_sim::gates::ry_matrix(t))?;
+            1
+        }
+        Gate::Rz(q, t) => {
+            s.rz(q as usize, t)?;
+            1
+        }
+        Gate::Rzz(a, b, t) => {
+            s.rzz(a as usize, b as usize, t)?;
+            1
+        }
+        Gate::Cz(a, b) => {
+            s.rzz(a as usize, b as usize, std::f64::consts::FRAC_PI_2)?;
+            s.rz(a as usize, -std::f64::consts::FRAC_PI_2)?;
+            s.rz(b as usize, -std::f64::consts::FRAC_PI_2)?;
+            3
+        }
+        Gate::Cnot(a, b) => {
+            // CX = (I⊗H)·CZ·(I⊗H)
+            s.h(b as usize)?;
+            s.rzz(a as usize, b as usize, std::f64::consts::FRAC_PI_2)?;
+            s.rz(a as usize, -std::f64::consts::FRAC_PI_2)?;
+            s.rz(b as usize, -std::f64::consts::FRAC_PI_2)?;
+            s.h(b as usize)?;
+            5
+        }
+        Gate::GlobalPhase(_) => 0,
+    };
+    Ok(passes)
+}
+
+/// Apply a fused program to an existing blocked state, returning sweep
+/// accounting. Diagonal blocks are chunk-local (zero pair exchanges);
+/// walls split into one chunk-local pass plus one pair-exchange pass per
+/// chunk-crossing qubit.
+pub fn apply_fused_to_blocked(
+    p: &FusedProgram,
+    s: &mut BlockedState,
+) -> Result<FusedRunStats, SimError> {
+    assert_eq!(p.num_qubits(), s.num_qubits(), "circuit/register width mismatch");
+    let mut stats = FusedRunStats { source_gates: p.source_gates(), ..Default::default() };
+    for op in p.ops() {
+        match op {
+            FusedOp::DiagonalBlock { phase0, terms, gates } => {
+                s.apply_diag_block(*phase0, terms)?;
+                stats.sweeps += 1;
+                stats.diag_blocks += 1;
+                stats.diag_gates += gates;
+            }
+            FusedOp::OneQubitWall { mats, .. } => {
+                stats.sweeps += s.apply_1q_wall(mats)?;
+                stats.walls += 1;
+            }
+            FusedOp::Unfused(g) => {
+                stats.sweeps += apply_gate_blocked(*g, s)?;
+                stats.unfused_gates += 1;
+            }
+        }
+    }
+    Ok(stats)
 }
 
 #[cfg(test)]
@@ -72,6 +207,14 @@ mod tests {
     use super::*;
     use crate::synth::{AnsatzParams, CostModel, Preference, Synthesizer};
     use qq_graph::generators;
+
+    fn assert_overlap(a: &StateVector, b: &StateVector) {
+        let mut overlap = qq_sim::C64::ZERO;
+        for (x, y) in a.amplitudes().iter().zip(b.amplitudes()) {
+            overlap += x.conj() * *y;
+        }
+        assert!((overlap.abs() - 1.0).abs() < 1e-9, "overlap = {}", overlap.abs());
+    }
 
     #[test]
     fn bell_circuit() {
@@ -84,6 +227,37 @@ mod tests {
     }
 
     #[test]
+    fn fused_default_matches_unfused_reference() {
+        let g = generators::erdos_renyi(8, 0.5, generators::WeightKind::Random01, 21);
+        let model = CostModel::from_maxcut(&g);
+        let params = AnsatzParams::new(vec![0.25, 0.55], vec![0.15, 0.35]);
+        let circuit = Synthesizer::new(Preference::Depth).qaoa_ansatz(&model, &params);
+        assert_overlap(&run_statevector(&circuit), &run_statevector_unfused(&circuit));
+    }
+
+    #[test]
+    fn fused_sweeps_bounded_by_runs_not_gates() {
+        let g = generators::complete(9);
+        let model = CostModel::from_maxcut(&g);
+        let p = 2;
+        let params = AnsatzParams::new(vec![0.3; p], vec![0.2; p]);
+        let circuit = Synthesizer::new(Preference::Depth).qaoa_ansatz(&model, &params);
+        let mut s = StateVector::zero_state(circuit.num_qubits());
+        let stats = apply_fused_to_statevector(&fuse(&circuit), &mut s);
+        // one sweep per diagonal run: p cost layers ⇒ p diagonal sweeps
+        assert_eq!(stats.diag_blocks, p);
+        // 36 rzz per layer folded into one block each
+        assert_eq!(stats.diag_gates, circuit.gates().iter().filter(|g| g.is_diagonal()).count());
+        // total sweeps far below the per-gate count
+        assert!(
+            stats.sweeps <= stats.diag_blocks + 2 * stats.walls + stats.unfused_gates,
+            "sweeps {} exceed run bound",
+            stats.sweeps
+        );
+        assert!(stats.sweeps < circuit.gates().len() / 4);
+    }
+
+    #[test]
     fn blocked_matches_flat_on_ansatz() {
         let g = generators::erdos_renyi(7, 0.4, generators::WeightKind::Random01, 12);
         let model = CostModel::from_maxcut(&g);
@@ -91,11 +265,7 @@ mod tests {
         let circuit = Synthesizer::new(Preference::Depth).qaoa_ansatz(&model, &params);
         let flat = run_statevector(&circuit);
         let blocked = run_blocked(&circuit, 3).unwrap().to_statevector();
-        let mut overlap = qq_sim::C64::ZERO;
-        for (a, b) in flat.amplitudes().iter().zip(blocked.amplitudes()) {
-            overlap += a.conj() * *b;
-        }
-        assert!((overlap.abs() - 1.0).abs() < 1e-9);
+        assert_overlap(&flat, &blocked);
     }
 
     #[test]
@@ -105,12 +275,9 @@ mod tests {
         c.push(Gate::Cnot(0, 2)).unwrap();
         c.push(Gate::Cz(1, 2)).unwrap();
         let flat = run_statevector(&c);
-        let blk = run_blocked(&c, 1).unwrap().to_statevector();
-        let mut overlap = qq_sim::C64::ZERO;
-        for (a, b) in flat.amplitudes().iter().zip(blk.amplitudes()) {
-            overlap += a.conj() * *b;
+        for blk in [run_blocked(&c, 1).unwrap(), run_blocked_unfused(&c, 1).unwrap()] {
+            assert_overlap(&flat, &blk.to_statevector());
         }
-        assert!((overlap.abs() - 1.0).abs() < 1e-9, "overlap = {}", overlap.abs());
     }
 
     #[test]

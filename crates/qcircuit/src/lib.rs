@@ -12,7 +12,11 @@
 //! * [`passes`] — optimization passes: commuting-layer depth scheduling
 //!   (greedy edge coloring of the cost terms), rotation fusion,
 //!   inverse-pair cancellation;
-//! * [`exec`] — execution on the `qq-sim` backends.
+//! * [`fuse`] — lowering to fused meta-ops: a run of commuting diagonal
+//!   gates becomes one parity-phase sweep, a run of one-qubit gates
+//!   becomes one cache-blocked wall pass;
+//! * [`exec`] — execution on the `qq-sim` backends (fused by default,
+//!   per-gate reference paths kept).
 //!
 //! ```
 //! use qq_circuit::prelude::*;
@@ -27,16 +31,20 @@
 //! ```
 
 pub mod exec;
+pub mod fuse;
 pub mod ir;
 pub mod passes;
 pub mod synth;
 
+pub use exec::FusedRunStats;
+pub use fuse::{fuse, FusedOp, FusedProgram};
 pub use ir::{Circuit, CircuitError, Gate};
 pub use synth::{AnsatzParams, CostModel, Preference, Synthesizer};
 
 /// Commonly used items.
 pub mod prelude {
-    pub use crate::exec::run_statevector;
+    pub use crate::exec::{run_statevector, run_statevector_unfused, FusedRunStats};
+    pub use crate::fuse::{fuse, FusedOp, FusedProgram};
     pub use crate::ir::{Circuit, Gate};
     pub use crate::synth::{AnsatzParams, CostModel, Preference, Synthesizer};
 }

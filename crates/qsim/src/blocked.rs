@@ -39,6 +39,17 @@ impl CommStats {
     }
 }
 
+/// Raw-pointer handle into the chunk table, shared across the pair
+/// fan-out of [`BlockedState::apply_1q`]. Sound because every task
+/// dereferences a disjoint pair of chunk indices (see the SAFETY comment
+/// at the use site).
+struct ChunkPtr(*mut Vec<C64>);
+
+// SAFETY: the pointer is only dereferenced at indices proven disjoint
+// across tasks, and the pointee outlives the parallel scope.
+unsafe impl Send for ChunkPtr {}
+unsafe impl Sync for ChunkPtr {}
+
 /// Chunked statevector with communication accounting.
 #[derive(Debug, Clone)]
 pub struct BlockedState {
@@ -118,27 +129,29 @@ impl BlockedState {
             self.stats.local_chunk_ops += self.chunks.len() as u64;
         } else {
             // chunk-pair: groups of 2^(b+1) chunks pair first/second halves.
-            // Collect every (lo, hi) pair into one flat list and fan out a
-            // single parallel level over it: the nested shape (par over
-            // groups, then par over pairs inside each) degrades to one
-            // task for the top qubit, where the whole state is one group.
+            // Fan a single parallel level directly over the pair indices —
+            // group/offset arithmetic recovers each (lo, hi) pair, so no
+            // Vec of split borrows is allocated per call, and the flat
+            // fan-out still avoids the nested shape that degrades to one
+            // task for the top qubit.
             let b = q - self.chunk_qubits;
-            let group = 1usize << (b + 1);
             let half = 1usize << b;
             let chunk_bytes = (self.chunks[0].len() * std::mem::size_of::<C64>()) as u64;
-            let pairs = (self.chunks.len() / 2) as u64;
-            let mut pair_refs: Vec<(&mut Vec<C64>, &mut Vec<C64>)> =
-                Vec::with_capacity(self.chunks.len() / 2);
-            for grp in self.chunks.chunks_mut(group) {
-                let (lo, hi) = grp.split_at_mut(half);
-                pair_refs.extend(lo.iter_mut().zip(hi.iter_mut()));
-            }
-            pair_refs
-                .into_par_iter()
-                .with_min_len(1)
-                .for_each(|(a, b)| gates::apply_1q_paired(a, b, m));
-            self.stats.pair_exchanges += pairs;
-            self.stats.bytes_exchanged += pairs * 2 * chunk_bytes;
+            let pairs = self.chunks.len() / 2;
+            let base = ChunkPtr(self.chunks.as_mut_ptr());
+            let base = &base; // capture the Sync wrapper, not the raw field
+            (0..pairs).into_par_iter().with_min_len(1).for_each(|p| {
+                let lo = (p / half) * (half << 1) + (p % half);
+                let hi = lo + half;
+                // SAFETY: `lo`/`hi` are distinct (they differ in bit `b`)
+                // and the {lo, hi} sets of different `p` are disjoint —
+                // `p` ↦ (group, offset) is a bijection onto the lo side —
+                // so each chunk is mutably borrowed by exactly one task,
+                // and `base` outlives the parallel scope.
+                unsafe { gates::apply_1q_paired(&mut *base.0.add(lo), &mut *base.0.add(hi), m) };
+            });
+            self.stats.pair_exchanges += pairs as u64;
+            self.stats.bytes_exchanged += pairs as u64 * 2 * chunk_bytes;
         }
         Ok(())
     }
@@ -170,6 +183,63 @@ impl BlockedState {
         }
         self.diag(|amps, base| gates::apply_rzz(amps, base, qa, qb, theta));
         Ok(())
+    }
+
+    /// Apply a fused run of diagonal gates (see [`gates::DiagTerm`]) —
+    /// one chunk-local pass over the whole state and **zero** pair
+    /// exchanges, exactly like every other diagonal gate: the phase of an
+    /// amplitude depends only on its own global index, which the chunk
+    /// base encodes.
+    pub fn apply_diag_block(
+        &mut self,
+        phase0: f64,
+        terms: &[gates::DiagTerm],
+    ) -> Result<(), SimError> {
+        let dim = 1u64 << self.num_qubits;
+        for t in terms {
+            if t.mask >= dim {
+                return Err(SimError::QubitOutOfRange {
+                    qubit: (63 - t.mask.leading_zeros()) as usize,
+                    num_qubits: self.num_qubits,
+                });
+            }
+        }
+        let plan = gates::DiagPlan::new(phase0, terms);
+        self.diag(|amps, base| plan.apply(amps, base));
+        Ok(())
+    }
+
+    /// Apply a wall of independent single-qubit unitaries (distinct
+    /// qubits), returning the number of whole-state passes performed.
+    ///
+    /// Chunk-local gates (`q < chunk_qubits`) are applied back-to-back on
+    /// each chunk while it is cache-resident — one pass for the whole
+    /// local sub-wall. Gates on chunk-crossing qubits go through the
+    /// per-gate pairing path (each ≙ one MPI exchange round) and are
+    /// counted in [`CommStats`] as usual.
+    pub fn apply_1q_wall(&mut self, mats: &[(usize, Mat2)]) -> Result<usize, SimError> {
+        for &(q, _) in mats {
+            self.check_qubit(q)?;
+        }
+        if mats.is_empty() {
+            return Ok(0);
+        }
+        let (local, high): (Vec<_>, Vec<_>) =
+            mats.iter().copied().partition(|&(q, _)| q < self.chunk_qubits);
+        let mut passes = 0;
+        if !local.is_empty() {
+            self.chunks
+                .par_iter_mut()
+                .with_min_len(1)
+                .for_each(|chunk| gates::apply_1q_wall(chunk, &local));
+            self.stats.local_chunk_ops += self.chunks.len() as u64;
+            passes += 1;
+        }
+        for (q, m) in high {
+            self.apply_1q(q, &m)?;
+            passes += 1;
+        }
+        Ok(passes)
     }
 
     fn diag(&mut self, f: impl Fn(&mut [C64], u64) + Sync) {
@@ -350,6 +420,39 @@ mod tests {
             }
             self.rzz(0, self.num_qubits - 1, 0.3).unwrap();
         }
+    }
+
+    #[test]
+    fn fused_entry_points_match_flat() {
+        use crate::gates::{h_matrix, rx_matrix, DiagTerm};
+        let n = 6;
+        let terms = [DiagTerm { mask: 0b11, coef: -0.4 }, DiagTerm { mask: 0b101000, coef: 0.7 }];
+        let wall = [(0usize, h_matrix()), (3, rx_matrix(0.4)), (5, rx_matrix(-0.9))];
+        for cq in [0, 2, 6] {
+            let mut blk = BlockedState::plus_state(n, cq).unwrap();
+            let mut flat = StateVector::plus_state(n);
+            blk.apply_diag_block(0.3, &terms).unwrap();
+            flat.apply_diag_block(0.3, &terms);
+            // the fused diagonal sweep is communication-free like any
+            // other diagonal gate
+            assert_eq!(blk.stats().pair_exchanges, 0);
+            blk.apply_1q_wall(&wall).unwrap();
+            flat.apply_1q_wall(&wall);
+            let flat2 = blk.to_statevector();
+            for (a, b) in flat.amplitudes().iter().zip(flat2.amplitudes()) {
+                assert!((*a - *b).norm_sqr() < EPS, "chunk_qubits={cq}");
+            }
+        }
+    }
+
+    #[test]
+    fn diag_block_mask_out_of_range_rejected() {
+        let mut s = BlockedState::plus_state(3, 1).unwrap();
+        let bad = [crate::gates::DiagTerm { mask: 1 << 3, coef: 0.1 }];
+        assert!(matches!(
+            s.apply_diag_block(0.0, &bad),
+            Err(SimError::QubitOutOfRange { qubit: 3, num_qubits: 3 })
+        ));
     }
 
     #[test]

@@ -34,12 +34,14 @@ pub mod state;
 
 pub use blocked::{BlockedState, CommStats};
 pub use complex::C64;
+pub use gates::DiagTerm;
 pub use state::StateVector;
 
 /// Commonly used items.
 pub mod prelude {
     pub use crate::blocked::{BlockedState, CommStats};
     pub use crate::complex::C64;
+    pub use crate::gates::DiagTerm;
     pub use crate::measure::{expectation_diagonal, sample_counts, top_k_amplitudes};
     pub use crate::state::StateVector;
 }

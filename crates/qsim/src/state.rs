@@ -153,16 +153,72 @@ impl StateVector {
         self.par_diag(|amps, base| gates::apply_cz(amps, base, qa, qb));
     }
 
-    /// CNOT with control `c`, target `t`.
+    /// CNOT with control `c`, target `t` — block-parallel pair swaps,
+    /// like [`StateVector::apply_1q`]: blocks of `2^(max(c,t)+1)`
+    /// amplitudes are self-contained for the swap pattern.
     pub fn cnot(&mut self, c: usize, t: usize) {
         self.check_qubit(c).expect("qubit in range");
         self.check_qubit(t).expect("qubit in range");
-        gates::apply_cnot(&mut self.amps, c, t);
+        assert_ne!(c, t, "cnot needs two distinct qubits");
+        let block = 1usize << (c.max(t) + 1);
+        if block >= self.amps.len() || self.amps.len() <= PAR_GRAIN {
+            gates::apply_cnot(&mut self.amps, c, t);
+        } else {
+            self.amps
+                .par_chunks_mut(block.max(PAR_GRAIN))
+                .for_each(|chunk| gates::apply_cnot(chunk, c, t));
+        }
     }
 
     /// Global phase `e^{iφ}`.
     pub fn global_phase(&mut self, phi: f64) {
         self.par_diag(|amps, _| gates::apply_global_phase(amps, phi));
+    }
+
+    /// Apply a fused run of diagonal gates (see [`gates::DiagTerm`]) —
+    /// always exactly **one** sweep over the state, however many gates
+    /// the run folded.
+    pub fn apply_diag_block(&mut self, phase0: f64, terms: &[gates::DiagTerm]) {
+        let dim = 1u64 << self.num_qubits;
+        for t in terms {
+            assert!(t.mask < dim, "diagonal term mask exceeds the register");
+        }
+        let plan = gates::DiagPlan::new(phase0, terms);
+        self.par_diag(|amps, base| plan.apply(amps, base));
+    }
+
+    /// Apply a wall of independent single-qubit unitaries (distinct
+    /// qubits) in as few sweeps as possible, returning the number of
+    /// full-state sweeps performed.
+    ///
+    /// Gates whose `2^(q+1)` block fits inside a `PAR_GRAIN` chunk are
+    /// applied back-to-back on each chunk while it is cache-resident —
+    /// one memory sweep for that whole sub-wall, on the same fixed chunk
+    /// boundaries as every other kernel. The few gates above the chunk
+    /// size go through the per-gate block path.
+    pub fn apply_1q_wall(&mut self, mats: &[(usize, Mat2)]) -> usize {
+        for &(q, _) in mats {
+            self.check_qubit(q).expect("qubit in range");
+        }
+        if mats.is_empty() {
+            return 0;
+        }
+        if self.amps.len() <= PAR_GRAIN {
+            gates::apply_1q_wall(&mut self.amps, mats);
+            return 1;
+        }
+        let (low, high): (Vec<_>, Vec<_>) =
+            mats.iter().copied().partition(|&(q, _)| (1usize << (q + 1)) <= PAR_GRAIN);
+        let mut sweeps = 0;
+        if !low.is_empty() {
+            self.amps.par_chunks_mut(PAR_GRAIN).for_each(|chunk| gates::apply_1q_wall(chunk, &low));
+            sweeps += 1;
+        }
+        for (q, m) in high {
+            self.apply_1q(q, &m);
+            sweeps += 1;
+        }
+        sweeps
     }
 
     /// Run a diagonal kernel over parallel chunks, passing each chunk its
@@ -283,6 +339,71 @@ mod tests {
         }
         s.renormalize();
         assert!((s.norm_sqr() - 1.0).abs() < EPS);
+    }
+
+    /// Cross-check the block-parallel cnot against the sequential kernel
+    /// on a register large enough (2^15 > PAR_GRAIN) to take the parallel
+    /// path, covering low/low, low/high and high/high bit positions.
+    #[test]
+    fn parallel_cnot_matches_sequential() {
+        let n = 15;
+        let mut base = StateVector::plus_state(n);
+        for q in 0..n {
+            base.rx(q, 0.11 + 0.07 * q as f64);
+        }
+        for (c, t) in [(0, 1), (1, 0), (0, 14), (14, 0), (13, 14), (3, 9)] {
+            let mut par = base.clone();
+            par.cnot(c, t);
+            let mut seq = base.clone();
+            gates::apply_cnot(&mut seq.amps, c, t);
+            assert_eq!(par.amps, seq.amps, "cnot({c},{t})");
+        }
+    }
+
+    /// The fused diagonal sweep and the cache-blocked wall must match the
+    /// per-gate paths bit-for-bit irrelevant of chunking — exercised on a
+    /// register that actually splits into parallel chunks.
+    #[test]
+    fn fused_entry_points_match_per_gate_paths() {
+        let n = 15;
+        let mut base = StateVector::plus_state(n);
+        for q in 0..n {
+            base.ry(q, 0.2 + 0.03 * q as f64);
+        }
+
+        let terms = [
+            gates::DiagTerm { mask: 0b11, coef: -0.35 },
+            gates::DiagTerm { mask: 1 << 14, coef: 0.2 },
+            gates::DiagTerm { mask: (1 << 3) | (1 << 13), coef: 0.9 },
+        ];
+        let mut fused = base.clone();
+        fused.apply_diag_block(0.4, &terms);
+        // Chunk invariance: the parallel chunked path must be bit-identical
+        // to the same plan applied over the whole slice at once.
+        let plan = gates::DiagPlan::new(0.4, &terms);
+        let mut whole = base.clone();
+        plan.apply(&mut whole.amps, 0);
+        assert_eq!(fused.amps, whole.amps, "diag block vs whole-slice plan");
+        // ...and numerically equal to the per-term reference kernel (the
+        // table-driven plan sums phases in a different order, so this leg
+        // is a tolerance check, not a bit check).
+        let mut seq = base.clone();
+        gates::apply_diag_terms(&mut seq.amps, 0, 0.4, &terms);
+        for (a, b) in fused.amplitudes().iter().zip(seq.amplitudes()) {
+            assert!((*a - *b).norm_sqr() < EPS, "diag block vs reference kernel");
+        }
+
+        // wall mixing low-stride (cache-blocked) and high-stride gates
+        let wall =
+            [(0usize, gates::h_matrix()), (7, gates::rx_matrix(0.31)), (14, gates::ry_matrix(1.1))];
+        let mut walled = base.clone();
+        let sweeps = walled.apply_1q_wall(&wall);
+        assert_eq!(sweeps, 2, "one cache-blocked sweep + one high-qubit pass");
+        let mut gated = base.clone();
+        for (q, m) in &wall {
+            gated.apply_1q(*q, m);
+        }
+        assert_eq!(walled.amps, gated.amps, "wall vs per-gate application");
     }
 
     /// Cross-check the parallel block decomposition against the sequential

@@ -8,10 +8,14 @@
 //! `count`, `reduce`, `collect`) and `rayon::join`.
 //!
 //! Unlike the PR-1 shim this executor is **really parallel**: work runs on
-//! a lazily-initialized global pool of `std::thread` workers fed through
-//! the vendored crossbeam channels (see [`pool`]). `RAYON_NUM_THREADS`
-//! controls the worker count exactly as upstream; `1` runs everything
-//! inline on the calling thread.
+//! a lazily-initialized global pool of `std::thread` workers, each owning
+//! a crossbeam-style stealing deque (see [`pool`]): a terminal operation
+//! places contiguous runs of its chunks — whole subtrees of the split
+//! tree — on the workers' deques, owners drain their own deque front to
+//! back, and an idle worker steals the trailing task of the first
+//! non-empty deque it finds. `RAYON_NUM_THREADS` controls the worker
+//! count exactly as upstream; `1` runs everything inline on the calling
+//! thread.
 //!
 //! # Determinism
 //!
@@ -28,11 +32,16 @@
 //!   partials are combined sequentially in chunk order.
 //!
 //! Where those chunks *execute* (pool workers, the calling thread when
-//! the input is below the grain threshold, or inline on a worker for
-//! nested parallelism) is invisible to the result. This is stricter than
-//! upstream rayon, whose work-stealing join tree makes float reductions
-//! run-to-run nondeterministic; the suite's reproducibility guarantees
-//! (DESIGN.md §8) rely on the stricter contract.
+//! the input is below the grain threshold, inline on a worker for
+//! nested parallelism, or a worker that *stole* the chunk from a busy
+//! sibling's deque) is invisible to the result: every chunk reports
+//! `(index, partial)` and the caller combines partials in chunk order.
+//! This is stricter than upstream rayon, whose work-stealing **join
+//! tree** makes float reductions run-to-run nondeterministic — here
+//! stealing moves whole pre-split chunks and never re-splits them, so
+//! the reduction tree is fixed even though the schedule is dynamic; the
+//! suite's reproducibility guarantees (DESIGN.md §8) rely on that
+//! contract.
 //!
 //! `enumerate`/`zip` are restricted to index-preserving chains
 //! ([`IndexedParallelIterator`]) exactly as upstream restricts them, so
@@ -45,12 +54,12 @@
 //!
 //! Swapping the real crate back in requires only deleting this vendor
 //! entry from the workspace manifest — no call-site changes — except for
-//! [`sequential_scope`], a clearly-marked vendor extension used only by
-//! tests and benches.
+//! [`sequential_scope`] and [`steal_count`], clearly-marked vendor
+//! extensions used only by tests and benches.
 
 mod pool;
 
-pub use pool::{join, sequential_scope};
+pub use pool::{join, sequential_scope, steal_count};
 
 /// The adapter and entry-point traits, mirroring `rayon::prelude`.
 pub mod prelude {
@@ -958,6 +967,47 @@ mod tests {
         let v: Vec<usize> = (0..1000usize).into_par_iter().flat_map(|x| vec![x, x]).collect();
         let expect: Vec<usize> = (0..1000usize).flat_map(|x| vec![x, x]).collect();
         assert_eq!(v, expect);
+    }
+
+    /// Prove a queued task behind a busy one gets stolen: two chunk jobs
+    /// land contiguously on the SAME worker deque (2·w parts split into
+    /// w groups of two), the first blocks until the second has run — so
+    /// only a thief on another worker can run the second and unblock it.
+    /// Without stealing this deadlocks (caught by the wait timeout).
+    #[test]
+    fn idle_workers_steal_trailing_subtree_tasks() {
+        if pinned_single_threaded() {
+            return;
+        }
+        let w = crate::current_num_threads();
+        let before = crate::steal_count();
+        let flag = Mutex::new(false);
+        let unblocked = std::sync::Condvar::new();
+        let parts: Vec<usize> = (0..2 * w).collect();
+        let results = crate::pool::execute_ordered(parts, |i| {
+            match i {
+                0 => {
+                    // parts 0 and 1 form the first contiguous group, so
+                    // part 1 sits behind us in our own deque
+                    let guard = flag.lock().unwrap();
+                    let (guard, timeout) = unblocked
+                        .wait_timeout_while(guard, std::time::Duration::from_secs(10), |ran| !*ran)
+                        .unwrap();
+                    assert!(
+                        *guard && !timeout.timed_out(),
+                        "the task queued behind a blocked one was never stolen"
+                    );
+                }
+                1 => {
+                    *flag.lock().unwrap() = true;
+                    unblocked.notify_all();
+                }
+                _ => {}
+            }
+            i
+        });
+        assert_eq!(results, (0..2 * w).collect::<Vec<_>>());
+        assert!(crate::steal_count() > before, "completed without recording a steal");
     }
 
     #[test]

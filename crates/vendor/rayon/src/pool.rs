@@ -1,10 +1,29 @@
 //! The global worker pool and the bridge that runs borrowed work on it.
 //!
-//! Workers are plain `std::thread`s fed through the vendored crossbeam
-//! channels, one queue per worker with round-robin dispatch (no work
-//! stealing — the iterator layer produces uniform chunks, so striping is
-//! already balanced). The pool is lazily initialized on first use and
-//! lives for the whole process.
+//! Workers own crossbeam-style stealing deques sitting *underneath* the
+//! fixed power-of-two split tree (`lib.rs`): the chunk list a terminal
+//! operation produces depends only on `(len, grain)`, and
+//! [`execute_ordered`] places contiguous runs of those chunks — whole
+//! subtrees — on each worker's deque. An owner pops from the *front* of
+//! its deque (its oldest pending subtree, in chunk order, which keeps the
+//! owner streaming through adjacent memory); an idle worker that finds
+//! its own deque empty scans the others and steals from the *back* of the
+//! first non-empty one — the victim's trailing chunk, i.e. the rightmost
+//! subtree it has not started. Stealing therefore moves coarse tasks,
+//! never re-splits them.
+//!
+//! Determinism survives the stealing because *placement is not
+//! semantics*: every job reports `(chunk_index, result)` over a channel
+//! and the caller combines the results in chunk order, so which worker
+//! ran a chunk — or whether it was stolen twice on the way — is invisible
+//! to every reduction. The f64 digests in `tests/determinism.rs` stay
+//! bit-identical at any `RAYON_NUM_THREADS`.
+//!
+//! Idle workers park on a condvar guarded by a submission epoch: a worker
+//! snapshots the epoch *before* scanning the deques and sleeps only while
+//! the epoch is unchanged, so a submission racing with the scan can never
+//! be missed (the bump happens after the push, and the snapshot happens
+//! before the scan).
 //!
 //! Three rules keep this sound and deadlock-free:
 //!
@@ -16,29 +35,47 @@
 //! 2. **Workers never wait on the pool.** A parallel operation invoked on
 //!    a worker thread (nested parallelism) runs inline on that worker, so
 //!    a job can always run to completion without needing a free slot —
-//!    no circular waits.
+//!    no circular waits. (Workers *do* park when every deque is empty,
+//!    but never while holding a job.)
 //! 3. **Panics are ferried, not leaked.** Jobs run under `catch_unwind`
 //!    and report `thread::Result`s; the caller re-raises the first panic
 //!    (in chunk order, for determinism) only after all jobs have
 //!    reported.
 
-use crossbeam::channel::{unbounded, Receiver, Sender};
+use crossbeam::channel::unbounded;
 use std::any::Any;
 use std::cell::Cell;
+use std::collections::VecDeque;
 use std::panic::{self, AssertUnwindSafe};
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::OnceLock;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::thread;
 
 /// A queued unit of work. Jobs are erased to `'static`; see the module
 /// docs for why that is sound.
 type Job = Box<dyn FnOnce() + Send + 'static>;
 
+/// Shared pool state: one deque per worker plus the parking lot.
+struct Inner {
+    /// Per-worker job deques. Owners pop the front; thieves take the back.
+    deques: Vec<Mutex<VecDeque<Job>>>,
+    /// Rotates the worker a batch's first group (or a lone job) lands on,
+    /// so concurrent batches don't all pile onto worker 0.
+    next: AtomicUsize,
+    /// Submission epoch; bumped (under the lock) after every push so
+    /// parked workers re-scan. See the module docs for the no-lost-wakeup
+    /// argument.
+    epoch: Mutex<u64>,
+    /// Signalled on every epoch bump.
+    wakeup: Condvar,
+    /// Jobs that ran on a worker other than the one they were placed on.
+    steals: AtomicU64,
+}
+
 /// The process-wide worker pool. `None` when configured for one thread —
 /// then every operation runs inline on the calling thread.
 struct ThreadPool {
-    queues: Vec<Sender<Job>>,
-    next: AtomicUsize,
+    inner: Arc<Inner>,
 }
 
 static POOL: OnceLock<Option<ThreadPool>> = OnceLock::new();
@@ -65,41 +102,117 @@ fn pool() -> Option<&'static ThreadPool> {
         if n <= 1 {
             return None;
         }
-        let mut queues = Vec::with_capacity(n);
-        for i in 0..n {
-            let (tx, rx) = unbounded::<Job>();
+        let inner = Arc::new(Inner {
+            deques: (0..n).map(|_| Mutex::new(VecDeque::new())).collect(),
+            next: AtomicUsize::new(0),
+            epoch: Mutex::new(0),
+            wakeup: Condvar::new(),
+            steals: AtomicU64::new(0),
+        });
+        for id in 0..n {
+            let inner = Arc::clone(&inner);
             thread::Builder::new()
-                .name(format!("qq-rayon-{i}"))
-                .spawn(move || worker(rx))
+                .name(format!("qq-rayon-{id}"))
+                .spawn(move || worker(&inner, id))
                 .expect("failed to spawn rayon worker thread");
-            queues.push(tx);
         }
-        Some(ThreadPool { queues, next: AtomicUsize::new(0) })
+        Some(ThreadPool { inner })
     })
     .as_ref()
 }
 
-fn worker(rx: Receiver<Job>) {
+fn worker(inner: &Inner, id: usize) {
     IS_WORKER.with(|w| w.set(true));
-    // The sender side lives in a `static`, so `recv` only errors at
-    // process teardown.
-    while let Ok(job) = rx.recv() {
-        job(); // every job catches panics internally
+    loop {
+        // Snapshot the epoch BEFORE looking for work: if a submission
+        // lands between the failed scan and the park below, the epoch no
+        // longer matches and the wait returns immediately — no lost
+        // wakeups.
+        let seen = *inner.epoch.lock().expect("pool mutex poisoned");
+        if let Some(job) = inner.find_job(id) {
+            job(); // every job catches panics internally
+            continue;
+        }
+        let mut epoch = inner.epoch.lock().expect("pool mutex poisoned");
+        while *epoch == seen {
+            epoch = inner.wakeup.wait(epoch).expect("pool mutex poisoned");
+        }
     }
 }
 
-impl ThreadPool {
-    fn submit(&self, job: Job) {
-        let k = self.next.fetch_add(1, Ordering::Relaxed) % self.queues.len();
-        // Send can only fail at process teardown; the job is then dropped,
-        // which is fine because its caller is gone too.
-        let _ = self.queues[k].send(job);
+impl Inner {
+    /// Owner-first scheduling: pop our own deque's front (oldest subtree,
+    /// chunk order); if it is empty, steal the *back* job — the trailing
+    /// subtree — of the first non-empty deque scanning right from us.
+    fn find_job(&self, id: usize) -> Option<Job> {
+        if let Some(job) = self.deques[id].lock().expect("pool mutex poisoned").pop_front() {
+            return Some(job);
+        }
+        let n = self.deques.len();
+        for k in 1..n {
+            let victim = (id + k) % n;
+            if let Some(job) = self.deques[victim].lock().expect("pool mutex poisoned").pop_back() {
+                self.steals.fetch_add(1, Ordering::Relaxed);
+                return Some(job);
+            }
+        }
+        None
+    }
+
+    /// Place a batch of jobs (one per chunk, in chunk order) as up to
+    /// `nworkers` contiguous groups — each deque receives a whole subtree
+    /// of the fixed split tree, so owner pops stream through adjacent
+    /// chunks and a steal takes the trailing subtree of a group.
+    fn submit_batch(&self, jobs: Vec<Job>) {
+        let n = self.deques.len();
+        let start = self.next.fetch_add(1, Ordering::Relaxed) % n;
+        let count = jobs.len();
+        let per = count / n;
+        let extra = count % n;
+        let mut it = jobs.into_iter();
+        for j in 0..n {
+            let take = per + usize::from(j < extra);
+            if take == 0 {
+                break;
+            }
+            let w = (start + j) % n;
+            let mut deque = self.deques[w].lock().expect("pool mutex poisoned");
+            for job in it.by_ref().take(take) {
+                deque.push_back(job);
+            }
+        }
+        self.bump_epoch();
+    }
+
+    /// Place a single job (the `join` path) on the next worker in the
+    /// rotation; any idle worker can steal it.
+    fn submit_one(&self, job: Job) {
+        let n = self.deques.len();
+        let w = self.next.fetch_add(1, Ordering::Relaxed) % n;
+        self.deques[w].lock().expect("pool mutex poisoned").push_back(job);
+        self.bump_epoch();
+    }
+
+    fn bump_epoch(&self) {
+        let mut epoch = self.epoch.lock().expect("pool mutex poisoned");
+        *epoch += 1;
+        self.wakeup.notify_all();
     }
 }
 
 /// Number of worker threads the pool runs (1 when inline-only).
 pub(crate) fn current_num_threads() -> usize {
-    pool().map_or(1, |p| p.queues.len())
+    pool().map_or(1, |p| p.inner.deques.len())
+}
+
+/// Total jobs that ran on a worker other than the one they were placed
+/// on, since process start.
+///
+/// **Vendor extension, not part of upstream rayon.** Diagnostics only:
+/// stealing moves *where* a chunk runs, never what it computes, so this
+/// counter is the one pool observable allowed to vary run to run.
+pub fn steal_count() -> u64 {
+    pool().map_or(0, |p| p.inner.steals.load(Ordering::Relaxed))
 }
 
 /// True on pool worker threads; nested parallel operations check this and
@@ -132,7 +245,8 @@ pub fn sequential_scope<R>(f: impl FnOnce() -> R) -> R {
 ///
 /// This is the single execution primitive the iterator layer builds on.
 /// The parts and the combine order are fixed by the caller, so the result
-/// is identical whether the parts run pooled, inline, or on a worker.
+/// is identical whether the parts run pooled, inline, on a worker, or
+/// stolen across workers.
 pub(crate) fn execute_ordered<P, R, F>(parts: Vec<P>, f: F) -> Vec<R>
 where
     P: Send,
@@ -146,6 +260,7 @@ where
     };
 
     let (tx, rx) = unbounded::<(usize, thread::Result<R>)>();
+    let mut jobs: Vec<Job> = Vec::with_capacity(n);
     for (idx, part) in parts.into_iter().enumerate() {
         let job_tx = tx.clone();
         let f_ref = &f;
@@ -157,9 +272,10 @@ where
         // before this function returns or unwinds, so `f` and the
         // borrows inside `part` outlive every queued job (rule 1).
         let job: Job = unsafe { std::mem::transmute(job) };
-        pool.submit(job);
+        jobs.push(job);
     }
     drop(tx);
+    pool.inner.submit_batch(jobs);
 
     let mut slots: Vec<Option<thread::Result<R>>> = (0..n).map(|_| None).collect();
     for _ in 0..n {
@@ -213,7 +329,7 @@ where
     // SAFETY: `rx.recv()` below waits for the job before this function
     // returns or unwinds, so `b`'s borrows outlive its execution.
     let job: Job = unsafe { std::mem::transmute(job) };
-    pool.submit(job);
+    pool.inner.submit_one(job);
 
     let ra = panic::catch_unwind(AssertUnwindSafe(a));
     let rb = rx.recv().expect("rayon worker died during join");

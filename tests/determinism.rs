@@ -110,6 +110,26 @@ fn battery_digest() -> u64 {
         d.f64(a.im);
     }
 
+    // --- qq-circuit: the fused executor (single-sweep diagonal blocks +
+    // one-qubit walls) on both engines — fused kernels are pure
+    // per-amplitude functions, so their output must be bit-identical
+    // across thread counts and under work stealing ---
+    let fg = generators::erdos_renyi(16, 0.25, generators::WeightKind::Random01, 41);
+    let fmodel = CostModel::from_maxcut(&fg);
+    let fparams = AnsatzParams::new(vec![0.35, 0.6], vec![0.2, 0.45]);
+    let fcircuit =
+        qq_circuit::Synthesizer::new(qq_circuit::Preference::Depth).qaoa_ansatz(&fmodel, &fparams);
+    let fused_flat = qq_circuit::exec::run_statevector(&fcircuit);
+    for a in fused_flat.amplitudes() {
+        d.f64(a.re);
+        d.f64(a.im);
+    }
+    let fused_blk = qq_circuit::exec::run_blocked(&fcircuit, 12).unwrap().to_statevector();
+    for a in fused_blk.amplitudes() {
+        d.f64(a.re);
+        d.f64(a.im);
+    }
+
     // --- qq-qaoa: landscape evaluation over a (γ, β) grid ---
     let g = generators::erdos_renyi(14, 0.4, generators::WeightKind::Random01, 77);
     let table = CostTable::new(&CostModel::from_maxcut(&g));
