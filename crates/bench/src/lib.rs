@@ -5,6 +5,8 @@
 //! run-scale handling, the Fig. 3/Table 1 grid-search engine, and plain
 //! CSV/heatmap output helpers.
 
+#![forbid(unsafe_code)]
+
 pub mod fig3;
 pub mod output;
 pub mod scale;

@@ -33,6 +33,8 @@
 //! assert_eq!(res.cut.len(), 60);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod merge;
 pub mod qaoa2;
 pub mod registry;

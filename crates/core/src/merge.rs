@@ -36,8 +36,15 @@ pub fn build_merge_graph(g: &Graph, partition: &Partition, local_cuts: &[Cut]) -
         }
     }
 
-    // accumulate W_AB = Σ w_ij s_i s_j over inter-community edges
-    let mut weights: std::collections::HashMap<(u32, u32), f64> = std::collections::HashMap::new();
+    // Accumulate W_AB = Σ w_ij s_i s_j over inter-community edges.
+    // DETERMINISM: a BTreeMap keyed on (min, max) community pairs makes
+    // the coarse edge order a sorted fact of the container, not of a
+    // post-hoc sort — per-key sums still accumulate in g.edges() order,
+    // which is fixed, so the merge graph is bit-identical across
+    // processes and thread counts (pinned by the digest battery's
+    // merge-edge fold in tests/determinism.rs).
+    let mut weights: std::collections::BTreeMap<(u32, u32), f64> =
+        std::collections::BTreeMap::new();
     for e in g.edges() {
         let ca = assignment[e.u as usize];
         let cb = assignment[e.v as usize];
@@ -51,10 +58,10 @@ pub fn build_merge_graph(g: &Graph, partition: &Partition, local_cuts: &[Cut]) -
     }
 
     let mut coarse = Graph::new(k);
-    let mut entries: Vec<((u32, u32), f64)> = weights.into_iter().collect();
-    entries.sort_by_key(|&(key, _)| key); // deterministic edge order
-    for ((a, b), w) in entries {
+    for ((a, b), w) in weights {
         if w != 0.0 {
+            // INVARIANT: keys are deduplicated (a, b) pairs with a < b
+            // and both endpoints < k by construction of `assignment`.
             coarse.add_edge(a, b, w).expect("coarse edges are unique and in range");
         }
     }

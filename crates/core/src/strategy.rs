@@ -162,6 +162,24 @@ impl PartitionStrategy {
         }
     }
 
+    /// Parse a strategy from its [`PartitionStrategy::label`] — the
+    /// CLI-facing inverse for examples and benches. Fixed strategies and
+    /// `auto` parse; schedules and custom partitioners are programmatic
+    /// (build them with [`PartitionStrategy::scheduled`] /
+    /// [`PartitionStrategy::custom`]).
+    pub fn parse(label: &str) -> Option<PartitionStrategy> {
+        match label {
+            "greedy-modularity" => Some(PartitionStrategy::GreedyModularity),
+            "balanced-chunks" => Some(PartitionStrategy::BalancedChunks),
+            "bfs-grow" => Some(PartitionStrategy::BfsGrow),
+            "multilevel" => Some(PartitionStrategy::Multilevel),
+            "label-propagation" => Some(PartitionStrategy::LabelPropagation),
+            "spectral" => Some(PartitionStrategy::Spectral),
+            "auto" => Some(PartitionStrategy::Auto),
+            _ => None,
+        }
+    }
+
     /// All fixed built-in strategies, for benches and exhaustive tests
     /// (`Auto` and schedules select *among* these, so they are not
     /// listed — compare against them explicitly).

@@ -27,6 +27,8 @@
 //! assert!(res.best.value >= 4.0); // even-ring optimum is 6
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod backend;
 pub mod config;
 pub mod cost;

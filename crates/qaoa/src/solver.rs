@@ -87,6 +87,8 @@ pub fn solve(g: &Graph, cfg: &QaoaConfig) -> Result<QaoaResult, QaoaError> {
             let z = top
                 .iter()
                 .max_by(|a, b| table.value(a.0).total_cmp(&table.value(b.0)))
+                // INVARIANT: top_k_amplitudes of a normalized state
+                // returns at least one entry for k >= 1.
                 .expect("top-k of a normalized state is non-empty")
                 .0;
             Cut::from_basis_index(n, z)
@@ -97,6 +99,8 @@ pub fn solve(g: &Graph, cfg: &QaoaConfig) -> Result<QaoaResult, QaoaError> {
             let z = counts
                 .iter()
                 .max_by(|a, b| table.value(a.0).total_cmp(&table.value(b.0)))
+                // INVARIANT: cfg.shots >= 1 is validated at config
+                // construction, so sample_counts is non-empty.
                 .expect("shots ≥ 1 validated")
                 .0;
             Cut::from_basis_index(n, z)

@@ -1,0 +1,227 @@
+//! The grandfathered-findings allowlist — a ratchet that can only
+//! tighten.
+//!
+//! Format (`qq-check.allow` at the workspace root): one entry per line,
+//!
+//! ```text
+//! <pass>\t<path>\t<count>\t<snippet>
+//! ```
+//!
+//! where `snippet` is the trimmed code of the flagged line (the key is
+//! content-based, so entries survive line-number drift) and `count` is
+//! the number of identical findings the entry covers. `#` starts a
+//! comment.
+//!
+//! Shrink-only enforcement: a finding not covered by an entry fails the
+//! run (the list cannot *grow*), and an entry matching fewer findings
+//! than its `count` — or none at all — also fails with instructions to
+//! shrink or delete it (fixed findings cannot silently leave dead
+//! grandfather rights behind).
+
+use crate::lint::{Finding, Pass};
+use std::collections::BTreeMap;
+
+/// One parsed allowlist entry.
+#[derive(Debug, Clone)]
+pub struct Entry {
+    pub pass: Pass,
+    pub path: String,
+    pub count: usize,
+    pub snippet: String,
+}
+
+/// A violation of the allowlist contract (each fails the lint run).
+#[derive(Debug, Clone)]
+pub enum AllowlistError {
+    /// Finding with no covering entry — the list may not grow.
+    Uncovered(Finding),
+    /// Entry covering more findings than exist — must shrink.
+    Stale { entry: Entry, actual: usize },
+    /// Unparseable line.
+    Malformed { line: usize, text: String },
+}
+
+/// Parse the allowlist file contents.
+pub fn parse(text: &str) -> (Vec<Entry>, Vec<AllowlistError>) {
+    let mut entries = Vec::new();
+    let mut errors = Vec::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let parts: Vec<&str> = raw.splitn(4, '\t').collect();
+        let parsed = (|| {
+            let [pass, path, count, snippet] = parts.as_slice() else { return None };
+            Some(Entry {
+                pass: Pass::parse(pass.trim())?,
+                path: path.trim().to_string(),
+                count: count.trim().parse().ok()?,
+                snippet: snippet.trim().to_string(),
+            })
+        })();
+        match parsed {
+            Some(e) if e.count > 0 => entries.push(e),
+            _ => errors.push(AllowlistError::Malformed { line: idx + 1, text: raw.to_string() }),
+        }
+    }
+    (entries, errors)
+}
+
+/// Check `findings` against `entries`: returns the violations (empty =
+/// clean) and the number of findings suppressed by the allowlist.
+pub fn check(findings: &[Finding], entries: &[Entry]) -> (Vec<AllowlistError>, usize) {
+    // group findings by (pass, path, snippet)
+    let mut groups: BTreeMap<(&'static str, &str, &str), Vec<&Finding>> = BTreeMap::new();
+    for f in findings {
+        groups.entry((f.pass.name(), f.path.as_str(), f.snippet.as_str())).or_default().push(f);
+    }
+    let mut errors = Vec::new();
+    let mut suppressed = 0;
+    let mut used = vec![false; entries.len()];
+    for (key, group) in &groups {
+        let entry = entries.iter().position(|e| {
+            (e.pass.name(), e.path.as_str(), e.snippet.as_str()) == (key.0, key.1, key.2)
+        });
+        match entry {
+            None => {
+                for f in group {
+                    errors.push(AllowlistError::Uncovered((*f).clone()));
+                }
+            }
+            Some(i) => {
+                used[i] = true;
+                let allowed = entries[i].count;
+                if group.len() > allowed {
+                    for f in &group[allowed..] {
+                        errors.push(AllowlistError::Uncovered((*f).clone()));
+                    }
+                } else if group.len() < allowed {
+                    errors.push(AllowlistError::Stale {
+                        entry: entries[i].clone(),
+                        actual: group.len(),
+                    });
+                }
+                suppressed += group.len().min(allowed);
+            }
+        }
+    }
+    for (i, entry) in entries.iter().enumerate() {
+        if !used[i] {
+            errors.push(AllowlistError::Stale { entry: entry.clone(), actual: 0 });
+        }
+    }
+    (errors, suppressed)
+}
+
+impl std::fmt::Display for AllowlistError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AllowlistError::Uncovered(finding) => write!(
+                f,
+                "{}:{}: [{}] {}\n    {}",
+                finding.path,
+                finding.line,
+                finding.pass.name(),
+                finding.message,
+                finding.snippet
+            ),
+            AllowlistError::Stale { entry, actual } => write!(
+                f,
+                "allowlist entry is stale ({} finding(s) remain, {} allowed) — shrink or delete \
+                 it:\n    {}\t{}\t{}\t{}",
+                actual,
+                entry.count,
+                entry.pass.name(),
+                entry.path,
+                entry.count,
+                entry.snippet
+            ),
+            AllowlistError::Malformed { line, text } => {
+                write!(f, "qq-check.allow:{line}: malformed entry: {text}")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finding(pass: Pass, path: &str, snippet: &str) -> Finding {
+        Finding {
+            pass,
+            path: path.to_string(),
+            line: 1,
+            snippet: snippet.to_string(),
+            message: String::new(),
+        }
+    }
+
+    #[test]
+    fn covered_findings_are_suppressed() {
+        let (entries, errs) = parse("panic\tsrc/a.rs\t2\tx.unwrap();");
+        assert!(errs.is_empty());
+        let findings = vec![
+            finding(Pass::PanicPolicy, "src/a.rs", "x.unwrap();"),
+            finding(Pass::PanicPolicy, "src/a.rs", "x.unwrap();"),
+        ];
+        let (errors, suppressed) = check(&findings, &entries);
+        assert!(errors.is_empty(), "{errors:?}");
+        assert_eq!(suppressed, 2);
+    }
+
+    #[test]
+    fn the_list_cannot_grow() {
+        let findings = vec![finding(Pass::PanicPolicy, "src/a.rs", "x.unwrap();")];
+        let (errors, suppressed) = check(&findings, &[]);
+        assert_eq!(errors.len(), 1);
+        assert!(matches!(errors[0], AllowlistError::Uncovered(_)));
+        assert_eq!(suppressed, 0);
+    }
+
+    #[test]
+    fn excess_findings_over_count_fail() {
+        let (entries, _) = parse("panic\tsrc/a.rs\t1\tx.unwrap();");
+        let findings = vec![
+            finding(Pass::PanicPolicy, "src/a.rs", "x.unwrap();"),
+            finding(Pass::PanicPolicy, "src/a.rs", "x.unwrap();"),
+        ];
+        let (errors, suppressed) = check(&findings, &entries);
+        assert_eq!(errors.len(), 1);
+        assert!(matches!(errors[0], AllowlistError::Uncovered(_)));
+        assert_eq!(suppressed, 1);
+    }
+
+    #[test]
+    fn stale_entries_force_shrink() {
+        // entry allows 2, only 1 remains -> must shrink
+        let (entries, _) = parse("panic\tsrc/a.rs\t2\tx.unwrap();");
+        let findings = vec![finding(Pass::PanicPolicy, "src/a.rs", "x.unwrap();")];
+        let (errors, _) = check(&findings, &entries);
+        assert_eq!(errors.len(), 1);
+        assert!(matches!(errors[0], AllowlistError::Stale { actual: 1, .. }));
+    }
+
+    #[test]
+    fn fully_fixed_entries_force_delete() {
+        let (entries, _) = parse("determinism\tsrc/b.rs\t1\tfor k in m.keys() {");
+        let (errors, _) = check(&[], &entries);
+        assert_eq!(errors.len(), 1);
+        assert!(matches!(errors[0], AllowlistError::Stale { actual: 0, .. }));
+    }
+
+    #[test]
+    fn malformed_lines_are_errors_not_silently_skipped() {
+        let (entries, errs) = parse("not a valid entry\npanic\tsrc/a.rs\t0\tx");
+        assert!(entries.is_empty());
+        assert_eq!(errs.len(), 2, "bad format and zero count both fail");
+    }
+
+    #[test]
+    fn comments_and_blanks_are_skipped() {
+        let (entries, errs) = parse("# header\n\n  \n");
+        assert!(entries.is_empty());
+        assert!(errs.is_empty());
+    }
+}

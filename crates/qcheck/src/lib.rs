@@ -1,0 +1,158 @@
+//! # qq-check — workspace invariant analyzer + pool-protocol model checker
+//!
+//! The repo's core guarantee — bit-identical cuts and `f64` digests at
+//! any thread count and across processes — rests on invariants that the
+//! compiler cannot see: hash-order never escaping into results, every
+//! `unsafe` justified, panics on public paths being provable
+//! invariants, and a work-stealing pool whose parking protocol never
+//! loses a wake-up. This crate checks those invariants mechanically:
+//!
+//! * [`lint`] — three offline, parser-free lint passes over the
+//!   workspace source (determinism, unsafe audit, panic policy), with a
+//!   shrink-only [`allowlist`] and a machine-readable unsafe inventory
+//!   written to `results/unsafe_inventory.json`;
+//! * [`model`] — a bounded model checker that exhaustively explores the
+//!   interleavings of 2–3 virtual workers plus a submitter over small
+//!   split trees, executing the *actual* scheduling policy
+//!   (`rayon::proto`) of the vendored work-stealing pool, and asserting
+//!   no lost wake-up, exactly-once job execution, and a stable
+//!   chunk-indexed combine order; seeded protocol mutations
+//!   (`scan-before-snapshot`, `no-notify`, `steal-leave`) demonstrate
+//!   the checker catches the bug classes it exists for.
+//!
+//! The binary (`cargo run -p qq-check -- lint|model`) is CI-gated; see
+//! DESIGN.md §10 for the determinism contract as a checkable spec.
+
+#![forbid(unsafe_code)]
+
+pub mod allowlist;
+pub mod lint;
+pub mod model;
+pub mod source;
+
+use lint::{Finding, UnsafeSite};
+use std::path::{Path, PathBuf};
+
+/// Result of a full lint run over a workspace.
+#[derive(Debug)]
+pub struct LintReport {
+    /// Violations: unexempted findings not covered by the allowlist,
+    /// plus stale/malformed allowlist entries. Empty = clean.
+    pub errors: Vec<allowlist::AllowlistError>,
+    /// Findings suppressed by valid allowlist entries.
+    pub suppressed: usize,
+    /// Files scanned per pass-set.
+    pub files_scanned: usize,
+    /// The full unsafe inventory (justified and not).
+    pub unsafe_sites: Vec<UnsafeSite>,
+}
+
+/// Directories (relative to the workspace root) holding **library**
+/// source — the determinism and panic passes run here.
+fn library_roots(root: &Path) -> Vec<PathBuf> {
+    let mut roots = vec![root.join("src")];
+    for base in ["crates", "crates/vendor"] {
+        let dir = root.join(base);
+        if let Ok(entries) = std::fs::read_dir(&dir) {
+            let mut paths: Vec<PathBuf> = entries.flatten().map(|e| e.path().join("src")).collect();
+            paths.sort();
+            roots.extend(paths.into_iter().filter(|p| p.is_dir()));
+        }
+    }
+    roots
+}
+
+/// Directories the unsafe audit additionally covers: integration tests,
+/// examples, and benches are part of the trusted computing base too.
+fn extra_unsafe_roots(root: &Path) -> Vec<PathBuf> {
+    ["tests", "examples", "benches"].iter().map(|d| root.join(d)).collect()
+}
+
+/// Run all three lint passes over the workspace at `root`, checking
+/// findings against the allowlist at `<root>/qq-check.allow` (a missing
+/// file means an empty allowlist).
+pub fn run_lint(root: &Path) -> std::io::Result<LintReport> {
+    let allow_text = std::fs::read_to_string(root.join("qq-check.allow")).unwrap_or_default();
+    let (entries, mut errors) = allowlist::parse(&allow_text);
+
+    let mut findings: Vec<Finding> = Vec::new();
+    let mut unsafe_sites: Vec<UnsafeSite> = Vec::new();
+    let mut files_scanned = 0;
+
+    let mut seen: Vec<PathBuf> = Vec::new();
+    for dir in library_roots(root) {
+        for path in source::collect_rs_files(&dir)? {
+            if seen.contains(&path) {
+                continue;
+            }
+            seen.push(path.clone());
+            let file = source::load(root, &path)?;
+            files_scanned += 1;
+            findings.extend(lint::determinism(&file));
+            findings.extend(lint::panic_policy(&file));
+            let (unjustified, sites) = lint::unsafe_audit(&file);
+            findings.extend(unjustified);
+            unsafe_sites.extend(sites);
+        }
+    }
+    for dir in extra_unsafe_roots(root) {
+        for path in source::collect_rs_files(&dir)? {
+            let file = source::load(root, &path)?;
+            files_scanned += 1;
+            let (unjustified, sites) = lint::unsafe_audit(&file);
+            findings.extend(unjustified);
+            unsafe_sites.extend(sites);
+        }
+    }
+    unsafe_sites.sort_by(|a, b| a.path.cmp(&b.path).then(a.line.cmp(&b.line)));
+
+    let (mut allow_errors, suppressed) = allowlist::check(&findings, &entries);
+    errors.append(&mut allow_errors);
+    Ok(LintReport { errors, suppressed, files_scanned, unsafe_sites })
+}
+
+/// Serialize the unsafe inventory as pretty-printed JSON (hand-rolled —
+/// the workspace is offline, no serde).
+pub fn inventory_json(sites: &[UnsafeSite]) -> String {
+    fn esc(s: &str) -> String {
+        let mut out = String::with_capacity(s.len() + 2);
+        for c in s.chars() {
+            match c {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                '\n' => out.push_str("\\n"),
+                '\t' => out.push_str("\\t"),
+                c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                c => out.push(c),
+            }
+        }
+        out
+    }
+    let justified = sites.iter().filter(|s| s.safety.is_some()).count();
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"generated_by\": \"qq-check lint\",\n");
+    out.push_str(&format!("  \"total\": {},\n", sites.len()));
+    out.push_str(&format!("  \"justified\": {justified},\n"));
+    out.push_str(&format!("  \"unjustified\": {},\n", sites.len() - justified));
+    out.push_str("  \"entries\": [\n");
+    for (i, s) in sites.iter().enumerate() {
+        let safety = match &s.safety {
+            Some(t) => format!("\"{}\"", esc(t)),
+            None => "null".to_string(),
+        };
+        out.push_str(&format!(
+            "    {{\"file\": \"{}\", \"line\": {}, \"kind\": \"{}\", \"justified\": {}, \
+             \"safety\": {}, \"code\": \"{}\"}}{}\n",
+            esc(&s.path),
+            s.line,
+            s.kind,
+            s.safety.is_some(),
+            safety,
+            esc(&s.code),
+            if i + 1 == sites.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}

@@ -1,0 +1,589 @@
+//! The three workspace lint passes.
+//!
+//! * [`determinism`] — iteration over `HashMap`/`HashSet` is
+//!   order-nondeterministic (the hasher is randomly seeded per process);
+//!   any such iteration whose order can reach a result, an edge list, or
+//!   a report breaks the repo's bit-identical-cuts contract. Every
+//!   iteration site must therefore be a *sorted drain* (the collected
+//!   entries are sorted before use, detected in the statement's
+//!   lookahead window), carry an explicit `// DETERMINISM: <why order
+//!   cannot escape>` tag, or be grandfathered in the allowlist.
+//! * [`unsafe_audit`] — every `unsafe` occurrence must carry a
+//!   `// SAFETY:` comment; the pass also produces the machine-readable
+//!   inventory behind `results/unsafe_inventory.json`, so a new
+//!   unjustified block is a CI failure, not a review hope.
+//! * [`panic_policy`] — `unwrap`/`expect`/`panic!` inside `pub fn`
+//!   bodies are crash surfaces of the library API; each needs an
+//!   `// INVARIANT: <why this cannot fire>` tag.
+//!
+//! All passes skip `#[cfg(test)]` modules. The scanner is token-level
+//! (no parser — see [`crate::source`]); the known over-approximations
+//! are documented on each pass and are resolved by tagging or by the
+//! shrink-only allowlist ([`crate::allowlist`]).
+
+use crate::source::{contains_word, find_word, test_region_mask, Line, SourceFile};
+
+/// Which lint pass produced a finding. The allowlist keys on this.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Pass {
+    Determinism,
+    UnsafeAudit,
+    PanicPolicy,
+}
+
+impl Pass {
+    /// Stable name used in reports and the allowlist file.
+    pub fn name(self) -> &'static str {
+        match self {
+            Pass::Determinism => "determinism",
+            Pass::UnsafeAudit => "unsafe",
+            Pass::PanicPolicy => "panic",
+        }
+    }
+
+    /// Parse an allowlist pass name.
+    pub fn parse(s: &str) -> Option<Pass> {
+        match s {
+            "determinism" => Some(Pass::Determinism),
+            "unsafe" => Some(Pass::UnsafeAudit),
+            "panic" => Some(Pass::PanicPolicy),
+            _ => None,
+        }
+    }
+}
+
+/// One lint finding (before allowlist filtering).
+#[derive(Debug, Clone)]
+pub struct Finding {
+    pub pass: Pass,
+    pub path: String,
+    /// 1-indexed.
+    pub line: usize,
+    /// Trimmed code of the offending line — the allowlist key, so
+    /// entries survive line-number drift.
+    pub snippet: String,
+    pub message: String,
+}
+
+/// One `unsafe` site, justified or not — the inventory entry.
+#[derive(Debug, Clone)]
+pub struct UnsafeSite {
+    pub path: String,
+    /// 1-indexed.
+    pub line: usize,
+    /// `block` | `fn` | `impl` | `trait`.
+    pub kind: &'static str,
+    /// The `SAFETY:` justification text, when present.
+    pub safety: Option<String>,
+    /// Trimmed code of the line.
+    pub code: String,
+}
+
+/// How many lines above a flagged site a justification tag may sit.
+const TAG_LOOKBACK: usize = 6;
+/// How many lines below a flagged iteration the sorting of its drained
+/// entries may appear (the `collect(); entries.sort…` idiom).
+const SORT_LOOKAHEAD: usize = 3;
+/// How far above an `unsafe` keyword its `SAFETY:` comment may sit.
+const SAFETY_LOOKBACK: usize = 12;
+
+/// True if `tag` appears in the comment channel on `line` or within
+/// `lookback` lines above it.
+fn tagged(lines: &[Line], line: usize, tag: &str, lookback: usize) -> bool {
+    let lo = line.saturating_sub(lookback);
+    lines[lo..=line].iter().any(|l| l.comment.contains(tag))
+}
+
+// ---------------------------------------------------------------- pass 1
+
+/// Iterating method names that expose hash-order.
+const ITER_METHODS: [&str; 8] =
+    ["drain", "iter", "iter_mut", "keys", "values", "values_mut", "into_iter", "retain"];
+
+/// Determinism pass: find identifiers bound to `HashMap`/`HashSet` in
+/// this file, then flag every hash-order iteration over them.
+///
+/// Over-approximations (by design — the scanner is token-level):
+/// identifier tracking is file-scoped, so a same-named deterministic
+/// collection elsewhere in the file is also flagged; resolve with a
+/// `DETERMINISM:` tag, a `BTreeMap`, or a rename.
+pub fn determinism(file: &SourceFile) -> Vec<Finding> {
+    let lines = &file.lines;
+    let in_test = test_region_mask(lines);
+    // 1. collect hash-typed binding names
+    let mut idents: Vec<String> = Vec::new();
+    for line in lines {
+        let code = &line.code;
+        if !(code.contains("HashMap") || code.contains("HashSet")) {
+            continue;
+        }
+        // `let [mut] NAME :` / `let [mut] NAME =` on the same line
+        if let Some(let_pos) = find_word(code, "let", 0) {
+            let rest = &code[let_pos + 3..];
+            let rest = rest.trim_start();
+            let rest = rest.strip_prefix("mut ").unwrap_or(rest).trim_start();
+            let name: String =
+                rest.chars().take_while(|c| c.is_ascii_alphanumeric() || *c == '_').collect();
+            if !name.is_empty() && !idents.contains(&name) {
+                idents.push(name);
+            }
+        }
+        // `NAME: HashMap<…>` (field / param / static) — name before `:`
+        if let Some(colon) = code.find(':') {
+            let before = code[..colon].trim_end();
+            let name: String = before
+                .chars()
+                .rev()
+                .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
+                .collect::<String>()
+                .chars()
+                .rev()
+                .collect();
+            let after = &code[colon..];
+            if !name.is_empty()
+                && (after.contains("HashMap") || after.contains("HashSet"))
+                && !name.chars().next().is_some_and(|c| c.is_ascii_digit())
+                && !idents.contains(&name)
+            {
+                idents.push(name);
+            }
+        }
+    }
+    if idents.is_empty() {
+        return Vec::new();
+    }
+    // 2. flag iterations
+    let mut findings = Vec::new();
+    for (idx, line) in lines.iter().enumerate() {
+        if in_test[idx] {
+            continue;
+        }
+        let code = &line.code;
+        let mut hit: Option<String> = None;
+        'idents: for name in &idents {
+            // method-style iteration: NAME.iter(), NAME[i].drain(), …
+            let mut from = 0;
+            while let Some(at) = find_word(code, name, from) {
+                let mut after = &code[at + name.len()..];
+                // skip one or more index expressions (`dq[cb]`,
+                // `grid[i][j]`) — a collection of hash maps is still a
+                // hash-order source
+                while let Some(close) = balanced_index(after) {
+                    after = &after[close..];
+                }
+                if let Some(rest) = after.strip_prefix('.') {
+                    for m in ITER_METHODS {
+                        if rest.starts_with(m)
+                            && rest[m.len()..].trim_start().starts_with('(')
+                            && !is_ident_continues(rest, m.len())
+                        {
+                            hit = Some(format!("{name}.{m}()"));
+                            break 'idents;
+                        }
+                    }
+                }
+                from = at + 1;
+            }
+            // for-loop style: `in NAME`, `in &NAME`, `in &mut NAME`
+            if let Some(in_pos) = find_word(code, "in", 0) {
+                let rest = code[in_pos + 2..].trim_start();
+                let rest = rest.strip_prefix("&mut ").or(rest.strip_prefix('&')).unwrap_or(rest);
+                let target: String =
+                    rest.chars().take_while(|c| c.is_ascii_alphanumeric() || *c == '_').collect();
+                if target == *name {
+                    hit = Some(format!("for … in {name}"));
+                    break 'idents;
+                }
+            }
+        }
+        let Some(what) = hit else { continue };
+        if tagged(lines, idx, "DETERMINISM:", TAG_LOOKBACK) {
+            continue;
+        }
+        // sorted-drain idiom: the drained entries are sorted within the
+        // lookahead window, so hash order cannot escape
+        let hi = (idx + SORT_LOOKAHEAD).min(lines.len() - 1);
+        if lines[idx..=hi].iter().any(|l| l.code.contains(".sort")) {
+            continue;
+        }
+        findings.push(Finding {
+            pass: Pass::Determinism,
+            path: file.rel_path.clone(),
+            line: idx + 1,
+            snippet: line.code.trim().to_string(),
+            message: format!(
+                "hash-order iteration ({what}) — sort the drained entries, switch to BTreeMap, \
+                 or add a `// DETERMINISM: <why order cannot escape>` tag"
+            ),
+        });
+    }
+    findings
+}
+
+fn is_ident_continues(rest: &str, len: usize) -> bool {
+    rest[len..].chars().next().is_some_and(|c| c.is_ascii_alphanumeric() || c == '_')
+}
+
+/// If `s` starts with a balanced `[...]` group, return the byte offset
+/// just past its closing bracket.
+fn balanced_index(s: &str) -> Option<usize> {
+    if !s.starts_with('[') {
+        return None;
+    }
+    let mut depth = 0usize;
+    for (i, c) in s.char_indices() {
+        match c {
+            '[' => depth += 1,
+            ']' => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(i + 1);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+// ---------------------------------------------------------------- pass 2
+
+/// Unsafe audit: inventory every `unsafe` keyword (blocks, fns, impls,
+/// traits) with its `SAFETY:` justification; return findings for
+/// unjustified sites alongside the full inventory.
+pub fn unsafe_audit(file: &SourceFile) -> (Vec<Finding>, Vec<UnsafeSite>) {
+    let lines = &file.lines;
+    let mut findings = Vec::new();
+    let mut sites = Vec::new();
+    for (idx, line) in lines.iter().enumerate() {
+        let code = &line.code;
+        let mut from = 0;
+        while let Some(at) = find_word(code, "unsafe", from) {
+            from = at + 6;
+            let rest = code[at + 6..].trim_start();
+            let kind = if rest.starts_with("fn") {
+                "fn"
+            } else if rest.starts_with("impl") {
+                "impl"
+            } else if rest.starts_with("trait") {
+                "trait"
+            } else {
+                "block"
+            };
+            let safety = safety_text(lines, idx);
+            if safety.is_none() {
+                findings.push(Finding {
+                    pass: Pass::UnsafeAudit,
+                    path: file.rel_path.clone(),
+                    line: idx + 1,
+                    snippet: line.code.trim().to_string(),
+                    message: format!(
+                        "`unsafe` {kind} without a `// SAFETY:` justification within \
+                         {SAFETY_LOOKBACK} lines"
+                    ),
+                });
+            }
+            sites.push(UnsafeSite {
+                path: file.rel_path.clone(),
+                line: idx + 1,
+                kind,
+                safety,
+                code: line.code.trim().to_string(),
+            });
+        }
+    }
+    (findings, sites)
+}
+
+/// Extract the `SAFETY:` comment text covering `line`: same line, or the
+/// nearest one within the lookback window above, joined with its
+/// continuation comment lines.
+fn safety_text(lines: &[Line], line: usize) -> Option<String> {
+    let lo = line.saturating_sub(SAFETY_LOOKBACK);
+    let start = (lo..=line).rev().find(|&i| lines[i].comment.contains("SAFETY:"))?;
+    let first = &lines[start].comment;
+    let mut text = first[first.find("SAFETY:").expect("just matched") + 7..].trim().to_string();
+    for l in &lines[start + 1..=line] {
+        let cont = l.comment.trim();
+        if cont.is_empty() {
+            break;
+        }
+        text.push(' ');
+        text.push_str(cont);
+    }
+    Some(text)
+}
+
+// ---------------------------------------------------------------- pass 3
+
+/// Panic-policy pass: flag `unwrap` / `expect` / `panic!` inside
+/// `pub fn` bodies (outside `#[cfg(test)]` modules) that lack an
+/// `// INVARIANT:` tag.
+///
+/// Over-approximations: a `pub fn` on a private type is treated as
+/// public (token scanner has no type visibility); panics in *private*
+/// fns reachable from public ones are NOT flagged — the pass audits the
+/// direct API surface, the tier above is the test suite's job.
+pub fn panic_policy(file: &SourceFile) -> Vec<Finding> {
+    let lines = &file.lines;
+    let in_test = test_region_mask(lines);
+    let in_pub_fn = pub_fn_mask(lines);
+    let mut findings = Vec::new();
+    for (idx, line) in lines.iter().enumerate() {
+        if in_test[idx] || !in_pub_fn[idx] {
+            continue;
+        }
+        let code = &line.code;
+        let mut what = None;
+        if code.contains(".unwrap()") {
+            what = Some("unwrap");
+        } else if code.contains(".expect(") {
+            what = Some("expect");
+        } else if contains_word(code, "panic!") || code.contains("panic!(") {
+            what = Some("panic!");
+        }
+        let Some(what) = what else { continue };
+        if tagged(lines, idx, "INVARIANT:", TAG_LOOKBACK) {
+            continue;
+        }
+        findings.push(Finding {
+            pass: Pass::PanicPolicy,
+            path: file.rel_path.clone(),
+            line: idx + 1,
+            snippet: line.code.trim().to_string(),
+            message: format!(
+                "`{what}` on a public library path — add an `// INVARIANT: <why this cannot \
+                 fire>` tag or return an error"
+            ),
+        });
+    }
+    findings
+}
+
+/// Per-line "inside a `pub fn` body" mask via brace tracking. A pending
+/// `pub fn` signature (possibly spanning lines) attaches to the next
+/// `{` at its nesting level; `;` cancels it (trait method declaration).
+fn pub_fn_mask(lines: &[Line]) -> Vec<bool> {
+    let mut mask = vec![false; lines.len()];
+    let mut depth: i64 = 0;
+    let mut regions: Vec<i64> = Vec::new();
+    let mut pending = false;
+    for (idx, line) in lines.iter().enumerate() {
+        let code = &line.code;
+        if is_pub_fn_signature(code) {
+            pending = true;
+        }
+        let mut entered = false;
+        for c in code.chars() {
+            match c {
+                '{' => {
+                    depth += 1;
+                    if pending {
+                        regions.push(depth - 1);
+                        pending = false;
+                        entered = true;
+                    }
+                }
+                '}' => {
+                    depth -= 1;
+                    while let Some(&open) = regions.last() {
+                        if depth <= open {
+                            regions.pop();
+                        } else {
+                            break;
+                        }
+                    }
+                }
+                ';' if pending && regions.is_empty() => pending = false,
+                _ => {}
+            }
+        }
+        if !regions.is_empty() || entered {
+            mask[idx] = true;
+        }
+    }
+    mask
+}
+
+/// `pub fn` / `pub async fn` / `pub const fn` / `pub unsafe fn` —
+/// `pub(crate)` & co. are *not* public API and are skipped.
+fn is_pub_fn_signature(code: &str) -> bool {
+    let Some(at) = find_word(code, "pub", 0) else { return false };
+    let rest = code[at + 3..].trim_start();
+    if rest.starts_with('(') {
+        return false; // pub(crate) / pub(super) / pub(in …)
+    }
+    let mut rest = rest;
+    loop {
+        rest = rest.trim_start();
+        if rest.starts_with("fn")
+            && !rest[2..].chars().next().is_some_and(|c| c.is_ascii_alphanumeric() || c == '_')
+        {
+            return true;
+        }
+        let mut advanced = false;
+        for q in ["const", "async", "unsafe", "extern"] {
+            if rest.starts_with(q) {
+                rest = &rest[q.len()..];
+                advanced = true;
+                break;
+            }
+        }
+        if rest.trim_start().starts_with('"') {
+            // extern "C"
+            let r = rest.trim_start();
+            if let Some(close) = r[1..].find('"') {
+                rest = &r[close + 2..];
+                advanced = true;
+            }
+        }
+        if !advanced {
+            return false;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::strip;
+
+    fn file(text: &str) -> SourceFile {
+        SourceFile { rel_path: "src/fixture.rs".to_string(), lines: strip(text) }
+    }
+
+    // ---- determinism pass
+
+    #[test]
+    fn hashmap_iteration_is_flagged() {
+        let f = file("let mut m: HashMap<u32, f64> = HashMap::new();\nfor (k, v) in m.iter() { use_it(k, v); }\n");
+        let fs = determinism(&f);
+        assert_eq!(fs.len(), 1);
+        assert_eq!(fs[0].line, 2);
+    }
+
+    #[test]
+    fn indexed_hashmap_drain_is_flagged() {
+        let f = file("let mut dq: Vec<HashMap<u32, f64>> = Vec::new();\nlet row: Vec<_> = dq[cb].drain().collect();\n");
+        assert_eq!(determinism(&f).len(), 1);
+    }
+
+    #[test]
+    fn sorted_drain_idiom_is_exempt() {
+        let f = file(
+            "let mut m: HashMap<u32, f64> = HashMap::new();\nlet mut v: Vec<_> = m.into_iter().collect();\nv.sort_by_key(|e| e.0);\n",
+        );
+        assert!(determinism(&f).is_empty());
+    }
+
+    #[test]
+    fn determinism_tag_is_exempt() {
+        let f = file(
+            "let mut m: HashMap<u32, f64> = HashMap::new();\n// DETERMINISM: order feeds a commutative sum only\nlet s: f64 = m.values().sum();\n",
+        );
+        assert!(determinism(&f).is_empty());
+    }
+
+    #[test]
+    fn keyed_access_is_not_iteration() {
+        let f = file("let mut m: HashMap<u32, f64> = HashMap::new();\nlet x = m.get(&3);\nm.insert(1, 2.0);\n");
+        assert!(determinism(&f).is_empty());
+    }
+
+    #[test]
+    fn btreemap_is_not_tracked() {
+        let f = file("let mut m: BTreeMap<u32, f64> = BTreeMap::new();\nfor (k, v) in m.iter() { use_it(k, v); }\n");
+        assert!(determinism(&f).is_empty());
+    }
+
+    #[test]
+    fn test_module_iteration_is_skipped() {
+        let f = file(
+            "struct S { m: HashMap<u32, u32> }\n#[cfg(test)]\nmod tests {\n    fn t() { for k in m.keys() {} }\n}\n",
+        );
+        assert!(determinism(&f).is_empty());
+    }
+
+    // ---- unsafe audit
+
+    #[test]
+    fn unjustified_unsafe_block_is_flagged_and_inventoried() {
+        let f = file("fn f() {\n    unsafe { do_it() };\n}\n");
+        let (fs, sites) = unsafe_audit(&f);
+        assert_eq!(fs.len(), 1);
+        assert_eq!(sites.len(), 1);
+        assert_eq!(sites[0].kind, "block");
+        assert!(sites[0].safety.is_none());
+    }
+
+    #[test]
+    fn safety_comment_justifies_and_is_extracted() {
+        let f = file("// SAFETY: the pointer is valid for the call\nunsafe { do_it() };\n");
+        let (fs, sites) = unsafe_audit(&f);
+        assert!(fs.is_empty());
+        assert_eq!(sites[0].safety.as_deref(), Some("the pointer is valid for the call"));
+    }
+
+    #[test]
+    fn unsafe_in_string_is_not_a_site() {
+        let f = file("let s = \"unsafe code\";\n");
+        let (fs, sites) = unsafe_audit(&f);
+        assert!(fs.is_empty());
+        assert!(sites.is_empty());
+    }
+
+    #[test]
+    fn unsafe_impl_kind_is_classified() {
+        let f = file("// SAFETY: raw pointer use is confined to disjoint chunks\nunsafe impl Send for P {}\n");
+        let (_, sites) = unsafe_audit(&f);
+        assert_eq!(sites[0].kind, "impl");
+    }
+
+    // ---- panic policy
+
+    #[test]
+    fn unwrap_in_pub_fn_is_flagged() {
+        let f = file("pub fn f() {\n    x.unwrap();\n}\n");
+        assert_eq!(panic_policy(&f).len(), 1);
+    }
+
+    #[test]
+    fn invariant_tag_is_exempt() {
+        let f =
+            file("pub fn f() {\n    // INVARIANT: x is Some by construction\n    x.unwrap();\n}\n");
+        assert!(panic_policy(&f).is_empty());
+    }
+
+    #[test]
+    fn private_fn_is_not_flagged() {
+        let f = file("fn f() {\n    x.unwrap();\n}\npub(crate) fn g() {\n    y.unwrap();\n}\n");
+        assert!(panic_policy(&f).is_empty());
+    }
+
+    #[test]
+    fn unwrap_or_is_not_unwrap() {
+        let f = file("pub fn f() {\n    x.unwrap_or(0);\n    y.unwrap_or_else(g);\n}\n");
+        assert!(panic_policy(&f).is_empty());
+    }
+
+    #[test]
+    fn panic_macro_is_flagged() {
+        let f = file("pub fn f() {\n    panic!(\"boom\");\n}\n");
+        assert_eq!(panic_policy(&f).len(), 1);
+    }
+
+    #[test]
+    fn nested_private_fn_inherits_pub_region() {
+        // a closure / nested item inside a pub fn stays on the public path
+        let f = file("pub fn f() {\n    let c = || x.unwrap();\n    c();\n}\n");
+        assert_eq!(panic_policy(&f).len(), 1);
+    }
+
+    #[test]
+    fn pub_fn_after_private_region_is_flagged() {
+        let f = file("fn f() { x.unwrap(); }\npub fn g() {\n    y.unwrap();\n}\n");
+        let fs = panic_policy(&f);
+        assert_eq!(fs.len(), 1);
+        assert_eq!(fs[0].line, 3);
+    }
+}

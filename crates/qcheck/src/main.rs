@@ -1,0 +1,214 @@
+//! `qq-check` — CLI entry point for the workspace invariant analyzer
+//! and the pool-protocol model checker. See the library docs for what
+//! each subcommand verifies.
+//!
+//! Exit codes are CI-oriented:
+//!
+//! * `lint`  — 0 iff no unexempted findings and the allowlist is tight.
+//! * `model` — 0 iff exhaustive exploration finds **no** violation; with
+//!   `--mutate`, 0 iff the seeded bug **is** caught (a checker that
+//!   misses its canonical bug must fail the build).
+
+#![forbid(unsafe_code)]
+
+use qq_check::model::{self, ModelConfig, Mutation};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+usage: qq-check <command> [options]
+
+commands:
+  lint   [--root PATH]
+         Run the determinism / unsafe-audit / panic-policy passes over
+         the workspace at PATH (default: .), check findings against
+         qq-check.allow, and write results/unsafe_inventory.json.
+
+  model  [--workers N] [--leaves L] [--batches B] [--force-steal]
+         [--mutate NAME|all]
+         Exhaustively model-check the work-stealing pool's parking and
+         stealing protocol (N virtual workers over L-leaf split trees).
+         Mutations: scan-before-snapshot, no-notify, steal-leave.
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("lint") => cmd_lint(&args[1..]),
+        Some("model") => cmd_model(&args[1..]),
+        Some("--help") | Some("-h") | Some("help") => {
+            print!("{USAGE}");
+            ExitCode::SUCCESS
+        }
+        other => {
+            if let Some(cmd) = other {
+                eprintln!("qq-check: unknown command `{cmd}`\n");
+            }
+            eprint!("{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn cmd_lint(args: &[String]) -> ExitCode {
+    let mut root = PathBuf::from(".");
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--root" => match it.next() {
+                Some(p) => root = PathBuf::from(p),
+                None => return usage_err("--root needs a value"),
+            },
+            other => return usage_err(&format!("unknown lint option `{other}`")),
+        }
+    }
+
+    let report = match qq_check::run_lint(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("qq-check lint: io error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    // Always (re)write the machine-readable unsafe inventory — CI diffs
+    // the committed copy against this output to catch new unsafe blocks.
+    let results = root.join("results");
+    let inv = qq_check::inventory_json(&report.unsafe_sites);
+    let write_ok = std::fs::create_dir_all(&results)
+        .and_then(|()| std::fs::write(results.join("unsafe_inventory.json"), inv));
+    if let Err(e) = write_ok {
+        eprintln!("qq-check lint: cannot write results/unsafe_inventory.json: {e}");
+        return ExitCode::FAILURE;
+    }
+
+    let justified = report.unsafe_sites.iter().filter(|s| s.safety.is_some()).count();
+    eprintln!(
+        "qq-check lint: {} files scanned, {} unsafe site(s) ({} justified), {} finding(s) \
+         allowlisted",
+        report.files_scanned,
+        report.unsafe_sites.len(),
+        justified,
+        report.suppressed
+    );
+
+    if report.errors.is_empty() {
+        eprintln!("qq-check lint: clean");
+        ExitCode::SUCCESS
+    } else {
+        for err in &report.errors {
+            eprintln!("error: {err}");
+        }
+        eprintln!("qq-check lint: {} error(s)", report.errors.len());
+        ExitCode::FAILURE
+    }
+}
+
+fn cmd_model(args: &[String]) -> ExitCode {
+    let mut cfg = ModelConfig::default();
+    let mut mutate_all = false;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut num = |name: &str| -> Result<usize, String> {
+            it.next()
+                .ok_or_else(|| format!("{name} needs a value"))?
+                .parse()
+                .map_err(|_| format!("{name} needs an integer"))
+        };
+        match a.as_str() {
+            "--workers" => match num("--workers") {
+                Ok(n) => cfg.workers = n,
+                Err(e) => return usage_err(&e),
+            },
+            "--leaves" => match num("--leaves") {
+                Ok(n) => cfg.leaves = n,
+                Err(e) => return usage_err(&e),
+            },
+            "--batches" => match num("--batches") {
+                Ok(n) => cfg.batches = n,
+                Err(e) => return usage_err(&e),
+            },
+            "--force-steal" => cfg.force_steal = true,
+            "--mutate" => match it.next().map(String::as_str) {
+                Some("all") => mutate_all = true,
+                Some(name) => match Mutation::parse(name) {
+                    Some(m) => cfg.mutation = Some(m),
+                    None => return usage_err(&format!("unknown mutation `{name}`")),
+                },
+                None => return usage_err("--mutate needs a value"),
+            },
+            other => return usage_err(&format!("unknown model option `{other}`")),
+        }
+    }
+
+    if mutate_all {
+        let mut ok = true;
+        for m in Mutation::ALL {
+            let mut c = cfg.clone();
+            c.mutation = Some(m);
+            ok &= run_model(&c);
+        }
+        return if ok { ExitCode::SUCCESS } else { ExitCode::FAILURE };
+    }
+    if run_model(&cfg) {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+/// Run one model-check configuration; returns true on the expected
+/// outcome (clean for the real protocol, caught for a mutated one).
+fn run_model(cfg: &ModelConfig) -> bool {
+    let report = model::check(cfg);
+    let label = match cfg.mutation {
+        Some(m) => format!("mutation {}", m.name()),
+        None => "protocol".to_string(),
+    };
+    eprintln!(
+        "qq-check model: {label}: {} workers x {} leaves x {} batches{} -> {} states, {} \
+         terminal schedules",
+        cfg.workers,
+        cfg.leaves,
+        cfg.batches,
+        if cfg.force_steal { " (force-steal)" } else { "" },
+        report.states,
+        report.terminals
+    );
+    match (&report.violation, cfg.mutation) {
+        (None, None) => {
+            eprintln!("qq-check model: no violation in any schedule");
+            true
+        }
+        (Some(v), None) => {
+            eprintln!("qq-check model: VIOLATION: {}", v.kind.describe());
+            eprintln!("  schedule:");
+            for step in &v.trace {
+                eprintln!("    {step}");
+            }
+            false
+        }
+        (Some(v), Some(m)) => {
+            eprintln!(
+                "qq-check model: mutation {} caught: {} ({} steps)",
+                m.name(),
+                v.kind.describe(),
+                v.trace.len()
+            );
+            true
+        }
+        (None, Some(m)) => {
+            eprintln!(
+                "qq-check model: mutation {} NOT caught — the checker has lost its teeth",
+                m.name()
+            );
+            false
+        }
+    }
+}
+
+fn usage_err(msg: &str) -> ExitCode {
+    eprintln!("qq-check: {msg}\n");
+    eprint!("{USAGE}");
+    ExitCode::FAILURE
+}

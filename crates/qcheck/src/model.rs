@@ -1,0 +1,579 @@
+//! Bounded model checking of the work-stealing pool protocol.
+//!
+//! The vendored rayon's pool (`crates/vendor/rayon/src/pool.rs`) is a
+//! lock-per-deque work-stealing executor with epoch/condvar parking.
+//! Every shared access happens inside a `Mutex` critical section, so the
+//! protocol's entire behavior space is the set of **interleavings of
+//! those critical sections** — a finite space for a bounded number of
+//! virtual workers and jobs, which this module explores *exhaustively*
+//! by depth-first search with state memoization.
+//!
+//! Fidelity comes from two design choices:
+//!
+//! 1. **The policy is the real code.** Batch placement, deque scan
+//!    order, which deque end each party pops, and the parking discipline
+//!    are not mirrored here — the checker calls the same
+//!    [`rayon::proto`] functions `pool.rs` executes. Change the policy
+//!    and the checker checks the new policy.
+//! 2. **Steps are critical sections.** Each transition is exactly one
+//!    lock-protected region of `pool.rs` (an epoch read, one deque
+//!    pop attempt, one placement group push, the epoch bump+notify, the
+//!    park-recheck). For data-race-free lock-based code this granularity
+//!    is sound: any real-thread execution is equivalent to some
+//!    serialization of its critical sections.
+//!
+//! Checked properties, at every step and terminal state:
+//!
+//! * **No lost wake-up** — the system never reaches a state where jobs
+//!   are queued, the submitter is done, and every worker is parked
+//!   (the epoch/condvar discipline's whole purpose).
+//! * **Exactly-once execution** — no job fires twice (double pop /
+//!   double steal) and none leaks (stolen but never run).
+//! * **Stable combine order** — the `(chunk index, result)` reporting
+//!   protocol reconstructs results in chunk order on every schedule, so
+//!   stealing can never reach an `f64` reduction.
+//!
+//! Seeded mutations ([`Mutation`]) break the protocol the ways real
+//! regressions would; the checker must catch each one, which is itself
+//! asserted in CI — a checker that cannot find the canonical bug is
+//! worse than none.
+
+use rayon::proto::{self, DequeEnd, ParkOrder};
+use std::collections::BTreeSet;
+
+/// A seeded protocol mutation for validating the checker's teeth.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mutation {
+    /// Park with the epoch snapshot taken *after* the deque scan — the
+    /// canonical lost-wake-up bug the snapshot-before-scan discipline
+    /// prevents.
+    ScanBeforeSnapshot,
+    /// Submission bumps the epoch but never signals the condvar —
+    /// already-parked workers sleep through it.
+    NoNotify,
+    /// A thief reads the victim's trailing job but forgets to remove it
+    /// — the double-execution race the deque locking prevents.
+    StealLeave,
+}
+
+impl Mutation {
+    pub fn parse(s: &str) -> Option<Mutation> {
+        match s {
+            "scan-before-snapshot" => Some(Mutation::ScanBeforeSnapshot),
+            "no-notify" => Some(Mutation::NoNotify),
+            "steal-leave" => Some(Mutation::StealLeave),
+            _ => None,
+        }
+    }
+
+    pub fn name(self) -> &'static str {
+        match self {
+            Mutation::ScanBeforeSnapshot => "scan-before-snapshot",
+            Mutation::NoNotify => "no-notify",
+            Mutation::StealLeave => "steal-leave",
+        }
+    }
+
+    /// All mutations, for `--mutate all` / tests.
+    pub const ALL: [Mutation; 3] =
+        [Mutation::ScanBeforeSnapshot, Mutation::NoNotify, Mutation::StealLeave];
+}
+
+/// Checker configuration.
+#[derive(Debug, Clone)]
+pub struct ModelConfig {
+    /// Virtual workers (= deques). 2–3 is exhaustive in well under a
+    /// second; the protocol has no per-worker special cases beyond the
+    /// scan rotation, so small counts cover the interesting races.
+    pub workers: usize,
+    /// Jobs per submitted batch — the leaves of one split tree.
+    pub leaves: usize,
+    /// Batches submitted back-to-back (placement start rotates between
+    /// them, as the pool's `next` counter does).
+    pub batches: usize,
+    /// Exercise the force-steal policy variant instead of the default.
+    pub force_steal: bool,
+    /// Protocol mutation under test (`None` = the real protocol).
+    pub mutation: Option<Mutation>,
+}
+
+impl Default for ModelConfig {
+    fn default() -> Self {
+        ModelConfig { workers: 2, leaves: 4, batches: 1, force_steal: false, mutation: None }
+    }
+}
+
+/// A protocol violation, with the schedule that produced it.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    pub kind: ViolationKind,
+    /// Human-readable step trace of the violating schedule.
+    pub trace: Vec<String>,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ViolationKind {
+    /// Jobs queued, submitter done, every worker parked.
+    LostWakeup { pending: Vec<u8> },
+    /// A job fired twice.
+    DoubleExecution { job: u8 },
+    /// A job was never executed although the run terminated cleanly.
+    LeakedJob { job: u8 },
+    /// The chunk-indexed combine produced the wrong order.
+    CombineOrder { got: Vec<u8> },
+}
+
+impl ViolationKind {
+    pub fn describe(&self) -> String {
+        match self {
+            ViolationKind::LostWakeup { pending } => format!(
+                "lost wake-up: jobs {pending:?} still queued with all workers parked and the \
+                 submitter done"
+            ),
+            ViolationKind::DoubleExecution { job } => {
+                format!("double execution: job {job} fired twice")
+            }
+            ViolationKind::LeakedJob { job } => {
+                format!("leaked job: job {job} was queued but never executed")
+            }
+            ViolationKind::CombineOrder { got } => {
+                format!("combine order broken: got {got:?}, expected ascending chunk indices")
+            }
+        }
+    }
+}
+
+/// Exploration summary.
+#[derive(Debug)]
+pub struct Report {
+    pub config: ModelConfig,
+    /// Distinct states visited.
+    pub states: usize,
+    /// Terminal states reached (all jobs done, everyone parked).
+    pub terminals: usize,
+    /// First violation found, if any (exploration stops there).
+    pub violation: Option<Violation>,
+}
+
+// ------------------------------------------------------------- the model
+
+/// Worker control state — one variant per point *between* critical
+/// sections of `pool.rs::worker` / `Inner::find_job`.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+enum Wk {
+    /// Top of the loop, about to read the epoch (snapshot-before-scan).
+    Idle,
+    /// Holding `snapshot`, about to try deque `scan[k]`.
+    Scan { snapshot: u8, k: u8 },
+    /// Mutated variant: scanning with *no* snapshot yet.
+    ScanNoSnap { k: u8 },
+    /// Mutated variant: scan exhausted, about to read the epoch and park
+    /// on it unconditionally (the bug).
+    ParkNoSnap,
+    /// Scan exhausted; about to re-check the epoch against `snapshot`
+    /// and park only if unchanged.
+    ParkCheck { snapshot: u8 },
+    /// Asleep on the condvar; only a notify can move it (back to
+    /// `ParkCheck`, which models the wait-loop recheck).
+    Parked { snapshot: u8 },
+    /// Holding a popped job, about to execute it.
+    Run { job: u8 },
+}
+
+/// One submitter step: a placement group push or the epoch bump.
+#[derive(Debug, Clone)]
+enum SubStep {
+    Place { deque: usize, jobs: Vec<u8> },
+    Bump,
+}
+
+/// Full system state. `Ord`-derived so the visited set is a `BTreeSet`
+/// (deterministic exploration, no hash order anywhere in the checker).
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+struct State {
+    deques: Vec<Vec<u8>>,
+    epoch: u8,
+    workers: Vec<Wk>,
+    /// Index into the submitter's step list.
+    sub_pc: u8,
+    /// Executions per job (violation as soon as any hits 2).
+    exec_count: Vec<u8>,
+    /// Job ids in completion-report (channel send) order.
+    arrival: Vec<u8>,
+}
+
+/// Exhaustively explore all schedules for `cfg`, sweeping every
+/// placement-start rotation.
+pub fn check(cfg: &ModelConfig) -> Report {
+    assert!(cfg.workers >= 1 && cfg.workers <= 4, "bounded checker: 1–4 workers");
+    assert!(cfg.leaves >= 1 && cfg.leaves <= 8, "bounded checker: 1–8 leaves");
+    assert!(cfg.batches >= 1 && cfg.batches <= 2, "bounded checker: 1–2 batches");
+    let mut states = 0;
+    let mut terminals = 0;
+    let mut violation = None;
+    for start in 0..cfg.workers {
+        let mut explorer = Explorer::new(cfg, start);
+        let init = explorer.initial();
+        explorer.dfs(init, &mut Vec::new());
+        states += explorer.visited.len();
+        terminals += explorer.terminals;
+        if explorer.violation.is_some() {
+            violation = explorer.violation;
+            break;
+        }
+    }
+    Report { config: cfg.clone(), states, terminals, violation }
+}
+
+struct Explorer<'a> {
+    cfg: &'a ModelConfig,
+    sub_steps: Vec<SubStep>,
+    total_jobs: usize,
+    visited: BTreeSet<State>,
+    terminals: usize,
+    violation: Option<Violation>,
+}
+
+impl<'a> Explorer<'a> {
+    fn new(cfg: &'a ModelConfig, start: usize) -> Self {
+        // Submitter step list: for each batch, its placement groups (one
+        // critical section per deque touched, exactly as submit_batch
+        // locks deques one at a time), then the epoch bump.
+        let mut sub_steps = Vec::new();
+        let mut next_job: u8 = 0;
+        for b in 0..cfg.batches {
+            let s = (start + b) % cfg.workers;
+            let placement = if cfg.force_steal {
+                proto::force_steal_placement(cfg.leaves, cfg.workers, s)
+            } else {
+                proto::batch_placement(cfg.leaves, cfg.workers, s)
+            };
+            for (deque, take) in placement {
+                let jobs: Vec<u8> = (0..take)
+                    .map(|_| {
+                        let id = next_job;
+                        next_job += 1;
+                        id
+                    })
+                    .collect();
+                sub_steps.push(SubStep::Place { deque, jobs });
+            }
+            sub_steps.push(SubStep::Bump);
+        }
+        Explorer {
+            cfg,
+            sub_steps,
+            total_jobs: cfg.leaves * cfg.batches,
+            visited: BTreeSet::new(),
+            terminals: 0,
+            violation: None,
+        }
+    }
+
+    fn initial(&self) -> State {
+        State {
+            deques: vec![Vec::new(); self.cfg.workers],
+            epoch: 0,
+            workers: vec![Wk::Idle; self.cfg.workers],
+            sub_pc: 0,
+            exec_count: vec![0; self.total_jobs],
+            arrival: Vec::new(),
+        }
+    }
+
+    /// The deque-visit order worker `id` uses — the pool's real policy.
+    fn scan(&self, id: usize) -> Vec<usize> {
+        if self.cfg.force_steal {
+            proto::scan_order_force_steal(id, self.cfg.workers).collect()
+        } else {
+            proto::scan_order(id, self.cfg.workers).collect()
+        }
+    }
+
+    fn park_order(&self) -> ParkOrder {
+        if self.cfg.mutation == Some(Mutation::ScanBeforeSnapshot) {
+            ParkOrder::ScanBeforeSnapshot
+        } else {
+            proto::PARK_ORDER
+        }
+    }
+
+    /// Depth-first exploration. `trace` is the step log of the current
+    /// schedule, kept for violation reports.
+    fn dfs(&mut self, state: State, trace: &mut Vec<String>) {
+        if self.violation.is_some() || self.visited.contains(&state) {
+            return;
+        }
+        self.visited.insert(state.clone());
+
+        let mut any = false;
+        // submitter step
+        if (state.sub_pc as usize) < self.sub_steps.len() {
+            any = true;
+            let (next, desc) = self.submit_step(&state);
+            trace.push(desc);
+            self.dfs(next, trace);
+            trace.pop();
+            if self.violation.is_some() {
+                return;
+            }
+        }
+        // worker steps
+        for w in 0..self.cfg.workers {
+            if matches!(state.workers[w], Wk::Parked { .. }) {
+                continue;
+            }
+            any = true;
+            let (next, desc) = self.worker_step(&state, w);
+            trace.push(desc);
+            if let Some(kind) = self.check_step(&next) {
+                self.violation = Some(Violation { kind, trace: trace.clone() });
+                return;
+            }
+            self.dfs(next, trace);
+            trace.pop();
+            if self.violation.is_some() {
+                return;
+            }
+        }
+
+        if !any {
+            // Terminal: submitter done, every worker parked.
+            self.terminals += 1;
+            if let Some(kind) = self.check_terminal(&state) {
+                self.violation = Some(Violation { kind, trace: trace.clone() });
+            }
+        }
+    }
+
+    fn submit_step(&self, state: &State) -> (State, String) {
+        let mut next = state.clone();
+        next.sub_pc += 1;
+        match &self.sub_steps[state.sub_pc as usize] {
+            SubStep::Place { deque, jobs } => {
+                next.deques[*deque].extend_from_slice(jobs);
+                (next, format!("submit: place {jobs:?} on deque {deque}"))
+            }
+            SubStep::Bump => {
+                next.epoch += 1;
+                if self.cfg.mutation != Some(Mutation::NoNotify) {
+                    // notify_all: every parked worker re-enters the
+                    // wait-loop recheck
+                    for wk in &mut next.workers {
+                        if let Wk::Parked { snapshot } = *wk {
+                            *wk = Wk::ParkCheck { snapshot };
+                        }
+                    }
+                }
+                let desc = format!("submit: bump epoch -> {} + notify", next.epoch);
+                (next, desc)
+            }
+        }
+    }
+
+    fn worker_step(&self, state: &State, w: usize) -> (State, String) {
+        let mut next = state.clone();
+        let scan = self.scan(w);
+        let desc;
+        next.workers[w] = match state.workers[w] {
+            Wk::Idle => match self.park_order() {
+                ParkOrder::SnapshotBeforeScan => {
+                    desc = format!("w{w}: snapshot epoch {}", state.epoch);
+                    Wk::Scan { snapshot: state.epoch, k: 0 }
+                }
+                ParkOrder::ScanBeforeSnapshot => {
+                    desc = format!("w{w}: begin scan (no snapshot)");
+                    Wk::ScanNoSnap { k: 0 }
+                }
+            },
+            Wk::Scan { snapshot, k } => {
+                let (wk, d) = self.scan_step(&mut next, w, &scan, k as usize, Some(snapshot));
+                desc = d;
+                wk
+            }
+            Wk::ScanNoSnap { k } => {
+                let (wk, d) = self.scan_step(&mut next, w, &scan, k as usize, None);
+                desc = d;
+                wk
+            }
+            Wk::ParkNoSnap => {
+                // the bug: read the epoch and park on it in one section —
+                // the while-loop condition `epoch == seen` is trivially
+                // true for a snapshot taken this instant
+                desc = format!("w{w}: snapshot epoch {} and park on it", state.epoch);
+                Wk::Parked { snapshot: state.epoch }
+            }
+            Wk::ParkCheck { snapshot } => {
+                if state.epoch != snapshot {
+                    desc = format!("w{w}: epoch moved ({} != {snapshot}), retry", state.epoch);
+                    Wk::Idle
+                } else {
+                    desc = format!("w{w}: park (epoch still {snapshot})");
+                    Wk::Parked { snapshot }
+                }
+            }
+            Wk::Parked { .. } => unreachable!("parked workers are not scheduled"),
+            Wk::Run { job } => {
+                next.exec_count[job as usize] += 1;
+                next.arrival.push(job);
+                desc = format!("w{w}: execute job {job}");
+                Wk::Idle
+            }
+        };
+        (next, desc)
+    }
+
+    /// One deque-probe critical section: try `scan[k]`, popping the end
+    /// the policy prescribes for this (worker, deque) pair.
+    fn scan_step(
+        &self,
+        next: &mut State,
+        w: usize,
+        scan: &[usize],
+        k: usize,
+        snapshot: Option<u8>,
+    ) -> (Wk, String) {
+        let victim = scan[k];
+        let popped = match proto::pop_end(w, victim) {
+            DequeEnd::Front => {
+                if next.deques[victim].is_empty() {
+                    None
+                } else {
+                    Some(next.deques[victim].remove(0))
+                }
+            }
+            DequeEnd::Back => {
+                if self.cfg.mutation == Some(Mutation::StealLeave) && victim != w {
+                    // the bug: read the trailing job but leave it queued
+                    next.deques[victim].last().copied()
+                } else {
+                    next.deques[victim].pop()
+                }
+            }
+        };
+        match popped {
+            Some(job) => (Wk::Run { job }, format!("w{w}: pop job {job} from deque {victim}")),
+            None => {
+                let k = k + 1;
+                if k < scan.len() {
+                    let wk = match snapshot {
+                        Some(snapshot) => Wk::Scan { snapshot, k: k as u8 },
+                        None => Wk::ScanNoSnap { k: k as u8 },
+                    };
+                    (wk, format!("w{w}: deque {victim} empty, next"))
+                } else {
+                    let wk = match snapshot {
+                        Some(snapshot) => Wk::ParkCheck { snapshot },
+                        None => Wk::ParkNoSnap,
+                    };
+                    (wk, format!("w{w}: scan exhausted"))
+                }
+            }
+        }
+    }
+
+    /// Per-step safety checks (violations that must be caught the moment
+    /// they occur, not at quiescence).
+    fn check_step(&self, state: &State) -> Option<ViolationKind> {
+        for (job, &count) in state.exec_count.iter().enumerate() {
+            if count > 1 {
+                return Some(ViolationKind::DoubleExecution { job: job as u8 });
+            }
+        }
+        None
+    }
+
+    /// Terminal-state checks: nothing pending, everything ran once, and
+    /// the chunk-indexed combine reconstructs ascending order.
+    fn check_terminal(&self, state: &State) -> Option<ViolationKind> {
+        let pending: Vec<u8> = state.deques.iter().flatten().copied().collect();
+        if !pending.is_empty() {
+            return Some(ViolationKind::LostWakeup { pending });
+        }
+        // A submitted batch whose bump was reached must be fully done —
+        // with empty deques, an unexecuted job means it vanished.
+        for (job, &count) in state.exec_count.iter().enumerate() {
+            if count == 0 {
+                return Some(ViolationKind::LeakedJob { job: job as u8 });
+            }
+        }
+        // The caller's receive loop slots results by chunk index; the
+        // combined sequence is the slot order. Reconstruct it from the
+        // arrival order exactly the way `execute_ordered` does.
+        let mut slots: Vec<Option<u8>> = vec![None; self.total_jobs];
+        for &job in &state.arrival {
+            slots[job as usize] = Some(job);
+        }
+        let combined: Vec<u8> = slots.into_iter().flatten().collect();
+        let expect: Vec<u8> = (0..self.total_jobs as u8).collect();
+        if combined != expect {
+            return Some(ViolationKind::CombineOrder { got: combined });
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(workers: usize, leaves: usize) -> ModelConfig {
+        ModelConfig { workers, leaves, ..ModelConfig::default() }
+    }
+
+    #[test]
+    fn protocol_passes_two_workers_four_leaves() {
+        let r = check(&cfg(2, 4));
+        assert!(r.violation.is_none(), "violation: {:?}", r.violation);
+        assert!(r.terminals > 0, "no terminal schedules explored");
+        assert!(r.states > 100, "suspiciously small exploration: {}", r.states);
+    }
+
+    #[test]
+    fn protocol_passes_three_workers() {
+        let r = check(&cfg(3, 4));
+        assert!(r.violation.is_none(), "violation: {:?}", r.violation);
+    }
+
+    #[test]
+    fn protocol_passes_under_force_steal_policy() {
+        let r = check(&ModelConfig { force_steal: true, ..cfg(2, 4) });
+        assert!(r.violation.is_none(), "violation: {:?}", r.violation);
+    }
+
+    #[test]
+    fn protocol_passes_two_batches() {
+        let r = check(&ModelConfig { batches: 2, ..cfg(2, 2) });
+        assert!(r.violation.is_none(), "violation: {:?}", r.violation);
+    }
+
+    #[test]
+    fn scan_before_snapshot_mutation_is_caught_as_lost_wakeup() {
+        let r = check(&ModelConfig { mutation: Some(Mutation::ScanBeforeSnapshot), ..cfg(2, 4) });
+        let v = r.violation.expect("mutated protocol must violate");
+        assert!(
+            matches!(v.kind, ViolationKind::LostWakeup { .. }),
+            "wrong violation kind: {:?}",
+            v.kind
+        );
+        assert!(!v.trace.is_empty(), "violation carries its schedule");
+    }
+
+    #[test]
+    fn no_notify_mutation_is_caught() {
+        let r = check(&ModelConfig { mutation: Some(Mutation::NoNotify), ..cfg(2, 4) });
+        let v = r.violation.expect("mutated protocol must violate");
+        assert!(matches!(v.kind, ViolationKind::LostWakeup { .. }));
+    }
+
+    #[test]
+    fn steal_leave_mutation_is_caught_as_double_execution() {
+        let r = check(&ModelConfig { mutation: Some(Mutation::StealLeave), ..cfg(2, 4) });
+        let v = r.violation.expect("mutated protocol must violate");
+        assert!(
+            matches!(v.kind, ViolationKind::DoubleExecution { .. }),
+            "wrong violation kind: {:?}",
+            v.kind
+        );
+    }
+}

@@ -1,0 +1,385 @@
+//! Source loading and lexical stripping for the lint passes.
+//!
+//! The lints are deliberately parser-free (this workspace builds fully
+//! offline — no syn, no rustc internals): a character-level state
+//! machine separates each line into its **code** part (with string and
+//! character literal *contents* blanked out, so `"unsafe"` in a string
+//! can never trip the unsafe audit) and its **comment** part (where the
+//! `SAFETY:` / `DETERMINISM:` / `INVARIANT:` justification tags live).
+//! That is exactly the fidelity a token-level audit needs: keyword and
+//! method-call patterns are matched against code text only, tags against
+//! comment text only.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// One source line, split into code and comment channels.
+#[derive(Debug, Clone, Default)]
+pub struct Line {
+    /// Code with comments removed and literal contents blanked. Quotes
+    /// themselves are kept so token shapes stay recognizable.
+    pub code: String,
+    /// Concatenated comment text of the line (without `//`/`/*`
+    /// markers), where justification tags are searched.
+    pub comment: String,
+}
+
+/// A loaded and lexically split source file.
+#[derive(Debug, Clone)]
+pub struct SourceFile {
+    /// Path relative to the workspace root, with `/` separators.
+    pub rel_path: String,
+    /// 0-indexed lines; report line numbers as `index + 1`.
+    pub lines: Vec<Line>,
+}
+
+/// Lexer state for [`strip`].
+enum State {
+    Code,
+    LineComment,
+    BlockComment(u32),
+    Str,
+    RawStr(u32),
+    Char,
+}
+
+/// Split `text` into per-line code/comment channels.
+pub fn strip(text: &str) -> Vec<Line> {
+    let mut lines: Vec<Line> = vec![Line::default()];
+    let mut state = State::Code;
+    let chars: Vec<char> = text.chars().collect();
+    let mut i = 0;
+    while i < chars.len() {
+        let c = chars[i];
+        if c == '\n' {
+            if matches!(state, State::LineComment) {
+                state = State::Code;
+            }
+            lines.push(Line::default());
+            i += 1;
+            continue;
+        }
+        // INVARIANT: `lines` starts non-empty and only grows.
+        let cur = lines.last_mut().expect("at least one line");
+        match state {
+            State::Code => {
+                if c == '/' && chars.get(i + 1) == Some(&'/') {
+                    state = State::LineComment;
+                    i += 2;
+                    continue;
+                }
+                if c == '/' && chars.get(i + 1) == Some(&'*') {
+                    state = State::BlockComment(1);
+                    i += 2;
+                    continue;
+                }
+                if c == '"' {
+                    // raw string? look back for r / br and count hashes
+                    cur.code.push('"');
+                    state = State::Str;
+                    i += 1;
+                    continue;
+                }
+                if c == 'r' || c == 'b' {
+                    // r"..", r#".."#, br".." — consume the prefix and
+                    // enter raw-string mode with the hash count
+                    let mut j = i + 1;
+                    if c == 'b' && chars.get(j) == Some(&'r') {
+                        j += 1;
+                    }
+                    if c == 'r' || j > i + 1 {
+                        let mut hashes = 0u32;
+                        while chars.get(j) == Some(&'#') {
+                            hashes += 1;
+                            j += 1;
+                        }
+                        if chars.get(j) == Some(&'"') {
+                            cur.code.extend(&chars[i..=j]);
+                            state = State::RawStr(hashes);
+                            i = j + 1;
+                            continue;
+                        }
+                    }
+                    cur.code.push(c);
+                    i += 1;
+                    continue;
+                }
+                if c == '\'' {
+                    // char literal vs lifetime: a literal is '\..' or
+                    // 'X' (single char then closing quote); anything
+                    // else is a lifetime tick.
+                    let is_literal = match chars.get(i + 1) {
+                        Some('\\') => true,
+                        Some(_) => chars.get(i + 2) == Some(&'\''),
+                        None => false,
+                    };
+                    cur.code.push('\'');
+                    i += 1;
+                    if is_literal {
+                        state = State::Char;
+                    }
+                    continue;
+                }
+                cur.code.push(c);
+                i += 1;
+            }
+            State::LineComment => {
+                cur.comment.push(c);
+                i += 1;
+            }
+            State::BlockComment(depth) => {
+                if c == '/' && chars.get(i + 1) == Some(&'*') {
+                    state = State::BlockComment(depth + 1);
+                    i += 2;
+                } else if c == '*' && chars.get(i + 1) == Some(&'/') {
+                    state = if depth == 1 { State::Code } else { State::BlockComment(depth - 1) };
+                    i += 2;
+                } else {
+                    cur.comment.push(c);
+                    i += 1;
+                }
+            }
+            State::Str => {
+                if c == '\\' {
+                    i += 2; // skip escaped char (blanked anyway)
+                    cur.code.push(' ');
+                } else if c == '"' {
+                    cur.code.push('"');
+                    state = State::Code;
+                    i += 1;
+                } else {
+                    cur.code.push(' ');
+                    i += 1;
+                }
+            }
+            State::RawStr(hashes) => {
+                if c == '"' {
+                    let mut ok = true;
+                    for h in 0..hashes {
+                        if chars.get(i + 1 + h as usize) != Some(&'#') {
+                            ok = false;
+                            break;
+                        }
+                    }
+                    if ok {
+                        cur.code.push('"');
+                        for _ in 0..hashes {
+                            cur.code.push('#');
+                        }
+                        state = State::Code;
+                        i += 1 + hashes as usize;
+                        continue;
+                    }
+                }
+                cur.code.push(' ');
+                i += 1;
+            }
+            State::Char => {
+                if c == '\\' {
+                    cur.code.push(' ');
+                    i += 2;
+                } else if c == '\'' {
+                    cur.code.push('\'');
+                    state = State::Code;
+                    i += 1;
+                } else {
+                    cur.code.push(' ');
+                    i += 1;
+                }
+            }
+        }
+    }
+    lines
+}
+
+/// Load one file and strip it. `root` is the workspace root the relative
+/// path is reported against.
+pub fn load(root: &Path, path: &Path) -> io::Result<SourceFile> {
+    let text = fs::read_to_string(path)?;
+    let rel = path.strip_prefix(root).unwrap_or(path);
+    let rel_path =
+        rel.components().map(|c| c.as_os_str().to_string_lossy()).collect::<Vec<_>>().join("/");
+    Ok(SourceFile { rel_path, lines: strip(&text) })
+}
+
+/// Recursively collect `.rs` files under `dir`, skipping `target` and
+/// hidden directories. Output is sorted for deterministic reports.
+pub fn collect_rs_files(dir: &Path) -> io::Result<Vec<PathBuf>> {
+    let mut out = Vec::new();
+    if !dir.exists() {
+        return Ok(out);
+    }
+    let mut stack = vec![dir.to_path_buf()];
+    while let Some(d) = stack.pop() {
+        let mut entries: Vec<PathBuf> =
+            fs::read_dir(&d)?.map(|e| e.map(|e| e.path())).collect::<io::Result<_>>()?;
+        entries.sort();
+        for p in entries {
+            let name = p.file_name().map(|n| n.to_string_lossy().into_owned()).unwrap_or_default();
+            if p.is_dir() {
+                if name == "target" || name.starts_with('.') {
+                    continue;
+                }
+                stack.push(p);
+            } else if name.ends_with(".rs") {
+                out.push(p);
+            }
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+/// Per-line "inside a `#[cfg(test)]` module" mask, used by the lint
+/// passes to skip test code: test-only iteration or unwraps are not on
+/// any production path.
+pub fn test_region_mask(lines: &[Line]) -> Vec<bool> {
+    let mut mask = vec![false; lines.len()];
+    let mut depth: i64 = 0;
+    // (closing depth, still inside) — regions end when depth returns to
+    // the value recorded at the opening brace
+    let mut regions: Vec<i64> = Vec::new();
+    let mut pending_cfg_test = false;
+    for (idx, line) in lines.iter().enumerate() {
+        let code = line.code.as_str();
+        if code.contains("#[cfg(test)]") {
+            pending_cfg_test = true;
+        }
+        let opens_test_mod = pending_cfg_test && contains_word(code, "mod");
+        let mut entered = false;
+        for c in code.chars() {
+            match c {
+                '{' => {
+                    depth += 1;
+                    if opens_test_mod && !entered {
+                        regions.push(depth - 1);
+                        entered = true;
+                        pending_cfg_test = false;
+                    }
+                }
+                '}' => {
+                    depth -= 1;
+                    if let Some(&open) = regions.last() {
+                        if depth <= open {
+                            regions.pop();
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+        // `#[cfg(test)] use ...;` or attribute lines: keep pending until
+        // a mod brace or a semicolon-terminated item consumes it
+        if pending_cfg_test && !opens_test_mod && code.contains(';') {
+            pending_cfg_test = false;
+        }
+        if !regions.is_empty() || entered {
+            mask[idx] = true;
+        }
+        // the attribute line itself is test-only too
+        if code.contains("#[cfg(test)]") {
+            mask[idx] = true;
+        }
+    }
+    mask
+}
+
+/// True when `word` appears in `code` delimited by non-identifier chars.
+pub fn contains_word(code: &str, word: &str) -> bool {
+    find_word(code, word, 0).is_some()
+}
+
+/// Find `word` in `code` at or after `from`, delimited by
+/// non-identifier characters on both sides.
+pub fn find_word(code: &str, word: &str, from: usize) -> Option<usize> {
+    let bytes = code.as_bytes();
+    let mut start = from;
+    while let Some(pos) = code[start..].find(word) {
+        let at = start + pos;
+        let before_ok = at == 0 || !is_ident_char(bytes[at - 1] as char);
+        let end = at + word.len();
+        let after_ok = end >= bytes.len() || !is_ident_char(bytes[end] as char);
+        if before_ok && after_ok {
+            return Some(at);
+        }
+        start = at + 1;
+    }
+    None
+}
+
+fn is_ident_char(c: char) -> bool {
+    c.is_ascii_alphanumeric() || c == '_'
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn codes(text: &str) -> Vec<String> {
+        strip(text).into_iter().map(|l| l.code).collect()
+    }
+
+    #[test]
+    fn string_contents_are_blanked() {
+        let lines = strip(r#"let x = "unsafe { HashMap }"; y.drain();"#);
+        assert!(!lines[0].code.contains("unsafe"));
+        assert!(!lines[0].code.contains("HashMap"));
+        assert!(lines[0].code.contains("y.drain()"));
+    }
+
+    #[test]
+    fn raw_strings_are_blanked() {
+        let lines = strip(r##"let x = r#"unsafe "quoted" unsafe"#; z();"##);
+        assert!(!lines[0].code.contains("unsafe"));
+        assert!(lines[0].code.contains("z()"));
+    }
+
+    #[test]
+    fn comments_go_to_the_comment_channel() {
+        let lines = strip("foo(); // SAFETY: fine\nbar(); /* block */ baz();");
+        assert!(lines[0].comment.contains("SAFETY: fine"));
+        assert!(!lines[0].code.contains("SAFETY"));
+        assert!(lines[1].code.contains("bar()"));
+        assert!(lines[1].code.contains("baz()"));
+        assert!(lines[1].comment.contains("block"));
+    }
+
+    #[test]
+    fn nested_block_comments_terminate_correctly() {
+        let lines = strip("/* a /* b */ still comment */ code();");
+        assert!(lines[0].code.contains("code()"));
+        assert!(!lines[0].code.contains("still"));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let c = codes("fn f<'a>(x: &'a str) -> &'a str { 'l': loop { break 'l; } }");
+        assert!(c[0].contains("&'a str"));
+    }
+
+    #[test]
+    fn char_literal_with_quote_content_is_blanked() {
+        let c = codes(r#"let q = '"'; x.iter();"#);
+        assert!(c[0].contains("x.iter()"));
+    }
+
+    #[test]
+    fn test_region_mask_covers_cfg_test_mod() {
+        let text = "pub fn f() {}\n#[cfg(test)]\nmod tests {\n    fn g() { x.unwrap(); }\n}\npub fn h() {}\n";
+        let lines = strip(text);
+        let mask = test_region_mask(&lines);
+        assert!(!mask[0], "code before the test mod is not masked");
+        assert!(mask[1], "the #[cfg(test)] attribute line is masked");
+        assert!(mask[2], "the mod header is masked");
+        assert!(mask[3], "the body is masked");
+        assert!(!mask[5], "code after the test mod is not masked");
+    }
+
+    #[test]
+    fn word_boundaries_respected() {
+        assert!(contains_word("let x = drain();", "drain"));
+        assert!(!contains_word("let x = undrained();", "drain"));
+        assert!(!contains_word("let drainx = 1;", "drain"));
+    }
+}

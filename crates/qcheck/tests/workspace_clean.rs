@@ -1,0 +1,53 @@
+//! The workspace must stay lint-clean: `cargo test` enforces the same
+//! invariants `qq-check lint` gates in CI, so a new hash-order
+//! iteration, unjustified unsafe block, or untagged public-path panic
+//! fails the test suite even before the lint job runs.
+
+use std::path::{Path, PathBuf};
+
+fn workspace_root() -> PathBuf {
+    // crates/qcheck -> crates -> root
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("qq-check sits two levels under the workspace root")
+        .to_path_buf()
+}
+
+#[test]
+fn workspace_is_lint_clean() {
+    let report = qq_check::run_lint(&workspace_root()).expect("lint run succeeds");
+    assert!(
+        report.files_scanned > 50,
+        "scanned only {} files — roots broken?",
+        report.files_scanned
+    );
+    let rendered: Vec<String> = report.errors.iter().map(|e| e.to_string()).collect();
+    assert!(rendered.is_empty(), "workspace lint violations:\n{}", rendered.join("\n"));
+}
+
+#[test]
+fn unsafe_inventory_is_committed_and_current() {
+    let root = workspace_root();
+    let report = qq_check::run_lint(&root).expect("lint run succeeds");
+    assert!(!report.unsafe_sites.is_empty(), "the pool's unsafe blocks should be inventoried");
+    let fresh = qq_check::inventory_json(&report.unsafe_sites);
+    let committed = std::fs::read_to_string(root.join("results/unsafe_inventory.json"))
+        .expect("results/unsafe_inventory.json is committed — run `cargo run -p qq-check -- lint`");
+    assert_eq!(
+        committed, fresh,
+        "results/unsafe_inventory.json is stale — regenerate with `cargo run -p qq-check -- lint`"
+    );
+}
+
+#[test]
+fn every_unsafe_site_is_justified() {
+    let report = qq_check::run_lint(&workspace_root()).expect("lint run succeeds");
+    let unjustified: Vec<String> = report
+        .unsafe_sites
+        .iter()
+        .filter(|s| s.safety.is_none())
+        .map(|s| format!("{}:{}", s.path, s.line))
+        .collect();
+    assert!(unjustified.is_empty(), "unsafe without SAFETY comment: {unjustified:?}");
+}

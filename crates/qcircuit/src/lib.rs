@@ -30,6 +30,8 @@
 //! assert!((state.norm_sqr() - 1.0).abs() < 1e-10);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod exec;
 pub mod fuse;
 pub mod ir;

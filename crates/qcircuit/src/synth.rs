@@ -120,18 +120,22 @@ impl Synthesizer {
         let n = model.num_qubits;
         let mut c = Circuit::new(n);
         for q in 0..n as u32 {
+            // INVARIANT: q < n = c.num_qubits, so push cannot reject.
             c.push(Gate::H(q)).expect("synthesizer emits valid qubits");
         }
         for (&gamma, &beta) in params.gammas.iter().zip(&params.betas) {
             // cost layer: exp(−iγ Σ c·ZZ) → RZZ(2γc) per term
             for &(a, b, coef) in &model.terms {
+                // INVARIANT: CostModel validates a, b < num_qubits.
                 c.push(Gate::Rzz(a, b, 2.0 * gamma * coef)).expect("valid term");
             }
             if model.constant != 0.0 {
+                // INVARIANT: GlobalPhase touches no qubit index.
                 c.push(Gate::GlobalPhase(-gamma * model.constant)).expect("phase is valid");
             }
             // mixer layer: exp(−iβ Σ X) → RX(2β) per qubit
             for q in 0..n as u32 {
+                // INVARIANT: q < n = c.num_qubits, so push cannot reject.
                 c.push(Gate::Rx(q, 2.0 * beta)).expect("valid qubit");
             }
         }

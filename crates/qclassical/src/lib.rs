@@ -11,6 +11,8 @@
 //! * [`exact`] — Gray-code exhaustive enumeration, feasible to ~26 nodes,
 //!   giving certified optima for validation.
 
+#![forbid(unsafe_code)]
+
 pub mod annealing;
 pub mod exact;
 pub mod local_search;

@@ -22,6 +22,8 @@ pub fn randomized_partitioning(g: &Graph, trials: usize, seed: u64) -> CutResult
             best = Some(cand);
         }
     }
+    // INVARIANT: trials >= 1 is asserted above, so the loop always
+    // installs a candidate.
     best.expect("trials >= 1")
 }
 

@@ -38,6 +38,7 @@ pub fn erdos_renyi(n: usize, p: f64, weights: WeightKind, seed: u64) -> Graph {
                     WeightKind::Uniform => 1.0,
                     WeightKind::Random01 => rng.gen::<f64>(),
                 };
+                // INVARIANT: u < v < n by loop bounds; each pair visited once.
                 g.add_edge(u, v, w).expect("generator produces unique in-range edges");
             }
         }
@@ -51,6 +52,7 @@ pub fn complete(n: usize) -> Graph {
     let mut g = Graph::new(n);
     for u in 0..n as NodeId {
         for v in (u + 1)..n as NodeId {
+            // INVARIANT: u < v < n by loop bounds; each pair visited once.
             g.add_edge(u, v, 1.0).unwrap();
         }
     }
@@ -63,6 +65,8 @@ pub fn ring(n: usize) -> Graph {
     assert!(n >= 3, "ring needs at least 3 nodes");
     let mut g = Graph::new(n);
     for v in 0..n as NodeId {
+        // INVARIANT: n >= 3 asserted above, so v and v+1 mod n are
+        // distinct in-range nodes and each ring edge is unique.
         g.add_edge(v, ((v as usize + 1) % n) as NodeId, 1.0).unwrap();
     }
     g
@@ -73,6 +77,7 @@ pub fn star(n: usize) -> Graph {
     assert!(n >= 2, "star needs at least 2 nodes");
     let mut g = Graph::new(n);
     for v in 1..n as NodeId {
+        // INVARIANT: 0 < v < n by the loop bounds; spokes are unique.
         g.add_edge(0, v, 1.0).unwrap();
     }
     g
@@ -93,6 +98,7 @@ pub fn planted_partition(k: usize, block_size: usize, p_in: f64, p_out: f64, see
             let same = (u as usize / block_size) == (v as usize / block_size);
             let p = if same { p_in } else { p_out };
             if rng.gen::<f64>() < p {
+                // INVARIANT: u < v < n by loop bounds; each pair once.
                 g.add_edge(u, v, 1.0).unwrap();
             }
         }
@@ -110,10 +116,14 @@ pub fn barbell(b: usize) -> Graph {
         let off = (side * b) as NodeId;
         for u in 0..b as NodeId {
             for v in (u + 1)..b as NodeId {
+                // INVARIANT: off + v < 2b = n and u < v keep clique
+                // edges unique and in range.
                 g.add_edge(off + u, off + v, 1.0).unwrap();
             }
         }
     }
+    // INVARIANT: b >= 2, so b-1 != b and both < 2b; the bridge joins
+    // different cliques so it duplicates no clique edge.
     g.add_edge((b - 1) as NodeId, b as NodeId, 1.0).unwrap();
     g
 }

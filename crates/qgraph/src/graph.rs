@@ -206,6 +206,8 @@ impl Graph {
             let lu = local_of[e.u as usize];
             let lv = local_of[e.v as usize];
             if lu != u32::MAX && lv != u32::MAX {
+                // INVARIANT: local ids are a bijection onto 0..nodes.len()
+                // and parent edges are unique, so induced edges are too.
                 g.add_edge(lu, lv, e.w).expect("induced edges are unique and in range");
             }
         }

@@ -20,6 +20,8 @@
 //! assert!(cut.value(&g) > 0.0);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod auto;
 pub mod cut;
 pub mod generators;

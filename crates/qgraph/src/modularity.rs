@@ -138,11 +138,16 @@ pub fn greedy_modularity_communities(g: &Graph, min_communities: usize) -> Vec<V
 
         // Merge b into a.
         let (ca, cb) = (cand.a as usize, cand.b as usize);
+        // INVARIANT: the candidate was validated against `live`
+        // communities above; both slots hold Some.
         let moved = members[cb].take().expect("validated live");
         members[ca].as_mut().expect("validated live").extend(moved);
         live -= 1;
 
         // Recompute ΔQ rows for the merged community.
+        // DETERMINISM: drain order cannot escape — each (k, dq_bk)
+        // entry updates the disjoint row slots dq[ca][k] / dq[k][ca]
+        // independently, and `touched` is sorted before use below.
         let neighbors_b: Vec<(u32, f64)> = dq[cb].drain().collect();
         dq[ca].remove(&(cb as u32));
         let a_a = a[ca];
@@ -176,12 +181,17 @@ pub fn greedy_modularity_communities(g: &Graph, min_communities: usize) -> Vec<V
         }
         touched.sort_unstable();
         // k adjacent to a only: ΔQ decreases by 2·a_b·a_k.
+        // DETERMINISM: key order cannot escape — the loop applies an
+        // independent in-place correction per key, and heap extraction
+        // order is fixed by MergeCandidate's total Ord, not push order.
         let keys: Vec<u32> = dq[ca].keys().copied().collect();
         for k in keys {
             if touched.binary_search(&k).is_ok() {
                 continue;
             }
             let k_us = k as usize;
+            // INVARIANT: k came from dq[ca].keys() and no entry is
+            // removed inside this loop.
             let av = dq[ca].get_mut(&k).expect("key just listed");
             let v = *av - 2.0 * a_b * a[k_us];
             *av = v;

@@ -26,6 +26,8 @@
 //! assert!(res.best.value <= res.sdp_bound + 1e-6); // bound certifies the cut
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod rounding;
 pub mod sdp;
 

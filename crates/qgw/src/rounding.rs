@@ -48,6 +48,8 @@ pub fn hyperplane_rounding(
         }
     }
     let mean_value = values.iter().sum::<f64>() / values.len() as f64;
+    // INVARIANT: slices >= 1 is asserted at entry, so the loop above
+    // installs a candidate on its first iteration.
     RoundingOutcome { best: best.expect("slices >= 1"), mean_value, values }
 }
 

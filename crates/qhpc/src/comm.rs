@@ -41,6 +41,8 @@ impl<T: Send> Communicator<T> {
         assert!(to < self.size, "rank {to} out of range (size {})", self.size);
         self.senders[to]
             .send((self.rank, msg))
+            // INVARIANT: every rank's receiver outlives the scope that
+            // owns all communicators, so the channel cannot be closed.
             .expect("receiver thread alive for the scope duration");
     }
 
@@ -49,6 +51,8 @@ impl<T: Send> Communicator<T> {
         if let Some(env) = self.stash.pop_front() {
             return env;
         }
+        // INVARIANT: each rank holds senders to every other rank for
+        // the scope duration, so recv can only block, never disconnect.
         self.receiver.recv().expect("senders alive for the scope duration")
     }
 
@@ -56,9 +60,12 @@ impl<T: Send> Communicator<T> {
     pub fn recv_from(&mut self, src: usize) -> T {
         // check the stash first
         if let Some(pos) = self.stash.iter().position(|(s, _)| *s == src) {
+            // INVARIANT: pos was returned by position() on this stash
+            // one line up, with exclusive access in between.
             return self.stash.remove(pos).expect("position just found").1;
         }
         loop {
+            // INVARIANT: see recv_any — senders outlive the scope.
             let env = self.receiver.recv().expect("senders alive");
             if env.0 == src {
                 return env.1;
@@ -73,6 +80,8 @@ impl<T: Send + Clone> Communicator<T> {
     /// (including returned at the root itself).
     pub fn broadcast(&mut self, root: usize, value: Option<T>) -> T {
         if self.rank == root {
+            // INVARIANT: documented precondition panic — the root rank
+            // must pass Some(value) to broadcast.
             let v = value.expect("root must supply the broadcast value");
             for r in 0..self.size {
                 if r != root {
@@ -95,6 +104,8 @@ impl<T: Send + Clone> Communicator<T> {
                 let (src, v) = self.recv_any();
                 out[src] = Some(v);
             }
+            // INVARIANT: the loop above received size-1 messages from
+            // distinct ranks, so every slot is filled.
             Some(out.into_iter().map(|v| v.expect("all ranks reported")).collect())
         } else {
             self.send(root, value);
@@ -106,6 +117,8 @@ impl<T: Send + Clone> Communicator<T> {
     pub fn reduce<F: Fn(T, T) -> T>(&mut self, root: usize, value: T, f: F) -> Option<T> {
         self.gather(root, value).map(|vs| {
             let mut it = vs.into_iter();
+            // INVARIANT: gather at the root returns one value per rank
+            // and size >= 1 is enforced at communicator construction.
             let first = it.next().expect("size >= 1");
             it.fold(first, f)
         })
@@ -147,6 +160,8 @@ where
             let f = &f;
             handles.push(scope.spawn(move || f(comm)));
         }
+        // INVARIANT: a panicked rank is a test/program failure —
+        // re-raise it on the coordinating thread instead of hiding it.
         handles.into_iter().map(|h| h.join().expect("rank panicked")).collect()
     })
 }

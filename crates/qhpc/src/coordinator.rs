@@ -100,6 +100,8 @@ where
                 }
             }
             Some((
+                // INVARIANT: the dispatch loop above runs until every
+                // task id has a result slot filled.
                 results.into_iter().map(|r| r.expect("all tasks completed")).collect::<Vec<R>>(),
                 stats,
             ))
@@ -121,6 +123,8 @@ where
         }
     });
 
+    // INVARIANT: rank 0 is the coordinator branch, which returns
+    // Some((results, stats)) on every path.
     let (results, workers) =
         rank_outputs.remove(0).expect("coordinator rank returns the collected results");
     MasterWorkerReport { results, workers, wall: started.elapsed() }

@@ -23,6 +23,8 @@
 //!   exceeded), with per-class utilization replayed through the
 //!   scheduler.
 
+#![forbid(unsafe_code)]
+
 pub mod comm;
 pub mod coordinator;
 pub mod engine;

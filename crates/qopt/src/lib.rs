@@ -19,6 +19,8 @@
 //! assert!(res.fx < 1e-6);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod cobyla;
 pub mod grid;
 pub mod neldermead;

@@ -26,6 +26,8 @@
 //! assert!((psi.norm_sqr() - 1.0).abs() < 1e-12);
 //! ```
 
+#![deny(unsafe_op_in_unsafe_fn)]
+
 pub mod blocked;
 pub mod complex;
 pub mod gates;

@@ -37,6 +37,8 @@ pub fn expectation_from_table(amps: &[C64], table: &[f64]) -> f64 {
 pub fn sample_counts(amps: &[C64], shots: usize, seed: u64) -> Vec<(u64, u32)> {
     let mut rng = StdRng::seed_from_u64(seed);
     let mut points: Vec<f64> = (0..shots).map(|_| rng.gen::<f64>()).collect();
+    // INVARIANT: rng.gen::<f64>() yields finite values in [0, 1), so
+    // partial_cmp never sees a NaN.
     points.sort_by(|a, b| a.partial_cmp(b).expect("uniforms are finite"));
     sweep_sorted_points(amps.iter().map(|a| a.norm_sqr()), &points)
 }

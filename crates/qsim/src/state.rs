@@ -32,6 +32,8 @@ pub struct StateVector {
 impl StateVector {
     /// `|0…0⟩` on `n` qubits.
     pub fn zero_state(n: usize) -> Self {
+        // INVARIANT: documented precondition panic — n must not exceed
+        // MAX_QUBITS; use try_zero_state for fallible construction.
         Self::try_zero_state(n).expect("register too large")
     }
 
@@ -100,6 +102,8 @@ impl StateVector {
 
     /// Apply an arbitrary single-qubit unitary to qubit `q`.
     pub fn apply_1q(&mut self, q: usize, m: &Mat2) {
+        // INVARIANT: documented precondition panic — callers must pass
+        // qubit indices < num_qubits (see SimError::QubitOutOfRange).
         self.check_qubit(q).expect("qubit in range");
         let block = 1usize << (q + 1);
         if block >= self.amps.len() || self.amps.len() <= PAR_GRAIN {
@@ -134,13 +138,19 @@ impl StateVector {
 
     /// `RZ(θ)` on qubit `q` (diagonal fast path).
     pub fn rz(&mut self, q: usize, theta: f64) {
+        // INVARIANT: documented precondition panic — callers must pass
+        // qubit indices < num_qubits (see SimError::QubitOutOfRange).
         self.check_qubit(q).expect("qubit in range");
         self.par_diag(|amps, base| gates::apply_rz(amps, base, q, theta));
     }
 
     /// `RZZ(θ)` between `qa` and `qb` — the QAOA cost gate.
     pub fn rzz(&mut self, qa: usize, qb: usize, theta: f64) {
+        // INVARIANT: documented precondition panic — callers must pass
+        // qubit indices < num_qubits (see SimError::QubitOutOfRange).
         self.check_qubit(qa).expect("qubit in range");
+        // INVARIANT: documented precondition panic — callers must pass
+        // qubit indices < num_qubits (see SimError::QubitOutOfRange).
         self.check_qubit(qb).expect("qubit in range");
         assert_ne!(qa, qb, "rzz needs two distinct qubits");
         self.par_diag(|amps, base| gates::apply_rzz(amps, base, qa, qb, theta));
@@ -148,7 +158,11 @@ impl StateVector {
 
     /// Controlled-Z between `qa` and `qb`.
     pub fn cz(&mut self, qa: usize, qb: usize) {
+        // INVARIANT: documented precondition panic — callers must pass
+        // qubit indices < num_qubits (see SimError::QubitOutOfRange).
         self.check_qubit(qa).expect("qubit in range");
+        // INVARIANT: documented precondition panic — callers must pass
+        // qubit indices < num_qubits (see SimError::QubitOutOfRange).
         self.check_qubit(qb).expect("qubit in range");
         self.par_diag(|amps, base| gates::apply_cz(amps, base, qa, qb));
     }
@@ -157,7 +171,11 @@ impl StateVector {
     /// like [`StateVector::apply_1q`]: blocks of `2^(max(c,t)+1)`
     /// amplitudes are self-contained for the swap pattern.
     pub fn cnot(&mut self, c: usize, t: usize) {
+        // INVARIANT: documented precondition panic — callers must pass
+        // qubit indices < num_qubits (see SimError::QubitOutOfRange).
         self.check_qubit(c).expect("qubit in range");
+        // INVARIANT: documented precondition panic — callers must pass
+        // qubit indices < num_qubits (see SimError::QubitOutOfRange).
         self.check_qubit(t).expect("qubit in range");
         assert_ne!(c, t, "cnot needs two distinct qubits");
         let block = 1usize << (c.max(t) + 1);
@@ -198,6 +216,8 @@ impl StateVector {
     /// size go through the per-gate block path.
     pub fn apply_1q_wall(&mut self, mats: &[(usize, Mat2)]) -> usize {
         for &(q, _) in mats {
+            // INVARIANT: documented precondition panic — callers must
+            // pass qubit indices < num_qubits.
             self.check_qubit(q).expect("qubit in range");
         }
         if mats.is_empty() {

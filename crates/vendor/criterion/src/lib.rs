@@ -15,6 +15,8 @@
 //! behave like upstream's, so swapping the real crate back in is a
 //! manifest-only change.
 
+#![forbid(unsafe_code)]
+
 use std::time::{Duration, Instant};
 
 /// Re-export of `std::hint::black_box` under criterion's name.

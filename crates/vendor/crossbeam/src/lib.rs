@@ -8,6 +8,8 @@
 //! communicator — each rank is the sole consumer of its own receiver, so
 //! crossbeam's MPMC capability is never exercised.
 
+#![forbid(unsafe_code)]
+
 /// Multi-producer channels, mirroring `crossbeam::channel`.
 pub mod channel {
     use std::sync::mpsc;

@@ -11,6 +11,8 @@
 //! of which xoshiro256++ provides (it passes BigCrush). Streams are stable
 //! across platforms and releases of this vendor crate.
 
+#![forbid(unsafe_code)]
+
 /// Low-level generator interface: everything derives from `next_u64`.
 pub trait RngCore {
     /// Next 64 uniformly random bits.

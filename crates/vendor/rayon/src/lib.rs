@@ -57,9 +57,15 @@
 //! [`sequential_scope`] and [`steal_count`], clearly-marked vendor
 //! extensions used only by tests and benches.
 
-mod pool;
+#![deny(unsafe_op_in_unsafe_fn)]
 
-pub use pool::{join, sequential_scope, steal_count};
+mod pool;
+pub mod proto;
+pub mod shim;
+
+pub use pool::{
+    debug_stats, force_steal_mode, join, sequential_scope, steal_count, PoolDebugStats,
+};
 
 /// The adapter and entry-point traits, mirroring `rayon::prelude`.
 pub mod prelude {
@@ -1015,5 +1021,31 @@ mod tests {
         let mut v = vec![0u64; BIG];
         v.par_iter_mut().enumerate().for_each(|(i, x)| *x = (i as u64).wrapping_mul(2654435761));
         assert!(v.iter().enumerate().all(|(i, &x)| x == (i as u64).wrapping_mul(2654435761)));
+    }
+
+    /// Debug builds tag every pooled job and assert exactly-once
+    /// execution at the pop site (`pool::debug::record_fired` panics the
+    /// suite on any double fire — that assert is the real check). This
+    /// test pins the observability half: the lifecycle and sync-shim
+    /// counters actually move when a batch runs. Deltas are not compared
+    /// exactly because sibling tests submit concurrently.
+    #[test]
+    fn debug_counters_move_when_a_batch_runs() {
+        if pinned_single_threaded() {
+            return;
+        }
+        let before = crate::debug_stats();
+        let s: u64 = (0..64u64).into_par_iter().with_min_len(1).map(|x| x + 1).sum();
+        assert_eq!(s, 64 * 65 / 2);
+        let after = crate::debug_stats();
+        assert!(after.jobs_submitted > before.jobs_submitted, "batch placed no pooled jobs");
+        if cfg!(debug_assertions) {
+            assert!(after.jobs_executed > before.jobs_executed, "no pooled job recorded firing");
+            assert!(
+                after.sync.lock_acquisitions > before.sync.lock_acquisitions,
+                "instrumented shim saw no lock traffic"
+            );
+            assert!(after.sync.notifies > before.sync.notifies, "submission never notified");
+        }
     }
 }

@@ -41,24 +41,124 @@
 //!    and report `thread::Result`s; the caller re-raises the first panic
 //!    (in chunk order, for determinism) only after all jobs have
 //!    reported.
+//!
+//! The *policy* pieces of this protocol — batch placement, deque scan
+//! order, which end each party pops, and the snapshot-before-scan
+//! parking discipline — live in [`crate::proto`], shared with the
+//! `qq-check` bounded model checker, and the sync primitives come
+//! through [`crate::shim`] (instrumented in debug builds). Debug builds
+//! additionally tag every queued job with a process-unique id and assert
+//! at execution that no id ever fires twice (see [`debug`]), and the
+//! `QQ_RAYON_FORCE_STEAL` environment variable switches to an
+//! adversarial all-steals schedule ([`force_steal_mode`]) that the
+//! determinism digest suite runs under.
 
+use crate::proto;
+use crate::shim::{Condvar, Mutex};
 use crossbeam::channel::unbounded;
 use std::any::Any;
 use std::cell::Cell;
 use std::collections::VecDeque;
 use std::panic::{self, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::sync::{Arc, OnceLock};
 use std::thread;
 
 /// A queued unit of work. Jobs are erased to `'static`; see the module
 /// docs for why that is sound.
 type Job = Box<dyn FnOnce() + Send + 'static>;
 
+/// A queued job plus its ownership tag: a process-unique id assigned at
+/// submission. In debug builds [`debug::record_fired`] asserts each id
+/// fires exactly once, which turns a double-pop or double-steal race —
+/// the bug class the deque locking exists to prevent — into an immediate
+/// test failure instead of a silently doubled side effect.
+type TaggedJob = (u64, Job);
+
+/// Debug-build dynamic assertions over the job lifecycle. Release builds
+/// compile the calls away; ids are still assigned (one relaxed
+/// fetch-add) so the two cfgs queue identical data.
+mod debug {
+    use std::sync::atomic::AtomicU64;
+    #[cfg(debug_assertions)]
+    use std::sync::atomic::Ordering;
+
+    /// Monotonic source of job ownership tags.
+    pub static JOB_SEQ: AtomicU64 = AtomicU64::new(0);
+    /// Total jobs pushed onto any deque.
+    pub static SUBMITTED: AtomicU64 = AtomicU64::new(0);
+    /// Total jobs popped (owner) or stolen and then executed.
+    pub static EXECUTED: AtomicU64 = AtomicU64::new(0);
+
+    /// Assert job `id` has not fired before, then record it.
+    #[cfg(debug_assertions)]
+    pub fn record_fired(id: u64) {
+        use std::collections::HashSet;
+        use std::sync::{Mutex, OnceLock};
+        static FIRED: OnceLock<Mutex<HashSet<u64>>> = OnceLock::new();
+        let fired = FIRED.get_or_init(|| Mutex::new(HashSet::new()));
+        // INVARIANT: the registry lock is only held across HashSet ops
+        // that do not panic; poisoning would itself be a harness bug.
+        let mut fired = fired.lock().expect("job registry poisoned");
+        // Bound the registry: long test runs submit millions of jobs and
+        // the registry exists to catch *races*, which are local in time —
+        // dropping ancient ids keeps the check while capping memory.
+        if fired.len() >= 1 << 20 {
+            fired.clear();
+        }
+        assert!(
+            fired.insert(id),
+            "pool protocol violation: job {id} executed twice (double pop/steal)"
+        );
+        EXECUTED.fetch_add(1, Ordering::Relaxed);
+    }
+
+    #[cfg(not(debug_assertions))]
+    pub fn record_fired(_id: u64) {}
+}
+
+/// Debug-build pool observability: shim sync counters plus the job
+/// lifecycle counters maintained by the ownership tags. All zeros in
+/// release builds except `jobs_submitted` (tag assignment is always on).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PoolDebugStats {
+    /// Sync-shim counters (locks, parks, notifies).
+    pub sync: crate::shim::ShimStats,
+    /// Jobs pushed onto deques since process start.
+    pub jobs_submitted: u64,
+    /// Jobs executed since process start (debug builds only).
+    pub jobs_executed: u64,
+}
+
+/// Snapshot the debug counters.
+///
+/// **Vendor extension, not part of upstream rayon.** Diagnostics only.
+pub fn debug_stats() -> PoolDebugStats {
+    PoolDebugStats {
+        sync: crate::shim::stats(),
+        jobs_submitted: debug::SUBMITTED.load(Ordering::Relaxed),
+        jobs_executed: debug::EXECUTED.load(Ordering::Relaxed),
+    }
+}
+
+/// Force-steal scheduling mode: when the `QQ_RAYON_FORCE_STEAL`
+/// environment variable is set (to anything but `0`), every batch is
+/// placed on a single deque and workers prefer stealing over draining
+/// their own placements, so every task with an idle sibling worker runs
+/// as a steal. Stealing changes placement only — never results — so the
+/// determinism suite uses this mode as its adversarial schedule.
+///
+/// **Vendor extension, not part of upstream rayon.** Read once per
+/// process (the pool is global and sized once).
+pub fn force_steal_mode() -> bool {
+    static MODE: OnceLock<bool> = OnceLock::new();
+    *MODE.get_or_init(|| std::env::var("QQ_RAYON_FORCE_STEAL").is_ok_and(|v| v != "0"))
+}
+
 /// Shared pool state: one deque per worker plus the parking lot.
 struct Inner {
     /// Per-worker job deques. Owners pop the front; thieves take the back.
-    deques: Vec<Mutex<VecDeque<Job>>>,
+    deques: Vec<Mutex<VecDeque<TaggedJob>>>,
     /// Rotates the worker a batch's first group (or a lone job) lands on,
     /// so concurrent batches don't all pile onto worker 0.
     next: AtomicUsize,
@@ -123,13 +223,22 @@ fn pool() -> Option<&'static ThreadPool> {
 
 fn worker(inner: &Inner, id: usize) {
     IS_WORKER.with(|w| w.set(true));
+    // This loop is the runtime transcription of
+    // `proto::ParkOrder::SnapshotBeforeScan` — the `qq-check` bounded
+    // model checker explores the same step sequence (snapshot, per-deque
+    // scan, park-if-unchanged) at critical-section granularity and
+    // proves it free of lost wake-ups for small worker counts.
     loop {
         // Snapshot the epoch BEFORE looking for work: if a submission
         // lands between the failed scan and the park below, the epoch no
         // longer matches and the wait returns immediately — no lost
         // wakeups.
+        // INVARIANT: the pool never leaks a panic while holding these
+        // locks (jobs run under catch_unwind), so the mutexes cannot be
+        // poisoned; the expects document that.
         let seen = *inner.epoch.lock().expect("pool mutex poisoned");
-        if let Some(job) = inner.find_job(id) {
+        if let Some((tag, job)) = inner.find_job(id) {
+            debug::record_fired(tag);
             job(); // every job catches panics internally
             continue;
         }
@@ -141,18 +250,27 @@ fn worker(inner: &Inner, id: usize) {
 }
 
 impl Inner {
-    /// Owner-first scheduling: pop our own deque's front (oldest subtree,
-    /// chunk order); if it is empty, steal the *back* job — the trailing
-    /// subtree — of the first non-empty deque scanning right from us.
-    fn find_job(&self, id: usize) -> Option<Job> {
-        if let Some(job) = self.deques[id].lock().expect("pool mutex poisoned").pop_front() {
-            return Some(job);
-        }
+    /// Owner-first scheduling (thief-first under force-steal): visit the
+    /// deques in `proto::scan_order`, popping the end `proto::pop_end`
+    /// prescribes — our own front (oldest subtree, chunk order), a
+    /// victim's back (its trailing subtree).
+    fn find_job(&self, id: usize) -> Option<TaggedJob> {
         let n = self.deques.len();
-        for k in 1..n {
-            let victim = (id + k) % n;
-            if let Some(job) = self.deques[victim].lock().expect("pool mutex poisoned").pop_back() {
-                self.steals.fetch_add(1, Ordering::Relaxed);
+        let order: Vec<usize> = if force_steal_mode() {
+            proto::scan_order_force_steal(id, n).collect()
+        } else {
+            proto::scan_order(id, n).collect()
+        };
+        for victim in order {
+            let mut deque = self.deques[victim].lock().expect("pool mutex poisoned");
+            let job = match proto::pop_end(id, victim) {
+                proto::DequeEnd::Front => deque.pop_front(),
+                proto::DequeEnd::Back => deque.pop_back(),
+            };
+            if let Some(job) = job {
+                if victim != id {
+                    self.steals.fetch_add(1, Ordering::Relaxed);
+                }
                 return Some(job);
             }
         }
@@ -162,23 +280,24 @@ impl Inner {
     /// Place a batch of jobs (one per chunk, in chunk order) as up to
     /// `nworkers` contiguous groups — each deque receives a whole subtree
     /// of the fixed split tree, so owner pops stream through adjacent
-    /// chunks and a steal takes the trailing subtree of a group.
+    /// chunks and a steal takes the trailing subtree of a group. Under
+    /// force-steal the whole batch lands on one deque instead.
     fn submit_batch(&self, jobs: Vec<Job>) {
         let n = self.deques.len();
         let start = self.next.fetch_add(1, Ordering::Relaxed) % n;
         let count = jobs.len();
-        let per = count / n;
-        let extra = count % n;
+        let placement = if force_steal_mode() {
+            proto::force_steal_placement(count, n, start)
+        } else {
+            proto::batch_placement(count, n, start)
+        };
         let mut it = jobs.into_iter();
-        for j in 0..n {
-            let take = per + usize::from(j < extra);
-            if take == 0 {
-                break;
-            }
-            let w = (start + j) % n;
+        for (w, take) in placement {
             let mut deque = self.deques[w].lock().expect("pool mutex poisoned");
             for job in it.by_ref().take(take) {
-                deque.push_back(job);
+                let tag = debug::JOB_SEQ.fetch_add(1, Ordering::Relaxed);
+                debug::SUBMITTED.fetch_add(1, Ordering::Relaxed);
+                deque.push_back((tag, job));
             }
         }
         self.bump_epoch();
@@ -189,7 +308,9 @@ impl Inner {
     fn submit_one(&self, job: Job) {
         let n = self.deques.len();
         let w = self.next.fetch_add(1, Ordering::Relaxed) % n;
-        self.deques[w].lock().expect("pool mutex poisoned").push_back(job);
+        let tag = debug::JOB_SEQ.fetch_add(1, Ordering::Relaxed);
+        debug::SUBMITTED.fetch_add(1, Ordering::Relaxed);
+        self.deques[w].lock().expect("pool mutex poisoned").push_back((tag, job));
         self.bump_epoch();
     }
 
@@ -332,6 +453,8 @@ where
     pool.inner.submit_one(job);
 
     let ra = panic::catch_unwind(AssertUnwindSafe(a));
+    // INVARIANT: the worker sends exactly one result (or its panic)
+    // before dropping the channel; a dead worker is re-raised below.
     let rb = rx.recv().expect("rayon worker died during join");
     match (ra, rb) {
         (Ok(ra), Ok(rb)) => (ra, rb),

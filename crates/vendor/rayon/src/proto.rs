@@ -1,0 +1,159 @@
+//! The pool's scheduling **policy**, factored out of [`crate::pool`] so
+//! that the runtime and the `qq-check` bounded model checker execute the
+//! *same* decisions from the *same* code.
+//!
+//! **Vendor extension, not part of upstream rayon.** `pool.rs` calls
+//! these functions on its real `Mutex`-guarded deques; `qq-check model`
+//! calls them on virtual deques while exhaustively interleaving 2–3
+//! virtual workers at critical-section granularity. Because placement,
+//! scan order, deque ends, and the parking discipline all live here, a
+//! change to the protocol shows up in the checker without anyone having
+//! to remember to mirror it — and a checker run with `--mutate
+//! scan-before-snapshot` demonstrates that the checker actually catches
+//! the canonical lost-wake-up bug this discipline exists to prevent.
+//!
+//! Everything in this module is a pure function of its arguments: no
+//! clocks, no randomness, no global state. That is what makes the model
+//! checker's exploration exhaustive rather than probabilistic.
+
+/// Which end of a deque a worker takes a job from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DequeEnd {
+    /// The owner streams through its own subtree oldest-first.
+    Front,
+    /// A thief takes the victim's trailing subtree.
+    Back,
+}
+
+/// The end of deque `deque` that worker `worker` pops from: owners pop
+/// the front (chunk order), thieves pop the back (the rightmost subtree
+/// the victim has not started).
+pub fn pop_end(worker: usize, deque: usize) -> DequeEnd {
+    if worker == deque {
+        DequeEnd::Front
+    } else {
+        DequeEnd::Back
+    }
+}
+
+/// Epoch/condvar parking discipline. See the no-lost-wake-up argument in
+/// the `pool` module docs: the epoch snapshot must be taken **before**
+/// the deque scan, so that a submission racing with the scan bumps the
+/// epoch past the snapshot and the park request returns immediately.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ParkOrder {
+    /// Correct: snapshot the epoch, then scan, then park only while the
+    /// epoch still equals the snapshot.
+    SnapshotBeforeScan,
+    /// The canonical bug: scan first, snapshot after. A submission that
+    /// lands between the failed scan and the snapshot is invisible — the
+    /// worker parks on a fresh epoch with work already queued. Exists so
+    /// `qq-check model --mutate scan-before-snapshot` can demonstrate
+    /// the checker catches it; the runtime never executes this variant.
+    ScanBeforeSnapshot,
+}
+
+/// The discipline the runtime implements (`pool::worker` is written in
+/// this order; the model checker reads this constant as its default).
+pub const PARK_ORDER: ParkOrder = ParkOrder::SnapshotBeforeScan;
+
+/// Deque scan order for worker `id` over `n` deques: own deque first
+/// (index 0 of the iterator), then victims left-to-right starting at the
+/// right neighbor. Combined with [`pop_end`], this is exactly
+/// `pool::Inner::find_job`.
+pub fn scan_order(id: usize, n: usize) -> impl Iterator<Item = usize> {
+    (0..n).map(move |k| (id + k) % n)
+}
+
+/// Scan order under force-steal scheduling (`QQ_RAYON_FORCE_STEAL`):
+/// every other deque before our own, so a worker prefers stealing and
+/// only drains its own placements when no victim has work. Together with
+/// [`force_steal_placement`] this makes every task with an idle sibling
+/// worker run as a steal — the stress schedule for the determinism
+/// digests.
+pub fn scan_order_force_steal(id: usize, n: usize) -> impl Iterator<Item = usize> {
+    (1..n).map(move |k| (id + k) % n).chain(std::iter::once(id))
+}
+
+/// Contiguous group placement for a batch of `count` jobs (in chunk
+/// order) over `n` deques, the batch's first group landing on worker
+/// `start`: returns `(worker, take)` pairs in consumption order. Each
+/// deque receives a whole subtree of the fixed split tree; `take` skips
+/// zero-sized groups.
+pub fn batch_placement(count: usize, n: usize, start: usize) -> Vec<(usize, usize)> {
+    let per = count / n;
+    let extra = count % n;
+    let mut placement = Vec::new();
+    for j in 0..n {
+        let take = per + usize::from(j < extra);
+        if take == 0 {
+            break;
+        }
+        placement.push(((start + j) % n, take));
+    }
+    placement
+}
+
+/// Force-steal placement: the entire batch lands on worker `start`'s
+/// deque, so every job is eligible to be stolen by the other `n - 1`
+/// workers (which, under [`scan_order_force_steal`], actively prefer
+/// stealing).
+pub fn force_steal_placement(count: usize, n: usize, start: usize) -> Vec<(usize, usize)> {
+    if count == 0 {
+        return Vec::new();
+    }
+    vec![(start % n, count)]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn placement_covers_batch_in_chunk_order() {
+        for n in 1..5 {
+            for count in 0..10 {
+                for start in 0..n {
+                    let p = batch_placement(count, n, start);
+                    let total: usize = p.iter().map(|&(_, t)| t).sum();
+                    assert_eq!(total, count, "count {count} workers {n} start {start}");
+                    assert!(p.iter().all(|&(_, t)| t > 0));
+                    // contiguous rotation starting at `start`
+                    for (j, &(w, _)) in p.iter().enumerate() {
+                        assert_eq!(w, (start + j) % n);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn force_steal_places_everything_on_one_deque() {
+        assert_eq!(force_steal_placement(5, 4, 2), vec![(2, 5)]);
+        assert_eq!(force_steal_placement(0, 4, 2), vec![]);
+    }
+
+    #[test]
+    fn scan_orders_visit_every_deque_once() {
+        for n in 1..5 {
+            for id in 0..n {
+                let a: Vec<usize> = scan_order(id, n).collect();
+                assert_eq!(a[0], id, "owner first");
+                let mut s = a.clone();
+                s.sort_unstable();
+                assert_eq!(s, (0..n).collect::<Vec<_>>());
+                let b: Vec<usize> = scan_order_force_steal(id, n).collect();
+                assert_eq!(*b.last().unwrap(), id, "owner last under force-steal");
+                let mut s = b.clone();
+                s.sort_unstable();
+                assert_eq!(s, (0..n).collect::<Vec<_>>());
+            }
+        }
+    }
+
+    #[test]
+    fn pop_ends() {
+        assert_eq!(pop_end(1, 1), DequeEnd::Front);
+        assert_eq!(pop_end(1, 2), DequeEnd::Back);
+    }
+}

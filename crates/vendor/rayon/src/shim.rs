@@ -1,0 +1,111 @@
+//! Thin sync shim: the pool takes its `Mutex`/`Condvar` from here
+//! instead of `std::sync` directly.
+//!
+//! **Vendor extension, not part of upstream rayon.** The indirection is
+//! cfg-gated on `debug_assertions`:
+//!
+//! * **release builds** — transparent `#[inline]` newtypes that delegate
+//!   straight to `std::sync`; the optimizer erases them, so the hot path
+//!   pays nothing.
+//! * **debug builds** — instrumented versions that count lock
+//!   acquisitions, condvar parks, and wake notifications into relaxed
+//!   process-wide counters ([`stats`]). The counters give tests and the
+//!   `qq-check` tooling an observable protocol trace: a test can assert
+//!   that workers really parked, that a submission really notified, or
+//!   that a force-steal run kept every worker busy — without touching
+//!   the pool's internals.
+//!
+//! The wrappers expose exactly the `std::sync` surface `pool.rs` uses
+//! (`Mutex::new/lock`, `Condvar::new/wait/notify_all`), returning real
+//! `std` guards so the pool code is identical under both cfgs.
+
+use std::sync::{LockResult, MutexGuard};
+
+#[cfg(debug_assertions)]
+mod counters {
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    pub static LOCKS: AtomicU64 = AtomicU64::new(0);
+    pub static PARKS: AtomicU64 = AtomicU64::new(0);
+    pub static NOTIFIES: AtomicU64 = AtomicU64::new(0);
+
+    pub fn bump(c: &AtomicU64) {
+        c.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// Instrumentation counters accumulated since process start (always zero
+/// in release builds, where the shim is transparent).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ShimStats {
+    /// `Mutex::lock` calls through the shim (deque + epoch locks).
+    pub lock_acquisitions: u64,
+    /// `Condvar::wait` calls — each is one worker parking.
+    pub parks: u64,
+    /// `Condvar::notify_all` calls — each is one submission epoch bump.
+    pub notifies: u64,
+}
+
+/// Snapshot the shim counters.
+pub fn stats() -> ShimStats {
+    #[cfg(debug_assertions)]
+    {
+        use std::sync::atomic::Ordering;
+        ShimStats {
+            lock_acquisitions: counters::LOCKS.load(Ordering::Relaxed),
+            parks: counters::PARKS.load(Ordering::Relaxed),
+            notifies: counters::NOTIFIES.load(Ordering::Relaxed),
+        }
+    }
+    #[cfg(not(debug_assertions))]
+    {
+        ShimStats::default()
+    }
+}
+
+/// Shimmed `std::sync::Mutex`.
+pub struct Mutex<T>(std::sync::Mutex<T>);
+
+impl<T> Mutex<T> {
+    #[inline]
+    pub fn new(value: T) -> Self {
+        Mutex(std::sync::Mutex::new(value))
+    }
+
+    #[inline]
+    pub fn lock(&self) -> LockResult<MutexGuard<'_, T>> {
+        #[cfg(debug_assertions)]
+        counters::bump(&counters::LOCKS);
+        self.0.lock()
+    }
+}
+
+/// Shimmed `std::sync::Condvar`.
+pub struct Condvar(std::sync::Condvar);
+
+impl Condvar {
+    #[inline]
+    pub fn new() -> Self {
+        Condvar(std::sync::Condvar::new())
+    }
+
+    #[inline]
+    pub fn wait<'a, T>(&self, guard: MutexGuard<'a, T>) -> LockResult<MutexGuard<'a, T>> {
+        #[cfg(debug_assertions)]
+        counters::bump(&counters::PARKS);
+        self.0.wait(guard)
+    }
+
+    #[inline]
+    pub fn notify_all(&self) {
+        #[cfg(debug_assertions)]
+        counters::bump(&counters::NOTIFIES);
+        self.0.notify_all()
+    }
+}
+
+impl Default for Condvar {
+    fn default() -> Self {
+        Self::new()
+    }
+}

@@ -4,14 +4,88 @@
 //! graph — the Fig. 4 workflow as a library call.
 //!
 //! ```text
-//! cargo run --release --example large_maxcut
+//! cargo run --release --example large_maxcut [-- OPTIONS]
+//!
+//!   --partition NAME     partition strategy: greedy-modularity (default),
+//!                        balanced-chunks, bfs-grow, multilevel,
+//!                        label-propagation, spectral, or auto
+//!                        (per-instance lookahead selection)
+//!   --schedule L0,L1,..  per-recursion-level strategy schedule; levels
+//!                        past the list fall back to --partition
+//!                        (e.g. --schedule multilevel,spectral --partition auto)
+//!   --refine             enable boundary refinement (FM-style polish)
+//!   --nodes N            graph size (default 300)
+//!   --seed S             graph + solver seed (default 4 / 3)
 //! ```
 
 use qaoa2_suite::prelude::*;
 
+struct Options {
+    partition: PartitionStrategy,
+    refine: RefineConfig,
+    nodes: usize,
+    seed: u64,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut partition = PartitionStrategy::default();
+    let mut schedule: Option<Vec<PartitionStrategy>> = None;
+    let mut refine = RefineConfig::default();
+    let mut nodes = 300usize;
+    let mut seed = 4u64;
+
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--partition" => {
+                let v = it.next().ok_or("--partition needs a strategy name")?;
+                partition =
+                    PartitionStrategy::parse(v).ok_or_else(|| format!("unknown strategy `{v}`"))?;
+            }
+            "--schedule" => {
+                let v = it.next().ok_or("--schedule needs a comma-separated list")?;
+                let levels = v
+                    .split(',')
+                    .map(|s| {
+                        PartitionStrategy::parse(s.trim())
+                            .ok_or_else(|| format!("unknown strategy `{s}` in schedule"))
+                    })
+                    .collect::<Result<Vec<_>, _>>()?;
+                schedule = Some(levels);
+            }
+            "--refine" => refine = RefineConfig::full(),
+            "--nodes" => {
+                nodes = it.next().and_then(|v| v.parse().ok()).ok_or("--nodes needs an integer")?;
+            }
+            "--seed" => {
+                seed = it.next().and_then(|v| v.parse().ok()).ok_or("--seed needs an integer")?;
+            }
+            other => return Err(format!("unknown option `{other}` (see the module docs)")),
+        }
+    }
+    // a schedule wraps the base strategy as its tail default
+    if let Some(levels) = schedule {
+        partition = PartitionStrategy::scheduled(PartitionSchedule::new(levels, partition));
+    }
+    Ok(Options { partition, refine, nodes, seed })
+}
+
 fn main() {
-    let g = generators::erdos_renyi(300, 0.1, generators::WeightKind::Uniform, 4);
-    println!("graph: {} nodes, {} edges (device budget: 10 qubits)", g.num_nodes(), g.num_edges());
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("large_maxcut: {e}");
+            std::process::exit(2);
+        }
+    };
+    let g = generators::erdos_renyi(opts.nodes, 0.1, generators::WeightKind::Uniform, opts.seed);
+    println!(
+        "graph: {} nodes, {} edges (device budget: 10 qubits), partition {:?}",
+        g.num_nodes(),
+        g.num_edges(),
+        opts.partition
+    );
 
     let cfg = Qaoa2Config {
         max_qubits: 10,
@@ -21,20 +95,24 @@ fn main() {
         },
         // the paper keeps deeper recursion levels classical
         coarse_solver: SubSolver::Gw(GwConfig::default()),
+        partition: opts.partition,
+        refine: opts.refine,
         parallelism: Parallelism::Threads,
         seed: 3,
-        ..Qaoa2Config::default()
     };
     let t0 = std::time::Instant::now();
     let res = qaoa2_solve(&g, &cfg).expect("valid configuration");
     println!("QAOA² cut value: {:.1} in {:.2?}", res.cut_value, t0.elapsed());
     for (i, level) in res.levels.iter().enumerate() {
         println!(
-            "  level {}: {} nodes → {} sub-graphs (max {}), solved in {:.2?}, coarse {} nodes",
+            "  level {}: {} nodes → {} sub-graphs (max {}), strategy {} → {}, solved in {:.2?}, \
+             coarse {} nodes",
             i,
             level.graph_nodes,
             level.num_subgraphs,
             level.max_subgraph,
+            level.strategy_requested,
+            level.strategy_effective,
             level.solve_wall,
             level.coarse_nodes
         );

@@ -14,6 +14,8 @@
 //! assert_eq!(res.cut.len(), 40);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub use qq_circuit as circuit;
 pub use qq_classical as classical;
 pub use qq_core as core;

@@ -237,6 +237,30 @@ fn battery_digest() -> u64 {
         }
     }
 
+    // --- qq-core: the merge graph's exact edge list — order, endpoints,
+    // and f64 weight bits. The coarse graph is rebuilt from hash-free
+    // sorted accumulation (BTreeMap in build_merge_graph); folding every
+    // edge pins that order across processes, where HashMap iteration
+    // would differ run to run ---
+    let mg = generators::erdos_renyi(44, 0.18, generators::WeightKind::Random01, 29);
+    let mpart = qq_graph::partition_with_cap(&mg, 9);
+    let mlocal: Vec<Cut> = mpart
+        .communities()
+        .iter()
+        .enumerate()
+        .map(|(c, members)| {
+            let (sub, _) = mg.induced_subgraph(members);
+            qaoa2_suite::classical::one_exchange(&sub, 101 + c as u64).cut
+        })
+        .collect();
+    let coarse = qq_core::build_merge_graph(&mg, &mpart, &mlocal);
+    d.word(coarse.num_edges() as u64);
+    for e in coarse.edges() {
+        d.word(e.u as u64);
+        d.word(e.v as u64);
+        d.f64(e.w);
+    }
+
     // --- property-harness-style seeded draws ---
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
@@ -269,25 +293,42 @@ fn digest_helper() {
 #[test]
 fn bit_identical_across_thread_counts() {
     let local = battery_digest();
-    let exe = std::env::current_exe().expect("test binary path");
-    for threads in ["1", "2", "4"] {
-        let out = std::process::Command::new(&exe)
-            .args(["--exact", "digest_helper", "--ignored", "--nocapture"])
-            .env("RAYON_NUM_THREADS", threads)
-            .output()
-            .expect("spawn digest helper");
-        assert!(out.status.success(), "helper failed at {threads} threads");
-        let stdout = String::from_utf8_lossy(&out.stdout);
-        // libtest may print the digest inline after the test name, so
-        // locate the marker anywhere and take the 16 hex digits after it
-        let digest = stdout
-            .split_once("DETERMINISM_DIGEST=")
-            .map(|(_, rest)| &rest[..16])
-            .unwrap_or_else(|| panic!("no digest in helper output: {stdout}"));
+    // The steal-heavy legs flip QQ_RAYON_FORCE_STEAL: every batch lands
+    // on a single deque and workers scan the *others* first, so nearly
+    // every job is executed by a thief. Placement must stay semantically
+    // invisible — results are combined by chunk index, never by
+    // completion order — so the digest must not move.
+    for (threads, force_steal) in
+        [("1", false), ("2", false), ("4", false), ("2", true), ("4", true)]
+    {
+        let digest = subprocess_digest(threads, force_steal);
         assert_eq!(
-            u64::from_str_radix(digest, 16).expect("hex digest"),
-            local,
-            "results differ between this process and RAYON_NUM_THREADS={threads}"
+            digest, local,
+            "results differ between this process and RAYON_NUM_THREADS={threads} \
+             force_steal={force_steal}"
         );
     }
+}
+
+/// Run the `digest_helper` test in a fresh process pinned to `threads`
+/// workers (optionally in force-steal scheduling mode) and parse the
+/// digest off its stdout.
+fn subprocess_digest(threads: &str, force_steal: bool) -> u64 {
+    let exe = std::env::current_exe().expect("test binary path");
+    let mut cmd = std::process::Command::new(&exe);
+    cmd.args(["--exact", "digest_helper", "--ignored", "--nocapture"])
+        .env("RAYON_NUM_THREADS", threads);
+    if force_steal {
+        cmd.env("QQ_RAYON_FORCE_STEAL", "1");
+    }
+    let out = cmd.output().expect("spawn digest helper");
+    assert!(out.status.success(), "helper failed at {threads} threads (force_steal={force_steal})");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    // libtest may print the digest inline after the test name, so
+    // locate the marker anywhere and take the 16 hex digits after it
+    let digest = stdout
+        .split_once("DETERMINISM_DIGEST=")
+        .map(|(_, rest)| &rest[..16])
+        .unwrap_or_else(|| panic!("no digest in helper output: {stdout}"));
+    u64::from_str_radix(digest, 16).expect("hex digest")
 }
