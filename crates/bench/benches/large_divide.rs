@@ -1,0 +1,164 @@
+//! Million-node divide-path benchmark: streaming ingestion + CSR build
+//! + size-gated `Auto` divide, with peak-memory accounting.
+//!
+//! For each (family, n) the harness generates a graph (geometric-skip
+//! Erdős–Rényi at mean degree 8, Barabási–Albert at attach 4, square
+//! 2-D grid), writes it to a Gset file on disk, streams it back through
+//! the single-pass reader, and runs `strategy::divide` with the `Auto`
+//! strategy — the end-to-end large-instance path. Records
+//! `BENCH_large.json` at the repo root: read wall, divide wall, CSR
+//! bytes per edge endpoint, peak RSS (`VmHWM` from `/proc/self/status`),
+//! and the gate attribution.
+//!
+//! Default sizes are the CI smoke leg (n = 10⁵). Override with
+//! `QQ_LARGE_SIZES="100000 1000000"`; the 10⁷ leg is opt-in the same
+//! way. `QQ_LARGE_CAP` overrides the community cap (default 4096).
+//!
+//! Not a criterion harness: one process writes one JSON artifact.
+//! Run with `cargo bench --bench large_divide`.
+
+use qq_core::{strategy, PartitionStrategy, RefineConfig};
+use qq_graph::generators::{self, WeightKind};
+use qq_graph::{io, Graph};
+use std::fmt::Write as _;
+use std::io::BufReader;
+use std::time::Instant;
+
+struct Row {
+    family: &'static str,
+    n: usize,
+    m: usize,
+    read_ns: u128,
+    divide_ns: u128,
+    bytes_per_endpoint: f64,
+    effective: String,
+    size_gated: bool,
+    communities: usize,
+    peak_rss_kb: u64,
+}
+
+fn generate(family: &'static str, n: usize) -> Graph {
+    match family {
+        // mean degree 8 → m ≈ 4n, the acceptance instance shape
+        "erdos_renyi" => generators::erdos_renyi_fast(n, 8.0 / n as f64, WeightKind::Uniform, 42),
+        "barabasi_albert" => generators::barabasi_albert(n, 4, 42),
+        "grid_2d" => {
+            let side = (n as f64).sqrt().round() as usize;
+            generators::grid_2d(side, side)
+        }
+        _ => unreachable!("unknown family"),
+    }
+}
+
+/// Peak resident set size of this process, in kB (`VmHWM`). Linux-only;
+/// reports 0 elsewhere so the artifact stays well-formed.
+fn peak_rss_kb() -> u64 {
+    std::fs::read_to_string("/proc/self/status")
+        .ok()
+        .and_then(|s| {
+            s.lines()
+                .find(|l| l.starts_with("VmHWM:"))
+                .and_then(|l| l.split_whitespace().nth(1))
+                .and_then(|v| v.parse().ok())
+        })
+        .unwrap_or(0)
+}
+
+fn main() {
+    let sizes: Vec<usize> = std::env::var("QQ_LARGE_SIZES")
+        .unwrap_or_else(|_| "100000".into())
+        .split_whitespace()
+        .map(|s| s.parse().expect("QQ_LARGE_SIZES entries are integers"))
+        .collect();
+    let cap: usize = std::env::var("QQ_LARGE_CAP")
+        .unwrap_or_else(|_| "4096".into())
+        .parse()
+        .expect("QQ_LARGE_CAP is an integer");
+    let tmp = std::env::temp_dir().join("qq_large_divide.gset");
+
+    let mut rows = Vec::new();
+    for &n in &sizes {
+        for family in ["erdos_renyi", "barabasi_albert", "grid_2d"] {
+            let g = generate(family, n);
+            let gen_n = g.num_nodes(); // grid rounds n to a square
+            let m = g.num_edges();
+            {
+                let file = std::fs::File::create(&tmp).expect("create temp gset file");
+                io::write_gset(&g, std::io::BufWriter::new(file)).expect("write gset");
+            }
+            drop(g);
+
+            // streamed single-pass ingest: disk → CSR
+            let t = Instant::now();
+            let file = std::fs::File::open(&tmp).expect("open temp gset file");
+            let g = io::read_gset(BufReader::new(file)).expect("read gset");
+            let read_ns = t.elapsed().as_nanos();
+            assert_eq!(g.num_nodes(), gen_n, "{family} n={n}: node count drifted");
+            assert_eq!(g.num_edges(), m, "{family} n={n}: edge count drifted");
+
+            let bytes_per_endpoint =
+                if m == 0 { 0.0 } else { g.memory_bytes() as f64 / (2 * m) as f64 };
+
+            let t = Instant::now();
+            let outcome =
+                strategy::divide(&g, cap, &PartitionStrategy::Auto, 0, &RefineConfig::default(), 7)
+                    .expect("divide succeeds");
+            let divide_ns = t.elapsed().as_nanos();
+
+            rows.push(Row {
+                family,
+                n: g.num_nodes(),
+                m,
+                read_ns,
+                divide_ns,
+                bytes_per_endpoint,
+                effective: outcome.effective.clone(),
+                size_gated: outcome.size_gated,
+                communities: outcome.communities_after_refine,
+                peak_rss_kb: peak_rss_kb(),
+            });
+            println!(
+                "{family:<16} n={n:<9} m={m:<9} read={:>8.3} s divide={:>8.3} s \
+                 B/endpoint={:>5.1} gated={} effective={} communities={}",
+                read_ns as f64 / 1e9,
+                divide_ns as f64 / 1e9,
+                bytes_per_endpoint,
+                outcome.size_gated,
+                outcome.effective,
+                outcome.communities_after_refine,
+            );
+        }
+    }
+    let _ = std::fs::remove_file(&tmp);
+
+    let mut json = String::from("{\n  \"bench\": \"large_divide\",\n");
+    let _ = writeln!(json, "  \"cap\": {cap},");
+    let _ = writeln!(json, "  \"host_threads\": {},", rayon::current_num_threads());
+    json.push_str("  \"results\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let _ = write!(
+            json,
+            "    {{\"family\": \"{}\", \"n\": {}, \"m\": {}, \"read_ns\": {}, \
+             \"divide_ns\": {}, \"divide_s\": {:.3}, \"bytes_per_edge_endpoint\": {:.2}, \
+             \"effective\": \"{}\", \"size_gated\": {}, \"communities\": {}, \
+             \"peak_rss_kb\": {}}}",
+            r.family,
+            r.n,
+            r.m,
+            r.read_ns,
+            r.divide_ns,
+            r.divide_ns as f64 / 1e9,
+            r.bytes_per_endpoint,
+            r.effective,
+            r.size_gated,
+            r.communities,
+            r.peak_rss_kb,
+        );
+        json.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ]\n}\n");
+
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_large.json");
+    std::fs::write(path, &json).expect("write BENCH_large.json");
+    println!("wrote {path}");
+}

@@ -57,15 +57,16 @@ pub fn build_merge_graph(g: &Graph, partition: &Partition, local_cuts: &[Cut]) -
         *weights.entry(key).or_insert(0.0) += e.w * si * sj;
     }
 
-    let mut coarse = Graph::new(k);
+    let mut builder = qq_graph::GraphBuilder::with_capacity(k, weights.len());
     for ((a, b), w) in weights {
         if w != 0.0 {
             // INVARIANT: keys are deduplicated (a, b) pairs with a < b
             // and both endpoints < k by construction of `assignment`.
-            coarse.add_edge(a, b, w).expect("coarse edges are unique and in range");
+            builder.add_edge(a, b, w).expect("coarse edges are unique and in range");
         }
     }
-    coarse
+    // INVARIANT: one edge per BTreeMap key — no duplicates for finalize.
+    builder.finalize().expect("coarse edges are unique")
 }
 
 /// Compose the global cut: community-local solutions plus coarse flips.

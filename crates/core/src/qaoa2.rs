@@ -114,6 +114,10 @@ pub struct LevelStats {
     /// `true` when the singleton-stall guard replaced the requested
     /// strategy's output with balanced chunks at this level.
     pub stall_fallback: bool,
+    /// `true` when the large-instance gate restricted `Auto`'s
+    /// portfolio to `O(m)` strategies and skipped the classical
+    /// lookahead at this level (attributed, never silent).
+    pub size_gated: bool,
     /// Fraction of the level graph's absolute edge weight crossing
     /// community boundaries — the weight the merge stage must recover.
     pub inter_weight_fraction: f64,
@@ -247,6 +251,7 @@ fn solve_level(
         strategy_requested: divided.requested,
         strategy_effective: divided.effective,
         stall_fallback: divided.stall_fallback,
+        size_gated: divided.size_gated,
         inter_weight_fraction: divided.inter_weight_fraction,
         balance: divided.balance,
         communities_before_refine: divided.communities_before_refine,

@@ -312,6 +312,12 @@ pub struct DivideOutcome {
     /// `true` when the singleton-stall guard replaced the requested
     /// strategy's output with balanced chunks.
     pub stall_fallback: bool,
+    /// `true` when the large-instance gate restricted `Auto`'s
+    /// portfolio to `O(m)`-per-pass strategies and ranked candidates by
+    /// structural score instead of the classical lookahead (see
+    /// [`qq_graph::auto::LARGE_INSTANCE_NODES`]). Attributed, not
+    /// silent — the same convention as `stall_fallback`.
+    pub size_gated: bool,
     /// Community count before refinement (equals `after` when
     /// refinement is off).
     pub communities_before_refine: usize,
@@ -528,7 +534,10 @@ fn lookahead_solve(
     // that cut rather than re-running the whole composition
     let (_, composed) = divide_auto_budgeted(g, cap, depth, refine, seed, budget - 1)
         .expect("built-in auto candidates cannot fail at cap ≥ 2");
-    composed.expect("cap ≥ 2 always yields a scored (non-stalled) candidate")
+    // a size-gated or all-stalled selection returns no composed cut;
+    // approximate the remainder with one whole-graph exchange, exactly
+    // as an exhausted budget would
+    composed.unwrap_or_else(|| qq_classical::one_exchange(g, mix_seed(seed, depth as u64, 0)).cut)
 }
 
 /// Per-instance auto-selection: probe, order and prune the candidate
@@ -552,9 +561,19 @@ fn divide_auto(
 /// [`divide_auto`] with an explicit lookahead fidelity budget (how
 /// many further divide levels each candidate evaluation may simulate
 /// faithfully — see [`lookahead_solve`]). Also returns the winning
-/// candidate's composed lookahead cut (`None` only in the cap-1
-/// corner where every candidate stalls), so the simulated deeper
-/// solve can reuse it instead of recomposing.
+/// candidate's composed lookahead cut (`None` in the cap-1 corner
+/// where every candidate stalls, and on size-gated instances, where no
+/// lookahead runs), so the simulated deeper solve can reuse it instead
+/// of recomposing.
+///
+/// **Large instances** ([`qq_graph::auto::InstanceProbe::is_large`])
+/// take an `O(m)` path end to end: the portfolio is already stripped
+/// of superlinear strategies by [`auto::candidates`], candidates are
+/// ranked by structural score alone (the classical lookahead would
+/// one-exchange the whole million-node graph per candidate), and the
+/// partition memo is bypassed (fingerprinting is an `O(m)` scan per
+/// probe and the memo would clone million-entry partitions). The gate
+/// is attributed in [`DivideOutcome::size_gated`].
 fn divide_auto_budgeted(
     g: &Graph,
     cap: usize,
@@ -567,10 +586,15 @@ fn divide_auto_budgeted(
         return Err(PartitionError::InvalidCap.into());
     }
     let probe = auto::probe(g);
-    let mut best: Option<(f64, auto::AutoScore, DivideOutcome, Cut)> = None;
+    let size_gated = probe.is_large();
+    let mut best: Option<(f64, auto::AutoScore, DivideOutcome, Option<Cut>)> = None;
     let mut stalled: Option<DividedPartition> = None;
     for candidate in auto::candidates(&probe) {
-        let divided = memoized_partition_for_divide(candidate.as_ref(), g, cap)?;
+        let divided = if size_gated {
+            partition_for_divide(candidate.as_ref(), g, cap)?
+        } else {
+            memoized_partition_for_divide(candidate.as_ref(), g, cap)?
+        };
         if divided.stall_fallback {
             // the guard already replaced this candidate's output with
             // balanced chunks — a partition the chunk candidate (always
@@ -583,14 +607,23 @@ fn divide_auto_budgeted(
             continue;
         }
         let outcome = refine_and_measure(g, cap, divided, refine);
-        let composed = lookahead_compose(g, &outcome.partition, cap, depth, refine, seed, budget);
-        let value = composed.value(g);
         let score = auto::AutoScore {
             inter_weight_fraction: outcome.inter_weight_fraction,
             balance: outcome.balance,
         };
+        let (value, composed) = if size_gated {
+            (0.0, None)
+        } else {
+            let c = lookahead_compose(g, &outcome.partition, cap, depth, refine, seed, budget);
+            (c.value(g), Some(c))
+        };
         let better = match &best {
             None => true,
+            Some((bv, bs, _, _)) if size_gated => {
+                // no lookahead values to compare — structural score only
+                let _ = bv;
+                score.better_than(bs)
+            }
             Some((bv, bs, _, _)) => {
                 value > bv + 1e-9 || ((value - bv).abs() <= 1e-9 && score.better_than(bs))
             }
@@ -600,7 +633,7 @@ fn divide_auto_budgeted(
         }
     }
     let (mut outcome, composed) = match best {
-        Some((_, _, outcome, composed)) => (outcome, Some(composed)),
+        Some((_, _, outcome, composed)) => (outcome, composed),
         None => {
             // cap-1 corner: every candidate stalled; refine the kept
             // fallback only now that it is actually needed
@@ -609,6 +642,7 @@ fn divide_auto_budgeted(
         }
     };
     outcome.requested = "auto".to_string();
+    outcome.size_gated = size_gated;
     Ok((outcome, composed))
 }
 
@@ -664,6 +698,9 @@ fn refine_and_measure(
         requested,
         effective,
         stall_fallback,
+        // the auto path overwrites this after ranking; fixed strategies
+        // are whatever the caller asked for, gate or no gate
+        size_gated: false,
         communities_before_refine,
         communities_after_refine,
         inter_weight_fraction: inter,
@@ -813,6 +850,44 @@ mod tests {
         assert!(!d.stall_fallback, "auto fell back to chunks on a structured merge graph");
         assert!(d.partition.len() < 8);
         assert_eq!(d.requested, "auto");
+    }
+
+    #[test]
+    fn large_instances_size_gate_the_auto_divide() {
+        // ~60k nodes, ~120k edges: over the node gate, far under the
+        // point where a debug-mode test would hurt. Auto must take the
+        // O(m) path — no lookahead, no memo, no superlinear candidates —
+        // and say so in the outcome.
+        let g = generators::erdos_renyi_fast(60_000, 6.7e-5, WeightKind::Uniform, 99);
+        assert!(auto::probe(&g).is_large(), "test instance must cross the gate");
+        let memo_before = partition_memo_hits();
+        let d =
+            divide(&g, 4_000, &PartitionStrategy::Auto, 0, &RefineConfig::default(), 7).unwrap();
+        assert!(d.size_gated, "large instance must attribute the gate");
+        assert_eq!(d.requested, "auto");
+        assert!(
+            matches!(
+                d.effective.as_str(),
+                "label-propagation" | "multilevel" | "bfs-grow" | "balanced-chunks"
+            ),
+            "effective strategy {} is not in the O(m) set",
+            d.effective
+        );
+        assert!(d.partition.max_community_size() <= 4_000);
+        assert!(d.partition.len() >= 15, "cap 4000 on 60k nodes needs ≥ 15 communities");
+        // the gated path must not have touched the partition memo
+        assert_eq!(partition_memo_hits(), memo_before);
+        // and a second identical divide reproduces the same selection
+        let again =
+            divide(&g, 4_000, &PartitionStrategy::Auto, 0, &RefineConfig::default(), 7).unwrap();
+        assert_eq!(d.effective, again.effective);
+        assert_eq!(d.partition, again.partition);
+
+        // small instances stay ungated: lookahead ranking, no gate flag
+        let small = generators::erdos_renyi(40, 0.2, WeightKind::Uniform, 1);
+        let ds =
+            divide(&small, 8, &PartitionStrategy::Auto, 0, &RefineConfig::default(), 7).unwrap();
+        assert!(!ds.size_gated);
     }
 
     #[test]

@@ -21,7 +21,7 @@
 //!   the checker catches the bug classes it exists for.
 //!
 //! The binary (`cargo run -p qq-check -- lint|model`) is CI-gated; see
-//! DESIGN.md §10 for the determinism contract as a checkable spec.
+//! DESIGN.md §11 for the determinism contract as a checkable spec.
 
 #![forbid(unsafe_code)]
 

@@ -52,6 +52,28 @@ pub struct InstanceProbe {
     pub positive_weight_fraction: f64,
 }
 
+/// Above either of these sizes an instance is "large": the portfolio
+/// drops the superlinear strategies — CNM greedy modularity (quadratic
+/// merge scans) and spectral bisection (power iteration per recursion
+/// level) — leaving the `O(m)`-per-pass ones (label propagation,
+/// multilevel HEM, BFS growth, chunks). The divide layer additionally
+/// skips its classical lookahead there and attributes the gate in
+/// `DivideOutcome::size_gated` / `LevelStats::size_gated`, matching the
+/// non-silent stall-fallback convention.
+pub const LARGE_INSTANCE_NODES: usize = 50_000;
+
+/// Edge-count half of the large-instance gate (see
+/// [`LARGE_INSTANCE_NODES`]); dense mid-size graphs hit this one first.
+pub const LARGE_INSTANCE_EDGES: usize = 500_000;
+
+impl InstanceProbe {
+    /// True when the instance crosses the large-instance gate and the
+    /// candidate portfolio is restricted to `O(m)`-per-pass strategies.
+    pub fn is_large(&self) -> bool {
+        self.nodes > LARGE_INSTANCE_NODES || self.edges > LARGE_INSTANCE_EDGES
+    }
+}
+
 /// Below this positive-weight share the instance is treated as a
 /// (coarse) merge graph: the portfolio is reordered to lead with the
 /// absolute-weight strategies that stay effective there.
@@ -98,8 +120,20 @@ pub fn probe(g: &Graph) -> InstanceProbe {
 ///   win there, so score ties resolve toward the probe's prediction.
 ///
 /// Always contains [`BalancedChunks`], so selection can never come up
-/// empty-handed.
+/// empty-handed. Past the large-instance gate
+/// ([`InstanceProbe::is_large`]) the superlinear strategies are removed
+/// from whatever the probe branches produced — a million-node graph
+/// must never enter a quadratic merge scan, however community-shaped
+/// its probe looks.
 pub fn candidates(probe: &InstanceProbe) -> Vec<BoxedPartitioner> {
+    let mut portfolio = portfolio_for(probe);
+    if probe.is_large() {
+        portfolio.retain(|c| !matches!(c.label(), "greedy-modularity" | "spectral"));
+    }
+    portfolio
+}
+
+fn portfolio_for(probe: &InstanceProbe) -> Vec<BoxedPartitioner> {
     if probe.positive_weight_fraction == 0.0 {
         vec![
             Box::new(LabelPropagation),
@@ -237,6 +271,43 @@ mod tests {
         for g in [Graph::new(7), generators::ring(9), generators::complete(6)] {
             let p = BalancedChunks.partition(&g, 2).unwrap();
             assert!(p.len() < g.num_nodes(), "{} nodes", g.num_nodes());
+        }
+    }
+
+    #[test]
+    fn large_instances_drop_superlinear_strategies() {
+        // synthetic probes on both sides of the gate: the node- and the
+        // edge-triggered variants must both shed CNM and spectral while
+        // keeping the O(m) portfolio intact
+        let small = InstanceProbe {
+            nodes: 1_000,
+            edges: 5_000,
+            density: 0.01,
+            positive_weight_fraction: 1.0,
+        };
+        assert!(!small.is_large());
+        let labels = |p: &InstanceProbe| -> Vec<String> {
+            candidates(p).iter().map(|c| c.label().to_string()).collect()
+        };
+        assert!(labels(&small).contains(&"greedy-modularity".to_string()));
+        for large in [
+            InstanceProbe { nodes: super::LARGE_INSTANCE_NODES + 1, ..small },
+            InstanceProbe { edges: super::LARGE_INSTANCE_EDGES + 1, ..small },
+            // dense branch would normally lead with spectral
+            InstanceProbe { nodes: super::LARGE_INSTANCE_NODES + 1, density: 0.9, ..small },
+            // negative-heavy branch would normally include spectral
+            InstanceProbe {
+                nodes: super::LARGE_INSTANCE_NODES + 1,
+                positive_weight_fraction: 0.1,
+                ..small
+            },
+        ] {
+            assert!(large.is_large());
+            let l = labels(&large);
+            assert!(!l.contains(&"greedy-modularity".to_string()), "{l:?}");
+            assert!(!l.contains(&"spectral".to_string()), "{l:?}");
+            assert!(l.contains(&"label-propagation".to_string()), "{l:?}");
+            assert!(l.contains(&"balanced-chunks".to_string()), "{l:?}");
         }
     }
 

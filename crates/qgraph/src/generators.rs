@@ -7,8 +7,16 @@
 //! for tests and for the community-detection substrate (planted partitions
 //! exercise the CNM partitioner; rings/complete graphs have known MaxCut
 //! optima).
+//!
+//! For million-node instances the pair loop of [`erdos_renyi`] is
+//! unusable (`O(n²)` Bernoulli draws). [`erdos_renyi_fast`] is the
+//! Batagelj–Brandes geometric-skip sampler — `O(n + m)`, one draw per
+//! *edge* rather than per *pair* — and [`barabasi_albert`] /
+//! [`grid_2d`] cover the power-law and lattice shapes the large-divide
+//! bench (`BENCH_large.json`) measures. All of them stream into
+//! [`GraphBuilder`], so generation never pays per-insert duplicate scans.
 
-use crate::graph::{Graph, NodeId};
+use crate::graph::{Graph, GraphBuilder, NodeId};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -21,66 +29,204 @@ pub enum WeightKind {
     Random01,
 }
 
+impl WeightKind {
+    #[inline]
+    fn draw(self, rng: &mut StdRng) -> f64 {
+        match self {
+            WeightKind::Uniform => 1.0,
+            WeightKind::Random01 => rng.gen::<f64>(),
+        }
+    }
+}
+
 /// Erdős–Rényi `G(n, p)`: every unordered pair becomes an edge
 /// independently with probability `p`.
 ///
 /// `seed` fixes both the topology and (for [`WeightKind::Random01`]) the
 /// weights, matching how the paper creates one weighted and one unweighted
-/// instance per `(n, p)` grid point.
+/// instance per `(n, p)` grid point. One Bernoulli draw per *pair* —
+/// `O(n²)` regardless of density, so this is the small-instance
+/// generator; use [`erdos_renyi_fast`] beyond ~10⁴ nodes.
 pub fn erdos_renyi(n: usize, p: f64, weights: WeightKind, seed: u64) -> Graph {
     assert!((0.0..=1.0).contains(&p), "edge probability must be in [0,1]");
     let mut rng = StdRng::seed_from_u64(seed);
-    let mut g = Graph::new(n);
+    let mut b = GraphBuilder::with_capacity(n, (expected_edges(n, p) * 1.1) as usize);
     for u in 0..n as NodeId {
         for v in (u + 1)..n as NodeId {
             if rng.gen::<f64>() < p {
-                let w = match weights {
-                    WeightKind::Uniform => 1.0,
-                    WeightKind::Random01 => rng.gen::<f64>(),
-                };
+                let w = weights.draw(&mut rng);
                 // INVARIANT: u < v < n by loop bounds; each pair visited once.
-                g.add_edge(u, v, w).expect("generator produces unique in-range edges");
+                b.add_edge(u, v, w).expect("generator produces unique in-range edges");
             }
         }
     }
-    g
+    // INVARIANT: each unordered pair is visited at most once above.
+    b.finalize().expect("generator produces unique edges")
+}
+
+/// Erdős–Rényi `G(n, p)` in `O(n + m)` via geometric skips
+/// (Batagelj & Brandes, "Efficient generation of large random networks").
+///
+/// Instead of one Bernoulli draw per pair, each draw produces the gap to
+/// the *next* present edge (`skip = ⌊ln(1−r)/ln(1−p)⌋`), walking the
+/// column-major pair order `(0,1), (0,2), (1,2), (0,3), …`. The edge
+/// *set* for a given seed differs from [`erdos_renyi`]'s (different draw
+/// sequence) but the distribution is identical — both are `G(n, p)`.
+/// This is the generator the 10⁵–10⁷-node bench instances come from.
+pub fn erdos_renyi_fast(n: usize, p: f64, weights: WeightKind, seed: u64) -> Graph {
+    assert!((0.0..=1.0).contains(&p), "edge probability must be in [0,1]");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::with_capacity(n, (expected_edges(n, p) * 1.1) as usize);
+    if p == 0.0 || n < 2 {
+        // INVARIANT: no edges appended, nothing to deduplicate.
+        return b.finalize().expect("empty edge set is trivially unique");
+    }
+    if p >= 1.0 {
+        return complete_weighted(n, weights, seed);
+    }
+    let lp = (1.0 - p).ln();
+    // pairs in column order: v = 1..n, u = 0..v
+    let mut v: usize = 1;
+    let mut u: i64 = -1;
+    while v < n {
+        let r: f64 = rng.gen();
+        // log(1-r) is finite: r < 1 by construction of the f64 sampler
+        let skip = ((1.0 - r).ln() / lp).floor() as i64;
+        u += 1 + skip.max(0);
+        while u >= v as i64 && v < n {
+            u -= v as i64;
+            v += 1;
+        }
+        if v < n {
+            let w = weights.draw(&mut rng);
+            // INVARIANT: 0 <= u < v < n, and the skip walk visits each
+            // pair at most once, so edges are unique and in range.
+            b.add_edge(u as NodeId, v as NodeId, w).expect("skip walk yields unique pairs");
+        }
+    }
+    // INVARIANT: the strictly increasing skip walk never revisits a pair.
+    b.finalize().expect("skip walk yields unique pairs")
+}
+
+/// `K_n` with weights drawn per [`WeightKind`] — the `p = 1` degenerate
+/// case of the fast ER sampler.
+fn complete_weighted(n: usize, weights: WeightKind, seed: u64) -> Graph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::with_capacity(n, n * (n.saturating_sub(1)) / 2);
+    for v in 1..n as NodeId {
+        for u in 0..v {
+            let w = weights.draw(&mut rng);
+            // INVARIANT: u < v < n by loop bounds; each pair visited once.
+            b.add_edge(u, v, w).expect("complete graph pairs are unique");
+        }
+    }
+    // INVARIANT: each unordered pair appended exactly once above.
+    b.finalize().expect("complete graph pairs are unique")
+}
+
+/// Barabási–Albert preferential attachment: `attach` edges from each new
+/// node to existing nodes chosen proportionally to degree (via the
+/// repeated-endpoints list, so sampling is `O(1)` per draw). Produces the
+/// power-law hubs that made the old `add_edge` duplicate scan quadratic —
+/// and that the builder's sort-based dedup handles in `O(m log m)`.
+///
+/// Unit weights; `n > attach ≥ 1`. Total edges: `(n − attach) · attach`.
+pub fn barabasi_albert(n: usize, attach: usize, seed: u64) -> Graph {
+    assert!(attach >= 1, "attachment count must be positive");
+    assert!(n > attach, "need more nodes than the attachment count");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let m_total = (n - attach) * attach;
+    let mut b = GraphBuilder::with_capacity(n, m_total);
+    // every node id appears once per incident edge — sampling an index
+    // uniformly from this list is degree-proportional sampling
+    let mut endpoints: Vec<NodeId> = Vec::with_capacity(2 * m_total);
+    // the first arrival wires to the `attach` founding nodes outright
+    let mut targets: Vec<NodeId> = (0..attach as NodeId).collect();
+    for v in attach..n {
+        for &t in &targets {
+            // INVARIANT: targets are distinct existing nodes < v < n, so
+            // each (v, t) edge is unique and in range.
+            b.add_edge(v as NodeId, t, 1.0).expect("targets are distinct and in range");
+            endpoints.push(v as NodeId);
+            endpoints.push(t);
+        }
+        targets.clear();
+        while targets.len() < attach {
+            let pick = endpoints[rng.gen_range(0..endpoints.len())];
+            if !targets.contains(&pick) {
+                targets.push(pick);
+            }
+        }
+    }
+    // INVARIANT: per-arrival targets are deduplicated before wiring.
+    b.finalize().expect("preferential attachment yields unique edges")
+}
+
+/// 2D grid lattice: `rows × cols` nodes, unit-weight edges between
+/// horizontal and vertical neighbors. Node `(r, c)` has id `r·cols + c`.
+/// Bipartite, so the MaxCut optimum is all `2·rows·cols − rows − cols`
+/// edges — a useful known-optimum shape at any scale.
+pub fn grid_2d(rows: usize, cols: usize) -> Graph {
+    let n = rows * cols;
+    let m = if rows == 0 || cols == 0 { 0 } else { 2 * n - rows - cols };
+    let mut b = GraphBuilder::with_capacity(n, m);
+    for r in 0..rows {
+        for c in 0..cols {
+            let id = (r * cols + c) as NodeId;
+            if c + 1 < cols {
+                // INVARIANT: id + 1 stays on row r, so both ends < n and
+                // each horizontal edge is generated exactly once.
+                b.add_edge(id, id + 1, 1.0).expect("grid edges are unique");
+            }
+            if r + 1 < rows {
+                // INVARIANT: id + cols is the node below, < n; each
+                // vertical edge generated exactly once.
+                b.add_edge(id, id + cols as NodeId, 1.0).expect("grid edges are unique");
+            }
+        }
+    }
+    // INVARIANT: the row/col sweep visits every lattice edge once.
+    b.finalize().expect("grid edges are unique")
 }
 
 /// Complete graph `K_n` with unit weights. MaxCut optimum is
 /// `⌊n/2⌋·⌈n/2⌉` (balanced bipartition).
 pub fn complete(n: usize) -> Graph {
-    let mut g = Graph::new(n);
+    let mut b = GraphBuilder::with_capacity(n, n * n.saturating_sub(1) / 2);
     for u in 0..n as NodeId {
         for v in (u + 1)..n as NodeId {
             // INVARIANT: u < v < n by loop bounds; each pair visited once.
-            g.add_edge(u, v, 1.0).unwrap();
+            b.add_edge(u, v, 1.0).expect("complete graph pairs are unique");
         }
     }
-    g
+    // INVARIANT: each unordered pair appended exactly once.
+    b.finalize().expect("complete graph pairs are unique")
 }
 
 /// Cycle `C_n` with unit weights. MaxCut optimum is `n` for even `n`,
 /// `n − 1` for odd `n`.
 pub fn ring(n: usize) -> Graph {
     assert!(n >= 3, "ring needs at least 3 nodes");
-    let mut g = Graph::new(n);
+    let mut b = GraphBuilder::with_capacity(n, n);
     for v in 0..n as NodeId {
         // INVARIANT: n >= 3 asserted above, so v and v+1 mod n are
         // distinct in-range nodes and each ring edge is unique.
-        g.add_edge(v, ((v as usize + 1) % n) as NodeId, 1.0).unwrap();
+        b.add_edge(v, ((v as usize + 1) % n) as NodeId, 1.0).expect("ring edges are unique");
     }
-    g
+    // INVARIANT: n >= 3 keeps all n cycle edges distinct.
+    b.finalize().expect("ring edges are unique")
 }
 
 /// Star graph: node 0 joined to all others. MaxCut optimum is `n − 1`.
 pub fn star(n: usize) -> Graph {
     assert!(n >= 2, "star needs at least 2 nodes");
-    let mut g = Graph::new(n);
+    let mut b = GraphBuilder::with_capacity(n, n - 1);
     for v in 1..n as NodeId {
         // INVARIANT: 0 < v < n by the loop bounds; spokes are unique.
-        g.add_edge(0, v, 1.0).unwrap();
+        b.add_edge(0, v, 1.0).expect("star spokes are unique");
     }
-    g
+    // INVARIANT: one spoke per non-center node, all distinct.
+    b.finalize().expect("star spokes are unique")
 }
 
 /// Planted-partition graph: `k` blocks of `block_size` nodes; intra-block
@@ -92,18 +238,19 @@ pub fn star(n: usize) -> Graph {
 pub fn planted_partition(k: usize, block_size: usize, p_in: f64, p_out: f64, seed: u64) -> Graph {
     let n = k * block_size;
     let mut rng = StdRng::seed_from_u64(seed);
-    let mut g = Graph::new(n);
+    let mut b = GraphBuilder::new(n);
     for u in 0..n as NodeId {
         for v in (u + 1)..n as NodeId {
             let same = (u as usize / block_size) == (v as usize / block_size);
             let p = if same { p_in } else { p_out };
             if rng.gen::<f64>() < p {
                 // INVARIANT: u < v < n by loop bounds; each pair once.
-                g.add_edge(u, v, 1.0).unwrap();
+                b.add_edge(u, v, 1.0).expect("each pair visited once");
             }
         }
     }
-    g
+    // INVARIANT: the pair loop appends each unordered pair at most once.
+    b.finalize().expect("each pair visited once")
 }
 
 /// Two cliques of size `b` joined by a single bridge edge ("barbell").
@@ -111,21 +258,22 @@ pub fn planted_partition(k: usize, block_size: usize, p_in: f64, p_out: f64, see
 pub fn barbell(b: usize) -> Graph {
     assert!(b >= 2, "barbell bells need at least 2 nodes");
     let n = 2 * b;
-    let mut g = Graph::new(n);
+    let mut builder = GraphBuilder::with_capacity(n, b * (b - 1) + 1);
     for side in 0..2 {
         let off = (side * b) as NodeId;
         for u in 0..b as NodeId {
             for v in (u + 1)..b as NodeId {
                 // INVARIANT: off + v < 2b = n and u < v keep clique
                 // edges unique and in range.
-                g.add_edge(off + u, off + v, 1.0).unwrap();
+                builder.add_edge(off + u, off + v, 1.0).expect("clique edges are unique");
             }
         }
     }
     // INVARIANT: b >= 2, so b-1 != b and both < 2b; the bridge joins
     // different cliques so it duplicates no clique edge.
-    g.add_edge((b - 1) as NodeId, b as NodeId, 1.0).unwrap();
-    g
+    builder.add_edge((b - 1) as NodeId, b as NodeId, 1.0).expect("bridge edge is unique");
+    // INVARIANT: cliques are disjoint and the bridge crosses them.
+    builder.finalize().expect("barbell edges are unique")
 }
 
 /// Expected edge count of `G(n, p)`, for sanity checks and workload sizing.
@@ -181,6 +329,88 @@ mod tests {
     fn weighted_er_weights_in_unit_interval() {
         let g = erdos_renyi(25, 0.4, WeightKind::Random01, 3);
         assert!(g.edges().iter().all(|e| (0.0..1.0).contains(&e.w)));
+    }
+
+    #[test]
+    fn fast_er_is_reproducible() {
+        let a = erdos_renyi_fast(500, 0.01, WeightKind::Random01, 42);
+        let b = erdos_renyi_fast(500, 0.01, WeightKind::Random01, 42);
+        assert_eq!(a.num_edges(), b.num_edges());
+        for (ea, eb) in a.edges().iter().zip(b.edges()) {
+            assert_eq!((ea.u, ea.v, ea.w), (eb.u, eb.v, eb.w));
+        }
+    }
+
+    #[test]
+    fn fast_er_edge_count_near_expectation() {
+        let n = 2000;
+        let p = 0.005;
+        let g = erdos_renyi_fast(n, p, WeightKind::Uniform, 11);
+        let expected = expected_edges(n, p);
+        let sigma = (expected * (1.0 - p)).sqrt();
+        assert!(
+            (g.num_edges() as f64 - expected).abs() < 5.0 * sigma,
+            "m={} expected={expected}",
+            g.num_edges()
+        );
+    }
+
+    #[test]
+    fn fast_er_extremes_match_dense_cases() {
+        assert_eq!(erdos_renyi_fast(50, 0.0, WeightKind::Uniform, 0).num_edges(), 0);
+        let full = erdos_renyi_fast(50, 1.0, WeightKind::Uniform, 0);
+        assert_eq!(full.num_edges(), 50 * 49 / 2);
+        // degenerate sizes
+        assert_eq!(erdos_renyi_fast(0, 0.5, WeightKind::Uniform, 0).num_nodes(), 0);
+        assert_eq!(erdos_renyi_fast(1, 0.5, WeightKind::Uniform, 0).num_edges(), 0);
+    }
+
+    #[test]
+    fn fast_er_weighted_draws_in_unit_interval() {
+        let g = erdos_renyi_fast(300, 0.02, WeightKind::Random01, 5);
+        assert!(g.num_edges() > 0);
+        assert!(g.edges().iter().all(|e| (0.0..1.0).contains(&e.w)));
+    }
+
+    #[test]
+    fn barabasi_albert_shape() {
+        let g = barabasi_albert(200, 3, 9);
+        assert_eq!(g.num_nodes(), 200);
+        assert_eq!(g.num_edges(), (200 - 3) * 3);
+        // founding nodes accumulate degree; a hub must beat the minimum
+        let max_deg = (0..200).map(|v| g.degree(v)).max().unwrap_or(0);
+        assert!(max_deg > 3 * 4, "no hub emerged: max degree {max_deg}");
+        assert!(g.is_unit_weighted());
+    }
+
+    #[test]
+    fn barabasi_albert_is_reproducible() {
+        let a = barabasi_albert(100, 2, 3);
+        let b = barabasi_albert(100, 2, 3);
+        assert_eq!(a.num_edges(), b.num_edges());
+        for (ea, eb) in a.edges().iter().zip(b.edges()) {
+            assert_eq!((ea.u, ea.v), (eb.u, eb.v));
+        }
+    }
+
+    #[test]
+    fn grid_shape_and_degrees() {
+        let g = grid_2d(4, 5);
+        assert_eq!(g.num_nodes(), 20);
+        assert_eq!(g.num_edges(), 2 * 20 - 4 - 5);
+        // corners have degree 2, interior degree 4
+        assert_eq!(g.degree(0), 2);
+        assert_eq!(g.degree(6), 4); // (1,1)
+                                    // bipartite: the checkerboard 2-coloring cuts every edge
+        let cut = crate::Cut::from_fn(20, |v| (v / 5 + v % 5) % 2 == 0);
+        assert_eq!(cut.value(&g), g.num_edges() as f64);
+    }
+
+    #[test]
+    fn grid_degenerate_sizes() {
+        assert_eq!(grid_2d(0, 7).num_nodes(), 0);
+        let line = grid_2d(1, 6);
+        assert_eq!(line.num_edges(), 5);
     }
 
     #[test]

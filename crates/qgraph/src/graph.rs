@@ -1,10 +1,30 @@
-//! Weighted undirected graph representation.
+//! Weighted undirected graph representation on CSR storage.
 //!
 //! The graph is stored twice: as a flat edge list (the natural shape for cut
-//! evaluation, Hamiltonian construction and SDP assembly) and as adjacency
-//! lists (the natural shape for traversals and modularity bookkeeping). Both
-//! views are built once and kept consistent; the struct is immutable after
-//! construction apart from [`Graph::add_edge`] during building.
+//! evaluation, Hamiltonian construction and SDP assembly) and as a
+//! **compressed sparse row** adjacency — one flat `(neighbor, weight)` array
+//! plus per-node offsets — the natural shape for traversals, modularity
+//! bookkeeping, and million-node instances. Both views are built once and
+//! kept consistent: [`GraphBuilder`] is the scalable construction path
+//! (append edges in O(1), one sort-based finalize), while
+//! [`Graph::add_edge`] remains for small incremental builds.
+//!
+//! ## Memory layout
+//!
+//! For `n` nodes and `m` edges the finalized graph owns exactly three
+//! allocations:
+//!
+//! * `edges`: `m × 16` bytes (`Edge { u: u32, v: u32, w: f64 }`), in
+//!   insertion order with canonical `u < v` orientation;
+//! * `adj`: `2m × 16` bytes (`(NodeId, f64)` pairs, each edge appearing
+//!   once per endpoint), sorted by neighbor id within each node's slice;
+//! * `offsets`: `(n + 1) × 8` bytes, with node `v`'s neighbors at
+//!   `adj[offsets[v]..offsets[v + 1]]`.
+//!
+//! Total: `48m + 8n + O(1)` bytes — 24 bytes per edge-endpoint plus the
+//! offset array, well under the suite's 48 bytes/endpoint ceiling
+//! (`BENCH_large.json`). There are no per-node heap allocations, so a
+//! 10⁷-node instance costs ten million *entries*, not ten million `Vec`s.
 
 use std::fmt;
 
@@ -55,37 +75,64 @@ impl fmt::Display for GraphError {
 
 impl std::error::Error for GraphError {}
 
-/// A weighted undirected graph with `0..n` contiguous node ids.
+/// Streaming construction for [`Graph`]: append edges freely (O(1) each,
+/// range and self-loop checked immediately), then [`GraphBuilder::finalize`]
+/// sorts, detects duplicates, and assembles the CSR adjacency in one
+/// `O(m log m)` pass. This is the path every generator, reader, and
+/// contraction uses — unlike [`Graph::add_edge`] there is no per-insert
+/// duplicate scan or adjacency splice, so hubs and million-edge streams
+/// stay linear.
+///
+/// ```
+/// use qq_graph::graph::GraphBuilder;
+///
+/// let mut b = GraphBuilder::with_capacity(4, 3);
+/// b.add_edge(2, 0, 1.0).unwrap();
+/// b.add_edge(1, 3, 0.5).unwrap();
+/// b.add_edge(0, 1, 2.0).unwrap();
+/// let g = b.finalize().unwrap();
+/// assert_eq!(g.num_edges(), 3);
+/// assert_eq!(g.neighbors(0), &[(1, 2.0), (2, 1.0)]);
+/// ```
 #[derive(Debug, Clone, Default)]
-pub struct Graph {
+pub struct GraphBuilder {
     num_nodes: usize,
     edges: Vec<Edge>,
-    /// `adj[v]` lists `(neighbor, weight)` pairs; every edge appears twice.
-    adj: Vec<Vec<(NodeId, f64)>>,
 }
 
-impl Graph {
-    /// Create an edgeless graph on `num_nodes` nodes.
+impl GraphBuilder {
+    /// Start a builder for a graph on `num_nodes` nodes.
     pub fn new(num_nodes: usize) -> Self {
-        Graph { num_nodes, edges: Vec::new(), adj: vec![Vec::new(); num_nodes] }
+        GraphBuilder { num_nodes, edges: Vec::new() }
     }
 
-    /// Create a graph from an iterator of `(u, v, w)` triples.
-    ///
-    /// Duplicate unordered pairs and self-loops are rejected.
-    pub fn from_edges<I>(num_nodes: usize, iter: I) -> crate::Result<Self>
-    where
-        I: IntoIterator<Item = (NodeId, NodeId, f64)>,
-    {
-        let mut g = Graph::new(num_nodes);
-        for (u, v, w) in iter {
-            g.add_edge(u, v, w)?;
-        }
-        Ok(g)
+    /// Start a builder with room for `edge_capacity` edges — the
+    /// capacity hint streaming readers take from the Gset header, so
+    /// ingestion performs one allocation instead of a doubling series.
+    pub fn with_capacity(num_nodes: usize, edge_capacity: usize) -> Self {
+        GraphBuilder { num_nodes, edges: Vec::with_capacity(edge_capacity) }
     }
 
-    /// Add one undirected edge. `O(deg)` duplicate check against the
-    /// adjacency list — fine for construction-time use.
+    /// Reserve room for `additional` further edges.
+    pub fn reserve(&mut self, additional: usize) {
+        self.edges.reserve(additional);
+    }
+
+    /// Number of nodes the finalized graph will have.
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    /// Edges appended so far.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Append one undirected edge. O(1): range and self-loop violations
+    /// error immediately; duplicate pairs are detected by
+    /// [`GraphBuilder::finalize`]'s sort (no per-insert scan).
     pub fn add_edge(&mut self, u: NodeId, v: NodeId, w: f64) -> crate::Result<()> {
         let n = self.num_nodes;
         if (u as usize) >= n {
@@ -97,14 +144,148 @@ impl Graph {
         if u == v {
             return Err(GraphError::SelfLoop { node: u });
         }
-        if self.adj[u as usize].iter().any(|&(x, _)| x == v) {
+        let (a, b) = if u < v { (u, v) } else { (v, u) };
+        self.edges.push(Edge { u: a, v: b, w });
+        Ok(())
+    }
+
+    /// Assemble the CSR graph: count degrees, scatter both endpoints of
+    /// every edge, sort each node's slice by neighbor id, and reject
+    /// duplicate unordered pairs (adjacent after the sort). `O(m log d)`
+    /// overall for maximum degree `d`; edge insertion order is preserved
+    /// in [`Graph::edges`].
+    pub fn finalize(self) -> crate::Result<Graph> {
+        let GraphBuilder { num_nodes, edges } = self;
+        let mut offsets = vec![0usize; num_nodes + 1];
+        for e in &edges {
+            offsets[e.u as usize + 1] += 1;
+            offsets[e.v as usize + 1] += 1;
+        }
+        for i in 0..num_nodes {
+            offsets[i + 1] += offsets[i];
+        }
+        let mut adj = vec![(0 as NodeId, 0.0f64); 2 * edges.len()];
+        let mut cursor = offsets.clone();
+        for e in &edges {
+            adj[cursor[e.u as usize]] = (e.v, e.w);
+            cursor[e.u as usize] += 1;
+            adj[cursor[e.v as usize]] = (e.u, e.w);
+            cursor[e.v as usize] += 1;
+        }
+        for v in 0..num_nodes {
+            let slice = &mut adj[offsets[v]..offsets[v + 1]];
+            slice.sort_unstable_by_key(|&(u, _)| u);
+            if let Some(pair) = slice.windows(2).find(|p| p[0].0 == p[1].0) {
+                let other = pair[0].0;
+                let v = v as NodeId;
+                return Err(GraphError::DuplicateEdge { u: v.min(other), v: v.max(other) });
+            }
+        }
+        Ok(Graph { num_nodes, edges, offsets, adj })
+    }
+}
+
+/// A weighted undirected graph with `0..n` contiguous node ids on CSR
+/// storage (see the module docs for the exact layout). Neighbor slices
+/// are always sorted by neighbor id — a documented invariant traversals
+/// and binary-search lookups rely on.
+#[derive(Debug, Clone)]
+pub struct Graph {
+    num_nodes: usize,
+    edges: Vec<Edge>,
+    /// Node `v`'s neighbors live at `adj[offsets[v]..offsets[v + 1]]`.
+    offsets: Vec<usize>,
+    /// Flat `(neighbor, weight)` pairs; every edge appears twice, and
+    /// each node's slice is sorted ascending by neighbor id.
+    adj: Vec<(NodeId, f64)>,
+}
+
+impl Default for Graph {
+    fn default() -> Self {
+        Graph::new(0)
+    }
+}
+
+impl Graph {
+    /// Create an edgeless graph on `num_nodes` nodes.
+    pub fn new(num_nodes: usize) -> Self {
+        Graph { num_nodes, edges: Vec::new(), offsets: vec![0; num_nodes + 1], adj: Vec::new() }
+    }
+
+    /// Start a [`GraphBuilder`] on `num_nodes` nodes — the scalable
+    /// construction path for anything beyond a handful of edges.
+    pub fn builder(num_nodes: usize) -> GraphBuilder {
+        GraphBuilder::new(num_nodes)
+    }
+
+    /// Create a graph from an iterator of `(u, v, w)` triples.
+    ///
+    /// Duplicate unordered pairs and self-loops are rejected.
+    pub fn from_edges<I>(num_nodes: usize, iter: I) -> crate::Result<Self>
+    where
+        I: IntoIterator<Item = (NodeId, NodeId, f64)>,
+    {
+        let iter = iter.into_iter();
+        let mut b = GraphBuilder::with_capacity(num_nodes, iter.size_hint().0);
+        for (u, v, w) in iter {
+            b.add_edge(u, v, w)?;
+        }
+        b.finalize()
+    }
+
+    /// Add one undirected edge to an already-built graph.
+    ///
+    /// Kept for small incremental builds and test fixtures: the
+    /// duplicate check is an `O(log d)` binary search on the sorted
+    /// neighbor slice (no linear hub scan), but splicing the CSR arrays
+    /// costs `O(n + m)` per call — bulk construction belongs in
+    /// [`GraphBuilder`], which is linear overall.
+    pub fn add_edge(&mut self, u: NodeId, v: NodeId, w: f64) -> crate::Result<()> {
+        let n = self.num_nodes;
+        if (u as usize) >= n {
+            return Err(GraphError::NodeOutOfRange { node: u, num_nodes: n });
+        }
+        if (v as usize) >= n {
+            return Err(GraphError::NodeOutOfRange { node: v, num_nodes: n });
+        }
+        if u == v {
+            return Err(GraphError::SelfLoop { node: u });
+        }
+        if self.neighbor_index(u, v).is_ok() {
             return Err(GraphError::DuplicateEdge { u: u.min(v), v: u.max(v) });
         }
         let (a, b) = if u < v { (u, v) } else { (v, u) };
         self.edges.push(Edge { u: a, v: b, w });
-        self.adj[u as usize].push((v, w));
-        self.adj[v as usize].push((u, w));
+        // Splice both endpoints into the sorted CSR slices: compute both
+        // global insertion points on the pre-insert arrays, insert at the
+        // later position first so the earlier index stays valid.
+        // INVARIANT: the duplicate check above guarantees v is absent from
+        // u's slice (and vice versa), so binary search returns Err here.
+        let pos_u = self.offsets[u as usize] + self.neighbor_index(u, v).unwrap_err();
+        // INVARIANT: same absence guarantee, mirrored orientation.
+        let pos_v = self.offsets[v as usize] + self.neighbor_index(v, u).unwrap_err();
+        // u's slice receives entry (v, w) at pos_u; v's slice receives
+        // (u, w) at pos_v. When both land on the same slice boundary the
+        // position ties break by owner id — the lower node's slice comes
+        // first in the flat array, so its entry must be inserted second.
+        let op_u = (pos_u, u as usize, (v, w));
+        let op_v = (pos_v, v as usize, (u, w));
+        let (first, second) =
+            if (op_u.0, op_u.1) > (op_v.0, op_v.1) { (op_u, op_v) } else { (op_v, op_u) };
+        self.adj.insert(first.0, first.2);
+        self.adj.insert(second.0, second.2);
+        for node in [u, v] {
+            for o in &mut self.offsets[node as usize + 1..] {
+                *o += 1;
+            }
+        }
         Ok(())
+    }
+
+    /// Position of `v` within `u`'s sorted neighbor slice (`Ok`) or the
+    /// insertion point that keeps the slice sorted (`Err`).
+    fn neighbor_index(&self, u: NodeId, v: NodeId) -> std::result::Result<usize, usize> {
+        self.neighbors(u).binary_search_by_key(&v, |&(x, _)| x)
     }
 
     /// Number of nodes.
@@ -119,27 +300,28 @@ impl Graph {
         self.edges.len()
     }
 
-    /// Flat edge list (canonical `u < v` orientation).
+    /// Flat edge list (canonical `u < v` orientation, insertion order).
     #[inline]
     pub fn edges(&self) -> &[Edge] {
         &self.edges
     }
 
-    /// Neighbors of `v` as `(neighbor, weight)` pairs.
+    /// Neighbors of `v` as `(neighbor, weight)` pairs, sorted ascending
+    /// by neighbor id.
     #[inline]
     pub fn neighbors(&self, v: NodeId) -> &[(NodeId, f64)] {
-        &self.adj[v as usize]
+        &self.adj[self.offsets[v as usize]..self.offsets[v as usize + 1]]
     }
 
     /// Degree of `v` (neighbor count, not weighted).
     #[inline]
     pub fn degree(&self, v: NodeId) -> usize {
-        self.adj[v as usize].len()
+        self.offsets[v as usize + 1] - self.offsets[v as usize]
     }
 
     /// Weighted degree of `v`: `Σ_u w_vu`.
     pub fn weighted_degree(&self, v: NodeId) -> f64 {
-        self.adj[v as usize].iter().map(|&(_, w)| w).sum()
+        self.neighbors(v).iter().map(|&(_, w)| w).sum()
     }
 
     /// Sum of all edge weights (each edge counted once).
@@ -161,9 +343,23 @@ impl Graph {
         self.edges.len() as f64 / max
     }
 
-    /// Weight of the edge `(u, v)` if present.
+    /// Weight of the edge `(u, v)` if present. `O(log d)` binary search
+    /// on the sorted neighbor slice.
     pub fn edge_weight(&self, u: NodeId, v: NodeId) -> Option<f64> {
-        self.adj.get(u as usize)?.iter().find_map(|&(x, w)| (x == v).then_some(w))
+        if (u as usize) >= self.num_nodes {
+            return None;
+        }
+        self.neighbor_index(u, v).ok().map(|i| self.adj[self.offsets[u as usize] + i].1)
+    }
+
+    /// Bytes of heap memory the graph's three arrays occupy (capacity,
+    /// not length — what the allocator actually holds). The
+    /// `BENCH_large.json` memory-ceiling number is this divided by
+    /// `2 · num_edges()` (bytes per edge-endpoint).
+    pub fn memory_bytes(&self) -> usize {
+        self.edges.capacity() * std::mem::size_of::<Edge>()
+            + self.offsets.capacity() * std::mem::size_of::<usize>()
+            + self.adj.capacity() * std::mem::size_of::<(NodeId, f64)>()
     }
 
     /// Connected components as lists of node ids (each sorted ascending).
@@ -195,22 +391,26 @@ impl Graph {
     }
 
     /// Induced subgraph on `nodes` (need not be sorted). Returns the new
-    /// graph plus the mapping `local id -> original id`.
+    /// graph plus the mapping `local id -> original id`. One linear pass
+    /// through the parent edge list into a [`GraphBuilder`].
     pub fn induced_subgraph(&self, nodes: &[NodeId]) -> (Graph, Vec<NodeId>) {
         let mut local_of = vec![u32::MAX; self.num_nodes];
         for (i, &v) in nodes.iter().enumerate() {
             local_of[v as usize] = i as u32;
         }
-        let mut g = Graph::new(nodes.len());
+        let mut b = GraphBuilder::new(nodes.len());
         for e in &self.edges {
             let lu = local_of[e.u as usize];
             let lv = local_of[e.v as usize];
             if lu != u32::MAX && lv != u32::MAX {
                 // INVARIANT: local ids are a bijection onto 0..nodes.len()
                 // and parent edges are unique, so induced edges are too.
-                g.add_edge(lu, lv, e.w).expect("induced edges are unique and in range");
+                b.add_edge(lu, lv, e.w).expect("induced edges are unique and in range");
             }
         }
+        // INVARIANT: induced edges inherit uniqueness from the parent,
+        // so finalize's duplicate scan cannot fire.
+        let g = b.finalize().expect("induced edges are unique");
         (g, nodes.to_vec())
     }
 }
@@ -261,6 +461,7 @@ mod tests {
         assert_eq!(g.edge_weight(2, 1), Some(2.0));
         assert_eq!(g.edge_weight(1, 2), Some(2.0));
         assert_eq!(g.edge_weight(0, 0), None);
+        assert_eq!(g.edge_weight(7, 0), None);
     }
 
     #[test]
@@ -302,5 +503,100 @@ mod tests {
         assert!(g.is_unit_weighted());
         let h = triangle();
         assert!(!h.is_unit_weighted());
+    }
+
+    #[test]
+    fn neighbors_are_sorted_by_id() {
+        // edges inserted in scrambled order; CSR slices must come out
+        // sorted — the invariant binary-search lookups rely on
+        let g = Graph::from_edges(5, [(3, 1, 1.0), (1, 0, 2.0), (4, 1, 3.0), (1, 2, 4.0)]).unwrap();
+        assert_eq!(g.neighbors(1), &[(0, 2.0), (2, 4.0), (3, 1.0), (4, 3.0)]);
+        assert_eq!(g.degree(1), 4);
+        assert_eq!(g.neighbors(0), &[(1, 2.0)]);
+    }
+
+    #[test]
+    fn builder_defers_duplicate_detection_to_finalize() {
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(0, 1, 1.0).unwrap();
+        b.add_edge(1, 0, 2.0).unwrap(); // accepted now…
+        assert_eq!(b.num_edges(), 2);
+        // …rejected at finalize, canonical orientation in the error
+        assert_eq!(b.finalize().unwrap_err(), GraphError::DuplicateEdge { u: 0, v: 1 });
+    }
+
+    #[test]
+    fn builder_validates_range_and_self_loops_eagerly() {
+        let mut b = GraphBuilder::new(3);
+        assert_eq!(
+            b.add_edge(0, 3, 1.0),
+            Err(GraphError::NodeOutOfRange { node: 3, num_nodes: 3 })
+        );
+        assert_eq!(b.add_edge(2, 2, 1.0), Err(GraphError::SelfLoop { node: 2 }));
+    }
+
+    #[test]
+    fn builder_matches_incremental_construction() {
+        let edges = [(0u32, 4u32, 1.5), (2, 1, -2.0), (3, 4, 0.25), (0, 1, 7.0)];
+        let mut incremental = Graph::new(5);
+        for &(u, v, w) in &edges {
+            incremental.add_edge(u, v, w).unwrap();
+        }
+        let built = Graph::from_edges(5, edges).unwrap();
+        assert_eq!(incremental.num_edges(), built.num_edges());
+        for (a, b) in incremental.edges().iter().zip(built.edges()) {
+            assert_eq!((a.u, a.v, a.w), (b.u, b.v, b.w));
+        }
+        for v in 0..5 {
+            assert_eq!(incremental.neighbors(v), built.neighbors(v), "node {v}");
+        }
+    }
+
+    #[test]
+    fn add_edge_after_build_keeps_csr_consistent() {
+        let mut g = Graph::from_edges(4, [(0, 1, 1.0), (2, 3, 1.0)]).unwrap();
+        g.add_edge(1, 2, 5.0).unwrap();
+        g.add_edge(3, 0, 2.0).unwrap();
+        assert_eq!(g.num_edges(), 4);
+        assert_eq!(g.neighbors(0), &[(1, 1.0), (3, 2.0)]);
+        assert_eq!(g.neighbors(1), &[(0, 1.0), (2, 5.0)]);
+        assert_eq!(g.neighbors(2), &[(1, 5.0), (3, 1.0)]);
+        assert_eq!(g.neighbors(3), &[(0, 2.0), (2, 1.0)]);
+        assert_eq!(g.edge_weight(3, 0), Some(2.0));
+    }
+
+    #[test]
+    fn builder_capacity_hint_preallocates() {
+        let mut b = GraphBuilder::with_capacity(10, 64);
+        b.add_edge(0, 1, 1.0).unwrap();
+        let g = b.finalize().unwrap();
+        assert_eq!(g.num_edges(), 1);
+        // capacity-based accounting includes the hint's slack
+        assert!(g.memory_bytes() >= 64 * std::mem::size_of::<Edge>());
+    }
+
+    #[test]
+    fn memory_bytes_tracks_the_three_arrays() {
+        let g = triangle();
+        let expected = g.edges().len() * 16 // Edge
+            + 4 * 8 // offsets: n + 1 usizes
+            + 2 * g.num_edges() * 16; // adj pairs
+                                      // capacities may exceed lengths; the floor is the exact layout
+        assert!(g.memory_bytes() >= expected);
+        // an edgeless graph still owns its offset array
+        assert!(Graph::new(100).memory_bytes() >= 101 * 8);
+    }
+
+    #[test]
+    fn duplicate_on_a_hub_is_found_by_binary_search() {
+        // star-shaped hub: the duplicate check must not degrade to a
+        // linear scan (pinned here only behaviorally — the complexity
+        // claim lives in the binary search over the sorted slice)
+        let mut g = Graph::new(1000);
+        for v in 1..1000 {
+            g.add_edge(0, v, 1.0).unwrap();
+        }
+        assert_eq!(g.add_edge(517, 0, 1.0), Err(GraphError::DuplicateEdge { u: 0, v: 517 }));
+        assert_eq!(g.degree(0), 999);
     }
 }

@@ -35,7 +35,7 @@ pub mod solver;
 
 pub use auto::{AutoScore, InstanceProbe};
 pub use cut::Cut;
-pub use graph::{Edge, Graph, GraphError, NodeId};
+pub use graph::{Edge, Graph, GraphBuilder, GraphError, NodeId};
 pub use modularity::{greedy_modularity_communities, modularity};
 pub use partition::{
     boundary_nodes, extract_subgraphs, inter_weight_fraction, partition_with_cap, Partition,

@@ -19,7 +19,7 @@ pub const MAX_QUBITS: usize = 30;
 /// chunk, so small states pay no pool overhead). The value is a constant
 /// — never derived from the worker count — which keeps chunk boundaries,
 /// and therefore every floating-point reduction in the suite,
-/// bit-identical at any `RAYON_NUM_THREADS` (DESIGN.md §8).
+/// bit-identical at any `RAYON_NUM_THREADS` (DESIGN.md §10).
 const PAR_GRAIN: usize = 1 << 14;
 
 /// A flat `2^n`-amplitude statevector.

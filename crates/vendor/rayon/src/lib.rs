@@ -40,7 +40,7 @@
 //! tree** makes float reductions run-to-run nondeterministic — here
 //! stealing moves whole pre-split chunks and never re-splits them, so
 //! the reduction tree is fixed even though the schedule is dynamic; the
-//! suite's reproducibility guarantees (DESIGN.md §8) rely on that
+//! suite's reproducibility guarantees (DESIGN.md §10) rely on that
 //! contract.
 //!
 //! `enumerate`/`zip` are restricted to index-preserving chains

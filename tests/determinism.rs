@@ -2,7 +2,7 @@
 //!
 //! The vendored rayon promises bit-identical floating-point results at
 //! any `RAYON_NUM_THREADS` (fixed power-of-two split tree; see
-//! `crates/vendor/rayon/src/lib.rs` and DESIGN.md §8). This suite holds
+//! `crates/vendor/rayon/src/lib.rs` and DESIGN.md §10). This suite holds
 //! it to that: a battery spanning the simulator (flat + blocked), the
 //! QAOA landscape evaluation, the full QAOA² driver in `Threads` mode
 //! (including one end-to-end run per partition strategy with
@@ -232,6 +232,7 @@ fn battery_digest() -> u64 {
             d.label(&level.strategy_requested);
             d.label(&level.strategy_effective);
             d.word(level.stall_fallback as u64);
+            d.word(level.size_gated as u64);
             d.f64(level.inter_weight_fraction);
             d.f64(level.balance);
         }

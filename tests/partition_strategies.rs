@@ -193,7 +193,7 @@ fn stall_fallback_is_attributed_in_level_stats() {
 }
 
 /// Splitmix-style seed derivation, copied verbatim from the orchestrator
-/// spec (DESIGN.md §8): the pin below re-implements the pre-refactor
+/// spec (DESIGN.md §10): the pin below re-implements the pre-refactor
 /// pipeline and must derive identical per-(level, index) seeds.
 fn mix_seed(seed: u64, level: u64, index: u64) -> u64 {
     let mut z = seed ^ (level.wrapping_mul(0x9e37_79b9_7f4a_7c15)) ^ (index << 17);

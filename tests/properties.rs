@@ -119,6 +119,16 @@ fn generator_zoo(rng: &mut StdRng) -> Vec<Graph> {
         generators::star(rng.gen_range(2usize..20)),
         with_isolated_nodes(rng),
         Graph::new(rng.gen_range(1usize..6)), // fully edgeless
+        // the large-path generators at test scale: geometric-skip ER,
+        // preferential-attachment hubs, bipartite lattice
+        generators::erdos_renyi_fast(
+            rng.gen_range(10usize..60),
+            0.02 + rng.gen::<f64>() * 0.3,
+            generators::WeightKind::Random01,
+            rng.gen(),
+        ),
+        generators::barabasi_albert(rng.gen_range(6usize..40), rng.gen_range(1usize..4), rng.gen()),
+        generators::grid_2d(rng.gen_range(1usize..7), rng.gen_range(1usize..7)),
     ]
 }
 
@@ -383,5 +393,77 @@ fn communicator_reduce_matches_sequential_fold() {
             comm.reduce(0, v, |a, b| a + b)
         });
         assert_eq!(outs[0], Some(expected), "case {case}");
+    }
+}
+
+/// Independent reference adjacency: Vec-of-Vecs accumulated straight
+/// from the edge list, per-node sorted by neighbor id — the layout the
+/// CSR arrays must reproduce exactly, built without touching any CSR
+/// code path.
+fn reference_adjacency(g: &Graph) -> Vec<Vec<(u32, f64)>> {
+    let mut adj: Vec<Vec<(u32, f64)>> = vec![Vec::new(); g.num_nodes()];
+    for e in g.edges() {
+        adj[e.u as usize].push((e.v, e.w));
+        adj[e.v as usize].push((e.u, e.w));
+    }
+    for list in &mut adj {
+        list.sort_by_key(|&(u, _)| u);
+    }
+    adj
+}
+
+#[test]
+fn csr_adjacency_matches_reference_build_over_the_zoo() {
+    // every generator family: the CSR neighbor slices, degrees, and
+    // edge lookups must agree bit-for-bit with the reference build
+    for case in 0..16 {
+        let mut rng = case_rng(21, case);
+        for g in generator_zoo(&mut rng) {
+            let reference = reference_adjacency(&g);
+            let mut degree_sum = 0usize;
+            for v in 0..g.num_nodes() as u32 {
+                assert_eq!(
+                    g.neighbors(v),
+                    reference[v as usize].as_slice(),
+                    "case {case} node {v}"
+                );
+                assert_eq!(g.degree(v), reference[v as usize].len(), "case {case} node {v}");
+                degree_sum += g.degree(v);
+            }
+            assert_eq!(degree_sum, 2 * g.num_edges(), "case {case}: handshake identity");
+            for e in g.edges() {
+                assert!(e.u < e.v, "case {case}: canonical orientation");
+                assert_eq!(g.edge_weight(e.u, e.v), Some(e.w), "case {case}");
+                assert_eq!(g.edge_weight(e.v, e.u), Some(e.w), "case {case}");
+            }
+        }
+    }
+}
+
+#[test]
+fn builder_and_incremental_builds_agree_end_to_end() {
+    // the same edge stream through GraphBuilder::finalize and through
+    // the compat Graph::add_edge must yield identical graphs and
+    // bit-identical downstream cuts
+    for case in 0..16 {
+        let mut rng = case_rng(22, case);
+        for g in generator_zoo(&mut rng) {
+            let mut incremental = Graph::new(g.num_nodes());
+            for e in g.edges() {
+                incremental.add_edge(e.u, e.v, e.w).unwrap();
+            }
+            assert_eq!(g.num_edges(), incremental.num_edges(), "case {case}");
+            for v in 0..g.num_nodes() as u32 {
+                assert_eq!(g.neighbors(v), incremental.neighbors(v), "case {case} node {v}");
+            }
+            let a = one_exchange(&g, 7 + case);
+            let b = one_exchange(&incremental, 7 + case);
+            assert_eq!(
+                a.value.to_bits(),
+                b.value.to_bits(),
+                "case {case}: cut values must be bit-identical"
+            );
+            assert_eq!(a.cut, b.cut, "case {case}: cut assignments must match");
+        }
     }
 }
