@@ -1,25 +1,31 @@
-//! Million-node divide-path benchmark: streaming ingestion + CSR build
-//! + size-gated `Auto` divide, with peak-memory accounting.
+//! Million-node divide-path benchmark: streaming ingestion, parallel
+//! CSR build, and the size-gated `Auto` divide, with peak-memory
+//! accounting and thread-scaling attribution.
 //!
 //! For each (family, n) the harness generates a graph (geometric-skip
 //! Erdős–Rényi at mean degree 8, Barabási–Albert at attach 4, square
 //! 2-D grid), writes it to a Gset file on disk, streams it back through
 //! the single-pass reader, and runs `strategy::divide` with the `Auto`
-//! strategy — the end-to-end large-instance path. Records
-//! `BENCH_large.json` at the repo root: read wall, divide wall, CSR
-//! bytes per edge endpoint, peak RSS (`VmHWM` from `/proc/self/status`),
-//! and the gate attribution.
+//! strategy twice — once pinned to one thread via
+//! `rayon::sequential_scope` and once on the configured pool — asserting
+//! the two partitions are identical (the repo's bit-identical
+//! invariant) and recording both walls plus the pool's steal count.
+//! Records `BENCH_large.json` at the repo root: per-phase walls (read,
+//! probe, divide ×2), CSR bytes per edge endpoint, steal counts, peak
+//! RSS (`VmHWM` from `/proc/self/status`), and the gate attribution.
 //!
 //! Default sizes are the CI smoke leg (n = 10⁵). Override with
-//! `QQ_LARGE_SIZES="100000 1000000"`; the 10⁷ leg is opt-in the same
-//! way. `QQ_LARGE_CAP` overrides the community cap (default 4096).
+//! `QQ_LARGE_SIZES="100000 1000000"`; the 10⁷ power-law leg is opt-in
+//! the same way and additionally asserts the peak-RSS ceiling
+//! (`QQ_LARGE_RSS_CEILING_KB`, default 12 GiB). `QQ_LARGE_CAP`
+//! overrides the community cap (default 4096).
 //!
 //! Not a criterion harness: one process writes one JSON artifact.
 //! Run with `cargo bench --bench large_divide`.
 
 use qq_core::{strategy, PartitionStrategy, RefineConfig};
 use qq_graph::generators::{self, WeightKind};
-use qq_graph::{io, Graph};
+use qq_graph::{auto, io, Graph};
 use std::fmt::Write as _;
 use std::io::BufReader;
 use std::time::Instant;
@@ -29,7 +35,10 @@ struct Row {
     n: usize,
     m: usize,
     read_ns: u128,
+    probe_ns: u128,
+    divide_1t_ns: u128,
     divide_ns: u128,
+    steals: u64,
     bytes_per_endpoint: f64,
     effective: String,
     size_gated: bool,
@@ -74,11 +83,22 @@ fn main() {
         .unwrap_or_else(|_| "4096".into())
         .parse()
         .expect("QQ_LARGE_CAP is an integer");
+    let rss_ceiling_kb: u64 = std::env::var("QQ_LARGE_RSS_CEILING_KB")
+        .unwrap_or_else(|_| "12582912".into())
+        .parse()
+        .expect("QQ_LARGE_RSS_CEILING_KB is an integer");
     let tmp = std::env::temp_dir().join("qq_large_divide.gset");
 
     let mut rows = Vec::new();
     for &n in &sizes {
-        for family in ["erdos_renyi", "barabasi_albert", "grid_2d"] {
+        // the 10⁷ leg is the power-law family only: hubs are the shape
+        // that stresses the scatter balance and the snapshot sweeps
+        let families: &[&'static str] = if n >= 10_000_000 {
+            &["barabasi_albert"]
+        } else {
+            &["erdos_renyi", "barabasi_albert", "grid_2d"]
+        };
+        for &family in families {
             let g = generate(family, n);
             let gen_n = g.num_nodes(); // grid rounds n to a square
             let m = g.num_edges();
@@ -88,7 +108,8 @@ fn main() {
             }
             drop(g);
 
-            // streamed single-pass ingest: disk → CSR
+            // streamed single-pass ingest: disk → CSR (the parallel
+            // finalize runs inside this wall)
             let t = Instant::now();
             let file = std::fs::File::open(&tmp).expect("open temp gset file");
             let g = io::read_gset(BufReader::new(file)).expect("read gset");
@@ -99,18 +120,46 @@ fn main() {
             let bytes_per_endpoint =
                 if m == 0 { 0.0 } else { g.memory_bytes() as f64 / (2 * m) as f64 };
 
+            // instance probe as its own phase (the chunk-ordered
+            // parallel weight reduction)
+            let t = Instant::now();
+            let probe = auto::probe(&g);
+            let probe_ns = t.elapsed().as_nanos();
+
+            // 1-thread reference leg: the exact same divide forced
+            // inline through `sequential_scope` — an honest in-process
+            // single-thread wall whatever `RAYON_NUM_THREADS` says
+            let t = Instant::now();
+            let outcome_1t = rayon::sequential_scope(|| {
+                strategy::divide(&g, cap, &PartitionStrategy::Auto, 0, &RefineConfig::default(), 7)
+                    .expect("divide succeeds")
+            });
+            let divide_1t_ns = t.elapsed().as_nanos();
+
+            // pooled leg, with the work-stealing delta attributed
+            let steals_before = rayon::steal_count();
             let t = Instant::now();
             let outcome =
                 strategy::divide(&g, cap, &PartitionStrategy::Auto, 0, &RefineConfig::default(), 7)
                     .expect("divide succeeds");
             let divide_ns = t.elapsed().as_nanos();
+            let steals = rayon::steal_count() - steals_before;
+
+            // the signature invariant, enforced in-bench: pooled and
+            // single-thread divides are bit-identical
+            assert_eq!(outcome_1t.partition, outcome.partition, "{family} n={n}: divide drifted");
+            assert_eq!(outcome_1t.effective, outcome.effective);
+            assert_eq!(probe.is_large(), outcome.size_gated);
 
             rows.push(Row {
                 family,
                 n: g.num_nodes(),
                 m,
                 read_ns,
+                probe_ns,
+                divide_1t_ns,
                 divide_ns,
+                steals,
                 bytes_per_endpoint,
                 effective: outcome.effective.clone(),
                 size_gated: outcome.size_gated,
@@ -118,14 +167,27 @@ fn main() {
                 peak_rss_kb: peak_rss_kb(),
             });
             println!(
-                "{family:<16} n={n:<9} m={m:<9} read={:>8.3} s divide={:>8.3} s \
-                 B/endpoint={:>5.1} gated={} effective={} communities={}",
+                "{family:<16} n={n:<9} m={m:<9} read={:>8.3} s divide(1t)={:>8.3} s \
+                 divide={:>8.3} s steals={} B/endpoint={:>5.1} gated={} effective={} \
+                 communities={}",
                 read_ns as f64 / 1e9,
+                divide_1t_ns as f64 / 1e9,
                 divide_ns as f64 / 1e9,
+                steals,
                 bytes_per_endpoint,
                 outcome.size_gated,
                 outcome.effective,
                 outcome.communities_after_refine,
+            );
+        }
+        // the opt-in 10⁷ leg doubles as the memory-regression fence:
+        // the whole process (graph + transients) must stay under the
+        // ceiling, or the CSR path has grown a hidden copy
+        if n >= 10_000_000 {
+            let peak = peak_rss_kb();
+            assert!(
+                peak < rss_ceiling_kb,
+                "peak RSS {peak} kB exceeds the {rss_ceiling_kb} kB ceiling at n = {n}"
             );
         }
     }
@@ -134,20 +196,30 @@ fn main() {
     let mut json = String::from("{\n  \"bench\": \"large_divide\",\n");
     let _ = writeln!(json, "  \"cap\": {cap},");
     let _ = writeln!(json, "  \"host_threads\": {},", rayon::current_num_threads());
+    let _ = writeln!(
+        json,
+        "  \"host_cpus\": {},",
+        std::thread::available_parallelism().map(usize::from).unwrap_or(1)
+    );
     json.push_str("  \"results\": [\n");
     for (i, r) in rows.iter().enumerate() {
         let _ = write!(
             json,
             "    {{\"family\": \"{}\", \"n\": {}, \"m\": {}, \"read_ns\": {}, \
-             \"divide_ns\": {}, \"divide_s\": {:.3}, \"bytes_per_edge_endpoint\": {:.2}, \
+             \"probe_ns\": {}, \"divide_1t_ns\": {}, \"divide_ns\": {}, \"divide_s\": {:.3}, \
+             \"speedup_vs_1t\": {:.3}, \"steals\": {}, \"bytes_per_edge_endpoint\": {:.2}, \
              \"effective\": \"{}\", \"size_gated\": {}, \"communities\": {}, \
              \"peak_rss_kb\": {}}}",
             r.family,
             r.n,
             r.m,
             r.read_ns,
+            r.probe_ns,
+            r.divide_1t_ns,
             r.divide_ns,
             r.divide_ns as f64 / 1e9,
+            if r.divide_ns == 0 { 1.0 } else { r.divide_1t_ns as f64 / r.divide_ns as f64 },
+            r.steals,
             r.bytes_per_endpoint,
             r.effective,
             r.size_gated,

@@ -131,6 +131,12 @@ pub struct LevelStats {
     pub solve_wall: Duration,
     /// Nodes of the resulting coarse graph.
     pub coarse_nodes: usize,
+    /// Worker threads the shared pool was configured with while this
+    /// level ran (`RAYON_NUM_THREADS` resolution) — attribution for the
+    /// parallel divide and fused solve walls. Never fold this into a
+    /// determinism digest: it names the execution environment, which
+    /// the digest must be invariant to.
+    pub pool_threads: usize,
 }
 
 /// QAOA² outcome.
@@ -258,6 +264,7 @@ fn solve_level(
         communities_after_refine: divided.communities_after_refine,
         solve_wall,
         coarse_nodes: coarse.num_nodes(),
+        pool_threads: rayon::current_num_threads(),
     });
 
     // Recurse on the coarse graph (it has `num_subgraphs` nodes, which is
@@ -419,6 +426,32 @@ mod tests {
         let a = solve(&g, &fast_cfg(9)).unwrap();
         let b = solve(&g, &fast_cfg(9)).unwrap();
         assert_eq!(a.cut, b.cut);
+    }
+
+    #[test]
+    fn size_gate_relaxes_per_level() {
+        // Auto re-probes at every recursion level: the 52k-node ring
+        // crosses the large-instance gate at level 0, but its coarse
+        // merge graph (one node per community) is hundreds of nodes, so
+        // every deeper level probes below the gate and gets the full
+        // portfolio + classical lookahead back. The per-level LevelStats
+        // attribution is the observable contract.
+        let g = generators::ring(52_000);
+        let cfg = Qaoa2Config { partition: PartitionStrategy::Auto, ..fast_cfg(200) };
+        let res = solve(&g, &cfg).unwrap();
+        assert!(res.levels.len() >= 2, "ring/cap-200 must recurse: {} levels", res.levels.len());
+        assert!(res.levels[0].size_gated, "52k nodes must attribute the gate at level 0");
+        for level in &res.levels[1..] {
+            assert!(
+                !level.size_gated,
+                "coarse level of {} nodes re-probes below the gate",
+                level.graph_nodes
+            );
+        }
+        // thread-count attribution rides along on every level
+        for level in &res.levels {
+            assert_eq!(level.pool_threads, rayon::current_num_threads());
+        }
     }
 
     #[test]

@@ -574,6 +574,13 @@ fn divide_auto(
 /// partition memo is bypassed (fingerprinting is an `O(m)` scan per
 /// probe and the memo would clone million-entry partitions). The gate
 /// is attributed in [`DivideOutcome::size_gated`].
+///
+/// The probe runs per **call** — and the pipeline calls [`divide`] once
+/// per recursion level — so gating is per level, not per solve: a
+/// million-node level 0 takes the `O(m)` path while its coarse merge
+/// graphs, orders of magnitude smaller, re-probe below the gate and get
+/// the full portfolio and the classical lookahead back. Each level's
+/// `LevelStats::size_gated` records which way its probe went.
 fn divide_auto_budgeted(
     g: &Graph,
     cap: usize,

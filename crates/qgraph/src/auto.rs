@@ -86,16 +86,29 @@ const POSITIVE_FRACTION_FLOOR: f64 = 0.75;
 const DENSE_DENSITY: f64 = 0.4;
 
 /// Summarize `g` for candidate gating.
+///
+/// The weight scan is a chunk-ordered parallel reduction on the worker
+/// pool: per-chunk `(positive, total)` partials accumulate in edge
+/// order and combine in chunk order. Chunk boundaries depend only on
+/// the edge count (vendored rayon's fixed split tree), so the
+/// fraction's bits are identical at any `RAYON_NUM_THREADS`.
 pub fn probe(g: &Graph) -> InstanceProbe {
-    let mut positive = 0.0f64;
-    let mut total = 0.0f64;
-    for e in g.edges() {
-        let a = e.w.abs();
-        total += a;
-        if e.w > 0.0 {
-            positive += a;
-        }
-    }
+    use rayon::prelude::*;
+    let (positive, total) = g
+        .edges()
+        .par_chunks(rayon::DEFAULT_GRAIN)
+        .map(|chunk| {
+            let (mut positive, mut total) = (0.0f64, 0.0f64);
+            for e in chunk {
+                let a = e.w.abs();
+                total += a;
+                if e.w > 0.0 {
+                    positive += a;
+                }
+            }
+            (positive, total)
+        })
+        .reduce(|| (0.0, 0.0), |a, b| (a.0 + b.0, a.1 + b.1));
     InstanceProbe {
         nodes: g.num_nodes(),
         edges: g.num_edges(),

@@ -154,8 +154,19 @@ impl GraphBuilder {
     /// duplicate unordered pairs (adjacent after the sort). `O(m log d)`
     /// overall for maximum degree `d`; edge insertion order is preserved
     /// in [`Graph::edges`].
+    ///
+    /// Above [`PAR_FINALIZE_MIN_EDGES`] the degree count, endpoint
+    /// scatter, and per-slice sorts run on the worker pool in
+    /// [`PAR_FINALIZE_RANGES`] fixed chunks. Chunk layout depends only on
+    /// the input size — never the thread count — and the two paths write
+    /// identical bytes (scatter order within a node's slice is erased by
+    /// the sort), so which path runs is invisible to callers and to the
+    /// determinism digest.
     pub fn finalize(self) -> crate::Result<Graph> {
         let GraphBuilder { num_nodes, edges } = self;
+        if edges.len() >= PAR_FINALIZE_MIN_EDGES {
+            return finalize_parallel(num_nodes, edges);
+        }
         let mut offsets = vec![0usize; num_nodes + 1];
         for e in &edges {
             offsets[e.u as usize + 1] += 1;
@@ -183,6 +194,126 @@ impl GraphBuilder {
         }
         Ok(Graph { num_nodes, edges, offsets, adj })
     }
+}
+
+/// Edge count above which [`GraphBuilder::finalize`] assembles the CSR
+/// arrays on the worker pool. A pure size gate (never thread-count
+/// dependent) chosen so the 10⁵-node bench smoke leg already exercises
+/// the parallel path while unit-test graphs skip its setup cost.
+pub const PAR_FINALIZE_MIN_EDGES: usize = 1 << 16;
+
+/// Fixed fan-out of the parallel finalize: the edge list is cut into this
+/// many histogram chunks and the node space into this many contiguous
+/// ranges. A constant keeps chunk boundaries identical at any
+/// `RAYON_NUM_THREADS`, and bounds the transient per-chunk degree
+/// histograms to `PAR_FINALIZE_RANGES × 4(n+1)` bytes.
+const PAR_FINALIZE_RANGES: usize = 8;
+
+/// Pool-parallel CSR assembly. Three phases:
+///
+/// 1. **Degree count** — per-chunk `u32` histograms over fixed edge
+///    chunks, summed element-wise in chunk order (integer adds, so the
+///    result equals the sequential count exactly).
+/// 2. **Scatter + sort** — the node space is split at offset boundaries
+///    into contiguous ranges of roughly equal endpoint count; each range
+///    owns a disjoint `&mut` sub-slice of `adj` (no locks, no unsafe),
+///    scans the full edge list, scatters the endpoints that land in its
+///    range, then sorts each node slice by neighbor id. Scanning `m`
+///    edges per range costs `PAR_FINALIZE_RANGES × m` reads total, but
+///    the skipped-endpoint test is two compares while the writes — the
+///    cache-missing part — stay partitioned and local.
+/// 3. **Duplicate check** — each range reports its first duplicate in
+///    ascending node order; taking the first report in range order
+///    reproduces the sequential path's error exactly.
+fn finalize_parallel(num_nodes: usize, edges: Vec<Edge>) -> crate::Result<Graph> {
+    use rayon::prelude::*;
+
+    let hist_chunk = edges.len().div_ceil(PAR_FINALIZE_RANGES).max(1);
+    let counts = edges
+        .par_chunks(hist_chunk)
+        .map(|chunk| {
+            let mut counts = vec![0u32; num_nodes + 1];
+            for e in chunk {
+                counts[e.u as usize + 1] += 1;
+                counts[e.v as usize + 1] += 1;
+            }
+            counts
+        })
+        .reduce(
+            || vec![0u32; num_nodes + 1],
+            |mut acc, part| {
+                for (a, p) in acc.iter_mut().zip(&part) {
+                    *a += *p;
+                }
+                acc
+            },
+        );
+    let mut offsets = vec![0usize; num_nodes + 1];
+    for i in 0..num_nodes {
+        offsets[i + 1] = offsets[i] + counts[i + 1] as usize;
+    }
+    drop(counts);
+
+    // Node-range boundaries balanced by endpoint count, derived from the
+    // offsets alone (deterministic). Monotone by construction.
+    let total = 2 * edges.len();
+    let mut bounds = Vec::with_capacity(PAR_FINALIZE_RANGES + 1);
+    bounds.push(0usize);
+    for i in 1..PAR_FINALIZE_RANGES {
+        let target = total * i / PAR_FINALIZE_RANGES;
+        let node = offsets.partition_point(|&o| o < target).min(num_nodes);
+        bounds.push(node.max(*bounds.last().unwrap_or(&0)));
+    }
+    bounds.push(num_nodes);
+
+    // (lo, hi, the disjoint &mut adj sub-slice covering those nodes)
+    type ScatterTask<'a> = (usize, usize, &'a mut [(NodeId, f64)]);
+    let mut adj = vec![(0 as NodeId, 0.0f64); total];
+    let mut tasks: Vec<ScatterTask> = Vec::with_capacity(PAR_FINALIZE_RANGES);
+    let mut rest: &mut [(NodeId, f64)] = &mut adj;
+    for pair in bounds.windows(2) {
+        let (lo, hi) = (pair[0], pair[1]);
+        let (head, tail) = std::mem::take(&mut rest).split_at_mut(offsets[hi] - offsets[lo]);
+        rest = tail;
+        tasks.push((lo, hi, head));
+    }
+
+    let first_dup = tasks
+        .into_par_iter()
+        .with_min_len(1)
+        .map(|(lo, hi, slice)| {
+            let base = offsets[lo];
+            let mut cursor: Vec<usize> = offsets[lo..hi].to_vec();
+            for e in &edges {
+                let (u, v) = (e.u as usize, e.v as usize);
+                if u >= lo && u < hi {
+                    slice[cursor[u - lo] - base] = (e.v, e.w);
+                    cursor[u - lo] += 1;
+                }
+                if v >= lo && v < hi {
+                    slice[cursor[v - lo] - base] = (e.u, e.w);
+                    cursor[v - lo] += 1;
+                }
+            }
+            for node in lo..hi {
+                let s = &mut slice[offsets[node] - base..offsets[node + 1] - base];
+                s.sort_unstable_by_key(|&(u, _)| u);
+                if let Some(pair) = s.windows(2).find(|p| p[0].0 == p[1].0) {
+                    let other = pair[0].0;
+                    let node = node as NodeId;
+                    return Some((node.min(other), node.max(other)));
+                }
+            }
+            None
+        })
+        .collect::<Vec<_>>()
+        .into_iter()
+        .flatten()
+        .next();
+    if let Some((u, v)) = first_dup {
+        return Err(GraphError::DuplicateEdge { u, v });
+    }
+    Ok(Graph { num_nodes, edges, offsets, adj })
 }
 
 /// A weighted undirected graph with `0..n` contiguous node ids on CSR

@@ -184,16 +184,28 @@ impl Subgraph {
 /// guaranteed finite — it is folded into the cross-process determinism
 /// digest, where a NaN from a `0/0` would silently poison every
 /// comparison downstream.
+///
+/// Computed as a chunk-ordered parallel reduction over the edge list
+/// (per-chunk `(inter, total)` partials combined in chunk order), so the
+/// folded bits are identical at any `RAYON_NUM_THREADS` — this also
+/// parallelizes the structural `AutoScore` ranking built on top of it.
 pub fn inter_weight_fraction(g: &Graph, partition: &Partition) -> f64 {
+    use rayon::prelude::*;
     let assignment = partition.assignment();
-    let mut inter = 0.0;
-    let mut total = 0.0;
-    for e in g.edges() {
-        total += e.w.abs();
-        if assignment[e.u as usize] != assignment[e.v as usize] {
-            inter += e.w.abs();
-        }
-    }
+    let (inter, total) = g
+        .edges()
+        .par_chunks(rayon::DEFAULT_GRAIN)
+        .map(|chunk| {
+            let (mut inter, mut total) = (0.0f64, 0.0f64);
+            for e in chunk {
+                total += e.w.abs();
+                if assignment[e.u as usize] != assignment[e.v as usize] {
+                    inter += e.w.abs();
+                }
+            }
+            (inter, total)
+        })
+        .reduce(|| (0.0, 0.0), |a, b| (a.0 + b.0, a.1 + b.1));
     if total == 0.0 {
         return 0.0;
     }

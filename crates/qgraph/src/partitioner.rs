@@ -264,37 +264,97 @@ impl Partitioner for Multilevel {
         let mut coarse = g.clone();
         loop {
             let k = coarse.num_nodes();
-            // heaviest admissible matching, greedy in super-node order:
-            // deterministic and one linear scan per round
+            let large_round = k > crate::auto::LARGE_INSTANCE_NODES;
             let mut matched = vec![false; k];
             let mut merge_into = vec![u32::MAX; k];
             let mut merges = 0usize;
-            for u in 0..k as NodeId {
-                if matched[u as usize] {
-                    continue;
-                }
-                let mut best: Option<(f64, NodeId)> = None;
-                for &(v, w) in coarse.neighbors(u) {
-                    if matched[v as usize]
-                        || w <= 0.0
-                        || members[u as usize].len() + members[v as usize].len() > cap
-                    {
+            if large_round {
+                // Two-phase matching above the large-instance gate:
+                // score every super-node's heaviest admissible neighbor
+                // in parallel against the *frozen* pre-round state
+                // (member sizes only change at contraction), with the
+                // same (weight, id)-lexicographic tie-break as the
+                // sequential scan, then commit pairs sequentially in
+                // ascending super-node order. Unlike the in-place
+                // greedy, scoring never sees this round's earlier
+                // matches, so a node whose best partner gets claimed
+                // stays single until the next round — fewer merges per
+                // round, identical bits at any thread count. Once the
+                // coarse graph shrinks below the gate, rounds return to
+                // the exact sequential greedy.
+                use rayon::prelude::*;
+                let members_ref = &members;
+                let coarse_ref = &coarse;
+                let best: Vec<Option<(f64, NodeId)>> = node_ranges(k)
+                    .into_par_iter()
+                    .with_min_len(1)
+                    .map(|r| {
+                        r.map(|u| {
+                            let su = members_ref[u].len();
+                            let mut best: Option<(f64, NodeId)> = None;
+                            for &(v, w) in coarse_ref.neighbors(u as NodeId) {
+                                if w <= 0.0 || su + members_ref[v as usize].len() > cap {
+                                    continue;
+                                }
+                                let better = match best {
+                                    None => true,
+                                    Some((bw, bv)) => w > bw || (w == bw && v < bv),
+                                };
+                                if better {
+                                    best = Some((w, v));
+                                }
+                            }
+                            best
+                        })
+                        .collect::<Vec<_>>()
+                    })
+                    .collect::<Vec<_>>()
+                    .into_iter()
+                    .flatten()
+                    .collect();
+                for u in 0..k {
+                    if matched[u] {
                         continue;
                     }
-                    let better = match best {
-                        None => true,
-                        // heaviest edge wins; ties break to the smaller id
-                        Some((bw, bv)) => w > bw || (w == bw && v < bv),
-                    };
-                    if better {
-                        best = Some((w, v));
+                    if let Some((_, v)) = best[u] {
+                        if !matched[v as usize] {
+                            matched[u] = true;
+                            matched[v as usize] = true;
+                            merge_into[v as usize] = u as u32;
+                            merges += 1;
+                        }
                     }
                 }
-                if let Some((_, v)) = best {
-                    matched[u as usize] = true;
-                    matched[v as usize] = true;
-                    merge_into[v as usize] = u;
-                    merges += 1;
+            } else {
+                // heaviest admissible matching, greedy in super-node
+                // order: deterministic and one linear scan per round
+                for u in 0..k as NodeId {
+                    if matched[u as usize] {
+                        continue;
+                    }
+                    let mut best: Option<(f64, NodeId)> = None;
+                    for &(v, w) in coarse.neighbors(u) {
+                        if matched[v as usize]
+                            || w <= 0.0
+                            || members[u as usize].len() + members[v as usize].len() > cap
+                        {
+                            continue;
+                        }
+                        let better = match best {
+                            None => true,
+                            // heaviest edge wins; ties break to the smaller id
+                            Some((bw, bv)) => w > bw || (w == bw && v < bv),
+                        };
+                        if better {
+                            best = Some((w, v));
+                        }
+                    }
+                    if let Some((_, v)) = best {
+                        matched[u as usize] = true;
+                        matched[v as usize] = true;
+                        merge_into[v as usize] = u;
+                        merges += 1;
+                    }
                 }
             }
             if merges == 0 {
@@ -328,31 +388,81 @@ impl Partitioner for Multilevel {
                 let target = if merge_into[u] == u32::MAX { u } else { merge_into[u] as usize };
                 new_members[new_id[target] as usize].append(m);
             }
-            for m in &mut new_members {
-                m.sort_unstable();
+            if large_round {
+                use rayon::prelude::*;
+                new_members.as_mut_slice().par_iter_mut().for_each(|m| m.sort_unstable());
+            } else {
+                for m in &mut new_members {
+                    m.sort_unstable();
+                }
             }
-            let mut weights: std::collections::HashMap<(u32, u32), f64> =
-                std::collections::HashMap::new();
-            for e in coarse.edges() {
-                let mut a = e.u as usize;
-                let mut b = e.v as usize;
-                if merge_into[a] != u32::MAX {
-                    a = merge_into[a] as usize;
+            let entries: Vec<((u32, u32), f64)> = if large_round {
+                // Parallel merge-graph accumulation: each fixed edge
+                // chunk relabels its edges, stable-sorts by contracted
+                // key (preserving edge order within a key), and
+                // run-accumulates locally; the chunk partials are then
+                // concatenated in chunk order, stable-sorted again (so
+                // equal keys keep chunk order), and run-accumulated.
+                // Every key's weight therefore sums in edge order with
+                // chunk partials combined in chunk order — the same
+                // bits at any thread count.
+                use rayon::prelude::*;
+                let merge_into_ref = &merge_into;
+                let new_id_ref = &new_id;
+                let mut all: Vec<((u32, u32), f64)> = coarse
+                    .edges()
+                    .par_chunks(rayon::DEFAULT_GRAIN)
+                    .map(|chunk| {
+                        let mut local: Vec<((u32, u32), f64)> = Vec::with_capacity(chunk.len());
+                        for e in chunk {
+                            let mut a = e.u as usize;
+                            let mut b = e.v as usize;
+                            if merge_into_ref[a] != u32::MAX {
+                                a = merge_into_ref[a] as usize;
+                            }
+                            if merge_into_ref[b] != u32::MAX {
+                                b = merge_into_ref[b] as usize;
+                            }
+                            let (a, b) = (new_id_ref[a], new_id_ref[b]);
+                            if a == b {
+                                continue; // contracted edge disappears
+                            }
+                            local.push((if a < b { (a, b) } else { (b, a) }, e.w));
+                        }
+                        local.sort_by_key(|&(key, _)| key);
+                        accumulate_sorted_runs(local)
+                    })
+                    .collect::<Vec<_>>()
+                    .into_iter()
+                    .flatten()
+                    .collect();
+                all.sort_by_key(|&(key, _)| key);
+                accumulate_sorted_runs(all)
+            } else {
+                let mut weights: std::collections::HashMap<(u32, u32), f64> =
+                    std::collections::HashMap::new();
+                for e in coarse.edges() {
+                    let mut a = e.u as usize;
+                    let mut b = e.v as usize;
+                    if merge_into[a] != u32::MAX {
+                        a = merge_into[a] as usize;
+                    }
+                    if merge_into[b] != u32::MAX {
+                        b = merge_into[b] as usize;
+                    }
+                    let (a, b) = (new_id[a], new_id[b]);
+                    if a == b {
+                        continue; // contracted edge disappears
+                    }
+                    let key = if a < b { (a, b) } else { (b, a) };
+                    *weights.entry(key).or_insert(0.0) += e.w;
                 }
-                if merge_into[b] != u32::MAX {
-                    b = merge_into[b] as usize;
-                }
-                let (a, b) = (new_id[a], new_id[b]);
-                if a == b {
-                    continue; // contracted edge disappears
-                }
-                let key = if a < b { (a, b) } else { (b, a) };
-                *weights.entry(key).or_insert(0.0) += e.w;
-            }
-            // DETERMINISM: accumulated weights leave the map through an
-            // explicit key sort before entering the builder.
-            let mut entries: Vec<((u32, u32), f64)> = weights.into_iter().collect();
-            entries.sort_by_key(|&(key, _)| key);
+                // DETERMINISM: accumulated weights leave the map through an
+                // explicit key sort before entering the builder.
+                let mut entries: Vec<((u32, u32), f64)> = weights.into_iter().collect();
+                entries.sort_by_key(|&(key, _)| key);
+                entries
+            };
             let mut builder =
                 crate::graph::GraphBuilder::with_capacity(next as usize, entries.len());
             for ((a, b), w) in entries {
@@ -406,6 +516,11 @@ impl Partitioner for LabelPropagation {
             return Err(PartitionError::InvalidCap);
         }
         let n = g.num_nodes();
+        if n > crate::auto::LARGE_INSTANCE_NODES
+            || g.num_edges() > crate::auto::LARGE_INSTANCE_EDGES
+        {
+            return label_propagation_snapshot(g, cap);
+        }
         let mut label: Vec<u32> = (0..n as u32).collect();
         let mut size: Vec<usize> = vec![1; n];
         // per-label absolute incident weight of the node under
@@ -455,14 +570,159 @@ impl Partitioner for LabelPropagation {
                 break;
             }
         }
-        let mut communities: Vec<Vec<NodeId>> = vec![Vec::new(); n];
-        for v in 0..n as NodeId {
-            communities[label[v as usize] as usize].push(v);
-        }
-        communities.retain(|c| !c.is_empty());
-        communities.sort_by(|x, y| y.len().cmp(&x.len()).then_with(|| x[0].cmp(&y[0])));
-        Ok(Partition::new(n, communities))
+        Ok(Partition::new(n, communities_from_labels(n, &label)))
     }
+}
+
+/// Synchronous two-phase label propagation for instances above the
+/// large-instance gate — the pool-parallel replacement for the in-place
+/// sweep, public (but hidden) so the property battery can pin its
+/// parallel-vs-sequential bit-identity on small zoo graphs too.
+///
+/// Each sweep runs in two phases:
+///
+/// 1. **Score (parallel).** Every node evaluates its neighbors' pulls
+///    against a *frozen* snapshot of the labels and community sizes from
+///    the start of the sweep. Per-node pulls accumulate over the
+///    neighbor list stable-sorted by label, and the winning proposal
+///    uses the same tolerance and smaller-label-id tie-break as the
+///    sequential sweep. Fixed node-range chunks make the evaluation
+///    order — and the pull bits — independent of the thread count.
+/// 2. **Apply (sequential).** Proposals commit in ascending node order
+///    against *live* community sizes, so the cap can never be
+///    overshot by two nodes proposing the same target. A proposal whose
+///    target filled up this sweep is simply dropped (the node retries
+///    next sweep).
+///
+/// The apply phase stays sequential because cap accounting is a running
+/// balance: committing in parallel would either need atomics (whose
+/// winner depends on scheduling — a determinism leak) or per-label
+/// reservation queues (a second full sort per sweep). An O(n) ordered
+/// scan is cheaper than either and is not the bottleneck — scoring is.
+///
+/// Unlike the in-place sweep, a node's pull never sees labels adopted
+/// earlier in the *same* sweep, so convergence takes a sweep or two
+/// longer and communities can differ from the sequential path's — which
+/// is why the small-instance path keeps the original sweep bit-identical
+/// to previous releases, and this variant only engages above the gate.
+#[doc(hidden)]
+pub fn label_propagation_snapshot(g: &Graph, cap: usize) -> Result<Partition, PartitionError> {
+    use rayon::prelude::*;
+    if cap == 0 {
+        return Err(PartitionError::InvalidCap);
+    }
+    let n = g.num_nodes();
+    let mut label: Vec<u32> = (0..n as u32).collect();
+    let mut size: Vec<usize> = vec![1; n];
+    for _ in 0..LABEL_PROP_MAX_SWEEPS {
+        let label_ref = &label;
+        let size_ref = &size;
+        let proposals: Vec<Option<u32>> = node_ranges(n)
+            .into_par_iter()
+            .with_min_len(1)
+            .map(|r| {
+                // one scratch buffer per fixed node range, reused
+                // across the range's nodes
+                let mut buf: Vec<(u32, f64)> = Vec::new();
+                r.map(|v| {
+                    let home = label_ref[v];
+                    buf.clear();
+                    for &(u, w) in g.neighbors(v as NodeId) {
+                        buf.push((label_ref[u as usize], w.abs()));
+                    }
+                    buf.sort_by_key(|&(c, _)| c);
+                    let mut home_pull = 0.0f64;
+                    let mut best: Option<(f64, u32)> = None;
+                    let mut i = 0;
+                    while i < buf.len() {
+                        let c = buf[i].0;
+                        let mut pull = 0.0f64;
+                        while i < buf.len() && buf[i].0 == c {
+                            pull += buf[i].1;
+                            i += 1;
+                        }
+                        if c == home {
+                            home_pull = pull;
+                        } else if size_ref[c as usize] < cap {
+                            let better = match best {
+                                None => true,
+                                Some((ba, bc)) => {
+                                    pull > ba + 1e-12 || (pull >= ba - 1e-12 && c < bc)
+                                }
+                            };
+                            if better {
+                                best = Some((pull, c));
+                            }
+                        }
+                    }
+                    match best {
+                        Some((pull, c)) if pull > home_pull + 1e-12 => Some(c),
+                        _ => None,
+                    }
+                })
+                .collect::<Vec<_>>()
+            })
+            .collect::<Vec<_>>()
+            .into_iter()
+            .flatten()
+            .collect();
+        let mut changed = false;
+        for (v, proposal) in proposals.into_iter().enumerate() {
+            if let Some(c) = proposal {
+                if size[c as usize] < cap {
+                    size[label[v] as usize] -= 1;
+                    size[c as usize] += 1;
+                    label[v] = c;
+                    changed = true;
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    Ok(Partition::new(n, communities_from_labels(n, &label)))
+}
+
+/// Group nodes by label, drop empty groups, and sort into the suite's
+/// deterministic presentation order (size descending, then smallest
+/// member id) — the shared tail of both label-propagation paths.
+fn communities_from_labels(n: usize, label: &[u32]) -> Vec<Vec<NodeId>> {
+    let mut communities: Vec<Vec<NodeId>> = vec![Vec::new(); n];
+    for v in 0..n as NodeId {
+        communities[label[v as usize] as usize].push(v);
+    }
+    communities.retain(|c| !c.is_empty());
+    communities.sort_by(|x, y| y.len().cmp(&x.len()).then_with(|| x[0].cmp(&y[0])));
+    communities
+}
+
+/// Fixed node-index ranges of [`rayon::DEFAULT_GRAIN`] nodes each — the
+/// chunk unit every parallel divide phase fans out over. Depending only
+/// on `n` (never the thread count) keeps chunk boundaries, and therefore
+/// every float accumulation order downstream, identical at any
+/// `RAYON_NUM_THREADS`.
+pub(crate) fn node_ranges(n: usize) -> Vec<std::ops::Range<usize>> {
+    (0..n.div_ceil(rayon::DEFAULT_GRAIN))
+        .map(|i| {
+            let lo = i * rayon::DEFAULT_GRAIN;
+            lo..(lo + rayon::DEFAULT_GRAIN).min(n)
+        })
+        .collect()
+}
+
+/// Collapse a key-sorted `(key, weight)` list into one entry per key,
+/// summing runs left to right (first element's weight, then `+=` in
+/// order) — the deterministic merge step of the parallel contraction.
+fn accumulate_sorted_runs(sorted: Vec<((u32, u32), f64)>) -> Vec<((u32, u32), f64)> {
+    let mut out: Vec<((u32, u32), f64)> = Vec::with_capacity(sorted.len());
+    for (key, w) in sorted {
+        match out.last_mut() {
+            Some((last, acc)) if *last == key => *acc += w,
+            _ => out.push((key, w)),
+        }
+    }
+    out
 }
 
 /// Recursive spectral bisection: sort each oversized piece by its

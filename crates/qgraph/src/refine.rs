@@ -114,6 +114,11 @@ pub fn refine_partition_with(
     cap: usize,
     opts: RefineOptions,
 ) -> RefineOutcome {
+    if g.num_nodes() > crate::auto::LARGE_INSTANCE_NODES
+        || g.num_edges() > crate::auto::LARGE_INSTANCE_EDGES
+    {
+        return refine_partition_snapshot_with(g, partition, cap, opts);
+    }
     let n = g.num_nodes();
     let mut comm: Vec<u32> = partition.assignment();
     let k = partition.len();
@@ -132,42 +137,10 @@ pub fn refine_partition_with(
     for _ in 0..opts.max_passes {
         let mut moved_this_pass = false;
         for v in 0..n as NodeId {
-            let home = comm[v as usize];
-            touched.clear();
-            for &(u, w) in g.neighbors(v) {
-                let c = comm[u as usize];
-                if link[c as usize] == 0.0 && !touched.contains(&c) {
-                    touched.push(c);
-                }
-                link[c as usize] += w.abs();
-            }
-            // only boundary nodes (≥ 1 neighbor elsewhere) can gain
-            let mut best: Option<(f64, u32)> = None;
-            for &c in &touched {
-                if c == home || sizes[c as usize] >= cap {
-                    continue;
-                }
-                // moving v home→c: edges to home become inter (+link[home]),
-                // edges to c become intra (−link[c])
-                let delta = link[home as usize] - link[c as usize];
-                let better = match best {
-                    None => delta < -1e-12,
-                    Some((bd, bc)) => delta < bd - 1e-12 || (delta <= bd + 1e-12 && c < bc),
-                };
-                if better && delta < -1e-12 {
-                    best = Some((delta, c));
-                }
-            }
-            if let Some((delta, target)) = best {
-                sizes[home as usize] -= 1;
-                sizes[target as usize] += 1;
-                comm[v as usize] = target;
-                inter += delta;
+            if migrate_visit(g, v, &mut comm, &mut sizes, cap, &mut inter, &mut link, &mut touched)
+            {
                 moves += 1;
                 moved_this_pass = true;
-            }
-            for &c in &touched {
-                link[c as usize] = 0.0;
             }
         }
         if opts.swap_moves {
@@ -180,8 +153,191 @@ pub fn refine_partition_with(
         }
     }
 
-    // rebuild communities in their original index order, dropping any
-    // emptied by migration
+    finish_refine(n, k, comm, moves, swaps, inter_weight_before, inter)
+}
+
+/// Two-phase refinement for instances above the large-instance gate —
+/// the pool-parallel replacement [`refine_partition_with`] dispatches
+/// to, public (but hidden) so the property battery can pin its
+/// parallel-vs-sequential bit-identity on small zoo graphs too.
+///
+/// Each pass splits every sweep into **score** and **apply** phases:
+///
+/// * **Score (parallel).** Every boundary node evaluates its best
+///   migration (or swap partner) against a *frozen* snapshot of the
+///   assignment and community sizes from the start of the sweep, over
+///   fixed node-range chunks, and the strictly-improving candidates are
+///   collected in ascending node order.
+/// * **Apply (sequential).** Each flagged node re-evaluates its move
+///   against the *live* state — the exact per-node visit the sequential
+///   sweep runs — and applies it only if it still strictly improves.
+///   Live re-evaluation keeps the running `inter` balance exact, so the
+///   never-increases invariant holds by construction; its cost is
+///   bounded by the (typically small) flagged set, not by `n`.
+///
+/// The apply order stays sequential because cap accounting and the
+/// swap member-list surgery are running state: parallel commits would
+/// make the winner of two conflicting moves a scheduling artifact. A
+/// node the frozen scan missed (one whose move only becomes improving
+/// after an earlier move in the same pass) is picked up by the next
+/// pass's scan instead of the same pass — which is why this path only
+/// replaces the sequential sweep above the gate, where cascades are
+/// rare and the `O(n)` scoring dominates.
+#[doc(hidden)]
+pub fn refine_partition_snapshot_with(
+    g: &Graph,
+    partition: &Partition,
+    cap: usize,
+    opts: RefineOptions,
+) -> RefineOutcome {
+    let n = g.num_nodes();
+    let mut comm: Vec<u32> = partition.assignment();
+    let k = partition.len();
+    let mut sizes: Vec<usize> = partition.communities().iter().map(Vec::len).collect();
+    let inter_weight_before = inter_weight(g, &comm);
+    let mut inter = inter_weight_before;
+    let mut moves = 0usize;
+    let mut swaps = 0usize;
+    let mut link = vec![0.0f64; k];
+    let mut touched: Vec<u32> = Vec::new();
+
+    for _ in 0..opts.max_passes {
+        let mut moved_this_pass = false;
+        for v in flag_migrations(g, &comm, &sizes, cap) {
+            if migrate_visit(g, v, &mut comm, &mut sizes, cap, &mut inter, &mut link, &mut touched)
+            {
+                moves += 1;
+                moved_this_pass = true;
+            }
+        }
+        if opts.swap_moves {
+            let swapped = swap_sweep_snapshot(g, &mut comm, &sizes, &mut inter);
+            swaps += swapped;
+            moved_this_pass |= swapped > 0;
+        }
+        if !moved_this_pass {
+            break;
+        }
+    }
+
+    finish_refine(n, k, comm, moves, swaps, inter_weight_before, inter)
+}
+
+/// Parallel score phase of the migration sweep: boundary nodes whose
+/// best move strictly improves the *frozen* assignment, in ascending
+/// node order. Pulls accumulate over the neighbor list stable-sorted by
+/// community, over fixed node-range chunks — bit-identical at any
+/// thread count.
+fn flag_migrations(g: &Graph, comm: &[u32], sizes: &[usize], cap: usize) -> Vec<NodeId> {
+    use rayon::prelude::*;
+    crate::partitioner::node_ranges(g.num_nodes())
+        .into_par_iter()
+        .with_min_len(1)
+        .map(|r| {
+            let mut buf: Vec<(u32, f64)> = Vec::new();
+            let mut runs: Vec<(u32, f64)> = Vec::new();
+            let mut flagged: Vec<NodeId> = Vec::new();
+            for v in r {
+                let home = comm[v];
+                buf.clear();
+                for &(u, w) in g.neighbors(v as NodeId) {
+                    buf.push((comm[u as usize], w.abs()));
+                }
+                buf.sort_by_key(|&(c, _)| c);
+                runs.clear();
+                let mut i = 0;
+                while i < buf.len() {
+                    let c = buf[i].0;
+                    let mut pull = 0.0f64;
+                    while i < buf.len() && buf[i].0 == c {
+                        pull += buf[i].1;
+                        i += 1;
+                    }
+                    runs.push((c, pull));
+                }
+                let home_pull =
+                    runs.iter().find(|&&(c, _)| c == home).map_or(0.0, |&(_, pull)| pull);
+                let improves = runs.iter().any(|&(c, pull)| {
+                    c != home && sizes[c as usize] < cap && home_pull - pull < -1e-12
+                });
+                if improves {
+                    flagged.push(v as NodeId);
+                }
+            }
+            flagged
+        })
+        .collect::<Vec<_>>()
+        .into_iter()
+        .flatten()
+        .collect()
+}
+
+/// One live migration visit of node `v` — the sequential sweep's exact
+/// per-node body, shared by the sequential path and the snapshot path's
+/// apply phase. Returns whether a move was applied.
+#[allow(clippy::too_many_arguments)]
+fn migrate_visit(
+    g: &Graph,
+    v: NodeId,
+    comm: &mut [u32],
+    sizes: &mut [usize],
+    cap: usize,
+    inter: &mut f64,
+    link: &mut [f64],
+    touched: &mut Vec<u32>,
+) -> bool {
+    let home = comm[v as usize];
+    touched.clear();
+    for &(u, w) in g.neighbors(v) {
+        let c = comm[u as usize];
+        if link[c as usize] == 0.0 && !touched.contains(&c) {
+            touched.push(c);
+        }
+        link[c as usize] += w.abs();
+    }
+    // only boundary nodes (≥ 1 neighbor elsewhere) can gain
+    let mut best: Option<(f64, u32)> = None;
+    for &c in touched.iter() {
+        if c == home || sizes[c as usize] >= cap {
+            continue;
+        }
+        // moving v home→c: edges to home become inter (+link[home]),
+        // edges to c become intra (−link[c])
+        let delta = link[home as usize] - link[c as usize];
+        let better = match best {
+            None => delta < -1e-12,
+            Some((bd, bc)) => delta < bd - 1e-12 || (delta <= bd + 1e-12 && c < bc),
+        };
+        if better && delta < -1e-12 {
+            best = Some((delta, c));
+        }
+    }
+    let moved = if let Some((delta, target)) = best {
+        sizes[home as usize] -= 1;
+        sizes[target as usize] += 1;
+        comm[v as usize] = target;
+        *inter += delta;
+        true
+    } else {
+        false
+    };
+    for &c in touched.iter() {
+        link[c as usize] = 0.0;
+    }
+    moved
+}
+
+/// Shared tail of both refinement paths: rebuild communities in their
+/// original index order, dropping any emptied by migration.
+fn finish_refine(
+    n: usize,
+    k: usize,
+    comm: Vec<u32>,
+    moves: usize,
+    swaps: usize,
+    inter_weight_before: f64,
+    inter_weight_after: f64,
+) -> RefineOutcome {
     let mut communities: Vec<Vec<NodeId>> = vec![Vec::new(); k];
     for v in 0..n as NodeId {
         communities[comm[v as usize] as usize].push(v);
@@ -192,7 +348,7 @@ pub fn refine_partition_with(
         moves,
         swaps,
         inter_weight_before,
-        inter_weight_after: inter,
+        inter_weight_after,
     }
 }
 
@@ -225,82 +381,214 @@ fn swap_sweep(g: &Graph, comm: &mut [u32], sizes: &[usize], inter: &mut f64) -> 
     for v in 0..n as NodeId {
         members[comm[v as usize] as usize].push(v);
     }
-    let mut link = vec![0.0f64; k];
-    let mut touched: Vec<u32> = Vec::new();
-    let mut partner_link = vec![0.0f64; k];
-    let mut partner_touched: Vec<u32> = Vec::new();
-
+    let mut scratch = SwapScratch::new(k);
     for v in 0..n as NodeId {
-        let home = comm[v as usize];
-        touched.clear();
-        for &(u, w) in g.neighbors(v) {
-            let c = comm[u as usize];
-            if link[c as usize] == 0.0 && !touched.contains(&c) {
-                touched.push(c);
-            }
-            link[c as usize] += w.abs();
-        }
-        let mut best: Option<(f64, u32, NodeId)> = None;
-        for &c in &touched {
-            if c == home {
-                continue;
-            }
-            let mig_v = link[home as usize] - link[c as usize];
-            for &u in &members[c as usize] {
-                partner_touched.clear();
-                let mut w_vu = 0.0f64;
-                for &(x, w) in g.neighbors(u) {
-                    if x == v {
-                        w_vu = w.abs();
-                    }
-                    let cx = comm[x as usize];
-                    if partner_link[cx as usize] == 0.0 && !partner_touched.contains(&cx) {
-                        partner_touched.push(cx);
-                    }
-                    partner_link[cx as usize] += w.abs();
-                }
-                let mig_u = partner_link[c as usize] - partner_link[home as usize];
-                let delta = mig_v + mig_u + 2.0 * w_vu;
-                for &cx in &partner_touched {
-                    partner_link[cx as usize] = 0.0;
-                }
-                let better = match best {
-                    None => delta < -1e-12,
-                    Some((bd, bc, bu)) => {
-                        delta < bd - 1e-12 || (delta <= bd + 1e-12 && (c, u) < (bc, bu))
-                    }
-                };
-                if better && delta < -1e-12 {
-                    best = Some((delta, c, u));
-                }
-            }
-        }
-        if let Some((delta, target, partner)) = best {
-            comm[v as usize] = target;
-            comm[partner as usize] = home;
-            let vi = members[home as usize].iter().position(|&x| x == v).expect("v in home");
-            members[home as usize][vi] = partner;
-            let ui =
-                members[target as usize].iter().position(|&x| x == partner).expect("u in target");
-            members[target as usize][ui] = v;
-            *inter += delta;
+        if swap_visit(g, v, comm, &mut members, inter, &mut scratch) {
             swaps += 1;
-        }
-        for &c in &touched {
-            link[c as usize] = 0.0;
         }
     }
     swaps
 }
 
+/// Two-phase variant of [`swap_sweep`] used by the snapshot refinement
+/// path: a parallel score phase flags every node with a strictly
+/// improving swap against the *frozen* sweep-start assignment, then the
+/// flagged nodes re-evaluate and apply against live state in ascending
+/// node order (the exact [`swap_visit`] the sequential sweep runs).
+/// The frozen scorer accumulates per-community pulls over sorted runs
+/// instead of a dense `k`-vector, so the parallel chunks carry no
+/// `O(k)` scratch.
+fn swap_sweep_snapshot(g: &Graph, comm: &mut [u32], sizes: &[usize], inter: &mut f64) -> usize {
+    use rayon::prelude::*;
+    let n = comm.len();
+    let k = sizes.len();
+    let mut members: Vec<Vec<NodeId>> = vec![Vec::new(); k];
+    for v in 0..n as NodeId {
+        members[comm[v as usize] as usize].push(v);
+    }
+    let frozen: &[u32] = comm;
+    let members_ref = &members;
+    let flagged: Vec<NodeId> = crate::partitioner::node_ranges(n)
+        .into_par_iter()
+        .with_min_len(1)
+        .map(|r| {
+            let mut buf: Vec<(u32, f64)> = Vec::new();
+            let mut runs: Vec<(u32, f64)> = Vec::new();
+            let mut flagged: Vec<NodeId> = Vec::new();
+            for v in r {
+                let home = frozen[v];
+                buf.clear();
+                for &(u, w) in g.neighbors(v as NodeId) {
+                    buf.push((frozen[u as usize], w.abs()));
+                }
+                buf.sort_by_key(|&(c, _)| c);
+                runs.clear();
+                let mut i = 0;
+                while i < buf.len() {
+                    let c = buf[i].0;
+                    let mut pull = 0.0f64;
+                    while i < buf.len() && buf[i].0 == c {
+                        pull += buf[i].1;
+                        i += 1;
+                    }
+                    runs.push((c, pull));
+                }
+                let home_pull =
+                    runs.iter().find(|&&(c, _)| c == home).map_or(0.0, |&(_, pull)| pull);
+                let improves = runs.iter().any(|&(c, link_c)| {
+                    if c == home {
+                        return false;
+                    }
+                    let mig_v = home_pull - link_c;
+                    members_ref[c as usize].iter().any(|&u| {
+                        let (mut lc, mut lh, mut w_vu) = (0.0f64, 0.0f64, 0.0f64);
+                        for &(x, w) in g.neighbors(u) {
+                            if x == v as NodeId {
+                                w_vu = w.abs();
+                            }
+                            let cx = frozen[x as usize];
+                            if cx == c {
+                                lc += w.abs();
+                            } else if cx == home {
+                                lh += w.abs();
+                            }
+                        }
+                        mig_v + (lc - lh) + 2.0 * w_vu < -1e-12
+                    })
+                });
+                if improves {
+                    flagged.push(v as NodeId);
+                }
+            }
+            flagged
+        })
+        .collect::<Vec<_>>()
+        .into_iter()
+        .flatten()
+        .collect();
+    let mut swaps = 0usize;
+    let mut scratch = SwapScratch::new(k);
+    for v in flagged {
+        if swap_visit(g, v, comm, &mut members, inter, &mut scratch) {
+            swaps += 1;
+        }
+    }
+    swaps
+}
+
+/// Dense per-community scratch for the live swap visit.
+struct SwapScratch {
+    link: Vec<f64>,
+    touched: Vec<u32>,
+    partner_link: Vec<f64>,
+    partner_touched: Vec<u32>,
+}
+
+impl SwapScratch {
+    fn new(k: usize) -> Self {
+        SwapScratch {
+            link: vec![0.0f64; k],
+            touched: Vec::new(),
+            partner_link: vec![0.0f64; k],
+            partner_touched: Vec::new(),
+        }
+    }
+}
+
+/// One live swap visit of node `v` — the sequential sweep's exact
+/// per-node body, shared by [`swap_sweep`] and the snapshot path's
+/// apply phase. Maintains `comm` and the member lists across applied
+/// swaps; returns whether a swap was applied.
+fn swap_visit(
+    g: &Graph,
+    v: NodeId,
+    comm: &mut [u32],
+    members: &mut [Vec<NodeId>],
+    inter: &mut f64,
+    scratch: &mut SwapScratch,
+) -> bool {
+    let SwapScratch { link, touched, partner_link, partner_touched } = scratch;
+    let home = comm[v as usize];
+    touched.clear();
+    for &(u, w) in g.neighbors(v) {
+        let c = comm[u as usize];
+        if link[c as usize] == 0.0 && !touched.contains(&c) {
+            touched.push(c);
+        }
+        link[c as usize] += w.abs();
+    }
+    let mut best: Option<(f64, u32, NodeId)> = None;
+    for &c in touched.iter() {
+        if c == home {
+            continue;
+        }
+        let mig_v = link[home as usize] - link[c as usize];
+        for &u in &members[c as usize] {
+            partner_touched.clear();
+            let mut w_vu = 0.0f64;
+            for &(x, w) in g.neighbors(u) {
+                if x == v {
+                    w_vu = w.abs();
+                }
+                let cx = comm[x as usize];
+                if partner_link[cx as usize] == 0.0 && !partner_touched.contains(&cx) {
+                    partner_touched.push(cx);
+                }
+                partner_link[cx as usize] += w.abs();
+            }
+            let mig_u = partner_link[c as usize] - partner_link[home as usize];
+            let delta = mig_v + mig_u + 2.0 * w_vu;
+            for &cx in partner_touched.iter() {
+                partner_link[cx as usize] = 0.0;
+            }
+            let better = match best {
+                None => delta < -1e-12,
+                Some((bd, bc, bu)) => {
+                    delta < bd - 1e-12 || (delta <= bd + 1e-12 && (c, u) < (bc, bu))
+                }
+            };
+            if better && delta < -1e-12 {
+                best = Some((delta, c, u));
+            }
+        }
+    }
+    let swapped = if let Some((delta, target, partner)) = best {
+        comm[v as usize] = target;
+        comm[partner as usize] = home;
+        // INVARIANT: `members` mirrors `comm` across swaps, so v is in
+        // its home list and the partner in the target list.
+        let vi = members[home as usize].iter().position(|&x| x == v).expect("v in home");
+        members[home as usize][vi] = partner;
+        let ui = members[target as usize].iter().position(|&x| x == partner).expect("u in target");
+        members[target as usize][ui] = v;
+        *inter += delta;
+        true
+    } else {
+        false
+    };
+    for &c in touched.iter() {
+        link[c as usize] = 0.0;
+    }
+    swapped
+}
+
 /// Total absolute weight of edges whose endpoints live in different
-/// communities of `assignment`.
+/// communities of `assignment`. A chunk-ordered parallel reduction:
+/// per-chunk sums accumulate in edge order and combine in chunk order,
+/// so the bits are identical at any thread count (and, for graphs under
+/// one grain, identical to the plain sequential fold).
 fn inter_weight(g: &Graph, assignment: &[u32]) -> f64 {
+    use rayon::prelude::*;
     g.edges()
-        .iter()
-        .filter(|e| assignment[e.u as usize] != assignment[e.v as usize])
-        .map(|e| e.w.abs())
-        .sum()
+        .par_chunks(rayon::DEFAULT_GRAIN)
+        .map(|chunk| {
+            chunk
+                .iter()
+                .filter(|e| assignment[e.u as usize] != assignment[e.v as usize])
+                .map(|e| e.w.abs())
+                .sum::<f64>()
+        })
+        .reduce(|| 0.0, |a, b| a + b)
 }
 
 /// A [`Partitioner`] wrapper adding a refinement sweep to any inner

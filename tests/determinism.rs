@@ -7,7 +7,11 @@
 //! QAOA landscape evaluation, the full QAOA² driver in `Threads` mode
 //! (including one end-to-end run per partition strategy with
 //! refinement on, plus per-instance `Auto` selection and a per-level
-//! schedule — strategy *choices* fold in alongside the cuts), and
+//! schedule — strategy *choices* fold in alongside the cuts), the
+//! large-gated parallel divide (a 51k-node graph through the parallel
+//! CSR finalize, snapshot-sweep label propagation, two-phase matching,
+//! and score/apply refinement — effective label, community structure,
+//! and a derived cut all fold in), and
 //! property-harness-style seeded draws is folded
 //! into one digest of exact `f64` bit patterns, and the digest is
 //! compared across separate processes pinned to 1, 2, and N worker
@@ -261,6 +265,50 @@ fn battery_digest() -> u64 {
         d.word(e.v as u64);
         d.f64(e.w);
     }
+
+    // --- qq-core + qq-graph: the full large-gated divide. 51k nodes at
+    // mean degree 4 crosses both the large-instance gate (snapshot-sweep
+    // label propagation, two-phase matching, score/apply refinement all
+    // run on the pool) and `PAR_FINALIZE_MIN_EDGES` (the generator's CSR
+    // build takes the parallel finalize path). Folds the effective
+    // strategy label, the gate attribution, the complete community
+    // structure, the quality metrics' f64 bits, the probe's parallel
+    // weight reduction, and a cut derived from the partition — so a
+    // single node landing in a different community at some thread count
+    // fails the cross-process comparison ---
+    let lg =
+        generators::erdos_renyi_fast(51_000, 4.0 / 51_000.0, generators::WeightKind::Random01, 99);
+    let probe = qq_graph::auto::probe(&lg);
+    d.f64(probe.positive_weight_fraction);
+    d.word(probe.is_large() as u64);
+    // migration-only refinement: the parallel flag/apply sweep runs,
+    // while the FM swap sweep — O(n · cap · deg) by construction, ~10
+    // debug-minutes at this size — stays with the property battery's
+    // pooled-vs-inline parity cases on zoo-sized graphs
+    let refine =
+        qq_core::RefineConfig { partition_passes: 1, swap_moves: false, polish_cut: false };
+    let outcome =
+        qq_core::strategy::divide(&lg, 4_000, &qq_core::PartitionStrategy::Auto, 0, &refine, 7)
+            .expect("large divide succeeds");
+    d.label(&outcome.effective);
+    d.word(outcome.size_gated as u64);
+    d.word(outcome.communities_before_refine as u64);
+    d.word(outcome.communities_after_refine as u64);
+    d.f64(outcome.inter_weight_fraction);
+    d.f64(outcome.balance);
+    let mut membership = vec![0u32; lg.num_nodes()];
+    for (c, members) in outcome.partition.communities().iter().enumerate() {
+        for &v in members {
+            membership[v as usize] = c as u32;
+        }
+    }
+    for &c in &membership {
+        d.word(c as u64);
+    }
+    // cut digest: side = community-index parity — any membership or
+    // weight-bit drift moves this f64
+    let cut = Cut::from_fn(lg.num_nodes(), |v| membership[v as usize] % 2 == 1);
+    d.f64(cut.value(&lg));
 
     // --- property-harness-style seeded draws ---
     use rand::rngs::StdRng;

@@ -441,6 +441,74 @@ fn csr_adjacency_matches_reference_build_over_the_zoo() {
 }
 
 #[test]
+fn snapshot_label_propagation_is_bit_identical_pooled_vs_sequential() {
+    // the two-phase (snapshot-score, sequential-apply) label propagation
+    // the large-instance gate switches to: running it on the worker pool
+    // must produce the *same Partition, bit for bit*, as running it
+    // forced inline through `sequential_scope` — over every generator
+    // family, including multi-component, isolated-node, and edgeless
+    // shapes where proposal ranges are degenerate
+    use qq_graph::partitioner::label_propagation_snapshot;
+    for case in 0..16 {
+        let mut rng = case_rng(23, case);
+        let cap = rng.gen_range(2usize..12);
+        for g in generator_zoo(&mut rng) {
+            let pooled = label_propagation_snapshot(&g, cap).unwrap();
+            let inline = rayon::sequential_scope(|| label_propagation_snapshot(&g, cap).unwrap());
+            assert_eq!(pooled, inline, "case {case} cap {cap}: snapshot LP drifted");
+            assert!(pooled.is_valid(), "case {case}");
+            assert!(pooled.max_community_size() <= cap, "case {case}");
+        }
+    }
+}
+
+#[test]
+fn snapshot_refinement_is_bit_identical_pooled_vs_sequential() {
+    // same contract for the score/apply refinement sweep: identical
+    // partition, identical move/swap counts, and bit-identical f64
+    // inter-weight accounting whether the gain flagging runs pooled or
+    // inline — for both migration-only and FM-swap configurations
+    use qq_graph::refine::refine_partition_snapshot_with;
+    use qq_graph::RefineOptions;
+    for case in 0..16 {
+        let mut rng = case_rng(24, case);
+        let cap = rng.gen_range(2usize..12);
+        let passes = rng.gen_range(1usize..4);
+        for g in generator_zoo(&mut rng) {
+            let base = partition_with_cap(&g, cap);
+            for swap_moves in [false, true] {
+                let opts = RefineOptions { max_passes: passes, swap_moves };
+                let pooled = refine_partition_snapshot_with(&g, &base, cap, opts);
+                let inline = rayon::sequential_scope(|| {
+                    refine_partition_snapshot_with(&g, &base, cap, opts)
+                });
+                assert_eq!(
+                    pooled.partition, inline.partition,
+                    "case {case} swaps={swap_moves}: refined partition drifted"
+                );
+                assert_eq!(pooled.moves, inline.moves, "case {case} swaps={swap_moves}");
+                assert_eq!(pooled.swaps, inline.swaps, "case {case} swaps={swap_moves}");
+                assert_eq!(
+                    pooled.inter_weight_before.to_bits(),
+                    inline.inter_weight_before.to_bits(),
+                    "case {case} swaps={swap_moves}"
+                );
+                assert_eq!(
+                    pooled.inter_weight_after.to_bits(),
+                    inline.inter_weight_after.to_bits(),
+                    "case {case} swaps={swap_moves}"
+                );
+                assert!(
+                    pooled.inter_weight_after <= pooled.inter_weight_before + 1e-9,
+                    "case {case} swaps={swap_moves}"
+                );
+                assert!(pooled.partition.max_community_size() <= cap, "case {case}");
+            }
+        }
+    }
+}
+
+#[test]
 fn builder_and_incremental_builds_agree_end_to_end() {
     // the same edge stream through GraphBuilder::finalize and through
     // the compat Graph::add_edge must yield identical graphs and
