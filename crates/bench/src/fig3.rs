@@ -149,6 +149,9 @@ pub fn run_grid_experiment(settings: &GridSettings, verbose: bool) -> GridSummar
         }
     }
 
+    // REDUCTION: one leaf per instance cell (with_min_len(1)); the
+    // flat_map collect is keyed by instance index, so cell outcomes land
+    // in grid order whatever the steal schedule.
     let cells: Vec<CellOutcome> = instances
         .par_iter()
         .with_min_len(1)

@@ -26,6 +26,9 @@ impl CostTable {
     pub fn new(model: &CostModel) -> Self {
         let n = model.num_qubits;
         let size = 1usize << n;
+        // REDUCTION: the collect is keyed by basis index z over a fixed
+        // DEFAULT_GRAIN range split — each table entry is computed
+        // independently, nothing is combined across chunks.
         let values: Vec<f64> =
             (0..size as u64).into_par_iter().map(|z| model.eval_basis(z)).collect();
         CostTable { values, num_qubits: n }
@@ -52,6 +55,8 @@ impl CostTable {
     /// `max` is associative and insensitive to the reduction tree, and the
     /// vendored rayon fixes the tree anyway, so this is deterministic.
     pub fn max_value(&self) -> f64 {
+        // REDUCTION: max is associative and order-insensitive, and the
+        // vendored pool fixes the DEFAULT_GRAIN reduction tree anyway.
         self.values.par_iter().cloned().reduce(|| f64::MIN, f64::max)
     }
 

@@ -7,10 +7,14 @@
 //! invariants, and a work-stealing pool whose parking protocol never
 //! loses a wake-up. This crate checks those invariants mechanically:
 //!
-//! * [`lint`] — three offline, parser-free lint passes over the
-//!   workspace source (determinism, unsafe audit, panic policy), with a
-//!   shrink-only [`allowlist`] and a machine-readable unsafe inventory
-//!   written to `results/unsafe_inventory.json`;
+//! * [`lint`] — five offline, parser-free lint passes over the
+//!   workspace source (determinism, unsafe audit, panic policy,
+//!   reduction-order audit, numeric-cast audit), with a shrink-only
+//!   [`allowlist`], a machine-readable unsafe inventory written to
+//!   `results/unsafe_inventory.json` (each `SAFETY:` justification
+//!   content-hashed so silent edits show up in CI diffs), and an
+//!   optional machine-readable findings report
+//!   (`results/lint_report.json`);
 //! * [`model`] — a bounded model checker that exhaustively explores the
 //!   interleavings of 2–3 virtual workers plus a submitter over small
 //!   split trees, executing the *actual* scheduling policy
@@ -18,7 +22,14 @@
 //!   no lost wake-up, exactly-once job execution, and a stable
 //!   chunk-indexed combine order; seeded protocol mutations
 //!   (`scan-before-snapshot`, `no-notify`, `steal-leave`) demonstrate
-//!   the checker catches the bug classes it exists for.
+//!   the checker catches the bug classes it exists for;
+//! * [`snapshot`] — a second bounded checker for the parallel divide's
+//!   snapshot-sweep protocol, interleaving 2–3 virtual scorers against
+//!   the sequential applier while executing the real policy
+//!   (`qq_graph::snapshot`), asserting snapshot isolation, ascending-id
+//!   apply order, live-cap re-check, and schedule-independent terminals;
+//!   its seeded mutations are `score-against-live`, `unordered-apply`,
+//!   and `stale-cap-commit`.
 //!
 //! The binary (`cargo run -p qq-check -- lint|model`) is CI-gated; see
 //! DESIGN.md §11 for the determinism contract as a checkable spec.
@@ -28,6 +39,7 @@
 pub mod allowlist;
 pub mod lint;
 pub mod model;
+pub mod snapshot;
 pub mod source;
 
 use lint::{Finding, UnsafeSite};
@@ -45,6 +57,9 @@ pub struct LintReport {
     pub files_scanned: usize,
     /// The full unsafe inventory (justified and not).
     pub unsafe_sites: Vec<UnsafeSite>,
+    /// Every raw finding, before allowlist filtering — the basis of the
+    /// machine-readable `results/lint_report.json`.
+    pub findings: Vec<Finding>,
 }
 
 /// Directories (relative to the workspace root) holding **library**
@@ -68,7 +83,7 @@ fn extra_unsafe_roots(root: &Path) -> Vec<PathBuf> {
     ["tests", "examples", "benches"].iter().map(|d| root.join(d)).collect()
 }
 
-/// Run all three lint passes over the workspace at `root`, checking
+/// Run all five lint passes over the workspace at `root`, checking
 /// findings against the allowlist at `<root>/qq-check.allow` (a missing
 /// file means an empty allowlist).
 pub fn run_lint(root: &Path) -> std::io::Result<LintReport> {
@@ -90,6 +105,8 @@ pub fn run_lint(root: &Path) -> std::io::Result<LintReport> {
             files_scanned += 1;
             findings.extend(lint::determinism(&file));
             findings.extend(lint::panic_policy(&file));
+            findings.extend(lint::reduction_order(&file));
+            findings.extend(lint::cast_audit(&file));
             let (unjustified, sites) = lint::unsafe_audit(&file);
             findings.extend(unjustified);
             unsafe_sites.extend(sites);
@@ -106,28 +123,49 @@ pub fn run_lint(root: &Path) -> std::io::Result<LintReport> {
     }
     unsafe_sites.sort_by(|a, b| a.path.cmp(&b.path).then(a.line.cmp(&b.line)));
 
+    let mut sorted_findings = findings.clone();
+    sorted_findings.sort_by(|a, b| {
+        a.pass.cmp(&b.pass).then_with(|| a.path.cmp(&b.path)).then(a.line.cmp(&b.line))
+    });
     let (mut allow_errors, suppressed) = allowlist::check(&findings, &entries);
     errors.append(&mut allow_errors);
-    Ok(LintReport { errors, suppressed, files_scanned, unsafe_sites })
+    Ok(LintReport { errors, suppressed, files_scanned, unsafe_sites, findings: sorted_findings })
+}
+
+/// JSON string escaping for the hand-rolled serializers (the workspace
+/// is offline, no serde).
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// FNV-1a over a `SAFETY:` justification's text — the content hash the
+/// inventory records per site. A silently reworded justification changes
+/// the hash, so CI's `git diff --exit-code` on the committed inventory
+/// catches edits, not just added/removed sites. (Same FNV-1a the
+/// determinism battery uses for its digests; hand-rolled, offline.)
+pub fn safety_hash(text: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in text.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
 }
 
 /// Serialize the unsafe inventory as pretty-printed JSON (hand-rolled —
 /// the workspace is offline, no serde).
 pub fn inventory_json(sites: &[UnsafeSite]) -> String {
-    fn esc(s: &str) -> String {
-        let mut out = String::with_capacity(s.len() + 2);
-        for c in s.chars() {
-            match c {
-                '"' => out.push_str("\\\""),
-                '\\' => out.push_str("\\\\"),
-                '\n' => out.push_str("\\n"),
-                '\t' => out.push_str("\\t"),
-                c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-                c => out.push(c),
-            }
-        }
-        out
-    }
     let justified = sites.iter().filter(|s| s.safety.is_some()).count();
     let mut out = String::new();
     out.push_str("{\n");
@@ -141,18 +179,61 @@ pub fn inventory_json(sites: &[UnsafeSite]) -> String {
             Some(t) => format!("\"{}\"", esc(t)),
             None => "null".to_string(),
         };
+        let hash = match &s.safety {
+            Some(t) => format!("\"{:016x}\"", safety_hash(t)),
+            None => "null".to_string(),
+        };
         out.push_str(&format!(
             "    {{\"file\": \"{}\", \"line\": {}, \"kind\": \"{}\", \"justified\": {}, \
-             \"safety\": {}, \"code\": \"{}\"}}{}\n",
+             \"safety\": {}, \"safety_hash\": {}, \"code\": \"{}\"}}{}\n",
             esc(&s.path),
             s.line,
             s.kind,
             s.safety.is_some(),
             safety,
+            hash,
             esc(&s.code),
             if i + 1 == sites.len() { "" } else { "," }
         ));
     }
     out.push_str("  ]\n}\n");
+    out
+}
+
+/// Serialize a full lint run as machine-readable JSON — the payload of
+/// `qq-check lint --json` (`results/lint_report.json`), which CI uploads
+/// as an artifact next to the unsafe inventory.
+pub fn report_json(report: &LintReport) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"generated_by\": \"qq-check lint --json\",\n");
+    out.push_str(&format!("  \"files_scanned\": {},\n", report.files_scanned));
+    out.push_str(&format!("  \"errors\": {},\n", report.errors.len()));
+    out.push_str(&format!("  \"suppressed\": {},\n", report.suppressed));
+    out.push_str("  \"findings_by_pass\": {");
+    for (i, pass) in lint::Pass::ALL.iter().enumerate() {
+        let count = report.findings.iter().filter(|f| f.pass == *pass).count();
+        out.push_str(&format!("{}\"{}\": {count}", if i == 0 { "" } else { ", " }, pass.name()));
+    }
+    out.push_str("},\n");
+    out.push_str("  \"findings\": [\n");
+    for (i, f) in report.findings.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"pass\": \"{}\", \"file\": \"{}\", \"line\": {}, \"snippet\": \"{}\", \
+             \"message\": \"{}\"}}{}\n",
+            f.pass.name(),
+            esc(&f.path),
+            f.line,
+            esc(&f.snippet),
+            esc(&f.message),
+            if i + 1 == report.findings.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str("  \"unsafe\": {\n");
+    let justified = report.unsafe_sites.iter().filter(|s| s.safety.is_some()).count();
+    out.push_str(&format!("    \"total\": {},\n", report.unsafe_sites.len()));
+    out.push_str(&format!("    \"justified\": {justified}\n"));
+    out.push_str("  }\n}\n");
     out
 }

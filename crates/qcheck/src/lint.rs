@@ -15,6 +15,16 @@
 //! * [`panic_policy`] — `unwrap`/`expect`/`panic!` inside `pub fn`
 //!   bodies are crash surfaces of the library API; each needs an
 //!   `// INVARIANT: <why this cannot fire>` tag.
+//! * [`reduction_order`] — every parallel `f64` combine site
+//!   (`par_iter`/`par_chunks` chains ending in `sum`/`reduce`/`fold`/
+//!   `collect`, plus any raw `thread::spawn` outside the vendored pool)
+//!   must carry a `// REDUCTION:` justification naming the fixed
+//!   chunk-order argument that makes its float accumulation order
+//!   schedule-independent.
+//! * [`cast_audit`] — `as` casts between node/edge-count widths
+//!   (`usize`/`u32`/`u64`, `f64`-to-integer) on the CSR storage path
+//!   silently truncate above 2³² nodes; each needs a `// CAST: <why the
+//!   value fits>` tag.
 //!
 //! All passes skip `#[cfg(test)]` modules. The scanner is token-level
 //! (no parser — see [`crate::source`]); the known over-approximations
@@ -29,6 +39,8 @@ pub enum Pass {
     Determinism,
     UnsafeAudit,
     PanicPolicy,
+    ReductionOrder,
+    CastAudit,
 }
 
 impl Pass {
@@ -38,6 +50,8 @@ impl Pass {
             Pass::Determinism => "determinism",
             Pass::UnsafeAudit => "unsafe",
             Pass::PanicPolicy => "panic",
+            Pass::ReductionOrder => "reduction",
+            Pass::CastAudit => "cast",
         }
     }
 
@@ -47,9 +61,20 @@ impl Pass {
             "determinism" => Some(Pass::Determinism),
             "unsafe" => Some(Pass::UnsafeAudit),
             "panic" => Some(Pass::PanicPolicy),
+            "reduction" => Some(Pass::ReductionOrder),
+            "cast" => Some(Pass::CastAudit),
             _ => None,
         }
     }
+
+    /// Every pass, in report order.
+    pub const ALL: [Pass; 5] = [
+        Pass::Determinism,
+        Pass::UnsafeAudit,
+        Pass::PanicPolicy,
+        Pass::ReductionOrder,
+        Pass::CastAudit,
+    ];
 }
 
 /// One lint finding (before allowlist filtering).
@@ -443,6 +468,200 @@ fn is_pub_fn_signature(code: &str) -> bool {
     }
 }
 
+// ---------------------------------------------------------------- pass 4
+
+/// How many lines below a parallel-iterator entry its statement may
+/// extend (the combine terminal must appear within this window).
+const REDUCTION_LOOKAHEAD: usize = 60;
+
+/// Chain terminals that combine per-chunk values into one result — the
+/// places where `f64` accumulation order becomes schedule-dependent
+/// unless the chunking is fixed.
+const COMBINE_TERMINALS: [&str; 4] = ["sum", "reduce", "fold", "collect"];
+
+/// Reduction-order pass: every parallel combine site in workspace code
+/// must justify its ordering with a `// REDUCTION:` tag naming the fixed
+/// chunk-order argument (a `node_ranges`/`score_chunks` fan-out, a
+/// `with_min_len` grain over a fixed split, an index-keyed collect, …).
+///
+/// The vendored pool itself (`crates/vendor/`) is exempt — it *is* the
+/// fixed-split-tree implementation the tags point at, and its own
+/// ordering is pinned by the `model` checker rather than a lint. Raw
+/// `thread::spawn` outside the vendor tree is flagged unconditionally:
+/// ad-hoc threads bypass the deterministic executor entirely.
+///
+/// Over-approximations (by design): the statement extent is lexical
+/// (bracket-depth tracking, no parser), so a `collect` inside a nested
+/// sequential closure of a parallel chain is attributed to the parallel
+/// site — the tag then documents the whole statement's ordering, which
+/// is the audit's intent anyway.
+pub fn reduction_order(file: &SourceFile) -> Vec<Finding> {
+    if file.rel_path.starts_with("crates/vendor/") {
+        return Vec::new();
+    }
+    let lines = &file.lines;
+    let in_test = test_region_mask(lines);
+    let mut findings = Vec::new();
+    let mut covered_until = 0usize; // avoid double-flagging one statement
+    for (idx, line) in lines.iter().enumerate() {
+        if in_test[idx] {
+            continue;
+        }
+        let code = &line.code;
+        // Raw thread spawns: always a finding (tag or allowlist to keep).
+        if code.contains("thread::spawn") && !tagged(lines, idx, "REDUCTION:", TAG_LOOKBACK) {
+            findings.push(Finding {
+                pass: Pass::ReductionOrder,
+                path: file.rel_path.clone(),
+                line: idx + 1,
+                snippet: code.trim().to_string(),
+                message: "raw `thread::spawn` outside the vendored pool — route the work \
+                          through the deterministic executor or add a `// REDUCTION: <why \
+                          ordering cannot escape>` tag"
+                    .to_string(),
+            });
+        }
+        if idx < covered_until {
+            continue;
+        }
+        if !(code.contains("par_iter") || code.contains("par_chunks")) {
+            continue;
+        }
+        let end = statement_extent(lines, idx, REDUCTION_LOOKAHEAD);
+        let combined = lines[idx..=end].iter().any(|l| {
+            COMBINE_TERMINALS
+                .iter()
+                .any(|t| l.code.contains(&format!(".{t}(")) || l.code.contains(&format!(".{t}::<")))
+        });
+        if !combined {
+            continue;
+        }
+        covered_until = end + 1;
+        if tagged(lines, idx, "REDUCTION:", TAG_LOOKBACK) {
+            continue;
+        }
+        findings.push(Finding {
+            pass: Pass::ReductionOrder,
+            path: file.rel_path.clone(),
+            line: idx + 1,
+            snippet: code.trim().to_string(),
+            message: "parallel combine without a `// REDUCTION:` justification — name the \
+                      fixed chunk-order argument (fixed split tree, node_ranges fan-out, \
+                      index-keyed collect) that makes the f64 order schedule-independent"
+                .to_string(),
+        });
+    }
+    findings
+}
+
+/// Last line index of the statement beginning at `start`: track bracket
+/// depth forward until it returns to ≤ 0 on a line whose code contains
+/// the terminating `;` (or the window runs out). Purely lexical — good
+/// enough to capture a chain's trailing combine call.
+fn statement_extent(lines: &[Line], start: usize, window: usize) -> usize {
+    let hi = (start + window).min(lines.len() - 1);
+    let mut depth: i64 = 0;
+    for (idx, line) in lines.iter().enumerate().take(hi + 1).skip(start) {
+        for c in line.code.chars() {
+            match c {
+                '(' | '[' | '{' => depth += 1,
+                ')' | ']' | '}' => depth -= 1,
+                _ => {}
+            }
+        }
+        if depth <= 0 && line.code.contains(';') {
+            return idx;
+        }
+    }
+    hi
+}
+
+// ---------------------------------------------------------------- pass 5
+
+/// Files on the CSR storage path (PR 8) — the only place raw node/edge
+/// indices cross width boundaries in bulk. Everything downstream
+/// consumes the validated `Graph`.
+const CAST_SCOPE: [&str; 3] =
+    ["crates/qgraph/src/graph.rs", "crates/qgraph/src/io.rs", "crates/qgraph/src/generators.rs"];
+
+/// Cast targets that narrow a count to the 32-bit node width.
+const NARROWING_TARGETS: [&str; 2] = ["u32", "NodeId"];
+/// Integer targets a float expression may be truncated into.
+const FLOAT_TRUNC_TARGETS: [&str; 5] = ["usize", "u32", "u64", "i64", "NodeId"];
+
+/// Numeric-cast pass over the CSR path: flag `as` casts between
+/// node/edge-count widths — narrowing to `u32`/`NodeId` (silent
+/// truncation above 2³² nodes) and `f64`-to-integer truncation (the
+/// capacity-estimate idiom) — unless covered by a `// CAST: <why the
+/// value fits>` tag.
+///
+/// Widening casts to `usize`/`u64` from integer expressions are *not*
+/// flagged: on the 64-bit targets this workspace supports they are
+/// value-preserving, and flagging every `e.u as usize` index would bury
+/// the real risks. One tag within the lookback window covers the casts
+/// next to it, matching the other passes' tag discipline.
+pub fn cast_audit(file: &SourceFile) -> Vec<Finding> {
+    if !CAST_SCOPE.contains(&file.rel_path.as_str()) {
+        return Vec::new();
+    }
+    let lines = &file.lines;
+    let in_test = test_region_mask(lines);
+    let mut findings = Vec::new();
+    for (idx, line) in lines.iter().enumerate() {
+        if in_test[idx] {
+            continue;
+        }
+        let code = &line.code;
+        let mut what: Option<String> = None;
+        let mut from = 0;
+        while let Some(at) = find_word(code, "as", from) {
+            from = at + 2;
+            let target: String = code[at + 2..]
+                .trim_start()
+                .chars()
+                .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
+                .collect();
+            if target.is_empty() {
+                continue;
+            }
+            if NARROWING_TARGETS.contains(&target.as_str()) {
+                what = Some(format!("narrowing `as {target}`"));
+                break;
+            }
+            if FLOAT_TRUNC_TARGETS.contains(&target.as_str()) && float_expr_before(&code[..at]) {
+                what = Some(format!("float-to-integer `as {target}`"));
+                break;
+            }
+        }
+        let Some(what) = what else { continue };
+        if tagged(lines, idx, "CAST:", TAG_LOOKBACK) {
+            continue;
+        }
+        findings.push(Finding {
+            pass: Pass::CastAudit,
+            path: file.rel_path.clone(),
+            line: idx + 1,
+            snippet: code.trim().to_string(),
+            message: format!(
+                "{what} on the CSR path — add a `// CAST: <why the value fits the target \
+                 width>` tag or validate before converting"
+            ),
+        });
+    }
+    findings
+}
+
+/// Heuristic: does the code left of a cast contain a float expression on
+/// this line (a `1.5`-style literal or an `f64` token)? Keeps the pass
+/// from flagging plain integer widenings.
+fn float_expr_before(before: &str) -> bool {
+    if contains_word(before, "f64") || contains_word(before, "f32") {
+        return true;
+    }
+    let bytes = before.as_bytes();
+    bytes.windows(3).any(|w| w[0].is_ascii_digit() && w[1] == b'.' && w[2].is_ascii_digit())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -585,5 +804,109 @@ mod tests {
         let fs = panic_policy(&f);
         assert_eq!(fs.len(), 1);
         assert_eq!(fs[0].line, 3);
+    }
+
+    // ---- reduction-order pass
+
+    #[test]
+    fn untagged_parallel_sum_is_flagged() {
+        let f = file("let s: f64 = v.par_iter().map(|x| x * x).sum();\n");
+        let fs = reduction_order(&f);
+        assert_eq!(fs.len(), 1);
+        assert_eq!(fs[0].pass, Pass::ReductionOrder);
+    }
+
+    #[test]
+    fn multiline_parallel_collect_is_flagged_once() {
+        let f = file(
+            "let out: Vec<f64> = chunks\n    .into_par_iter()\n    .map(|c| {\n        work(c)\n    })\n    .collect();\n",
+        );
+        assert_eq!(reduction_order(&f).len(), 1);
+    }
+
+    #[test]
+    fn reduction_tag_is_exempt() {
+        let f = file(
+            "// REDUCTION: fixed node_ranges chunks; combine is index-keyed\nlet s: f64 = v.par_iter().sum();\n",
+        );
+        assert!(reduction_order(&f).is_empty());
+    }
+
+    #[test]
+    fn parallel_for_each_without_combine_is_not_flagged() {
+        let f = file("v.par_iter_mut().for_each(|x| *x += 1.0);\n");
+        assert!(reduction_order(&f).is_empty());
+    }
+
+    #[test]
+    fn vendored_pool_is_exempt() {
+        let f = SourceFile {
+            rel_path: "crates/vendor/rayon/src/iter.rs".to_string(),
+            lines: strip("let s: f64 = v.par_iter().sum();\n"),
+        };
+        assert!(reduction_order(&f).is_empty());
+    }
+
+    #[test]
+    fn raw_thread_spawn_is_flagged() {
+        let f = file("let h = std::thread::spawn(move || work());\n");
+        let fs = reduction_order(&f);
+        assert_eq!(fs.len(), 1);
+        assert!(fs[0].message.contains("thread::spawn"));
+    }
+
+    #[test]
+    fn test_module_parallel_sum_is_skipped() {
+        let f = file(
+            "fn lib() {}\n#[cfg(test)]\nmod tests {\n    fn t() { let s: f64 = v.par_iter().sum(); }\n}\n",
+        );
+        assert!(reduction_order(&f).is_empty());
+    }
+
+    // ---- cast-audit pass
+
+    fn csr_file(text: &str) -> SourceFile {
+        SourceFile { rel_path: "crates/qgraph/src/graph.rs".to_string(), lines: strip(text) }
+    }
+
+    #[test]
+    fn narrowing_cast_on_csr_path_is_flagged() {
+        let f = csr_file("let id = v as u32;\n");
+        let fs = cast_audit(&f);
+        assert_eq!(fs.len(), 1);
+        assert!(fs[0].message.contains("narrowing"));
+    }
+
+    #[test]
+    fn nodeid_cast_is_flagged() {
+        let f = csr_file("let id = v as NodeId;\n");
+        assert_eq!(cast_audit(&f).len(), 1);
+    }
+
+    #[test]
+    fn float_truncation_is_flagged() {
+        let f = csr_file("let cap = (expected * 1.1) as usize;\n");
+        let fs = cast_audit(&f);
+        assert_eq!(fs.len(), 1);
+        assert!(fs[0].message.contains("float-to-integer"));
+    }
+
+    #[test]
+    fn integer_widening_is_not_flagged() {
+        let f = csr_file("let i = e.u as usize;\nlet j = idx as u64;\n");
+        assert!(cast_audit(&f).is_empty());
+    }
+
+    #[test]
+    fn cast_tag_is_exempt() {
+        let f =
+            csr_file("// CAST: node count validated <= u32::MAX at ingest\nlet id = v as u32;\n");
+        assert!(cast_audit(&f).is_empty());
+    }
+
+    #[test]
+    fn files_off_the_csr_path_are_not_in_scope() {
+        let f = file("let id = v as u32;\n");
+        assert!(cast_audit(&f).is_empty());
     }
 }

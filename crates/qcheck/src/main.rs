@@ -1,17 +1,20 @@
 //! `qq-check` — CLI entry point for the workspace invariant analyzer
-//! and the pool-protocol model checker. See the library docs for what
-//! each subcommand verifies.
+//! and the protocol model checkers. See the library docs for what each
+//! subcommand verifies.
 //!
 //! Exit codes are CI-oriented:
 //!
 //! * `lint`  — 0 iff no unexempted findings and the allowlist is tight.
 //! * `model` — 0 iff exhaustive exploration finds **no** violation; with
 //!   `--mutate`, 0 iff the seeded bug **is** caught (a checker that
-//!   misses its canonical bug must fail the build).
+//!   misses its canonical bug must fail the build); with `--min-states`,
+//!   the explored-state count must also meet the floor (so a refactor
+//!   that silently collapses the search space fails loudly).
 
 #![forbid(unsafe_code)]
 
 use qq_check::model::{self, ModelConfig, Mutation};
+use qq_check::snapshot::{self, SnapConfig, SnapMutation};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
@@ -19,16 +22,27 @@ const USAGE: &str = "\
 usage: qq-check <command> [options]
 
 commands:
-  lint   [--root PATH]
-         Run the determinism / unsafe-audit / panic-policy passes over
-         the workspace at PATH (default: .), check findings against
-         qq-check.allow, and write results/unsafe_inventory.json.
+  lint   [--root PATH] [--json]
+         Run the determinism / unsafe-audit / panic-policy /
+         reduction-order / cast-audit passes over the workspace at PATH
+         (default: .), check findings against qq-check.allow, and write
+         results/unsafe_inventory.json. With --json, also write the full
+         findings report to results/lint_report.json.
 
-  model  [--workers N] [--leaves L] [--batches B] [--force-steal]
-         [--mutate NAME|all]
-         Exhaustively model-check the work-stealing pool's parking and
-         stealing protocol (N virtual workers over L-leaf split trees).
-         Mutations: scan-before-snapshot, no-notify, steal-leave.
+  model  [--protocol pool|snapshot] [--mutate NAME|all] [--min-states N]
+         pool options:     [--workers N] [--leaves L] [--batches B]
+                           [--force-steal]
+         snapshot options: [--scorers N] [--sweeps S]
+         Exhaustively model-check a protocol. `pool` (default) explores
+         the work-stealing pool's parking/stealing protocol (N virtual
+         workers over L-leaf split trees); mutations:
+         scan-before-snapshot, no-notify, steal-leave. `snapshot`
+         explores the divide path's score-parallel/apply-sequential
+         sweep protocol (N virtual scorers against the sequential
+         applier over fixed <=6-node instances); mutations:
+         score-against-live, unordered-apply, stale-cap-commit.
+         --min-states N fails the run if fewer distinct states were
+         explored (CI's search-space collapse guard).
 ";
 
 fn main() -> ExitCode {
@@ -52,6 +66,7 @@ fn main() -> ExitCode {
 
 fn cmd_lint(args: &[String]) -> ExitCode {
     let mut root = PathBuf::from(".");
+    let mut json = false;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -59,6 +74,7 @@ fn cmd_lint(args: &[String]) -> ExitCode {
                 Some(p) => root = PathBuf::from(p),
                 None => return usage_err("--root needs a value"),
             },
+            "--json" => json = true,
             other => return usage_err(&format!("unknown lint option `{other}`")),
         }
     }
@@ -72,7 +88,8 @@ fn cmd_lint(args: &[String]) -> ExitCode {
     };
 
     // Always (re)write the machine-readable unsafe inventory — CI diffs
-    // the committed copy against this output to catch new unsafe blocks.
+    // the committed copy against this output to catch new unsafe blocks
+    // and (via the content hashes) silently edited justifications.
     let results = root.join("results");
     let inv = qq_check::inventory_json(&report.unsafe_sites);
     let write_ok = std::fs::create_dir_all(&results)
@@ -80,6 +97,16 @@ fn cmd_lint(args: &[String]) -> ExitCode {
     if let Err(e) = write_ok {
         eprintln!("qq-check lint: cannot write results/unsafe_inventory.json: {e}");
         return ExitCode::FAILURE;
+    }
+
+    // Machine-readable findings report, on request (CI artifact).
+    if json {
+        let path = results.join("lint_report.json");
+        if let Err(e) = std::fs::write(&path, qq_check::report_json(&report)) {
+            eprintln!("qq-check lint: cannot write results/lint_report.json: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("qq-check lint: wrote {}", path.display());
     }
 
     let justified = report.unsafe_sites.iter().filter(|s| s.safety.is_some()).count();
@@ -104,9 +131,18 @@ fn cmd_lint(args: &[String]) -> ExitCode {
     }
 }
 
+#[derive(Clone, Copy, PartialEq)]
+enum Protocol {
+    Pool,
+    Snapshot,
+}
+
 fn cmd_model(args: &[String]) -> ExitCode {
-    let mut cfg = ModelConfig::default();
-    let mut mutate_all = false;
+    let mut protocol = Protocol::Pool;
+    let mut pool_cfg = ModelConfig::default();
+    let mut snap_cfg = SnapConfig::default();
+    let mut mutate: Option<String> = None;
+    let mut min_states: Option<usize> = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         let mut num = |name: &str| -> Result<usize, String> {
@@ -116,57 +152,127 @@ fn cmd_model(args: &[String]) -> ExitCode {
                 .map_err(|_| format!("{name} needs an integer"))
         };
         match a.as_str() {
+            "--protocol" => match it.next().map(String::as_str) {
+                Some("pool") => protocol = Protocol::Pool,
+                Some("snapshot") => protocol = Protocol::Snapshot,
+                Some(other) => return usage_err(&format!("unknown protocol `{other}`")),
+                None => return usage_err("--protocol needs a value"),
+            },
             "--workers" => match num("--workers") {
-                Ok(n) => cfg.workers = n,
+                Ok(n) => pool_cfg.workers = n,
                 Err(e) => return usage_err(&e),
             },
             "--leaves" => match num("--leaves") {
-                Ok(n) => cfg.leaves = n,
+                Ok(n) => pool_cfg.leaves = n,
                 Err(e) => return usage_err(&e),
             },
             "--batches" => match num("--batches") {
-                Ok(n) => cfg.batches = n,
+                Ok(n) => pool_cfg.batches = n,
                 Err(e) => return usage_err(&e),
             },
-            "--force-steal" => cfg.force_steal = true,
-            "--mutate" => match it.next().map(String::as_str) {
-                Some("all") => mutate_all = true,
-                Some(name) => match Mutation::parse(name) {
-                    Some(m) => cfg.mutation = Some(m),
-                    None => return usage_err(&format!("unknown mutation `{name}`")),
-                },
+            "--force-steal" => pool_cfg.force_steal = true,
+            "--scorers" => match num("--scorers") {
+                Ok(n) => snap_cfg.scorers = n,
+                Err(e) => return usage_err(&e),
+            },
+            "--sweeps" => match num("--sweeps") {
+                Ok(n) => snap_cfg.sweeps = n as u8,
+                Err(e) => return usage_err(&e),
+            },
+            "--min-states" => match num("--min-states") {
+                Ok(n) => min_states = Some(n),
+                Err(e) => return usage_err(&e),
+            },
+            "--mutate" => match it.next() {
+                Some(name) => mutate = Some(name.clone()),
                 None => return usage_err("--mutate needs a value"),
             },
             other => return usage_err(&format!("unknown model option `{other}`")),
         }
     }
 
-    if mutate_all {
-        let mut ok = true;
-        for m in Mutation::ALL {
-            let mut c = cfg.clone();
-            c.mutation = Some(m);
-            ok &= run_model(&c);
-        }
-        return if ok { ExitCode::SUCCESS } else { ExitCode::FAILURE };
+    match protocol {
+        Protocol::Pool => match mutate.as_deref() {
+            Some("all") => {
+                let mut ok = true;
+                for m in Mutation::ALL {
+                    let mut c = pool_cfg.clone();
+                    c.mutation = Some(m);
+                    ok &= run_pool_model(&c, min_states);
+                }
+                if ok {
+                    ExitCode::SUCCESS
+                } else {
+                    ExitCode::FAILURE
+                }
+            }
+            Some(name) => match Mutation::parse(name) {
+                Some(m) => {
+                    pool_cfg.mutation = Some(m);
+                    bool_exit(run_pool_model(&pool_cfg, min_states))
+                }
+                None => usage_err(&format!("unknown pool mutation `{name}`")),
+            },
+            None => bool_exit(run_pool_model(&pool_cfg, min_states)),
+        },
+        Protocol::Snapshot => match mutate.as_deref() {
+            Some("all") => {
+                let mut ok = true;
+                for m in SnapMutation::ALL {
+                    let mut c = snap_cfg.clone();
+                    c.mutation = Some(m);
+                    ok &= run_snapshot_model(&c, min_states);
+                }
+                if ok {
+                    ExitCode::SUCCESS
+                } else {
+                    ExitCode::FAILURE
+                }
+            }
+            Some(name) => match SnapMutation::parse(name) {
+                Some(m) => {
+                    snap_cfg.mutation = Some(m);
+                    bool_exit(run_snapshot_model(&snap_cfg, min_states))
+                }
+                None => usage_err(&format!("unknown snapshot mutation `{name}`")),
+            },
+            None => bool_exit(run_snapshot_model(&snap_cfg, min_states)),
+        },
     }
-    if run_model(&cfg) {
+}
+
+fn bool_exit(ok: bool) -> ExitCode {
+    if ok {
         ExitCode::SUCCESS
     } else {
         ExitCode::FAILURE
     }
 }
 
-/// Run one model-check configuration; returns true on the expected
+/// Shared state-count floor check (CI's search-space collapse guard).
+fn states_floor_ok(states: usize, min_states: Option<usize>) -> bool {
+    match min_states {
+        Some(floor) if states < floor => {
+            eprintln!(
+                "qq-check model: explored only {states} states, below the --min-states floor \
+                 of {floor} — the search space has collapsed"
+            );
+            false
+        }
+        _ => true,
+    }
+}
+
+/// Run one pool-protocol configuration; returns true on the expected
 /// outcome (clean for the real protocol, caught for a mutated one).
-fn run_model(cfg: &ModelConfig) -> bool {
+fn run_pool_model(cfg: &ModelConfig, min_states: Option<usize>) -> bool {
     let report = model::check(cfg);
     let label = match cfg.mutation {
         Some(m) => format!("mutation {}", m.name()),
         None => "protocol".to_string(),
     };
     eprintln!(
-        "qq-check model: {label}: {} workers x {} leaves x {} batches{} -> {} states, {} \
+        "qq-check model: pool {label}: {} workers x {} leaves x {} batches{} -> {} states, {} \
          terminal schedules",
         cfg.workers,
         cfg.leaves,
@@ -175,7 +281,7 @@ fn run_model(cfg: &ModelConfig) -> bool {
         report.states,
         report.terminals
     );
-    match (&report.violation, cfg.mutation) {
+    let expected = match (&report.violation, cfg.mutation) {
         (None, None) => {
             eprintln!("qq-check model: no violation in any schedule");
             true
@@ -204,7 +310,57 @@ fn run_model(cfg: &ModelConfig) -> bool {
             );
             false
         }
-    }
+    };
+    // Mutated runs stop exploring at the first violation, so the floor
+    // only applies to full (clean-protocol) explorations.
+    expected && (cfg.mutation.is_some() || states_floor_ok(report.states, min_states))
+}
+
+/// Run one snapshot-protocol configuration; same exit semantics as the
+/// pool checker.
+fn run_snapshot_model(cfg: &SnapConfig, min_states: Option<usize>) -> bool {
+    let report = snapshot::check(cfg);
+    let label = match cfg.mutation {
+        Some(m) => format!("mutation {}", m.name()),
+        None => "protocol".to_string(),
+    };
+    eprintln!(
+        "qq-check model: snapshot {label}: {} scorers x {} sweeps -> {} states, {} terminal \
+         schedules",
+        cfg.scorers, cfg.sweeps, report.states, report.terminals
+    );
+    let expected = match (&report.violation, cfg.mutation) {
+        (None, None) => {
+            eprintln!("qq-check model: no violation in any schedule");
+            true
+        }
+        (Some(v), None) => {
+            eprintln!("qq-check model: VIOLATION on {}: {}", v.instance, v.kind.describe());
+            eprintln!("  schedule:");
+            for step in &v.trace {
+                eprintln!("    {step}");
+            }
+            false
+        }
+        (Some(v), Some(m)) => {
+            eprintln!(
+                "qq-check model: mutation {} caught on {}: {} ({} steps)",
+                m.name(),
+                v.instance,
+                v.kind.describe(),
+                v.trace.len()
+            );
+            true
+        }
+        (None, Some(m)) => {
+            eprintln!(
+                "qq-check model: mutation {} NOT caught — the checker has lost its teeth",
+                m.name()
+            );
+            false
+        }
+    };
+    expected && (cfg.mutation.is_some() || states_floor_ok(report.states, min_states))
 }
 
 fn usage_err(msg: &str) -> ExitCode {

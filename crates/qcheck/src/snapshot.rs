@@ -1,0 +1,625 @@
+//! Bounded model checking of the snapshot-sweep divide protocol.
+//!
+//! PR 9's parallel divide path (`qq_graph::partitioner::
+//! label_propagation_snapshot` and the snapshot refinement sweeps) obeys
+//! one rule: **score in parallel against frozen state, apply
+//! sequentially in ascending node order against live state**. The rule's
+//! decision procedures live in [`qq_graph::snapshot`]; this module
+//! exhaustively explores every interleaving of 2–3 virtual scorer
+//! workers against the sequential applier over tiny fixed instances
+//! (≤ 6 nodes) and checks, at every step and terminal state:
+//!
+//! * **Snapshot isolation** — a scorer reads the *live* label array
+//!   (exactly as the real code reads `label_ref`); every value it
+//!   observes must still equal the sweep-start snapshot. The phase
+//!   barrier (the applier only runs once every scorer has drained its
+//!   chunk) is what makes this hold, and the checker proves the barrier
+//!   suffices on every schedule.
+//! * **Ascending-id apply order** — commits must be monotonically
+//!   increasing in node id within a sweep ([`qq_graph::snapshot::
+//!   APPLY_ORDER`]), the one order that is a pure function of the
+//!   instance rather than the schedule.
+//! * **Live-cap re-check** — after every commit, no community may exceed
+//!   the cap ([`qq_graph::snapshot::CAP_CHECK`] makes the applier
+//!   re-check running sizes, so two proposals for the same nearly-full
+//!   target cannot both land).
+//! * **Schedule-independence** — every terminal labeling must equal the
+//!   sequential reference execution of the same policy.
+//!
+//! As with the pool checker ([`crate::model`]), fidelity comes from
+//! executing the real policy: scoring calls
+//! [`qq_graph::snapshot::propose_label`] and committing calls
+//! [`qq_graph::snapshot::commit_label`] — change the tolerance, the
+//! tie-break, or the cap discipline in the runtime and the checker
+//! checks the new policy. Seeded mutations ([`SnapMutation`]) break the
+//! protocol the ways real regressions would (committing while scoring is
+//! in flight, unordered commits, trusting frozen sizes), and CI asserts
+//! the checker catches each one.
+
+use std::collections::BTreeSet;
+
+/// A seeded protocol mutation for validating the checker's teeth.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SnapMutation {
+    /// Drop the phase barrier: the applier starts committing proposals
+    /// while other scorers are still reading the live arrays — the
+    /// canonical torn-read bug snapshot isolation exists to prevent.
+    ScoreAgainstLive,
+    /// Commit proposals in descending node order — the winner of any cap
+    /// contention becomes an artifact of commit order instead of a pure
+    /// function of the instance.
+    UnorderedApply,
+    /// Check the cap against the frozen sweep-start sizes instead of the
+    /// live running sizes — two proposals for the same nearly-full
+    /// target both pass and the cap is overshot.
+    StaleCapCommit,
+}
+
+impl SnapMutation {
+    pub fn parse(s: &str) -> Option<SnapMutation> {
+        match s {
+            "score-against-live" => Some(SnapMutation::ScoreAgainstLive),
+            "unordered-apply" => Some(SnapMutation::UnorderedApply),
+            "stale-cap-commit" => Some(SnapMutation::StaleCapCommit),
+            _ => None,
+        }
+    }
+
+    pub fn name(self) -> &'static str {
+        match self {
+            SnapMutation::ScoreAgainstLive => "score-against-live",
+            SnapMutation::UnorderedApply => "unordered-apply",
+            SnapMutation::StaleCapCommit => "stale-cap-commit",
+        }
+    }
+
+    /// All mutations, for `--mutate all` / tests.
+    pub const ALL: [SnapMutation; 3] = [
+        SnapMutation::ScoreAgainstLive,
+        SnapMutation::UnorderedApply,
+        SnapMutation::StaleCapCommit,
+    ];
+}
+
+/// Checker configuration.
+#[derive(Debug, Clone)]
+pub struct SnapConfig {
+    /// Virtual scorer workers (1–3). Each owns one fixed contiguous node
+    /// chunk, exactly as the runtime's fixed node-range chunks do; two
+    /// scorers already exhibit every read-while-applying race.
+    pub scorers: usize,
+    /// Sweep budget (1–3). Two sweeps cover the interesting space: a
+    /// proposal dropped by the live-cap re-check in sweep one retries —
+    /// against a fresh snapshot — in sweep two.
+    pub sweeps: u8,
+    /// Protocol mutation under test (`None` = the real protocol).
+    pub mutation: Option<SnapMutation>,
+}
+
+impl Default for SnapConfig {
+    fn default() -> Self {
+        SnapConfig { scorers: 2, sweeps: 2, mutation: None }
+    }
+}
+
+/// A protocol violation, with the schedule that produced it.
+#[derive(Debug, Clone)]
+pub struct SnapViolation {
+    pub kind: SnapViolationKind,
+    /// Instance the violating schedule ran on.
+    pub instance: &'static str,
+    /// Human-readable step trace of the violating schedule.
+    pub trace: Vec<String>,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+pub enum SnapViolationKind {
+    /// A scorer observed a label that no longer matches the sweep-start
+    /// snapshot — it saw a partially-applied assignment.
+    SnapshotIsolation { scorer: u8, node: u8, observed_at: u8 },
+    /// Two commits in one sweep were not in ascending node order.
+    ApplyOrder { prev: u8, next: u8 },
+    /// A commit pushed a community past the cap.
+    CapExceeded { community: u32, size: usize, cap: usize },
+    /// A terminal labeling differs from the sequential reference — the
+    /// outcome depended on the schedule.
+    NonDeterministic { got: Vec<u32>, want: Vec<u32> },
+}
+
+impl SnapViolationKind {
+    pub fn describe(&self) -> String {
+        match self {
+            SnapViolationKind::SnapshotIsolation { scorer, node, observed_at } => format!(
+                "snapshot isolation broken: scorer {scorer} scoring node {node} observed a \
+                 partially-applied label at node {observed_at}"
+            ),
+            SnapViolationKind::ApplyOrder { prev, next } => format!(
+                "apply order broken: node {next} committed after node {prev} (must be ascending)"
+            ),
+            SnapViolationKind::CapExceeded { community, size, cap } => {
+                format!("cap overshot: community {community} reached size {size} with cap {cap}")
+            }
+            SnapViolationKind::NonDeterministic { got, want } => format!(
+                "schedule-dependent outcome: terminal labels {got:?} differ from the sequential \
+                 reference {want:?}"
+            ),
+        }
+    }
+}
+
+/// Exploration summary (one instance's sub-exploration is summed into
+/// the totals; the first violation stops the whole sweep).
+#[derive(Debug)]
+pub struct SnapReport {
+    pub config: SnapConfig,
+    /// Distinct states visited, summed over all fixed instances.
+    pub states: usize,
+    /// Terminal states reached, summed over all fixed instances.
+    pub terminals: usize,
+    /// First violation found, if any (exploration stops there).
+    pub violation: Option<SnapViolation>,
+}
+
+// --------------------------------------------------------- the instances
+
+/// A fixed ≤6-node instance: `(name, n, edges, cap)`. Weights are small
+/// integers-in-f64 so pulls compare exactly; the *policy* under test is
+/// ordering and cap discipline, not float rounding.
+struct Instance {
+    name: &'static str,
+    n: usize,
+    edges: &'static [(usize, usize, f64)],
+    cap: usize,
+}
+
+/// The fixed instance zoo. Between them the three instances exercise:
+/// multi-commit sweeps (chain), cap contention between two proposals for
+/// the same target (contention), and a second sweep whose proposals only
+/// exist because of first-sweep commits (triangle-tail).
+const INSTANCES: &[Instance] = &[
+    Instance {
+        name: "chain-6",
+        n: 6,
+        edges: &[(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0), (3, 4, 1.0), (4, 5, 1.0)],
+        cap: 3,
+    },
+    Instance { name: "contention-4", n: 4, edges: &[(0, 2, 2.0), (1, 2, 2.0)], cap: 2 },
+    Instance {
+        name: "triangle-tail-5",
+        n: 5,
+        edges: &[(0, 1, 1.0), (0, 2, 1.0), (1, 2, 1.0), (2, 3, 2.0), (3, 4, 1.0)],
+        cap: 2,
+    },
+];
+
+impl Instance {
+    /// Incident `(neighbor, |w|)` lists, mirroring `Graph::neighbors`.
+    fn adjacency(&self) -> Vec<Vec<(usize, f64)>> {
+        let mut adj = vec![Vec::new(); self.n];
+        for &(u, v, w) in self.edges {
+            adj[u].push((v, w.abs()));
+            adj[v].push((u, w.abs()));
+        }
+        adj
+    }
+}
+
+// ------------------------------------------------------------- the model
+
+/// Per-node scoring status within the current sweep.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+enum Prop {
+    /// The owning scorer has not reached this node yet.
+    NotScored,
+    /// Scored; `Some(c)` proposes moving to label `c`.
+    Scored(Option<u32>),
+}
+
+/// Full system state. `Ord`-derived so the visited set is a `BTreeSet`
+/// (deterministic exploration, no hash order anywhere in the checker).
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+struct State {
+    /// Live label per node — the array both scorers and applier touch.
+    label: Vec<u32>,
+    /// Live community sizes.
+    size: Vec<usize>,
+    /// Ghost state: labels as frozen at the top of the sweep. The real
+    /// code has no second array — the snapshot *is* the live array plus
+    /// the phase barrier — so the checker carries it to detect barrier
+    /// violations.
+    snap_label: Vec<u32>,
+    /// Ghost state: sizes as frozen at the top of the sweep (what the
+    /// score phase's admissibility check is defined against).
+    snap_size: Vec<usize>,
+    /// Current sweep index.
+    sweep: u8,
+    /// Each scorer's progress through its fixed node chunk.
+    scorer_pc: Vec<u8>,
+    /// Scoring status per node.
+    proposals: Vec<Prop>,
+    /// Applier progress: nodes processed so far this sweep.
+    apply_pc: u8,
+    /// Node id of the last commit this sweep (apply-order check).
+    last_commit: Option<u8>,
+    /// Whether any commit landed this sweep (sweep-convergence flag).
+    changed: bool,
+}
+
+/// Exhaustively check every scorer/applier interleaving of the snapshot
+/// protocol (or the mutated variant) over all fixed instances.
+pub fn check(config: &SnapConfig) -> SnapReport {
+    let mut states = 0;
+    let mut terminals = 0;
+    for inst in INSTANCES {
+        let mut ex = Explorer::new(inst, config);
+        let violation = ex.explore();
+        states += ex.visited.len();
+        terminals += ex.terminals;
+        if let Some(kind) = violation {
+            return SnapReport {
+                config: config.clone(),
+                states,
+                terminals,
+                violation: Some(SnapViolation { kind, instance: inst.name, trace: ex.trace }),
+            };
+        }
+    }
+    SnapReport { config: config.clone(), states, terminals, violation: None }
+}
+
+struct Explorer<'a> {
+    inst: &'a Instance,
+    adj: Vec<Vec<(usize, f64)>>,
+    /// Fixed contiguous node chunk per scorer (may be fewer chunks than
+    /// scorers on tiny instances; surplus scorers are simply idle).
+    chunks: Vec<std::ops::Range<usize>>,
+    config: &'a SnapConfig,
+    /// Sequential reference labeling every terminal must reproduce.
+    reference: Vec<u32>,
+    visited: BTreeSet<State>,
+    terminals: usize,
+    /// Step descriptions along the current DFS path; on violation this
+    /// holds the offending schedule.
+    trace: Vec<String>,
+}
+
+impl<'a> Explorer<'a> {
+    fn new(inst: &'a Instance, config: &'a SnapConfig) -> Self {
+        let adj = inst.adjacency();
+        // The runtime chunks by a fixed grain (rayon::DEFAULT_GRAIN);
+        // the model uses the same function with a grain that spreads the
+        // instance over the configured scorer count.
+        let grain = inst.n.div_ceil(config.scorers.max(1));
+        let chunks = qq_graph::snapshot::score_chunks(inst.n, grain.max(1));
+        let reference = sequential_reference(inst, &adj, config.sweeps);
+        Explorer {
+            inst,
+            adj,
+            chunks,
+            config,
+            reference,
+            visited: BTreeSet::new(),
+            terminals: 0,
+            trace: Vec::new(),
+        }
+    }
+
+    fn initial(&self) -> State {
+        let n = self.inst.n;
+        let label: Vec<u32> = (0..n as u32).collect();
+        let size = vec![1usize; n];
+        State {
+            snap_label: label.clone(),
+            snap_size: size.clone(),
+            label,
+            size,
+            sweep: 0,
+            scorer_pc: vec![0; self.chunks.len()],
+            proposals: vec![Prop::NotScored; n],
+            apply_pc: 0,
+            last_commit: None,
+            changed: false,
+        }
+    }
+
+    fn explore(&mut self) -> Option<SnapViolationKind> {
+        let init = self.initial();
+        self.dfs(init)
+    }
+
+    fn dfs(&mut self, s: State) -> Option<SnapViolationKind> {
+        if !self.visited.insert(s.clone()) {
+            return None;
+        }
+        let mut any_step = false;
+        // Scorer steps: each scorer with chunk progress left is enabled.
+        for w in 0..self.chunks.len() {
+            if (s.scorer_pc[w] as usize) < self.chunks[w].len() {
+                any_step = true;
+                let (next, desc, violation) = self.scorer_step(&s, w);
+                self.trace.push(desc);
+                if violation.is_some() {
+                    return violation;
+                }
+                let v = self.dfs(next);
+                if v.is_some() {
+                    return v;
+                }
+                self.trace.pop();
+            }
+        }
+        // Applier step, when the barrier policy enables it.
+        if (s.apply_pc as usize) < self.inst.n && self.applier_enabled(&s) {
+            any_step = true;
+            let (next, desc, violation) = self.applier_step(&s);
+            self.trace.push(desc);
+            if violation.is_some() {
+                return violation;
+            }
+            let v = self.dfs(next);
+            if v.is_some() {
+                return v;
+            }
+            self.trace.pop();
+        }
+        if !any_step {
+            // All scorers drained and all nodes processed: end of sweep.
+            return self.end_of_sweep(&s);
+        }
+        None
+    }
+
+    /// The phase barrier. Correct protocol: the applier may not start
+    /// until every scorer has drained its chunk. `score-against-live`
+    /// removes the barrier — the applier runs as soon as the next node
+    /// in its order has been scored.
+    fn applier_enabled(&self, s: &State) -> bool {
+        match self.config.mutation {
+            Some(SnapMutation::ScoreAgainstLive) => {
+                let v = self.apply_target(s);
+                s.proposals[v] != Prop::NotScored
+            }
+            _ => (0..self.chunks.len()).all(|w| s.scorer_pc[w] as usize >= self.chunks[w].len()),
+        }
+    }
+
+    /// Which node the applier processes next: ascending id, or
+    /// descending under `unordered-apply`.
+    fn apply_target(&self, s: &State) -> usize {
+        match self.config.mutation {
+            Some(SnapMutation::UnorderedApply) => self.inst.n - 1 - s.apply_pc as usize,
+            _ => s.apply_pc as usize,
+        }
+    }
+
+    /// One scorer critical section: score the next node of chunk `w`
+    /// against the live arrays (exactly what the real code reads), with
+    /// the isolation check comparing every observed label to the
+    /// sweep-start snapshot.
+    fn scorer_step(&self, s: &State, w: usize) -> (State, String, Option<SnapViolationKind>) {
+        let v = self.chunks[w].start + s.scorer_pc[w] as usize;
+        let desc = format!("scorer{w}: score node {v} (sweep {})", s.sweep);
+        // Isolation check over every location this read touches: the
+        // node's own label and each neighbor's.
+        let mut observed = vec![v];
+        observed.extend(self.adj[v].iter().map(|&(u, _)| u));
+        for &u in &observed {
+            if s.label[u] != s.snap_label[u] {
+                return (
+                    s.clone(),
+                    desc,
+                    Some(SnapViolationKind::SnapshotIsolation {
+                        scorer: w as u8,
+                        node: v as u8,
+                        observed_at: u as u8,
+                    }),
+                );
+            }
+        }
+        // The real scoring decision, from the shared policy module.
+        let home = s.label[v];
+        let mut buf: Vec<(u32, f64)> = self.adj[v].iter().map(|&(u, w)| (s.label[u], w)).collect();
+        let proposal =
+            qq_graph::snapshot::propose_label(home, &mut buf, &s.snap_size, self.inst.cap);
+        let mut next = s.clone();
+        next.scorer_pc[w] += 1;
+        next.proposals[v] = Prop::Scored(proposal);
+        (next, desc, None)
+    }
+
+    /// One applier critical section: process the next node in the apply
+    /// order — commit its proposal through the shared policy (live-cap
+    /// re-check) or, under `stale-cap-commit`, against the frozen sizes.
+    fn applier_step(&self, s: &State) -> (State, String, Option<SnapViolationKind>) {
+        let v = self.apply_target(s);
+        let mut next = s.clone();
+        next.apply_pc += 1;
+        let proposal = match &s.proposals[v] {
+            Prop::Scored(p) => *p,
+            Prop::NotScored => None,
+        };
+        let Some(c) = proposal else {
+            return (next, format!("applier: node {v} no proposal"), None);
+        };
+        let committed = match self.config.mutation {
+            Some(SnapMutation::StaleCapCommit) => {
+                // The bug: admission decided on sweep-start sizes.
+                if s.snap_size[c as usize] < self.inst.cap {
+                    next.size[next.label[v] as usize] -= 1;
+                    next.size[c as usize] += 1;
+                    next.label[v] = c;
+                    true
+                } else {
+                    false
+                }
+            }
+            _ => qq_graph::snapshot::commit_label(
+                v,
+                c,
+                &mut next.label,
+                &mut next.size,
+                self.inst.cap,
+            ),
+        };
+        let desc = if committed {
+            format!("applier: commit node {v} -> label {c} (sweep {})", s.sweep)
+        } else {
+            format!("applier: drop node {v} -> label {c}, target full (sweep {})", s.sweep)
+        };
+        if committed {
+            // Cap invariant after every commit.
+            if next.size[c as usize] > self.inst.cap {
+                return (
+                    next.clone(),
+                    desc,
+                    Some(SnapViolationKind::CapExceeded {
+                        community: c,
+                        size: next.size[c as usize],
+                        cap: self.inst.cap,
+                    }),
+                );
+            }
+            // Ascending-order invariant across the sweep's commits.
+            if let Some(prev) = s.last_commit {
+                if prev as usize > v {
+                    return (
+                        next.clone(),
+                        desc,
+                        Some(SnapViolationKind::ApplyOrder { prev, next: v as u8 }),
+                    );
+                }
+            }
+            next.last_commit = Some(v as u8);
+            next.changed = true;
+        }
+        (next, desc, None)
+    }
+
+    /// All scorers drained and all nodes processed: either roll into the
+    /// next sweep (fresh snapshot) or terminate and compare against the
+    /// sequential reference.
+    fn end_of_sweep(&mut self, s: &State) -> Option<SnapViolationKind> {
+        if s.changed && s.sweep + 1 < self.config.sweeps {
+            let mut next = s.clone();
+            next.sweep += 1;
+            next.snap_label = next.label.clone();
+            next.snap_size = next.size.clone();
+            next.scorer_pc = vec![0; self.chunks.len()];
+            next.proposals = vec![Prop::NotScored; self.inst.n];
+            next.apply_pc = 0;
+            next.last_commit = None;
+            next.changed = false;
+            self.trace.push(format!("sweep {} -> {}: refreeze snapshot", s.sweep, next.sweep));
+            let v = self.dfs(next);
+            if v.is_none() {
+                self.trace.pop();
+            }
+            return v;
+        }
+        self.terminals += 1;
+        if s.label != self.reference {
+            return Some(SnapViolationKind::NonDeterministic {
+                got: s.label.clone(),
+                want: self.reference.clone(),
+            });
+        }
+        None
+    }
+}
+
+/// The sequential reference: the same policy (score everything against
+/// the frozen sweep-start state, apply ascending with live-cap re-check)
+/// executed with no concurrency at all. Every terminal of the correct
+/// protocol must land exactly here.
+fn sequential_reference(inst: &Instance, adj: &[Vec<(usize, f64)>], sweeps: u8) -> Vec<u32> {
+    let n = inst.n;
+    let mut label: Vec<u32> = (0..n as u32).collect();
+    let mut size = vec![1usize; n];
+    for _ in 0..sweeps {
+        let snap_label = label.clone();
+        let snap_size = size.clone();
+        let proposals: Vec<Option<u32>> = (0..n)
+            .map(|v| {
+                let mut buf: Vec<(u32, f64)> =
+                    adj[v].iter().map(|&(u, w)| (snap_label[u], w)).collect();
+                qq_graph::snapshot::propose_label(snap_label[v], &mut buf, &snap_size, inst.cap)
+            })
+            .collect();
+        let mut changed = false;
+        for (v, proposal) in proposals.into_iter().enumerate() {
+            if let Some(c) = proposal {
+                changed |= qq_graph::snapshot::commit_label(v, c, &mut label, &mut size, inst.cap);
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    label
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn correct_protocol_is_clean() {
+        for scorers in [1usize, 2, 3] {
+            let report = check(&SnapConfig { scorers, sweeps: 2, mutation: None });
+            assert!(
+                report.violation.is_none(),
+                "clean protocol flagged at {scorers} scorers: {:?}",
+                report.violation
+            );
+            // Scorers commute under the correct barrier, so memoization
+            // collapses most interleavings — the floor guards against
+            // the exploration degenerating to a single path, not
+            // against confluence.
+            let floor = if scorers > 1 { 100 } else { 60 };
+            assert!(
+                report.states >= floor,
+                "suspiciously small exploration at {scorers} scorers: {}",
+                report.states
+            );
+            assert!(report.terminals > 0);
+        }
+    }
+
+    #[test]
+    fn every_mutation_is_caught() {
+        for m in SnapMutation::ALL {
+            let report = check(&SnapConfig { scorers: 2, sweeps: 2, mutation: Some(m) });
+            assert!(report.violation.is_some(), "mutation {} escaped the checker", m.name());
+        }
+    }
+
+    #[test]
+    fn mutations_trip_their_own_property() {
+        let kind = |m: SnapMutation| {
+            check(&SnapConfig { scorers: 2, sweeps: 2, mutation: Some(m) })
+                .violation
+                .expect("caught")
+                .kind
+        };
+        assert!(matches!(
+            kind(SnapMutation::ScoreAgainstLive),
+            SnapViolationKind::SnapshotIsolation { .. }
+        ));
+        assert!(matches!(kind(SnapMutation::UnorderedApply), SnapViolationKind::ApplyOrder { .. }));
+        assert!(matches!(
+            kind(SnapMutation::StaleCapCommit),
+            SnapViolationKind::CapExceeded { .. }
+        ));
+    }
+
+    #[test]
+    fn violation_carries_a_trace() {
+        let report = check(&SnapConfig {
+            scorers: 2,
+            sweeps: 2,
+            mutation: Some(SnapMutation::ScoreAgainstLive),
+        });
+        let v = report.violation.expect("caught");
+        assert!(!v.trace.is_empty(), "violating schedule must be reported");
+    }
+}

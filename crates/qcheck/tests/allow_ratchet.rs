@@ -1,0 +1,135 @@
+//! Round-trip test of the allowlist ratchet on fixture workspaces.
+//!
+//! The allowlist's contract is "shrink-only": an entry may suppress
+//! exactly as many findings as it names, no more, no fewer. This suite
+//! drives `run_lint` over throwaway workspaces to pin all three edges of
+//! that contract:
+//!
+//! * a **new finding** with no covering entry fails the lint (the list
+//!   cannot grow silently);
+//! * a **stale entry** — covering more findings than exist, or a finding
+//!   that has been fixed entirely — also fails (no dead grandfather
+//!   rights);
+//! * a **legitimate shrink** — fixing one of N grandfathered findings
+//!   and decrementing the entry's count in the same change — passes.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU32, Ordering};
+
+/// Build a throwaway workspace containing `files` (workspace-relative
+/// path → contents) and return its root.
+fn fixture(files: &[(&str, &str)]) -> PathBuf {
+    static SEQ: AtomicU32 = AtomicU32::new(0);
+    let root = std::env::temp_dir().join(format!(
+        "qq-check-ratchet-{}-{}",
+        std::process::id(),
+        SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    for (rel, contents) in files {
+        let path = root.join(rel);
+        std::fs::create_dir_all(path.parent().expect("fixture paths have parents"))
+            .expect("create fixture dirs");
+        std::fs::write(&path, contents).expect("write fixture file");
+    }
+    root
+}
+
+/// A library file with one untagged parallel f64 combine per function —
+/// the reduction-order pass flags each, with identical snippets, so one
+/// allowlist entry can cover both.
+const TWO_FINDINGS: &str = "pub fn a(xs: &[f64]) -> f64 {
+    let total: f64 = xs.par_iter().sum();
+    total
+}
+pub fn b(xs: &[f64]) -> f64 {
+    let total: f64 = xs.par_iter().sum();
+    total
+}
+";
+
+const ONE_FINDING: &str = "pub fn a(xs: &[f64]) -> f64 {
+    let total: f64 = xs.par_iter().sum();
+    total
+}
+pub fn b(xs: &[f64]) -> f64 {
+    // REDUCTION: fixed split tree; chunk order is the slice order.
+    let total: f64 = xs.par_iter().sum();
+    total
+}
+";
+
+fn lint(root: &PathBuf) -> qq_check::LintReport {
+    let report = qq_check::run_lint(root).expect("lint runs on the fixture");
+    std::fs::remove_dir_all(root).ok();
+    report
+}
+
+#[test]
+fn new_finding_without_entry_fails() {
+    let root = fixture(&[("src/lib.rs", TWO_FINDINGS)]);
+    let report = lint(&root);
+    assert_eq!(report.suppressed, 0);
+    assert_eq!(report.errors.len(), 2, "both uncovered findings fail: {:?}", report.errors);
+    let msg = report.errors[0].to_string();
+    assert!(msg.contains("[reduction]"), "error names the pass: {msg}");
+}
+
+#[test]
+fn exact_entry_suppresses_exactly() {
+    let root = fixture(&[
+        ("src/lib.rs", TWO_FINDINGS),
+        ("qq-check.allow", "reduction\tsrc/lib.rs\t2\tlet total: f64 = xs.par_iter().sum();\n"),
+    ]);
+    let report = lint(&root);
+    assert!(report.errors.is_empty(), "exact entry is clean: {:?}", report.errors);
+    assert_eq!(report.suppressed, 2);
+}
+
+#[test]
+fn overcounted_entry_is_stale() {
+    // Entry says 3, only 2 findings exist — someone fixed one without
+    // shrinking the entry. The ratchet must fail.
+    let root = fixture(&[
+        ("src/lib.rs", TWO_FINDINGS),
+        ("qq-check.allow", "reduction\tsrc/lib.rs\t3\tlet total: f64 = xs.par_iter().sum();\n"),
+    ]);
+    let report = lint(&root);
+    assert_eq!(report.errors.len(), 1, "stale over-count fails: {:?}", report.errors);
+    let msg = report.errors[0].to_string();
+    assert!(msg.contains("stale"), "error calls the entry stale: {msg}");
+}
+
+#[test]
+fn entry_for_fixed_finding_is_stale() {
+    // All findings fixed, entry left behind — fails until deleted.
+    let root = fixture(&[
+        ("src/lib.rs", "pub fn a() -> i32 { 1 }\n"),
+        ("qq-check.allow", "reduction\tsrc/lib.rs\t2\tlet total: f64 = xs.par_iter().sum();\n"),
+    ]);
+    let report = lint(&root);
+    assert_eq!(report.errors.len(), 1, "orphaned entry fails: {:?}", report.errors);
+    assert!(report.errors[0].to_string().contains("stale"));
+}
+
+#[test]
+fn legitimate_shrink_passes() {
+    // One of the two grandfathered findings is fixed (tagged) and the
+    // entry's count drops from 2 to 1 in the same change: clean.
+    let root = fixture(&[
+        ("src/lib.rs", ONE_FINDING),
+        ("qq-check.allow", "reduction\tsrc/lib.rs\t1\tlet total: f64 = xs.par_iter().sum();\n"),
+    ]);
+    let report = lint(&root);
+    assert!(report.errors.is_empty(), "shrunk entry is clean: {:?}", report.errors);
+    assert_eq!(report.suppressed, 1);
+}
+
+#[test]
+fn malformed_entry_fails() {
+    let root = fixture(&[
+        ("src/lib.rs", "pub fn a() -> i32 { 1 }\n"),
+        ("qq-check.allow", "reduction\tsrc/lib.rs\tzero\tlet total: f64 = xs.par_iter().sum();\n"),
+    ]);
+    let report = lint(&root);
+    assert_eq!(report.errors.len(), 1, "malformed entry fails: {:?}", report.errors);
+}

@@ -94,6 +94,8 @@ const DENSE_DENSITY: f64 = 0.4;
 /// fraction's bits are identical at any `RAYON_NUM_THREADS`.
 pub fn probe(g: &Graph) -> InstanceProbe {
     use rayon::prelude::*;
+    // REDUCTION: fixed par_chunks(DEFAULT_GRAIN) over the edge list;
+    // per-chunk pair-sums combine in chunk-index order.
     let (positive, total) = g
         .edges()
         .par_chunks(rayon::DEFAULT_GRAIN)

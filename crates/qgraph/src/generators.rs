@@ -50,6 +50,8 @@ impl WeightKind {
 pub fn erdos_renyi(n: usize, p: f64, weights: WeightKind, seed: u64) -> Graph {
     assert!((0.0..=1.0).contains(&p), "edge probability must be in [0,1]");
     let mut rng = StdRng::seed_from_u64(seed);
+    // CAST: capacity *hint* only — truncating the 1.1x headroom estimate
+    // can never lose edges, just cost a reallocation.
     let mut b = GraphBuilder::with_capacity(n, (expected_edges(n, p) * 1.1) as usize);
     for u in 0..n as NodeId {
         for v in (u + 1)..n as NodeId {
@@ -76,6 +78,8 @@ pub fn erdos_renyi(n: usize, p: f64, weights: WeightKind, seed: u64) -> Graph {
 pub fn erdos_renyi_fast(n: usize, p: f64, weights: WeightKind, seed: u64) -> Graph {
     assert!((0.0..=1.0).contains(&p), "edge probability must be in [0,1]");
     let mut rng = StdRng::seed_from_u64(seed);
+    // CAST: capacity *hint* only — truncating the 1.1x headroom estimate
+    // can never lose edges, just cost a reallocation.
     let mut b = GraphBuilder::with_capacity(n, (expected_edges(n, p) * 1.1) as usize);
     if p == 0.0 || n < 2 {
         // INVARIANT: no edges appended, nothing to deduplicate.
@@ -91,6 +95,8 @@ pub fn erdos_renyi_fast(n: usize, p: f64, weights: WeightKind, seed: u64) -> Gra
     while v < n {
         let r: f64 = rng.gen();
         // log(1-r) is finite: r < 1 by construction of the f64 sampler
+        // CAST: floor() makes the truncation explicit; the geometric
+        // skip is non-negative and bounded by the remaining pair count.
         let skip = ((1.0 - r).ln() / lp).floor() as i64;
         u += 1 + skip.max(0);
         while u >= v as i64 && v < n {

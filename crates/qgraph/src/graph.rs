@@ -175,6 +175,7 @@ impl GraphBuilder {
         for i in 0..num_nodes {
             offsets[i + 1] += offsets[i];
         }
+        // CAST: literal zero placeholder — trivially in NodeId range.
         let mut adj = vec![(0 as NodeId, 0.0f64); 2 * edges.len()];
         let mut cursor = offsets.clone();
         for e in &edges {
@@ -188,6 +189,9 @@ impl GraphBuilder {
             slice.sort_unstable_by_key(|&(u, _)| u);
             if let Some(pair) = slice.windows(2).find(|p| p[0].0 == p[1].0) {
                 let other = pair[0].0;
+                // CAST: v < num_nodes, which stays below u32::MAX by the
+                // NodeId contract (every edge endpoint was range-checked
+                // at add_edge).
                 let v = v as NodeId;
                 return Err(GraphError::DuplicateEdge { u: v.min(other), v: v.max(other) });
             }
@@ -229,6 +233,9 @@ fn finalize_parallel(num_nodes: usize, edges: Vec<Edge>) -> crate::Result<Graph>
     use rayon::prelude::*;
 
     let hist_chunk = edges.len().div_ceil(PAR_FINALIZE_RANGES).max(1);
+    // REDUCTION: fixed par_chunks(hist_chunk) — a pure function of the
+    // edge count; integer histograms merge index-wise, no floats cross
+    // chunks.
     let counts = edges
         .par_chunks(hist_chunk)
         .map(|chunk| {
@@ -268,6 +275,7 @@ fn finalize_parallel(num_nodes: usize, edges: Vec<Edge>) -> crate::Result<Graph>
 
     // (lo, hi, the disjoint &mut adj sub-slice covering those nodes)
     type ScatterTask<'a> = (usize, usize, &'a mut [(NodeId, f64)]);
+    // CAST: literal zero placeholder — trivially in NodeId range.
     let mut adj = vec![(0 as NodeId, 0.0f64); total];
     let mut tasks: Vec<ScatterTask> = Vec::with_capacity(PAR_FINALIZE_RANGES);
     let mut rest: &mut [(NodeId, f64)] = &mut adj;
@@ -278,6 +286,8 @@ fn finalize_parallel(num_nodes: usize, edges: Vec<Edge>) -> crate::Result<Graph>
         tasks.push((lo, hi, head));
     }
 
+    // REDUCTION: fixed per-node-range tasks (one leaf each); the collect
+    // is keyed by task index and carries no floats.
     let first_dup = tasks
         .into_par_iter()
         .with_min_len(1)
@@ -300,6 +310,8 @@ fn finalize_parallel(num_nodes: usize, edges: Vec<Edge>) -> crate::Result<Graph>
                 s.sort_unstable_by_key(|&(u, _)| u);
                 if let Some(pair) = s.windows(2).find(|p| p[0].0 == p[1].0) {
                     let other = pair[0].0;
+                    // CAST: node < num_nodes ≤ NodeId range (add_edge
+                    // range-checked every endpoint).
                     let node = node as NodeId;
                     return Some((node.min(other), node.max(other)));
                 }
@@ -504,6 +516,7 @@ impl Graph {
                 continue;
             }
             seen[start] = true;
+            // CAST: start < num_nodes ≤ NodeId range.
             stack.push(start as NodeId);
             let mut comp = Vec::new();
             while let Some(v) = stack.pop() {
@@ -527,6 +540,8 @@ impl Graph {
     pub fn induced_subgraph(&self, nodes: &[NodeId]) -> (Graph, Vec<NodeId>) {
         let mut local_of = vec![u32::MAX; self.num_nodes];
         for (i, &v) in nodes.iter().enumerate() {
+            // CAST: i indexes the subgraph's node list, whose length is
+            // at most num_nodes ≤ NodeId range.
             local_of[v as usize] = i as u32;
         }
         let mut b = GraphBuilder::new(nodes.len());

@@ -229,6 +229,8 @@ fn parse_edge(content: &str, line_no: usize) -> crate::Result<RawEdge> {
         ),
         None => (1.0, false),
     };
+    // CAST: explicitly clamped to u32::MAX on the line number just
+    // before the narrowing (diagnostic field only).
     Ok(RawEdge { u, v, w, line: line_no.min(u32::MAX as usize) as u32, has_w })
 }
 
@@ -237,6 +239,8 @@ fn parse_edge(content: &str, line_no: usize) -> crate::Result<RawEdge> {
 fn add_mapped_edge(b: &mut GraphBuilder, e: &RawEdge, offset: u64, n: usize) -> crate::Result<()> {
     let line_no = e.line as usize;
     let map = |x: u64, what: &str| -> crate::Result<u32> {
+        // CAST: x is range-checked against n (the declared node count,
+        // ≤ NodeId range) on the same expression before the narrowing.
         x.checked_sub(offset).filter(|&x| x < n as u64).map(|x| x as u32).ok_or_else(|| {
             GraphError::Parse {
                 line: line_no,

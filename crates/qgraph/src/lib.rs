@@ -31,6 +31,7 @@ pub mod modularity;
 pub mod partition;
 pub mod partitioner;
 pub mod refine;
+pub mod snapshot;
 pub mod solver;
 
 pub use auto::{AutoScore, InstanceProbe};

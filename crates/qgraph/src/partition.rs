@@ -192,6 +192,8 @@ impl Subgraph {
 pub fn inter_weight_fraction(g: &Graph, partition: &Partition) -> f64 {
     use rayon::prelude::*;
     let assignment = partition.assignment();
+    // REDUCTION: fixed par_chunks(DEFAULT_GRAIN) over the edge list;
+    // per-chunk pair-sums combine in chunk-index order.
     let (inter, total) = g
         .edges()
         .par_chunks(rayon::DEFAULT_GRAIN)

@@ -41,6 +41,7 @@
 
 use crate::graph::{Graph, NodeId};
 use crate::partition::Partition;
+use crate::snapshot;
 use std::fmt;
 
 /// Why a partition could not be produced (or was rejected).
@@ -285,6 +286,9 @@ impl Partitioner for Multilevel {
                 use rayon::prelude::*;
                 let members_ref = &members;
                 let coarse_ref = &coarse;
+                // REDUCTION: fixed node_ranges(k) chunks, index-keyed
+                // collect — per-node best-match scores never cross a
+                // chunk boundary.
                 let best: Vec<Option<(f64, NodeId)>> = node_ranges(k)
                     .into_par_iter()
                     .with_min_len(1)
@@ -409,6 +413,10 @@ impl Partitioner for Multilevel {
                 use rayon::prelude::*;
                 let merge_into_ref = &merge_into;
                 let new_id_ref = &new_id;
+                // REDUCTION: fixed par_chunks(DEFAULT_GRAIN) over the
+                // coarse edge list; chunk results concatenate in chunk
+                // order, then accumulate_sorted_runs merges key-sorted
+                // runs left to right.
                 let mut all: Vec<((u32, u32), f64)> = coarse
                     .edges()
                     .par_chunks(rayon::DEFAULT_GRAIN)
@@ -605,6 +613,11 @@ impl Partitioner for LabelPropagation {
 /// longer and communities can differ from the sequential path's — which
 /// is why the small-instance path keeps the original sweep bit-identical
 /// to previous releases, and this variant only engages above the gate.
+///
+/// The score/apply decisions themselves live in [`crate::snapshot`], the
+/// policy module shared with the `qq-check` snapshot-protocol model
+/// checker — this function supplies the real graph, the pool fan-out,
+/// and the phase barrier between score and apply.
 #[doc(hidden)]
 pub fn label_propagation_snapshot(g: &Graph, cap: usize) -> Result<Partition, PartitionError> {
     use rayon::prelude::*;
@@ -617,6 +630,14 @@ pub fn label_propagation_snapshot(g: &Graph, cap: usize) -> Result<Partition, Pa
     for _ in 0..LABEL_PROP_MAX_SWEEPS {
         let label_ref = &label;
         let size_ref = &size;
+        // Score phase: every chunk evaluates against `label`/`size` as
+        // frozen at the top of the sweep (snapshot::SCORE_SOURCE) —
+        // sound because the apply loop below only starts once this
+        // collect has drained every chunk.
+        // REDUCTION: fixed node_ranges(n) chunks; per-node pulls
+        // accumulate over the neighbor list sorted by label inside
+        // snapshot::propose_label, so the f64 order is independent of
+        // thread count and steal schedule.
         let proposals: Vec<Option<u32>> = node_ranges(n)
             .into_par_iter()
             .with_min_len(1)
@@ -630,35 +651,7 @@ pub fn label_propagation_snapshot(g: &Graph, cap: usize) -> Result<Partition, Pa
                     for &(u, w) in g.neighbors(v as NodeId) {
                         buf.push((label_ref[u as usize], w.abs()));
                     }
-                    buf.sort_by_key(|&(c, _)| c);
-                    let mut home_pull = 0.0f64;
-                    let mut best: Option<(f64, u32)> = None;
-                    let mut i = 0;
-                    while i < buf.len() {
-                        let c = buf[i].0;
-                        let mut pull = 0.0f64;
-                        while i < buf.len() && buf[i].0 == c {
-                            pull += buf[i].1;
-                            i += 1;
-                        }
-                        if c == home {
-                            home_pull = pull;
-                        } else if size_ref[c as usize] < cap {
-                            let better = match best {
-                                None => true,
-                                Some((ba, bc)) => {
-                                    pull > ba + 1e-12 || (pull >= ba - 1e-12 && c < bc)
-                                }
-                            };
-                            if better {
-                                best = Some((pull, c));
-                            }
-                        }
-                    }
-                    match best {
-                        Some((pull, c)) if pull > home_pull + 1e-12 => Some(c),
-                        _ => None,
-                    }
+                    snapshot::propose_label(home, &mut buf, size_ref, cap)
                 })
                 .collect::<Vec<_>>()
             })
@@ -666,15 +659,12 @@ pub fn label_propagation_snapshot(g: &Graph, cap: usize) -> Result<Partition, Pa
             .into_iter()
             .flatten()
             .collect();
+        // Apply phase: ascending node id (snapshot::APPLY_ORDER) with a
+        // live cap re-check (snapshot::CAP_CHECK) inside commit_label.
         let mut changed = false;
         for (v, proposal) in proposals.into_iter().enumerate() {
             if let Some(c) = proposal {
-                if size[c as usize] < cap {
-                    size[label[v] as usize] -= 1;
-                    size[c as usize] += 1;
-                    label[v] = c;
-                    changed = true;
-                }
+                changed |= snapshot::commit_label(v, c, &mut label, &mut size, cap);
             }
         }
         if !changed {
@@ -703,12 +693,7 @@ fn communities_from_labels(n: usize, label: &[u32]) -> Vec<Vec<NodeId>> {
 /// every float accumulation order downstream, identical at any
 /// `RAYON_NUM_THREADS`.
 pub(crate) fn node_ranges(n: usize) -> Vec<std::ops::Range<usize>> {
-    (0..n.div_ceil(rayon::DEFAULT_GRAIN))
-        .map(|i| {
-            let lo = i * rayon::DEFAULT_GRAIN;
-            lo..(lo + rayon::DEFAULT_GRAIN).min(n)
-        })
-        .collect()
+    snapshot::score_chunks(n, rayon::DEFAULT_GRAIN)
 }
 
 /// Collapse a key-sorted `(key, weight)` list into one entry per key,

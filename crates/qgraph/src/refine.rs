@@ -230,6 +230,9 @@ pub fn refine_partition_snapshot_with(
 /// thread count.
 fn flag_migrations(g: &Graph, comm: &[u32], sizes: &[usize], cap: usize) -> Vec<NodeId> {
     use rayon::prelude::*;
+    // REDUCTION: fixed node_ranges(n) chunks; per-node pulls accumulate
+    // over label-sorted runs inside each chunk and the collect is keyed
+    // by chunk index, so the f64 order is schedule-independent.
     crate::partitioner::node_ranges(g.num_nodes())
         .into_par_iter()
         .with_min_len(1)
@@ -408,6 +411,8 @@ fn swap_sweep_snapshot(g: &Graph, comm: &mut [u32], sizes: &[usize], inter: &mut
     }
     let frozen: &[u32] = comm;
     let members_ref = &members;
+    // REDUCTION: fixed node_ranges(n) chunks with an index-keyed collect
+    // — identical chunk boundaries (hence f64 order) at any thread count.
     let flagged: Vec<NodeId> = crate::partitioner::node_ranges(n)
         .into_par_iter()
         .with_min_len(1)
@@ -579,6 +584,8 @@ fn swap_visit(
 /// one grain, identical to the plain sequential fold).
 fn inter_weight(g: &Graph, assignment: &[u32]) -> f64 {
     use rayon::prelude::*;
+    // REDUCTION: fixed par_chunks(DEFAULT_GRAIN) over the edge list;
+    // per-chunk sums run left to right and combine in chunk-index order.
     g.edges()
         .par_chunks(rayon::DEFAULT_GRAIN)
         .map(|chunk| {

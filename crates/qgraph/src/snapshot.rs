@@ -1,0 +1,239 @@
+//! The snapshot-sweep **policy**, factored out of the parallel divide
+//! path so that the runtime and the `qq-check` bounded model checker
+//! execute the *same* decisions from the *same* code — exactly the way
+//! `rayon::proto` shares the pool's scheduling policy with the pool
+//! model checker (DESIGN.md §9.1, §11).
+//!
+//! Every parallel divide phase follows one design rule: **score in
+//! parallel over frozen state, apply sequentially in node order**. The
+//! load-bearing pieces of that rule live here as pure functions and
+//! policy constants:
+//!
+//! * [`propose_label`] — the label-propagation scoring decision: given a
+//!   node's home label and its incident `(label, |w|)` list, pick the
+//!   strongest admissible pull (sorted-by-label run accumulation, the
+//!   `1e-12` tolerance, smaller-label-id tie-break, strict improvement
+//!   over the home pull). The parallel score phase evaluates this
+//!   against the sweep-start snapshot of labels and sizes.
+//! * [`commit_label`] — the sequential apply decision: re-check the
+//!   target community's **live** size against the cap and commit only if
+//!   it still fits. Two nodes proposing the same nearly-full target can
+//!   therefore never overshoot the cap; the loser retries next sweep.
+//! * [`SCORE_SOURCE`] / [`APPLY_ORDER`] / [`CAP_CHECK`] — the protocol
+//!   constants the implementation is written against and the model
+//!   checker reads as its defaults. The mutated variants exist so
+//!   `qq-check model --protocol snapshot --mutate …` can demonstrate the
+//!   checker catches each bug class; the runtime never executes them.
+//! * [`score_chunks`] — the fixed node-range chunking every score phase
+//!   fans out over: a pure function of `(n, grain)`, never of the thread
+//!   count, so chunk boundaries — and every float accumulation order
+//!   downstream — are identical at any `RAYON_NUM_THREADS`.
+//!
+//! Everything in this module is a pure function of its arguments: no
+//! clocks, no randomness, no global state. That is what makes the model
+//! checker's exploration exhaustive rather than probabilistic.
+
+/// What the score phase reads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScoreSource {
+    /// Correct: scorers evaluate against the frozen sweep-start
+    /// snapshot; the applier does not run until every scorer is done
+    /// (the phase barrier), so no scorer can observe a partially-applied
+    /// assignment.
+    FrozenSnapshot,
+    /// The canonical bug: proposals are committed while scoring is still
+    /// in flight, so a scorer can read a half-applied assignment and the
+    /// result depends on the schedule. Exists for
+    /// `--mutate score-against-live`; the runtime never executes this.
+    LiveAssignment,
+}
+
+/// The source the runtime implements (`label_propagation_snapshot` runs
+/// a full parallel score phase before its apply loop; the model checker
+/// reads this constant as its default).
+pub const SCORE_SOURCE: ScoreSource = ScoreSource::FrozenSnapshot;
+
+/// The order the sequential apply phase commits proposals in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ApplyOrder {
+    /// Correct: ascending node id — the one order that is a pure
+    /// function of the instance, independent of chunking and scheduling.
+    AscendingId,
+    /// The canonical bug: commit in arrival (or any other) order, which
+    /// makes the winner of a cap contention a scheduling artifact.
+    /// Exists for `--mutate unordered-apply`; the runtime never executes
+    /// this.
+    Unordered,
+}
+
+/// The order the runtime implements.
+pub const APPLY_ORDER: ApplyOrder = ApplyOrder::AscendingId;
+
+/// How the apply phase checks the cap before committing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CapCheck {
+    /// Correct: re-check against the **live** running sizes, so two
+    /// proposals targeting the same nearly-full community cannot both
+    /// land.
+    LiveRecheck,
+    /// The canonical bug: trust the frozen sweep-start sizes the scorer
+    /// already checked — double-admission overshoots the cap. Exists for
+    /// `--mutate stale-cap-commit`; the runtime never executes this.
+    FrozenSizes,
+}
+
+/// The cap discipline the runtime implements.
+pub const CAP_CHECK: CapCheck = CapCheck::LiveRecheck;
+
+/// Pull-comparison tolerance shared by every label-propagation path: a
+/// candidate must beat the incumbent by more than this to win, and ties
+/// within it break to the smaller label id.
+pub const PULL_TOLERANCE: f64 = 1e-12;
+
+/// The label-propagation scoring decision for one node.
+///
+/// `incident` holds one `(label, |w|)` entry per incident edge (the
+/// caller takes the absolute weight); it is sorted by label in place and
+/// the per-label pulls accumulate over each sorted run left to right, so
+/// the f64 addition order is a pure function of the multiset of entries
+/// — never of chunking or thread count. Among labels other than `home`
+/// whose community is below `cap` (by the sizes given — the *frozen*
+/// snapshot in the parallel score phase), the strongest pull wins, ties
+/// within [`PULL_TOLERANCE`] breaking to the smaller label id. Returns
+/// the winning label only if its pull strictly beats the home pull by
+/// more than the tolerance.
+pub fn propose_label(
+    home: u32,
+    incident: &mut [(u32, f64)],
+    size: &[usize],
+    cap: usize,
+) -> Option<u32> {
+    incident.sort_by_key(|&(c, _)| c);
+    let mut home_pull = 0.0f64;
+    let mut best: Option<(f64, u32)> = None;
+    let mut i = 0;
+    while i < incident.len() {
+        let c = incident[i].0;
+        let mut pull = 0.0f64;
+        while i < incident.len() && incident[i].0 == c {
+            pull += incident[i].1;
+            i += 1;
+        }
+        if c == home {
+            home_pull = pull;
+        } else if size[c as usize] < cap {
+            let better = match best {
+                None => true,
+                Some((ba, bc)) => {
+                    pull > ba + PULL_TOLERANCE || (pull >= ba - PULL_TOLERANCE && c < bc)
+                }
+            };
+            if better {
+                best = Some((pull, c));
+            }
+        }
+    }
+    match best {
+        Some((pull, c)) if pull > home_pull + PULL_TOLERANCE => Some(c),
+        _ => None,
+    }
+}
+
+/// The sequential apply decision for one proposal: move node `v` to
+/// label `c` iff `c`'s **live** size is still below the cap
+/// ([`CapCheck::LiveRecheck`]). Returns whether the move was applied.
+///
+/// The caller commits proposals in ascending node id
+/// ([`ApplyOrder::AscendingId`]); this function holds the other half of
+/// the contract — a proposal whose target filled up earlier in the same
+/// apply phase is dropped, and the node retries next sweep.
+pub fn commit_label(v: usize, c: u32, label: &mut [u32], size: &mut [usize], cap: usize) -> bool {
+    if size[c as usize] < cap {
+        size[label[v] as usize] -= 1;
+        size[c as usize] += 1;
+        label[v] = c;
+        true
+    } else {
+        false
+    }
+}
+
+/// Fixed node-index ranges of `grain` nodes each — the chunk unit every
+/// parallel score phase fans out over. Depending only on `(n, grain)`
+/// (never the thread count) keeps chunk boundaries, and therefore every
+/// float accumulation order downstream, identical at any
+/// `RAYON_NUM_THREADS`. The model checker uses the same function with a
+/// tiny grain to give each virtual scorer its node range.
+pub fn score_chunks(n: usize, grain: usize) -> Vec<std::ops::Range<usize>> {
+    assert!(grain > 0, "score chunks need a positive grain");
+    (0..n.div_ceil(grain))
+        .map(|i| {
+            let lo = i * grain;
+            lo..(lo + grain).min(n)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn propose_prefers_strongest_admissible_pull() {
+        // node's neighbors: 2.0 toward label 5, 1.0 toward label 3
+        let mut inc = vec![(5u32, 2.0), (3u32, 1.0)];
+        let size = vec![1usize; 8];
+        assert_eq!(propose_label(0, &mut inc, &size, 4), Some(5));
+    }
+
+    #[test]
+    fn propose_ties_break_to_smaller_label() {
+        let mut inc = vec![(5u32, 1.5), (3u32, 1.5)];
+        let size = vec![1usize; 8];
+        assert_eq!(propose_label(0, &mut inc, &size, 4), Some(3));
+    }
+
+    #[test]
+    fn propose_skips_full_communities() {
+        let mut inc = vec![(5u32, 2.0), (3u32, 1.0)];
+        let mut size = vec![1usize; 8];
+        size[5] = 4; // full at cap 4
+        assert_eq!(propose_label(0, &mut inc, &size, 4), Some(3));
+    }
+
+    #[test]
+    fn propose_requires_strict_improvement_over_home() {
+        let mut inc = vec![(0u32, 2.0), (5u32, 2.0)];
+        let size = vec![1usize; 8];
+        assert_eq!(propose_label(0, &mut inc, &size, 4), None, "equal pull must not move");
+    }
+
+    #[test]
+    fn commit_rechecks_live_cap() {
+        let mut label = vec![0u32, 1, 2];
+        let mut size = vec![1usize, 1, 1];
+        assert!(commit_label(0, 2, &mut label, &mut size, 2));
+        assert_eq!((label[0], size[0], size[2]), (2, 0, 2));
+        // second proposal for the now-full label 2 is dropped
+        assert!(!commit_label(1, 2, &mut label, &mut size, 2));
+        assert_eq!((label[1], size[1], size[2]), (1, 1, 2));
+    }
+
+    #[test]
+    fn score_chunks_cover_exactly_once() {
+        for n in [0usize, 1, 5, 17, 64] {
+            for grain in [1usize, 3, 16, 100] {
+                let chunks = score_chunks(n, grain);
+                let mut covered = 0;
+                let mut next = 0;
+                for r in &chunks {
+                    assert_eq!(r.start, next, "contiguous");
+                    assert!(r.end <= n);
+                    covered += r.len();
+                    next = r.end;
+                }
+                assert_eq!(covered, n);
+            }
+        }
+    }
+}

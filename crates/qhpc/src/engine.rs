@@ -431,6 +431,9 @@ impl ExecutionEngine for ThreadPoolEngine {
         jobs: &[SolveJob<'_>],
         routes: &[Route],
     ) -> Result<Vec<TimedCut>, SolverError> {
+        // REDUCTION: one leaf per job (with_min_len(1)); the collect is
+        // keyed by job index, so results land in submission order and no
+        // float ever crosses a chunk boundary.
         jobs.par_iter()
             .with_min_len(1)
             .enumerate()

@@ -252,6 +252,9 @@ impl BlockedState {
 
     /// Squared norm.
     pub fn norm_sqr(&self) -> f64 {
+        // REDUCTION: fixed 2^chunk_qubits amplitude blocks (with_min_len(1)
+        // = one leaf per block); inner sums are sequential per block and the
+        // outer sum combines in chunk-index order.
         self.chunks
             .par_iter()
             .with_min_len(1)
@@ -269,6 +272,8 @@ impl BlockedState {
     /// Exact expectation of a diagonal observable `Σ_z |a_z|² f(z)`.
     pub fn expectation_diagonal(&self, f: impl Fn(u64) -> f64 + Sync) -> f64 {
         let cq = self.chunk_qubits;
+        // REDUCTION: fixed 2^chunk_qubits amplitude blocks, one leaf per
+        // block; per-block sums combined in chunk-index order.
         self.chunks
             .par_iter()
             .with_min_len(1)

@@ -19,6 +19,8 @@ use std::collections::BinaryHeap;
 /// `f` receives the basis index (global, little-endian). `base` offsets the
 /// indices so chunked storage can evaluate per chunk.
 pub fn expectation_diagonal(amps: &[C64], base: u64, f: impl Fn(u64) -> f64 + Sync) -> f64 {
+    // REDUCTION: vendored fixed split tree — DEFAULT_GRAIN leaves over the
+    // amplitude slice, partial sums combined in chunk-index order.
     amps.par_iter().enumerate().map(|(i, a)| a.norm_sqr() * f(base + i as u64)).sum()
 }
 
@@ -26,6 +28,8 @@ pub fn expectation_diagonal(amps: &[C64], base: u64, f: impl Fn(u64) -> f64 + Sy
 /// (`table[z] = f(z)`), the fused fast path used by the QAOA driver.
 pub fn expectation_from_table(amps: &[C64], table: &[f64]) -> f64 {
     debug_assert_eq!(amps.len(), table.len());
+    // REDUCTION: vendored fixed split tree — zipped slices share one
+    // DEFAULT_GRAIN chunking, partial sums combined in chunk-index order.
     amps.par_iter().zip(table.par_iter()).map(|(a, &v)| a.norm_sqr() * v).sum()
 }
 

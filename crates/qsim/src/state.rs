@@ -83,6 +83,8 @@ impl StateVector {
 
     /// Squared norm; 1 for any valid quantum state.
     pub fn norm_sqr(&self) -> f64 {
+        // REDUCTION: vendored fixed split tree — DEFAULT_GRAIN leaves,
+        // partial sums combined in chunk-index order by execute_ordered.
         self.amps.par_iter().map(|a| a.norm_sqr()).sum()
     }
 

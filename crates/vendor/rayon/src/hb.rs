@@ -1,0 +1,347 @@
+//! Happens-before race detector for the pool protocol.
+//!
+//! **Vendor extension, not part of upstream rayon.** Debug builds only,
+//! and even there dormant until `QQ_RAYON_HB_CHECK=1` is set — release
+//! builds compile every entry point here to an immediate return.
+//!
+//! The detector maintains classic vector clocks over the pool's real
+//! synchronization events, fed by the [`crate::shim`] sync wrappers and
+//! the job/result plumbing in `pool.rs`:
+//!
+//! * **lock acquire** — the acquiring thread's clock joins the lock's
+//!   clock (it inherits everything published under that lock);
+//! * **lock release** — the thread ticks its own component and the lock's
+//!   clock becomes a copy of the thread's (publication);
+//! * **condvar park** — the wait releases the guard's mutex, so the
+//!   waiter publishes into the mutex clock before sleeping;
+//! * **condvar unpark** — the waiter re-joins the mutex clock *and* the
+//!   condvar clock (the notifier published into the latter);
+//! * **notify** — the notifier ticks and joins its clock into the
+//!   condvar clock;
+//! * **result send** — the job [`stamp`]s its clock (tick + snapshot)
+//!   and ships the stamp alongside the `(chunk_index, result)` message;
+//! * **result receive** — the combiner joins the stamp into its own
+//!   clock ([`recv_join`]).
+//!
+//! The checked property is the one the whole ordered-combine design
+//! rests on: **every chunk-slot write happens-before the combiner's
+//! read of that slot**. At combine time [`check_ordered`] verifies the
+//! reader's clock dominates the writer's send stamp; if any component is
+//! missing, the process prints both threads' recent event trails and
+//! **aborts** — a torn combine is a memory-safety-grade protocol bug,
+//! not a recoverable error.
+//!
+//! On the healthy protocol the channel edge makes the check pass by
+//! construction; the detector's teeth are demonstrated by the seeded
+//! mutation `QQ_RAYON_HB_MUTATE=unordered-combine`, which drops the
+//! receive-side join (exactly the bug of combining results by completion
+//! order, or reading slots through a share that skips the channel) and
+//! must abort the determinism battery.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+/// Events kept per thread for the abort report.
+const TRAIL_CAP: usize = 48;
+
+/// Is the detector live? False in release builds and when the
+/// `QQ_RAYON_HB_CHECK` environment variable is unset (or `0`); read once
+/// per process like the other pool mode switches.
+pub fn enabled() -> bool {
+    static ON: OnceLock<bool> = OnceLock::new();
+    *ON.get_or_init(|| {
+        cfg!(debug_assertions) && std::env::var("QQ_RAYON_HB_CHECK").is_ok_and(|v| v != "0")
+    })
+}
+
+/// Seeded mutation switch: `QQ_RAYON_HB_MUTATE=unordered-combine` makes
+/// [`recv_join`] drop the channel's happens-before edge, simulating a
+/// combiner that reads chunk slots without receiving the message that
+/// published them. The detector must then abort.
+fn mutate_unordered_combine() -> bool {
+    static MODE: OnceLock<bool> = OnceLock::new();
+    *MODE
+        .get_or_init(|| std::env::var("QQ_RAYON_HB_MUTATE").is_ok_and(|v| v == "unordered-combine"))
+}
+
+/// A send-side clock snapshot, shipped with each `(chunk, result)`
+/// message. `slot` identifies the writing thread for the abort report.
+#[derive(Debug, Clone)]
+pub struct Stamp {
+    slot: usize,
+    clock: Vec<u64>,
+}
+
+/// Hand out identities for shim mutexes and condvars.
+pub(crate) fn next_sync_id() -> u64 {
+    static NEXT: AtomicU64 = AtomicU64::new(1);
+    NEXT.fetch_add(1, Ordering::Relaxed)
+}
+
+struct ThreadState {
+    name: String,
+    clock: Vec<u64>,
+    trail: VecDeque<String>,
+}
+
+/// Global detector state. Guarded by a **raw `std::sync::Mutex`**, never
+/// the shim — shim wrappers call into this module, so routing the
+/// detector's own lock through the shim would recurse.
+struct HbState {
+    threads: Vec<ThreadState>,
+    /// Clock last published into each shim mutex / condvar, by sync id.
+    sync_clocks: HashMap<u64, Vec<u64>>,
+    /// Monotonic event counter, so the two trails in an abort report can
+    /// be interleaved by the reader.
+    seq: u64,
+}
+
+fn state() -> &'static Mutex<HbState> {
+    static STATE: OnceLock<Mutex<HbState>> = OnceLock::new();
+    STATE.get_or_init(|| {
+        Mutex::new(HbState { threads: Vec::new(), sync_clocks: HashMap::new(), seq: 0 })
+    })
+}
+
+thread_local! {
+    static SLOT: std::cell::Cell<Option<usize>> = const { std::cell::Cell::new(None) };
+}
+
+/// This thread's slot in the clock table, registering it on first use.
+fn my_slot(st: &mut HbState) -> usize {
+    SLOT.with(|s| match s.get() {
+        Some(slot) => slot,
+        None => {
+            let slot = st.threads.len();
+            let name = std::thread::current().name().unwrap_or("unnamed").to_string();
+            st.threads.push(ThreadState { name, clock: Vec::new(), trail: VecDeque::new() });
+            s.set(Some(slot));
+            slot
+        }
+    })
+}
+
+/// `a ⊔= b` componentwise, growing `a` as needed.
+fn join_into(a: &mut Vec<u64>, b: &[u64]) {
+    if a.len() < b.len() {
+        a.resize(b.len(), 0);
+    }
+    for (ai, &bi) in a.iter_mut().zip(b) {
+        *ai = (*ai).max(bi);
+    }
+}
+
+/// Does `big` dominate `small` (componentwise ≥, missing = 0)?
+fn dominates(big: &[u64], small: &[u64]) -> bool {
+    small.iter().enumerate().all(|(i, &s)| big.get(i).copied().unwrap_or(0) >= s)
+}
+
+fn tick(st: &mut HbState, slot: usize) {
+    let clock = &mut st.threads[slot].clock;
+    if clock.len() <= slot {
+        clock.resize(slot + 1, 0);
+    }
+    clock[slot] += 1;
+}
+
+fn note(st: &mut HbState, slot: usize, event: String) {
+    st.seq += 1;
+    let seq = st.seq;
+    let trail = &mut st.threads[slot].trail;
+    if trail.len() >= TRAIL_CAP {
+        trail.pop_front();
+    }
+    trail.push_back(format!("#{seq} {event}"));
+}
+
+/// Shim hook: `lock()` returned — join the mutex's published clock.
+pub(crate) fn lock_acquired(id: u64) {
+    if !enabled() {
+        return;
+    }
+    let mut st = state().lock().expect("hb state poisoned");
+    let slot = my_slot(&mut st);
+    if let Some(lc) = st.sync_clocks.get(&id) {
+        let lc = lc.clone();
+        join_into(&mut st.threads[slot].clock, &lc);
+    }
+    note(&mut st, slot, format!("acquire lock {id}"));
+}
+
+/// Shim hook: guard dropping — tick and publish into the mutex clock.
+/// Called *before* the std guard unlocks, so a later acquirer always
+/// sees this publication.
+pub(crate) fn lock_released(id: u64) {
+    if !enabled() {
+        return;
+    }
+    let mut st = state().lock().expect("hb state poisoned");
+    let slot = my_slot(&mut st);
+    tick(&mut st, slot);
+    let clock = st.threads[slot].clock.clone();
+    st.sync_clocks.insert(id, clock);
+    note(&mut st, slot, format!("release lock {id}"));
+}
+
+/// Shim hook: about to park on `cv` — the wait is releasing `lock`, so
+/// publish like a release (still holding the guard when called).
+pub(crate) fn condvar_park(cv: u64, lock: u64) {
+    if !enabled() {
+        return;
+    }
+    let mut st = state().lock().expect("hb state poisoned");
+    let slot = my_slot(&mut st);
+    tick(&mut st, slot);
+    let clock = st.threads[slot].clock.clone();
+    st.sync_clocks.insert(lock, clock);
+    note(&mut st, slot, format!("park on condvar {cv} (releasing lock {lock})"));
+}
+
+/// Shim hook: wait returned — re-acquire from both the mutex clock and
+/// the condvar clock (the notifier published into the latter).
+pub(crate) fn condvar_unpark(cv: u64, lock: u64) {
+    if !enabled() {
+        return;
+    }
+    let mut st = state().lock().expect("hb state poisoned");
+    let slot = my_slot(&mut st);
+    for id in [lock, cv] {
+        if let Some(c) = st.sync_clocks.get(&id) {
+            let c = c.clone();
+            join_into(&mut st.threads[slot].clock, &c);
+        }
+    }
+    note(&mut st, slot, format!("unpark from condvar {cv} (holding lock {lock})"));
+}
+
+/// Shim hook: `notify_all` — tick and publish into the condvar clock.
+pub(crate) fn notify(cv: u64) {
+    if !enabled() {
+        return;
+    }
+    let mut st = state().lock().expect("hb state poisoned");
+    let slot = my_slot(&mut st);
+    tick(&mut st, slot);
+    let mut published = st.threads[slot].clock.clone();
+    if let Some(prev) = st.sync_clocks.get(&cv) {
+        join_into(&mut published, prev);
+    }
+    st.sync_clocks.insert(cv, published);
+    note(&mut st, slot, format!("notify condvar {cv}"));
+}
+
+/// Pool hook: a job was taken from another worker's deque. Trail-only —
+/// the ordering edge itself travels through the deque mutex.
+pub(crate) fn steal_event(victim: usize) {
+    if !enabled() {
+        return;
+    }
+    let mut st = state().lock().expect("hb state poisoned");
+    let slot = my_slot(&mut st);
+    note(&mut st, slot, format!("steal from deque {victim}"));
+}
+
+/// Pool hook: a job is about to send its `(chunk, result)` message —
+/// tick and snapshot this thread's clock. `None` when the detector is
+/// off, so the channel payload costs nothing in normal runs.
+pub(crate) fn stamp(what: &str) -> Option<Stamp> {
+    if !enabled() {
+        return None;
+    }
+    let mut st = state().lock().expect("hb state poisoned");
+    let slot = my_slot(&mut st);
+    tick(&mut st, slot);
+    note(&mut st, slot, format!("send {what}"));
+    Some(Stamp { slot, clock: st.threads[slot].clock.clone() })
+}
+
+/// Pool hook: the combiner received a stamped message — join the stamp
+/// (the channel's happens-before edge). Under the seeded
+/// `unordered-combine` mutation the join is dropped, which
+/// [`check_ordered`] must catch.
+pub(crate) fn recv_join(stamp: Option<&Stamp>) {
+    let Some(stamp) = stamp else { return };
+    if !enabled() {
+        return;
+    }
+    let mut st = state().lock().expect("hb state poisoned");
+    let slot = my_slot(&mut st);
+    if mutate_unordered_combine() {
+        note(&mut st, slot, format!("recv from thread {} [MUTATED: join dropped]", stamp.slot));
+        return;
+    }
+    join_into(&mut st.threads[slot].clock, &stamp.clock);
+    note(&mut st, slot, format!("recv join from thread {}", stamp.slot));
+}
+
+/// Pool hook: the combiner is reading a chunk slot. The reader's clock
+/// must dominate the writer's send stamp — otherwise the write is not
+/// ordered before this read and the combine is a data race: print both
+/// event trails and abort.
+pub(crate) fn check_ordered(stamp: Option<&Stamp>, context: &str) {
+    let Some(stamp) = stamp else { return };
+    if !enabled() {
+        return;
+    }
+    let mut st = state().lock().expect("hb state poisoned");
+    let slot = my_slot(&mut st);
+    note(&mut st, slot, format!("combine read of {context}"));
+    if dominates(&st.threads[slot].clock, &stamp.clock) {
+        return;
+    }
+    let reader = &st.threads[slot];
+    let writer = &st.threads[stamp.slot];
+    eprintln!("qq-rayon: happens-before violation: {context}");
+    eprintln!(
+        "  the combiner's read is not ordered after the job's slot write \
+         (reader clock {:?} does not dominate writer stamp {:?})",
+        reader.clock, stamp.clock
+    );
+    for (role, t) in [("reader", reader), ("writer", writer)] {
+        eprintln!("  {role} thread `{}` recent events (oldest first):", t.name);
+        for e in &t.trail {
+            eprintln!("    {e}");
+        }
+    }
+    eprintln!("  (events carry global sequence numbers; interleave the trails by #n)");
+    std::process::abort();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn join_grows_and_maximizes() {
+        let mut a = vec![3, 0];
+        join_into(&mut a, &[1, 4, 2]);
+        assert_eq!(a, vec![3, 4, 2]);
+    }
+
+    #[test]
+    fn dominates_treats_missing_as_zero() {
+        assert!(dominates(&[2, 1], &[2]));
+        assert!(dominates(&[2, 1], &[2, 1]));
+        assert!(!dominates(&[2], &[2, 1]));
+        assert!(!dominates(&[1, 1], &[2]));
+    }
+
+    #[test]
+    fn hooks_never_panic_and_stamp_tracks_enabled() {
+        // Exercised under whatever QQ_RAYON_HB_CHECK the harness set:
+        // with the detector off every hook is an inert no-op, with it on
+        // they record events — neither mode may panic, and a stamp
+        // exists exactly when the detector is live.
+        lock_acquired(7);
+        lock_released(7);
+        notify(8);
+        steal_event(0);
+        let s = stamp("unit test");
+        assert_eq!(s.is_some(), enabled());
+        recv_join(s.as_ref());
+        check_ordered(s.as_ref(), "unit test");
+        recv_join(None);
+        check_ordered(None, "unit test");
+    }
+}

@@ -53,6 +53,7 @@
 //! adversarial all-steals schedule ([`force_steal_mode`]) that the
 //! determinism digest suite runs under.
 
+use crate::hb;
 use crate::proto;
 use crate::shim::{Condvar, Mutex};
 use crossbeam::channel::unbounded;
@@ -270,6 +271,7 @@ impl Inner {
             if let Some(job) = job {
                 if victim != id {
                     self.steals.fetch_add(1, Ordering::Relaxed);
+                    hb::steal_event(victim);
                 }
                 return Some(job);
             }
@@ -380,14 +382,17 @@ where
         _ => return parts.into_iter().map(f).collect(),
     };
 
-    let (tx, rx) = unbounded::<(usize, thread::Result<R>)>();
+    let (tx, rx) = unbounded::<(usize, thread::Result<R>, Option<hb::Stamp>)>();
     let mut jobs: Vec<Job> = Vec::with_capacity(n);
     for (idx, part) in parts.into_iter().enumerate() {
         let job_tx = tx.clone();
         let f_ref = &f;
         let job: Box<dyn FnOnce() + Send + '_> = Box::new(move || {
             let out = panic::catch_unwind(AssertUnwindSafe(|| f_ref(part)));
-            let _ = job_tx.send((idx, out));
+            // The stamp is the happens-before detector's record of this
+            // chunk-slot write; the channel send is the edge it rides.
+            let stamp = hb::stamp(&format!("result for chunk {idx}"));
+            let _ = job_tx.send((idx, out, stamp));
         });
         // SAFETY: the receive loop below gets exactly one message per job
         // before this function returns or unwinds, so `f` and the
@@ -398,16 +403,20 @@ where
     drop(tx);
     pool.inner.submit_batch(jobs);
 
-    let mut slots: Vec<Option<thread::Result<R>>> = (0..n).map(|_| None).collect();
+    let mut slots: Vec<Option<(thread::Result<R>, Option<hb::Stamp>)>> =
+        (0..n).map(|_| None).collect();
     for _ in 0..n {
-        let (idx, out) = rx.recv().expect("rayon worker died with jobs outstanding");
-        slots[idx] = Some(out);
+        let (idx, out, stamp) = rx.recv().expect("rayon worker died with jobs outstanding");
+        hb::recv_join(stamp.as_ref());
+        slots[idx] = Some((out, stamp));
     }
 
     let mut results = Vec::with_capacity(n);
     let mut panic_payload: Option<Box<dyn Any + Send>> = None;
-    for slot in slots {
-        match slot.expect("each job reports exactly once") {
+    for (idx, slot) in slots.into_iter().enumerate() {
+        let (out, stamp) = slot.expect("each job reports exactly once");
+        hb::check_ordered(stamp.as_ref(), &format!("chunk slot {idx}"));
+        match out {
             Ok(r) => results.push(r),
             Err(p) => {
                 panic_payload.get_or_insert(p);
@@ -442,10 +451,11 @@ where
         }
     };
 
-    let (tx, rx) = unbounded::<thread::Result<RB>>();
+    let (tx, rx) = unbounded::<(thread::Result<RB>, Option<hb::Stamp>)>();
     let job: Box<dyn FnOnce() + Send + '_> = Box::new(move || {
         let out = panic::catch_unwind(AssertUnwindSafe(b));
-        let _ = tx.send(out);
+        let stamp = hb::stamp("result for join arm b");
+        let _ = tx.send((out, stamp));
     });
     // SAFETY: `rx.recv()` below waits for the job before this function
     // returns or unwinds, so `b`'s borrows outlive its execution.
@@ -455,7 +465,9 @@ where
     let ra = panic::catch_unwind(AssertUnwindSafe(a));
     // INVARIANT: the worker sends exactly one result (or its panic)
     // before dropping the channel; a dead worker is re-raised below.
-    let rb = rx.recv().expect("rayon worker died during join");
+    let (rb, stamp) = rx.recv().expect("rayon worker died during join");
+    hb::recv_join(stamp.as_ref());
+    hb::check_ordered(stamp.as_ref(), "join arm b result");
     match (ra, rb) {
         (Ok(ra), Ok(rb)) => (ra, rb),
         (Err(p), _) => panic::resume_unwind(p),

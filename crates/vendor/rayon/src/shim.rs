@@ -6,20 +6,30 @@
 //!
 //! * **release builds** — transparent `#[inline]` newtypes that delegate
 //!   straight to `std::sync`; the optimizer erases them, so the hot path
-//!   pays nothing.
+//!   pays nothing. [`Guard`] is a plain type alias for the std guard.
 //! * **debug builds** — instrumented versions that count lock
 //!   acquisitions, condvar parks, and wake notifications into relaxed
-//!   process-wide counters ([`stats`]). The counters give tests and the
-//!   `qq-check` tooling an observable protocol trace: a test can assert
-//!   that workers really parked, that a submission really notified, or
-//!   that a force-steal run kept every worker busy — without touching
-//!   the pool's internals.
+//!   process-wide counters ([`stats`]), and feed every acquire, release,
+//!   park, unpark, and notify into the [`crate::hb`] happens-before
+//!   detector (dormant unless `QQ_RAYON_HB_CHECK=1`). The counters give
+//!   tests and the `qq-check` tooling an observable protocol trace; the
+//!   detector checks that trace's ordering discipline at runtime.
 //!
 //! The wrappers expose exactly the `std::sync` surface `pool.rs` uses
-//! (`Mutex::new/lock`, `Condvar::new/wait/notify_all`), returning real
-//! `std` guards so the pool code is identical under both cfgs.
+//! (`Mutex::new/lock`, `Condvar::new/wait/notify_all`). In debug builds
+//! the guard is a wrapper that reports its release to the detector
+//! **before** unlocking, so a later acquirer always observes the
+//! publication — the pool code is identical under both cfgs because the
+//! guard derefs like the std one.
 
-use std::sync::{LockResult, MutexGuard};
+use std::sync::LockResult;
+#[cfg(not(debug_assertions))]
+use std::sync::MutexGuard;
+#[cfg(debug_assertions)]
+use std::sync::PoisonError;
+
+#[cfg(debug_assertions)]
+use crate::hb;
 
 #[cfg(debug_assertions)]
 mod counters {
@@ -63,44 +73,145 @@ pub fn stats() -> ShimStats {
     }
 }
 
+/// Debug-build lock guard: derefs like `std::sync::MutexGuard`, and on
+/// drop reports the release to the happens-before detector *before*
+/// unlocking (see the module docs for why that order is load-bearing).
+#[cfg(debug_assertions)]
+pub struct HbGuard<'a, T> {
+    inner: Option<std::sync::MutexGuard<'a, T>>,
+    lock_id: u64,
+}
+
+#[cfg(debug_assertions)]
+impl<'a, T> HbGuard<'a, T> {
+    fn new(inner: std::sync::MutexGuard<'a, T>, lock_id: u64) -> Self {
+        HbGuard { inner: Some(inner), lock_id }
+    }
+
+    /// Take the std guard out, disarming this wrapper's Drop (used by
+    /// `Condvar::wait`, which reports the release itself as a park).
+    fn into_std(mut self) -> std::sync::MutexGuard<'a, T> {
+        self.inner.take().expect("guard already taken")
+    }
+}
+
+#[cfg(debug_assertions)]
+impl<T> std::ops::Deref for HbGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.inner.as_ref().expect("guard already taken")
+    }
+}
+
+#[cfg(debug_assertions)]
+impl<T> std::ops::DerefMut for HbGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.inner.as_mut().expect("guard already taken")
+    }
+}
+
+#[cfg(debug_assertions)]
+impl<T> Drop for HbGuard<'_, T> {
+    fn drop(&mut self) {
+        if self.inner.is_some() {
+            // Publish while still holding the lock; the std unlock
+            // happens when `inner` drops right after.
+            hb::lock_released(self.lock_id);
+        }
+    }
+}
+
+/// The guard type `Mutex::lock` returns: the instrumented wrapper in
+/// debug builds, the std guard verbatim in release builds.
+#[cfg(debug_assertions)]
+pub type Guard<'a, T> = HbGuard<'a, T>;
+#[cfg(not(debug_assertions))]
+pub type Guard<'a, T> = MutexGuard<'a, T>;
+
 /// Shimmed `std::sync::Mutex`.
-pub struct Mutex<T>(std::sync::Mutex<T>);
+pub struct Mutex<T> {
+    inner: std::sync::Mutex<T>,
+    #[cfg(debug_assertions)]
+    id: u64,
+}
 
 impl<T> Mutex<T> {
     #[inline]
     pub fn new(value: T) -> Self {
-        Mutex(std::sync::Mutex::new(value))
+        Mutex {
+            inner: std::sync::Mutex::new(value),
+            #[cfg(debug_assertions)]
+            id: hb::next_sync_id(),
+        }
     }
 
     #[inline]
-    pub fn lock(&self) -> LockResult<MutexGuard<'_, T>> {
+    pub fn lock(&self) -> LockResult<Guard<'_, T>> {
         #[cfg(debug_assertions)]
-        counters::bump(&counters::LOCKS);
-        self.0.lock()
+        {
+            counters::bump(&counters::LOCKS);
+            let result = self.inner.lock();
+            hb::lock_acquired(self.id);
+            match result {
+                Ok(g) => Ok(HbGuard::new(g, self.id)),
+                Err(p) => Err(PoisonError::new(HbGuard::new(p.into_inner(), self.id))),
+            }
+        }
+        #[cfg(not(debug_assertions))]
+        {
+            self.inner.lock()
+        }
     }
 }
 
 /// Shimmed `std::sync::Condvar`.
-pub struct Condvar(std::sync::Condvar);
+pub struct Condvar {
+    inner: std::sync::Condvar,
+    #[cfg(debug_assertions)]
+    id: u64,
+}
 
 impl Condvar {
     #[inline]
     pub fn new() -> Self {
-        Condvar(std::sync::Condvar::new())
+        Condvar {
+            inner: std::sync::Condvar::new(),
+            #[cfg(debug_assertions)]
+            id: hb::next_sync_id(),
+        }
     }
 
     #[inline]
-    pub fn wait<'a, T>(&self, guard: MutexGuard<'a, T>) -> LockResult<MutexGuard<'a, T>> {
+    pub fn wait<'a, T>(&self, guard: Guard<'a, T>) -> LockResult<Guard<'a, T>> {
         #[cfg(debug_assertions)]
-        counters::bump(&counters::PARKS);
-        self.0.wait(guard)
+        {
+            counters::bump(&counters::PARKS);
+            let lock_id = guard.lock_id;
+            // The wait releases the mutex: publish (as a park) while the
+            // guard is still held, then hand the bare std guard to the
+            // real wait so this wrapper's Drop doesn't double-report.
+            hb::condvar_park(self.id, lock_id);
+            let result = self.inner.wait(guard.into_std());
+            hb::condvar_unpark(self.id, lock_id);
+            match result {
+                Ok(g) => Ok(HbGuard::new(g, lock_id)),
+                Err(p) => Err(PoisonError::new(HbGuard::new(p.into_inner(), lock_id))),
+            }
+        }
+        #[cfg(not(debug_assertions))]
+        {
+            self.inner.wait(guard)
+        }
     }
 
     #[inline]
     pub fn notify_all(&self) {
         #[cfg(debug_assertions)]
-        counters::bump(&counters::NOTIFIES);
-        self.0.notify_all()
+        {
+            counters::bump(&counters::NOTIFIES);
+            hb::notify(self.id);
+        }
+        self.inner.notify_all()
     }
 }
 

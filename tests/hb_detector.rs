@@ -1,0 +1,95 @@
+//! Subprocess harness for the pool's happens-before race detector
+//! (`crates/vendor/rayon/src/hb.rs`, DESIGN.md §11).
+//!
+//! Two properties, both checked in fresh processes because the detector
+//! and the pool are configured once per process from the environment:
+//!
+//! 1. **Clean protocol passes.** A steal-heavy parallel workload run
+//!    under `QQ_RAYON_HB_CHECK=1` completes: every chunk-slot write is
+//!    ordered before the combiner's read via the channel edge, so the
+//!    detector stays silent.
+//! 2. **The detector has teeth.** The seeded mutation
+//!    `QQ_RAYON_HB_MUTATE=unordered-combine` drops the receive-side
+//!    clock join — the exact bug of combining results without the
+//!    message that published them — and the process must **abort** with
+//!    a report naming the violation and carrying both event trails.
+//!
+//! Both legs are debug-build-only (the detector compiles to no-ops in
+//! release); under `--release` the clean leg still runs (proving the
+//! hooks are inert) and the teeth leg is skipped.
+
+use rayon::prelude::*;
+
+/// A workload that actually exercises the detector: enough elements to
+/// split into many chunks (grain 4096), a nested reduce, and a `join` —
+/// all three stamped paths.
+fn workload() -> f64 {
+    let xs: Vec<f64> = (0..100_000).map(|i| (i as f64).sin()).collect();
+    let sum: f64 = xs.par_iter().sum();
+    let max = xs.par_iter().cloned().reduce(|| f64::MIN, f64::max);
+    let (a, b) = rayon::join(
+        || xs[..50_000].par_iter().map(|x| x * x).sum::<f64>(),
+        || xs[50_000..].par_iter().map(|x| x * x).sum::<f64>(),
+    );
+    sum + max + a + b
+}
+
+/// Helper entry point for the subprocess runs. `#[ignore]`d so the
+/// normal suite doesn't run it redundantly; the orchestrating tests
+/// invoke it with `--ignored --exact`.
+#[test]
+#[ignore = "run explicitly by the hb_detector subprocess tests"]
+fn hb_workload_helper() {
+    let v = workload();
+    assert!(v.is_finite());
+    println!("HB_WORKLOAD_OK={v:.6}");
+}
+
+fn run_helper(mutate: Option<&str>, force_steal: bool) -> std::process::Output {
+    let exe = std::env::current_exe().expect("test binary path");
+    let mut cmd = std::process::Command::new(&exe);
+    cmd.args(["--exact", "hb_workload_helper", "--ignored", "--nocapture"])
+        .env("RAYON_NUM_THREADS", "4")
+        .env("QQ_RAYON_HB_CHECK", "1");
+    if let Some(m) = mutate {
+        cmd.env("QQ_RAYON_HB_MUTATE", m);
+    }
+    if force_steal {
+        cmd.env("QQ_RAYON_FORCE_STEAL", "1");
+    }
+    cmd.output().expect("spawn hb workload helper")
+}
+
+#[test]
+fn clean_protocol_passes_under_hb_check() {
+    for force_steal in [false, true] {
+        let out = run_helper(None, force_steal);
+        let stdout = String::from_utf8_lossy(&out.stdout);
+        assert!(
+            out.status.success() && stdout.contains("HB_WORKLOAD_OK="),
+            "hb-checked workload failed (force_steal={force_steal}):\n{}\n{}",
+            stdout,
+            String::from_utf8_lossy(&out.stderr)
+        );
+    }
+}
+
+#[test]
+fn unordered_combine_mutation_aborts() {
+    if !cfg!(debug_assertions) {
+        // Release builds compile the detector away; there is nothing to
+        // trip. The clean leg above still proves the hooks are inert.
+        return;
+    }
+    let out = run_helper(Some("unordered-combine"), false);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(!out.status.success(), "mutated run should abort, but exited cleanly:\n{stderr}");
+    assert!(
+        stderr.contains("happens-before violation"),
+        "abort report should name the violation:\n{stderr}"
+    );
+    assert!(
+        stderr.contains("reader thread") && stderr.contains("writer thread"),
+        "abort report should carry both event trails:\n{stderr}"
+    );
+}
